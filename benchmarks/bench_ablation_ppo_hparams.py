@@ -1,0 +1,64 @@
+"""Ablation: PPO hyper-parameters (rollouts / minibatches / epochs).
+
+The paper (Section 5.1) explored rollout counts, minibatch counts, and
+epoch counts, settling on (20, 4, 10).  This bench sweeps a small grid
+around that point and records the final search quality of each setting.
+"""
+
+import numpy as np
+
+from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
+from repro.graphs.zoo import build_dataset
+from repro.rl.ppo import PPOConfig
+
+from .common import analytical_env, get_bench_config, write_result
+
+#: (n_rollouts, n_minibatches, n_epochs) grid around the paper's choice
+GRID = [
+    (20, 4, 10),  # the paper's tuned setting
+    (10, 2, 10),
+    (20, 4, 4),
+    (40, 4, 10),
+]
+
+
+def _run_sweep():
+    cfg = get_bench_config()
+    graph = build_dataset(seed=0).test[0]
+    budget = cfg.testset_samples * 2
+
+    results = {}
+    for rollouts, minibatches, epochs in GRID:
+        ppo = PPOConfig(
+            n_rollouts=rollouts, n_minibatches=minibatches, n_epochs=epochs
+        )
+        rl_cfg = RLPartitionerConfig(hidden=64, n_sage_layers=4, ppo=ppo)
+        env = analytical_env(graph, cfg.n_chips_small)
+        partitioner = RLPartitioner(cfg.n_chips_small, config=rl_cfg, rng=0)
+        result = partitioner.search(env, budget)
+        results[(rollouts, minibatches, epochs)] = result
+    return cfg, graph, budget, results
+
+
+def bench_ablation_ppo_hparams(benchmark):
+    """Sweep PPO hyper-parameters around the paper's setting."""
+    cfg, graph, budget, results = benchmark.pedantic(
+        _run_sweep, rounds=1, iterations=1
+    )
+
+    lines = [
+        "Ablation (reproduced): PPO hyper-parameters",
+        f"graph: {graph.name}, chips: {cfg.n_chips_small}, "
+        f"budget: {budget}, scale: {cfg.scale}",
+        "",
+        f"{'rollouts':>8} {'minibatch':>9} {'epochs':>6} {'best':>8} {'mean-last':>10}",
+    ]
+    for (r, m, e), result in results.items():
+        tail = result.improvements[-max(budget // 4, 1):].mean()
+        lines.append(
+            f"{r:>8} {m:>9} {e:>6} {result.best_improvement:>7.3f}x {tail:>9.3f}x"
+        )
+    write_result("ablation_ppo_hparams", "\n".join(lines))
+
+    for result in results.values():
+        assert result.best_improvement > 0

@@ -1,0 +1,73 @@
+"""Figure 6: BERT throughput improvement on the "real hardware" simulator.
+
+Reproduces the paper's Figure 6: five methods partitioning BERT on the
+pipeline simulator (ring-link contention, per-op perturbation, dynamic
+memory constraint), reported as best-so-far throughput improvement over the
+greedy production-compiler heuristic.
+
+Paper shape to reproduce: RL and RL Finetuning end above Random and SA;
+fine-tuning improves fastest at small sample counts; zero-shot transfers
+poorly to the out-of-distribution BERT graph (well below fine-tuning).
+"""
+
+import numpy as np
+
+from repro.bench.harness import run_methods
+
+from .common import (
+    get_bench_config,
+    bert_pretrained_state,
+    five_methods,
+    scaled_bert,
+    simulator_env,
+    write_result,
+)
+
+
+def _run_fig6():
+    cfg = get_bench_config()
+    graph = scaled_bert(cfg)
+    pretrained = bert_pretrained_state(cfg)
+    methods = five_methods(cfg, cfg.n_chips_bert, pretrained)
+
+    curves = run_methods(
+        methods,
+        lambda: simulator_env(graph, cfg.n_chips_bert),
+        cfg.bert_samples,
+        graph_name=graph.name,
+    )
+    series = {c.method: c.curve for c in curves}
+    return cfg, graph, series
+
+
+def bench_fig6_bert(benchmark):
+    """Regenerate Figure 6 and record the per-method series."""
+    cfg, graph, series = benchmark.pedantic(_run_fig6, rounds=1, iterations=1)
+
+    checkpoints = sorted(
+        {
+            max(1, cfg.bert_samples // 10),
+            cfg.bert_samples // 4,
+            cfg.bert_samples // 2,
+            cfg.bert_samples,
+        }
+    )
+    lines = [
+        "Figure 6 (reproduced): BERT improvement over the greedy heuristic",
+        f"graph: {graph.name} ({graph.n_nodes} nodes), chips: {cfg.n_chips_bert}, "
+        f"budget: {cfg.bert_samples} samples, scale: {cfg.scale}",
+        "",
+        "method          " + "".join(f"@{c:>6} " for c in checkpoints),
+    ]
+    for name, curve in series.items():
+        row = "".join(f"{curve[c - 1]:>7.3f} " for c in checkpoints)
+        lines.append(f"{name:<15} {row}")
+    write_result("fig6_bert", "\n".join(lines))
+
+    final = {name: curve[-1] for name, curve in series.items()}
+    # Every method beats the count-balanced greedy heuristic eventually.
+    assert final["Random"] > 1.0 and final["SA"] > 1.0, final
+    # The learned arms are competitive with the unlearned searches.
+    best_unlearned = max(final["Random"], final["SA"])
+    best_rl = max(final["RL"], final["RL Finetuning"])
+    assert best_rl >= 0.9 * best_unlearned, final

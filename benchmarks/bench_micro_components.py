@@ -1,0 +1,61 @@
+"""Microbenchmarks: solver sampling rate and cost-model evaluation rate.
+
+Not a paper figure, but the numbers that determine end-to-end search time:
+how fast the constraint solver emits valid partitions (the paper's 26.97 s
+per sample was dominated by real-hardware evaluation; ours is solver-bound)
+and how fast each cost model scores a partition.
+"""
+
+import numpy as np
+
+from repro.core.baselines import greedy_partition
+from repro.hardware.analytical import AnalyticalCostModel
+from repro.hardware.simulator import PipelineSimulator
+from repro.solver.strategies import fix_partition, sample_partition
+
+from .common import get_bench_config, calibrated_package, scaled_bert
+
+
+def bench_solver_sample_mode(benchmark):
+    """Valid-partition generation rate, SAMPLE mode (Algorithm 1)."""
+    cfg = get_bench_config()
+    graph = scaled_bert(cfg)
+    probs = np.full((graph.n_nodes, cfg.n_chips_bert), 1.0 / cfg.n_chips_bert)
+    rng = np.random.default_rng(0)
+    benchmark(sample_partition, graph, probs, cfg.n_chips_bert, rng)
+
+
+def bench_solver_fix_mode(benchmark):
+    """Valid-partition repair rate, FIX mode (Algorithm 2)."""
+    cfg = get_bench_config()
+    graph = scaled_bert(cfg)
+    rng = np.random.default_rng(0)
+    candidate = rng.integers(0, cfg.n_chips_bert, graph.n_nodes)
+    benchmark(fix_partition, graph, candidate, cfg.n_chips_bert, rng)
+
+
+def bench_analytical_model(benchmark):
+    """Analytical cost-model evaluation rate."""
+    cfg = get_bench_config()
+    graph = scaled_bert(cfg)
+    package = calibrated_package(graph, cfg.n_chips_bert)
+    model = AnalyticalCostModel(package)
+    assignment = greedy_partition(graph, cfg.n_chips_bert)
+    benchmark(model.evaluate, graph, assignment)
+
+
+def bench_pipeline_simulator(benchmark):
+    """Pipeline-simulator evaluation rate (includes memory planning)."""
+    cfg = get_bench_config()
+    graph = scaled_bert(cfg)
+    package = calibrated_package(graph, cfg.n_chips_bert)
+    simulator = PipelineSimulator(package)
+    assignment = greedy_partition(graph, cfg.n_chips_bert)
+    benchmark(simulator.evaluate, graph, assignment)
+
+
+def bench_greedy_heuristic(benchmark):
+    """The O(N) production heuristic itself."""
+    cfg = get_bench_config()
+    graph = scaled_bert(cfg)
+    benchmark(greedy_partition, graph, cfg.n_chips_bert)

@@ -1,0 +1,47 @@
+"""Table 3: samples to reach improvement thresholds on BERT.
+
+Reproduces the paper's Table 3: samples needed by each method to reach
+fixed throughput-improvement levels on BERT ("real hardware"), with the
+reduction factor relative to RL-from-scratch (paper: fine-tuning reduces
+samples by up to 21.15x; Random/SA never reach the top thresholds).
+"""
+
+import numpy as np
+
+from repro.bench.tables import samples_to_threshold_table
+
+from .bench_fig6_bert import _run_fig6
+from .common import write_result
+
+
+def bench_table3_bert_sample_efficiency(benchmark):
+    """Regenerate Table 3 from the Figure 6 series."""
+    cfg, graph, series = benchmark.pedantic(_run_fig6, rounds=1, iterations=1)
+
+    # Threshold ladder anchored on the strongest learned arm's plateau
+    # (the paper's 2.55/2.60/2.65x, rescaled to this platform).
+    anchor = max(series["RL"][-1], series["RL Finetuning"][-1])
+    thresholds = [round(anchor * f, 3) for f in (0.90, 0.95, 1.00)]
+
+    table = samples_to_threshold_table(
+        {name: curve for name, curve in series.items()},
+        thresholds,
+        reference_method="RL",
+        title=(
+            "Table 3 (reproduced): samples to reach BERT improvement "
+            f"thresholds (scale {cfg.scale})"
+        ),
+    )
+    write_result("table3_bert_sample_efficiency", table)
+
+    def to_reach(curve, t):
+        hits = np.flatnonzero(curve >= t)
+        return int(hits[0]) + 1 if hits.size else None
+
+    # Shape: the fine-tuned policy reaches the lowest threshold within the
+    # budget and at most modestly later than from-scratch RL.
+    ft = to_reach(series["RL Finetuning"], thresholds[0])
+    rl = to_reach(series["RL"], thresholds[0])
+    assert ft is not None
+    if rl is not None:
+        assert ft <= rl * 1.5, (ft, rl)

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""End-to-end paper reproduction runner.
+
+Orchestrates the full workflow of the paper at a chosen scale:
+
+1. build the 87-graph dataset (66 train / 5 validation / 16 test),
+2. pre-train the policy on the training split with the analytical model
+   (the paper: 20,000 samples, 200 checkpoints),
+3. validate every checkpoint and pick the best,
+4. evaluate all five methods on the test split (Figure 5 / Table 2),
+5. evaluate all five methods on BERT with the pipeline simulator
+   (Figure 6 / Table 3),
+6. run the cost-model calibration study (Figure 7),
+
+writing every artifact under ``--outdir``.
+
+At ``--scale 1`` (default) this finishes in minutes; ``--scale 8`` is
+roughly paper scale (full BERT, 36 chips, 800+ sample budgets) and runs for
+hours.  The benchmarks under ``benchmarks/`` run the same experiments with
+pass/fail shape assertions; this script is the human-facing variant with
+progress logging.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from benchmarks import common as C  # noqa: E402
+from benchmarks.bench_fig5_test_set import _run_fig5  # noqa: E402
+from benchmarks.bench_fig6_bert import _run_fig6  # noqa: E402
+from benchmarks.bench_fig7_cost_model_calibration import _run_fig7  # noqa: E402
+from repro.bench.tables import samples_to_threshold_table  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="problem/budget scale (8 ~ paper scale)")
+    parser.add_argument("--outdir", default="paper_reproduction")
+    args = parser.parse_args()
+
+    os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
+    os.makedirs(args.outdir, exist_ok=True)
+    summary = {"scale": args.scale}
+
+    def save(name: str, text: str) -> None:
+        path = os.path.join(args.outdir, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print(f"[saved] {path}")
+
+    # ---- Figure 5 / Table 2 -------------------------------------------
+    print("== Figure 5 / Table 2: test-set transfer (analytical model) ==")
+    start = time.time()
+    cfg, series = _run_fig5()
+    elapsed = time.time() - start
+    print(f"   done in {elapsed:.0f}s "
+          f"({cfg.n_test_graphs} graphs x {cfg.testset_samples} samples x 5 methods)")
+    lines = ["samples " + "".join(f"{name:>15}" for name in series)]
+    length = min(curve.size for curve in series.values())
+    for k in range(0, length, max(length // 12, 1)):
+        lines.append(
+            f"{k + 1:>7} " + "".join(f"{curve[k]:>14.3f}x" for curve in series.values())
+        )
+    save("fig5_series", "\n".join(lines))
+    rl_final = series["RL"][-1]
+    save("table2", samples_to_threshold_table(
+        series, [round(rl_final * f, 3) for f in (0.9, 0.95, 1.0)], "RL",
+        title="Table 2 (reproduced)",
+    ))
+    summary["fig5_final"] = {k: float(v[-1]) for k, v in series.items()}
+
+    # ---- Figure 6 / Table 3 -------------------------------------------
+    print("== Figure 6 / Table 3: BERT on the pipeline simulator ==")
+    start = time.time()
+    cfg, graph, series6 = _run_fig6()
+    print(f"   done in {time.time() - start:.0f}s "
+          f"({graph.n_nodes}-node BERT, {cfg.n_chips_bert} chips)")
+    lines = ["samples " + "".join(f"{name:>15}" for name in series6)]
+    length = min(curve.size for curve in series6.values())
+    for k in range(0, length, max(length // 12, 1)):
+        lines.append(
+            f"{k + 1:>7} " + "".join(f"{curve[k]:>14.3f}x" for curve in series6.values())
+        )
+    save("fig6_series", "\n".join(lines))
+    anchor = max(series6["RL"][-1], series6["RL Finetuning"][-1])
+    save("table3", samples_to_threshold_table(
+        series6, [round(anchor * f, 3) for f in (0.9, 0.95, 1.0)], "RL",
+        title="Table 3 (reproduced)",
+    ))
+    summary["fig6_final"] = {k: float(v[-1]) for k, v in series6.items()}
+
+    # ---- Figure 7 ------------------------------------------------------
+    print("== Figure 7: cost-model calibration ==")
+    start = time.time()
+    cfg, graph, predicted, measured, pearson, invalid_rate = _run_fig7()
+    print(f"   done in {time.time() - start:.0f}s")
+    save("fig7", (
+        f"samples: {cfg.calibration_samples}\n"
+        f"invalid on hardware: {invalid_rate:.1%} (paper: 13.5%)\n"
+        f"Pearson R: {pearson:.3f} (paper: 0.91)"
+    ))
+    summary["fig7"] = {"pearson": pearson, "invalid_rate": invalid_rate}
+
+    with open(os.path.join(args.outdir, "summary.json"), "w") as fh:
+        json.dump(summary, fh, indent=2)
+    print(f"\nsummary written to {args.outdir}/summary.json")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` needs `wheel` for PEP 660 editable installs on old
+setuptools; `python setup.py develop` works without it.  Configuration
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,92 @@
+"""repro: reproduction of "A Transferable Approach for Partitioning Machine
+Learning Models on Multi-Chip-Modules" (MLSys 2022).
+
+Quickstart
+----------
+>>> from repro import (
+...     build_bert, MCMPackage, AnalyticalCostModel,
+...     PartitionEnvironment, RLPartitioner,
+... )
+>>> package = MCMPackage(n_chips=4)
+>>> graph = build_bert(layers=2, hidden=128, heads=4, seq=64, target_nodes=None)
+>>> env = PartitionEnvironment(graph, AnalyticalCostModel(package), package.n_chips)
+>>> partitioner = RLPartitioner(package.n_chips, rng=0)
+>>> result = partitioner.search(env, n_samples=20)
+>>> result.best_improvement > 0
+True
+"""
+
+from repro.analysis import analyze_partition, format_partition_report, to_dot
+from repro.core import (
+    HillClimbing,
+    PartitionEnvironment,
+    PretrainConfig,
+    RandomSearch,
+    RLPartitioner,
+    RLPartitionerConfig,
+    SearchResult,
+    SimulatedAnnealing,
+    UnconstrainedRL,
+    fine_tune_search,
+    greedy_partition,
+    random_baseline_partition,
+    pretrain,
+    select_checkpoint,
+    zero_shot_search,
+)
+from repro.graphs import CompGraph, GraphBuilder, OpType
+from repro.graphs.serialization import load_graph, save_graph
+from repro.graphs.zoo import build_bert, build_dataset
+from repro.hardware import (
+    AnalyticalCostModel,
+    ChipSpec,
+    MCMPackage,
+    MemoryPlanner,
+    PipelineSimulator,
+)
+from repro.solver import (
+    ConstraintSolver,
+    fix_partition,
+    sample_partition,
+    validate_partition,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CompGraph",
+    "GraphBuilder",
+    "OpType",
+    "build_bert",
+    "build_dataset",
+    "ChipSpec",
+    "MCMPackage",
+    "AnalyticalCostModel",
+    "PipelineSimulator",
+    "MemoryPlanner",
+    "ConstraintSolver",
+    "sample_partition",
+    "fix_partition",
+    "validate_partition",
+    "PartitionEnvironment",
+    "RLPartitioner",
+    "RLPartitionerConfig",
+    "SearchResult",
+    "greedy_partition",
+    "random_baseline_partition",
+    "RandomSearch",
+    "HillClimbing",
+    "analyze_partition",
+    "format_partition_report",
+    "to_dot",
+    "save_graph",
+    "load_graph",
+    "SimulatedAnnealing",
+    "UnconstrainedRL",
+    "pretrain",
+    "select_checkpoint",
+    "PretrainConfig",
+    "zero_shot_search",
+    "fine_tune_search",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Partition inspection and reporting tools.
+
+Downstream users need to understand *why* a partition is fast or slow:
+per-chip loads, ring-link traffic, memory pressure, and where the cut edges
+fall.  This package turns an assignment into a structured report, a
+rendered table, or a Graphviz dump.
+"""
+
+from repro.analysis.report import PartitionReport, analyze_partition, format_partition_report
+from repro.analysis.visualize import to_dot
+
+__all__ = [
+    "PartitionReport",
+    "analyze_partition",
+    "format_partition_report",
+    "to_dot",
+]

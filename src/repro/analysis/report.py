@@ -1,0 +1,127 @@
+"""Structured per-chip analysis of a partition."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.tables import format_table
+from repro.graphs.graph import CompGraph
+from repro.hardware.base import check_assignment, cross_chip_transfers
+from repro.hardware.memory import MemoryPlanner
+from repro.hardware.package import MCMPackage
+from repro.solver.constraints import validate_partition
+
+
+@dataclass(frozen=True)
+class PartitionReport:
+    """Per-chip and per-link breakdown of one partition.
+
+    Attributes
+    ----------
+    n_chips:
+        Package size the report was computed for.
+    node_counts:
+        ``(C,)`` ops per chip.
+    compute_us:
+        ``(C,)`` raw compute per chip.
+    param_bytes:
+        ``(C,)`` resident parameter bytes per chip.
+    peak_bytes:
+        ``(C,)`` scheduled peak memory per chip.
+    link_bytes:
+        ``(C-1,)`` bytes crossing each ring link per inference.
+    cut_edges:
+        Number of graph edges crossing chips.
+    max_hop:
+        Longest ring distance any transfer travels.
+    static_ok:
+        Whether the partition satisfies Equations 2-4.
+    """
+
+    n_chips: int
+    node_counts: np.ndarray
+    compute_us: np.ndarray
+    param_bytes: np.ndarray
+    peak_bytes: np.ndarray
+    link_bytes: np.ndarray
+    cut_edges: int
+    max_hop: int
+    static_ok: bool
+
+    @property
+    def compute_imbalance(self) -> float:
+        """Max over mean per-chip compute (1.0 = perfectly balanced)."""
+        mean = self.compute_us.mean()
+        return float(self.compute_us.max() / mean) if mean > 0 else float("inf")
+
+    @property
+    def used_chips(self) -> int:
+        """Chips with at least one op."""
+        return int((self.node_counts > 0).sum())
+
+
+def analyze_partition(
+    graph: CompGraph, assignment, package: MCMPackage
+) -> PartitionReport:
+    """Build a :class:`PartitionReport` for ``assignment`` on ``package``."""
+    n_chips = package.n_chips
+    assignment = check_assignment(graph, assignment, n_chips)
+
+    node_counts = np.bincount(assignment, minlength=n_chips)
+    compute = np.zeros(n_chips)
+    np.add.at(compute, assignment, graph.compute_us)
+    params = np.zeros(n_chips)
+    np.add.at(params, assignment, graph.param_bytes)
+
+    planner = MemoryPlanner(n_chips, capacity_bytes=package.chip.sram_bytes)
+    peaks = planner.plan(graph, assignment).peak_bytes
+
+    src_c, dst_c, nbytes = cross_chip_transfers(graph, assignment)
+    link_bytes = np.zeros(max(package.n_links, 1))
+    max_hop = 0
+    for s, d, b in zip(src_c, dst_c, nbytes):
+        if d > s:
+            link_bytes[s:d] += b
+            max_hop = max(max_hop, int(d - s))
+
+    report = validate_partition(graph, assignment, n_chips)
+    return PartitionReport(
+        n_chips=n_chips,
+        node_counts=node_counts,
+        compute_us=compute,
+        param_bytes=params,
+        peak_bytes=peaks,
+        link_bytes=link_bytes[: package.n_links],
+        cut_edges=int(src_c.size),
+        max_hop=max_hop,
+        static_ok=report.ok,
+    )
+
+
+def format_partition_report(report: PartitionReport) -> str:
+    """Render a :class:`PartitionReport` as a fixed-width table."""
+    rows = []
+    for chip in range(report.n_chips):
+        rows.append(
+            [
+                str(chip),
+                str(int(report.node_counts[chip])),
+                f"{report.compute_us[chip]:.1f}",
+                f"{report.param_bytes[chip] / 2**20:.2f}",
+                f"{report.peak_bytes[chip] / 2**20:.2f}",
+            ]
+        )
+    table = format_table(
+        ["chip", "ops", "compute (us)", "params (MiB)", "peak mem (MiB)"],
+        rows,
+        title="partition report",
+    )
+    summary = (
+        f"\nstatic constraints: {'OK' if report.static_ok else 'VIOLATED'}"
+        f" | cut edges: {report.cut_edges}"
+        f" | max hop: {report.max_hop}"
+        f" | compute imbalance: {report.compute_imbalance:.2f}x"
+    )
+    return table + summary

@@ -1,0 +1,64 @@
+"""Graphviz (DOT) export of computation graphs and partitions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import CompGraph
+from repro.graphs.ops import OpType
+
+#: color cycle for chip clusters
+_PALETTE = [
+    "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6",
+    "#ffff99", "#1f78b4", "#33a02c", "#e31a1c", "#ff7f00",
+]
+
+
+def to_dot(
+    graph: CompGraph,
+    assignment: "np.ndarray | None" = None,
+    max_nodes: int = 500,
+) -> str:
+    """Render ``graph`` as a DOT string, optionally coloured by chip.
+
+    Parameters
+    ----------
+    graph:
+        Graph to render.
+    assignment:
+        Optional ``(N,)`` chip assignment; nodes are grouped into chip
+        clusters when given.
+    max_nodes:
+        Refuse to render graphs beyond this size (Graphviz becomes
+        unusable); raise ``ValueError`` instead.
+    """
+    if graph.n_nodes > max_nodes:
+        raise ValueError(
+            f"graph has {graph.n_nodes} nodes; refusing to render more than "
+            f"{max_nodes} (pass a larger max_nodes to override)"
+        )
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=TB;", "  node [shape=box];"]
+
+    def node_line(i: int) -> str:
+        label = f"{graph.names[i]}\\n{OpType(int(graph.op_types[i])).name}"
+        return f'    n{i} [label="{label}"];'
+
+    if assignment is not None:
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if assignment.shape != (graph.n_nodes,):
+            raise ValueError(f"assignment must have shape ({graph.n_nodes},)")
+        for chip in sorted(set(assignment.tolist())):
+            color = _PALETTE[chip % len(_PALETTE)]
+            lines.append(f"  subgraph cluster_chip{chip} {{")
+            lines.append(f'    label="chip {chip}"; style=filled; color="{color}";')
+            for i in np.flatnonzero(assignment == chip):
+                lines.append(node_line(int(i)))
+            lines.append("  }")
+    else:
+        for i in range(graph.n_nodes):
+            lines.append(node_line(i))
+
+    for s, d in zip(graph.src.tolist(), graph.dst.tolist()):
+        lines.append(f"  n{s} -> n{d};")
+    lines.append("}")
+    return "\n".join(lines)

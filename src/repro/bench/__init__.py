@@ -1,0 +1,20 @@
+"""Benchmark harness: search-curve running, aggregation, table rendering."""
+
+from repro.bench.harness import (
+    BenchScale,
+    MethodCurve,
+    bench_scale,
+    geomean_curves,
+    run_methods,
+)
+from repro.bench.tables import format_table, samples_to_threshold_table
+
+__all__ = [
+    "BenchScale",
+    "bench_scale",
+    "MethodCurve",
+    "run_methods",
+    "geomean_curves",
+    "format_table",
+    "samples_to_threshold_table",
+]

@@ -1,0 +1,65 @@
+"""Text rendering of benchmark tables (paper Tables 2 and 3)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+def format_table(
+    headers: "Sequence[str]", rows: "Sequence[Sequence[str]]", title: str = ""
+) -> str:
+    """Render a fixed-width text table."""
+    columns = [list(col) for col in zip(headers, *rows)]
+    widths = [max(len(str(cell)) for cell in col) for col in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def samples_to_threshold_table(
+    curves: "Mapping[str, np.ndarray]",
+    thresholds: "Sequence[float]",
+    reference_method: str,
+    title: str = "",
+) -> str:
+    """Render the paper's sample-efficiency tables (Tables 2 and 3).
+
+    For each method and threshold: the number of samples to reach the
+    threshold, and in parentheses the reduction factor relative to
+    ``reference_method`` (the paper reports RL-from-scratch as 1.00x).
+    ``N.A.`` marks thresholds a method never reaches.
+    """
+    if reference_method not in curves:
+        raise ValueError(f"reference method {reference_method!r} not in curves")
+
+    def to_reach(curve: np.ndarray, threshold: float) -> "int | None":
+        hits = np.flatnonzero(curve >= threshold)
+        return int(hits[0]) + 1 if hits.size else None
+
+    reference = {
+        t: to_reach(np.asarray(curves[reference_method]), t) for t in thresholds
+    }
+    headers = ["Method"] + [f">= {t:.2f}x" for t in thresholds]
+    rows = []
+    for method, curve in curves.items():
+        curve = np.asarray(curve)
+        cells = [method]
+        for t in thresholds:
+            needed = to_reach(curve, t)
+            ref = reference[t]
+            if needed is None:
+                cells.append("N.A. (N.A.)")
+            elif ref is None:
+                cells.append(f"{needed} (inf)")
+            else:
+                cells.append(f"{needed} ({ref / needed:.2f}x)")
+        rows.append(cells)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,166 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``       summarise a graph (zoo name or .npz file)
+``partition``  search a partition and print the per-chip report
+``validate``   check an assignment file against the static constraints
+``zoo``        list the built-in zoo graphs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.report import analyze_partition, format_partition_report
+from repro.core.baselines import (
+    HillClimbing,
+    RandomSearch,
+    SimulatedAnnealing,
+    greedy_partition,
+)
+from repro.core.environment import PartitionEnvironment
+from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
+from repro.graphs.graph import CompGraph
+from repro.graphs.serialization import load_graph
+from repro.graphs.zoo import build_bert, build_cnn, build_lstm, build_mlp, build_residual_cnn
+from repro.hardware.analytical import AnalyticalCostModel
+from repro.hardware.package import MCMPackage
+from repro.hardware.simulator import PipelineSimulator
+from repro.rl.ppo import PPOConfig
+from repro.solver.constraints import validate_partition
+
+_ZOO = {
+    "bert": lambda: build_bert(layers=4, hidden=256, heads=8, seq=128, target_nodes=None),
+    "bert-large": build_bert,
+    "cnn": build_cnn,
+    "resnet": build_residual_cnn,
+    "lstm": build_lstm,
+    "mlp": build_mlp,
+}
+
+
+def _resolve_graph(spec: str) -> CompGraph:
+    """A zoo name or a path to a ``.npz`` saved graph."""
+    if spec in _ZOO:
+        return _ZOO[spec]()
+    if spec.endswith(".npz"):
+        return load_graph(spec)
+    raise SystemExit(
+        f"unknown graph {spec!r}: expected one of {sorted(_ZOO)} or a .npz path"
+    )
+
+
+def _cmd_info(args) -> int:
+    graph = _resolve_graph(args.graph)
+    print(graph.summary())
+    return 0
+
+
+def _cmd_zoo(args) -> int:
+    for name in sorted(_ZOO):
+        print(name)
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    graph = _resolve_graph(args.graph)
+    package = MCMPackage(n_chips=args.chips)
+    cost_model = (
+        PipelineSimulator(package) if args.platform == "simulator"
+        else AnalyticalCostModel(package)
+    )
+    env = PartitionEnvironment(graph, cost_model, args.chips, objective=args.objective)
+
+    if args.method == "greedy":
+        assignment = greedy_partition(graph, args.chips)
+        improvement = env.evaluate(assignment).improvement
+    else:
+        searchers = {
+            "random": lambda: RandomSearch(rng=args.seed),
+            "sa": lambda: SimulatedAnnealing(rng=args.seed),
+            "hill": lambda: HillClimbing(rng=args.seed),
+            "rl": lambda: RLPartitioner(
+                args.chips,
+                config=RLPartitionerConfig(
+                    hidden=64, n_sage_layers=4,
+                    ppo=PPOConfig(n_rollouts=10, n_minibatches=2, n_epochs=4),
+                ),
+                rng=args.seed,
+            ),
+        }
+        result = searchers[args.method]().search(env, args.samples)
+        if result.best_assignment is None:
+            print("no valid partition found", file=sys.stderr)
+            return 1
+        assignment, improvement = result.best_assignment, result.best_improvement
+
+    print(format_partition_report(analyze_partition(graph, assignment, package)))
+    print(f"\n{args.objective} improvement over greedy heuristic: {improvement:.3f}x")
+    if args.output:
+        np.save(args.output, assignment)
+        print(f"assignment written to {args.output}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    graph = _resolve_graph(args.graph)
+    assignment = np.load(args.assignment)
+    report = validate_partition(graph, assignment, args.chips)
+    if report.ok:
+        print("valid: all static constraints satisfied")
+        return 0
+    print(f"INVALID: {', '.join(report.violated)}")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MCM model partitioning toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="summarise a graph")
+    p_info.add_argument("graph", help="zoo name or .npz path")
+    p_info.set_defaults(fn=_cmd_info)
+
+    p_zoo = sub.add_parser("zoo", help="list built-in zoo graphs")
+    p_zoo.set_defaults(fn=_cmd_zoo)
+
+    p_part = sub.add_parser("partition", help="search a partition")
+    p_part.add_argument("graph", help="zoo name or .npz path")
+    p_part.add_argument("--chips", type=int, default=4)
+    p_part.add_argument(
+        "--method", choices=["greedy", "random", "sa", "hill", "rl"], default="rl"
+    )
+    p_part.add_argument("--samples", type=int, default=50)
+    p_part.add_argument("--seed", type=int, default=0)
+    p_part.add_argument(
+        "--platform", choices=["analytical", "simulator"], default="analytical"
+    )
+    p_part.add_argument(
+        "--objective", choices=["throughput", "latency"], default="throughput"
+    )
+    p_part.add_argument("--output", help="write the assignment to this .npy path")
+    p_part.set_defaults(fn=_cmd_partition)
+
+    p_val = sub.add_parser("validate", help="validate an assignment file")
+    p_val.add_argument("graph", help="zoo name or .npz path")
+    p_val.add_argument("assignment", help=".npy assignment path")
+    p_val.add_argument("--chips", type=int, default=4)
+    p_val.set_defaults(fn=_cmd_validate)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

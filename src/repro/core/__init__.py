@@ -1,0 +1,50 @@
+"""Core partitioner API: environment, RL partitioner, baselines, pipelines.
+
+Public entry points:
+
+* :class:`PartitionEnvironment` — wraps a cost model + static validation +
+  the reward definition (throughput improvement over a compiler heuristic).
+* :class:`RLPartitioner` — the paper's method: policy + constraint solver +
+  PPO, with ``search`` / ``zero_shot`` / ``fine_tune`` modes.
+* :func:`greedy_partition`, :class:`RandomSearch`,
+  :class:`SimulatedAnnealing`, :class:`UnconstrainedRL` — baselines.
+* :func:`pretrain`, :func:`select_checkpoint` — the pre-training pipeline.
+"""
+
+from repro.core.baselines import (
+    HillClimbing,
+    RandomSearch,
+    SearchResult,
+    SimulatedAnnealing,
+    UnconstrainedRL,
+    greedy_partition,
+    random_baseline_partition,
+)
+from repro.core.environment import PartitionEnvironment
+from repro.core.finetune import fine_tune_search, zero_shot_search
+from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
+from repro.core.pretrain import (
+    Checkpoint,
+    PretrainConfig,
+    pretrain,
+    select_checkpoint,
+)
+
+__all__ = [
+    "PartitionEnvironment",
+    "RLPartitioner",
+    "RLPartitionerConfig",
+    "SearchResult",
+    "greedy_partition",
+    "random_baseline_partition",
+    "RandomSearch",
+    "HillClimbing",
+    "SimulatedAnnealing",
+    "UnconstrainedRL",
+    "pretrain",
+    "select_checkpoint",
+    "Checkpoint",
+    "PretrainConfig",
+    "zero_shot_search",
+    "fine_tune_search",
+]

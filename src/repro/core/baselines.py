@@ -1,0 +1,285 @@
+"""Baseline partitioners: greedy compiler heuristic and search strategies.
+
+These reproduce the paper's comparison points (Section 5.1):
+
+* **Greedy heuristic** — the production-compiler baseline all improvements
+  are measured against: contiguous compute-balanced segments along a
+  topological order, with cut points adjusted so no edge spans more than one
+  chip boundary (which guarantees all static constraints).
+* **Random search** — uniform distribution into the solver's SAMPLE mode,
+  keep the best.
+* **Simulated annealing** — perturb a distribution over a random node
+  subset, sample through the solver, Metropolis-accept on throughput.
+* **Unconstrained RL** — the paper's "RL without constraint solver"
+  ablation, which cannot find valid partitions at realistic scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphs.graph import CompGraph
+from repro.solver.fallback import contiguous_partition
+from repro.solver.strategies import sample_partition
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class SearchResult:
+    """Common output of every search method.
+
+    Attributes
+    ----------
+    improvements:
+        Per-sample throughput improvement (0 for invalid samples), in the
+        order the samples were evaluated.
+    best_assignment:
+        The best valid partition found (``None`` if none was valid).
+    best_improvement:
+        Its improvement over the baseline heuristic.
+    """
+
+    improvements: np.ndarray
+    best_assignment: "np.ndarray | None"
+    best_improvement: float
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_samples(self) -> int:
+        """Number of environment evaluations consumed."""
+        return int(self.improvements.size)
+
+    def best_so_far(self) -> np.ndarray:
+        """Monotone best-improvement curve over samples (Figures 5/6)."""
+        return np.maximum.accumulate(self.improvements) if self.improvements.size else self.improvements
+
+    def samples_to_reach(self, threshold: float) -> "int | None":
+        """Samples needed to reach ``threshold`` improvement (Tables 2/3)."""
+        curve = self.best_so_far()
+        hits = np.flatnonzero(curve >= threshold)
+        return int(hits[0]) + 1 if hits.size else None
+
+
+# ----------------------------------------------------------------------
+# Greedy compiler heuristic
+# ----------------------------------------------------------------------
+def greedy_partition(graph: CompGraph, n_chips: int) -> np.ndarray:
+    """The production compiler's greedy heuristic (paper baseline).
+
+    Contiguous segments along a topological order, balanced by **node
+    count** — the over-simplified performance model the paper attributes to
+    production heuristics ("they often fail to find the optimal placement
+    due to their over-simplification of the performance model"): the number
+    of ops per chip is even, but a chip that collects the matmul-heavy ops
+    becomes the pipeline bottleneck, leaving the headroom that search-based
+    methods exploit.  Cut points are adjusted so no edge spans more than
+    one chip boundary, which guarantees the static constraints; see
+    :func:`repro.solver.fallback.contiguous_partition`.  Complexity is
+    ``O(N + E)``, matching the paper's description of compiler heuristics
+    as ``O(N)``-fast.
+    """
+    return contiguous_partition(graph, n_chips, weights=np.ones(graph.n_nodes))
+
+
+def random_baseline_partition(graph: CompGraph, n_chips: int, seed: int = 0) -> np.ndarray:
+    """The ``O(N)`` random-partition heuristic (paper Section 5.1).
+
+    One uniform draw through the solver's SAMPLE mode — the other fast
+    compiler heuristic the paper measures improvements against ("such as a
+    greedy algorithm and a random partition").
+    """
+    probs = np.full((graph.n_nodes, n_chips), 1.0 / n_chips)
+    return sample_partition(graph, probs, n_chips, rng=seed)
+
+
+# ----------------------------------------------------------------------
+# Random search
+# ----------------------------------------------------------------------
+class RandomSearch:
+    """Uniform-distribution SAMPLE-mode search (paper's Random baseline)."""
+
+    def __init__(self, rng=None):
+        self.rng = as_generator(rng)
+
+    def search(self, env, n_samples: int) -> SearchResult:
+        """Draw ``n_samples`` solver-valid partitions; keep the best."""
+        if n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        graph, n_chips = env.graph, env.n_chips
+        probs = np.full((graph.n_nodes, n_chips), 1.0 / n_chips)
+        improvements = np.zeros(n_samples)
+        best: "np.ndarray | None" = None
+        best_improvement = 0.0
+        for k in range(n_samples):
+            assignment = sample_partition(graph, probs, n_chips, rng=self.rng)
+            sample = env.evaluate(assignment)
+            improvements[k] = sample.improvement
+            if sample.improvement > best_improvement:
+                best, best_improvement = assignment, sample.improvement
+        return SearchResult(
+            improvements=improvements,
+            best_assignment=best,
+            best_improvement=best_improvement,
+        )
+
+
+# ----------------------------------------------------------------------
+# Simulated annealing
+# ----------------------------------------------------------------------
+class SimulatedAnnealing:
+    """Distribution-space simulated annealing through the solver.
+
+    Follows the paper's description: start from the uniform distribution;
+    each iteration re-randomises the distribution rows of a random node
+    subset, draws a partition through SAMPLE mode, and Metropolis-accepts
+    the new distribution based on measured throughput.
+
+    Parameters
+    ----------
+    perturb_fraction:
+        Fraction of nodes whose distribution is re-drawn per iteration.
+    initial_temperature:
+        Metropolis temperature in improvement units.
+    cooling:
+        Multiplicative temperature decay per iteration.
+    concentration:
+        Dirichlet concentration of re-drawn rows (1 = uniform simplex).
+    """
+
+    def __init__(
+        self,
+        perturb_fraction: float = 0.1,
+        initial_temperature: float = 0.05,
+        cooling: float = 0.995,
+        concentration: float = 0.5,
+        rng=None,
+    ):
+        if not (0 < perturb_fraction <= 1):
+            raise ValueError("perturb_fraction must be in (0, 1]")
+        if initial_temperature <= 0 or not (0 < cooling <= 1):
+            raise ValueError("invalid annealing schedule")
+        self.perturb_fraction = perturb_fraction
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self.concentration = concentration
+        self.rng = as_generator(rng)
+
+    def search(self, env, n_samples: int) -> SearchResult:
+        """Run ``n_samples`` annealing iterations (one evaluation each)."""
+        if n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        graph, n_chips = env.graph, env.n_chips
+        rng = self.rng
+        n = graph.n_nodes
+        probs = np.full((n, n_chips), 1.0 / n_chips)
+        current_score = -np.inf
+        temperature = self.initial_temperature
+
+        improvements = np.zeros(n_samples)
+        best: "np.ndarray | None" = None
+        best_improvement = 0.0
+        n_perturb = max(1, int(round(self.perturb_fraction * n)))
+        for k in range(n_samples):
+            proposal = probs.copy()
+            nodes = rng.choice(n, size=n_perturb, replace=False)
+            proposal[nodes] = rng.dirichlet(
+                np.full(n_chips, self.concentration), size=n_perturb
+            )
+            assignment = sample_partition(graph, proposal, n_chips, rng=rng)
+            sample = env.evaluate(assignment)
+            improvements[k] = sample.improvement
+            if sample.improvement > best_improvement:
+                best, best_improvement = assignment, sample.improvement
+
+            delta = sample.improvement - current_score
+            if delta >= 0 or rng.random() < np.exp(delta / max(temperature, 1e-9)):
+                probs = proposal
+                current_score = sample.improvement
+            temperature *= self.cooling
+        return SearchResult(
+            improvements=improvements,
+            best_assignment=best,
+            best_improvement=best_improvement,
+        )
+
+
+# ----------------------------------------------------------------------
+# Hill climbing (extension baseline)
+# ----------------------------------------------------------------------
+class HillClimbing:
+    """Greedy local search over single-node moves.
+
+    Not in the paper's comparison, but the classic compiler alternative:
+    start from the greedy heuristic's partition and repeatedly move one
+    node to a different chip, keeping the move when the (statically valid)
+    result improves measured throughput.  Gets stuck in local optima that
+    the solver-guided samplers escape — a useful contrast.
+    """
+
+    def __init__(self, rng=None, restart_after: int = 50):
+        if restart_after < 1:
+            raise ValueError("restart_after must be >= 1")
+        self.rng = as_generator(rng)
+        self.restart_after = restart_after
+
+    def search(self, env, n_samples: int) -> SearchResult:
+        """Run ``n_samples`` move evaluations from the greedy start."""
+        if n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        graph, n_chips = env.graph, env.n_chips
+        rng = self.rng
+
+        current = greedy_partition(graph, n_chips)
+        current_score = env.evaluate(current).improvement
+        improvements = np.zeros(n_samples)
+        best = current.copy()
+        best_improvement = current_score
+        since_accept = 0
+        for k in range(n_samples):
+            proposal = current.copy()
+            node = int(rng.integers(0, graph.n_nodes))
+            choices = [c for c in range(n_chips) if c != current[node]]
+            proposal[node] = int(rng.choice(choices))
+            sample = env.evaluate(proposal)
+            improvements[k] = sample.improvement
+            if sample.improvement > current_score:
+                current, current_score = proposal, sample.improvement
+                since_accept = 0
+            else:
+                since_accept += 1
+                if since_accept >= self.restart_after:
+                    # stuck: restart from a fresh random valid partition
+                    current = random_baseline_partition(
+                        graph, n_chips, seed=int(rng.integers(0, 2**31))
+                    )
+                    current_score = env.evaluate(current).improvement
+                    since_accept = 0
+            if sample.improvement > best_improvement:
+                best, best_improvement = proposal.copy(), sample.improvement
+        return SearchResult(
+            improvements=improvements,
+            best_assignment=best,
+            best_improvement=best_improvement,
+        )
+
+
+# ----------------------------------------------------------------------
+# RL without the constraint solver (ablation)
+# ----------------------------------------------------------------------
+class UnconstrainedRL:
+    """The paper's "RL without constraint solver" ablation.
+
+    Samples partitions directly from the policy's probability matrix; the
+    platform returns zero throughput for invalid partitions.  At realistic
+    scales the reward space is so sparse that training never sees a valid
+    sample (paper Section 5.1).
+    """
+
+    def __init__(self, partitioner):
+        self.partitioner = partitioner
+
+    def search(self, env, n_samples: int) -> SearchResult:
+        """Run the RL loop with the solver bypassed."""
+        return self.partitioner.search(env, n_samples, use_solver=False)

@@ -1,0 +1,117 @@
+"""The partitioning environment: evaluation, validity, and reward.
+
+The environment is the only object search algorithms talk to.  It applies
+the platform's behaviour from the paper: statically invalid partitions and
+partitions failing the dynamic constraint return **zero throughput**, and
+rewards are throughput *improvements over the compiler heuristic* (the
+paper's reporting metric in Figures 5 and 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.baselines import greedy_partition
+from repro.graphs.graph import CompGraph
+from repro.hardware.base import CostModel, EvaluationResult
+from repro.solver.constraints import validate_partition
+
+
+@dataclass(frozen=True)
+class EnvSample:
+    """One environment evaluation.
+
+    Attributes
+    ----------
+    assignment:
+        The evaluated partition.
+    result:
+        Raw cost-model outcome.
+    improvement:
+        ``throughput / baseline_throughput`` (0 for invalid partitions).
+    """
+
+    assignment: np.ndarray
+    result: EvaluationResult
+    improvement: float
+
+
+class PartitionEnvironment:
+    """Evaluate partitions of one graph on one platform.
+
+    Parameters
+    ----------
+    graph:
+        The workload being partitioned.
+    cost_model:
+        Platform implementation (analytical model or pipeline simulator).
+    n_chips:
+        Number of chiplets.
+    check_static:
+        Validate Equations 2-4 before invoking the cost model; invalid
+        partitions score zero throughput, as on the paper's platform.
+    baseline_assignment:
+        Reference partition for the improvement metric; defaults to the
+        greedy compiler heuristic.
+    objective:
+        ``"throughput"`` (the paper's primary metric) or ``"latency"``
+        ("our framework can easily re-target a latency metric", §5.1);
+        improvements are throughput ratio or latency reduction ratio
+        respectively.
+    """
+
+    def __init__(
+        self,
+        graph: CompGraph,
+        cost_model: CostModel,
+        n_chips: int,
+        check_static: bool = True,
+        baseline_assignment: "np.ndarray | None" = None,
+        objective: str = "throughput",
+    ):
+        if objective not in ("throughput", "latency"):
+            raise ValueError("objective must be 'throughput' or 'latency'")
+        self.graph = graph
+        self.cost_model = cost_model
+        self.n_chips = n_chips
+        self.check_static = check_static
+        self.objective = objective
+        self.n_samples = 0
+
+        if baseline_assignment is None:
+            baseline_assignment = greedy_partition(graph, n_chips)
+        self.baseline_assignment = np.asarray(baseline_assignment, dtype=np.int64)
+        baseline_result = cost_model.evaluate(graph, self.baseline_assignment)
+        if not baseline_result.valid:
+            raise ValueError(
+                "baseline partition is invalid on this platform "
+                f"({baseline_result.failure_reason}); cannot define improvements"
+            )
+        self.baseline_throughput = baseline_result.throughput
+        self.baseline_latency_us = baseline_result.latency_us
+
+    def evaluate(self, assignment) -> EnvSample:
+        """Score one partition; counts toward the sample budget."""
+        assignment = np.asarray(assignment, dtype=np.int64)
+        self.n_samples += 1
+        if self.check_static:
+            report = validate_partition(self.graph, assignment, self.n_chips)
+            if not report.ok:
+                result = EvaluationResult.invalid(
+                    "static:" + ",".join(report.violated), self.n_chips
+                )
+                return EnvSample(assignment=assignment, result=result, improvement=0.0)
+        result = self.cost_model.evaluate(self.graph, assignment)
+        if not result.valid:
+            improvement = 0.0
+        elif self.objective == "throughput":
+            improvement = result.throughput / self.baseline_throughput
+        else:
+            improvement = self.baseline_latency_us / result.latency_us
+        return EnvSample(assignment=assignment, result=result, improvement=improvement)
+
+    def reward(self, sample: EnvSample) -> float:
+        """RL reward for a sample: its throughput improvement."""
+        return sample.improvement

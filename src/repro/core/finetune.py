@@ -1,0 +1,36 @@
+"""Deployment helpers: zero-shot and fine-tuning on an unseen graph.
+
+These are the paper's two deployment modes (Figure 4, right): load the
+optimal pre-trained checkpoint, then either run frozen-policy inference
+(zero-shot) or continue PPO updates against the target platform
+(fine-tuning, which recovers from-scratch quality in a fraction of the
+samples — Tables 2 and 3).
+"""
+
+from __future__ import annotations
+
+from repro.core.baselines import SearchResult
+from repro.core.environment import PartitionEnvironment
+from repro.core.partitioner import RLPartitioner
+
+
+def zero_shot_search(
+    partitioner: RLPartitioner,
+    pretrained_state: dict,
+    env: PartitionEnvironment,
+    n_samples: int,
+) -> SearchResult:
+    """Frozen-policy search from a pre-trained checkpoint."""
+    partitioner.load_state_dict(pretrained_state)
+    return partitioner.search(env, n_samples, train=False)
+
+
+def fine_tune_search(
+    partitioner: RLPartitioner,
+    pretrained_state: dict,
+    env: PartitionEnvironment,
+    n_samples: int,
+) -> SearchResult:
+    """Fine-tuning search: PPO updates warm-started from a checkpoint."""
+    partitioner.load_state_dict(pretrained_state)
+    return partitioner.search(env, n_samples, train=True)

@@ -1,0 +1,215 @@
+"""The paper's method: RL + constraint solver partitioner.
+
+One search iteration (Figure 3):
+
+1. the policy proposes a candidate partition ``y`` and probability matrix
+   ``P`` via iterative refinement,
+2. the constraint solver repairs it into a valid ``y'`` (FIX mode by
+   default — the paper found it outperforms SAMPLE),
+3. the environment evaluates ``y'``; its throughput improvement is the
+   reward assigned to the action ``y``,
+4. every ``n_rollouts`` samples, PPO updates the policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.baselines import SearchResult
+from repro.core.environment import PartitionEnvironment
+from repro.nn import functional as F
+from repro.rl.features import GraphFeatures, featurize
+from repro.rl.policy import PartitionPolicy
+from repro.rl.ppo import PPOConfig, PPOTrainer
+from repro.rl.rollout import Rollout, RolloutBuffer
+from repro.solver.strategies import fix_partition, sample_partition
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class RLPartitionerConfig:
+    """Configuration of the RL partitioner (defaults follow Section 5.1).
+
+    ``solver_mode`` selects how the constraint solver turns policy output
+    into a valid partition: ``"sample"`` draws through Algorithm 1 using the
+    policy's probability matrix; ``"fix"`` repairs the sampled candidate via
+    Algorithm 2.  The paper reports FIX outperforming SAMPLE on CP-SAT; with
+    this repo's chronological-back-tracking solver the trade-off flips
+    (see the solver-mode ablation bench), so SAMPLE is the default.
+    """
+
+    hidden: int = 128
+    n_sage_layers: int = 8
+    n_policy_layers: int = 2
+    refine_iters: int = 2
+    solver_mode: str = "sample"
+    explore_eps: float = 0.1
+    ppo: PPOConfig = PPOConfig()
+
+    def __post_init__(self):
+        if self.solver_mode not in ("fix", "sample"):
+            raise ValueError("solver_mode must be 'fix' or 'sample'")
+        if not (0.0 <= self.explore_eps < 1.0):
+            raise ValueError("explore_eps must be in [0, 1)")
+
+
+class RLPartitioner:
+    """Constrained deep-RL partitioner with pre-train / fine-tune support.
+
+    Parameters
+    ----------
+    n_chips:
+        Number of chiplets the policy targets (fixed per instance).
+    config:
+        Network + PPO configuration.
+    rng:
+        Seed or generator for sampling and PPO shuffling.
+    """
+
+    def __init__(
+        self,
+        n_chips: int,
+        config: "RLPartitionerConfig | None" = None,
+        rng=None,
+    ):
+        self.n_chips = n_chips
+        self.config = config or RLPartitionerConfig()
+        self.rng = as_generator(rng)
+        self.policy = PartitionPolicy(
+            n_chips=n_chips,
+            hidden=self.config.hidden,
+            n_sage_layers=self.config.n_sage_layers,
+            n_policy_layers=self.config.n_policy_layers,
+            refine_iters=self.config.refine_iters,
+            rng=self.rng,
+        )
+        self.trainer = PPOTrainer(self.policy, self.config.ppo, rng=self.rng)
+
+    # ------------------------------------------------------------------
+    # Weights
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Policy weights (for checkpointing)."""
+        return self.policy.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore policy weights from :meth:`state_dict`."""
+        self.policy.load_state_dict(state)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        env: PartitionEnvironment,
+        n_samples: int,
+        train: bool = True,
+        use_solver: bool = True,
+        features: "GraphFeatures | None" = None,
+    ) -> SearchResult:
+        """Run the constrained-RL search loop for ``n_samples`` evaluations.
+
+        Parameters
+        ----------
+        env:
+            Environment for one graph + platform.
+        n_samples:
+            Evaluation budget (each sample costs one hardware/cost-model
+            evaluation, the paper's x-axis).
+        train:
+            Update the policy with PPO (disable for zero-shot deployment).
+        use_solver:
+            Repair candidates with the constraint solver; disabling this
+            reproduces the paper's "RL without constraint solver" ablation.
+        features:
+            Optional precomputed featurisation of ``env.graph``.
+        """
+        if n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        if env.n_chips != self.n_chips:
+            raise ValueError(
+                f"environment has {env.n_chips} chips, policy expects {self.n_chips}"
+            )
+        graph = env.graph
+        feats = features if features is not None else featurize(graph)
+        if feats.n_nodes != graph.n_nodes:
+            raise ValueError(
+                f"features are for a {feats.n_nodes}-node graph, "
+                f"environment graph has {graph.n_nodes}"
+            )
+
+        improvements = np.zeros(n_samples)
+        best: "np.ndarray | None" = None
+        best_improvement = 0.0
+        buffer = RolloutBuffer()
+        n_rollouts = self.trainer.config.n_rollouts
+
+        eps = self.config.explore_eps
+        for k in range(n_samples):
+            candidate, conditioning, probs = self.policy.propose(feats, rng=self.rng)
+            # Behaviour policy: the network's distribution smoothed with an
+            # epsilon of uniform exploration, so a sharply pre-trained
+            # policy keeps probing the space during (fine-)tuning.
+            if train and eps > 0.0:
+                probs = (1.0 - eps) * probs + eps / self.n_chips
+            if use_solver:
+                if self.config.solver_mode == "fix":
+                    repaired = fix_partition(graph, candidate, self.n_chips, rng=self.rng)
+                else:
+                    repaired = sample_partition(graph, probs, self.n_chips, rng=self.rng)
+            else:
+                repaired = candidate
+            sample = env.evaluate(repaired)
+            improvements[k] = sample.improvement
+            if sample.improvement > best_improvement:
+                best, best_improvement = repaired.copy(), sample.improvement
+
+            if train:
+                # Train on the *repaired* action y': it is the partition the
+                # reward was measured on, so reinforcing it couples the
+                # gradient to the environment signal even while the raw
+                # candidates are still far from valid (the solver acts as an
+                # action-correction layer, cf. Section 4.1: "we use the
+                # reward of y' rather than directly using the reward of y").
+                action = repaired if use_solver else candidate
+                log_prob = np.log(
+                    probs[np.arange(graph.n_nodes), action] + 1e-12
+                )
+                out_value = self._value_of(feats, conditioning)
+                buffer.add(
+                    Rollout(
+                        conditioning=conditioning,
+                        candidate=action,
+                        repaired=repaired,
+                        log_prob=log_prob,
+                        value=out_value,
+                        reward=env.reward(sample),
+                    )
+                )
+                if len(buffer) >= n_rollouts:
+                    self.trainer.update(feats, buffer)
+                    buffer.clear()
+
+        return SearchResult(
+            improvements=improvements,
+            best_assignment=best,
+            best_improvement=best_improvement,
+            metadata={"trained": train, "use_solver": use_solver},
+        )
+
+    def _value_of(self, feats: GraphFeatures, conditioning: np.ndarray) -> float:
+        """Baseline value estimate for one conditioning placement."""
+        out = self.policy.forward_batch(feats, conditioning[None, :])
+        return float(out.values.data[0])
+
+    # ------------------------------------------------------------------
+    def propose_best(
+        self, env: PartitionEnvironment, n_samples: int = 1
+    ) -> tuple[np.ndarray, float]:
+        """Zero-shot: draw ``n_samples`` without training, return the best."""
+        result = self.search(env, n_samples, train=False)
+        if result.best_assignment is None:
+            raise RuntimeError("no valid partition found")
+        return result.best_assignment, result.best_improvement

@@ -1,0 +1,188 @@
+"""Pre-training pipeline (paper Section 4.3 and Figure 4).
+
+Two workers:
+
+* **Training worker** — iterates over the training graphs, running the
+  constrained-RL loop with the analytical cost model as reward, and
+  snapshots the policy weights periodically (the paper: 20,000 samples,
+  200 checkpoints, a few hours on the analytical model).
+* **Validation worker** — replays every checkpoint on the validation
+  graphs (zero-shot and/or a short fine-tune) and picks the checkpoint
+  with the best average reward for deployment.
+
+This module implements both sequentially; they are logically independent
+processes in the paper's production setting.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.environment import PartitionEnvironment
+from repro.core.partitioner import RLPartitioner
+from repro.graphs.graph import CompGraph
+from repro.rl.features import featurize
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class Checkpoint:
+    """A snapshot of policy weights during pre-training.
+
+    Attributes
+    ----------
+    step:
+        Number of training samples consumed when the snapshot was taken.
+    state:
+        Policy ``state_dict``.
+    score:
+        Validation score (filled by :func:`select_checkpoint`).
+    """
+
+    step: int
+    state: dict
+    score: "float | None" = None
+
+
+@dataclass(frozen=True)
+class PretrainConfig:
+    """Pre-training hyper-parameters (paper defaults, scaled via arguments).
+
+    Attributes
+    ----------
+    total_samples:
+        Total environment samples across all training graphs (paper: 20000).
+    n_checkpoints:
+        Number of weight snapshots to keep (paper: 200).
+    samples_per_graph:
+        Contiguous samples spent on one graph before rotating to the next;
+        kept equal to one PPO buffer by default.
+    """
+
+    total_samples: int = 20000
+    n_checkpoints: int = 200
+    samples_per_graph: int = 20
+
+    def __post_init__(self):
+        if self.total_samples < 1 or self.n_checkpoints < 1 or self.samples_per_graph < 1:
+            raise ValueError("pretraining sizes must be >= 1")
+
+
+def pretrain(
+    partitioner: RLPartitioner,
+    graphs: "Sequence[CompGraph]",
+    env_factory: "Callable[[CompGraph], PartitionEnvironment]",
+    config: "PretrainConfig | None" = None,
+    progress: "Callable[[int, float], None] | None" = None,
+) -> list[Checkpoint]:
+    """Run the training worker; returns the checkpoint sequence.
+
+    Parameters
+    ----------
+    partitioner:
+        The RL partitioner to train (modified in place).
+    graphs:
+        Training graphs (the paper's 66-graph split).
+    env_factory:
+        Builds the environment (cost model + baseline) for each graph.
+    config:
+        Budget and checkpoint cadence.
+    progress:
+        Optional callback ``(samples_done, mean_improvement)`` per rotation.
+    """
+    if not graphs:
+        raise ValueError("graphs must be non-empty")
+    cfg = config or PretrainConfig()
+    envs = [env_factory(g) for g in graphs]
+    feats = [featurize(g) for g in graphs]
+
+    checkpoints: list[Checkpoint] = []
+    every = max(cfg.total_samples // cfg.n_checkpoints, 1)
+    next_checkpoint = every
+
+    done = 0
+    g_idx = 0
+    while done < cfg.total_samples:
+        budget = min(cfg.samples_per_graph, cfg.total_samples - done)
+        env = envs[g_idx % len(envs)]
+        result = partitioner.search(
+            env, budget, train=True, features=feats[g_idx % len(feats)]
+        )
+        done += budget
+        g_idx += 1
+        if progress is not None:
+            progress(done, float(result.improvements.mean()))
+        while done >= next_checkpoint:
+            checkpoints.append(Checkpoint(step=done, state=partitioner.state_dict()))
+            next_checkpoint += every
+    if not checkpoints or checkpoints[-1].step != done:
+        checkpoints.append(Checkpoint(step=done, state=partitioner.state_dict()))
+    return checkpoints
+
+
+def save_checkpoints(checkpoints: "Sequence[Checkpoint]", path: str) -> None:
+    """Persist a checkpoint sequence to disk (pickle)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "wb") as fh:
+        pickle.dump(
+            [{"step": c.step, "state": c.state, "score": c.score} for c in checkpoints],
+            fh,
+        )
+
+
+def load_checkpoints(path: str) -> list[Checkpoint]:
+    """Load a checkpoint sequence written by :func:`save_checkpoints`."""
+    with open(path, "rb") as fh:
+        raw = pickle.load(fh)
+    return [Checkpoint(step=c["step"], state=c["state"], score=c["score"]) for c in raw]
+
+
+def select_checkpoint(
+    checkpoints: "Sequence[Checkpoint]",
+    partitioner: RLPartitioner,
+    graphs: "Sequence[CompGraph]",
+    env_factory: "Callable[[CompGraph], PartitionEnvironment]",
+    zero_shot_samples: int = 4,
+    finetune_samples: int = 0,
+    rng=None,
+) -> Checkpoint:
+    """Run the validation worker; returns the best-scoring checkpoint.
+
+    Each checkpoint is scored by the mean best improvement over the
+    validation graphs using ``zero_shot_samples`` frozen-policy draws,
+    optionally followed by ``finetune_samples`` of fine-tuning.  Scores are
+    recorded on the checkpoints in place.
+    """
+    if not checkpoints:
+        raise ValueError("checkpoints must be non-empty")
+    if not graphs:
+        raise ValueError("graphs must be non-empty")
+    rng = as_generator(rng)
+    feats = [featurize(g) for g in graphs]
+
+    best: "Checkpoint | None" = None
+    for ckpt in checkpoints:
+        scores = []
+        for g, f in zip(graphs, feats):
+            env = env_factory(g)
+            partitioner.load_state_dict(ckpt.state)
+            result = partitioner.search(
+                env, zero_shot_samples, train=False, features=f
+            )
+            score = result.best_improvement
+            if finetune_samples > 0:
+                ft = partitioner.search(
+                    env, finetune_samples, train=True, features=f
+                )
+                score = max(score, ft.best_improvement)
+            scores.append(score)
+        ckpt.score = float(np.mean(scores))
+        if best is None or ckpt.score > best.score:
+            best = ckpt
+    return best

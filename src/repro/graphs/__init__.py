@@ -1,0 +1,13 @@
+"""Computation-graph intermediate representation and model zoo.
+
+The IR is deliberately close to what an ML compiler sees after lowering: a
+directed acyclic graph of tensor operations, where every node carries a
+compute-latency estimate, the byte size of its output tensor, and the byte
+size of any parameters that must be resident on the chip executing it.
+"""
+
+from repro.graphs.builders import GraphBuilder
+from repro.graphs.graph import CompGraph
+from repro.graphs.ops import OpCategory, OpType
+
+__all__ = ["CompGraph", "GraphBuilder", "OpType", "OpCategory"]

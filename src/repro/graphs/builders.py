@@ -1,0 +1,127 @@
+"""Incremental construction of :class:`CompGraph` instances.
+
+The builder is the single mutation point in the IR: zoo generators append
+nodes and edges through it and call :meth:`GraphBuilder.build` to freeze the
+result into an immutable, validated graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.graphs.graph import CompGraph
+from repro.graphs.ops import OpType
+
+
+class GraphBuilder:
+    """Accumulates nodes and edges, then freezes them into a ``CompGraph``.
+
+    Example
+    -------
+    >>> b = GraphBuilder("toy")
+    >>> x = b.add_node("x", OpType.INPUT, compute_us=0.0, output_bytes=1024)
+    >>> y = b.add_node("y", OpType.RELU, compute_us=2.0, output_bytes=1024,
+    ...                inputs=[x])
+    >>> g = b.build()
+    >>> g.n_nodes, g.n_edges
+    (2, 1)
+    """
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self._names: list[str] = []
+        self._op_types: list[int] = []
+        self._compute_us: list[float] = []
+        self._output_bytes: list[float] = []
+        self._param_bytes: list[float] = []
+        self._src: list[int] = []
+        self._dst: list[int] = []
+        self._edge_set: set[tuple[int, int]] = set()
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes added so far."""
+        return len(self._names)
+
+    def add_node(
+        self,
+        name: str,
+        op_type: OpType,
+        compute_us: float = 0.0,
+        output_bytes: float = 0.0,
+        param_bytes: float = 0.0,
+        inputs: "Sequence[int] | None" = None,
+    ) -> int:
+        """Append a node and edges from each id in ``inputs``; return its id."""
+        if compute_us < 0 or output_bytes < 0 or param_bytes < 0:
+            raise ValueError("node costs must be non-negative")
+        node_id = len(self._names)
+        self._names.append(name)
+        self._op_types.append(int(op_type))
+        self._compute_us.append(float(compute_us))
+        self._output_bytes.append(float(output_bytes))
+        self._param_bytes.append(float(param_bytes))
+        if inputs is not None:
+            for src in inputs:
+                self.add_edge(src, node_id)
+        return node_id
+
+    def add_edge(self, src: int, dst: int) -> None:
+        """Add a dependency edge ``src -> dst`` (duplicates are ignored)."""
+        if not (0 <= src < len(self._names)):
+            raise ValueError(f"unknown source node {src}")
+        if not (0 <= dst < len(self._names)):
+            raise ValueError(f"unknown destination node {dst}")
+        if src == dst:
+            raise ValueError("self loops are not allowed")
+        key = (src, dst)
+        if key in self._edge_set:
+            return
+        self._edge_set.add(key)
+        self._src.append(src)
+        self._dst.append(dst)
+
+    def add_chain(
+        self,
+        specs: Iterable[tuple],
+        inputs: "Sequence[int] | None" = None,
+    ) -> list[int]:
+        """Add a linear chain of nodes.
+
+        ``specs`` yields ``(name, op_type, compute_us, output_bytes[, param_bytes])``
+        tuples; each node consumes the previous one (the first consumes
+        ``inputs``).  Returns the list of created node ids.
+        """
+        ids: list[int] = []
+        prev: "Sequence[int] | None" = inputs
+        for spec in specs:
+            name, op_type, compute_us, output_bytes = spec[:4]
+            param_bytes = spec[4] if len(spec) > 4 else 0.0
+            nid = self.add_node(
+                name,
+                op_type,
+                compute_us=compute_us,
+                output_bytes=output_bytes,
+                param_bytes=param_bytes,
+                inputs=prev,
+            )
+            ids.append(nid)
+            prev = [nid]
+        return ids
+
+    def build(self) -> CompGraph:
+        """Freeze the accumulated nodes/edges into an immutable graph."""
+        if not self._names:
+            raise ValueError("cannot build an empty graph")
+        return CompGraph(
+            names=tuple(self._names),
+            op_types=np.array(self._op_types, dtype=np.int64),
+            compute_us=np.array(self._compute_us, dtype=np.float64),
+            output_bytes=np.array(self._output_bytes, dtype=np.float64),
+            param_bytes=np.array(self._param_bytes, dtype=np.float64),
+            src=np.array(self._src, dtype=np.int64),
+            dst=np.array(self._dst, dtype=np.int64),
+            name=self.name,
+        )

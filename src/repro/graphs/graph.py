@@ -1,0 +1,310 @@
+"""The :class:`CompGraph` computation-graph container.
+
+Storage is vectorised: node attributes are NumPy arrays indexed by node id,
+edges are parallel ``src``/``dst`` arrays plus CSR-style adjacency indices.
+Graphs are immutable once constructed (build them with
+:class:`repro.graphs.GraphBuilder`), which lets downstream components cache
+derived quantities such as topological order and depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphs.ops import OpType, category_of
+
+
+def _build_csr(n_nodes: int, keys: np.ndarray, values: np.ndarray):
+    """Group ``values`` by ``keys`` (both length-E) into CSR (indptr, data)."""
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    data = values[order]
+    counts = np.bincount(sorted_keys, minlength=n_nodes)
+    indptr = np.zeros(n_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, data
+
+
+@dataclass(frozen=True)
+class CompGraph:
+    """An immutable DAG of tensor operations.
+
+    Parameters
+    ----------
+    names:
+        Human readable node names, one per node.
+    op_types:
+        ``(N,)`` integer array of :class:`repro.graphs.OpType` values.
+    compute_us:
+        ``(N,)`` float array: estimated compute latency of each node in
+        microseconds on one chiplet.
+    output_bytes:
+        ``(N,)`` float array: size of each node's output tensor in bytes.
+    param_bytes:
+        ``(N,)`` float array: parameter bytes that must be resident on the
+        chip executing the node.
+    src, dst:
+        ``(E,)`` integer arrays defining directed edges ``src[i] -> dst[i]``.
+    name:
+        Optional graph-level name (e.g. ``"bert_large"``).
+    """
+
+    names: tuple
+    op_types: np.ndarray
+    compute_us: np.ndarray
+    output_bytes: np.ndarray
+    param_bytes: np.ndarray
+    src: np.ndarray
+    dst: np.ndarray
+    name: str = "graph"
+    _cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    # Construction / validation
+    # ------------------------------------------------------------------
+    def __post_init__(self):
+        n = len(self.names)
+        for attr in ("op_types", "compute_us", "output_bytes", "param_bytes"):
+            arr = getattr(self, attr)
+            if arr.shape != (n,):
+                raise ValueError(f"{attr} must have shape ({n},), got {arr.shape}")
+        if self.src.shape != self.dst.shape:
+            raise ValueError("src and dst must have equal shapes")
+        if self.src.size:
+            if self.src.min() < 0 or self.src.max() >= n:
+                raise ValueError("edge source out of range")
+            if self.dst.min() < 0 or self.dst.max() >= n:
+                raise ValueError("edge destination out of range")
+            if np.any(self.src == self.dst):
+                raise ValueError("self loops are not allowed")
+        if np.any(self.compute_us < 0):
+            raise ValueError("compute_us must be non-negative")
+        if np.any(self.output_bytes < 0):
+            raise ValueError("output_bytes must be non-negative")
+        if np.any(self.param_bytes < 0):
+            raise ValueError("param_bytes must be non-negative")
+        # Topological order doubles as the acyclicity check.
+        self.topological_order()
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of operations in the graph."""
+        return len(self.names)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of dependency edges."""
+        return int(self.src.size)
+
+    def __len__(self) -> int:
+        return self.n_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompGraph(name={self.name!r}, nodes={self.n_nodes}, "
+            f"edges={self.n_edges}, params={self.total_param_bytes() / 2**20:.1f}MiB)"
+        )
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+    def _out_csr(self):
+        if "out_csr" not in self._cache:
+            self._cache["out_csr"] = _build_csr(self.n_nodes, self.src, self.dst)
+        return self._cache["out_csr"]
+
+    def _in_csr(self):
+        if "in_csr" not in self._cache:
+            self._cache["in_csr"] = _build_csr(self.n_nodes, self.dst, self.src)
+        return self._cache["in_csr"]
+
+    def successors(self, node: int) -> np.ndarray:
+        """Node ids with an edge ``node -> id``."""
+        indptr, data = self._out_csr()
+        return data[indptr[node] : indptr[node + 1]]
+
+    def predecessors(self, node: int) -> np.ndarray:
+        """Node ids with an edge ``id -> node``."""
+        indptr, data = self._in_csr()
+        return data[indptr[node] : indptr[node + 1]]
+
+    def out_degree(self) -> np.ndarray:
+        """``(N,)`` array of out-degrees."""
+        return np.bincount(self.src, minlength=self.n_nodes)
+
+    def in_degree(self) -> np.ndarray:
+        """``(N,)`` array of in-degrees."""
+        return np.bincount(self.dst, minlength=self.n_nodes)
+
+    # ------------------------------------------------------------------
+    # Order / depth
+    # ------------------------------------------------------------------
+    def topological_order(self) -> np.ndarray:
+        """A topological order of node ids (Kahn's algorithm, cached).
+
+        Raises ``ValueError`` if the graph contains a cycle.
+        """
+        if "topo" in self._cache:
+            return self._cache["topo"]
+        n = self.n_nodes
+        indeg = self.in_degree().copy()
+        out_indptr, out_data = self._out_csr()
+        order = np.empty(n, dtype=np.int64)
+        frontier = list(np.flatnonzero(indeg == 0))
+        k = 0
+        while frontier:
+            u = frontier.pop()
+            order[k] = u
+            k += 1
+            for v in out_data[out_indptr[u] : out_indptr[u + 1]]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    frontier.append(int(v))
+        if k != n:
+            raise ValueError("graph contains a cycle")
+        self._cache["topo"] = order
+        return order
+
+    def random_topological_order(self, rng) -> np.ndarray:
+        """A uniformly perturbed linear extension of the DAG.
+
+        Kahn's algorithm with random priorities: every prefix respects the
+        partial order, while ties are broken randomly so repeated calls
+        explore different linear extensions.
+        """
+        import heapq
+
+        n = self.n_nodes
+        priority = rng.random(n)
+        indeg = self.in_degree().copy()
+        out_indptr, out_data = self._out_csr()
+        heap = [(priority[u], int(u)) for u in np.flatnonzero(indeg == 0)]
+        heapq.heapify(heap)
+        order = np.empty(n, dtype=np.int64)
+        k = 0
+        while heap:
+            _, u = heapq.heappop(heap)
+            order[k] = u
+            k += 1
+            for v in out_data[out_indptr[u] : out_indptr[u + 1]]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    heapq.heappush(heap, (priority[v], int(v)))
+        if k != n:
+            raise ValueError("graph contains a cycle")
+        return order
+
+    def compute_position(self) -> np.ndarray:
+        """Cumulative compute fraction of each node along a topological order.
+
+        Measures "how far through the pipeline" each op sits, in (0, 1]; a
+        balanced contiguous split onto ``C`` chips puts node ``u`` near chip
+        ``floor(position[u] * C)``.
+        """
+        if "position" not in self._cache:
+            order = self.topological_order()
+            cum = np.cumsum(self.compute_us[order])
+            total = max(float(cum[-1]), 1e-12)
+            position = np.empty(self.n_nodes)
+            position[order] = cum / total
+            self._cache["position"] = position
+        return self._cache["position"]
+
+    def depth(self) -> np.ndarray:
+        """Longest path length (in edges) from any source to each node."""
+        if "depth" in self._cache:
+            return self._cache["depth"]
+        depth = np.zeros(self.n_nodes, dtype=np.int64)
+        in_indptr, in_data = self._in_csr()
+        for u in self.topological_order():
+            preds = in_data[in_indptr[u] : in_indptr[u + 1]]
+            if preds.size:
+                depth[u] = depth[preds].max() + 1
+        self._cache["depth"] = depth
+        return depth
+
+    def critical_path_us(self) -> np.ndarray:
+        """Longest weighted path (compute microseconds) ending at each node."""
+        if "cp" in self._cache:
+            return self._cache["cp"]
+        cp = self.compute_us.astype(np.float64).copy()
+        in_indptr, in_data = self._in_csr()
+        for u in self.topological_order():
+            preds = in_data[in_indptr[u] : in_indptr[u + 1]]
+            if preds.size:
+                cp[u] += cp[preds].max()
+        self._cache["cp"] = cp
+        return cp
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def total_compute_us(self) -> float:
+        """Total compute latency summed over all nodes."""
+        return float(self.compute_us.sum())
+
+    def total_param_bytes(self) -> float:
+        """Total parameter bytes across all nodes."""
+        return float(self.param_bytes.sum())
+
+    def edge_bytes(self) -> np.ndarray:
+        """``(E,)`` array: bytes transferred along each edge.
+
+        The tensor transferred on an edge is the source node's output.
+        """
+        return self.output_bytes[self.src]
+
+    def op_categories(self) -> np.ndarray:
+        """``(N,)`` array of :class:`OpCategory` values, cached."""
+        if "cat" not in self._cache:
+            self._cache["cat"] = np.array(
+                [int(category_of(int(t))) for t in self.op_types], dtype=np.int64
+            )
+        return self._cache["cat"]
+
+    def is_replicable(self) -> np.ndarray:
+        """Boolean mask of nodes replicable on every chip (pure constants).
+
+        Real MCM compilers materialise small constants (attention masks,
+        scaling factors) on every chiplet instead of streaming them across
+        the ring; edges out of replicable nodes are exempt from the static
+        placement constraints.
+        """
+        if "replicable" not in self._cache:
+            self._cache["replicable"] = np.asarray(self.op_types) == int(OpType.CONSTANT)
+        return self._cache["replicable"]
+
+    # ------------------------------------------------------------------
+    # Interop / export
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export to a :class:`networkx.DiGraph` with node attributes."""
+        import networkx as nx
+
+        g = nx.DiGraph(name=self.name)
+        for i in range(self.n_nodes):
+            g.add_node(
+                i,
+                name=self.names[i],
+                op_type=OpType(int(self.op_types[i])),
+                compute_us=float(self.compute_us[i]),
+                output_bytes=float(self.output_bytes[i]),
+                param_bytes=float(self.param_bytes[i]),
+            )
+        g.add_edges_from(zip(self.src.tolist(), self.dst.tolist()))
+        return g
+
+    def summary(self) -> str:
+        """Human readable multi-line description of the graph."""
+        lines = [
+            f"graph {self.name}: {self.n_nodes} nodes, {self.n_edges} edges",
+            f"  total compute: {self.total_compute_us() / 1e3:.2f} ms",
+            f"  total params:  {self.total_param_bytes() / 2**20:.1f} MiB",
+            f"  max depth:     {int(self.depth().max()) if self.n_nodes else 0}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Operation vocabulary for computation graphs.
+
+The zoo builders emit nodes tagged with an :class:`OpType`.  Op types matter
+in three places: node featurisation for the policy network (one-hot by
+category), the hardware simulator's per-op efficiency factors, and human
+readable graph dumps.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpCategory(enum.IntEnum):
+    """Coarse op classes used for featurisation and cost perturbation."""
+
+    DENSE_COMPUTE = 0   # matmul / conv style, systolic-array friendly
+    ELEMENTWISE = 1     # add, mul, activation functions
+    REDUCTION = 2       # softmax, norm statistics, pooling
+    DATA_MOVEMENT = 3   # reshape, transpose, concat, slice
+    MEMORY = 4          # embedding lookups, parameter reads
+    CONTROL = 5         # inputs, constants, outputs
+
+
+class OpType(enum.IntEnum):
+    """Concrete operation types emitted by the model zoo."""
+
+    INPUT = 0
+    CONSTANT = 1
+    OUTPUT = 2
+
+    MATMUL = 10
+    CONV2D = 11
+    DEPTHWISE_CONV = 12
+    EINSUM = 13
+
+    BIAS_ADD = 20
+    ADD = 21
+    MUL = 22
+    RELU = 23
+    GELU = 24
+    TANH = 25
+    SIGMOID = 26
+    SCALE = 27
+
+    SOFTMAX = 30
+    LAYER_NORM = 31
+    BATCH_NORM = 32
+    MAX_POOL = 33
+    AVG_POOL = 34
+    REDUCE_MEAN = 35
+    REDUCE_VAR = 36
+
+    RESHAPE = 40
+    TRANSPOSE = 41
+    CONCAT = 42
+    SLICE = 43
+    BROADCAST = 44
+
+    EMBEDDING = 50
+    GATHER = 51
+
+
+_CATEGORY_OF: dict[OpType, OpCategory] = {
+    OpType.INPUT: OpCategory.CONTROL,
+    OpType.CONSTANT: OpCategory.CONTROL,
+    OpType.OUTPUT: OpCategory.CONTROL,
+    OpType.MATMUL: OpCategory.DENSE_COMPUTE,
+    OpType.CONV2D: OpCategory.DENSE_COMPUTE,
+    OpType.DEPTHWISE_CONV: OpCategory.DENSE_COMPUTE,
+    OpType.EINSUM: OpCategory.DENSE_COMPUTE,
+    OpType.BIAS_ADD: OpCategory.ELEMENTWISE,
+    OpType.ADD: OpCategory.ELEMENTWISE,
+    OpType.MUL: OpCategory.ELEMENTWISE,
+    OpType.RELU: OpCategory.ELEMENTWISE,
+    OpType.GELU: OpCategory.ELEMENTWISE,
+    OpType.TANH: OpCategory.ELEMENTWISE,
+    OpType.SIGMOID: OpCategory.ELEMENTWISE,
+    OpType.SCALE: OpCategory.ELEMENTWISE,
+    OpType.SOFTMAX: OpCategory.REDUCTION,
+    OpType.LAYER_NORM: OpCategory.REDUCTION,
+    OpType.BATCH_NORM: OpCategory.REDUCTION,
+    OpType.MAX_POOL: OpCategory.REDUCTION,
+    OpType.AVG_POOL: OpCategory.REDUCTION,
+    OpType.REDUCE_MEAN: OpCategory.REDUCTION,
+    OpType.REDUCE_VAR: OpCategory.REDUCTION,
+    OpType.RESHAPE: OpCategory.DATA_MOVEMENT,
+    OpType.TRANSPOSE: OpCategory.DATA_MOVEMENT,
+    OpType.CONCAT: OpCategory.DATA_MOVEMENT,
+    OpType.SLICE: OpCategory.DATA_MOVEMENT,
+    OpType.BROADCAST: OpCategory.DATA_MOVEMENT,
+    OpType.EMBEDDING: OpCategory.MEMORY,
+    OpType.GATHER: OpCategory.MEMORY,
+}
+
+
+def category_of(op: "OpType | int") -> OpCategory:
+    """Return the :class:`OpCategory` of an op type."""
+    return _CATEGORY_OF[OpType(op)]
+
+
+N_CATEGORIES = len(OpCategory)

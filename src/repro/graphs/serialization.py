@@ -1,0 +1,55 @@
+"""Save/load computation graphs (.npz format).
+
+Lets users export zoo graphs or import their own compiler dumps without
+writing builder code: node attribute arrays plus edge arrays, with names
+stored as a fixed-width unicode array.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.graphs.graph import CompGraph
+
+_FORMAT_VERSION = 1
+
+
+def save_graph(graph: CompGraph, path: str) -> None:
+    """Write ``graph`` to ``path`` as a compressed ``.npz``."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        name=np.str_(graph.name),
+        names=np.array(graph.names, dtype=np.str_),
+        op_types=graph.op_types,
+        compute_us=graph.compute_us,
+        output_bytes=graph.output_bytes,
+        param_bytes=graph.param_bytes,
+        src=graph.src,
+        dst=graph.dst,
+    )
+
+
+def load_graph(path: str) -> CompGraph:
+    """Load a graph written by :func:`save_graph`."""
+    with np.load(path) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported graph format version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        return CompGraph(
+            names=tuple(str(n) for n in data["names"]),
+            op_types=data["op_types"].astype(np.int64),
+            compute_us=data["compute_us"].astype(np.float64),
+            output_bytes=data["output_bytes"].astype(np.float64),
+            param_bytes=data["param_bytes"].astype(np.float64),
+            src=data["src"].astype(np.int64),
+            dst=data["dst"].astype(np.int64),
+            name=str(data["name"]),
+        )

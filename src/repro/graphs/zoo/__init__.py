@@ -1,0 +1,34 @@
+"""Model zoo: parametric graph families and the pre-training dataset.
+
+The zoo mirrors the paper's workload inventory:
+
+* 87 "production" CV / NLP graphs (CNN and RNN families, tens to hundreds of
+  nodes, no attention) split 66 / 5 / 16 into train / validation / test —
+  see :func:`repro.graphs.zoo.dataset.build_dataset`.
+* BERT-Large at op granularity (2138 nodes, ~340M parameters) — see
+  :func:`repro.graphs.zoo.transformer.build_bert`.
+"""
+
+from repro.graphs.zoo.cnn import build_cnn, build_inception_cnn, build_residual_cnn
+from repro.graphs.zoo.decoder import build_decoder
+from repro.graphs.zoo.dataset import DatasetSplit, build_dataset
+from repro.graphs.zoo.mlp import build_autoencoder, build_mlp
+from repro.graphs.zoo.rnn import build_gru, build_lstm
+from repro.graphs.zoo.transformer import build_bert
+from repro.graphs.zoo.unet import build_mobilenet, build_unet
+
+__all__ = [
+    "build_cnn",
+    "build_residual_cnn",
+    "build_inception_cnn",
+    "build_lstm",
+    "build_gru",
+    "build_mlp",
+    "build_autoencoder",
+    "build_bert",
+    "build_decoder",
+    "build_unet",
+    "build_mobilenet",
+    "build_dataset",
+    "DatasetSplit",
+]

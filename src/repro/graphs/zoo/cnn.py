@@ -1,0 +1,219 @@
+"""Convolutional network graph families.
+
+Three families cover the structural variety of the paper's CV workloads:
+plain VGG-style stacks, ResNet-style residual stages, and Inception-style
+multi-branch blocks.  All builders track spatial dimensions and channel
+counts so compute/memory costs follow real convolution arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.builders import GraphBuilder
+from repro.graphs.graph import CompGraph
+from repro.graphs.ops import OpType
+from repro.graphs.zoo.common import tensor_bytes, us_from_bytes, us_from_flops
+
+
+def _conv_block(
+    b: GraphBuilder,
+    prefix: str,
+    inp: int,
+    hw: int,
+    c_in: int,
+    c_out: int,
+    kernel: int = 3,
+    stride: int = 1,
+    with_bn: bool = True,
+    with_relu: bool = True,
+) -> tuple[int, int]:
+    """Append conv [+ batchnorm] [+ relu]; return (last node id, new hw)."""
+    out_hw = max(1, hw // stride)
+    flops = 2.0 * out_hw * out_hw * kernel * kernel * c_in * c_out
+    out_bytes = tensor_bytes(out_hw, out_hw, c_out)
+    params = tensor_bytes(kernel, kernel, c_in, c_out)
+    node = b.add_node(
+        f"{prefix}/conv{kernel}x{kernel}",
+        OpType.CONV2D,
+        compute_us=us_from_flops(flops),
+        output_bytes=out_bytes,
+        param_bytes=params,
+        inputs=[inp],
+    )
+    if with_bn:
+        node = b.add_node(
+            f"{prefix}/bn",
+            OpType.BATCH_NORM,
+            compute_us=us_from_bytes(out_bytes),
+            output_bytes=out_bytes,
+            param_bytes=tensor_bytes(c_out, 2),
+            inputs=[node],
+        )
+    if with_relu:
+        node = b.add_node(
+            f"{prefix}/relu",
+            OpType.RELU,
+            compute_us=us_from_bytes(out_bytes),
+            output_bytes=out_bytes,
+            inputs=[node],
+        )
+    return node, out_hw
+
+
+def _classifier_head(b: GraphBuilder, inp: int, hw: int, channels: int, classes: int) -> int:
+    """Global average pool + dense classifier + softmax."""
+    pooled_bytes = tensor_bytes(channels)
+    pool = b.add_node(
+        "head/avg_pool",
+        OpType.AVG_POOL,
+        compute_us=us_from_bytes(tensor_bytes(hw, hw, channels)),
+        output_bytes=pooled_bytes,
+        inputs=[inp],
+    )
+    fc = b.add_node(
+        "head/fc",
+        OpType.MATMUL,
+        compute_us=us_from_flops(2.0 * channels * classes),
+        output_bytes=tensor_bytes(classes),
+        param_bytes=tensor_bytes(channels, classes),
+        inputs=[pool],
+    )
+    sm = b.add_node(
+        "head/softmax",
+        OpType.SOFTMAX,
+        compute_us=us_from_bytes(tensor_bytes(classes)),
+        output_bytes=tensor_bytes(classes),
+        inputs=[fc],
+    )
+    return b.add_node("head/output", OpType.OUTPUT, output_bytes=tensor_bytes(classes), inputs=[sm])
+
+
+def build_cnn(
+    depth: int = 8,
+    base_channels: int = 32,
+    image_hw: int = 64,
+    classes: int = 100,
+    name: str = "cnn",
+) -> CompGraph:
+    """Plain VGG-style CNN: ``depth`` conv blocks with periodic downsampling.
+
+    Parameters
+    ----------
+    depth:
+        Number of conv/bn/relu blocks (>= 1).
+    base_channels:
+        Channels of the first stage; doubled at each downsampling.
+    image_hw:
+        Input spatial resolution (square).
+    classes:
+        Output classes of the classifier head.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    b = GraphBuilder(name)
+    node = b.add_node("input", OpType.INPUT, output_bytes=tensor_bytes(image_hw, image_hw, 3))
+    hw, c_in = image_hw, 3
+    channels = base_channels
+    for i in range(depth):
+        stride = 2 if (i % 2 == 1 and hw > 4) else 1
+        node, hw = _conv_block(b, f"block{i}", node, hw, c_in, channels, stride=stride)
+        c_in = channels
+        if stride == 2:
+            channels = min(channels * 2, 512)
+    _classifier_head(b, node, hw, c_in, classes)
+    return b.build()
+
+
+def build_residual_cnn(
+    stages: int = 3,
+    blocks_per_stage: int = 2,
+    base_channels: int = 32,
+    image_hw: int = 64,
+    classes: int = 100,
+    name: str = "resnet",
+) -> CompGraph:
+    """ResNet-style CNN: stages of residual blocks with projection shortcuts."""
+    if stages < 1 or blocks_per_stage < 1:
+        raise ValueError("stages and blocks_per_stage must be >= 1")
+    b = GraphBuilder(name)
+    node = b.add_node("input", OpType.INPUT, output_bytes=tensor_bytes(image_hw, image_hw, 3))
+    node, hw = _conv_block(b, "stem", node, image_hw, 3, base_channels, kernel=7, stride=2)
+    c_in = base_channels
+    for s in range(stages):
+        c_out = base_channels * (2**s)
+        for k in range(blocks_per_stage):
+            stride = 2 if (k == 0 and s > 0 and hw > 4) else 1
+            prefix = f"stage{s}/block{k}"
+            shortcut = node
+            branch, new_hw = _conv_block(b, f"{prefix}/a", node, hw, c_in, c_out, stride=stride)
+            branch, _ = _conv_block(b, f"{prefix}/b", branch, new_hw, c_out, c_out, with_relu=False)
+            if stride != 1 or c_in != c_out:
+                shortcut, _ = _conv_block(
+                    b, f"{prefix}/proj", shortcut, hw, c_in, c_out,
+                    kernel=1, stride=stride, with_relu=False,
+                )
+            out_bytes = tensor_bytes(new_hw, new_hw, c_out)
+            add = b.add_node(
+                f"{prefix}/add",
+                OpType.ADD,
+                compute_us=us_from_bytes(out_bytes),
+                output_bytes=out_bytes,
+                inputs=[branch, shortcut],
+            )
+            node = b.add_node(
+                f"{prefix}/relu",
+                OpType.RELU,
+                compute_us=us_from_bytes(out_bytes),
+                output_bytes=out_bytes,
+                inputs=[add],
+            )
+            hw, c_in = new_hw, c_out
+    _classifier_head(b, node, hw, c_in, classes)
+    return b.build()
+
+
+def build_inception_cnn(
+    blocks: int = 3,
+    branches: int = 3,
+    base_channels: int = 32,
+    image_hw: int = 64,
+    classes: int = 100,
+    name: str = "inception",
+) -> CompGraph:
+    """Inception-style CNN: blocks of parallel conv branches concatenated."""
+    if blocks < 1 or branches < 1:
+        raise ValueError("blocks and branches must be >= 1")
+    b = GraphBuilder(name)
+    node = b.add_node("input", OpType.INPUT, output_bytes=tensor_bytes(image_hw, image_hw, 3))
+    node, hw = _conv_block(b, "stem", node, image_hw, 3, base_channels, stride=2)
+    c_in = base_channels
+    for blk in range(blocks):
+        branch_channels = max(8, c_in // branches)
+        outs = []
+        for br in range(branches):
+            kernel = (1, 3, 5, 3)[br % 4]
+            out, _ = _conv_block(
+                b, f"block{blk}/branch{br}", node, hw, c_in, branch_channels, kernel=kernel
+            )
+            outs.append(out)
+        c_out = branch_channels * branches
+        cat_bytes = tensor_bytes(hw, hw, c_out)
+        node = b.add_node(
+            f"block{blk}/concat",
+            OpType.CONCAT,
+            compute_us=us_from_bytes(cat_bytes),
+            output_bytes=cat_bytes,
+            inputs=outs,
+        )
+        if blk % 2 == 1 and hw > 4:
+            hw = hw // 2
+            pool_bytes = tensor_bytes(hw, hw, c_out)
+            node = b.add_node(
+                f"block{blk}/pool",
+                OpType.MAX_POOL,
+                compute_us=us_from_bytes(pool_bytes),
+                output_bytes=pool_bytes,
+                inputs=[node],
+            )
+        c_in = c_out
+    _classifier_head(b, node, hw, c_in, classes)
+    return b.build()

@@ -1,0 +1,36 @@
+"""Shared cost arithmetic for zoo builders.
+
+Compute latencies are canonicalised to microseconds on a single chiplet with
+``REFERENCE_TOPS`` peak throughput; the hardware simulator perturbs these per
+chip and per op category, so the graph itself stays platform independent.
+"""
+
+from __future__ import annotations
+
+REFERENCE_TOPS = 4.0     # peak dense-compute throughput of one chiplet
+BYTES_PER_ELEMENT = 2.0  # bf16 activations and parameters
+ELEMENTWISE_GBPS = 400.0  # effective on-chip bandwidth for non-matmul ops
+
+
+def us_from_flops(flops: float, efficiency: float = 0.5) -> float:
+    """Latency in microseconds for a dense op of ``flops`` floating ops."""
+    if flops < 0:
+        raise ValueError("flops must be non-negative")
+    return flops / (REFERENCE_TOPS * 1e12 * efficiency) * 1e6
+
+
+def us_from_bytes(nbytes: float) -> float:
+    """Latency in microseconds for a bandwidth-bound op touching ``nbytes``."""
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    return nbytes / (ELEMENTWISE_GBPS * 1e9) * 1e6
+
+
+def tensor_bytes(*dims: int) -> float:
+    """Byte size of a dense tensor with the given dimensions."""
+    size = 1.0
+    for d in dims:
+        if d <= 0:
+            raise ValueError("tensor dimensions must be positive")
+        size *= d
+    return size * BYTES_PER_ELEMENT

@@ -1,0 +1,153 @@
+"""GPT-style decoder-only transformer graphs.
+
+Structurally a sibling of :mod:`repro.graphs.zoo.transformer` with a causal
+attention pattern and no pooler — useful for testing policy transfer from
+encoder-style graphs to a related-but-different architecture family.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.builders import GraphBuilder
+from repro.graphs.graph import CompGraph
+from repro.graphs.ops import OpType
+from repro.graphs.zoo.common import tensor_bytes, us_from_bytes, us_from_flops
+from repro.graphs.zoo.transformer import _layer_norm
+
+
+def build_decoder(
+    layers: int = 6,
+    hidden: int = 512,
+    heads: int = 8,
+    seq: int = 256,
+    vocab: "int | None" = None,
+    name: str = "decoder",
+) -> CompGraph:
+    """Decoder-only (GPT-style) transformer at op granularity.
+
+    Parameters
+    ----------
+    layers, hidden, heads, seq:
+        Standard decoder hyper-parameters; FFN width is ``4 * hidden``.
+    vocab:
+        Vocabulary size; defaults to ``30 * hidden`` (GPT-2-like ratio).
+    """
+    if layers < 1 or heads < 1:
+        raise ValueError("layers and heads must be >= 1")
+    if hidden % heads != 0:
+        raise ValueError("hidden must be divisible by heads")
+    vocab = 30 * hidden if vocab is None else vocab
+    d_head = hidden // heads
+    intermediate = 4 * hidden
+    hidden_bytes = tensor_bytes(seq, hidden)
+    head_bytes = tensor_bytes(seq, d_head)
+    # causal attention scores: lower-triangular half of the matrix
+    score_bytes = tensor_bytes(seq, seq) / 2.0
+
+    b = GraphBuilder(name)
+    input_ids = b.add_node("input_ids", OpType.INPUT, output_bytes=tensor_bytes(seq))
+    b.add_node("causal_mask", OpType.CONSTANT, output_bytes=tensor_bytes(seq))
+    tok = b.add_node(
+        "embeddings/token", OpType.EMBEDDING,
+        compute_us=us_from_bytes(hidden_bytes), output_bytes=hidden_bytes,
+        param_bytes=tensor_bytes(vocab, hidden), inputs=[input_ids],
+    )
+    pos = b.add_node(
+        "embeddings/position", OpType.EMBEDDING,
+        compute_us=us_from_bytes(hidden_bytes), output_bytes=hidden_bytes,
+        param_bytes=tensor_bytes(seq, hidden),
+    )
+    node = b.add_node(
+        "embeddings/add", OpType.ADD,
+        compute_us=us_from_bytes(hidden_bytes), output_bytes=hidden_bytes,
+        inputs=[tok, pos],
+    )
+
+    for layer in range(layers):
+        p = f"layer{layer}"
+        # pre-norm architecture
+        normed = _layer_norm(b, f"{p}/ln1", node, hidden_bytes, hidden)
+        qkv: dict[str, int] = {}
+        for kind in ("q", "k", "v"):
+            mm = b.add_node(
+                f"{p}/attn/{kind}_matmul", OpType.MATMUL,
+                compute_us=us_from_flops(2.0 * seq * hidden * hidden),
+                output_bytes=hidden_bytes, param_bytes=tensor_bytes(hidden, hidden),
+                inputs=[normed],
+            )
+            qkv[kind] = b.add_node(
+                f"{p}/attn/{kind}_reshape", OpType.RESHAPE,
+                compute_us=us_from_bytes(hidden_bytes) * 0.25,
+                output_bytes=hidden_bytes, inputs=[mm],
+            )
+        heads_out = []
+        for h in range(heads):
+            hp = f"{p}/attn/head{h}"
+            scores = b.add_node(
+                f"{hp}/causal_scores", OpType.EINSUM,
+                compute_us=us_from_flops(1.0 * seq * seq * d_head),  # causal half
+                output_bytes=score_bytes, inputs=[qkv["q"], qkv["k"]],
+            )
+            softmax = b.add_node(
+                f"{hp}/softmax", OpType.SOFTMAX,
+                compute_us=us_from_bytes(score_bytes), output_bytes=score_bytes,
+                inputs=[scores],
+            )
+            heads_out.append(
+                b.add_node(
+                    f"{hp}/context", OpType.EINSUM,
+                    compute_us=us_from_flops(1.0 * seq * seq * d_head),
+                    output_bytes=head_bytes, inputs=[softmax, qkv["v"]],
+                )
+            )
+        concat = b.add_node(
+            f"{p}/attn/concat", OpType.CONCAT,
+            compute_us=us_from_bytes(hidden_bytes) * 0.25,
+            output_bytes=hidden_bytes, inputs=heads_out,
+        )
+        proj = b.add_node(
+            f"{p}/attn/proj", OpType.MATMUL,
+            compute_us=us_from_flops(2.0 * seq * hidden * hidden),
+            output_bytes=hidden_bytes, param_bytes=tensor_bytes(hidden, hidden),
+            inputs=[concat],
+        )
+        node = b.add_node(
+            f"{p}/attn/residual", OpType.ADD,
+            compute_us=us_from_bytes(hidden_bytes), output_bytes=hidden_bytes,
+            inputs=[proj, node],
+        )
+
+        normed2 = _layer_norm(b, f"{p}/ln2", node, hidden_bytes, hidden)
+        inter_bytes = tensor_bytes(seq, intermediate)
+        inter = b.add_node(
+            f"{p}/ffn/up", OpType.MATMUL,
+            compute_us=us_from_flops(2.0 * seq * hidden * intermediate),
+            output_bytes=inter_bytes, param_bytes=tensor_bytes(hidden, intermediate),
+            inputs=[normed2],
+        )
+        gelu = b.add_node(
+            f"{p}/ffn/gelu", OpType.GELU,
+            compute_us=us_from_bytes(inter_bytes), output_bytes=inter_bytes,
+            inputs=[inter],
+        )
+        down = b.add_node(
+            f"{p}/ffn/down", OpType.MATMUL,
+            compute_us=us_from_flops(2.0 * seq * hidden * intermediate),
+            output_bytes=hidden_bytes, param_bytes=tensor_bytes(intermediate, hidden),
+            inputs=[gelu],
+        )
+        node = b.add_node(
+            f"{p}/ffn/residual", OpType.ADD,
+            compute_us=us_from_bytes(hidden_bytes), output_bytes=hidden_bytes,
+            inputs=[down, node],
+        )
+
+    node = _layer_norm(b, "final_ln", node, hidden_bytes, hidden)
+    logits_bytes = tensor_bytes(seq, vocab)
+    logits = b.add_node(
+        "lm_head", OpType.MATMUL,
+        compute_us=us_from_flops(2.0 * seq * hidden * vocab),
+        output_bytes=logits_bytes, param_bytes=tensor_bytes(hidden, vocab),
+        inputs=[node],
+    )
+    b.add_node("output", OpType.OUTPUT, output_bytes=logits_bytes, inputs=[logits])
+    return b.build()

@@ -1,0 +1,113 @@
+"""Multi-layer-perceptron graph families.
+
+MLPs give the dataset graphs with long unbranched chains, complementing the
+wide/branchy CNNs and the stateful RNNs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graphs.builders import GraphBuilder
+from repro.graphs.graph import CompGraph
+from repro.graphs.ops import OpType
+from repro.graphs.zoo.common import tensor_bytes, us_from_bytes, us_from_flops
+
+
+def _dense_block(
+    b: GraphBuilder,
+    prefix: str,
+    inp: int,
+    d_in: int,
+    d_out: int,
+    activation: "OpType | None" = OpType.RELU,
+) -> int:
+    """matmul + bias [+ activation]; returns the last node id."""
+    out_bytes = tensor_bytes(d_out)
+    mm = b.add_node(
+        f"{prefix}/matmul",
+        OpType.MATMUL,
+        compute_us=us_from_flops(2.0 * d_in * d_out),
+        output_bytes=out_bytes,
+        param_bytes=tensor_bytes(d_in, d_out),
+        inputs=[inp],
+    )
+    node = b.add_node(
+        f"{prefix}/bias",
+        OpType.BIAS_ADD,
+        compute_us=us_from_bytes(out_bytes),
+        output_bytes=out_bytes,
+        param_bytes=tensor_bytes(d_out),
+        inputs=[mm],
+    )
+    if activation is not None:
+        node = b.add_node(
+            f"{prefix}/act",
+            activation,
+            compute_us=us_from_bytes(out_bytes),
+            output_bytes=out_bytes,
+            inputs=[node],
+        )
+    return node
+
+
+def build_mlp(
+    hidden_dims: "Sequence[int]" = (512, 512, 256),
+    input_dim: int = 784,
+    classes: int = 10,
+    name: str = "mlp",
+) -> CompGraph:
+    """Plain feed-forward classifier with the given hidden widths."""
+    if not hidden_dims:
+        raise ValueError("hidden_dims must be non-empty")
+    b = GraphBuilder(name)
+    node = b.add_node("input", OpType.INPUT, output_bytes=tensor_bytes(input_dim))
+    d_in = input_dim
+    for i, d_out in enumerate(hidden_dims):
+        node = _dense_block(b, f"layer{i}", node, d_in, d_out)
+        d_in = d_out
+    logits = _dense_block(b, "head", node, d_in, classes, activation=None)
+    sm = b.add_node(
+        "head/softmax",
+        OpType.SOFTMAX,
+        compute_us=us_from_bytes(tensor_bytes(classes)),
+        output_bytes=tensor_bytes(classes),
+        inputs=[logits],
+    )
+    b.add_node("head/output", OpType.OUTPUT, output_bytes=tensor_bytes(classes), inputs=[sm])
+    return b.build()
+
+
+def build_autoencoder(
+    bottleneck: int = 32,
+    input_dim: int = 784,
+    depth: int = 3,
+    name: str = "autoencoder",
+) -> CompGraph:
+    """Symmetric encoder/decoder MLP (bottleneck autoencoder)."""
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    b = GraphBuilder(name)
+    inp = b.add_node("input", OpType.INPUT, output_bytes=tensor_bytes(input_dim))
+    dims: list[int] = []
+    d = input_dim
+    for _ in range(depth):
+        d = max(bottleneck, d // 2)
+        dims.append(d)
+    node = inp
+    d_in = input_dim
+    for i, d_out in enumerate(dims):
+        node = _dense_block(b, f"enc{i}", node, d_in, d_out)
+        d_in = d_out
+    for i, d_out in enumerate(reversed(dims[:-1])):
+        node = _dense_block(b, f"dec{i}", node, d_in, d_out)
+        d_in = d_out
+    recon = _dense_block(b, "dec_out", node, d_in, input_dim, activation=OpType.SIGMOID)
+    out_bytes = tensor_bytes(input_dim)
+    b.add_node(
+        "head/output",
+        OpType.OUTPUT,
+        output_bytes=out_bytes,
+        inputs=[recon],
+    )
+    return b.build()

@@ -1,0 +1,200 @@
+"""Recurrent network graph families (unrolled LSTM / GRU).
+
+The recurrent models are unrolled over time, matching how an ML compiler for
+a dataflow accelerator sees them: one cluster of gate operations per step,
+chained through the hidden/cell state.  Node counts scale linearly with the
+number of steps, covering the paper's "tens to hundreds of nodes" regime.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.builders import GraphBuilder
+from repro.graphs.graph import CompGraph
+from repro.graphs.ops import OpType
+from repro.graphs.zoo.common import tensor_bytes, us_from_bytes, us_from_flops
+
+
+def _gate(
+    b: GraphBuilder,
+    prefix: str,
+    x: int,
+    h: int,
+    input_dim: int,
+    hidden_dim: int,
+    activation: OpType,
+) -> int:
+    """One recurrent gate: x @ W + h @ U -> add -> activation."""
+    out_bytes = tensor_bytes(hidden_dim)
+    xw = b.add_node(
+        f"{prefix}/xW",
+        OpType.MATMUL,
+        compute_us=us_from_flops(2.0 * input_dim * hidden_dim),
+        output_bytes=out_bytes,
+        param_bytes=tensor_bytes(input_dim, hidden_dim),
+        inputs=[x],
+    )
+    hu = b.add_node(
+        f"{prefix}/hU",
+        OpType.MATMUL,
+        compute_us=us_from_flops(2.0 * hidden_dim * hidden_dim),
+        output_bytes=out_bytes,
+        param_bytes=tensor_bytes(hidden_dim, hidden_dim),
+        inputs=[h],
+    )
+    added = b.add_node(
+        f"{prefix}/add",
+        OpType.ADD,
+        compute_us=us_from_bytes(out_bytes),
+        output_bytes=out_bytes,
+        inputs=[xw, hu],
+    )
+    return b.add_node(
+        f"{prefix}/act",
+        activation,
+        compute_us=us_from_bytes(out_bytes),
+        output_bytes=out_bytes,
+        inputs=[added],
+    )
+
+
+def build_lstm(
+    steps: int = 8,
+    hidden_dim: int = 256,
+    input_dim: int = 128,
+    classes: int = 50,
+    name: str = "lstm",
+) -> CompGraph:
+    """Unrolled single-layer LSTM followed by a dense classifier.
+
+    Each step contains the four gates (input, forget, cell, output), the
+    cell-state update, and the hidden-state emission — 14 ops per step.
+    """
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    b = GraphBuilder(name)
+    h = b.add_node("h0", OpType.INPUT, output_bytes=tensor_bytes(hidden_dim))
+    c = b.add_node("c0", OpType.INPUT, output_bytes=tensor_bytes(hidden_dim))
+    state_bytes = tensor_bytes(hidden_dim)
+    for t in range(steps):
+        x = b.add_node(f"x{t}", OpType.INPUT, output_bytes=tensor_bytes(input_dim))
+        i_g = _gate(b, f"step{t}/i", x, h, input_dim, hidden_dim, OpType.SIGMOID)
+        f_g = _gate(b, f"step{t}/f", x, h, input_dim, hidden_dim, OpType.SIGMOID)
+        g_g = _gate(b, f"step{t}/g", x, h, input_dim, hidden_dim, OpType.TANH)
+        o_g = _gate(b, f"step{t}/o", x, h, input_dim, hidden_dim, OpType.SIGMOID)
+        fc = b.add_node(
+            f"step{t}/f*c",
+            OpType.MUL,
+            compute_us=us_from_bytes(state_bytes),
+            output_bytes=state_bytes,
+            inputs=[f_g, c],
+        )
+        ig = b.add_node(
+            f"step{t}/i*g",
+            OpType.MUL,
+            compute_us=us_from_bytes(state_bytes),
+            output_bytes=state_bytes,
+            inputs=[i_g, g_g],
+        )
+        c = b.add_node(
+            f"step{t}/c",
+            OpType.ADD,
+            compute_us=us_from_bytes(state_bytes),
+            output_bytes=state_bytes,
+            inputs=[fc, ig],
+        )
+        tanh_c = b.add_node(
+            f"step{t}/tanh_c",
+            OpType.TANH,
+            compute_us=us_from_bytes(state_bytes),
+            output_bytes=state_bytes,
+            inputs=[c],
+        )
+        h = b.add_node(
+            f"step{t}/h",
+            OpType.MUL,
+            compute_us=us_from_bytes(state_bytes),
+            output_bytes=state_bytes,
+            inputs=[o_g, tanh_c],
+        )
+    fc_out = b.add_node(
+        "head/fc",
+        OpType.MATMUL,
+        compute_us=us_from_flops(2.0 * hidden_dim * classes),
+        output_bytes=tensor_bytes(classes),
+        param_bytes=tensor_bytes(hidden_dim, classes),
+        inputs=[h],
+    )
+    sm = b.add_node(
+        "head/softmax",
+        OpType.SOFTMAX,
+        compute_us=us_from_bytes(tensor_bytes(classes)),
+        output_bytes=tensor_bytes(classes),
+        inputs=[fc_out],
+    )
+    b.add_node("head/output", OpType.OUTPUT, output_bytes=tensor_bytes(classes), inputs=[sm])
+    return b.build()
+
+
+def build_gru(
+    steps: int = 8,
+    hidden_dim: int = 256,
+    input_dim: int = 128,
+    classes: int = 50,
+    name: str = "gru",
+) -> CompGraph:
+    """Unrolled single-layer GRU followed by a dense classifier."""
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    b = GraphBuilder(name)
+    h = b.add_node("h0", OpType.INPUT, output_bytes=tensor_bytes(hidden_dim))
+    state_bytes = tensor_bytes(hidden_dim)
+    for t in range(steps):
+        x = b.add_node(f"x{t}", OpType.INPUT, output_bytes=tensor_bytes(input_dim))
+        z_g = _gate(b, f"step{t}/z", x, h, input_dim, hidden_dim, OpType.SIGMOID)
+        r_g = _gate(b, f"step{t}/r", x, h, input_dim, hidden_dim, OpType.SIGMOID)
+        rh = b.add_node(
+            f"step{t}/r*h",
+            OpType.MUL,
+            compute_us=us_from_bytes(state_bytes),
+            output_bytes=state_bytes,
+            inputs=[r_g, h],
+        )
+        n_g = _gate(b, f"step{t}/n", x, rh, input_dim, hidden_dim, OpType.TANH)
+        zh = b.add_node(
+            f"step{t}/z*h",
+            OpType.MUL,
+            compute_us=us_from_bytes(state_bytes),
+            output_bytes=state_bytes,
+            inputs=[z_g, h],
+        )
+        zn = b.add_node(
+            f"step{t}/(1-z)*n",
+            OpType.MUL,
+            compute_us=us_from_bytes(state_bytes),
+            output_bytes=state_bytes,
+            inputs=[z_g, n_g],
+        )
+        h = b.add_node(
+            f"step{t}/h",
+            OpType.ADD,
+            compute_us=us_from_bytes(state_bytes),
+            output_bytes=state_bytes,
+            inputs=[zh, zn],
+        )
+    fc_out = b.add_node(
+        "head/fc",
+        OpType.MATMUL,
+        compute_us=us_from_flops(2.0 * hidden_dim * classes),
+        output_bytes=tensor_bytes(classes),
+        param_bytes=tensor_bytes(hidden_dim, classes),
+        inputs=[h],
+    )
+    sm = b.add_node(
+        "head/softmax",
+        OpType.SOFTMAX,
+        compute_us=us_from_bytes(tensor_bytes(classes)),
+        output_bytes=tensor_bytes(classes),
+        inputs=[fc_out],
+    )
+    b.add_node("head/output", OpType.OUTPUT, output_bytes=tensor_bytes(classes), inputs=[sm])
+    return b.build()

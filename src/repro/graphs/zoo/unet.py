@@ -1,0 +1,150 @@
+"""UNet-style encoder/decoder graphs with long-range skip connections.
+
+UNets are the stress test for MCM partitioning: every encoder stage feeds
+the matching decoder stage directly, so skip edges span half the graph.
+Under the triangle constraint this forces encoder stage ``k`` and decoder
+stage ``depth - k`` onto nearby chips — exactly the kind of structure a
+contiguous heuristic handles poorly and a search method must discover.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.builders import GraphBuilder
+from repro.graphs.graph import CompGraph
+from repro.graphs.ops import OpType
+from repro.graphs.zoo.common import tensor_bytes, us_from_bytes, us_from_flops
+
+
+def _conv(b, prefix, inp, hw, c_in, c_out, kernel=3):
+    flops = 2.0 * hw * hw * kernel * kernel * c_in * c_out
+    out_bytes = tensor_bytes(hw, hw, c_out)
+    conv = b.add_node(
+        f"{prefix}/conv", OpType.CONV2D,
+        compute_us=us_from_flops(flops), output_bytes=out_bytes,
+        param_bytes=tensor_bytes(kernel, kernel, c_in, c_out), inputs=[inp],
+    )
+    return b.add_node(
+        f"{prefix}/relu", OpType.RELU,
+        compute_us=us_from_bytes(out_bytes), output_bytes=out_bytes, inputs=[conv],
+    )
+
+
+def build_unet(
+    depth: int = 3,
+    base_channels: int = 32,
+    image_hw: int = 64,
+    name: str = "unet",
+) -> CompGraph:
+    """Encoder/decoder CNN with skip connections across the bottleneck.
+
+    Parameters
+    ----------
+    depth:
+        Number of down/up-sampling stages (>= 1).
+    base_channels:
+        Channels of the first stage, doubled per downsampling.
+    image_hw:
+        Input spatial resolution (must survive ``depth`` halvings).
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    if image_hw < 2**depth:
+        raise ValueError("image_hw too small for this depth")
+    b = GraphBuilder(name)
+    node = b.add_node("input", OpType.INPUT, output_bytes=tensor_bytes(image_hw, image_hw, 3))
+
+    skips: list[tuple[int, int, int]] = []  # (node, hw, channels)
+    hw, c_in = image_hw, 3
+    channels = base_channels
+    # encoder
+    for d in range(depth):
+        node = _conv(b, f"enc{d}", node, hw, c_in, channels)
+        skips.append((node, hw, channels))
+        hw //= 2
+        pooled = tensor_bytes(hw, hw, channels)
+        node = b.add_node(
+            f"enc{d}/pool", OpType.MAX_POOL,
+            compute_us=us_from_bytes(pooled), output_bytes=pooled, inputs=[node],
+        )
+        c_in = channels
+        channels *= 2
+    # bottleneck
+    node = _conv(b, "bottleneck", node, hw, c_in, channels)
+    c_in = channels
+    # decoder
+    for d in reversed(range(depth)):
+        skip_node, skip_hw, skip_channels = skips[d]
+        hw = skip_hw
+        up_bytes = tensor_bytes(hw, hw, c_in)
+        node = b.add_node(
+            f"dec{d}/upsample", OpType.BROADCAST,
+            compute_us=us_from_bytes(up_bytes), output_bytes=up_bytes, inputs=[node],
+        )
+        cat_bytes = tensor_bytes(hw, hw, c_in + skip_channels)
+        node = b.add_node(
+            f"dec{d}/concat", OpType.CONCAT,
+            compute_us=us_from_bytes(cat_bytes), output_bytes=cat_bytes,
+            inputs=[node, skip_node],
+        )
+        node = _conv(b, f"dec{d}", node, hw, c_in + skip_channels, skip_channels)
+        c_in = skip_channels
+    out_bytes = tensor_bytes(image_hw, image_hw, 1)
+    head = b.add_node(
+        "head/conv1x1", OpType.CONV2D,
+        compute_us=us_from_flops(2.0 * image_hw * image_hw * c_in),
+        output_bytes=out_bytes, param_bytes=tensor_bytes(c_in, 1), inputs=[node],
+    )
+    b.add_node("head/output", OpType.OUTPUT, output_bytes=out_bytes, inputs=[head])
+    return b.build()
+
+
+def build_mobilenet(
+    blocks: int = 8,
+    base_channels: int = 32,
+    image_hw: int = 96,
+    classes: int = 100,
+    name: str = "mobilenet",
+) -> CompGraph:
+    """MobileNet-style stack of depthwise-separable convolution blocks."""
+    if blocks < 1:
+        raise ValueError("blocks must be >= 1")
+    b = GraphBuilder(name)
+    node = b.add_node("input", OpType.INPUT, output_bytes=tensor_bytes(image_hw, image_hw, 3))
+    hw = image_hw
+    node = _conv(b, "stem", node, hw, 3, base_channels)
+    c_in = base_channels
+    for k in range(blocks):
+        stride = 2 if (k % 3 == 2 and hw > 4) else 1
+        c_out = min(c_in * (2 if stride == 2 else 1), 512)
+        out_hw = hw // stride
+        dw_bytes = tensor_bytes(out_hw, out_hw, c_in)
+        dw = b.add_node(
+            f"block{k}/depthwise", OpType.DEPTHWISE_CONV,
+            compute_us=us_from_flops(2.0 * out_hw * out_hw * 9 * c_in),
+            output_bytes=dw_bytes, param_bytes=tensor_bytes(3, 3, c_in), inputs=[node],
+        )
+        pw_bytes = tensor_bytes(out_hw, out_hw, c_out)
+        pw = b.add_node(
+            f"block{k}/pointwise", OpType.CONV2D,
+            compute_us=us_from_flops(2.0 * out_hw * out_hw * c_in * c_out),
+            output_bytes=pw_bytes, param_bytes=tensor_bytes(c_in, c_out), inputs=[dw],
+        )
+        node = b.add_node(
+            f"block{k}/relu", OpType.RELU,
+            compute_us=us_from_bytes(pw_bytes), output_bytes=pw_bytes, inputs=[pw],
+        )
+        hw, c_in = out_hw, c_out
+    pooled = tensor_bytes(c_in)
+    pool = b.add_node(
+        "head/avg_pool", OpType.AVG_POOL,
+        compute_us=us_from_bytes(tensor_bytes(hw, hw, c_in)),
+        output_bytes=pooled, inputs=[node],
+    )
+    fc = b.add_node(
+        "head/fc", OpType.MATMUL,
+        compute_us=us_from_flops(2.0 * c_in * classes),
+        output_bytes=tensor_bytes(classes), param_bytes=tensor_bytes(c_in, classes),
+        inputs=[pool],
+    )
+    b.add_node("head/output", OpType.OUTPUT, output_bytes=tensor_bytes(classes), inputs=[fc])
+    return b.build()

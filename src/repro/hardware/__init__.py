@@ -1,0 +1,33 @@
+"""MCM hardware model: chip specs, ring package, cost models, simulator.
+
+The paper evaluates on a 36-die multi-chip TPU package joined by a
+uni-directional 1D ring (Dasari et al., 2021).  That hardware is proprietary,
+so this package provides the closest synthetic equivalent exercising the same
+code paths:
+
+* :class:`AnalyticalCostModel` — the paper's pre-training cost model (max
+  per-chip latency, Section 5.1).
+* :class:`PipelineSimulator` — the "real hardware": pipelined execution with
+  ring-link contention, per-op efficiency perturbation, and a memory planner
+  enforcing the dynamic SRAM constraint ``H(G, f)``.
+"""
+
+from repro.hardware.analytical import AnalyticalCostModel
+from repro.hardware.base import CostModel, EvaluationResult
+from repro.hardware.chip import ChipSpec
+from repro.hardware.memory import MemoryPlanner, MemoryReport
+from repro.hardware.noise import PerturbationModel
+from repro.hardware.package import MCMPackage
+from repro.hardware.simulator import PipelineSimulator
+
+__all__ = [
+    "ChipSpec",
+    "MCMPackage",
+    "CostModel",
+    "EvaluationResult",
+    "AnalyticalCostModel",
+    "MemoryPlanner",
+    "MemoryReport",
+    "PerturbationModel",
+    "PipelineSimulator",
+]

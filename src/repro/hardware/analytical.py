@@ -1,0 +1,71 @@
+"""The paper's analytical cost model (Section 5.1).
+
+    "This analytical cost model estimates the latency of running all nodes
+    assigned to each chip, and returns the maximal latency of all chips."
+
+Per-chip latency is the chip's compute time plus the time it spends sending
+and receiving cross-chip tensors.  The model is closed-form, deterministic,
+and deliberately blind to the dynamic effects the pipeline simulator adds
+(schedule-dependent memory, link contention across hops, per-op efficiency),
+which is exactly the analytical/hardware gap the paper studies in Figure 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import CompGraph
+from repro.hardware.base import EvaluationResult, check_assignment, cross_chip_transfers
+from repro.hardware.package import MCMPackage
+
+
+class AnalyticalCostModel:
+    """Closed-form throughput estimate: ``1 / max_d latency(d)``.
+
+    Parameters
+    ----------
+    package:
+        The MCM package being modelled (chip count, link bandwidth).
+    """
+
+    def __init__(self, package: MCMPackage):
+        self.package = package
+
+    def evaluate(self, graph: CompGraph, assignment) -> EvaluationResult:
+        """Score a complete assignment.
+
+        Backward transfers (impossible on the uni-directional ring) yield an
+        invalid result; no other validity checks are performed — the
+        analytical model cannot see dynamic constraints.
+        """
+        assignment = check_assignment(graph, assignment, self.package.n_chips)
+        n_chips = self.package.n_chips
+        chip = self.package.chip
+
+        latency = np.zeros(n_chips)
+        np.add.at(latency, assignment, graph.compute_us * chip.compute_scale)
+
+        src_c, dst_c, nbytes = cross_chip_transfers(graph, assignment)
+        if src_c.size and np.any(dst_c < src_c):
+            return EvaluationResult.invalid("backward_edge", n_chips)
+        if src_c.size:
+            wire_us = nbytes / (chip.link_bandwidth_gbps * 1e9) * 1e6 + chip.link_latency_us
+            # DMA engines hide io_overlap of each transfer behind compute;
+            # the rest stalls the sender and the receiver.
+            stall_us = wire_us * (1.0 - chip.io_overlap)
+            np.add.at(latency, src_c, stall_us)
+            np.add.at(latency, dst_c, stall_us)
+
+        runtime = float(latency.max()) if latency.size else 0.0
+        if runtime <= 0.0:
+            return EvaluationResult.invalid("empty_graph", n_chips)
+        # End-to-end latency of one inference: every stage's busy time in
+        # sequence (a single item cannot overlap its own pipeline stages).
+        e2e = float(latency.sum())
+        return EvaluationResult(
+            valid=True,
+            runtime_us=runtime,
+            throughput=1e6 / runtime,
+            latency_us=e2e,
+            chip_latency_us=latency,
+        )

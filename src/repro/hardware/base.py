@@ -1,0 +1,118 @@
+"""Common cost-model interface and evaluation result type.
+
+Search algorithms only interact with the platform through
+``CostModel.evaluate(graph, assignment) -> EvaluationResult``; the analytical
+model and the pipeline simulator are interchangeable behind this interface,
+which is what lets the paper pre-train on the analytical model and deploy on
+hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.graphs.graph import CompGraph
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Outcome of evaluating one complete partition.
+
+    Attributes
+    ----------
+    valid:
+        ``False`` when the platform rejects the partition (backward edge on
+        the ring, or the dynamic memory constraint ``H(G, f)`` fails).
+    runtime_us:
+        Pipeline initiation interval in microseconds (``inf`` when invalid).
+    throughput:
+        Completed inferences per second (0 when invalid — the paper's
+        platform "returns a zero throughput when it evaluates an invalid
+        partition").
+    latency_us:
+        End-to-end latency of a single inference traversing the pipeline
+        (the paper: "our framework can easily re-target a latency metric").
+    failure_reason:
+        Short machine-readable reason when invalid (e.g. ``"oom"``).
+    chip_latency_us:
+        Per-chip busy time for the evaluated partition.
+    link_latency_us:
+        Per-link busy time (empty for the analytical model).
+    """
+
+    valid: bool
+    runtime_us: float
+    throughput: float
+    latency_us: float = float("inf")
+    failure_reason: str = ""
+    chip_latency_us: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    link_latency_us: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    @staticmethod
+    def invalid(reason: str, n_chips: int = 0) -> "EvaluationResult":
+        """An invalid result with zero throughput and infinite latency."""
+        return EvaluationResult(
+            valid=False,
+            runtime_us=float("inf"),
+            throughput=0.0,
+            latency_us=float("inf"),
+            failure_reason=reason,
+            chip_latency_us=np.zeros(n_chips),
+        )
+
+
+@runtime_checkable
+class CostModel(Protocol):
+    """Anything that can score a complete chip assignment."""
+
+    def evaluate(self, graph: CompGraph, assignment: np.ndarray) -> EvaluationResult:
+        """Score ``assignment`` (``(N,)`` array of chip ids) for ``graph``."""
+        ...
+
+
+def check_assignment(graph: CompGraph, assignment, n_chips: int) -> np.ndarray:
+    """Validate shape/range of an assignment and return it as ``int64``."""
+    arr = np.asarray(assignment, dtype=np.int64)
+    if arr.shape != (graph.n_nodes,):
+        raise ValueError(
+            f"assignment must have shape ({graph.n_nodes},), got {arr.shape}"
+        )
+    if arr.size and (arr.min() < 0 or arr.max() >= n_chips):
+        raise ValueError(f"assignment contains chip ids outside [0, {n_chips})")
+    return arr
+
+
+def cross_chip_transfers(
+    graph: CompGraph, assignment: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Deduplicated cross-chip transfers implied by an assignment.
+
+    A producer's output is sent at most once to each consuming chip,
+    mirroring how the compiler coalesces fan-out across the ring.  Edges
+    whose producer is replicable (pure constants materialised on every chip)
+    move no data.
+
+    Returns ``(src_chip, dst_chip, nbytes)`` arrays, one entry per
+    (producer, consuming chip) pair with ``src_chip != dst_chip``.
+    """
+    if graph.n_edges == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, np.zeros(0)
+    src_chip = assignment[graph.src]
+    dst_chip = assignment[graph.dst]
+    replicable = graph.is_replicable()[graph.src]
+    cross = (src_chip != dst_chip) & ~replicable
+    if not np.any(cross):
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, np.zeros(0)
+    producers = graph.src[cross]
+    dst_c = dst_chip[cross]
+    # Deduplicate (producer, destination chip) pairs.
+    keys = producers * np.int64(max(dst_c.max() + 1, 1)) + dst_c
+    _, unique_idx = np.unique(keys, return_index=True)
+    producers = producers[unique_idx]
+    dst_c = dst_c[unique_idx]
+    return assignment[producers], dst_c, graph.output_bytes[producers]

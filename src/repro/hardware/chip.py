@@ -1,0 +1,53 @@
+"""Per-chiplet hardware parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+MIB = 2**20
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """Capabilities of one chiplet in the MCM package.
+
+    Parameters
+    ----------
+    sram_bytes:
+        On-chip SRAM capacity; parameters and live activation buffers of the
+        ops mapped to the chip must fit ("tens of MBs" in the paper).
+    compute_scale:
+        Multiplier applied to graph ``compute_us`` values (1.0 means the
+        chiplet matches the zoo's reference chip).
+    link_bandwidth_gbps:
+        Bandwidth of the outgoing ring link in GB/s ("tens of GB/s").
+    link_latency_us:
+        Fixed per-transfer latency of one ring hop.
+    io_overlap:
+        Fraction of transfer time hidden behind compute by the DMA engines;
+        only ``1 - io_overlap`` of each transfer stalls the chip.  The link
+        itself is always occupied for the full wire time.
+    """
+
+    sram_bytes: float = 32 * MIB
+    compute_scale: float = 1.0
+    link_bandwidth_gbps: float = 25.0
+    link_latency_us: float = 0.2
+    io_overlap: float = 0.7
+
+    def __post_init__(self):
+        check_positive(self.sram_bytes, "sram_bytes")
+        check_positive(self.compute_scale, "compute_scale")
+        check_positive(self.link_bandwidth_gbps, "link_bandwidth_gbps")
+        if self.link_latency_us < 0:
+            raise ValueError("link_latency_us must be non-negative")
+        if not (0.0 <= self.io_overlap < 1.0):
+            raise ValueError("io_overlap must be in [0, 1)")
+
+    def transfer_us(self, nbytes: float) -> float:
+        """Time to push ``nbytes`` across one ring hop."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / (self.link_bandwidth_gbps * 1e9) * 1e6 + self.link_latency_us

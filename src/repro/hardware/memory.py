@@ -1,0 +1,172 @@
+"""Memory planning: the dynamic constraint ``H(G, f)``.
+
+The paper's key observation about dynamic constraints (Section 1) is that
+"checking whether the peak memory usage for a particular placement is less
+than the available chiplet memory requires knowledge of the order of
+scheduling of operations that is only determined at a later compilation
+pass."  This module is that later pass: it runs a deterministic topological
+list schedule, performs buffer-lifetime analysis, and reports per-chip peak
+memory (resident parameters + live activation buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import CompGraph
+from repro.hardware.base import check_assignment
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Peak-memory analysis of one partition.
+
+    Attributes
+    ----------
+    peak_bytes:
+        ``(C,)`` per-chip peak memory under the list schedule.
+    capacity_bytes:
+        SRAM capacity used for the fit check.
+    fits:
+        ``(C,)`` boolean mask of chips within capacity.
+    """
+
+    peak_bytes: np.ndarray
+    capacity_bytes: float
+    fits: np.ndarray
+
+    @property
+    def ok(self) -> bool:
+        """True when every chip fits in SRAM."""
+        return bool(self.fits.all())
+
+    @property
+    def worst_chip(self) -> int:
+        """Chip with the highest peak memory."""
+        return int(np.argmax(self.peak_bytes))
+
+
+class MemoryPlanner:
+    """List scheduler + buffer-lifetime analysis for a chip assignment.
+
+    The schedule is the graph's (deterministic) topological order — the same
+    order regardless of assignment, as a static compiler backend would fix it
+    before placement-specific rescheduling.  A node's output buffer is live
+    on its own chip from its execution until its last consumer executes, and
+    live on each consuming chip over the same window (the transfer is pushed
+    eagerly, so the receiver holds the tensor until its last local consumer
+    has run).  Pure-constant (replicable) producers are folded into chip
+    parameter storage instead.
+    """
+
+    def __init__(self, n_chips: int, capacity_bytes: float, schedule: str = "dfs"):
+        if n_chips < 1:
+            raise ValueError("n_chips must be >= 1")
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if schedule not in ("dfs", "bfs"):
+            raise ValueError("schedule must be 'dfs' or 'bfs'")
+        self.n_chips = n_chips
+        self.capacity_bytes = float(capacity_bytes)
+        self.schedule = schedule
+
+    def _schedule_order(self, graph: CompGraph) -> np.ndarray:
+        """The list schedule: a deterministic topological order.
+
+        ``dfs`` (default) runs chains to completion before starting
+        siblings — short buffer lifetimes on sequential graphs.  ``bfs``
+        interleaves parallel branches — more live buffers at once.  The
+        same partition can fit under one schedule and overflow under the
+        other, which is precisely why the paper treats memory as a
+        *dynamic* constraint "only determined at a later compilation pass".
+        """
+        if self.schedule == "dfs":
+            return graph.topological_order()
+        from collections import deque
+
+        n = graph.n_nodes
+        indeg = graph.in_degree().copy()
+        queue = deque(int(u) for u in np.flatnonzero(indeg == 0))
+        order = np.empty(n, dtype=np.int64)
+        k = 0
+        while queue:
+            u = queue.popleft()
+            order[k] = u
+            k += 1
+            for v in graph.successors(u):
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    queue.append(int(v))
+        if k != n:
+            raise ValueError("graph contains a cycle")
+        return order
+
+    def plan(self, graph: CompGraph, assignment) -> MemoryReport:
+        """Compute per-chip peak memory for ``assignment``."""
+        assignment = check_assignment(graph, assignment, self.n_chips)
+        n = graph.n_nodes
+        order = self._schedule_order(graph)
+        position = np.empty(n, dtype=np.int64)
+        position[order] = np.arange(n)
+
+        # Resident parameters never leave the chip.
+        static_bytes = np.zeros(self.n_chips)
+        np.add.at(static_bytes, assignment, graph.param_bytes)
+        replicable = graph.is_replicable()
+        if np.any(replicable):
+            # Constants are materialised on every chip.
+            static_bytes += graph.output_bytes[replicable].sum()
+
+        # Buffer lifetime of node u: [position[u], last consumer position].
+        last_use = position.copy()
+        if graph.n_edges:
+            np.maximum.at(last_use, graph.src, position[graph.dst])
+
+        # Sweep events per chip: +bytes at start, -bytes after end.
+        delta = np.zeros((self.n_chips, n + 1))
+        live_mask = (~replicable) & (graph.output_bytes > 0)
+        producers = np.flatnonzero(live_mask)
+        if producers.size:
+            np.add.at(delta, (assignment[producers], position[producers]),
+                      graph.output_bytes[producers])
+            np.add.at(delta, (assignment[producers], last_use[producers] + 1),
+                      -graph.output_bytes[producers])
+            # Cross-chip copies: the consuming chip holds the tensor from the
+            # producer's execution until its last local consumer runs.
+            if graph.n_edges:
+                e_src, e_dst = graph.src, graph.dst
+                cross = (assignment[e_src] != assignment[e_dst]) & live_mask[e_src]
+                if np.any(cross):
+                    cs, cd = e_src[cross], e_dst[cross]
+                    chips = assignment[cd]
+                    # Last consumer of cs on the destination chip: take max
+                    # position among edges grouped by (producer, chip).
+                    keys = cs * np.int64(self.n_chips) + chips
+                    sort = np.argsort(keys, kind="stable")
+                    keys_s = keys[sort]
+                    pos_s = position[cd][sort]
+                    group_start = np.flatnonzero(
+                        np.concatenate(([True], keys_s[1:] != keys_s[:-1]))
+                    )
+                    group_end = np.concatenate((group_start[1:], [keys_s.size]))
+                    for g0, g1 in zip(group_start, group_end):
+                        producer = int(keys_s[g0] // self.n_chips)
+                        chipid = int(keys_s[g0] % self.n_chips)
+                        start = position[producer]
+                        end = int(pos_s[g0:g1].max())
+                        nbytes = graph.output_bytes[producer]
+                        delta[chipid, start] += nbytes
+                        delta[chipid, end + 1] -= nbytes
+
+        live = np.cumsum(delta[:, :n], axis=1)
+        peak = static_bytes + live.max(axis=1)
+        fits = peak <= self.capacity_bytes
+        return MemoryReport(
+            peak_bytes=peak, capacity_bytes=self.capacity_bytes, fits=fits
+        )
+
+    def check(self, graph: CompGraph, assignment) -> bool:
+        """The boolean dynamic constraint ``H(G, f)``."""
+        return self.plan(graph, assignment).ok

@@ -1,0 +1,92 @@
+"""Deterministic performance perturbations for the pipeline simulator.
+
+The "real hardware" differs from the analytical model systematically, not
+randomly: a given op on a given chip always runs at the same efficiency, and
+re-evaluating the same partition returns the same throughput.  We model this
+with hash-derived per-(node, chip) efficiency factors plus a per-chip
+systematic factor — deterministic functions of ``(node, chip, salt)``, so
+the simulator is reproducible and the analytical/hardware gap is stable
+across the whole search (the property Figure 7 measures).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_in_range
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorised SplitMix64 hash over uint64 inputs."""
+    z = (x + np.uint64(0x9E3779B97F4A7C15)).astype(np.uint64)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def _hash_unit(a: np.ndarray, b: np.ndarray, salt: int) -> np.ndarray:
+    """Deterministic uniform values in [0, 1) from integer pairs."""
+    mixed = _splitmix64(
+        np.asarray(a, dtype=np.uint64) * np.uint64(0x100000001B3)
+        ^ _splitmix64(np.asarray(b, dtype=np.uint64) + np.uint64(salt))
+    )
+    return mixed.astype(np.float64) / float(2**64)
+
+
+class PerturbationModel:
+    """Systematic efficiency factors applied by the pipeline simulator.
+
+    Parameters
+    ----------
+    op_amplitude:
+        Per-(node, chip) efficiency varies in ``[1 - a, 1 + a]``.
+    chip_amplitude:
+        Per-chip systematic speed factor varies in ``[1 - a, 1 + a]``.
+    category_amplitude:
+        Per-(op-category, chip) factor in ``[1 - a, 1 + a]`` — e.g. one
+        chiplet's vector unit underperforming on reductions.
+    salt:
+        Seed folded into every hash; two simulators with the same salt are
+        identical hardware.
+    """
+
+    def __init__(
+        self,
+        op_amplitude: float = 0.12,
+        chip_amplitude: float = 0.05,
+        category_amplitude: float = 0.08,
+        salt: int = 0,
+    ):
+        check_in_range(op_amplitude, "op_amplitude", 0.0, 0.9)
+        check_in_range(chip_amplitude, "chip_amplitude", 0.0, 0.9)
+        check_in_range(category_amplitude, "category_amplitude", 0.0, 0.9)
+        self.op_amplitude = op_amplitude
+        self.chip_amplitude = chip_amplitude
+        self.category_amplitude = category_amplitude
+        self.salt = int(salt)
+
+    def chip_factor(self, n_chips: int) -> np.ndarray:
+        """``(C,)`` systematic per-chip speed factors."""
+        chips = np.arange(n_chips)
+        unit = _hash_unit(chips, chips, self.salt + 1)
+        return 1.0 + self.chip_amplitude * (2.0 * unit - 1.0)
+
+    def factors(
+        self, node_ids: np.ndarray, categories: np.ndarray, chips: np.ndarray
+    ) -> np.ndarray:
+        """Efficiency multipliers for each (node, chip) pair.
+
+        Parameters
+        ----------
+        node_ids, categories, chips:
+            Parallel arrays: node index, op category, and assigned chip.
+        """
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        chips = np.asarray(chips, dtype=np.int64)
+        categories = np.asarray(categories, dtype=np.int64)
+        op_unit = _hash_unit(node_ids, chips, self.salt + 2)
+        cat_unit = _hash_unit(categories, chips, self.salt + 3)
+        op_f = 1.0 + self.op_amplitude * (2.0 * op_unit - 1.0)
+        cat_f = 1.0 + self.category_amplitude * (2.0 * cat_unit - 1.0)
+        chip_f = self.chip_factor(int(chips.max()) + 1 if chips.size else 1)[chips]
+        return op_f * cat_f * chip_f

@@ -1,0 +1,59 @@
+"""The MCM package: chiplets joined by a uni-directional 1D ring.
+
+Data can only move from a lower chip ID to a higher chip ID (Figure 2b of the
+paper); a transfer from chip ``a`` to chip ``b > a`` occupies every link
+``a -> a+1 -> ... -> b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.chip import ChipSpec
+
+
+@dataclass(frozen=True)
+class MCMPackage:
+    """A package of ``n_chips`` identical chiplets on a uni-directional ring.
+
+    The paper's platform has 36 chiplets; tests and scaled benchmarks use
+    smaller packages with the same topology.
+    """
+
+    n_chips: int = 36
+    chip: ChipSpec = field(default_factory=ChipSpec)
+
+    def __post_init__(self):
+        if self.n_chips < 1:
+            raise ValueError("n_chips must be >= 1")
+
+    @property
+    def n_links(self) -> int:
+        """Number of inter-chip links (``n_chips - 1`` for a 1D chain)."""
+        return self.n_chips - 1
+
+    def hops(self, src_chip: int, dst_chip: int) -> int:
+        """Number of ring hops from ``src_chip`` to ``dst_chip``.
+
+        Raises ``ValueError`` for backward transfers, which the
+        uni-directional ring cannot perform.
+        """
+        self._check_chip(src_chip)
+        self._check_chip(dst_chip)
+        if dst_chip < src_chip:
+            raise ValueError(
+                f"backward transfer {src_chip} -> {dst_chip} impossible on a "
+                "uni-directional ring"
+            )
+        return dst_chip - src_chip
+
+    def links_crossed(self, src_chip: int, dst_chip: int) -> np.ndarray:
+        """Link ids traversed by a transfer (link ``l`` joins ``l -> l+1``)."""
+        self.hops(src_chip, dst_chip)
+        return np.arange(src_chip, dst_chip, dtype=np.int64)
+
+    def _check_chip(self, chip_id: int) -> None:
+        if not (0 <= chip_id < self.n_chips):
+            raise ValueError(f"chip id {chip_id} out of range [0, {self.n_chips})")

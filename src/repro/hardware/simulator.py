@@ -1,0 +1,125 @@
+"""Pipelined MCM execution simulator — the repo's "real hardware".
+
+The multi-chip TPU pipelines inference across chiplets: each chip repeatedly
+executes its subgraph on a stream of inputs, so steady-state throughput is
+set by the slowest pipeline stage — either a chip's busy time or a saturated
+ring link.  On top of the analytical model's view, the simulator adds:
+
+* per-(op, chip) and per-chip systematic efficiency factors
+  (:class:`repro.hardware.noise.PerturbationModel`),
+* per-op scheduling overhead (chips running many tiny ops lose time the
+  analytical model does not see),
+* ring-link contention: a transfer from chip ``a`` to chip ``b`` occupies
+  every link in between, so long-distance transfers are disproportionately
+  expensive,
+* the dynamic memory constraint ``H(G, f)`` via
+  :class:`repro.hardware.memory.MemoryPlanner` — partitions whose scheduled
+  peak memory exceeds a chiplet's SRAM are rejected with zero throughput,
+  reproducing the hardware failures of paper Figure 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import CompGraph
+from repro.hardware.base import EvaluationResult, check_assignment, cross_chip_transfers
+from repro.hardware.memory import MemoryPlanner
+from repro.hardware.noise import PerturbationModel
+from repro.hardware.package import MCMPackage
+
+
+class PipelineSimulator:
+    """Throughput simulator for a partition on an MCM package.
+
+    Parameters
+    ----------
+    package:
+        Hardware description (chip count, SRAM, ring bandwidth).
+    perturbation:
+        Systematic efficiency model; ``None`` disables perturbations (the
+        simulator then differs from the analytical model only through
+        link contention, per-op overhead, and the memory constraint).
+    op_overhead_us:
+        Fixed issue overhead charged per op on its chip.
+    check_memory:
+        Enforce ``H(G, f)``; disable to study the static-only behaviour.
+    """
+
+    def __init__(
+        self,
+        package: MCMPackage,
+        perturbation: "PerturbationModel | None" = None,
+        op_overhead_us: float = 0.5,
+        check_memory: bool = True,
+    ):
+        if op_overhead_us < 0:
+            raise ValueError("op_overhead_us must be non-negative")
+        self.package = package
+        self.perturbation = perturbation if perturbation is not None else PerturbationModel()
+        self.op_overhead_us = float(op_overhead_us)
+        self.check_memory = check_memory
+        self._memory = MemoryPlanner(package.n_chips, package.chip.sram_bytes)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, graph: CompGraph, assignment) -> EvaluationResult:
+        """Simulate ``assignment`` and return throughput or an invalid result."""
+        assignment = check_assignment(graph, assignment, self.package.n_chips)
+        n_chips = self.package.n_chips
+        chip = self.package.chip
+
+        src_c, dst_c, nbytes = cross_chip_transfers(graph, assignment)
+        if src_c.size and np.any(dst_c < src_c):
+            return EvaluationResult.invalid("backward_edge", n_chips)
+
+        if self.check_memory and not self._memory.check(graph, assignment):
+            return EvaluationResult.invalid("oom", n_chips)
+
+        # --- per-chip busy time ---------------------------------------
+        node_ids = np.arange(graph.n_nodes)
+        factors = self.perturbation.factors(
+            node_ids, graph.op_categories(), assignment
+        )
+        effective_us = graph.compute_us * chip.compute_scale * factors + self.op_overhead_us
+        chip_time = np.zeros(n_chips)
+        np.add.at(chip_time, assignment, effective_us)
+
+        # DMA engines hide io_overlap of each transfer behind compute; the
+        # residual stalls the sender (serialising sends) and the receiver.
+        link_time = np.zeros(max(self.package.n_links, 1))
+        if src_c.size:
+            wire_us = nbytes / (chip.link_bandwidth_gbps * 1e9) * 1e6
+            stall = 1.0 - chip.io_overlap
+            np.add.at(chip_time, src_c, (wire_us + chip.link_latency_us) * stall)
+            np.add.at(chip_time, dst_c, 0.5 * wire_us * stall)
+            # Each transfer occupies every link between source and
+            # destination for its full wire time.
+            for s, d, w in zip(src_c, dst_c, wire_us):
+                if d > s:
+                    link_time[s:d] += w + chip.link_latency_us
+
+        stage_us = float(chip_time.max())
+        if self.package.n_links > 0:
+            stage_us = max(stage_us, float(link_time.max()))
+        if stage_us <= 0.0:
+            return EvaluationResult.invalid("empty_graph", n_chips)
+        # End-to-end latency of one inference: occupied chips in sequence
+        # plus the full wire time of every transfer it rides.
+        used = np.zeros(n_chips, dtype=bool)
+        used[assignment] = True
+        e2e = float(chip_time[used].sum())
+        if src_c.size:
+            e2e += float((nbytes / (chip.link_bandwidth_gbps * 1e9) * 1e6).sum())
+        return EvaluationResult(
+            valid=True,
+            runtime_us=stage_us,
+            throughput=1e6 / stage_us,
+            latency_us=e2e,
+            chip_latency_us=chip_time,
+            link_latency_us=link_time[: self.package.n_links],
+        )
+
+    # ------------------------------------------------------------------
+    def memory_report(self, graph: CompGraph, assignment):
+        """Expose the memory planner's per-chip peaks for diagnostics."""
+        return self._memory.plan(graph, check_assignment(graph, assignment, self.package.n_chips))

@@ -1,0 +1,30 @@
+"""Minimal NumPy neural-network stack (autodiff, layers, optimisers).
+
+No deep-learning framework is available offline, so the GraphSAGE + PPO
+stack the paper builds on TensorFlow is reimplemented here from scratch:
+a reverse-mode tape over NumPy arrays (:mod:`repro.nn.tensor`), functional
+ops with gradients (:mod:`repro.nn.functional`), the layers the policy needs
+(:mod:`repro.nn.layers`), Adam/SGD with gradient clipping
+(:mod:`repro.nn.optim`), and ``.npz`` checkpointing
+(:mod:`repro.nn.serialization`).
+"""
+
+from repro.nn import functional
+from repro.nn.layers import GraphSAGELayer, Linear, Module, Sequential
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+from repro.nn.serialization import load_state, save_state
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "Tensor",
+    "functional",
+    "Module",
+    "Linear",
+    "GraphSAGELayer",
+    "Sequential",
+    "Adam",
+    "SGD",
+    "clip_grad_norm",
+    "save_state",
+    "load_state",
+]

@@ -1,0 +1,270 @@
+"""Differentiable functional ops for the NumPy autodiff engine.
+
+Every function takes/returns :class:`repro.nn.tensor.Tensor` and registers a
+backward closure on the tape.  The vocabulary is exactly what the
+partitioning policy and PPO need: arithmetic, matmul, activations, softmax /
+log-softmax, reductions, indexing, and concatenation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, _wrap
+
+
+# ----------------------------------------------------------------------
+# Arithmetic
+# ----------------------------------------------------------------------
+def add(a: Tensor, b: Tensor) -> Tensor:
+    """Element-wise ``a + b`` with broadcasting."""
+    a, b = _wrap(a), _wrap(b)
+    return Tensor(a.data + b.data, parents=(a, b), backward_fn=lambda g: (g, g))
+
+
+def sub(a: Tensor, b: Tensor) -> Tensor:
+    """Element-wise ``a - b`` with broadcasting."""
+    a, b = _wrap(a), _wrap(b)
+    return Tensor(a.data - b.data, parents=(a, b), backward_fn=lambda g: (g, -g))
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    """Element-wise ``a * b`` with broadcasting."""
+    a, b = _wrap(a), _wrap(b)
+    return Tensor(
+        a.data * b.data,
+        parents=(a, b),
+        backward_fn=lambda g: (g * b.data, g * a.data),
+    )
+
+
+def div(a: Tensor, b: Tensor) -> Tensor:
+    """Element-wise ``a / b`` with broadcasting."""
+    a, b = _wrap(a), _wrap(b)
+    return Tensor(
+        a.data / b.data,
+        parents=(a, b),
+        backward_fn=lambda g: (g / b.data, -g * a.data / (b.data**2)),
+    )
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    """Matrix product ``a @ b`` (2-D operands)."""
+    a, b = _wrap(a), _wrap(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("matmul expects 2-D tensors")
+    return Tensor(
+        a.data @ b.data,
+        parents=(a, b),
+        backward_fn=lambda g: (g @ b.data.T, a.data.T @ g),
+    )
+
+
+# ----------------------------------------------------------------------
+# Activations
+# ----------------------------------------------------------------------
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    x = _wrap(x)
+    mask = x.data > 0
+    return Tensor(x.data * mask, parents=(x,), backward_fn=lambda g: (g * mask,))
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    x = _wrap(x)
+    out = np.tanh(x.data)
+    return Tensor(out, parents=(x,), backward_fn=lambda g: (g * (1.0 - out**2),))
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    x = _wrap(x)
+    out = 1.0 / (1.0 + np.exp(-np.clip(x.data, -60, 60)))
+    return Tensor(out, parents=(x,), backward_fn=lambda g: (g * out * (1.0 - out),))
+
+
+def exp(x: Tensor) -> Tensor:
+    """Element-wise exponential."""
+    x = _wrap(x)
+    out = np.exp(np.clip(x.data, -700, 700))
+    return Tensor(out, parents=(x,), backward_fn=lambda g: (g * out,))
+
+
+def log(x: Tensor) -> Tensor:
+    """Element-wise natural log."""
+    x = _wrap(x)
+    return Tensor(np.log(x.data), parents=(x,), backward_fn=lambda g: (g / x.data,))
+
+
+# ----------------------------------------------------------------------
+# Softmax family
+# ----------------------------------------------------------------------
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = _wrap(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - logsumexp
+    softmax_vals = np.exp(out)
+
+    def backward(g):
+        return (g - softmax_vals * g.sum(axis=axis, keepdims=True),)
+
+    return Tensor(out, parents=(x,), backward_fn=backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = _wrap(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(g):
+        dot = (g * out).sum(axis=axis, keepdims=True)
+        return (out * (g - dot),)
+
+    return Tensor(out, parents=(x,), backward_fn=backward)
+
+
+# ----------------------------------------------------------------------
+# Reductions / shaping
+# ----------------------------------------------------------------------
+def sum(x: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Sum along ``axis`` (all axes by default)."""
+    x = _wrap(x)
+    out = x.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(g):
+        if axis is None:
+            return (np.broadcast_to(g, x.data.shape).copy(),)
+        gg = g if keepdims else np.expand_dims(g, axis)
+        return (np.broadcast_to(gg, x.data.shape).copy(),)
+
+    return Tensor(out, parents=(x,), backward_fn=backward)
+
+
+def mean(x: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    """Mean along ``axis`` (all axes by default)."""
+    x = _wrap(x)
+    out = x.data.mean(axis=axis, keepdims=keepdims)
+    if axis is None:
+        count = x.data.size
+    else:
+        count = x.data.shape[axis]
+
+    def backward(g):
+        if axis is None:
+            return (np.broadcast_to(g / count, x.data.shape).copy(),)
+        gg = g if keepdims else np.expand_dims(g, axis)
+        return (np.broadcast_to(gg / count, x.data.shape).copy(),)
+
+    return Tensor(out, parents=(x,), backward_fn=backward)
+
+
+def reshape(x: Tensor, shape) -> Tensor:
+    """Reshape preserving element order."""
+    x = _wrap(x)
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    out = x.data.reshape(shape)
+    return Tensor(
+        out, parents=(x,), backward_fn=lambda g: (g.reshape(x.data.shape),)
+    )
+
+
+def concat(tensors, axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = [_wrap(t) for t in tensors]
+    if not tensors:
+        raise ValueError("concat requires at least one tensor")
+    out = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(g):
+        return tuple(np.split(g, splits, axis=axis))
+
+    return Tensor(out, parents=tuple(tensors), backward_fn=backward)
+
+
+def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
+    """Select rows ``x[index]`` of a 2-D tensor."""
+    x = _wrap(x)
+    index = np.asarray(index, dtype=np.int64)
+
+    def backward(g):
+        grad = np.zeros_like(x.data)
+        np.add.at(grad, index, g)
+        return (grad,)
+
+    return Tensor(x.data[index], parents=(x,), backward_fn=backward)
+
+
+def take_along_last(x: Tensor, index: np.ndarray) -> Tensor:
+    """Pick one entry per row: ``x[i, index[i]]`` for a 2-D tensor.
+
+    This is the log-probability lookup used by the PPO objective.
+    """
+    x = _wrap(x)
+    index = np.asarray(index, dtype=np.int64)
+    if x.ndim != 2 or index.shape != (x.shape[0],):
+        raise ValueError("take_along_last expects (N, C) tensor and (N,) index")
+    rows = np.arange(x.shape[0])
+
+    def backward(g):
+        grad = np.zeros_like(x.data)
+        grad[rows, index] = g
+        return (grad,)
+
+    return Tensor(x.data[rows, index], parents=(x,), backward_fn=backward)
+
+
+# ----------------------------------------------------------------------
+# Aggregation for GraphSAGE
+# ----------------------------------------------------------------------
+def sparse_mean_aggregate(agg_matrix, x: Tensor) -> Tensor:
+    """Neighbourhood mean aggregation ``A @ x`` with a fixed matrix.
+
+    ``agg_matrix`` is a constant (scipy.sparse or ndarray) row-normalised
+    adjacency; only ``x`` receives gradients.
+    """
+    x = _wrap(x)
+    out = agg_matrix @ x.data
+
+    def backward(g):
+        if hasattr(agg_matrix, "T"):
+            return (agg_matrix.T @ g,)
+        return (agg_matrix.transpose() @ g,)
+
+    return Tensor(out, parents=(x,), backward_fn=backward)
+
+
+# ----------------------------------------------------------------------
+# Composite helpers
+# ----------------------------------------------------------------------
+def clip(x: Tensor, low: float, high: float) -> Tensor:
+    """Clamp values to ``[low, high]`` (gradient is 1 inside the range)."""
+    x = _wrap(x)
+    out = np.clip(x.data, low, high)
+    mask = (x.data >= low) & (x.data <= high)
+    return Tensor(out, parents=(x,), backward_fn=lambda g: (g * mask,))
+
+
+def minimum(a: Tensor, b: Tensor) -> Tensor:
+    """Element-wise minimum; gradient flows to the smaller operand."""
+    a, b = _wrap(a), _wrap(b)
+    take_a = a.data <= b.data
+    out = np.where(take_a, a.data, b.data)
+    return Tensor(
+        out,
+        parents=(a, b),
+        backward_fn=lambda g: (g * take_a, g * ~take_a),
+    )
+
+
+def square(x: Tensor) -> Tensor:
+    """Element-wise square."""
+    x = _wrap(x)
+    return Tensor(x.data**2, parents=(x,), backward_fn=lambda g: (2.0 * g * x.data,))

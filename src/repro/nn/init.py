@@ -1,0 +1,26 @@
+"""Weight initialisers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+
+def glorot_uniform(shape: tuple, rng=None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for dense weights."""
+    rng = as_generator(rng)
+    fan_in, fan_out = shape[0], shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape)
+
+
+def scaled_normal(shape: tuple, scale: float = 0.01, rng=None) -> np.ndarray:
+    """Small-variance normal initialisation (output heads)."""
+    rng = as_generator(rng)
+    return rng.normal(0.0, scale, size=shape)

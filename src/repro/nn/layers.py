@@ -1,0 +1,162 @@
+"""Neural-network layers for the partitioning policy.
+
+The paper's feature network is GraphSAGE (Hamilton et al., 2017): each layer
+combines a node's own representation with the mean of its neighbours'.  The
+policy/value heads are plain feed-forward stacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.nn import functional as F
+from repro.nn.init import glorot_uniform, zeros
+from repro.nn.tensor import Tensor
+from repro.utils.rng import as_generator
+
+
+class Module:
+    """Base class: parameter collection + state-dict plumbing."""
+
+    def parameters(self) -> list[Tensor]:
+        """All trainable tensors, in deterministic order."""
+        params: list[Tensor] = []
+        for name in sorted(vars(self)):
+            value = getattr(self, name)
+            if isinstance(value, Tensor) and value.requires_grad:
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat name -> array mapping of all parameters."""
+        out: dict[str, np.ndarray] = {}
+        self._collect_state("", out)
+        return out
+
+    def _collect_state(self, prefix: str, out: dict) -> None:
+        for name in sorted(vars(self)):
+            value = getattr(self, name)
+            key = f"{prefix}{name}"
+            if isinstance(value, Tensor) and value.requires_grad:
+                out[key] = value.data.copy()
+            elif isinstance(value, Module):
+                value._collect_state(f"{key}.", out)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        item._collect_state(f"{key}.{i}.", out)
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameters saved by :meth:`state_dict` (strict shapes)."""
+        own = {}
+        self._collect_tensors("", own)
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise ValueError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for key, tensor in own.items():
+            arr = np.asarray(state[key], dtype=np.float64)
+            if arr.shape != tensor.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {key}: {arr.shape} vs {tensor.data.shape}"
+                )
+            tensor.data = arr.copy()
+
+    def _collect_tensors(self, prefix: str, out: dict) -> None:
+        for name in sorted(vars(self)):
+            value = getattr(self, name)
+            key = f"{prefix}{name}"
+            if isinstance(value, Tensor) and value.requires_grad:
+                out[key] = value
+            elif isinstance(value, Module):
+                value._collect_tensors(f"{key}.", out)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        item._collect_tensors(f"{key}.{i}.", out)
+
+
+class Linear(Module):
+    """Dense layer ``y = x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng=None):
+        rng = as_generator(rng)
+        self.weight = Tensor(glorot_uniform((in_features, out_features), rng), requires_grad=True)
+        self.bias = Tensor(zeros((out_features,)), requires_grad=True)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return F.add(F.matmul(x, self.weight), self.bias)
+
+
+class Sequential(Module):
+    """Chain of layers with optional activation between them."""
+
+    def __init__(self, layers: list, activation=F.relu, final_activation=None):
+        self.layers = list(layers)
+        self._activation = activation
+        self._final_activation = final_activation
+
+    def __call__(self, x: Tensor) -> Tensor:
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i + 1 < len(self.layers) and self._activation is not None:
+                x = self._activation(x)
+        if self._final_activation is not None:
+            x = self._final_activation(x)
+        return x
+
+
+class GraphSAGELayer(Module):
+    """One GraphSAGE layer with mean aggregation.
+
+    ``h' = relu(h @ W_self + mean_neigh(h) @ W_neigh + b)``
+
+    Neighbourhood means are computed with a fixed row-normalised adjacency
+    matrix built once per graph by :func:`mean_aggregation_matrix`.
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng=None):
+        rng = as_generator(rng)
+        self.w_self = Tensor(glorot_uniform((in_features, out_features), rng), requires_grad=True)
+        self.w_neigh = Tensor(glorot_uniform((in_features, out_features), rng), requires_grad=True)
+        self.bias = Tensor(zeros((out_features,)), requires_grad=True)
+
+    def __call__(self, h: Tensor, agg_matrix) -> Tensor:
+        neigh = F.sparse_mean_aggregate(agg_matrix, h)
+        pre = F.add(
+            F.add(F.matmul(h, self.w_self), F.matmul(neigh, self.w_neigh)),
+            self.bias,
+        )
+        return F.relu(pre)
+
+
+def mean_aggregation_matrix(n_nodes: int, src: np.ndarray, dst: np.ndarray):
+    """Row-normalised undirected adjacency for GraphSAGE mean aggregation.
+
+    Both edge directions are used (a node should see producers *and*
+    consumers); isolated nodes aggregate zeros.
+    """
+    rows = np.concatenate([dst, src])
+    cols = np.concatenate([src, dst])
+    data = np.ones(rows.size)
+    adj = sp.coo_matrix((data, (rows, cols)), shape=(n_nodes, n_nodes)).tocsr()
+    # Collapse duplicate edges, then row-normalise.
+    adj.data = np.ones_like(adj.data)
+    degree = np.asarray(adj.sum(axis=1)).reshape(-1)
+    inv = np.divide(1.0, degree, out=np.zeros_like(degree), where=degree > 0)
+    return sp.diags(inv) @ adj

@@ -1,0 +1,117 @@
+"""Optimisers and gradient utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def clip_grad_norm(params: list[Tensor], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clip norm.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float((p.grad**2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for p in params:
+            if p.grad is not None:
+                p.grad *= scale
+    return norm
+
+
+class SGD:
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: list[Tensor], lr: float = 1e-2, momentum: float = 0.0):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not (0.0 <= momentum < 1.0):
+            raise ValueError("momentum must be in [0, 1)")
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for p in self.params:
+            p.zero_grad()
+
+
+class Adam:
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float = 3e-4,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.params = list(params)
+        self.lr = lr
+        self.beta1, self.beta2 = b1, b2
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one Adam update from the accumulated gradients."""
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * p.grad**2
+            p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for p in self.params:
+            p.zero_grad()
+
+    def state_dict(self) -> dict:
+        """Optimiser state for checkpointing."""
+        return {
+            "t": self._t,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore optimiser state from :meth:`state_dict`."""
+        self._t = int(state["t"])
+        if len(state["m"]) != len(self._m) or len(state["v"]) != len(self._v):
+            raise ValueError("optimizer state does not match parameter count")
+        self._m = [np.asarray(m, dtype=np.float64).copy() for m in state["m"]]
+        self._v = [np.asarray(v, dtype=np.float64).copy() for v in state["v"]]

@@ -1,0 +1,23 @@
+"""Checkpoint serialisation for modules (.npz format)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+
+def save_state(module: Module, path: str) -> None:
+    """Write a module's parameters to ``path`` as a compressed ``.npz``."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **state)
+
+
+def load_state(module: Module, path: str) -> None:
+    """Load parameters written by :func:`save_state` into ``module``."""
+    with np.load(path) as data:
+        module.load_state_dict({k: data[k] for k in data.files})

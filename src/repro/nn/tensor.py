@@ -1,0 +1,221 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+A :class:`Tensor` wraps an ``ndarray`` and records the operations producing
+it on a tape; :meth:`Tensor.backward` replays the tape in reverse to
+accumulate gradients.  Only the ops needed by the partitioning policy are
+implemented — see :mod:`repro.nn.functional` for the full vocabulary — and
+each one is gradient-checked in the test suite against finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """An array with an optional gradient tape.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload (stored as ``float64``).
+    requires_grad:
+        Record operations so gradients flow back to this tensor.
+    parents:
+        Input tensors of the op producing this tensor (internal).
+    backward_fn:
+        Function mapping the output gradient to per-parent gradients
+        (internal).
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        parents: "tuple | None" = None,
+        backward_fn: "Callable | None" = None,
+    ):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) or bool(parents)
+        self.grad: "np.ndarray | None" = None
+        self._parents = parents or ()
+        self._backward_fn = backward_fn
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.data.ndim
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        grad = ", grad" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}{grad})"
+
+    def item(self) -> float:
+        """The scalar payload of a 0-d/1-element tensor."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """A view of the data cut off from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def numpy(self) -> np.ndarray:
+        """The raw ndarray (no copy)."""
+        return self.data
+
+    # ------------------------------------------------------------------
+    # Autodiff
+    # ------------------------------------------------------------------
+    def backward(self, grad: "np.ndarray | None" = None) -> None:
+        """Back-propagate from this tensor through the recorded tape.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective w.r.t. this tensor; defaults to
+            1 for scalar tensors.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without grad requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            raise ValueError(f"grad shape {grad.shape} != tensor shape {self.data.shape}")
+
+        # Topologically order the tape (iterative DFS to survive deep nets).
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if id(p) not in visited and p.requires_grad:
+                    stack.append((p, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward_fn is None:
+                # Leaf: accumulate into .grad.
+                if node.requires_grad:
+                    node.grad = node_grad if node.grad is None else node.grad + node_grad
+                continue
+            parent_grads = node._backward_fn(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                pgrad = _unbroadcast(np.asarray(pgrad, dtype=np.float64), parent.data.shape)
+                key = id(parent)
+                if parent._backward_fn is None:
+                    parent.grad = pgrad if parent.grad is None else parent.grad + pgrad
+                else:
+                    grads[key] = pgrad if key not in grads else grads[key] + pgrad
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Operator sugar (delegates to repro.nn.functional)
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        from repro.nn import functional as F
+
+        return F.add(self, _wrap(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        from repro.nn import functional as F
+
+        return F.sub(self, _wrap(other))
+
+    def __rsub__(self, other):
+        from repro.nn import functional as F
+
+        return F.sub(_wrap(other), self)
+
+    def __mul__(self, other):
+        from repro.nn import functional as F
+
+        return F.mul(self, _wrap(other))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        from repro.nn import functional as F
+
+        return F.div(self, _wrap(other))
+
+    def __rtruediv__(self, other):
+        from repro.nn import functional as F
+
+        return F.div(_wrap(other), self)
+
+    def __neg__(self):
+        from repro.nn import functional as F
+
+        return F.mul(self, Tensor(-1.0))
+
+    def __matmul__(self, other):
+        from repro.nn import functional as F
+
+        return F.matmul(self, _wrap(other))
+
+    def sum(self, axis=None, keepdims: bool = False):
+        from repro.nn import functional as F
+
+        return F.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        from repro.nn import functional as F
+
+        return F.mean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape):
+        from repro.nn import functional as F
+
+        return F.reshape(self, shape)
+
+
+def _wrap(value) -> Tensor:
+    """Coerce scalars/arrays to constant tensors."""
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def parameters_vector(params: "Iterable[Tensor]") -> np.ndarray:
+    """Flatten a parameter collection into one vector (for tests/debug)."""
+    return np.concatenate([p.data.reshape(-1) for p in params]) if params else np.zeros(0)

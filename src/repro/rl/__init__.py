@@ -1,0 +1,26 @@
+"""Reinforcement-learning framework: featuriser, policy network, PPO.
+
+Architecture per the paper (Section 4.1 / 5.1): a GraphSAGE feature network
+(default 8 layers of width 128) encodes the computation graph; a 2-layer
+feed-forward policy head maps the concatenation of node embeddings and the
+current state embedding (the previous iteration's placement) to an
+``N x C`` probability matrix; PPO (20 rollouts, 4 minibatches, 10 epochs by
+default) trains both end-to-end on the reward of the solver-repaired
+partition.
+"""
+
+from repro.rl.features import GraphFeatures, featurize
+from repro.rl.policy import PartitionPolicy, PolicyOutput
+from repro.rl.ppo import PPOConfig, PPOTrainer
+from repro.rl.rollout import Rollout, RolloutBuffer
+
+__all__ = [
+    "featurize",
+    "GraphFeatures",
+    "PartitionPolicy",
+    "PolicyOutput",
+    "PPOConfig",
+    "PPOTrainer",
+    "Rollout",
+    "RolloutBuffer",
+]

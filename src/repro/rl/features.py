@@ -1,0 +1,81 @@
+"""Node featurisation: from a :class:`CompGraph` to policy-network inputs.
+
+Features are graph-local and scale-free so one policy transfers across
+graphs of different sizes and cost magnitudes (the paper's generalisation
+requirement): costs are normalised by graph totals, positions by graph
+depth, and op types are one-hot by category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import CompGraph
+from repro.graphs.ops import N_CATEGORIES
+from repro.nn.layers import mean_aggregation_matrix
+
+#: numeric features + op-category one-hot
+N_BASE_FEATURES = 8
+N_FEATURES = N_BASE_FEATURES + N_CATEGORIES
+
+
+@dataclass(frozen=True)
+class GraphFeatures:
+    """Precomputed policy inputs for one graph.
+
+    Attributes
+    ----------
+    node_features:
+        ``(N, F)`` feature matrix.
+    agg_matrix:
+        Row-normalised adjacency for GraphSAGE mean aggregation.
+    """
+
+    node_features: np.ndarray
+    agg_matrix: object
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the featurised graph."""
+        return self.node_features.shape[0]
+
+
+def featurize(graph: CompGraph) -> GraphFeatures:
+    """Build policy-network inputs for ``graph``."""
+    n = graph.n_nodes
+    compute = graph.compute_us
+    out_bytes = graph.output_bytes
+    params = graph.param_bytes
+
+    total_compute = max(graph.total_compute_us(), 1e-12)
+    total_bytes = max(out_bytes.sum(), 1e-12)
+    total_params = max(params.sum(), 1e-12)
+
+    depth = graph.depth().astype(np.float64)
+    max_depth = max(depth.max(), 1.0)
+    in_deg = graph.in_degree().astype(np.float64)
+    out_deg = graph.out_degree().astype(np.float64)
+
+    # Cumulative compute by topological position: roughly "how far through
+    # the pipeline is this op", the strongest signal for a balanced cut.
+    order = graph.topological_order()
+    position = np.empty(n)
+    cum = np.cumsum(compute[order])
+    position[order] = cum / max(cum[-1], 1e-12)
+
+    features = np.zeros((n, N_FEATURES))
+    features[:, 0] = compute / total_compute * n
+    features[:, 1] = out_bytes / total_bytes * n
+    features[:, 2] = params / total_params * n
+    features[:, 3] = depth / max_depth
+    features[:, 4] = position
+    features[:, 5] = np.log1p(in_deg)
+    features[:, 6] = np.log1p(out_deg)
+    features[:, 7] = 1.0  # bias feature
+    cats = graph.op_categories()
+    features[np.arange(n), N_BASE_FEATURES + cats] = 1.0
+
+    agg = mean_aggregation_matrix(n, graph.src, graph.dst)
+    return GraphFeatures(node_features=features, agg_matrix=agg)

@@ -1,0 +1,146 @@
+"""Proximal Policy Optimization for the partitioning policy.
+
+The episode is single-step: one action is a full-graph placement, one reward
+is the (normalised) throughput of the solver-repaired partition.  The PPO
+surrogate treats each node's chip choice as an action sharing the episode
+advantage — the standard factorisation for single-shot combinatorial
+policies (Zhou et al., 2021) — with clipped per-node importance ratios, an
+entropy bonus, and a clipped value loss.
+
+Paper hyper-parameters (Section 5.1): 20 rollouts per update, 4 minibatches,
+10 epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.tensor import Tensor
+from repro.rl.features import GraphFeatures
+from repro.rl.policy import PartitionPolicy
+from repro.rl.rollout import RolloutBuffer
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class PPOConfig:
+    """PPO hyper-parameters (defaults follow the paper where stated)."""
+
+    n_rollouts: int = 20
+    n_minibatches: int = 4
+    n_epochs: int = 10
+    clip_ratio: float = 0.2
+    entropy_coef: float = 0.01
+    value_coef: float = 0.5
+    learning_rate: float = 3e-4
+    max_grad_norm: float = 1.0
+
+    def __post_init__(self):
+        if self.n_rollouts < 1 or self.n_minibatches < 1 or self.n_epochs < 1:
+            raise ValueError("n_rollouts, n_minibatches, n_epochs must be >= 1")
+        if self.n_minibatches > self.n_rollouts:
+            raise ValueError("n_minibatches cannot exceed n_rollouts")
+        if not (0 < self.clip_ratio < 1):
+            raise ValueError("clip_ratio must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class PPOStats:
+    """Diagnostics from one PPO update."""
+
+    policy_loss: float
+    value_loss: float
+    entropy: float
+    mean_reward: float
+    grad_norm: float
+
+
+class PPOTrainer:
+    """Runs PPO updates on a :class:`PartitionPolicy`.
+
+    Parameters
+    ----------
+    policy:
+        The policy/value network to optimise.
+    config:
+        Hyper-parameters; defaults reproduce the paper's tuned setting.
+    rng:
+        Seed or generator for minibatch shuffling.
+    """
+
+    def __init__(self, policy: PartitionPolicy, config: "PPOConfig | None" = None, rng=None):
+        self.policy = policy
+        self.config = config or PPOConfig()
+        self.rng = as_generator(rng)
+        self.optimizer = Adam(policy.parameters(), lr=self.config.learning_rate)
+
+    def update(self, features: GraphFeatures, buffer: RolloutBuffer) -> PPOStats:
+        """Run one PPO update from ``buffer`` (rollouts on one graph).
+
+        Returns averaged diagnostics over all epochs/minibatches.
+        """
+        if len(buffer) == 0:
+            raise ValueError("buffer is empty")
+        cfg = self.config
+        rollouts = buffer.rollouts
+        advantages = buffer.advantages()
+        n = features.n_nodes
+
+        stats = {"policy": 0.0, "value": 0.0, "entropy": 0.0, "grad": 0.0}
+        n_steps = 0
+        for _ in range(cfg.n_epochs):
+            for idx in buffer.minibatch_indices(cfg.n_minibatches, self.rng):
+                batch = [rollouts[i] for i in idx]
+                r = len(batch)
+                conditioning = np.stack([b.conditioning for b in batch])
+                actions = np.concatenate([b.candidate for b in batch])
+                old_log_probs = np.concatenate([b.log_prob for b in batch])
+                adv = np.repeat(advantages[idx], n)
+                returns = np.array([b.reward for b in batch])
+
+                out = self.policy.forward_batch(features, conditioning)
+                new_log_probs = F.take_along_last(out.log_probs, actions)
+                ratio = F.exp(F.sub(new_log_probs, Tensor(old_log_probs)))
+                unclipped = F.mul(ratio, Tensor(adv))
+                clipped = F.mul(
+                    F.clip(ratio, 1.0 - cfg.clip_ratio, 1.0 + cfg.clip_ratio),
+                    Tensor(adv),
+                )
+                policy_loss = F.mul(F.mean(F.minimum(unclipped, clipped)), Tensor(-1.0))
+
+                value_err = F.sub(out.values, Tensor(returns))
+                value_loss = F.mean(F.square(value_err))
+
+                probs_t = F.exp(out.log_probs)
+                entropy = F.mul(
+                    F.mean(F.sum(F.mul(probs_t, out.log_probs), axis=1)), Tensor(-1.0)
+                )
+
+                loss = F.add(
+                    F.add(policy_loss, F.mul(value_loss, Tensor(cfg.value_coef))),
+                    F.mul(entropy, Tensor(-cfg.entropy_coef)),
+                )
+
+                self.optimizer.zero_grad()
+                loss.backward()
+                grad_norm = clip_grad_norm(self.policy.parameters(), cfg.max_grad_norm)
+                self.optimizer.step()
+
+                stats["policy"] += policy_loss.item()
+                stats["value"] += value_loss.item()
+                stats["entropy"] += entropy.item()
+                stats["grad"] += grad_norm
+                n_steps += 1
+
+        mean_reward = float(np.mean([b.reward for b in rollouts]))
+        return PPOStats(
+            policy_loss=stats["policy"] / n_steps,
+            value_loss=stats["value"] / n_steps,
+            entropy=stats["entropy"] / n_steps,
+            mean_reward=mean_reward,
+            grad_norm=stats["grad"] / n_steps,
+        )

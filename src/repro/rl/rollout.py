@@ -1,0 +1,78 @@
+"""Rollout storage for PPO updates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Rollout:
+    """One policy sample and its environment outcome.
+
+    Attributes
+    ----------
+    conditioning:
+        ``(N,)`` placement the final policy iteration conditioned on.
+    candidate:
+        ``(N,)`` sampled (possibly invalid) action ``y``.
+    repaired:
+        ``(N,)`` solver-repaired valid partition ``y'`` whose reward is used.
+    log_prob:
+        Behaviour-policy per-node log probabilities of ``candidate``
+        (``(N,)``), for the PPO importance ratio.
+    value:
+        Baseline estimate at sampling time.
+    reward:
+        Scalar environment reward (normalised throughput improvement).
+    """
+
+    conditioning: np.ndarray
+    candidate: np.ndarray
+    repaired: np.ndarray
+    log_prob: np.ndarray
+    value: float
+    reward: float
+
+
+class RolloutBuffer:
+    """Fixed-graph rollout collection with advantage computation."""
+
+    def __init__(self):
+        self._rollouts: list[Rollout] = []
+
+    def add(self, rollout: Rollout) -> None:
+        """Append one rollout."""
+        self._rollouts.append(rollout)
+
+    def __len__(self) -> int:
+        return len(self._rollouts)
+
+    def clear(self) -> None:
+        """Drop all stored rollouts."""
+        self._rollouts.clear()
+
+    @property
+    def rollouts(self) -> list[Rollout]:
+        """The stored rollouts (in insertion order)."""
+        return list(self._rollouts)
+
+    def advantages(self, normalize: bool = True) -> np.ndarray:
+        """Single-step advantages ``reward - value`` (optionally standardised)."""
+        if not self._rollouts:
+            return np.zeros(0)
+        rewards = np.array([r.reward for r in self._rollouts])
+        values = np.array([r.value for r in self._rollouts])
+        adv = rewards - values
+        if normalize and adv.size > 1:
+            std = adv.std()
+            adv = (adv - adv.mean()) / (std + 1e-8)
+        return adv
+
+    def minibatch_indices(self, n_minibatches: int, rng) -> list[np.ndarray]:
+        """Shuffle rollouts into ``n_minibatches`` near-equal index groups."""
+        if n_minibatches < 1:
+            raise ValueError("n_minibatches must be >= 1")
+        idx = rng.permutation(len(self._rollouts))
+        return [chunk for chunk in np.array_split(idx, n_minibatches) if chunk.size]

@@ -1,0 +1,39 @@
+"""Constraint solver for the multi-chip partitioning problem.
+
+Implements the role CP-SAT plays in the paper: maintain per-node domains of
+valid chip IDs, propagate the static constraints (acyclic dataflow, no
+skipping chips, chip triangle dependency), and back-track when a decision
+leads to a dead end.  The solver is driven one node at a time through
+``get_domain`` / ``set_domain`` exactly as in the paper's Algorithms 1 and 2,
+exposed as the SAMPLE and FIX strategies.
+"""
+
+from repro.solver.chipgraph import chip_adjacency, longest_paths
+from repro.solver.constraints import (
+    ConstraintReport,
+    check_acyclic_dataflow,
+    check_no_skipping,
+    check_triangle_dependency,
+    validate_partition,
+)
+from repro.solver.engine import ConstraintSolver, Unsatisfiable
+from repro.solver.enumerate import count_valid_partitions, enumerate_valid_partitions
+from repro.solver.fallback import contiguous_partition
+from repro.solver.strategies import fix_partition, sample_partition
+
+__all__ = [
+    "ConstraintSolver",
+    "contiguous_partition",
+    "enumerate_valid_partitions",
+    "count_valid_partitions",
+    "Unsatisfiable",
+    "sample_partition",
+    "fix_partition",
+    "validate_partition",
+    "ConstraintReport",
+    "check_acyclic_dataflow",
+    "check_no_skipping",
+    "check_triangle_dependency",
+    "chip_adjacency",
+    "longest_paths",
+]

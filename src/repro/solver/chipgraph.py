@@ -1,0 +1,66 @@
+"""Chip-dependency graph utilities for the triangle constraint.
+
+The triangle constraint (paper Constraint 3 / Equation 4) is defined on the
+graph whose nodes are chips and whose edges are data dependencies between
+chips: every *direct* dependency must also be the *longest* path between its
+endpoints.  Under the acyclic-dataflow constraint all chip edges point from
+lower to higher IDs, so chips are already topologically ordered by ID and
+longest paths follow from a single ascending DP sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import CompGraph
+
+
+def chip_adjacency(graph: CompGraph, assignment: np.ndarray, n_chips: int) -> np.ndarray:
+    """``(C, C)`` boolean chip-dependency adjacency implied by ``assignment``.
+
+    Edges out of replicable (constant) nodes are ignored: constants are
+    materialised on every chip and never cross the ring.
+    """
+    adj = np.zeros((n_chips, n_chips), dtype=bool)
+    if graph.n_edges == 0:
+        return adj
+    src_c = assignment[graph.src]
+    dst_c = assignment[graph.dst]
+    cross = (src_c != dst_c) & ~graph.is_replicable()[graph.src]
+    adj[src_c[cross], dst_c[cross]] = True
+    return adj
+
+
+def longest_paths(adj: np.ndarray) -> np.ndarray:
+    """Longest path lengths (in edges) between all chip pairs.
+
+    ``adj`` must be a DAG adjacency whose edges go from lower to higher
+    index (guaranteed for chip graphs satisfying acyclic dataflow).  Entries
+    with no path are ``-1``; the diagonal is ``0``.
+    """
+    n = adj.shape[0]
+    if adj.shape != (n, n):
+        raise ValueError("adj must be square")
+    if np.any(adj & ~np.triu(np.ones((n, n), dtype=bool), k=1)):
+        raise ValueError("chip adjacency must only contain edges low -> high")
+    dist = np.full((n, n), -1, dtype=np.int64)
+    np.fill_diagonal(dist, 0)
+    has_pred = adj.any(axis=0)
+    for b in range(n):
+        if not has_pred[b]:
+            continue
+        # Longest path to b via any direct predecessor a: dist[:, a] + 1.
+        reachable = adj[:, b][None, :] & (dist >= 0)
+        best = np.where(reachable, dist + 1, -1).max(axis=1)
+        dist[:, b] = np.maximum(dist[:, b], best)
+    return dist
+
+
+def triangle_violations(adj: np.ndarray) -> np.ndarray:
+    """Direct chip edges whose longest path exceeds 1 (the forbidden pattern).
+
+    Returns an ``(K, 2)`` array of violating ``(src_chip, dst_chip)`` pairs.
+    """
+    dist = longest_paths(adj)
+    bad = adj & (dist > 1)
+    return np.argwhere(bad)

@@ -1,0 +1,87 @@
+"""Whole-partition validators for the static constraints (Equations 2-4).
+
+These are the ground-truth checks used by the environment, the tests, and the
+solver's own property tests; the incremental solver must never emit a
+partition these functions reject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import CompGraph
+from repro.hardware.base import check_assignment
+from repro.solver.chipgraph import chip_adjacency, triangle_violations
+
+
+def check_acyclic_dataflow(graph: CompGraph, assignment: np.ndarray) -> bool:
+    """Constraint 1 (Eq. 2): ``f(u) <= f(v)`` for every edge ``(u, v)``.
+
+    Edges from replicable constants are exempt: constants are materialised
+    on every chip rather than streamed over the ring.
+    """
+    if graph.n_edges == 0:
+        return True
+    exempt = graph.is_replicable()[graph.src]
+    return bool(np.all((assignment[graph.src] <= assignment[graph.dst]) | exempt))
+
+
+def check_no_skipping(graph: CompGraph, assignment: np.ndarray, n_chips: int) -> bool:
+    """Constraint 2 (Eq. 3): used chip IDs form a prefix ``{0..max}``."""
+    used = np.zeros(n_chips, dtype=bool)
+    used[assignment] = True
+    top = int(assignment.max())
+    return bool(used[: top + 1].all())
+
+
+def check_triangle_dependency(
+    graph: CompGraph, assignment: np.ndarray, n_chips: int
+) -> bool:
+    """Constraint 3 (Eq. 4): every direct chip dependency has longest path 1."""
+    adj = chip_adjacency(graph, assignment, n_chips)
+    if not np.any(adj):
+        return True
+    return triangle_violations(adj).size == 0
+
+
+@dataclass(frozen=True)
+class ConstraintReport:
+    """Outcome of validating a complete partition against Eq. 2-4."""
+
+    acyclic_dataflow: bool
+    no_skipping: bool
+    triangle_dependency: bool
+
+    @property
+    def ok(self) -> bool:
+        """True when all static constraints hold."""
+        return self.acyclic_dataflow and self.no_skipping and self.triangle_dependency
+
+    @property
+    def violated(self) -> tuple:
+        """Names of violated constraints (empty when valid)."""
+        out = []
+        if not self.acyclic_dataflow:
+            out.append("acyclic_dataflow")
+        if not self.no_skipping:
+            out.append("no_skipping")
+        if not self.triangle_dependency:
+            out.append("triangle_dependency")
+        return tuple(out)
+
+
+def validate_partition(graph: CompGraph, assignment, n_chips: int) -> ConstraintReport:
+    """Validate a complete assignment against all static constraints."""
+    assignment = check_assignment(graph, assignment, n_chips)
+    acyclic = check_acyclic_dataflow(graph, assignment)
+    return ConstraintReport(
+        acyclic_dataflow=acyclic,
+        no_skipping=check_no_skipping(graph, assignment, n_chips),
+        # The triangle check presumes ascending chip edges; report it as
+        # violated when dataflow is already broken.
+        triangle_dependency=(
+            check_triangle_dependency(graph, assignment, n_chips) if acyclic else False
+        ),
+    )

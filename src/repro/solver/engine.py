@@ -1,0 +1,401 @@
+"""Propagation-based constraint solver with the paper's driver interface.
+
+The solver maintains a *domain* (set of still-valid chip IDs, stored as a
+bitmask) for every node and exposes exactly the interface of the paper's
+Algorithms 1 and 2:
+
+* ``get_domain(u)`` — query the current valid domain of node ``u``.
+* ``set_domain(u, values)`` — restrict ``u``'s domain, run constraint
+  propagation, and return the new decision count; on a dead end the solver
+  back-tracks (undoing decisions and excluding the offending values) and
+  returns a *smaller* count, telling the driver to resume from that node.
+
+Propagation covers the three static constraints:
+
+* **Acyclic dataflow** (Eq. 2) is a conjunction of ``f(u) <= f(v)``
+  constraints, for which bounds propagation over the DAG is exact: the
+  lower bound of a node flows to its successors and the upper bound to its
+  predecessors.
+* **No skipping chips** (Eq. 3) is tracked through per-chip coverage counts
+  (how many nodes could still land on chip ``d``); a chip below the largest
+  forced lower bound with zero coverage is a dead end, and on a complete
+  assignment the check is exact.
+* **Triangle dependency** (Eq. 4) is tracked through an incrementally
+  maintained chip-dependency edge multiset; since edges are only added as
+  nodes become fixed, any longest-path violation among current edges is
+  permanent and triggers an immediate back-track.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+import numpy as np
+
+from repro.graphs.graph import CompGraph
+from repro.solver.chipgraph import longest_paths
+
+
+class Unsatisfiable(RuntimeError):
+    """Raised when no valid partition exists under the accumulated exclusions."""
+
+
+class _Conflict(Exception):
+    """Internal signal: the current restriction emptied a domain or broke Eq. 3/4."""
+
+
+class ConstraintSolver:
+    """Interactive constraint solver over chip-assignment domains.
+
+    Parameters
+    ----------
+    graph:
+        The computation graph being partitioned.
+    n_chips:
+        Number of chiplets (at most 63 so a domain fits in one bitmask).
+    """
+
+    def __init__(self, graph: CompGraph, n_chips: int):
+        if n_chips < 1 or n_chips > 63:
+            raise ValueError("n_chips must be in [1, 63]")
+        self.graph = graph
+        self.n_chips = n_chips
+        n = graph.n_nodes
+
+        replicable = graph.is_replicable()
+        # Constraint-relevant adjacency: edges out of replicable constants
+        # are exempt from all placement constraints.
+        self._succs: list[list[int]] = [[] for _ in range(n)]
+        self._preds: list[list[int]] = [[] for _ in range(n)]
+        for s, d in zip(graph.src.tolist(), graph.dst.tolist()):
+            if replicable[s]:
+                continue
+            self._succs[s].append(d)
+            self._preds[d].append(s)
+
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # State management
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Discard all decisions and exclusions; restore full domains."""
+        full = (1 << self.n_chips) - 1
+        self._masks: list[int] = [full] * self.graph.n_nodes
+        self._cover = [self.graph.n_nodes] * self.n_chips
+        self._max_lo = 0
+        self._edge_count = np.zeros((self.n_chips, self.n_chips), dtype=np.int64)
+        self._decisions: list[tuple[int, int, list]] = []  # (node, chosen_mask, trail)
+        self._root_trail: list = []
+        self._queue: deque = deque()
+        self._new_edges = False
+        # Triangle tables memoised by packed adjacency: back-tracking
+        # revisits the same chip graphs constantly, so keying the cache by
+        # the adjacency itself (not a version counter) gives high hit rates.
+        if not hasattr(self, "_tables_memo"):
+            self._tables_memo: dict[bytes, dict] = {}
+        self._tables_entry: "dict | None" = None
+        self._tables_dirty = True
+
+    @property
+    def n_decisions(self) -> int:
+        """Number of committed decisions (the paper's loop index ``i``)."""
+        return len(self._decisions)
+
+    def is_fixed(self, node: int) -> bool:
+        """True when the node's domain is a single chip."""
+        return self._masks[node].bit_count() == 1
+
+    def get_domain(self, node: int) -> np.ndarray:
+        """Valid chip IDs currently available for ``node`` (ascending).
+
+        On top of the propagated domain this applies *triangle look-ahead*:
+        values whose implied chip-dependency edge (with an already-fixed
+        neighbour) would immediately violate Equation 4 are filtered out.
+        The look-ahead is sound within the current search branch — chip
+        edges only accumulate, so a value invalid now stays invalid — and
+        it is what lets the solver handle production-size graphs without
+        CP-SAT-style clause learning.
+        """
+        mask = self._masks[node]
+        values = np.array(
+            [d for d in range(self.n_chips) if mask >> d & 1], dtype=np.int64
+        )
+        if values.size <= 1:
+            return values
+        pruned = self._triangle_prune(node, values)
+        # Never return an empty domain from look-ahead alone; let
+        # set_domain discover the conflict and back-track properly.
+        return pruned if pruned.size else values
+
+    def _triangle_prune(self, node: int, values: np.ndarray) -> np.ndarray:
+        """Filter ``values`` against chip edges implied by fixed neighbours."""
+        keep = np.ones(values.size, dtype=bool)
+        checked_any = False
+        for w in self._preds[node]:
+            m = self._masks[w]
+            if m.bit_count() == 1:
+                a = m.bit_length() - 1
+                allowed = self._edge_allowed_from(a)
+                keep &= (values == a) | allowed[values]
+                checked_any = True
+        for w in self._succs[node]:
+            m = self._masks[w]
+            if m.bit_count() == 1:
+                b = m.bit_length() - 1
+                allowed = self._edge_allowed_to(b)
+                keep &= (values == b) | allowed[values]
+                checked_any = True
+        if not checked_any:
+            return values
+        return values[keep]
+
+    def _tables(self) -> dict:
+        """Triangle tables for the current chip adjacency (memoised).
+
+        Each entry holds the longest-path matrix, the addable-edge matrix,
+        whether the adjacency itself violates Eq. 4, and lazily filled
+        per-chip domain bitmasks.
+        """
+        if not self._tables_dirty and self._tables_entry is not None:
+            return self._tables_entry
+        adj = self._edge_count > 0
+        key = np.packbits(adj).tobytes()
+        entry = self._tables_memo.get(key)
+        if entry is None:
+            dist = longest_paths(adj)
+            reach = dist >= 0
+            # A new direct edge (x, y) is addable iff no existing path
+            # x -> y of length >= 2, and no existing direct edge (a, b)
+            # such that a reaches x and y reaches b (which would stretch
+            # a-b's longest path past 1).
+            bad = (
+                reach.T.astype(np.int64)
+                @ adj.astype(np.int64)
+                @ reach.T.astype(np.int64)
+            ) > 0
+            allowed = ~bad & (dist < 2)
+            allowed |= adj  # existing edges remain usable
+            entry = {
+                "allowed": allowed,
+                "violated": bool(np.any(adj & (dist > 1))),
+                "from_mask": {},
+                "to_mask": {},
+            }
+            if len(self._tables_memo) >= 4096:
+                self._tables_memo.clear()
+            self._tables_memo[key] = entry
+        self._tables_entry = entry
+        self._tables_dirty = False
+        return entry
+
+    def _edge_allowed_from(self, a: int) -> np.ndarray:
+        """Boolean row: which destination chips accept a new edge from ``a``."""
+        return self._tables()["allowed"][a]
+
+    def _edge_allowed_to(self, b: int) -> np.ndarray:
+        """Boolean column: which source chips accept a new edge into ``b``."""
+        return self._tables()["allowed"][:, b]
+
+    def _successor_mask(self, c: int) -> int:
+        """Bitmask of values a successor of a node fixed at ``c`` may take."""
+        entry = self._tables()
+        cached = entry["from_mask"].get(c)
+        if cached is None:
+            cached = 1 << c
+            for d in np.flatnonzero(entry["allowed"][c]):
+                cached |= 1 << int(d)
+            entry["from_mask"][c] = cached
+        return cached
+
+    def _predecessor_mask(self, c: int) -> int:
+        """Bitmask of values a predecessor of a node fixed at ``c`` may take."""
+        entry = self._tables()
+        cached = entry["to_mask"].get(c)
+        if cached is None:
+            cached = 1 << c
+            for d in np.flatnonzero(entry["allowed"][:, c]):
+                cached |= 1 << int(d)
+            entry["to_mask"][c] = cached
+        return cached
+
+    def assignment(self) -> np.ndarray:
+        """The complete assignment; raises if any node is still unfixed."""
+        out = np.empty(self.graph.n_nodes, dtype=np.int64)
+        for u, mask in enumerate(self._masks):
+            if mask.bit_count() != 1:
+                raise RuntimeError(f"node {u} is not fixed; solve to completion first")
+            out[u] = mask.bit_length() - 1
+        return out
+
+    # ------------------------------------------------------------------
+    # The paper's driver interface
+    # ------------------------------------------------------------------
+    def set_domain(self, node: int, values: "int | Iterable[int]") -> int:
+        """Restrict ``node`` to ``values``, propagate, and return decision count.
+
+        On success the restriction is committed as a new decision and
+        ``n_decisions`` (== previous + 1) is returned.  On conflict the
+        solver back-tracks — undoing the attempt, excluding the offending
+        values at the surviving level, and popping decisions as needed —
+        and returns the new (smaller) decision count.
+        """
+        mask_req = self._to_mask(values)
+        new_mask = mask_req & self._masks[node]
+        trail: list = []
+        try:
+            self._restrict(node, new_mask, trail)
+            self._propagate(trail)
+        except _Conflict:
+            self._undo(trail)
+            return self._resolve_conflict(node, mask_req)
+        self._decisions.append((node, new_mask, trail))
+        return len(self._decisions)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _to_mask(self, values: "int | Iterable[int]") -> int:
+        if isinstance(values, (int, np.integer)):
+            values = [int(values)]
+        mask = 0
+        for v in values:
+            if not (0 <= v < self.n_chips):
+                raise ValueError(f"chip id {v} out of range [0, {self.n_chips})")
+            mask |= 1 << int(v)
+        if mask == 0:
+            raise ValueError("values must be non-empty")
+        return mask
+
+    def _restrict(self, node: int, new_mask: int, trail: list) -> None:
+        """Apply a mask change, update bookkeeping, enqueue propagation."""
+        old = self._masks[node]
+        new_mask &= old
+        if new_mask == old:
+            return
+        if new_mask == 0:
+            raise _Conflict
+        trail.append(("mask", node, old))
+        self._masks[node] = new_mask
+
+        removed = old & ~new_mask
+        while removed:
+            bit = removed & -removed
+            d = bit.bit_length() - 1
+            self._cover[d] -= 1
+            trail.append(("cover", d))
+            removed ^= bit
+
+        new_lo = (new_mask & -new_mask).bit_length() - 1
+        if new_lo > self._max_lo:
+            trail.append(("maxlo", self._max_lo))
+            self._max_lo = new_lo
+
+        if new_mask.bit_count() == 1 and old.bit_count() > 1:
+            self._on_fixed(node, new_lo, trail)
+
+        self._queue.append(node)
+
+    def _on_fixed(self, node: int, value: int, trail: list) -> None:
+        """Record chip-dependency edges once both endpoints are fixed."""
+        for succ in self._succs[node]:
+            m = self._masks[succ]
+            if m.bit_count() == 1:
+                other = m.bit_length() - 1
+                if other != value:
+                    self._add_chip_edge(value, other, trail)
+        for pred in self._preds[node]:
+            m = self._masks[pred]
+            if m.bit_count() == 1:
+                other = m.bit_length() - 1
+                if other != value:
+                    self._add_chip_edge(other, value, trail)
+
+    def _add_chip_edge(self, a: int, b: int, trail: list) -> None:
+        if b < a:
+            # Bounds propagation makes this unreachable, but guard anyway.
+            raise _Conflict
+        self._edge_count[a, b] += 1
+        trail.append(("edge", a, b))
+        if self._edge_count[a, b] == 1:
+            self._new_edges = True
+            self._tables_dirty = True
+
+    def _propagate(self, trail: list) -> None:
+        """Run bounds propagation to fixpoint, then the global checks."""
+        queue = self._queue
+        while queue:
+            u = queue.popleft()
+            mask = self._masks[u]
+            lo = (mask & -mask).bit_length() - 1
+            hi = mask.bit_length() - 1
+            fixed_at = lo if mask.bit_count() == 1 else -1
+            if lo > 0 or fixed_at >= 0:
+                keep_high = ~((1 << lo) - 1)
+                if fixed_at >= 0:
+                    # Triangle propagation: a successor must share the chip
+                    # or sit on one reachable through an addable edge.
+                    keep_high &= self._successor_mask(fixed_at)
+                for w in self._succs[u]:
+                    self._restrict(w, self._masks[w] & keep_high, trail)
+            if hi < self.n_chips - 1 or fixed_at >= 0:
+                keep_low = (1 << (hi + 1)) - 1
+                if fixed_at >= 0:
+                    keep_low &= self._predecessor_mask(fixed_at)
+                for w in self._preds[u]:
+                    self._restrict(w, self._masks[w] & keep_low, trail)
+
+        # No-skipping: every chip below the largest forced lower bound must
+        # still be coverable by some node.
+        for d in range(self._max_lo):
+            if self._cover[d] == 0:
+                raise _Conflict
+
+        # Triangle dependency among currently fixed cross-chip edges.
+        if self._new_edges:
+            self._new_edges = False
+            if self._tables()["violated"]:
+                raise _Conflict
+
+    def _undo(self, trail: list) -> None:
+        """Reverse a trail of bookkeeping entries (most recent first)."""
+        self._queue = deque()
+        self._new_edges = False
+        for entry in reversed(trail):
+            kind = entry[0]
+            if kind == "mask":
+                _, node, old = entry
+                self._masks[node] = old
+            elif kind == "cover":
+                self._cover[entry[1]] += 1
+            elif kind == "maxlo":
+                self._max_lo = entry[1]
+            else:  # edge
+                _, a, b = entry
+                self._edge_count[a, b] -= 1
+                if self._edge_count[a, b] == 0:
+                    self._tables_dirty = True
+        trail.clear()
+
+    def _resolve_conflict(self, node: int, tried_mask: int) -> int:
+        """Back-track: exclude ``tried_mask`` from ``node`` and pop as needed."""
+        while True:
+            excl = self._masks[node] & ~tried_mask
+            if excl:
+                trail: list = []
+                try:
+                    self._restrict(node, excl, trail)
+                    self._propagate(trail)
+                except _Conflict:
+                    self._undo(trail)
+                else:
+                    parent = self._decisions[-1][2] if self._decisions else self._root_trail
+                    parent.extend(trail)
+                    return len(self._decisions)
+            if not self._decisions:
+                raise Unsatisfiable(
+                    "no valid partition under the accumulated exclusions"
+                )
+            node, tried_mask, trail = self._decisions.pop()
+            self._undo(trail)

@@ -1,0 +1,58 @@
+"""Exhaustive enumeration of valid partitions (small instances only).
+
+Used to cross-validate the constraint solver: the set of partitions the
+solver can emit must coincide with the brute-force valid set, and counting
+valid partitions quantifies just how sparse the space is (the paper's core
+motivation).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro.graphs.graph import CompGraph
+from repro.solver.constraints import validate_partition
+
+#: refuse brute force beyond this many candidate assignments
+_MAX_CANDIDATES = 2_000_000
+
+
+def enumerate_valid_partitions(
+    graph: CompGraph, n_chips: int, limit: "int | None" = None
+) -> list[np.ndarray]:
+    """All assignments satisfying the static constraints, by brute force.
+
+    Parameters
+    ----------
+    graph:
+        Graph to partition (must be small: ``n_chips ** n_nodes`` candidate
+        assignments are enumerated).
+    n_chips:
+        Number of chiplets.
+    limit:
+        Stop after this many valid partitions (``None`` = all).
+    """
+    n = graph.n_nodes
+    total = n_chips**n
+    if total > _MAX_CANDIDATES:
+        raise ValueError(
+            f"{n_chips}**{n} = {total} candidates exceeds the brute-force "
+            f"budget of {_MAX_CANDIDATES}"
+        )
+    out: list[np.ndarray] = []
+    for values in product(range(n_chips), repeat=n):
+        assignment = np.array(values, dtype=np.int64)
+        if validate_partition(graph, assignment, n_chips).ok:
+            out.append(assignment)
+            if limit is not None and len(out) >= limit:
+                break
+    return out
+
+
+def count_valid_partitions(graph: CompGraph, n_chips: int) -> tuple[int, int]:
+    """``(n_valid, n_total)`` assignment counts — the sparsity the paper
+    describes ("valid solutions are extremely sparse")."""
+    valid = enumerate_valid_partitions(graph, n_chips)
+    return len(valid), n_chips**graph.n_nodes

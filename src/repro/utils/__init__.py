@@ -1,0 +1,18 @@
+"""Shared utilities: seeded RNG helpers and argument validation."""
+
+from repro.utils.rng import as_generator, spawn_generator
+from repro.utils.validation import (
+    check_array_1d,
+    check_in_range,
+    check_positive,
+    check_probability_matrix,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generator",
+    "check_array_1d",
+    "check_in_range",
+    "check_positive",
+    "check_probability_matrix",
+]

@@ -1,0 +1,47 @@
+"""Seeded random-number-generator plumbing.
+
+Every stochastic component in the library accepts either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None`` and normalises it via
+:func:`as_generator`.  Components that need several independent streams derive
+them with :func:`spawn_generator` so results stay reproducible regardless of
+call order elsewhere in the program.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def as_generator(seed: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Normalise ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for entropy-seeded, an ``int`` for a deterministic stream, or
+        an existing generator which is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"seed must be int, Generator or None, got {type(seed).__name__}")
+
+
+def spawn_generator(rng: np.random.Generator, key: int) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    The child stream is a deterministic function of the parent state and
+    ``key``; drawing from the child does not advance the parent.
+    """
+    if not isinstance(rng, np.random.Generator):
+        raise TypeError("rng must be a numpy Generator")
+    if key < 0:
+        raise ValueError("key must be non-negative")
+    # Mix the key into fresh entropy drawn once from the parent.
+    seed_material = rng.integers(0, 2**63 - 1)
+    return np.random.default_rng(np.random.SeedSequence([int(seed_material), int(key)]))

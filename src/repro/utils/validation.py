@@ -1,0 +1,47 @@
+"""Lightweight argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return float(value)
+
+
+def check_in_range(value: float, name: str, low: float, high: float) -> float:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return float(value)
+
+
+def check_array_1d(arr, name: str, size: "int | None" = None) -> np.ndarray:
+    """Coerce ``arr`` to a 1-D numpy array, optionally checking its length."""
+    out = np.asarray(arr)
+    if out.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {out.shape}")
+    if size is not None and out.shape[0] != size:
+        raise ValueError(f"{name} must have length {size}, got {out.shape[0]}")
+    return out
+
+
+def check_probability_matrix(probs, n_rows: int, n_cols: int, name: str = "probs") -> np.ndarray:
+    """Validate an ``(n_rows, n_cols)`` row-stochastic matrix.
+
+    Each row must be a probability distribution (non-negative, summing to one
+    within tolerance).  Returns the matrix as ``float64``.
+    """
+    mat = np.asarray(probs, dtype=np.float64)
+    if mat.shape != (n_rows, n_cols):
+        raise ValueError(f"{name} must have shape ({n_rows}, {n_cols}), got {mat.shape}")
+    if np.any(mat < -1e-12):
+        raise ValueError(f"{name} contains negative entries")
+    row_sums = mat.sum(axis=1)
+    if not np.allclose(row_sums, 1.0, atol=1e-6):
+        bad = int(np.argmax(np.abs(row_sums - 1.0)))
+        raise ValueError(f"{name} row {bad} sums to {row_sums[bad]:.6f}, expected 1")
+    return mat

@@ -1,0 +1,82 @@
+"""Tests for partition analysis and visualization."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import analyze_partition, format_partition_report
+from repro.analysis.visualize import to_dot
+from repro.hardware.package import MCMPackage
+
+
+class TestAnalyzePartition:
+    def test_per_chip_totals(self, diamond_graph, roomy_package):
+        assignment = np.array([0, 0, 1, 1, 2])
+        report = analyze_partition(diamond_graph, assignment, roomy_package)
+        np.testing.assert_array_equal(report.node_counts, [2, 2, 1, 0])
+        assert report.compute_us[0] == pytest.approx(11.0)
+        assert report.param_bytes[1] == 0.0
+        assert report.param_bytes[0] == pytest.approx(1000.0)
+
+    def test_link_traffic(self, diamond_graph, roomy_package):
+        assignment = np.array([0, 0, 1, 1, 2])
+        report = analyze_partition(diamond_graph, assignment, roomy_package)
+        # node0 output crosses link 0 once (dedup to chip 1)
+        assert report.link_bytes[0] > 0
+        assert report.cut_edges >= 2
+        assert report.max_hop == 1
+
+    def test_multi_hop(self, chain_graph, roomy_package):
+        assignment = np.zeros(10, dtype=int)
+        assignment[1:] = 0
+        assignment[5] = 1
+        assignment[6:] = 3  # hop of 2 from chip 1 to chip 3
+        report = analyze_partition(chain_graph, assignment, roomy_package)
+        assert report.max_hop == 2
+        assert not report.static_ok  # chip 2 skipped
+
+    def test_static_flag(self, chain_graph, roomy_package):
+        from repro.core.baselines import greedy_partition
+
+        assignment = greedy_partition(chain_graph, 4)
+        report = analyze_partition(chain_graph, assignment, roomy_package)
+        assert report.static_ok
+
+    def test_imbalance_metric(self, chain_graph, roomy_package):
+        report = analyze_partition(
+            chain_graph, np.zeros(10, dtype=int), roomy_package
+        )
+        assert report.compute_imbalance == pytest.approx(4.0)  # one of four chips
+        assert report.used_chips == 1
+
+    def test_format_contains_all_chips(self, diamond_graph, roomy_package):
+        report = analyze_partition(
+            diamond_graph, np.array([0, 0, 1, 1, 2]), roomy_package
+        )
+        text = format_partition_report(report)
+        for chip in range(4):
+            assert f"\n{chip}    |" in text or text.splitlines()[3 + chip].startswith(str(chip))
+        assert "cut edges" in text
+
+
+class TestToDot:
+    def test_plain_graph(self, diamond_graph):
+        dot = to_dot(diamond_graph)
+        assert dot.startswith("digraph")
+        assert dot.count("->") == diamond_graph.n_edges
+        assert "n0" in dot
+
+    def test_clustered_by_chip(self, diamond_graph):
+        dot = to_dot(diamond_graph, np.array([0, 0, 1, 1, 2]))
+        assert "cluster_chip0" in dot
+        assert "cluster_chip2" in dot
+
+    def test_size_guard(self):
+        from repro.graphs.zoo import build_bert
+
+        g = build_bert(layers=4, hidden=256, heads=16, seq=64, target_nodes=None)
+        with pytest.raises(ValueError, match="refusing"):
+            to_dot(g, max_nodes=100)
+
+    def test_assignment_shape_checked(self, diamond_graph):
+        with pytest.raises(ValueError):
+            to_dot(diamond_graph, np.zeros(3, dtype=int))

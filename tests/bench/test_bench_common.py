@@ -1,0 +1,79 @@
+"""Tests for the benchmark-suite helpers in benchmarks/common.py."""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import (
+    calibrated_package,
+    get_bench_config,
+    median_random_baseline,
+    rl_config,
+    scaled_bert,
+)
+from repro.core.baselines import greedy_partition
+from repro.hardware.analytical import AnalyticalCostModel
+from repro.hardware.memory import MemoryPlanner
+from repro.hardware.package import MCMPackage
+from repro.solver.constraints import validate_partition
+
+
+class TestBenchConfig:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        cfg = get_bench_config()
+        assert cfg.scale == 1.0
+        assert cfg.n_chips_bert == 8
+        assert cfg.bert_layers == 3
+
+    def test_paper_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "8")
+        cfg = get_bench_config()
+        assert cfg.n_chips_bert == 36
+        assert cfg.bert_layers == 24
+        assert cfg.bert_samples == 800
+
+    def test_rl_config_uses_paper_ppo(self):
+        cfg = rl_config()
+        assert cfg.ppo.n_rollouts == 20
+        assert cfg.ppo.n_minibatches == 4
+        assert cfg.ppo.n_epochs == 10
+
+
+class TestScaledBert:
+    def test_default_scale_graph(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        g = scaled_bert(get_bench_config())
+        assert 100 < g.n_nodes < 400
+        # vocab proportional to hidden: embedding not dominant
+        emb = g.param_bytes[[i for i, n in enumerate(g.names) if "word_shard" in n]]
+        assert emb.sum() < g.total_param_bytes() * 0.6
+
+    def test_paper_scale_graph(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "8")
+        g = scaled_bert(get_bench_config())
+        assert g.n_nodes == 2138
+
+
+class TestCalibratedPackage:
+    def test_greedy_fits(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        g = scaled_bert(get_bench_config())
+        pkg = calibrated_package(g, 4, headroom=1.3)
+        planner = MemoryPlanner(4, capacity_bytes=pkg.chip.sram_bytes)
+        assert planner.check(g, greedy_partition(g, 4))
+
+
+class TestMedianRandomBaseline:
+    def test_valid_and_median_quality(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        g = scaled_bert(get_bench_config())
+        model = AnalyticalCostModel(MCMPackage(n_chips=4))
+        baseline = median_random_baseline(g, 4, model, k=5)
+        assert validate_partition(g, baseline, 4).ok
+        # the median draw is neither the best nor the worst of the five
+        from repro.core.baselines import random_baseline_partition
+
+        draws = [random_baseline_partition(g, 4, seed=100 + i) for i in range(5)]
+        tps = sorted(model.evaluate(g, y).throughput for y in draws)
+        baseline_tp = model.evaluate(g, baseline).throughput
+        assert baseline_tp == pytest.approx(tps[2])

@@ -1,0 +1,110 @@
+"""Tests for the benchmark harness and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    BenchScale,
+    MethodCurve,
+    bench_scale,
+    geomean_curves,
+    run_methods,
+)
+from repro.bench.tables import format_table, samples_to_threshold_table
+from repro.core.baselines import SearchResult
+
+
+class TestBenchScale:
+    def test_env_var_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.0")
+        assert bench_scale().scale == 2.0
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale().scale == 1.0
+
+    def test_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "lots")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+    def test_rejects_tiny(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.001")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+    def test_scaling_helpers(self):
+        s = BenchScale(scale=0.5)
+        assert s.samples(100) == 50
+        assert s.samples(4) == 8  # floor
+        assert s.samples(100, cap=40) == 40
+        assert s.chips(36, cap=36) == 18
+        assert s.layers(24, cap=24) == 12
+
+
+class TestRunMethods:
+    def test_runs_each_method_on_fresh_env(self):
+        calls = []
+
+        class FakeEnv:
+            pass
+
+        def method_a(env, n):
+            calls.append(("a", env))
+            return SearchResult(np.array([1.0, 2.0]), None, 2.0)
+
+        def method_b(env, n):
+            calls.append(("b", env))
+            return SearchResult(np.array([0.5, 0.7]), None, 0.7)
+
+        curves = run_methods(
+            {"A": method_a, "B": method_b}, FakeEnv, 2, graph_name="g"
+        )
+        assert [c.method for c in curves] == ["A", "B"]
+        assert calls[0][1] is not calls[1][1]
+        np.testing.assert_array_equal(curves[0].curve, [1.0, 2.0])
+        assert curves[0].final == 2.0
+
+
+class TestGeomeanCurves:
+    def test_geomean(self):
+        curves = [
+            MethodCurve("m", "g1", np.array([1.0, 4.0])),
+            MethodCurve("m", "g2", np.array([4.0, 1.0])),
+        ]
+        out = geomean_curves(curves, "m")
+        np.testing.assert_allclose(out, [2.0, 2.0])
+
+    def test_truncates_to_shortest(self):
+        curves = [
+            MethodCurve("m", "g1", np.array([1.0, 2.0, 3.0])),
+            MethodCurve("m", "g2", np.array([1.0, 2.0])),
+        ]
+        assert geomean_curves(curves, "m").size == 2
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            geomean_curves([], "missing")
+
+
+class TestTables:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+
+    def test_samples_to_threshold_table(self):
+        curves = {
+            "RL": np.array([1.0, 1.5, 1.7, 1.9]),
+            "Random": np.array([1.0, 1.2, 1.5, 1.6]),
+        }
+        text = samples_to_threshold_table(curves, [1.5, 1.8], "RL")
+        assert "N.A." in text          # Random never reaches 1.8
+        assert "(1.00x)" in text       # RL relative to itself
+        # Random reaches 1.5 at sample 3, RL at sample 2 -> 0.67x
+        assert "3 (0.67x)" in text
+
+    def test_reference_must_exist(self):
+        with pytest.raises(ValueError):
+            samples_to_threshold_table({"A": np.array([1.0])}, [1.0], "B")

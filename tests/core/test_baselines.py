@@ -1,0 +1,115 @@
+"""Tests for the baseline partitioners and SearchResult."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    RandomSearch,
+    SearchResult,
+    SimulatedAnnealing,
+    greedy_partition,
+)
+from repro.core.environment import PartitionEnvironment
+from repro.hardware.analytical import AnalyticalCostModel
+from repro.solver.constraints import validate_partition
+from tests.conftest import random_dag
+
+
+class TestSearchResult:
+    def test_best_so_far_monotone(self):
+        res = SearchResult(
+            improvements=np.array([1.0, 0.5, 2.0, 1.5]),
+            best_assignment=None,
+            best_improvement=2.0,
+        )
+        np.testing.assert_array_equal(res.best_so_far(), [1.0, 1.0, 2.0, 2.0])
+
+    def test_samples_to_reach(self):
+        res = SearchResult(
+            improvements=np.array([1.0, 1.2, 1.8, 1.9]),
+            best_assignment=None,
+            best_improvement=1.9,
+        )
+        assert res.samples_to_reach(1.5) == 3
+        assert res.samples_to_reach(1.0) == 1
+        assert res.samples_to_reach(5.0) is None
+
+    def test_n_samples(self):
+        res = SearchResult(np.zeros(7), None, 0.0)
+        assert res.n_samples == 7
+
+
+class TestGreedyPartition:
+    def test_valid_on_zoo_like_dags(self):
+        for seed in range(5):
+            g = random_dag(seed, 40)
+            y = greedy_partition(g, 5)
+            assert validate_partition(g, y, 5).ok
+
+    def test_balances_node_count(self, chain_graph):
+        y = greedy_partition(chain_graph, 2)
+        counts = np.bincount(y, minlength=2)
+        assert counts[0] == counts[1]
+
+    def test_leaves_compute_headroom(self, chain_graph):
+        # The production heuristic ignores per-op cost, so compute loads
+        # are imbalanced on graphs with skewed costs (search can beat it).
+        y = greedy_partition(chain_graph, 2)
+        loads = np.bincount(y, weights=chain_graph.compute_us, minlength=2)
+        assert loads.max() / loads.sum() > 0.55
+
+
+class TestRandomSearch:
+    def test_curve_and_validity(self, chain_graph, roomy_package):
+        env = PartitionEnvironment(
+            chain_graph, AnalyticalCostModel(roomy_package), 4
+        )
+        result = RandomSearch(rng=0).search(env, 12)
+        assert result.n_samples == 12
+        assert result.best_improvement > 0
+        assert validate_partition(chain_graph, result.best_assignment, 4).ok
+        assert env.n_samples == 12
+
+    def test_deterministic(self, chain_graph, roomy_package):
+        def run():
+            env = PartitionEnvironment(
+                chain_graph, AnalyticalCostModel(roomy_package), 4
+            )
+            return RandomSearch(rng=3).search(env, 8).improvements
+
+        np.testing.assert_array_equal(run(), run())
+
+    def test_rejects_zero_samples(self, chain_graph, roomy_package):
+        env = PartitionEnvironment(
+            chain_graph, AnalyticalCostModel(roomy_package), 4
+        )
+        with pytest.raises(ValueError):
+            RandomSearch(rng=0).search(env, 0)
+
+
+class TestSimulatedAnnealing:
+    def test_finds_valid_improvements(self, roomy_package):
+        g = random_dag(7, 30)
+        env = PartitionEnvironment(g, AnalyticalCostModel(roomy_package), 4)
+        result = SimulatedAnnealing(rng=0).search(env, 15)
+        assert result.best_improvement > 0
+        assert validate_partition(g, result.best_assignment, 4).ok
+
+    def test_accepts_schedule_params(self):
+        sa = SimulatedAnnealing(
+            perturb_fraction=0.5, initial_temperature=0.1, cooling=0.9
+        )
+        assert sa.perturb_fraction == 0.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"perturb_fraction": 0.0},
+            {"perturb_fraction": 1.5},
+            {"initial_temperature": 0.0},
+            {"cooling": 1.5},
+        ],
+    )
+    def test_rejects_bad_schedule(self, kwargs):
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(**kwargs)

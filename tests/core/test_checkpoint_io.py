@@ -1,0 +1,63 @@
+"""Tests for checkpoint persistence and the UnconstrainedRL wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import UnconstrainedRL
+from repro.core.environment import PartitionEnvironment
+from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
+from repro.core.pretrain import Checkpoint, load_checkpoints, save_checkpoints
+from repro.hardware.analytical import AnalyticalCostModel
+from repro.rl.ppo import PPOConfig
+from tests.conftest import random_dag
+
+
+class TestCheckpointIO:
+    def test_roundtrip(self, tmp_path):
+        cfg = RLPartitionerConfig(hidden=8, n_sage_layers=1)
+        p = RLPartitioner(3, config=cfg, rng=0)
+        ckpts = [
+            Checkpoint(step=10, state=p.state_dict(), score=1.5),
+            Checkpoint(step=20, state=p.state_dict()),
+        ]
+        path = str(tmp_path / "ckpts.pkl")
+        save_checkpoints(ckpts, path)
+        loaded = load_checkpoints(path)
+        assert [c.step for c in loaded] == [10, 20]
+        assert loaded[0].score == 1.5
+        assert loaded[1].score is None
+        for key, arr in ckpts[0].state.items():
+            np.testing.assert_array_equal(loaded[0].state[key], arr)
+
+    def test_loaded_state_restores_policy(self, tmp_path):
+        cfg = RLPartitionerConfig(hidden=8, n_sage_layers=1)
+        p1 = RLPartitioner(3, config=cfg, rng=0)
+        path = str(tmp_path / "c.pkl")
+        save_checkpoints([Checkpoint(step=1, state=p1.state_dict())], path)
+        p2 = RLPartitioner(3, config=cfg, rng=7)
+        p2.load_state_dict(load_checkpoints(path)[0].state)
+        for a, b in zip(p1.policy.parameters(), p2.policy.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_creates_directories(self, tmp_path):
+        cfg = RLPartitionerConfig(hidden=8, n_sage_layers=1)
+        p = RLPartitioner(2, config=cfg, rng=0)
+        path = str(tmp_path / "deep" / "dir" / "c.pkl")
+        save_checkpoints([Checkpoint(step=1, state=p.state_dict())], path)
+        assert len(load_checkpoints(path)) == 1
+
+
+class TestUnconstrainedRL:
+    def test_wraps_partitioner_without_solver(self, roomy_package):
+        g = random_dag(6, 20)
+        env = PartitionEnvironment(g, AnalyticalCostModel(roomy_package), 4)
+        cfg = RLPartitionerConfig(
+            hidden=8, n_sage_layers=1,
+            ppo=PPOConfig(n_rollouts=4, n_minibatches=1, n_epochs=1),
+        )
+        arm = UnconstrainedRL(RLPartitioner(4, config=cfg, rng=0))
+        result = arm.search(env, 8)
+        assert result.n_samples == 8
+        assert result.metadata["use_solver"] is False
+        # untrained policy: essentially all samples invalid (paper §5.1)
+        assert (result.improvements == 0).mean() >= 0.75

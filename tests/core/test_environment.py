@@ -1,0 +1,85 @@
+"""Tests for the partition environment."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import greedy_partition
+from repro.core.environment import PartitionEnvironment
+from repro.hardware.analytical import AnalyticalCostModel
+from repro.hardware.package import MCMPackage
+
+
+@pytest.fixture
+def env(chain_graph, roomy_package):
+    return PartitionEnvironment(
+        chain_graph, AnalyticalCostModel(roomy_package), roomy_package.n_chips
+    )
+
+
+class TestBaseline:
+    def test_default_baseline_is_greedy(self, chain_graph, roomy_package):
+        env = PartitionEnvironment(
+            chain_graph, AnalyticalCostModel(roomy_package), 4
+        )
+        expected = greedy_partition(chain_graph, 4)
+        np.testing.assert_array_equal(env.baseline_assignment, expected)
+        assert env.baseline_throughput > 0
+
+    def test_custom_baseline(self, chain_graph, roomy_package):
+        env = PartitionEnvironment(
+            chain_graph,
+            AnalyticalCostModel(roomy_package),
+            4,
+            baseline_assignment=np.zeros(10, dtype=int),
+        )
+        assert env.baseline_throughput == pytest.approx(
+            1e6 / chain_graph.total_compute_us()
+        )
+
+    def test_invalid_baseline_rejected(self, chain_graph, roomy_package):
+        backward = np.zeros(10, dtype=int)
+        backward[:5] = 1
+        with pytest.raises(ValueError):
+            PartitionEnvironment(
+                chain_graph,
+                AnalyticalCostModel(roomy_package),
+                4,
+                baseline_assignment=backward,
+            )
+
+
+class TestEvaluate:
+    def test_improvement_relative_to_baseline(self, env):
+        sample = env.evaluate(env.baseline_assignment)
+        assert sample.improvement == pytest.approx(1.0)
+
+    def test_invalid_static_gets_zero(self, env):
+        skipped = np.zeros(10, dtype=int)
+        skipped[5:] = 2  # chip 1 skipped
+        sample = env.evaluate(skipped)
+        assert sample.improvement == 0.0
+        assert not sample.result.valid
+        assert sample.result.failure_reason.startswith("static:")
+
+    def test_static_check_can_be_disabled(self, chain_graph, roomy_package):
+        env = PartitionEnvironment(
+            chain_graph,
+            AnalyticalCostModel(roomy_package),
+            4,
+            check_static=False,
+        )
+        skipped = np.zeros(10, dtype=int)
+        skipped[5:] = 2
+        sample = env.evaluate(skipped)
+        # the analytical model itself has no notion of skipping
+        assert sample.result.valid
+
+    def test_sample_counter(self, env):
+        assert env.n_samples == 0
+        env.evaluate(env.baseline_assignment)
+        env.evaluate(env.baseline_assignment)
+        assert env.n_samples == 2
+
+    def test_reward_is_improvement(self, env):
+        sample = env.evaluate(env.baseline_assignment)
+        assert env.reward(sample) == sample.improvement

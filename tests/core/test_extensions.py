@@ -1,0 +1,95 @@
+"""Tests for extension features: latency objective, hill climbing, epsilon."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import HillClimbing, random_baseline_partition
+from repro.core.environment import PartitionEnvironment
+from repro.core.partitioner import RLPartitionerConfig
+from repro.hardware.analytical import AnalyticalCostModel
+from repro.hardware.simulator import PipelineSimulator
+from repro.solver.constraints import validate_partition
+from tests.conftest import random_dag
+
+
+class TestLatencyObjective:
+    def test_latency_fields_populated(self, chain_graph, roomy_package):
+        model = AnalyticalCostModel(roomy_package)
+        res = model.evaluate(chain_graph, np.zeros(10, dtype=int))
+        assert np.isfinite(res.latency_us)
+        # single chip: latency equals the stage time
+        assert res.latency_us == pytest.approx(res.runtime_us)
+
+    def test_pipelining_trades_latency_for_throughput(self, chain_graph, roomy_package):
+        model = AnalyticalCostModel(roomy_package)
+        single = model.evaluate(chain_graph, np.zeros(10, dtype=int))
+        split = np.zeros(10, dtype=int)
+        split[5:] = 1
+        dual = model.evaluate(chain_graph, split)
+        assert dual.throughput > single.throughput
+        assert dual.latency_us > single.latency_us  # transfers add latency
+
+    def test_simulator_latency(self, chain_graph, roomy_package):
+        sim = PipelineSimulator(roomy_package)
+        split = np.zeros(10, dtype=int)
+        split[5:] = 1
+        res = sim.evaluate(chain_graph, split)
+        assert res.latency_us >= res.chip_latency_us.sum() - 1e-9
+
+    def test_latency_environment(self, chain_graph, roomy_package):
+        env = PartitionEnvironment(
+            chain_graph,
+            AnalyticalCostModel(roomy_package),
+            4,
+            objective="latency",
+        )
+        sample = env.evaluate(env.baseline_assignment)
+        assert sample.improvement == pytest.approx(1.0)
+        # everything on one chip: lower latency than the pipelined baseline
+        single = env.evaluate(np.zeros(10, dtype=int))
+        assert single.improvement > 1.0
+
+    def test_rejects_unknown_objective(self, chain_graph, roomy_package):
+        with pytest.raises(ValueError):
+            PartitionEnvironment(
+                chain_graph,
+                AnalyticalCostModel(roomy_package),
+                4,
+                objective="power",
+            )
+
+
+class TestHillClimbing:
+    def test_improves_over_greedy_start(self, roomy_package):
+        g = random_dag(9, 30)
+        env = PartitionEnvironment(g, AnalyticalCostModel(roomy_package), 4)
+        result = HillClimbing(rng=0).search(env, 40)
+        assert result.best_improvement >= 1.0 or result.best_improvement > 0
+        assert result.n_samples == 40
+
+    def test_best_assignment_valid_when_found(self, roomy_package):
+        g = random_dag(10, 25)
+        env = PartitionEnvironment(g, AnalyticalCostModel(roomy_package), 4)
+        result = HillClimbing(rng=1).search(env, 40)
+        if result.best_assignment is not None and result.best_improvement > 0:
+            assert validate_partition(g, result.best_assignment, 4).ok
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            HillClimbing(restart_after=0)
+
+
+class TestExploreEps:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RLPartitionerConfig(explore_eps=1.0)
+        assert RLPartitionerConfig(explore_eps=0.0).explore_eps == 0.0
+
+
+class TestRandomBaseline:
+    def test_is_valid_and_deterministic(self):
+        g = random_dag(11, 30)
+        a = random_baseline_partition(g, 4, seed=5)
+        b = random_baseline_partition(g, 4, seed=5)
+        np.testing.assert_array_equal(a, b)
+        assert validate_partition(g, a, 4).ok

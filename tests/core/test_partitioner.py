@@ -1,0 +1,111 @@
+"""Tests for the RL partitioner (policy + solver + PPO)."""
+
+import numpy as np
+import pytest
+
+from repro.core.environment import PartitionEnvironment
+from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
+from repro.hardware.analytical import AnalyticalCostModel
+from repro.rl.ppo import PPOConfig
+from repro.solver.constraints import validate_partition
+from tests.conftest import random_dag
+
+
+@pytest.fixture
+def small_env(roomy_package):
+    g = random_dag(5, 25)
+    return PartitionEnvironment(g, AnalyticalCostModel(roomy_package), 4)
+
+
+def _partitioner(**kwargs):
+    cfg = RLPartitionerConfig(
+        hidden=16,
+        n_sage_layers=2,
+        ppo=PPOConfig(n_rollouts=5, n_minibatches=1, n_epochs=2),
+        **kwargs,
+    )
+    return RLPartitioner(4, config=cfg, rng=0)
+
+
+class TestSearch:
+    def test_all_samples_valid_with_solver(self, small_env):
+        p = _partitioner()
+        result = p.search(small_env, 10)
+        assert np.all(result.improvements > 0)
+        assert validate_partition(
+            small_env.graph, result.best_assignment, 4
+        ).ok
+
+    def test_without_solver_mostly_invalid(self, small_env):
+        p = _partitioner()
+        result = p.search(small_env, 10, use_solver=False)
+        # untrained policy on 4 chips: valid partitions are overwhelmingly
+        # unlikely (the paper's Section 5.1 observation)
+        assert (result.improvements == 0).mean() >= 0.8
+
+    def test_sample_mode(self, small_env):
+        p = _partitioner(solver_mode="sample")
+        result = p.search(small_env, 6)
+        assert np.all(result.improvements > 0)
+
+    def test_train_false_freezes_weights(self, small_env):
+        p = _partitioner()
+        before = [w.data.copy() for w in p.policy.parameters()]
+        p.search(small_env, 6, train=False)
+        for b, w in zip(before, p.policy.parameters()):
+            np.testing.assert_array_equal(b, w.data)
+
+    def test_train_true_updates_weights(self, small_env):
+        p = _partitioner()
+        before = [w.data.copy() for w in p.policy.parameters()]
+        p.search(small_env, 6, train=True)  # >= one PPO buffer (5 rollouts)
+        assert any(
+            not np.allclose(b, w.data)
+            for b, w in zip(before, p.policy.parameters())
+        )
+
+    def test_chip_count_mismatch_rejected(self, roomy_package):
+        g = random_dag(0, 10)
+        env = PartitionEnvironment(g, AnalyticalCostModel(roomy_package), 3)
+        with pytest.raises(ValueError):
+            _partitioner().search(env, 4)
+
+    def test_rejects_zero_samples(self, small_env):
+        with pytest.raises(ValueError):
+            _partitioner().search(small_env, 0)
+
+
+class TestCheckpointing:
+    def test_state_roundtrip(self, small_env):
+        p1 = _partitioner()
+        p1.search(small_env, 5)
+        state = p1.state_dict()
+        p2 = _partitioner()
+        p2.load_state_dict(state)
+        a = p1.policy.forward_batch(
+            __import__("repro.rl.features", fromlist=["featurize"]).featurize(
+                small_env.graph
+            ),
+            np.zeros((1, small_env.graph.n_nodes), dtype=int),
+        ).probs
+        b = p2.policy.forward_batch(
+            __import__("repro.rl.features", fromlist=["featurize"]).featurize(
+                small_env.graph
+            ),
+            np.zeros((1, small_env.graph.n_nodes), dtype=int),
+        ).probs
+        np.testing.assert_allclose(a, b)
+
+
+class TestProposeBest:
+    def test_returns_valid_partition(self, small_env):
+        p = _partitioner()
+        assignment, improvement = p.propose_best(small_env, n_samples=3)
+        assert validate_partition(small_env.graph, assignment, 4).ok
+        assert improvement > 0
+
+
+class TestConfig:
+    def test_rejects_bad_solver_mode(self):
+        with pytest.raises(ValueError):
+            RLPartitionerConfig(solver_mode="magic")

@@ -1,0 +1,109 @@
+"""Tests for the pre-training pipeline and deployment helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.environment import PartitionEnvironment
+from repro.core.finetune import fine_tune_search, zero_shot_search
+from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
+from repro.core.pretrain import Checkpoint, PretrainConfig, pretrain, select_checkpoint
+from repro.hardware.analytical import AnalyticalCostModel
+from repro.hardware.package import MCMPackage
+from repro.rl.ppo import PPOConfig
+from tests.conftest import random_dag
+
+
+@pytest.fixture
+def setup(roomy_package):
+    graphs = [random_dag(s, 15) for s in range(3)]
+
+    def env_factory(g):
+        return PartitionEnvironment(g, AnalyticalCostModel(roomy_package), 4)
+
+    cfg = RLPartitionerConfig(
+        hidden=8, n_sage_layers=1,
+        ppo=PPOConfig(n_rollouts=4, n_minibatches=1, n_epochs=1),
+    )
+    partitioner = RLPartitioner(4, config=cfg, rng=0)
+    return graphs, env_factory, partitioner
+
+
+class TestPretrain:
+    def test_checkpoint_cadence(self, setup):
+        graphs, env_factory, partitioner = setup
+        cfg = PretrainConfig(total_samples=24, n_checkpoints=3, samples_per_graph=4)
+        ckpts = pretrain(partitioner, graphs, env_factory, cfg)
+        assert len(ckpts) == 3
+        assert [c.step for c in ckpts] == [8, 16, 24]
+
+    def test_progress_callback(self, setup):
+        graphs, env_factory, partitioner = setup
+        seen = []
+        cfg = PretrainConfig(total_samples=8, n_checkpoints=1, samples_per_graph=4)
+        pretrain(partitioner, graphs, env_factory, cfg, progress=lambda s, r: seen.append(s))
+        assert seen == [4, 8]
+
+    def test_rejects_empty_graphs(self, setup):
+        _, env_factory, partitioner = setup
+        with pytest.raises(ValueError):
+            pretrain(partitioner, [], env_factory)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            PretrainConfig(total_samples=0)
+
+
+class TestSelectCheckpoint:
+    def test_scores_and_picks_best(self, setup):
+        graphs, env_factory, partitioner = setup
+        cfg = PretrainConfig(total_samples=8, n_checkpoints=2, samples_per_graph=4)
+        ckpts = pretrain(partitioner, graphs, env_factory, cfg)
+        best = select_checkpoint(
+            ckpts, partitioner, graphs[:1], env_factory, zero_shot_samples=2
+        )
+        assert best in ckpts
+        assert all(c.score is not None for c in ckpts)
+        assert best.score == max(c.score for c in ckpts)
+
+    def test_finetune_scoring(self, setup):
+        graphs, env_factory, partitioner = setup
+        cfg = PretrainConfig(total_samples=8, n_checkpoints=1, samples_per_graph=4)
+        ckpts = pretrain(partitioner, graphs, env_factory, cfg)
+        best = select_checkpoint(
+            ckpts, partitioner, graphs[:1], env_factory,
+            zero_shot_samples=2, finetune_samples=4,
+        )
+        assert best.score is not None
+
+    def test_rejects_empty(self, setup):
+        graphs, env_factory, partitioner = setup
+        with pytest.raises(ValueError):
+            select_checkpoint([], partitioner, graphs, env_factory)
+        with pytest.raises(ValueError):
+            select_checkpoint(
+                [Checkpoint(step=0, state=partitioner.state_dict())],
+                partitioner, [], env_factory,
+            )
+
+
+class TestDeployment:
+    def test_zero_shot_does_not_train(self, setup):
+        graphs, env_factory, partitioner = setup
+        state = partitioner.state_dict()
+        env = env_factory(graphs[0])
+        result = zero_shot_search(partitioner, state, env, 4)
+        assert result.n_samples == 4
+        for key, arr in partitioner.state_dict().items():
+            np.testing.assert_array_equal(arr, state[key])
+
+    def test_fine_tune_trains(self, setup):
+        graphs, env_factory, partitioner = setup
+        state = partitioner.state_dict()
+        env = env_factory(graphs[0])
+        result = fine_tune_search(partitioner, state, env, 8)
+        assert result.n_samples == 8
+        changed = any(
+            not np.allclose(arr, state[key])
+            for key, arr in partitioner.state_dict().items()
+        )
+        assert changed

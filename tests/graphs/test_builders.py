@@ -1,0 +1,85 @@
+"""Tests for GraphBuilder."""
+
+import pytest
+
+from repro.graphs.builders import GraphBuilder
+from repro.graphs.ops import OpType
+
+
+class TestAddNode:
+    def test_sequential_ids(self):
+        b = GraphBuilder()
+        assert b.add_node("a", OpType.INPUT) == 0
+        assert b.add_node("b", OpType.RELU) == 1
+        assert b.n_nodes == 2
+
+    def test_inputs_create_edges(self):
+        b = GraphBuilder()
+        a = b.add_node("a", OpType.INPUT)
+        c = b.add_node("c", OpType.ADD, inputs=[a])
+        g = b.build()
+        assert g.n_edges == 1
+        assert g.src[0] == a and g.dst[0] == c
+
+    def test_rejects_negative_costs(self):
+        b = GraphBuilder()
+        with pytest.raises(ValueError):
+            b.add_node("a", OpType.INPUT, compute_us=-1.0)
+
+
+class TestAddEdge:
+    def test_duplicate_edges_ignored(self):
+        b = GraphBuilder()
+        a = b.add_node("a", OpType.INPUT)
+        c = b.add_node("c", OpType.RELU)
+        b.add_edge(a, c)
+        b.add_edge(a, c)
+        assert b.build().n_edges == 1
+
+    def test_rejects_unknown_nodes(self):
+        b = GraphBuilder()
+        b.add_node("a", OpType.INPUT)
+        with pytest.raises(ValueError):
+            b.add_edge(0, 7)
+        with pytest.raises(ValueError):
+            b.add_edge(7, 0)
+
+    def test_rejects_self_loop(self):
+        b = GraphBuilder()
+        a = b.add_node("a", OpType.INPUT)
+        with pytest.raises(ValueError):
+            b.add_edge(a, a)
+
+
+class TestAddChain:
+    def test_chain_links_sequentially(self):
+        b = GraphBuilder()
+        inp = b.add_node("in", OpType.INPUT, output_bytes=8.0)
+        ids = b.add_chain(
+            [
+                ("m", OpType.MATMUL, 5.0, 16.0, 64.0),
+                ("r", OpType.RELU, 1.0, 16.0),
+            ],
+            inputs=[inp],
+        )
+        g = b.build()
+        assert ids == [1, 2]
+        assert set(zip(g.src.tolist(), g.dst.tolist())) == {(0, 1), (1, 2)}
+        assert g.param_bytes[1] == 64.0
+
+    def test_chain_without_inputs(self):
+        b = GraphBuilder()
+        ids = b.add_chain([("a", OpType.INPUT, 0.0, 8.0), ("b", OpType.RELU, 1.0, 8.0)])
+        g = b.build()
+        assert len(ids) == 2 and g.n_edges == 1
+
+
+class TestBuild:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            GraphBuilder().build()
+
+    def test_build_preserves_name(self):
+        b = GraphBuilder("myname")
+        b.add_node("a", OpType.INPUT)
+        assert b.build().name == "myname"

@@ -1,0 +1,158 @@
+"""Tests for the CompGraph IR."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.builders import GraphBuilder
+from repro.graphs.graph import CompGraph
+from repro.graphs.ops import OpType
+from tests.conftest import random_dag
+
+
+class TestBasicProperties:
+    def test_counts(self, diamond_graph):
+        assert diamond_graph.n_nodes == 5
+        assert diamond_graph.n_edges == 5
+        assert len(diamond_graph) == 5
+
+    def test_adjacency(self, diamond_graph):
+        assert set(diamond_graph.successors(0).tolist()) == {1, 2}
+        assert set(diamond_graph.predecessors(3).tolist()) == {1, 2}
+        assert diamond_graph.predecessors(0).size == 0
+        assert diamond_graph.successors(4).size == 0
+
+    def test_degrees(self, diamond_graph):
+        np.testing.assert_array_equal(diamond_graph.in_degree(), [0, 1, 1, 2, 1])
+        np.testing.assert_array_equal(diamond_graph.out_degree(), [2, 1, 1, 1, 0])
+
+    def test_totals(self, diamond_graph):
+        assert diamond_graph.total_compute_us() == pytest.approx(18.5)
+        assert diamond_graph.total_param_bytes() == pytest.approx(1000.0)
+
+    def test_edge_bytes_are_producer_output(self, diamond_graph):
+        eb = diamond_graph.edge_bytes()
+        # every edge out of node 0 carries node 0's output bytes
+        for k in range(diamond_graph.n_edges):
+            assert eb[k] == diamond_graph.output_bytes[diamond_graph.src[k]]
+
+
+class TestTopology:
+    def test_topological_order_respects_edges(self, diamond_graph):
+        order = diamond_graph.topological_order()
+        pos = np.empty(diamond_graph.n_nodes, dtype=int)
+        pos[order] = np.arange(diamond_graph.n_nodes)
+        assert np.all(pos[diamond_graph.src] < pos[diamond_graph.dst])
+
+    def test_depth(self, diamond_graph):
+        np.testing.assert_array_equal(diamond_graph.depth(), [0, 1, 1, 2, 3])
+
+    def test_chain_depth(self, chain_graph):
+        np.testing.assert_array_equal(chain_graph.depth(), np.arange(10))
+
+    def test_critical_path_on_chain(self, chain_graph):
+        cp = chain_graph.critical_path_us()
+        expected = np.cumsum(chain_graph.compute_us)
+        np.testing.assert_allclose(cp, expected)
+
+    def test_cycle_detection(self):
+        with pytest.raises(ValueError, match="cycle"):
+            CompGraph(
+                names=("a", "b"),
+                op_types=np.array([0, 0]),
+                compute_us=np.zeros(2),
+                output_bytes=np.zeros(2),
+                param_bytes=np.zeros(2),
+                src=np.array([0, 1]),
+                dst=np.array([1, 0]),
+            )
+
+    def test_random_topological_order_is_linear_extension(self):
+        g = random_dag(3, 30)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            order = g.random_topological_order(rng)
+            pos = np.empty(g.n_nodes, dtype=int)
+            pos[order] = np.arange(g.n_nodes)
+            assert np.all(pos[g.src] < pos[g.dst])
+
+    def test_random_topological_orders_differ(self):
+        g = random_dag(4, 30, edge_prob=0.05)
+        rng = np.random.default_rng(0)
+        orders = {tuple(g.random_topological_order(rng)) for _ in range(5)}
+        assert len(orders) > 1
+
+    def test_compute_position_monotone_along_chain(self, chain_graph):
+        pos = chain_graph.compute_position()
+        assert np.all(np.diff(pos[chain_graph.topological_order()]) >= 0)
+        assert pos.max() == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            CompGraph(
+                names=("a",),
+                op_types=np.array([0, 0]),
+                compute_us=np.zeros(1),
+                output_bytes=np.zeros(1),
+                param_bytes=np.zeros(1),
+                src=np.zeros(0, dtype=int),
+                dst=np.zeros(0, dtype=int),
+            )
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(ValueError):
+            CompGraph(
+                names=("a", "b"),
+                op_types=np.zeros(2, dtype=int),
+                compute_us=np.zeros(2),
+                output_bytes=np.zeros(2),
+                param_bytes=np.zeros(2),
+                src=np.array([0]),
+                dst=np.array([5]),
+            )
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            CompGraph(
+                names=("a",),
+                op_types=np.zeros(1, dtype=int),
+                compute_us=np.array([-1.0]),
+                output_bytes=np.zeros(1),
+                param_bytes=np.zeros(1),
+                src=np.zeros(0, dtype=int),
+                dst=np.zeros(0, dtype=int),
+            )
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            CompGraph(
+                names=("a", "b"),
+                op_types=np.zeros(2, dtype=int),
+                compute_us=np.zeros(2),
+                output_bytes=np.zeros(2),
+                param_bytes=np.zeros(2),
+                src=np.array([1]),
+                dst=np.array([1]),
+            )
+
+
+class TestInterop:
+    def test_to_networkx_roundtrip_structure(self, diamond_graph):
+        g = diamond_graph.to_networkx()
+        assert g.number_of_nodes() == diamond_graph.n_nodes
+        assert g.number_of_edges() == diamond_graph.n_edges
+        import networkx as nx
+
+        assert nx.is_directed_acyclic_graph(g)
+
+    def test_summary_mentions_counts(self, diamond_graph):
+        text = diamond_graph.summary()
+        assert "5 nodes" in text
+
+    def test_replicable_mask(self):
+        b = GraphBuilder("g")
+        b.add_node("const", OpType.CONSTANT, output_bytes=4.0)
+        b.add_node("x", OpType.INPUT, output_bytes=4.0)
+        g = b.build()
+        np.testing.assert_array_equal(g.is_replicable(), [True, False])

@@ -1,0 +1,63 @@
+"""Property-based tests (hypothesis) for graph utilities."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import random_dag
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2000), n_nodes=st.integers(2, 40))
+def test_depth_monotone_along_edges(seed, n_nodes):
+    g = random_dag(seed, n_nodes)
+    depth = g.depth()
+    assert np.all(depth[g.dst] > depth[g.src])
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2000), n_nodes=st.integers(2, 40))
+def test_critical_path_dominates_own_compute(seed, n_nodes):
+    g = random_dag(seed, n_nodes)
+    cp = g.critical_path_us()
+    assert np.all(cp >= g.compute_us - 1e-12)
+    # critical path is monotone along edges too
+    assert np.all(cp[g.dst] > cp[g.src])
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2000), n_nodes=st.integers(2, 40))
+def test_compute_position_is_a_cdf(seed, n_nodes):
+    g = random_dag(seed, n_nodes)
+    pos = g.compute_position()
+    assert pos.max() <= 1.0 + 1e-12
+    assert pos.min() > 0.0
+    # positions along the topological order are non-decreasing
+    order = g.topological_order()
+    assert np.all(np.diff(pos[order]) >= -1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2000), n_nodes=st.integers(2, 30))
+def test_adjacency_roundtrip(seed, n_nodes):
+    g = random_dag(seed, n_nodes)
+    # successors/predecessors must agree with the edge list
+    edges = set(zip(g.src.tolist(), g.dst.tolist()))
+    rebuilt = set()
+    for u in range(n_nodes):
+        for v in g.successors(u):
+            rebuilt.add((u, int(v)))
+    assert rebuilt == edges
+    rebuilt_back = set()
+    for v in range(n_nodes):
+        for u in g.predecessors(v):
+            rebuilt_back.add((int(u), v))
+    assert rebuilt_back == edges
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2000), n_nodes=st.integers(2, 30))
+def test_degree_sums_match_edge_count(seed, n_nodes):
+    g = random_dag(seed, n_nodes)
+    assert g.in_degree().sum() == g.n_edges
+    assert g.out_degree().sum() == g.n_edges

@@ -1,0 +1,59 @@
+"""Tests for graph save/load."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.serialization import load_graph, save_graph
+from repro.graphs.zoo import build_lstm
+from tests.conftest import random_dag
+
+
+class TestRoundtrip:
+    def test_random_dag_roundtrip(self, tmp_path):
+        g = random_dag(7, 25)
+        path = str(tmp_path / "g.npz")
+        save_graph(g, path)
+        loaded = load_graph(path)
+        assert loaded.name == g.name
+        assert loaded.names == g.names
+        np.testing.assert_array_equal(loaded.op_types, g.op_types)
+        np.testing.assert_allclose(loaded.compute_us, g.compute_us)
+        np.testing.assert_allclose(loaded.output_bytes, g.output_bytes)
+        np.testing.assert_allclose(loaded.param_bytes, g.param_bytes)
+        np.testing.assert_array_equal(loaded.src, g.src)
+        np.testing.assert_array_equal(loaded.dst, g.dst)
+
+    def test_zoo_graph_roundtrip(self, tmp_path):
+        g = build_lstm(steps=3)
+        path = str(tmp_path / "lstm.npz")
+        save_graph(g, path)
+        loaded = load_graph(path)
+        assert loaded.n_nodes == g.n_nodes
+        assert loaded.total_compute_us() == pytest.approx(g.total_compute_us())
+
+    def test_loaded_graph_is_usable(self, tmp_path):
+        from repro.solver import validate_partition
+        from repro.solver.fallback import contiguous_partition
+
+        g = random_dag(3, 20)
+        path = str(tmp_path / "g.npz")
+        save_graph(g, path)
+        loaded = load_graph(path)
+        y = contiguous_partition(loaded, 3)
+        assert validate_partition(loaded, y, 3).ok
+
+    def test_version_check(self, tmp_path):
+        g = random_dag(1, 5)
+        path = str(tmp_path / "g.npz")
+        save_graph(g, path)
+        data = dict(np.load(path, allow_pickle=False))
+        data["format_version"] = np.int64(99)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_graph(path)
+
+    def test_creates_directories(self, tmp_path):
+        g = random_dag(2, 5)
+        path = str(tmp_path / "nested" / "dir" / "g.npz")
+        save_graph(g, path)
+        assert load_graph(path).n_nodes == 5

@@ -1,0 +1,183 @@
+"""Tests for the model-zoo graph families."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.ops import OpType
+from repro.graphs.zoo import (
+    build_autoencoder,
+    build_bert,
+    build_cnn,
+    build_dataset,
+    build_gru,
+    build_inception_cnn,
+    build_lstm,
+    build_mlp,
+    build_residual_cnn,
+)
+from repro.graphs.zoo.transformer import base_node_count, build_transformer
+
+
+def _assert_well_formed(g):
+    """Zoo invariants: DAG, one component-ish, sane costs."""
+    g.topological_order()  # raises on cycles
+    assert g.total_compute_us() > 0
+    assert np.all(g.output_bytes >= 0)
+    # every non-source node has at least one input, except declared sources
+    indeg = g.in_degree()
+    sources = np.flatnonzero(indeg == 0)
+    src_types = {int(g.op_types[s]) for s in sources}
+    assert src_types <= {
+        int(OpType.INPUT), int(OpType.CONSTANT), int(OpType.EMBEDDING)
+    }
+
+
+class TestCNNFamilies:
+    def test_plain_cnn(self):
+        g = build_cnn(depth=6)
+        _assert_well_formed(g)
+        assert 15 <= g.n_nodes <= 40
+
+    def test_depth_scales_nodes(self):
+        assert build_cnn(depth=12).n_nodes > build_cnn(depth=4).n_nodes
+
+    def test_residual_cnn_has_branches(self):
+        g = build_residual_cnn(stages=2, blocks_per_stage=2)
+        _assert_well_formed(g)
+        # residual adds have in-degree 2
+        adds = np.flatnonzero(g.op_types == int(OpType.ADD))
+        assert np.all(g.in_degree()[adds] == 2)
+
+    def test_inception_concat_fanin(self):
+        g = build_inception_cnn(blocks=2, branches=3)
+        _assert_well_formed(g)
+        concats = np.flatnonzero(g.op_types == int(OpType.CONCAT))
+        assert np.all(g.in_degree()[concats] == 3)
+
+    @pytest.mark.parametrize("builder", [build_cnn, build_residual_cnn, build_inception_cnn])
+    def test_rejects_bad_depth(self, builder):
+        with pytest.raises(ValueError):
+            builder(0)
+
+
+class TestRNNFamilies:
+    def test_lstm_node_count_scales_with_steps(self):
+        g4, g8 = build_lstm(steps=4), build_lstm(steps=8)
+        _assert_well_formed(g4)
+        assert g8.n_nodes - g4.n_nodes == 4 * (g8.n_nodes - build_lstm(steps=7).n_nodes)
+
+    def test_lstm_has_recurrence(self):
+        g = build_lstm(steps=3)
+        # hidden state chains across steps: depth grows linearly
+        assert g.depth().max() >= 3 * 3
+
+    def test_gru(self):
+        g = build_gru(steps=5)
+        _assert_well_formed(g)
+        assert g.n_nodes > 50
+
+    def test_rejects_zero_steps(self):
+        with pytest.raises(ValueError):
+            build_lstm(steps=0)
+        with pytest.raises(ValueError):
+            build_gru(steps=0)
+
+
+class TestMLPFamilies:
+    def test_mlp_layer_count(self):
+        g = build_mlp(hidden_dims=(64, 64))
+        _assert_well_formed(g)
+        matmuls = int((g.op_types == int(OpType.MATMUL)).sum())
+        assert matmuls == 3  # 2 hidden + 1 head
+
+    def test_autoencoder_symmetry(self):
+        g = build_autoencoder(depth=3)
+        _assert_well_formed(g)
+
+    def test_rejects_empty_dims(self):
+        with pytest.raises(ValueError):
+            build_mlp(hidden_dims=())
+
+
+class TestTransformer:
+    def test_bert_matches_paper_node_count(self):
+        g = build_bert()
+        assert g.n_nodes == 2138  # paper Section 5.1
+
+    def test_bert_parameter_count_near_paper(self):
+        g = build_bert()
+        params = g.total_param_bytes() / 2  # bf16 -> parameter count
+        assert 320e6 < params < 360e6  # paper: ~340M
+
+    def test_base_node_count_formula(self):
+        for layers, heads, shards in [(2, 4, 1), (4, 8, 8), (24, 16, 8)]:
+            g = build_transformer(
+                layers=layers, hidden=64 * heads, heads=heads, seq=32,
+                target_nodes=None, emb_shards=shards,
+            )
+            assert g.n_nodes == base_node_count(layers, heads, shards)
+
+    def test_target_nodes_exact(self):
+        base = base_node_count(2, 4, 2)
+        g = build_transformer(
+            layers=2, hidden=64, heads=4, seq=32, target_nodes=base + 17,
+            emb_shards=2,
+        )
+        assert g.n_nodes == base + 17
+
+    def test_target_below_base_rejected(self):
+        with pytest.raises(ValueError):
+            build_transformer(layers=2, hidden=64, heads=4, target_nodes=10)
+
+    def test_attention_mask_is_replicable_constant(self):
+        g = build_bert(layers=2, hidden=128, heads=4, seq=32, target_nodes=None)
+        consts = np.flatnonzero(g.is_replicable())
+        assert consts.size == 1
+        assert "mask" in g.names[consts[0]]
+
+    def test_head_fanout(self):
+        g = build_transformer(layers=1, hidden=64, heads=4, seq=16, target_nodes=None)
+        concats = np.flatnonzero(g.op_types == int(OpType.CONCAT))
+        assert np.any(g.in_degree()[concats] == 4)
+
+    def test_hidden_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            build_transformer(layers=1, hidden=65, heads=4)
+
+
+class TestDataset:
+    def test_split_sizes_match_paper(self):
+        ds = build_dataset()
+        assert len(ds.train) == 66
+        assert len(ds.validation) == 5
+        assert len(ds.test) == 16
+
+    def test_deterministic(self):
+        a, b = build_dataset(seed=3), build_dataset(seed=3)
+        assert [g.name for g in a.all_graphs] == [g.name for g in b.all_graphs]
+
+    def test_seeds_differ(self):
+        a, b = build_dataset(seed=1), build_dataset(seed=2)
+        assert [g.name for g in a.train] != [g.name for g in b.train]
+
+    def test_node_range_tens_to_hundreds(self):
+        ds = build_dataset()
+        sizes = [g.n_nodes for g in ds.all_graphs]
+        assert min(sizes) >= 10
+        assert max(sizes) <= 1000
+
+    def test_no_attention_in_dataset(self):
+        from repro.graphs.ops import OpType
+
+        ds = build_dataset()
+        for g in ds.all_graphs:
+            assert not np.any(g.op_types == int(OpType.EINSUM))
+
+    def test_rejects_bad_split(self):
+        with pytest.raises(ValueError):
+            build_dataset(n_total=10, n_train=8, n_validation=2)
+
+    def test_all_graphs_well_formed(self):
+        ds = build_dataset()
+        for g in ds.all_graphs:
+            _assert_well_formed(g)

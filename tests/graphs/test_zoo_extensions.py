@@ -1,0 +1,99 @@
+"""Tests for the extension zoo families (UNet, MobileNet, decoder)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.ops import OpType
+from repro.graphs.zoo import build_decoder, build_mobilenet, build_unet
+from repro.solver import validate_partition
+from repro.solver.fallback import contiguous_partition
+from repro.solver.strategies import sample_partition
+
+
+class TestUNet:
+    def test_skip_connections_exist(self):
+        g = build_unet(depth=3)
+        # concats take two inputs: the upsample path and the encoder skip
+        concats = np.flatnonzero(g.op_types == int(OpType.CONCAT))
+        assert concats.size == 3
+        assert np.all(g.in_degree()[concats] == 2)
+
+    def test_skips_span_the_bottleneck(self):
+        """Skip edges cross a long stretch of the graph (the hard case)."""
+        g = build_unet(depth=3)
+        position = np.argsort(np.argsort(g.topological_order()))
+        spans = position[g.dst] - position[g.src]
+        assert spans.max() >= g.n_nodes // 3
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            build_unet(depth=0)
+        with pytest.raises(ValueError):
+            build_unet(depth=8, image_hw=16)
+
+    def test_partitionable_despite_long_skips(self):
+        g = build_unet(depth=3)
+        for c in (2, 3):
+            y = contiguous_partition(g, c)
+            assert validate_partition(g, y, c).ok
+        probs = np.full((g.n_nodes, 2), 0.5)
+        y = sample_partition(g, probs, 2, rng=0)
+        assert validate_partition(g, y, 2).ok
+
+    def test_long_skips_limit_safe_cuts(self):
+        """With many chips, safe contiguous cuts are scarce: the heuristic
+        may use fewer chips than requested rather than break a skip edge."""
+        g = build_unet(depth=4, image_hw=64)
+        y = contiguous_partition(g, 8)
+        assert validate_partition(g, y, 8).ok  # valid even if < 8 chips used
+
+
+class TestMobileNet:
+    def test_depthwise_blocks(self):
+        g = build_mobilenet(blocks=6)
+        dw = int((g.op_types == int(OpType.DEPTHWISE_CONV)).sum())
+        assert dw == 6
+
+    def test_node_count_scales(self):
+        assert build_mobilenet(blocks=10).n_nodes > build_mobilenet(blocks=4).n_nodes
+
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ValueError):
+            build_mobilenet(blocks=0)
+
+
+class TestDecoder:
+    def test_structure(self):
+        g = build_decoder(layers=2, hidden=128, heads=4, seq=64)
+        # causal mask is a replicable constant
+        assert np.any(g.is_replicable())
+        # per-layer residuals: 2 per layer
+        adds = [n for n in g.names if n.endswith("/residual")]
+        assert len(adds) == 4
+
+    def test_default_vocab_ratio(self):
+        g = build_decoder(layers=1, hidden=128, heads=4, seq=32)
+        emb = [i for i, n in enumerate(g.names) if n == "embeddings/token"][0]
+        assert g.param_bytes[emb] == pytest.approx(30 * 128 * 128 * 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_decoder(layers=0)
+        with pytest.raises(ValueError):
+            build_decoder(hidden=130, heads=4)
+
+    def test_partitionable(self):
+        g = build_decoder(layers=2, hidden=128, heads=4, seq=64)
+        probs = np.full((g.n_nodes, 4), 0.25)
+        y = sample_partition(g, probs, 4, rng=0)
+        assert validate_partition(g, y, 4).ok
+
+    def test_policy_transfers_to_decoder(self):
+        """An encoder-pretrained policy evaluates decoder graphs (shapes)."""
+        from repro.rl.features import featurize
+        from repro.rl.policy import PartitionPolicy
+
+        policy = PartitionPolicy(n_chips=4, hidden=16, n_sage_layers=2, rng=0)
+        g = build_decoder(layers=1, hidden=128, heads=4, seq=32)
+        out = policy.forward_batch(featurize(g), np.zeros((1, g.n_nodes), dtype=int))
+        assert out.probs.shape == (1, g.n_nodes, 4)

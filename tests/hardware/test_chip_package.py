@@ -1,0 +1,70 @@
+"""Tests for ChipSpec and MCMPackage."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.chip import ChipSpec
+from repro.hardware.package import MCMPackage
+
+
+class TestChipSpec:
+    def test_defaults_are_paper_scale(self):
+        chip = ChipSpec()
+        # "tens of MBs SRAM", "tens of GB/s" links
+        assert 10 * 2**20 <= chip.sram_bytes <= 100 * 2**20
+        assert 10 <= chip.link_bandwidth_gbps <= 100
+
+    def test_transfer_time_scales_linearly(self):
+        chip = ChipSpec(link_latency_us=0.0)
+        assert chip.transfer_us(2e9) == pytest.approx(2 * chip.transfer_us(1e9))
+
+    def test_transfer_includes_latency(self):
+        chip = ChipSpec(link_latency_us=5.0)
+        assert chip.transfer_us(0.0) == pytest.approx(5.0)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            ChipSpec().transfer_us(-1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sram_bytes": 0},
+            {"compute_scale": -1.0},
+            {"link_bandwidth_gbps": 0.0},
+            {"link_latency_us": -1.0},
+        ],
+    )
+    def test_rejects_bad_spec(self, kwargs):
+        with pytest.raises(ValueError):
+            ChipSpec(**kwargs)
+
+
+class TestMCMPackage:
+    def test_paper_default_is_36_chips(self):
+        assert MCMPackage().n_chips == 36
+
+    def test_links_count(self):
+        assert MCMPackage(n_chips=4).n_links == 3
+
+    def test_hops_forward(self):
+        pkg = MCMPackage(n_chips=8)
+        assert pkg.hops(2, 5) == 3
+        assert pkg.hops(3, 3) == 0
+
+    def test_backward_transfer_rejected(self):
+        with pytest.raises(ValueError, match="backward"):
+            MCMPackage(n_chips=4).hops(2, 1)
+
+    def test_links_crossed(self):
+        pkg = MCMPackage(n_chips=8)
+        np.testing.assert_array_equal(pkg.links_crossed(2, 5), [2, 3, 4])
+        assert pkg.links_crossed(3, 3).size == 0
+
+    def test_chip_range_checked(self):
+        with pytest.raises(ValueError):
+            MCMPackage(n_chips=4).hops(0, 4)
+
+    def test_rejects_zero_chips(self):
+        with pytest.raises(ValueError):
+            MCMPackage(n_chips=0)

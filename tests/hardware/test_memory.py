@@ -1,0 +1,95 @@
+"""Tests for the memory planner (dynamic constraint H)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.builders import GraphBuilder
+from repro.graphs.ops import OpType
+from repro.hardware.memory import MemoryPlanner
+
+
+def _chain(k=4, out_bytes=100.0, params=0.0):
+    b = GraphBuilder("chain")
+    prev = b.add_node("n0", OpType.INPUT, output_bytes=out_bytes)
+    for i in range(1, k):
+        prev = b.add_node(
+            f"n{i}", OpType.RELU, compute_us=1.0, output_bytes=out_bytes,
+            param_bytes=params, inputs=[prev],
+        )
+    return b.build()
+
+
+class TestPeakMemory:
+    def test_chain_single_chip_peak_is_two_buffers(self):
+        # At any point in a chain only producer+consumer buffers are live.
+        g = _chain(k=6, out_bytes=100.0)
+        planner = MemoryPlanner(1, capacity_bytes=1e9)
+        report = planner.plan(g, np.zeros(6, dtype=int))
+        assert report.peak_bytes[0] == pytest.approx(200.0)
+
+    def test_params_always_resident(self):
+        g = _chain(k=4, out_bytes=10.0, params=1000.0)
+        planner = MemoryPlanner(1, capacity_bytes=1e9)
+        report = planner.plan(g, np.zeros(4, dtype=int))
+        assert report.peak_bytes[0] >= 3000.0  # 3 param-carrying nodes
+
+    def test_long_lived_buffer_extends_lifetime(self):
+        # node0 output consumed by the LAST node: live the whole time.
+        b = GraphBuilder("skip")
+        n0 = b.add_node("n0", OpType.INPUT, output_bytes=500.0)
+        prev = n0
+        for i in range(1, 4):
+            prev = b.add_node(f"n{i}", OpType.RELU, compute_us=1.0,
+                              output_bytes=100.0, inputs=[prev])
+        b.add_node("last", OpType.ADD, compute_us=1.0, output_bytes=100.0,
+                   inputs=[prev, n0])
+        g = b.build()
+        planner = MemoryPlanner(1, capacity_bytes=1e9)
+        report = planner.plan(g, np.zeros(5, dtype=int))
+        # skip buffer (500) + two chain buffers live simultaneously
+        assert report.peak_bytes[0] >= 700.0
+
+    def test_cross_chip_buffer_counted_on_both_chips(self):
+        g = _chain(k=2, out_bytes=300.0)
+        planner = MemoryPlanner(2, capacity_bytes=1e9)
+        report = planner.plan(g, np.array([0, 1]))
+        assert report.peak_bytes[0] >= 300.0
+        assert report.peak_bytes[1] >= 300.0
+
+    def test_constants_replicated_to_every_chip(self):
+        b = GraphBuilder("g")
+        b.add_node("c", OpType.CONSTANT, output_bytes=50.0)
+        b.add_node("x", OpType.INPUT, output_bytes=10.0)
+        g = b.build()
+        planner = MemoryPlanner(3, capacity_bytes=1e9)
+        report = planner.plan(g, np.array([0, 1]))
+        assert np.all(report.peak_bytes >= 50.0)
+
+
+class TestFitCheck:
+    def test_fits_within_capacity(self):
+        g = _chain(k=4, out_bytes=100.0)
+        assert MemoryPlanner(1, capacity_bytes=250.0).check(g, np.zeros(4, dtype=int))
+
+    def test_oom_detected(self):
+        g = _chain(k=4, out_bytes=100.0)
+        planner = MemoryPlanner(1, capacity_bytes=150.0)
+        report = planner.plan(g, np.zeros(4, dtype=int))
+        assert not report.ok
+        assert report.worst_chip == 0
+
+    def test_splitting_relieves_memory(self):
+        # single chip: 8 x 100 params + 200 live = 1000; split halves:
+        # 400 params + ~200 live per chip = ~600.
+        g = _chain(k=8, out_bytes=100.0, params=100.0)
+        planner = MemoryPlanner(2, capacity_bytes=700.0)
+        assert not planner.check(g, np.zeros(8, dtype=int))
+        split = np.zeros(8, dtype=int)
+        split[4:] = 1
+        assert planner.check(g, split)
+
+    def test_rejects_bad_init(self):
+        with pytest.raises(ValueError):
+            MemoryPlanner(0, capacity_bytes=10.0)
+        with pytest.raises(ValueError):
+            MemoryPlanner(1, capacity_bytes=0.0)

@@ -1,0 +1,94 @@
+"""Tests for schedule-dependent memory planning (the dynamic constraint)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.builders import GraphBuilder
+from repro.graphs.ops import OpType
+from repro.hardware.memory import MemoryPlanner
+
+
+def _parallel_branches(n_branches=4, branch_len=4, out_bytes=100.0):
+    """input fans out to n independent chains (no merge).
+
+    A depth-first schedule finishes one chain before starting the next, so
+    at most two chain buffers are live; a breadth-first schedule advances
+    all chains in lock-step, keeping one live buffer per chain.
+    """
+    b = GraphBuilder("branches")
+    inp = b.add_node("in", OpType.INPUT, output_bytes=out_bytes)
+    for k in range(n_branches):
+        prev = inp
+        for j in range(branch_len):
+            prev = b.add_node(
+                f"b{k}/n{j}", OpType.RELU, compute_us=1.0,
+                output_bytes=out_bytes, inputs=[prev],
+            )
+    return b.build()
+
+
+class TestScheduleDependence:
+    def test_bfs_holds_more_buffers_on_parallel_branches(self):
+        """Interleaving branches keeps one live buffer per branch; running
+        them to completion keeps only a couple."""
+        g = _parallel_branches(n_branches=6)
+        a = np.zeros(g.n_nodes, dtype=int)
+        dfs = MemoryPlanner(1, capacity_bytes=2**40, schedule="dfs").plan(g, a)
+        bfs = MemoryPlanner(1, capacity_bytes=2**40, schedule="bfs").plan(g, a)
+        assert bfs.peak_bytes[0] > dfs.peak_bytes[0]
+
+    def test_same_partition_different_verdicts(self):
+        """The paper's point: H(G, f) depends on the later scheduling pass —
+        the same placement passes under one schedule and fails another."""
+        g = _parallel_branches(n_branches=6)
+        a = np.zeros(g.n_nodes, dtype=int)
+        probe = MemoryPlanner(1, capacity_bytes=2**40, schedule="dfs")
+        dfs_peak = probe.plan(g, a).peak_bytes[0]
+        capacity = dfs_peak * 1.05
+        assert MemoryPlanner(1, capacity, schedule="dfs").check(g, a)
+        assert not MemoryPlanner(1, capacity, schedule="bfs").check(g, a)
+
+    def test_chain_is_schedule_invariant(self, chain_graph):
+        a = np.zeros(10, dtype=int)
+        dfs = MemoryPlanner(1, 2**40, schedule="dfs").plan(chain_graph, a)
+        bfs = MemoryPlanner(1, 2**40, schedule="bfs").plan(chain_graph, a)
+        assert dfs.peak_bytes[0] == pytest.approx(bfs.peak_bytes[0])
+
+    def test_rejects_unknown_schedule(self):
+        with pytest.raises(ValueError):
+            MemoryPlanner(1, 100.0, schedule="random")
+
+
+class TestRepeatHarness:
+    def test_mean_and_std_shapes(self):
+        from repro.bench.harness import repeat_methods
+        from repro.core.baselines import SearchResult
+
+        def factory(seed):
+            rng = np.random.default_rng(seed)
+
+            def method(env, n):
+                return SearchResult(rng.random(n), None, 1.0)
+
+            return {"M": method}
+
+        means, stds = repeat_methods(factory, lambda: None, 6, n_repeats=4)
+        assert means["M"].shape == (6,)
+        assert stds["M"].shape == (6,)
+        assert np.all(stds["M"] >= 0)
+
+    def test_single_repeat_zero_std(self):
+        from repro.bench.harness import repeat_methods
+        from repro.core.baselines import SearchResult
+
+        def factory(seed):
+            return {"M": lambda env, n: SearchResult(np.ones(4), None, 1.0)}
+
+        _, stds = repeat_methods(factory, lambda: None, 4, n_repeats=1)
+        np.testing.assert_array_equal(stds["M"], 0.0)
+
+    def test_rejects_zero_repeats(self):
+        from repro.bench.harness import repeat_methods
+
+        with pytest.raises(ValueError):
+            repeat_methods(lambda s: {}, lambda: None, 4, n_repeats=0)

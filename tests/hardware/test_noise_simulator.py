@@ -1,0 +1,122 @@
+"""Tests for the perturbation model and pipeline simulator."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.builders import GraphBuilder
+from repro.graphs.ops import OpType
+from repro.hardware.analytical import AnalyticalCostModel
+from repro.hardware.chip import ChipSpec
+from repro.hardware.noise import PerturbationModel
+from repro.hardware.package import MCMPackage
+from repro.hardware.simulator import PipelineSimulator
+
+
+class TestPerturbationModel:
+    def test_deterministic(self):
+        m = PerturbationModel(salt=3)
+        nodes = np.arange(10)
+        cats = np.zeros(10, dtype=int)
+        chips = np.arange(10) % 4
+        a = m.factors(nodes, cats, chips)
+        b = PerturbationModel(salt=3).factors(nodes, cats, chips)
+        np.testing.assert_array_equal(a, b)
+
+    def test_salt_changes_factors(self):
+        nodes, cats, chips = np.arange(32), np.zeros(32, dtype=int), np.zeros(32, dtype=int)
+        a = PerturbationModel(salt=1).factors(nodes, cats, chips)
+        b = PerturbationModel(salt=2).factors(nodes, cats, chips)
+        assert not np.allclose(a, b)
+
+    def test_amplitude_bounds(self):
+        m = PerturbationModel(op_amplitude=0.1, chip_amplitude=0.05, category_amplitude=0.05)
+        nodes = np.arange(1000)
+        f = m.factors(nodes, nodes % 6, nodes % 8)
+        assert np.all(f > 0.7) and np.all(f < 1.3)
+
+    def test_zero_amplitude_is_identity(self):
+        m = PerturbationModel(0.0, 0.0, 0.0)
+        f = m.factors(np.arange(5), np.zeros(5, dtype=int), np.zeros(5, dtype=int))
+        np.testing.assert_allclose(f, 1.0)
+
+    def test_rejects_bad_amplitude(self):
+        with pytest.raises(ValueError):
+            PerturbationModel(op_amplitude=1.5)
+
+
+class TestPipelineSimulator:
+    @pytest.fixture
+    def graph(self, chain_graph):
+        return chain_graph
+
+    def test_matches_analytical_shape_without_noise(self, graph, roomy_package):
+        sim = PipelineSimulator(
+            roomy_package,
+            perturbation=PerturbationModel(0.0, 0.0, 0.0),
+            op_overhead_us=0.0,
+        )
+        ana = AnalyticalCostModel(roomy_package)
+        assignment = np.zeros(10, dtype=int)
+        assert sim.evaluate(graph, assignment).runtime_us == pytest.approx(
+            ana.evaluate(graph, assignment).runtime_us
+        )
+
+    def test_overhead_charged_per_op(self, graph, roomy_package):
+        base = PipelineSimulator(
+            roomy_package, PerturbationModel(0.0, 0.0, 0.0), op_overhead_us=0.0
+        )
+        with_oh = PipelineSimulator(
+            roomy_package, PerturbationModel(0.0, 0.0, 0.0), op_overhead_us=2.0
+        )
+        a = np.zeros(10, dtype=int)
+        diff = with_oh.evaluate(graph, a).runtime_us - base.evaluate(graph, a).runtime_us
+        assert diff == pytest.approx(20.0)
+
+    def test_oom_partition_rejected(self, graph):
+        pkg = MCMPackage(n_chips=2, chip=ChipSpec(sram_bytes=64.0))
+        sim = PipelineSimulator(pkg)
+        res = sim.evaluate(graph, np.zeros(10, dtype=int))
+        assert not res.valid
+        assert res.failure_reason == "oom"
+        assert res.throughput == 0.0
+
+    def test_memory_check_disabled(self, graph):
+        pkg = MCMPackage(n_chips=2, chip=ChipSpec(sram_bytes=64.0))
+        sim = PipelineSimulator(pkg, check_memory=False)
+        assert sim.evaluate(graph, np.zeros(10, dtype=int)).valid
+
+    def test_backward_edge_rejected(self, graph, roomy_package):
+        sim = PipelineSimulator(roomy_package)
+        a = np.zeros(10, dtype=int)
+        a[:5] = 1
+        res = sim.evaluate(graph, a)
+        assert not res.valid and res.failure_reason == "backward_edge"
+
+    def test_link_contention_multi_hop(self, roomy_package):
+        # One transfer chip0 -> chip3 occupies links 0,1,2.
+        b = GraphBuilder("hop")
+        n0 = b.add_node("a", OpType.INPUT, compute_us=1.0, output_bytes=1e6)
+        b.add_node("b", OpType.RELU, compute_us=1.0, output_bytes=8.0, inputs=[n0])
+        g = b.build()
+        sim = PipelineSimulator(
+            roomy_package, PerturbationModel(0.0, 0.0, 0.0), op_overhead_us=0.0
+        )
+        res = sim.evaluate(g, np.array([0, 3]))
+        assert res.valid
+        wire = 1e6 / (roomy_package.chip.link_bandwidth_gbps * 1e9) * 1e6
+        expected = wire + roomy_package.chip.link_latency_us
+        np.testing.assert_allclose(res.link_latency_us, expected)
+
+    def test_determinism(self, graph, roomy_package):
+        sim = PipelineSimulator(roomy_package)
+        a = np.zeros(10, dtype=int)
+        assert sim.evaluate(graph, a).runtime_us == sim.evaluate(graph, a).runtime_us
+
+    def test_memory_report_exposed(self, graph, roomy_package):
+        sim = PipelineSimulator(roomy_package)
+        report = sim.memory_report(graph, np.zeros(10, dtype=int))
+        assert report.peak_bytes.shape == (4,)
+
+    def test_rejects_negative_overhead(self, roomy_package):
+        with pytest.raises(ValueError):
+            PipelineSimulator(roomy_package, op_overhead_us=-1.0)

@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) for the hardware models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.analytical import AnalyticalCostModel
+from repro.hardware.chip import ChipSpec
+from repro.hardware.memory import MemoryPlanner
+from repro.hardware.package import MCMPackage
+from repro.hardware.noise import PerturbationModel
+from repro.hardware.simulator import PipelineSimulator
+from repro.solver.fallback import contiguous_partition
+from tests.conftest import random_dag
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 1000), n_nodes=st.integers(3, 30), n_chips=st.integers(1, 6))
+def test_analytical_runtime_at_least_max_chip_compute(seed, n_nodes, n_chips):
+    """Transfers only add latency: runtime >= busiest chip's raw compute."""
+    g = random_dag(seed, n_nodes)
+    model = AnalyticalCostModel(MCMPackage(n_chips=n_chips))
+    y = contiguous_partition(g, n_chips)
+    res = model.evaluate(g, y)
+    loads = np.zeros(n_chips)
+    np.add.at(loads, y, g.compute_us)
+    assert res.runtime_us >= loads.max() - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 1000), n_nodes=st.integers(3, 30), n_chips=st.integers(1, 6))
+def test_latency_at_least_runtime(seed, n_nodes, n_chips):
+    """End-to-end latency can never beat the pipeline interval."""
+    g = random_dag(seed, n_nodes)
+    model = AnalyticalCostModel(MCMPackage(n_chips=n_chips))
+    y = contiguous_partition(g, n_chips)
+    res = model.evaluate(g, y)
+    assert res.latency_us >= res.runtime_us - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 1000), n_nodes=st.integers(3, 25))
+def test_peak_memory_at_least_params(seed, n_nodes):
+    """Peak memory includes resident parameters on every chip."""
+    g = random_dag(seed, n_nodes)
+    y = contiguous_partition(g, 3)
+    planner = MemoryPlanner(3, capacity_bytes=2**60)
+    report = planner.plan(g, y)
+    params = np.zeros(3)
+    np.add.at(params, y, g.param_bytes)
+    assert np.all(report.peak_bytes >= params - 1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 1000), n_nodes=st.integers(3, 25))
+def test_peak_memory_bounded_by_total(seed, n_nodes):
+    """No chip's peak can exceed all params + all activations."""
+    g = random_dag(seed, n_nodes)
+    y = contiguous_partition(g, 3)
+    planner = MemoryPlanner(3, capacity_bytes=2**60)
+    report = planner.plan(g, y)
+    upper = g.param_bytes.sum() + g.output_bytes.sum()
+    assert np.all(report.peak_bytes <= upper + 1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000), n_nodes=st.integers(3, 25), salt=st.integers(0, 50))
+def test_simulator_determinism(seed, n_nodes, salt):
+    """The "hardware" is a pure function of (graph, assignment, salt)."""
+    g = random_dag(seed, n_nodes)
+    pkg = MCMPackage(n_chips=3, chip=ChipSpec(sram_bytes=2**40))
+    sim_a = PipelineSimulator(pkg, PerturbationModel(salt=salt))
+    sim_b = PipelineSimulator(pkg, PerturbationModel(salt=salt))
+    y = contiguous_partition(g, 3)
+    assert sim_a.evaluate(g, y).runtime_us == sim_b.evaluate(g, y).runtime_us
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000), n_nodes=st.integers(4, 25))
+def test_simulator_within_perturbation_envelope(seed, n_nodes):
+    """Perturbed compute stays within the composed amplitude bounds of the
+    unperturbed simulator's compute estimate."""
+    g = random_dag(seed, n_nodes)
+    pkg = MCMPackage(n_chips=2, chip=ChipSpec(sram_bytes=2**40))
+    clean = PipelineSimulator(pkg, PerturbationModel(0.0, 0.0, 0.0), op_overhead_us=0.0)
+    noisy = PipelineSimulator(
+        pkg, PerturbationModel(0.1, 0.05, 0.05), op_overhead_us=0.0
+    )
+    y = contiguous_partition(g, 2)
+    a = clean.evaluate(g, y)
+    b = noisy.evaluate(g, y)
+    # composed bound: (1.1)(1.05)(1.05) ~ 1.22
+    assert b.runtime_us <= a.runtime_us * 1.25 + 1e-6
+    assert b.runtime_us >= a.runtime_us * 0.75 - 1e-6

@@ -1,0 +1,124 @@
+"""End-to-end integration tests across all subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AnalyticalCostModel,
+    MCMPackage,
+    PartitionEnvironment,
+    PipelineSimulator,
+    RandomSearch,
+    RLPartitioner,
+    RLPartitionerConfig,
+    SimulatedAnnealing,
+    build_bert,
+    build_dataset,
+    fine_tune_search,
+    greedy_partition,
+    pretrain,
+    select_checkpoint,
+    validate_partition,
+    zero_shot_search,
+)
+from repro.core.pretrain import PretrainConfig
+from repro.hardware.chip import ChipSpec
+from repro.rl.ppo import PPOConfig
+
+
+def _fast_config():
+    return RLPartitionerConfig(
+        hidden=16,
+        n_sage_layers=2,
+        ppo=PPOConfig(n_rollouts=5, n_minibatches=1, n_epochs=2),
+    )
+
+
+class TestSearchPipeline:
+    def test_rl_vs_baselines_on_zoo_graph(self):
+        """All methods produce valid partitions and positive improvements."""
+        ds = build_dataset()
+        g = ds.test[0]
+        package = MCMPackage(n_chips=4)
+        model = AnalyticalCostModel(package)
+
+        results = {}
+        env = PartitionEnvironment(g, model, 4)
+        results["rl"] = RLPartitioner(4, config=_fast_config(), rng=0).search(env, 15)
+        env = PartitionEnvironment(g, model, 4)
+        results["random"] = RandomSearch(rng=0).search(env, 15)
+        env = PartitionEnvironment(g, model, 4)
+        results["sa"] = SimulatedAnnealing(rng=0).search(env, 15)
+
+        for name, result in results.items():
+            assert result.best_improvement > 0.5, name
+            assert validate_partition(g, result.best_assignment, 4).ok, name
+
+    def test_scaled_bert_on_simulator(self):
+        """A scaled BERT runs end to end on the pipeline simulator."""
+        g = build_bert(layers=2, hidden=128, heads=4, seq=32, target_nodes=None)
+        package = MCMPackage(n_chips=4, chip=ChipSpec(sram_bytes=2**30))
+        sim = PipelineSimulator(package)
+        env = PartitionEnvironment(g, sim, 4)
+        result = RandomSearch(rng=0).search(env, 6)
+        assert result.best_improvement > 0
+        assert validate_partition(g, result.best_assignment, 4).ok
+
+    def test_greedy_baseline_valid_on_full_bert(self):
+        g = build_bert()
+        y = greedy_partition(g, 36)
+        assert validate_partition(g, y, 36).ok
+
+
+class TestTransferPipeline:
+    def test_pretrain_select_deploy(self):
+        """The full Figure 4 workflow at miniature scale."""
+        ds = build_dataset()
+        train = list(ds.train[:3])
+        val = list(ds.validation[:1])
+        test_graph = ds.test[0]
+        package = MCMPackage(n_chips=4)
+
+        def env_factory(g):
+            return PartitionEnvironment(g, AnalyticalCostModel(package), 4)
+
+        partitioner = RLPartitioner(4, config=_fast_config(), rng=0)
+        ckpts = pretrain(
+            partitioner, train, env_factory,
+            PretrainConfig(total_samples=20, n_checkpoints=2, samples_per_graph=5),
+        )
+        assert len(ckpts) == 2
+        best = select_checkpoint(ckpts, partitioner, val, env_factory, zero_shot_samples=2)
+
+        env = env_factory(test_graph)
+        zs = zero_shot_search(partitioner, best.state, env, 4)
+        assert zs.best_improvement > 0
+
+        env = env_factory(test_graph)
+        ft = fine_tune_search(partitioner, best.state, env, 10)
+        assert ft.best_improvement > 0
+
+
+class TestCostModelAgreement:
+    def test_analytical_correlates_with_simulator(self):
+        """Fig. 7 property at small scale: strong positive correlation."""
+        g = build_bert(layers=2, hidden=128, heads=4, seq=64, target_nodes=None)
+        package = MCMPackage(n_chips=4, chip=ChipSpec(sram_bytes=2**30))
+        analytical = AnalyticalCostModel(package)
+        simulator = PipelineSimulator(package)
+
+        rng = np.random.default_rng(0)
+        from repro.solver.strategies import sample_partition
+
+        probs = np.full((g.n_nodes, 4), 0.25)
+        predicted, measured = [], []
+        for _ in range(25):
+            y = sample_partition(g, probs, 4, rng=rng)
+            a = analytical.evaluate(g, y)
+            s = simulator.evaluate(g, y)
+            if a.valid and s.valid:
+                predicted.append(a.runtime_us)
+                measured.append(s.runtime_us)
+        assert len(predicted) >= 15
+        r = np.corrcoef(predicted, measured)[0, 1]
+        assert r > 0.6

@@ -1,0 +1,119 @@
+"""Property-based gradient checks over randomly composed expressions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+#: unary ops safe on any real input
+_UNARY = [F.relu, F.tanh, F.sigmoid, F.exp, F.square]
+#: binary ops safe on any real input pair
+_BINARY = [F.add, F.sub, F.mul, F.minimum]
+
+
+def _numeric_grad(fn, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    flat, gflat = x.reshape(-1), grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x)
+        flat[i] = orig - eps
+        down = fn(x)
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+#: bounded-output ops safe to compose arbitrarily deep
+_BOUNDED = [F.relu, F.tanh, F.sigmoid]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    depth=st.integers(1, 5),
+)
+def test_random_unary_chains_match_finite_differences(seed, depth):
+    rng = np.random.default_rng(seed)
+    # The first op may be unbounded (exp/square); the rest must be bounded
+    # or compositions explode past what finite differences can resolve.
+    ops = [int(rng.integers(0, len(_UNARY)))]
+    ops += [int(rng.integers(0, len(_BOUNDED))) for _ in range(depth - 1)]
+    chain = [_UNARY[ops[0]]] + [_BOUNDED[k] for k in ops[1:]]
+    x = rng.normal(size=(3, 3))
+    # keep away from relu/minimum kinks
+    x[np.abs(x) < 0.05] = 0.3
+
+    def forward(arr):
+        t = Tensor(arr)
+        for op in chain:
+            t = op(t)
+        return t.data.sum()
+
+    t = Tensor(x.copy(), requires_grad=True)
+    out = t
+    for op in chain:
+        out = op(out)
+    F.sum(out).backward()
+    expected = _numeric_grad(forward, x.copy())
+    np.testing.assert_allclose(t.grad, expected, atol=1e-4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), op_idx=st.integers(0, len(_BINARY) - 1))
+def test_binary_ops_match_finite_differences(seed, op_idx):
+    rng = np.random.default_rng(seed)
+    op = _BINARY[op_idx]
+    other_arr = rng.normal(size=(4,))
+    x = rng.normal(size=(4,))
+    x[np.abs(x - other_arr) < 0.05] += 0.2  # avoid minimum ties
+    other = Tensor(other_arr)
+
+    t = Tensor(x.copy(), requires_grad=True)
+    F.sum(op(t, other)).backward()
+    expected = _numeric_grad(lambda arr: op(Tensor(arr), other).data.sum(), x.copy())
+    np.testing.assert_allclose(t.grad, expected, atol=1e-5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_backward_is_linear_in_output_grad(seed):
+    """grad(a*g) == a * grad(g) for the same computation."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(3, 2))
+
+    def run(scale):
+        t = Tensor(x, requires_grad=True)
+        out = F.mul(F.tanh(t), Tensor(2.0))
+        out.backward(np.full(out.shape, scale))
+        return t.grad
+
+    np.testing.assert_allclose(run(3.0), 3.0 * run(1.0), atol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_sum_then_split_grads_partition(seed):
+    """Gradient of concat distributes to the right slices."""
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+    b = Tensor(rng.normal(size=(2, 5)), requires_grad=True)
+    weights = rng.normal(size=(2, 8))
+    out = F.mul(F.concat([a, b], axis=1), Tensor(weights))
+    F.sum(out).backward()
+    np.testing.assert_allclose(a.grad, weights[:, :3])
+    np.testing.assert_allclose(b.grad, weights[:, 3:])
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_softmax_grad_orthogonal_to_constant_shift(seed):
+    """softmax is shift-invariant, so its gradient sums to ~0 per row."""
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+    weights = Tensor(rng.normal(size=(3, 4)))
+    F.sum(F.mul(F.softmax(x), weights)).backward()
+    np.testing.assert_allclose(x.grad.sum(axis=1), 0.0, atol=1e-10)

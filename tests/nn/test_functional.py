@@ -1,0 +1,175 @@
+"""Gradient checks for every functional op (finite differences)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar fn at x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x)
+        flat[i] = orig - eps
+        down = fn(x)
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_grad(op, x: np.ndarray, atol: float = 1e-5):
+    """Compare autodiff gradient of sum(op(x)) against finite differences."""
+    t = Tensor(x.copy(), requires_grad=True)
+    out = op(t)
+    F.sum(out).backward()
+    expected = numeric_grad(lambda arr: op(Tensor(arr)).data.sum(), x.copy())
+    np.testing.assert_allclose(t.grad, expected, atol=atol)
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestElementwiseGrads:
+    def test_add(self):
+        other = Tensor(RNG.normal(size=(3, 4)))
+        check_grad(lambda t: F.add(t, other), RNG.normal(size=(3, 4)))
+
+    def test_sub(self):
+        other = Tensor(RNG.normal(size=(3, 4)))
+        check_grad(lambda t: F.sub(other, t), RNG.normal(size=(3, 4)))
+
+    def test_mul(self):
+        other = Tensor(RNG.normal(size=(3, 4)))
+        check_grad(lambda t: F.mul(t, other), RNG.normal(size=(3, 4)))
+
+    def test_div(self):
+        other = Tensor(RNG.uniform(1.0, 2.0, size=(3, 4)))
+        check_grad(lambda t: F.div(t, other), RNG.normal(size=(3, 4)))
+
+    def test_div_denominator(self):
+        num = Tensor(RNG.normal(size=(3, 4)))
+        check_grad(lambda t: F.div(num, t), RNG.uniform(1.0, 2.0, size=(3, 4)))
+
+    def test_relu(self):
+        x = RNG.normal(size=(4, 4))
+        x[np.abs(x) < 0.1] = 0.5  # stay away from the kink
+        check_grad(F.relu, x)
+
+    def test_tanh(self):
+        check_grad(F.tanh, RNG.normal(size=(3, 3)))
+
+    def test_sigmoid(self):
+        check_grad(F.sigmoid, RNG.normal(size=(3, 3)))
+
+    def test_exp(self):
+        check_grad(F.exp, RNG.normal(size=(3, 3)))
+
+    def test_log(self):
+        check_grad(F.log, RNG.uniform(0.5, 3.0, size=(3, 3)))
+
+    def test_square(self):
+        check_grad(F.square, RNG.normal(size=(3, 3)))
+
+    def test_clip(self):
+        x = RNG.normal(size=(4, 4)) * 2
+        x[np.abs(np.abs(x) - 1.0) < 0.05] = 0.0  # avoid boundary
+        check_grad(lambda t: F.clip(t, -1.0, 1.0), x)
+
+    def test_minimum(self):
+        other = Tensor(RNG.normal(size=(4,)))
+        x = RNG.normal(size=(4,))
+        x[np.abs(x - other.data) < 0.05] += 0.2
+        check_grad(lambda t: F.minimum(t, other), x)
+
+
+class TestMatmulGrads:
+    def test_matmul_left(self):
+        w = Tensor(RNG.normal(size=(4, 2)))
+        check_grad(lambda t: F.matmul(t, w), RNG.normal(size=(3, 4)))
+
+    def test_matmul_right(self):
+        x = Tensor(RNG.normal(size=(3, 4)))
+        check_grad(lambda t: F.matmul(x, t), RNG.normal(size=(4, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            F.matmul(Tensor(np.ones(3)), Tensor(np.ones((3, 2))))
+
+
+class TestSoftmaxGrads:
+    def test_softmax_rows_sum_to_one(self):
+        out = F.softmax(Tensor(RNG.normal(size=(5, 7))))
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_softmax_grad(self):
+        weights = Tensor(RNG.normal(size=(3, 5)))
+        check_grad(lambda t: F.mul(F.softmax(t), weights), RNG.normal(size=(3, 5)))
+
+    def test_log_softmax_grad(self):
+        weights = Tensor(RNG.normal(size=(3, 5)))
+        check_grad(lambda t: F.mul(F.log_softmax(t), weights), RNG.normal(size=(3, 5)))
+
+    def test_log_softmax_stability(self):
+        out = F.log_softmax(Tensor([[1000.0, 0.0]]))
+        assert np.isfinite(out.data).all()
+
+
+class TestReductionGrads:
+    def test_sum_axis(self):
+        check_grad(lambda t: F.sum(t, axis=0), RNG.normal(size=(3, 4)))
+
+    def test_sum_keepdims(self):
+        check_grad(lambda t: F.sum(t, axis=1, keepdims=True), RNG.normal(size=(3, 4)))
+
+    def test_mean_all(self):
+        check_grad(F.mean, RNG.normal(size=(3, 4)))
+
+    def test_mean_axis(self):
+        check_grad(lambda t: F.mean(t, axis=1), RNG.normal(size=(3, 4)))
+
+
+class TestShapingGrads:
+    def test_reshape(self):
+        check_grad(lambda t: F.reshape(t, (6,)), RNG.normal(size=(2, 3)))
+
+    def test_concat(self):
+        other = Tensor(RNG.normal(size=(2, 3)))
+        check_grad(lambda t: F.concat([t, other], axis=1), RNG.normal(size=(2, 3)))
+
+    def test_concat_axis0(self):
+        other = Tensor(RNG.normal(size=(2, 3)))
+        check_grad(lambda t: F.concat([other, t], axis=0), RNG.normal(size=(2, 3)))
+
+    def test_gather_rows(self):
+        idx = np.array([0, 2, 2, 1])
+        check_grad(lambda t: F.gather_rows(t, idx), RNG.normal(size=(3, 4)))
+
+    def test_take_along_last(self):
+        idx = np.array([0, 2, 1])
+        check_grad(lambda t: F.take_along_last(t, idx), RNG.normal(size=(3, 4)))
+
+    def test_take_along_last_shape_check(self):
+        with pytest.raises(ValueError):
+            F.take_along_last(Tensor(np.ones((3, 4))), np.array([0]))
+
+
+class TestSparseAggregate:
+    def test_matches_dense(self):
+        import scipy.sparse as sp
+
+        mat = sp.random(5, 5, density=0.4, random_state=0, format="csr")
+        x = RNG.normal(size=(5, 3))
+        out = F.sparse_mean_aggregate(mat, Tensor(x))
+        np.testing.assert_allclose(out.data, mat @ x)
+
+    def test_grad(self):
+        import scipy.sparse as sp
+
+        mat = sp.random(4, 4, density=0.5, random_state=1, format="csr")
+        check_grad(lambda t: F.sparse_mean_aggregate(mat, t), RNG.normal(size=(4, 3)))

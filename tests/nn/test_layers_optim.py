@@ -1,0 +1,190 @@
+"""Tests for layers, optimisers, and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import (
+    GraphSAGELayer,
+    Linear,
+    Module,
+    Sequential,
+    mean_aggregation_matrix,
+)
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+from repro.nn.serialization import load_state, save_state
+from repro.nn.tensor import Tensor
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = Linear(4, 3, rng=0)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_trains_on_regression(self):
+        rng = np.random.default_rng(0)
+        true_w = rng.normal(size=(3, 1))
+        x = rng.normal(size=(64, 3))
+        y = x @ true_w
+        layer = Linear(3, 1, rng=1)
+        opt = Adam(layer.parameters(), lr=0.05)
+        for _ in range(200):
+            pred = layer(Tensor(x))
+            loss = F.mean(F.square(F.sub(pred, Tensor(y))))
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 1e-3
+
+
+class TestSequential:
+    def test_activation_between_layers(self):
+        seq = Sequential([Linear(4, 8, rng=0), Linear(8, 2, rng=1)])
+        out = seq(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_parameters_collected(self):
+        seq = Sequential([Linear(4, 8, rng=0), Linear(8, 2, rng=1)])
+        assert len(seq.parameters()) == 4
+
+
+class TestGraphSAGE:
+    def test_aggregation_matrix_row_normalised(self):
+        src = np.array([0, 1])
+        dst = np.array([1, 2])
+        mat = mean_aggregation_matrix(3, src, dst)
+        sums = np.asarray(mat.sum(axis=1)).reshape(-1)
+        np.testing.assert_allclose(sums, 1.0)
+
+    def test_isolated_node_zero_row(self):
+        mat = mean_aggregation_matrix(3, np.array([0]), np.array([1]))
+        row = np.asarray(mat[2].todense()).reshape(-1)
+        np.testing.assert_allclose(row, 0.0)
+
+    def test_layer_shapes(self):
+        mat = mean_aggregation_matrix(4, np.array([0, 1, 2]), np.array([1, 2, 3]))
+        layer = GraphSAGELayer(5, 7, rng=0)
+        out = layer(Tensor(np.ones((4, 5))), mat)
+        assert out.shape == (4, 7)
+
+    def test_neighbours_influence_output(self):
+        mat = mean_aggregation_matrix(2, np.array([0]), np.array([1]))
+        layer = GraphSAGELayer(2, 2, rng=0)
+        base = np.array([[1.0, 0.0], [0.0, 1.0]])
+        out1 = layer(Tensor(base), mat).data.copy()
+        changed = base.copy()
+        changed[0, 0] = 5.0  # change node 0 -> affects node 1 via aggregation
+        out2 = layer(Tensor(changed), mat).data
+        assert not np.allclose(out1[1], out2[1])
+
+
+class TestModuleState:
+    def _module(self):
+        return Sequential([Linear(3, 4, rng=0), Linear(4, 2, rng=1)])
+
+    def test_state_dict_roundtrip(self):
+        m1, m2 = self._module(), self._module()
+        m1.layers[0].weight.data += 1.0
+        m2.load_state_dict(m1.state_dict())
+        np.testing.assert_array_equal(
+            m2.layers[0].weight.data, m1.layers[0].weight.data
+        )
+
+    def test_state_dict_rejects_mismatch(self):
+        m = self._module()
+        state = m.state_dict()
+        state.pop(sorted(state)[0])
+        with pytest.raises(ValueError):
+            m.load_state_dict(state)
+
+    def test_save_load_file(self, tmp_path):
+        m1, m2 = self._module(), self._module()
+        m1.layers[1].bias.data += 3.0
+        path = str(tmp_path / "ckpt.npz")
+        save_state(m1, path)
+        load_state(m2, path)
+        np.testing.assert_array_equal(m2.layers[1].bias.data, m1.layers[1].bias.data)
+
+    def test_zero_grad_clears_all(self):
+        m = self._module()
+        out = m(Tensor(np.ones((2, 3))))
+        F.sum(out).backward()
+        assert any(p.grad is not None for p in m.parameters())
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+
+class TestOptimizers:
+    def _quadratic_setup(self):
+        p = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+        return p
+
+    def test_sgd_descends(self):
+        p = self._quadratic_setup()
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            loss = F.sum(F.square(p))
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, 0.0, atol=1e-3)
+
+    def test_sgd_momentum_descends(self):
+        p = self._quadratic_setup()
+        opt = SGD([p], lr=0.02, momentum=0.9)
+        for _ in range(400):
+            loss = F.sum(F.square(p))
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, 0.0, atol=1e-2)
+
+    def test_adam_descends(self):
+        p = self._quadratic_setup()
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            loss = F.sum(F.square(p))
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, 0.0, atol=1e-2)
+
+    def test_adam_state_roundtrip(self):
+        p = Tensor(np.ones(3), requires_grad=True)
+        opt = Adam([p], lr=0.1)
+        F.sum(F.square(p)).backward()
+        opt.step()
+        state = opt.state_dict()
+        opt2 = Adam([p], lr=0.1)
+        opt2.load_state_dict(state)
+        assert opt2._t == 1
+
+    @pytest.mark.parametrize("cls", [SGD, Adam])
+    def test_rejects_bad_lr(self, cls):
+        with pytest.raises(ValueError):
+            cls([], lr=0.0)
+
+    def test_skips_none_grads(self):
+        p = Tensor(np.ones(2), requires_grad=True)
+        Adam([p]).step()  # no grad accumulated: must not raise
+        np.testing.assert_array_equal(p.data, 1.0)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Tensor(np.ones(4), requires_grad=True)
+        p.grad = np.full(4, 0.1)
+        norm = clip_grad_norm([p], max_norm=10.0)
+        assert norm == pytest.approx(0.2)
+        np.testing.assert_allclose(p.grad, 0.1)
+
+    def test_clips_above_threshold(self):
+        p = Tensor(np.ones(4), requires_grad=True)
+        p.grad = np.full(4, 10.0)
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.sqrt((p.grad**2).sum()) == pytest.approx(1.0)
+
+    def test_rejects_bad_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)

@@ -1,0 +1,125 @@
+"""Tests for the autodiff Tensor."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestBasics:
+    def test_wraps_data_as_float64(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype == np.float64
+        assert t.shape == (3,)
+
+    def test_item(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_detach_cuts_tape(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 2.0).detach()
+        assert not b.requires_grad
+
+    def test_requires_grad_propagates(self):
+        a = Tensor([1.0], requires_grad=True)
+        assert (a + 1.0).requires_grad
+
+
+class TestBackward:
+    def test_scalar_backward_default_grad(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        loss = (a * a).sum()
+        loss.backward()
+        np.testing.assert_allclose(a.grad, [4.0, 6.0])
+
+    def test_nonscalar_requires_explicit_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (a * 2.0).backward()
+
+    def test_explicit_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 3.0).backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(a.grad, [3.0, 30.0])
+
+    def test_grad_accumulates(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).sum().backward()
+        (a * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_fanout_accumulates(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = a * 3.0
+        loss = (b + b).sum()
+        loss.backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_deep_graph_no_recursion_error(self):
+        a = Tensor([1.0], requires_grad=True)
+        x = a
+        for _ in range(3000):
+            x = x + 1.0
+        x.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_grad_shape_checked(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (a * 1.0).backward(np.zeros(3))
+
+    def test_constants_get_no_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        c = Tensor([5.0])
+        (a * c).sum().backward()
+        assert c.grad is None
+
+
+class TestBroadcasting:
+    def test_bias_broadcast_grad(self):
+        x = Tensor(np.ones((4, 3)), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        (x + b).sum().backward()
+        np.testing.assert_allclose(b.grad, [4.0, 4.0, 4.0])
+        np.testing.assert_allclose(x.grad, np.ones((4, 3)))
+
+    def test_scalar_broadcast(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        (x * 5.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 2), 5.0))
+
+    def test_keepdim_broadcast(self):
+        x = Tensor(np.ones((3, 2)), requires_grad=True)
+        s = Tensor(np.ones((3, 1)), requires_grad=True)
+        (x * s).sum().backward()
+        np.testing.assert_allclose(s.grad, np.full((3, 1), 2.0))
+
+
+class TestOperatorSugar:
+    def test_arithmetic(self):
+        a = Tensor([4.0])
+        assert (a + 1.0).data[0] == 5.0
+        assert (1.0 + a).data[0] == 5.0
+        assert (a - 1.0).data[0] == 3.0
+        assert (1.0 - a).data[0] == -3.0
+        assert (a * 2.0).data[0] == 8.0
+        assert (a / 2.0).data[0] == 2.0
+        assert (8.0 / a).data[0] == 2.0
+        assert (-a).data[0] == -4.0
+
+    def test_matmul_operator(self):
+        a = Tensor(np.eye(2))
+        b = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose((a @ b).data, b.data)
+
+    def test_reshape_and_mean(self):
+        a = Tensor(np.arange(6, dtype=float))
+        assert a.reshape(2, 3).shape == (2, 3)
+        assert a.mean().item() == 2.5

@@ -1,0 +1,110 @@
+"""Tests for featurisation and the partition policy network."""
+
+import numpy as np
+import pytest
+
+from repro.rl.features import N_FEATURES, featurize
+from repro.rl.policy import PartitionPolicy
+from tests.conftest import random_dag
+
+
+class TestFeaturize:
+    def test_shapes(self, diamond_graph):
+        feats = featurize(diamond_graph)
+        assert feats.node_features.shape == (5, N_FEATURES)
+        assert feats.n_nodes == 5
+
+    def test_features_finite(self):
+        g = random_dag(0, 40)
+        feats = featurize(g)
+        assert np.isfinite(feats.node_features).all()
+
+    def test_position_feature_monotone_on_chain(self, chain_graph):
+        feats = featurize(chain_graph)
+        position = feats.node_features[:, 4]
+        assert np.all(np.diff(position) > 0)
+
+    def test_onehot_category(self, diamond_graph):
+        feats = featurize(diamond_graph)
+        onehot = feats.node_features[:, 8:]
+        np.testing.assert_allclose(onehot.sum(axis=1), 1.0)
+
+    def test_scale_invariance(self, chain_graph):
+        """Features must not change when all costs are scaled uniformly."""
+        from dataclasses import replace
+
+        scaled = replace(
+            chain_graph,
+            compute_us=chain_graph.compute_us * 1000.0,
+            output_bytes=chain_graph.output_bytes * 1000.0,
+            _cache={},
+        )
+        a = featurize(chain_graph).node_features
+        b = featurize(scaled).node_features
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+
+class TestPolicyForward:
+    @pytest.fixture
+    def policy(self):
+        return PartitionPolicy(n_chips=4, hidden=16, n_sage_layers=2, rng=0)
+
+    def test_forward_batch_shapes(self, policy, diamond_graph):
+        feats = featurize(diamond_graph)
+        prev = np.zeros((3, 5), dtype=int)
+        out = policy.forward_batch(feats, prev)
+        assert out.log_probs.shape == (15, 4)
+        assert out.values.shape == (3,)
+        assert out.probs.shape == (3, 5, 4)
+
+    def test_probs_are_distributions(self, policy, diamond_graph):
+        feats = featurize(diamond_graph)
+        out = policy.forward_batch(feats, np.zeros((1, 5), dtype=int))
+        np.testing.assert_allclose(out.probs.sum(axis=-1), 1.0)
+
+    def test_state_conditioning_changes_output(self, policy, diamond_graph):
+        feats = featurize(diamond_graph)
+        a = policy.forward_batch(feats, np.zeros((1, 5), dtype=int)).probs
+        b = policy.forward_batch(feats, np.full((1, 5), 3)).probs
+        assert not np.allclose(a, b)
+
+    def test_propose_returns_valid_shapes(self, policy, diamond_graph):
+        feats = featurize(diamond_graph)
+        candidate, conditioning, probs = policy.propose(feats, rng=0)
+        assert candidate.shape == (5,)
+        assert conditioning.shape == (5,)
+        assert probs.shape == (5, 4)
+        assert candidate.min() >= 0 and candidate.max() < 4
+
+    def test_propose_deterministic_given_seed(self, policy, diamond_graph):
+        feats = featurize(diamond_graph)
+        a, _, _ = policy.propose(feats, rng=5)
+        b, _, _ = policy.propose(feats, rng=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_refine_iters_validated(self):
+        with pytest.raises(ValueError):
+            PartitionPolicy(n_chips=2, refine_iters=0)
+
+    def test_soft_state_accepted(self, policy, diamond_graph):
+        feats = featurize(diamond_graph)
+        soft = np.full((2, 5, 4), 0.25)
+        out = policy.forward_batch(feats, soft)
+        assert out.probs.shape == (2, 5, 4)
+
+    def test_transfers_across_graphs(self, policy):
+        """The same policy evaluates graphs of different sizes."""
+        for seed, n in [(0, 10), (1, 25)]:
+            g = random_dag(seed, n)
+            out = policy.forward_batch(featurize(g), np.zeros((1, n), dtype=int))
+            assert out.probs.shape == (1, n, 4)
+
+    def test_gradients_flow_to_all_parameters(self, policy, diamond_graph):
+        from repro.nn import functional as F
+
+        feats = featurize(diamond_graph)
+        out = policy.forward_batch(feats, np.zeros((2, 5), dtype=int))
+        loss = F.add(F.mean(out.log_probs), F.mean(out.values))
+        loss.backward()
+        with_grad = [p for p in policy.parameters() if p.grad is not None]
+        assert len(with_grad) == len(policy.parameters())

@@ -1,0 +1,70 @@
+"""Tests for policy architecture variants and the refinement loop."""
+
+import numpy as np
+import pytest
+
+from repro.rl.features import featurize
+from repro.rl.policy import PartitionPolicy
+from tests.conftest import random_dag
+
+
+class TestArchitectureVariants:
+    @pytest.mark.parametrize("n_sage_layers", [1, 3, 8])
+    def test_sage_depths(self, n_sage_layers, diamond_graph):
+        policy = PartitionPolicy(
+            n_chips=3, hidden=8, n_sage_layers=n_sage_layers, rng=0
+        )
+        out = policy.forward_batch(featurize(diamond_graph), np.zeros((1, 5), dtype=int))
+        assert out.probs.shape == (1, 5, 3)
+
+    @pytest.mark.parametrize("n_policy_layers", [1, 2, 3])
+    def test_head_depths(self, n_policy_layers, diamond_graph):
+        policy = PartitionPolicy(
+            n_chips=3, hidden=8, n_sage_layers=1,
+            n_policy_layers=n_policy_layers, rng=0,
+        )
+        out = policy.forward_batch(featurize(diamond_graph), np.zeros((1, 5), dtype=int))
+        assert np.isfinite(out.probs).all()
+
+    def test_paper_default_shape(self):
+        """Defaults follow Section 5.1: 8 SAGE layers x 128, 2-layer head."""
+        policy = PartitionPolicy(n_chips=4)
+        assert len(policy.sage_layers) == 8
+        assert policy.sage_layers[0].w_self.shape[1] == 128
+        assert len(policy.policy_layers) == 2
+
+    def test_parameter_count_scales_with_width(self):
+        small = PartitionPolicy(n_chips=4, hidden=16, n_sage_layers=2, rng=0)
+        large = PartitionPolicy(n_chips=4, hidden=64, n_sage_layers=2, rng=0)
+        count = lambda p: sum(w.data.size for w in p.parameters())
+        assert count(large) > count(small) * 4
+
+
+class TestRefinementLoop:
+    @pytest.mark.parametrize("iters", [1, 2, 4])
+    def test_refine_iters(self, iters, diamond_graph):
+        policy = PartitionPolicy(
+            n_chips=3, hidden=8, n_sage_layers=1, refine_iters=iters, rng=0
+        )
+        candidate, conditioning, probs = policy.propose(featurize(diamond_graph), rng=0)
+        assert candidate.shape == (5,)
+        assert probs.shape == (5, 3)
+
+    def test_single_iter_conditions_on_nothing(self, diamond_graph):
+        policy = PartitionPolicy(
+            n_chips=3, hidden=8, n_sage_layers=1, refine_iters=1, rng=0
+        )
+        _, conditioning, _ = policy.propose(featurize(diamond_graph), rng=0)
+        np.testing.assert_array_equal(conditioning, 0)
+
+    def test_refinement_uses_previous_round(self):
+        """With T=2 the conditioning equals the first-round sample, which
+        must influence the final distribution."""
+        g = random_dag(4, 15)
+        feats = featurize(g)
+        policy = PartitionPolicy(n_chips=4, hidden=16, n_sage_layers=2,
+                                 refine_iters=2, rng=0)
+        candidate, conditioning, _ = policy.propose(feats, rng=3)
+        # conditioning is a real placement (not the zero vector) with
+        # overwhelming probability on 15 nodes x 4 chips
+        assert conditioning.max() > 0

@@ -1,0 +1,161 @@
+"""Tests for the rollout buffer and PPO trainer."""
+
+import numpy as np
+import pytest
+
+from repro.rl.features import featurize
+from repro.rl.policy import PartitionPolicy
+from repro.rl.ppo import PPOConfig, PPOTrainer
+from repro.rl.rollout import Rollout, RolloutBuffer
+from tests.conftest import random_dag
+
+
+def _rollout(n=5, reward=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return Rollout(
+        conditioning=rng.integers(0, 3, n),
+        candidate=rng.integers(0, 3, n),
+        repaired=rng.integers(0, 3, n),
+        log_prob=np.log(np.full(n, 1 / 3)),
+        value=0.5,
+        reward=reward,
+    )
+
+
+class TestRolloutBuffer:
+    def test_add_and_len(self):
+        buf = RolloutBuffer()
+        buf.add(_rollout())
+        assert len(buf) == 1
+        buf.clear()
+        assert len(buf) == 0
+
+    def test_advantages_centered(self):
+        buf = RolloutBuffer()
+        for r in [0.0, 1.0, 2.0, 3.0]:
+            buf.add(_rollout(reward=r))
+        adv = buf.advantages()
+        assert adv.mean() == pytest.approx(0.0, abs=1e-9)
+        assert adv.std() == pytest.approx(1.0, rel=1e-3)
+
+    def test_advantages_unnormalized(self):
+        buf = RolloutBuffer()
+        buf.add(_rollout(reward=2.0))
+        adv = buf.advantages(normalize=False)
+        assert adv[0] == pytest.approx(1.5)  # reward 2.0 - value 0.5
+
+    def test_minibatch_partition(self):
+        buf = RolloutBuffer()
+        for k in range(10):
+            buf.add(_rollout(seed=k))
+        rng = np.random.default_rng(0)
+        batches = buf.minibatch_indices(4, rng)
+        all_idx = np.concatenate(batches)
+        assert sorted(all_idx.tolist()) == list(range(10))
+
+    def test_empty_advantages(self):
+        assert RolloutBuffer().advantages().size == 0
+
+
+class TestPPOConfig:
+    def test_paper_defaults(self):
+        cfg = PPOConfig()
+        assert cfg.n_rollouts == 20
+        assert cfg.n_minibatches == 4
+        assert cfg.n_epochs == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_rollouts": 0},
+            {"n_minibatches": 21},
+            {"clip_ratio": 0.0},
+            {"clip_ratio": 1.0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            PPOConfig(**kwargs)
+
+
+class TestPPOTrainer:
+    def _setup(self, n_nodes=8, n_chips=3):
+        g = random_dag(2, n_nodes)
+        feats = featurize(g)
+        policy = PartitionPolicy(
+            n_chips=n_chips, hidden=16, n_sage_layers=2, rng=0
+        )
+        cfg = PPOConfig(n_rollouts=6, n_minibatches=2, n_epochs=2)
+        trainer = PPOTrainer(policy, cfg, rng=0)
+        return g, feats, policy, trainer
+
+    def _fill_buffer(self, policy, feats, rewards):
+        buf = RolloutBuffer()
+        rng = np.random.default_rng(0)
+        for r in rewards:
+            candidate, conditioning, probs = policy.propose(feats, rng=rng)
+            n = feats.n_nodes
+            buf.add(
+                Rollout(
+                    conditioning=conditioning,
+                    candidate=candidate,
+                    repaired=candidate,
+                    log_prob=np.log(probs[np.arange(n), candidate] + 1e-12),
+                    value=0.0,
+                    reward=r,
+                )
+            )
+        return buf
+
+    def test_update_returns_stats(self):
+        g, feats, policy, trainer = self._setup()
+        buf = self._fill_buffer(policy, feats, [1.0, 2.0, 1.5, 0.5, 1.2, 0.8])
+        stats = trainer.update(feats, buf)
+        assert np.isfinite(stats.policy_loss)
+        assert np.isfinite(stats.value_loss)
+        assert stats.entropy > 0
+        assert stats.mean_reward == pytest.approx(1.1666, rel=1e-3)
+
+    def test_update_changes_parameters(self):
+        g, feats, policy, trainer = self._setup()
+        before = [p.data.copy() for p in policy.parameters()]
+        buf = self._fill_buffer(policy, feats, [1.0, 2.0, 1.5, 0.5, 1.2, 0.8])
+        trainer.update(feats, buf)
+        changed = any(
+            not np.allclose(b, p.data) for b, p in zip(before, policy.parameters())
+        )
+        assert changed
+
+    def test_empty_buffer_rejected(self):
+        g, feats, policy, trainer = self._setup()
+        with pytest.raises(ValueError):
+            trainer.update(feats, RolloutBuffer())
+
+    def test_rewarded_actions_gain_probability(self):
+        """Nodes rewarded for a specific placement must drift toward it."""
+        g, feats, policy, trainer = self._setup(n_nodes=6, n_chips=2)
+        n = feats.n_nodes
+        target = np.zeros(n, dtype=int)  # always reward all-chip-0
+
+        def reward_of(candidate):
+            return float((candidate == target).mean())
+
+        rng = np.random.default_rng(1)
+        for _ in range(18):
+            buf = RolloutBuffer()
+            for _ in range(6):
+                candidate, conditioning, probs = policy.propose(feats, rng=rng)
+                buf.add(
+                    Rollout(
+                        conditioning=conditioning,
+                        candidate=candidate,
+                        repaired=candidate,
+                        log_prob=np.log(probs[np.arange(n), candidate] + 1e-12),
+                        value=0.0,
+                        reward=reward_of(candidate),
+                    )
+                )
+            trainer.update(feats, buf)
+        out = policy.forward_batch(feats, np.zeros((1, n), dtype=int))
+        mean_p_target = out.probs[0, np.arange(n), target].mean()
+        assert mean_p_target > 0.55

@@ -1,0 +1,80 @@
+"""Tests for chip-dependency graph utilities."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.builders import GraphBuilder
+from repro.graphs.ops import OpType
+from repro.solver.chipgraph import chip_adjacency, longest_paths, triangle_violations
+
+
+def _adj(n, edges):
+    adj = np.zeros((n, n), dtype=bool)
+    for a, b in edges:
+        adj[a, b] = True
+    return adj
+
+
+class TestLongestPaths:
+    def test_empty(self):
+        dist = longest_paths(_adj(3, []))
+        np.testing.assert_array_equal(np.diag(dist), 0)
+        assert (dist >= 0).sum() == 3  # only the diagonal
+
+    def test_path_graph(self):
+        dist = longest_paths(_adj(4, [(0, 1), (1, 2), (2, 3)]))
+        assert dist[0, 3] == 3
+        assert dist[1, 3] == 2
+        assert dist[3, 0] == -1
+
+    def test_longest_not_shortest(self):
+        # 0->2 direct, but 0->1->2 is longer.
+        dist = longest_paths(_adj(3, [(0, 2), (0, 1), (1, 2)]))
+        assert dist[0, 2] == 2
+
+    def test_rejects_downward_edges(self):
+        with pytest.raises(ValueError):
+            longest_paths(_adj(3, [(2, 0)]))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            longest_paths(np.zeros((2, 3), dtype=bool))
+
+
+class TestTriangleViolations:
+    def test_paper_figure2e_pattern(self):
+        # direct 0->2 plus chain 0->1->2: the forbidden pattern.
+        v = triangle_violations(_adj(3, [(0, 2), (0, 1), (1, 2)]))
+        assert [0, 2] in v.tolist()
+
+    def test_path_is_clean(self):
+        assert triangle_violations(_adj(4, [(0, 1), (1, 2), (2, 3)])).size == 0
+
+    def test_skip_edge_without_path_is_clean(self):
+        # 0->2 direct with no path through 1 is fine.
+        assert triangle_violations(_adj(3, [(0, 2)])).size == 0
+
+    def test_long_range_violation(self):
+        # direct 0->3 vs chain 0->1->2->3
+        v = triangle_violations(_adj(4, [(0, 3), (0, 1), (1, 2), (2, 3)]))
+        assert [0, 3] in v.tolist()
+
+
+class TestChipAdjacency:
+    def test_basic(self, diamond_graph):
+        adj = chip_adjacency(diamond_graph, np.array([0, 0, 1, 1, 2]), 3)
+        assert adj[0, 1] and adj[1, 2]
+        assert not adj[0, 2]
+
+    def test_same_chip_no_edge(self, diamond_graph):
+        adj = chip_adjacency(diamond_graph, np.zeros(5, dtype=int), 3)
+        assert not adj.any()
+
+    def test_replicable_sources_excluded(self):
+        b = GraphBuilder("g")
+        c = b.add_node("c", OpType.CONSTANT, output_bytes=4.0)
+        x = b.add_node("x", OpType.INPUT, output_bytes=4.0)
+        b.add_node("y", OpType.ADD, inputs=[c, x], output_bytes=4.0)
+        g = b.build()
+        adj = chip_adjacency(g, np.array([0, 1, 1]), 2)
+        assert not adj.any()

@@ -1,0 +1,89 @@
+"""Tests for the static-constraint validators (paper Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.builders import GraphBuilder
+from repro.graphs.ops import OpType
+from repro.solver.constraints import (
+    check_acyclic_dataflow,
+    check_no_skipping,
+    check_triangle_dependency,
+    validate_partition,
+)
+
+
+@pytest.fixture
+def figure2_graph():
+    """The 5-node graph of paper Figure 2a: 0->1, 0->2, 1->3, 2->4, 3->4."""
+    b = GraphBuilder("fig2")
+    n0 = b.add_node("0", OpType.INPUT, compute_us=1.0, output_bytes=8.0)
+    n1 = b.add_node("1", OpType.RELU, compute_us=1.0, output_bytes=8.0, inputs=[n0])
+    n2 = b.add_node("2", OpType.RELU, compute_us=1.0, output_bytes=8.0, inputs=[n0])
+    n3 = b.add_node("3", OpType.RELU, compute_us=1.0, output_bytes=8.0, inputs=[n1])
+    b.add_node("4", OpType.ADD, compute_us=1.0, output_bytes=8.0, inputs=[n2, n3])
+    return b.build()
+
+
+class TestAcyclicDataflow:
+    def test_valid_forward_flow(self, figure2_graph):
+        assert check_acyclic_dataflow(figure2_graph, np.array([0, 0, 1, 1, 1]))
+
+    def test_figure2c_backward_transfer(self, figure2_graph):
+        # node 2 on chip 1 feeding node 4 on chip 0 (paper Figure 2c).
+        assignment = np.array([0, 0, 1, 0, 0])
+        assert not check_acyclic_dataflow(figure2_graph, assignment)
+
+    def test_same_chip_trivially_valid(self, figure2_graph):
+        assert check_acyclic_dataflow(figure2_graph, np.zeros(5, dtype=int))
+
+
+class TestNoSkipping:
+    def test_prefix_use_valid(self, figure2_graph):
+        assert check_no_skipping(figure2_graph, np.array([0, 0, 1, 1, 1]), 4)
+
+    def test_figure2d_skipped_chip(self, figure2_graph):
+        # chips {0, 2} used, chip 1 skipped (paper Figure 2d).
+        assert not check_no_skipping(figure2_graph, np.array([0, 0, 0, 2, 2]), 4)
+
+    def test_not_all_chips_required(self, figure2_graph):
+        # using only chips {0, 1} of 4 is fine.
+        assert check_no_skipping(figure2_graph, np.array([0, 0, 0, 1, 1]), 4)
+
+
+class TestTriangleDependency:
+    def test_figure2e_pattern(self, figure2_graph):
+        # node0@0 -> node2@2 direct; node0@0 -> node1@1 -> node3@1...
+        # build: 0 on chip0, 1,3 on chip1, 2 on chip2, 4 on chip2
+        # direct dep 0->2 (edge 0->2), indirect 0->1->2 via 1->3(chip1)->4(chip2)
+        assignment = np.array([0, 1, 2, 1, 2])
+        assert not check_triangle_dependency(figure2_graph, assignment, 3)
+
+    def test_adjacent_chain_valid(self, figure2_graph):
+        assignment = np.array([0, 0, 1, 1, 2])
+        # edges: 0->2 chip(0,1); 2->4 chip(1,2); 3->4 chip(1,2); ok path
+        assert check_triangle_dependency(figure2_graph, assignment, 3)
+
+    def test_single_chip_valid(self, figure2_graph):
+        assert check_triangle_dependency(figure2_graph, np.zeros(5, dtype=int), 3)
+
+
+class TestValidatePartition:
+    def test_valid_report(self, figure2_graph):
+        report = validate_partition(figure2_graph, np.array([0, 0, 1, 1, 1]), 4)
+        assert report.ok
+        assert report.violated == ()
+
+    def test_violations_named(self, figure2_graph):
+        report = validate_partition(figure2_graph, np.array([0, 0, 0, 2, 2]), 4)
+        assert not report.ok
+        assert "no_skipping" in report.violated
+
+    def test_backward_flow_marks_triangle_unchecked(self, figure2_graph):
+        report = validate_partition(figure2_graph, np.array([1, 1, 1, 0, 0]), 4)
+        assert not report.acyclic_dataflow
+        assert not report.triangle_dependency
+
+    def test_shape_validation(self, figure2_graph):
+        with pytest.raises(ValueError):
+            validate_partition(figure2_graph, np.zeros(3, dtype=int), 4)

@@ -1,0 +1,133 @@
+"""Tests for the constraint-solver engine."""
+
+import numpy as np
+import pytest
+
+from repro.solver.constraints import validate_partition
+from repro.solver.engine import ConstraintSolver
+from tests.conftest import random_dag
+
+
+class TestDomains:
+    def test_initial_domains_full(self, chain_graph):
+        s = ConstraintSolver(chain_graph, 4)
+        for u in range(chain_graph.n_nodes):
+            np.testing.assert_array_equal(s.get_domain(u), [0, 1, 2, 3])
+
+    def test_set_domain_returns_decision_count(self, chain_graph):
+        s = ConstraintSolver(chain_graph, 4)
+        assert s.set_domain(5, 1) == 1
+        assert s.set_domain(7, 2) == 2
+
+    def test_source_pinned_to_chip_zero_by_coverage(self, chain_graph):
+        # In a chain every node is >= the source's chip, so placing the
+        # source anywhere but chip 0 would leave chip 0 empty (Eq. 3).
+        s = ConstraintSolver(chain_graph, 4)
+        assert s.set_domain(0, 1) == 0  # rejected, no decision committed
+        assert 1 not in s.get_domain(0).tolist()
+
+    def test_bounds_propagate_forward(self, chain_graph):
+        s = ConstraintSolver(chain_graph, 4)
+        s.set_domain(5, 2)
+        # descendants of node 5 must be >= 2
+        assert s.get_domain(9).min() >= 2
+        # ancestors must be <= 2
+        assert s.get_domain(0).max() <= 2
+
+    def test_fixed_detection(self, chain_graph):
+        s = ConstraintSolver(chain_graph, 4)
+        s.set_domain(3, 1)
+        assert s.is_fixed(3)
+        assert not s.is_fixed(4)
+
+    def test_multi_value_restriction(self, chain_graph):
+        s = ConstraintSolver(chain_graph, 4)
+        s.set_domain(5, [1, 2])
+        assert set(s.get_domain(5).tolist()) <= {1, 2}
+
+    def test_assignment_requires_completion(self, chain_graph):
+        s = ConstraintSolver(chain_graph, 4)
+        with pytest.raises(RuntimeError):
+            s.assignment()
+
+    def test_rejects_out_of_range_value(self, chain_graph):
+        s = ConstraintSolver(chain_graph, 4)
+        with pytest.raises(ValueError):
+            s.set_domain(0, 7)
+
+    def test_rejects_too_many_chips(self, chain_graph):
+        with pytest.raises(ValueError):
+            ConstraintSolver(chain_graph, 64)
+
+
+class TestBacktracking:
+    def test_conflicting_assignment_backtracks(self, chain_graph):
+        s = ConstraintSolver(chain_graph, 4)
+        assert s.set_domain(5, 2) == 1  # descendants >= 2, ancestors <= 2
+        # A later node cannot go below its ancestor's chip: the attempt must
+        # not commit, and the offending value must leave the domain.
+        i = s.set_domain(7, 1)
+        assert i == 1
+        assert 1 not in s.get_domain(7).tolist()
+        # A consistent value still commits normally.
+        assert s.set_domain(7, 3) == 2
+
+    def test_complete_chain_assignment_valid(self, chain_graph):
+        s = ConstraintSolver(chain_graph, 3)
+        rng = np.random.default_rng(0)
+        i = 0
+        order = np.arange(10)
+        while i < 10:
+            u = int(order[i])
+            dom = s.get_domain(u)
+            i = s.set_domain(u, int(rng.choice(dom)))
+        y = s.assignment()
+        assert validate_partition(chain_graph, y, 3).ok
+
+    def test_reset_restores_domains(self, chain_graph):
+        s = ConstraintSolver(chain_graph, 4)
+        s.set_domain(0, 3)
+        s.reset()
+        assert s.n_decisions == 0
+        np.testing.assert_array_equal(s.get_domain(0), [0, 1, 2, 3])
+
+    def test_no_skipping_propagation(self, chain_graph):
+        # Forcing the first node to chip 3 means chips 0-2 must be covered
+        # by... nothing can be below 3 on a chain -> conflict resolution
+        # must exclude 3 for node 0.
+        s = ConstraintSolver(chain_graph, 4)
+        i = s.set_domain(0, 3)
+        if i == 1:
+            # accepted: then some node must cover 0,1,2 -> impossible on a
+            # chain where everything is >= 3; the solver may only accept if
+            # coverage is still possible (it is not), so it must backtrack.
+            assert 3 not in s.get_domain(0)
+        else:
+            assert i == 0
+
+    def test_triangle_propagation_blocks_sandwich(self, diamond_graph):
+        # diamond: 0 -> (1, 2) -> 3 -> 4 on 3 chips
+        s = ConstraintSolver(diamond_graph, 3)
+        s.set_domain(0, 0)
+        s.set_domain(1, 1)  # creates chip edge 0 -> 1
+        s.set_domain(3, 1)
+        # node 2 on chip 0..1 only; taking 2 would need edge (0,2) or (2,?)
+        dom = s.get_domain(2)
+        assert 2 not in dom.tolist()
+
+
+class TestDomainAfterConflicts:
+    def test_exclusions_shrink_domain(self, diamond_graph):
+        s = ConstraintSolver(diamond_graph, 2)
+        s.set_domain(0, 1)  # everything >= 1 -> chip 0 uncovered unless...
+        # chain: all nodes now on chip 1 (no way to cover chip 0 except
+        # nothing exceeds... max = 1 requires chip 0 covered -> impossible)
+        # Solver should have rejected or excluded accordingly.
+        y_complete = True
+        i = s.n_decisions
+        for u in [1, 2, 3, 4]:
+            dom = s.get_domain(u)
+            i = s.set_domain(u, int(dom[0]))
+        if i == 5:
+            y = s.assignment()
+            assert validate_partition(diamond_graph, y, 2).ok

@@ -1,0 +1,107 @@
+"""Invariant tests: the engine's bookkeeping survives conflicts and resets."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.constraints import validate_partition
+from repro.solver.engine import ConstraintSolver
+from tests.conftest import random_dag
+
+
+def _bookkeeping_snapshot(solver: ConstraintSolver):
+    return (
+        list(solver._masks),
+        list(solver._cover),
+        solver._max_lo,
+        solver._edge_count.copy(),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2000), n_nodes=st.integers(3, 20))
+def test_reset_restores_pristine_state(seed, n_nodes):
+    g = random_dag(seed, n_nodes)
+    solver = ConstraintSolver(g, 4)
+    pristine = _bookkeeping_snapshot(solver)
+    rng = np.random.default_rng(seed)
+    # make a handful of decisions (some may conflict and back-track)
+    for _ in range(min(n_nodes, 6)):
+        u = int(rng.integers(0, n_nodes))
+        if solver.is_fixed(u):
+            continue
+        dom = solver.get_domain(u)
+        solver.set_domain(u, int(rng.choice(dom)))
+    solver.reset()
+    after = _bookkeeping_snapshot(solver)
+    assert after[0] == pristine[0]
+    assert after[1] == pristine[1]
+    assert after[2] == pristine[2]
+    np.testing.assert_array_equal(after[3], pristine[3])
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2000), n_nodes=st.integers(3, 20))
+def test_cover_counts_match_masks(seed, n_nodes):
+    """cover[d] must always equal the number of domains containing d."""
+    g = random_dag(seed, n_nodes)
+    solver = ConstraintSolver(g, 4)
+    rng = np.random.default_rng(seed)
+    for _ in range(min(n_nodes, 8)):
+        u = int(rng.integers(0, n_nodes))
+        if solver.is_fixed(u):
+            continue
+        dom = solver.get_domain(u)
+        solver.set_domain(u, int(rng.choice(dom)))
+        for d in range(4):
+            expected = sum(1 for m in solver._masks if m >> d & 1)
+            assert solver._cover[d] == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2000), n_nodes=st.integers(3, 16))
+def test_edge_counts_match_fixed_pairs(seed, n_nodes):
+    """The chip-edge multiset must equal the cross-chip edges among fixed
+    node pairs (each graph edge counted once)."""
+    g = random_dag(seed, n_nodes)
+    solver = ConstraintSolver(g, 3)
+    rng = np.random.default_rng(seed)
+    for _ in range(n_nodes):
+        u = int(rng.integers(0, n_nodes))
+        if solver.is_fixed(u):
+            continue
+        dom = solver.get_domain(u)
+        solver.set_domain(u, int(rng.choice(dom)))
+    expected = np.zeros((3, 3), dtype=np.int64)
+    replicable = g.is_replicable()
+    for s_, d_ in zip(g.src.tolist(), g.dst.tolist()):
+        if replicable[s_]:
+            continue
+        if solver.is_fixed(s_) and solver.is_fixed(d_):
+            a = solver._masks[s_].bit_length() - 1
+            b = solver._masks[d_].bit_length() - 1
+            if a != b:
+                expected[a, b] += 1
+    np.testing.assert_array_equal(solver._edge_count, expected)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2000), n_nodes=st.integers(4, 16))
+def test_completion_after_heavy_conflicts_is_valid(seed, n_nodes):
+    """Drive the solver adversarially (always pick the largest domain value)
+    and verify any completion still satisfies every constraint."""
+    g = random_dag(seed, n_nodes)
+    solver = ConstraintSolver(g, 3)
+    order = list(range(n_nodes))
+    i = 0
+    steps = 0
+    while i < n_nodes and steps < 50 * n_nodes:
+        steps += 1
+        u = order[i % n_nodes]
+        if solver.is_fixed(u):
+            i = solver.set_domain(u, solver.get_domain(u))
+            continue
+        dom = solver.get_domain(u)
+        i = solver.set_domain(u, int(dom.max()))
+    if i >= n_nodes:
+        assert validate_partition(g, solver.assignment(), 3).ok

@@ -1,0 +1,82 @@
+"""Tests cross-validating the solver against brute-force enumeration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.builders import GraphBuilder
+from repro.graphs.ops import OpType
+from repro.solver.enumerate import count_valid_partitions, enumerate_valid_partitions
+from repro.solver.strategies import fix_partition, sample_partition
+from tests.conftest import random_dag
+
+
+def _tiny_chain(k):
+    b = GraphBuilder("chain")
+    prev = b.add_node("n0", OpType.INPUT, compute_us=1.0, output_bytes=1.0)
+    for i in range(1, k):
+        prev = b.add_node(f"n{i}", OpType.RELU, compute_us=1.0, output_bytes=1.0,
+                          inputs=[prev])
+    return b.build()
+
+
+class TestEnumeration:
+    def test_chain_count_known(self):
+        # A 4-chain on 2 chips: valid = contiguous prefix cuts that use
+        # chip 0 first: 0000, 0001, 0011, 0111 -> 4.
+        g = _tiny_chain(4)
+        n_valid, n_total = count_valid_partitions(g, 2)
+        assert n_total == 16
+        assert n_valid == 4
+
+    def test_chain_single_chip(self):
+        g = _tiny_chain(3)
+        n_valid, _ = count_valid_partitions(g, 1)
+        assert n_valid == 1
+
+    def test_sparsity_grows_with_chips(self):
+        """The paper's motivation: valid fraction collapses as C grows."""
+        g = _tiny_chain(6)
+        f2 = count_valid_partitions(g, 2)
+        f3 = count_valid_partitions(g, 3)
+        assert f2[0] / f2[1] > f3[0] / f3[1]
+
+    def test_limit(self):
+        g = _tiny_chain(5)
+        assert len(enumerate_valid_partitions(g, 2, limit=2)) == 2
+
+    def test_budget_guard(self):
+        g = _tiny_chain(30)
+        with pytest.raises(ValueError, match="budget"):
+            enumerate_valid_partitions(g, 4)
+
+
+class TestSolverCompleteness:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 200), n_nodes=st.integers(3, 8), n_chips=st.integers(2, 3))
+    def test_solver_samples_are_in_the_enumerated_set(self, seed, n_nodes, n_chips):
+        """Every solver sample must be a brute-force valid partition."""
+        g = random_dag(seed, n_nodes)
+        valid = {tuple(v) for v in enumerate_valid_partitions(g, n_chips)}
+        probs = np.full((n_nodes, n_chips), 1.0 / n_chips)
+        rng = np.random.default_rng(seed)
+        for _ in range(5):
+            y = sample_partition(g, probs, n_chips, rng=rng)
+            assert tuple(y) in valid
+            y2 = fix_partition(g, rng.integers(0, n_chips, n_nodes), n_chips, rng=rng)
+            assert tuple(y2) in valid
+
+    def test_solver_reaches_every_valid_partition(self):
+        """With enough draws, SAMPLE mode covers the whole valid set of a
+        small instance (no systematically unreachable solutions)."""
+        g = _tiny_chain(4)
+        valid = {tuple(v) for v in enumerate_valid_partitions(g, 2)}
+        probs = np.full((4, 2), 0.5)
+        rng = np.random.default_rng(0)
+        seen = set()
+        for _ in range(300):
+            seen.add(tuple(sample_partition(g, probs, 2, rng=rng)))
+            if seen == valid:
+                break
+        assert seen == valid

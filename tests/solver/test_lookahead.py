@@ -1,0 +1,74 @@
+"""Focused tests on get_domain's triangle look-ahead behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.builders import GraphBuilder
+from repro.graphs.ops import OpType
+from repro.solver.engine import ConstraintSolver
+
+
+def _fanout_merge(n_branches=3):
+    """source -> n parallel nodes -> sink (the wedge motif)."""
+    b = GraphBuilder("fanout")
+    src = b.add_node("src", OpType.INPUT, compute_us=1.0, output_bytes=8.0)
+    mids = [
+        b.add_node(f"mid{k}", OpType.RELU, compute_us=1.0, output_bytes=8.0,
+                   inputs=[src])
+        for k in range(n_branches)
+    ]
+    b.add_node("sink", OpType.ADD, compute_us=1.0, output_bytes=8.0, inputs=mids)
+    return b.build()
+
+
+class TestLookahead:
+    def test_pruned_domain_respects_fixed_neighbours(self):
+        g = _fanout_merge()
+        s = ConstraintSolver(g, 4)
+        s.set_domain(0, 0)   # source on chip 0
+        s.set_domain(1, 1)   # mid0 on chip 1: chip edge (0, 1)
+        s.set_domain(4, 1)   # sink on chip 1: edge (1, 1) none; mids <= 1
+        # remaining mids must sit on chip 0 or 1; look-ahead must not offer
+        # chips that would create a skip edge (0, >1) anyway (bounds already
+        # restrict to <= 1 here, so domains are {0, 1})
+        for mid in (2, 3):
+            dom = set(s.get_domain(mid).tolist())
+            assert dom <= {0, 1}
+
+    def test_lookahead_never_returns_empty(self):
+        """When pruning would empty a domain, the raw domain is returned so
+        set_domain can discover the conflict and back-track properly."""
+        g = _fanout_merge(n_branches=2)
+        s = ConstraintSolver(g, 3)
+        # Wedge the state as far as the engine allows, then every node must
+        # still report a non-empty domain.
+        rng = np.random.default_rng(0)
+        i = 0
+        order = [0, 3, 1, 2]
+        steps = 0
+        while i < 4 and steps < 100:
+            steps += 1
+            u = order[i]
+            dom = s.get_domain(u)
+            assert dom.size > 0
+            i = s.set_domain(u, int(rng.choice(dom)))
+
+    def test_skip_edge_blocked_by_existing_path(self):
+        """With chip edges 0->1->2 in place, a new direct 0->2 edge is
+        forbidden; the look-ahead must remove chip 2 from a successor of a
+        chip-0 node."""
+        b = GraphBuilder("chainy")
+        n0 = b.add_node("n0", OpType.INPUT, compute_us=1.0, output_bytes=8.0)
+        n1 = b.add_node("n1", OpType.RELU, compute_us=1.0, output_bytes=8.0, inputs=[n0])
+        n2 = b.add_node("n2", OpType.RELU, compute_us=1.0, output_bytes=8.0, inputs=[n1])
+        n3 = b.add_node("n3", OpType.RELU, compute_us=1.0, output_bytes=8.0, inputs=[n0])
+        g = b.build()
+        s = ConstraintSolver(g, 3)
+        assert s.set_domain(0, 0) == 1
+        assert s.set_domain(1, 1) == 2  # edge (0,1)
+        assert s.set_domain(2, 2) == 3  # edge (1,2): path 0->1->2 exists
+        # n3 consumes n0 (chip 0); placing it on chip 2 would create the
+        # direct edge (0,2) alongside the 0->1->2 path: forbidden.
+        dom = s.get_domain(3).tolist()
+        assert 2 not in dom
+        assert 0 in dom and 1 in dom

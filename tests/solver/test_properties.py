@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis) for the constraint solver."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.chipgraph import longest_paths
+from repro.solver.constraints import validate_partition
+from repro.solver.engine import ConstraintSolver
+from repro.solver.fallback import contiguous_partition
+from repro.solver.strategies import fix_partition, sample_partition
+from tests.conftest import random_dag
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    n_nodes=st.integers(3, 30),
+    n_chips=st.integers(1, 6),
+)
+def test_sample_partition_always_valid(seed, n_nodes, n_chips):
+    """Algorithm 1 must emit partitions satisfying every static constraint."""
+    g = random_dag(seed, n_nodes)
+    probs = np.full((n_nodes, n_chips), 1.0 / n_chips)
+    y = sample_partition(g, probs, n_chips, rng=seed)
+    assert validate_partition(g, y, n_chips).ok
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    n_nodes=st.integers(3, 30),
+    n_chips=st.integers(1, 6),
+)
+def test_fix_partition_always_valid(seed, n_nodes, n_chips):
+    """Algorithm 2 must repair any candidate into a valid partition."""
+    g = random_dag(seed, n_nodes)
+    rng = np.random.default_rng(seed)
+    candidate = rng.integers(0, n_chips, n_nodes)
+    y = fix_partition(g, candidate, n_chips, rng=rng)
+    assert validate_partition(g, y, n_chips).ok
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    n_nodes=st.integers(3, 40),
+    n_chips=st.integers(1, 8),
+)
+def test_contiguous_fallback_always_valid(seed, n_nodes, n_chips):
+    """The constructive heuristic is valid for every DAG and chip count."""
+    g = random_dag(seed, n_nodes)
+    y = contiguous_partition(g, n_chips)
+    assert validate_partition(g, y, n_chips).ok
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 1000), n_nodes=st.integers(3, 25))
+def test_fix_is_identity_on_valid_candidates(seed, n_nodes):
+    """A valid candidate passes FIX mode unchanged (Algorithm 2 phase 1)."""
+    g = random_dag(seed, n_nodes)
+    candidate = contiguous_partition(g, 3)
+    y = fix_partition(g, candidate, 3, rng=seed)
+    np.testing.assert_array_equal(y, candidate)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(2, 10),
+    density=st.floats(0.0, 1.0),
+)
+def test_longest_paths_agree_with_networkx(seed, n, density):
+    """Longest-path DP matches networkx's dag_longest_path_length."""
+    import networkx as nx
+
+    rng = np.random.default_rng(seed)
+    adj = np.triu(rng.random((n, n)) < density, k=1)
+    dist = longest_paths(adj)
+    g = nx.from_numpy_array(adj, create_using=nx.DiGraph)
+    for a in range(n):
+        for b in range(n):
+            if a == b:
+                continue
+            paths = list(nx.all_simple_paths(g, a, b)) if nx.has_path(g, a, b) else []
+            expected = max((len(p) - 1 for p in paths), default=-1)
+            assert dist[a, b] == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000), n_nodes=st.integers(3, 20))
+def test_bounds_consistency_extends_without_backtracking(seed, n_nodes):
+    """For pure <=-chains (no triangle/coverage pressure at C=2... any value
+    drawn from a propagated C1 domain extends to a full assignment).
+
+    Uses a chain graph where C1 is the only binding constraint: after fixing
+    any node, every remaining domain value must still admit completion.
+    """
+    from repro.graphs.builders import GraphBuilder
+    from repro.graphs.ops import OpType
+
+    b = GraphBuilder("chain")
+    prev = b.add_node("n0", OpType.INPUT, compute_us=1.0, output_bytes=1.0)
+    for i in range(1, n_nodes):
+        prev = b.add_node(f"n{i}", OpType.RELU, compute_us=1.0, output_bytes=1.0,
+                          inputs=[prev])
+    g = b.build()
+    rng = np.random.default_rng(seed)
+    s = ConstraintSolver(g, 3)
+    order = rng.permutation(n_nodes)
+    i = 0
+    steps = 0
+    while i < n_nodes:
+        steps += 1
+        assert steps < 20 * n_nodes
+        u = int(order[i])
+        dom = s.get_domain(u)
+        i = s.set_domain(u, int(rng.choice(dom)))
+    assert validate_partition(g, s.assignment(), 3).ok

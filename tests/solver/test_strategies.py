@@ -1,0 +1,134 @@
+"""Tests for SAMPLE / FIX strategies (Algorithms 1 and 2)."""
+
+import numpy as np
+import pytest
+
+from repro.solver.constraints import validate_partition
+from repro.solver.fallback import contiguous_partition
+from repro.solver.strategies import fix_partition, sample_partition, topo_prior
+from tests.conftest import random_dag
+
+
+class TestSamplePartition:
+    def test_output_always_valid(self, diamond_graph):
+        rng = np.random.default_rng(0)
+        probs = np.full((5, 3), 1.0 / 3)
+        for _ in range(20):
+            y = sample_partition(diamond_graph, probs, 3, rng=rng)
+            assert validate_partition(diamond_graph, y, 3).ok
+
+    def test_respects_sharp_distribution(self, chain_graph):
+        # All mass on chip 0 -> the only consistent partition is all-zero.
+        probs = np.zeros((10, 3))
+        probs[:, 0] = 1.0
+        y = sample_partition(chain_graph, probs, 3, rng=0)
+        np.testing.assert_array_equal(y, 0)
+
+    def test_biased_distribution_shifts_result(self):
+        g = random_dag(11, 30, edge_prob=0.15)
+        uniform = np.full((30, 4), 0.25)
+        late = np.full((30, 4), 1e-6)
+        late[:, 3] = 1.0
+        late /= late.sum(axis=1, keepdims=True)
+        rng = np.random.default_rng(0)
+        mean_uniform = np.mean(
+            [sample_partition(g, uniform, 4, rng=rng).mean() for _ in range(10)]
+        )
+        mean_late = np.mean(
+            [sample_partition(g, late, 4, rng=rng).mean() for _ in range(10)]
+        )
+        assert mean_late > mean_uniform
+
+    def test_custom_order_accepted(self, chain_graph):
+        probs = np.full((10, 2), 0.5)
+        y = sample_partition(chain_graph, probs, 2, rng=0, order=np.arange(10))
+        assert validate_partition(chain_graph, y, 2).ok
+
+    def test_rejects_bad_order(self, chain_graph):
+        probs = np.full((10, 2), 0.5)
+        with pytest.raises(ValueError):
+            sample_partition(chain_graph, probs, 2, rng=0, order=np.zeros(10, dtype=int))
+
+    def test_rejects_bad_probs(self, chain_graph):
+        with pytest.raises(ValueError):
+            sample_partition(chain_graph, np.full((10, 2), 0.3), 2, rng=0)
+
+    def test_deterministic_given_seed(self, diamond_graph):
+        probs = np.full((5, 3), 1.0 / 3)
+        a = sample_partition(diamond_graph, probs, 3, rng=7)
+        b = sample_partition(diamond_graph, probs, 3, rng=7)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFixPartition:
+    def test_valid_candidate_preserved(self, chain_graph):
+        # A contiguous split is valid; FIX must keep it verbatim.
+        candidate = contiguous_partition(chain_graph, 3)
+        y = fix_partition(chain_graph, candidate, 3, rng=0)
+        np.testing.assert_array_equal(y, candidate)
+
+    def test_invalid_candidate_repaired(self, chain_graph):
+        rng = np.random.default_rng(1)
+        candidate = rng.integers(0, 3, 10)
+        y = fix_partition(chain_graph, candidate, 3, rng=rng)
+        assert validate_partition(chain_graph, y, 3).ok
+
+    def test_agreement_maximised_where_possible(self, chain_graph):
+        # Candidate valid except one backward value: most nodes keep theirs.
+        candidate = contiguous_partition(chain_graph, 3)
+        broken = candidate.copy()
+        broken[9] = 0  # backwards
+        y = fix_partition(chain_graph, broken, 3, rng=0)
+        assert validate_partition(chain_graph, y, 3).ok
+        agreement = (y == broken).mean()
+        assert agreement >= 0.7
+
+    def test_random_dags_always_valid(self):
+        rng = np.random.default_rng(3)
+        for seed in range(8):
+            g = random_dag(seed, 25)
+            candidate = rng.integers(0, 4, g.n_nodes)
+            y = fix_partition(g, candidate, 4, rng=rng)
+            assert validate_partition(g, y, 4).ok
+
+    def test_rejects_bad_candidate_shape(self, chain_graph):
+        with pytest.raises(ValueError):
+            fix_partition(chain_graph, np.zeros(3, dtype=int), 3, rng=0)
+
+    def test_rejects_out_of_range_candidate(self, chain_graph):
+        with pytest.raises(ValueError):
+            fix_partition(chain_graph, np.full(10, 9), 3, rng=0)
+
+
+class TestTopoPrior:
+    def test_rows_are_distributions(self, chain_graph):
+        prior = topo_prior(chain_graph, 4)
+        np.testing.assert_allclose(prior.sum(axis=1), 1.0)
+
+    def test_prior_tracks_position(self, chain_graph):
+        prior = topo_prior(chain_graph, 4)
+        order = chain_graph.topological_order()
+        first, last = order[0], order[-1]
+        assert prior[first].argmax() == 0
+        assert prior[last].argmax() == 3
+
+
+class TestFallback:
+    def test_contiguous_partition_valid_on_random_dags(self):
+        for seed in range(10):
+            g = random_dag(seed + 100, 30)
+            for c in (1, 2, 4, 7):
+                y = contiguous_partition(g, c)
+                assert validate_partition(g, y, c).ok
+
+    def test_balance_quality(self, chain_graph):
+        y = contiguous_partition(chain_graph, 2)
+        loads = np.bincount(y, weights=chain_graph.compute_us, minlength=2)
+        assert loads.max() / loads.sum() < 0.75
+
+    def test_single_chip(self, chain_graph):
+        np.testing.assert_array_equal(contiguous_partition(chain_graph, 1), 0)
+
+    def test_rejects_zero_chips(self, chain_graph):
+        with pytest.raises(ValueError):
+            contiguous_partition(chain_graph, 0)

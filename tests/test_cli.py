@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphs.serialization import save_graph
+from tests.conftest import random_dag
+
+
+class TestInfo:
+    def test_zoo_graph(self, capsys):
+        assert main(["info", "mlp"]) == 0
+        out = capsys.readouterr().out
+        assert "nodes" in out
+
+    def test_npz_graph(self, tmp_path, capsys):
+        g = random_dag(0, 12)
+        path = str(tmp_path / "g.npz")
+        save_graph(g, path)
+        assert main(["info", path]) == 0
+        assert "12 nodes" in capsys.readouterr().out
+
+    def test_unknown_graph(self):
+        with pytest.raises(SystemExit):
+            main(["info", "nonexistent"])
+
+
+class TestZoo:
+    def test_lists_graphs(self, capsys):
+        assert main(["zoo"]) == 0
+        out = capsys.readouterr().out
+        assert "bert" in out and "mlp" in out
+
+
+class TestPartition:
+    def test_greedy(self, capsys):
+        assert main(["partition", "mlp", "--method", "greedy"]) == 0
+        out = capsys.readouterr().out
+        assert "partition report" in out
+        assert "improvement" in out
+
+    def test_random_with_output(self, tmp_path, capsys):
+        out_path = str(tmp_path / "assignment.npy")
+        code = main(
+            ["partition", "mlp", "--method", "random", "--samples", "5",
+             "--output", out_path]
+        )
+        assert code == 0
+        assignment = np.load(out_path)
+        assert assignment.shape[0] > 0
+
+    def test_latency_objective(self, capsys):
+        code = main(
+            ["partition", "mlp", "--method", "greedy", "--objective", "latency"]
+        )
+        assert code == 0
+        assert "latency improvement" in capsys.readouterr().out
+
+    def test_simulator_platform(self, capsys):
+        code = main(
+            ["partition", "mlp", "--method", "random", "--samples", "4",
+             "--platform", "simulator"]
+        )
+        assert code == 0
+
+
+class TestValidate:
+    def test_valid_assignment(self, tmp_path, capsys):
+        from repro.cli import _resolve_graph
+        from repro.core.baselines import greedy_partition
+
+        g = _resolve_graph("mlp")
+        path = str(tmp_path / "a.npy")
+        np.save(path, greedy_partition(g, 4))
+        assert main(["validate", "mlp", path]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_invalid_assignment(self, tmp_path, capsys):
+        from repro.cli import _resolve_graph
+
+        g = _resolve_graph("mlp")
+        bad = np.zeros(g.n_nodes, dtype=int)
+        bad[0] = 3  # source above its consumers: backward flow
+        path = str(tmp_path / "a.npy")
+        np.save(path, bad)
+        assert main(["validate", "mlp", path]) == 1
+        assert "INVALID" in capsys.readouterr().out

@@ -1,0 +1,53 @@
+"""Tests for seeded RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generator
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(8)
+        b = as_generator(42).random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(as_generator(1).random(8), as_generator(2).random(8))
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_generator(rng) is rng
+
+    def test_numpy_integer_seed(self):
+        rng = as_generator(np.int64(7))
+        assert isinstance(rng, np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+
+
+class TestSpawnGenerator:
+    def test_children_are_deterministic(self):
+        a = spawn_generator(as_generator(0), 1).random(4)
+        b = spawn_generator(as_generator(0), 1).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        parent = as_generator(0)
+        a = spawn_generator(parent, 1).random(4)
+        parent2 = as_generator(0)
+        b = spawn_generator(parent2, 2).random(4)
+        assert not np.allclose(a, b)
+
+    def test_rejects_negative_key(self):
+        with pytest.raises(ValueError):
+            spawn_generator(as_generator(0), -1)
+
+    def test_rejects_non_generator(self):
+        with pytest.raises(TypeError):
+            spawn_generator(42, 0)

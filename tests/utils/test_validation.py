@@ -1,0 +1,68 @@
+"""Tests for argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array_1d,
+    check_in_range,
+    check_positive,
+    check_probability_matrix,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(3.5, "x") == 3.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            check_positive(bad, "x")
+
+
+class TestCheckInRange:
+    def test_accepts_bounds(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.5, "x", 0.0, 1.0)
+
+
+class TestCheckArray1d:
+    def test_coerces_list(self):
+        out = check_array_1d([1, 2, 3], "x")
+        assert out.shape == (3,)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_array_1d(np.zeros((2, 2)), "x")
+
+    def test_size_check(self):
+        with pytest.raises(ValueError):
+            check_array_1d([1, 2], "x", size=3)
+
+
+class TestCheckProbabilityMatrix:
+    def test_accepts_valid(self):
+        mat = np.full((3, 4), 0.25)
+        out = check_probability_matrix(mat, 3, 4)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            check_probability_matrix(np.full((3, 4), 0.25), 4, 3)
+
+    def test_rejects_negative(self):
+        mat = np.full((2, 2), 0.5)
+        mat[0, 0] = -0.5
+        mat[0, 1] = 1.5
+        with pytest.raises(ValueError):
+            check_probability_matrix(mat, 2, 2)
+
+    def test_rejects_bad_row_sum(self):
+        mat = np.full((2, 2), 0.4)
+        with pytest.raises(ValueError):
+            check_probability_matrix(mat, 2, 2)
