@@ -1,0 +1,200 @@
+"""Search-loop throughput benchmark (samples/sec), the repo's perf guard.
+
+The paper's pitch is sample- *and* wall-clock-efficient partitioning: 20k
+pretraining samples in "a few hours on the analytical model".  That only
+holds if the inference hot path — GraphSAGE encode, policy head, solver,
+cost model — is not burning time on redundant work, so this bench times the
+three loops every experiment sits on:
+
+* **search** — `RLPartitioner.search` with PPO training on one graph,
+* **pretrain** — the training worker across a graph rotation,
+* **zeroshot** — frozen-policy checkpoint replay (`select_checkpoint`).
+
+Run as a script (``python benchmarks/bench_search_throughput.py``); it
+writes ``BENCH_search_throughput.json`` at the repo root so the trajectory
+of samples/sec is recorded PR over PR.  ``REPRO_BENCH_SCALE`` scales the
+budgets; ``--tiny`` forces the smallest configuration for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.harness import bench_scale
+from repro.core.environment import PartitionEnvironment
+from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
+from repro.core.pretrain import PretrainConfig, pretrain, select_checkpoint
+from repro.graphs.zoo import build_dataset
+from repro.hardware.analytical import AnalyticalCostModel
+from repro.hardware.package import MCMPackage
+from repro.rl.ppo import PPOConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_search_throughput.json"
+
+N_CHIPS = 4
+
+
+def _partitioner(rng=0) -> RLPartitioner:
+    cfg = RLPartitionerConfig(
+        hidden=64,
+        n_sage_layers=4,
+        ppo=PPOConfig(n_rollouts=20, n_minibatches=4, n_epochs=10),
+    )
+    return RLPartitioner(N_CHIPS, config=cfg, rng=rng)
+
+
+def _env(graph) -> PartitionEnvironment:
+    package = MCMPackage(n_chips=N_CHIPS)
+    return PartitionEnvironment(graph, AnalyticalCostModel(package), N_CHIPS)
+
+
+def _timed(n_samples: int, fn) -> dict:
+    start = time.perf_counter()
+    fn()
+    elapsed = time.perf_counter() - start
+    return {
+        "samples": n_samples,
+        "seconds": round(elapsed, 4),
+        "samples_per_sec": round(n_samples / elapsed, 2),
+    }
+
+
+def bench_search(graphs, n_samples: int) -> dict:
+    """PPO-training search loop on one graph (the fine-tune hot path)."""
+    env = _env(graphs[0])
+    partitioner = _partitioner(rng=0)
+    return _timed(n_samples, lambda: partitioner.search(env, n_samples, train=True))
+
+
+def bench_pretrain(graphs, n_samples: int) -> dict:
+    """Training-worker rotation across graphs (paper Section 4.3)."""
+    partitioner = _partitioner(rng=1)
+    cfg = PretrainConfig(
+        total_samples=n_samples,
+        n_checkpoints=max(n_samples // 40, 2),
+        samples_per_graph=20,
+    )
+    return _timed(
+        n_samples, lambda: pretrain(partitioner, graphs, _env, cfg)
+    )
+
+
+def bench_solver_at_scale(scale) -> dict:
+    """Constraint-solver sampling rate on a production-size transformer.
+
+    The small-graph loops above are dominated by trajectory luck; this
+    measures the solver alone on a BERT-flavoured graph at 8 chips, where
+    the word-parallel propagation engine shows its asymptotics.
+    """
+    from repro.graphs.zoo.transformer import build_transformer
+    from repro.solver.strategies import sample_partition
+
+    import numpy as np
+
+    layers = max(int(round(6 * scale.scale)), 2)
+    graph = build_transformer(
+        layers=min(layers, 24), hidden=256, heads=8, seq=128, vocab=7680,
+        name="bert_bench",
+    )
+    n_chips = 8
+    probs = np.full((graph.n_nodes, n_chips), 1.0 / n_chips)
+    rng = np.random.default_rng(0)
+    n_samples = max(int(round(4 * scale.scale)), 2)
+    result = _timed(
+        n_samples,
+        lambda: [
+            sample_partition(graph, probs, n_chips, rng=rng)
+            for _ in range(n_samples)
+        ],
+    )
+    result["graph"] = graph.name
+    result["n_nodes"] = graph.n_nodes
+    result["n_chips"] = n_chips
+    return result
+
+
+def bench_zeroshot(graphs, n_samples_per_pair: int) -> dict:
+    """Frozen-policy checkpoint replay (the validation worker)."""
+    partitioner = _partitioner(rng=2)
+    checkpoints = pretrain(
+        partitioner,
+        graphs[:1],
+        _env,
+        PretrainConfig(total_samples=40, n_checkpoints=4, samples_per_graph=20),
+    )
+    total = len(checkpoints) * len(graphs) * n_samples_per_pair
+    return _timed(
+        total,
+        lambda: select_checkpoint(
+            checkpoints,
+            partitioner,
+            graphs,
+            _env,
+            zero_shot_samples=n_samples_per_pair,
+            rng=0,
+        ),
+    )
+
+
+def main(argv=None) -> dict:
+    argv = sys.argv[1:] if argv is None else argv
+    tiny = "--tiny" in argv
+    scale = bench_scale(0.05 if tiny else 1.0) if tiny else bench_scale()
+
+    # The same training rotation the repo's pretrain benches use at scale 1
+    # (benchmarks/common.py: dataset.train[:pretrain_graphs] with 6 graphs):
+    # a representative mix of easy (mlp/cnn/autoencoder) and hard (gru/lstm,
+    # where the triangle constraint back-tracks heavily) instances.
+    dataset = build_dataset(seed=0)
+    graphs = list(dataset.train[:6])
+
+    results = {
+        "bench": "search_throughput",
+        "scale": scale.scale,
+        "n_chips": N_CHIPS,
+        "graphs": [g.name for g in graphs],
+        "search": bench_search(graphs, scale.samples(60, cap=2000)),
+        "pretrain": bench_pretrain(graphs, scale.samples(120, cap=4000)),
+        "zeroshot": bench_zeroshot(graphs, max(scale.samples(8, cap=32) // 2, 2)),
+        "solver_at_scale": bench_solver_at_scale(scale),
+        # Pre-optimisation reference (seed commit 3ddcb26, this workload,
+        # scale 1, medians over repeated runs on the PR-1 dev box): recorded
+        # so the trajectory stays visible PR over PR.  All of these numbers
+        # are trajectory-noisy — solver difficulty swings ~2.5x with the
+        # policy seed and the box load drifts — so compare medians of
+        # interleaved runs, not single shots.
+        "seed_baseline_samples_per_sec": {
+            "search": 118.0,
+            "pretrain": 48.0,
+            "zeroshot": 170.0,
+            "solver_at_scale": 5.4,
+        },
+    }
+
+    # The tiny CI smoke must not clobber the recorded scale-1 trajectory.
+    out_path = (
+        RESULT_PATH
+        if not tiny
+        else REPO_ROOT / "benchmarks" / "results" / "BENCH_search_throughput_tiny.json"
+    )
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    for key in ("search", "pretrain", "zeroshot", "solver_at_scale"):
+        r = results[key]
+        print(
+            f"{key:>15}: {r['samples']:5d} samples in {r['seconds']:8.3f}s"
+            f"  -> {r['samples_per_sec']:8.2f} samples/sec"
+        )
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 test suite + a tiny-scale throughput-bench smoke run.
+#
+# The bench smoke run both exercises the search/pretrain/zero-shot loops
+# end-to-end (catching integration breaks the unit suite can miss) and
+# refreshes BENCH_search_throughput.json so samples/sec regressions are
+# visible in the diff.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== throughput bench (tiny smoke) =="
+python benchmarks/bench_search_throughput.py --tiny
+
+echo "== ci_check OK =="

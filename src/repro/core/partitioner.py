@@ -13,6 +13,7 @@ One search iteration (Figure 3):
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -24,8 +25,15 @@ from repro.rl.features import GraphFeatures, featurize
 from repro.rl.policy import PartitionPolicy
 from repro.rl.ppo import PPOConfig, PPOTrainer
 from repro.rl.rollout import Rollout, RolloutBuffer
+from repro.solver.engine import ConstraintSolver
 from repro.solver.strategies import fix_partition, sample_partition
 from repro.utils.rng import as_generator
+
+#: How many per-graph solver instances a partitioner keeps warm.  Reuse
+#: preserves the solver's triangle-table memo and descendant/ancestor
+#: closures across samples and search calls (a pretraining rotation visits
+#: the same graphs every cycle).
+_SOLVER_CACHE_SIZE = 16
 
 
 @dataclass(frozen=True)
@@ -38,6 +46,10 @@ class RLPartitionerConfig:
     Algorithm 2.  The paper reports FIX outperforming SAMPLE on CP-SAT; with
     this repo's chronological-back-tracking solver the trade-off flips
     (see the solver-mode ablation bench), so SAMPLE is the default.
+
+    ``propose_batch`` caps how many candidates :meth:`RLPartitioner.search`
+    draws per policy forward pass; it bounds the transient ``(R*N, .)``
+    activation size, never the sample budget.
     """
 
     hidden: int = 128
@@ -46,6 +58,7 @@ class RLPartitionerConfig:
     refine_iters: int = 2
     solver_mode: str = "sample"
     explore_eps: float = 0.1
+    propose_batch: int = 16
     ppo: PPOConfig = PPOConfig()
 
     def __post_init__(self):
@@ -53,6 +66,8 @@ class RLPartitionerConfig:
             raise ValueError("solver_mode must be 'fix' or 'sample'")
         if not (0.0 <= self.explore_eps < 1.0):
             raise ValueError("explore_eps must be in [0, 1)")
+        if self.propose_batch < 1:
+            raise ValueError("propose_batch must be >= 1")
 
 
 class RLPartitioner:
@@ -86,6 +101,24 @@ class RLPartitioner:
             rng=self.rng,
         )
         self.trainer = PPOTrainer(self.policy, self.config.ppo, rng=self.rng)
+        # (graph, solver) entries keyed by graph identity, LRU-evicted.
+        self._solver_cache: "OrderedDict[int, tuple]" = OrderedDict()
+
+    def _solver_for(self, graph) -> ConstraintSolver:
+        """A reset constraint solver for ``graph``, reused across samples."""
+        key = id(graph)
+        entry = self._solver_cache.get(key)
+        if entry is not None and entry[0] is graph:
+            self._solver_cache.move_to_end(key)
+            solver = entry[1]
+            if solver.n_decisions:
+                solver.reset()
+            return solver
+        solver = ConstraintSolver(graph, self.n_chips)
+        while len(self._solver_cache) >= _SOLVER_CACHE_SIZE:
+            self._solver_cache.popitem(last=False)
+        self._solver_cache[key] = (graph, solver)
+        return solver
 
     # ------------------------------------------------------------------
     # Weights
@@ -147,50 +180,67 @@ class RLPartitioner:
         n_rollouts = self.trainer.config.n_rollouts
 
         eps = self.config.explore_eps
-        for k in range(n_samples):
-            candidate, conditioning, probs = self.policy.propose(feats, rng=self.rng)
-            # Behaviour policy: the network's distribution smoothed with an
-            # epsilon of uniform exploration, so a sharply pre-trained
-            # policy keeps probing the space during (fine-)tuning.
-            if train and eps > 0.0:
-                probs = (1.0 - eps) * probs + eps / self.n_chips
-            if use_solver:
-                if self.config.solver_mode == "fix":
-                    repaired = fix_partition(graph, candidate, self.n_chips, rng=self.rng)
+        max_batch = self.config.propose_batch
+        k = 0
+        while k < n_samples:
+            # All candidates between two PPO updates come from the same
+            # policy weights, so they are drawn in one batched forward pass;
+            # in train mode the batch never outruns the rollout window.
+            room = (n_rollouts - len(buffer)) if train else max_batch
+            batch_size = min(room, max_batch, n_samples - k)
+            proposal = self.policy.propose_batch(feats, batch_size, rng=self.rng)
+            for j in range(batch_size):
+                candidate = proposal.candidates[j]
+                conditioning = proposal.conditionings[j]
+                probs = proposal.probs[j]
+                # Behaviour policy: the network's distribution smoothed with
+                # an epsilon of uniform exploration, so a sharply pre-trained
+                # policy keeps probing the space during (fine-)tuning.
+                if train and eps > 0.0:
+                    probs = (1.0 - eps) * probs + eps / self.n_chips
+                if use_solver:
+                    solver = self._solver_for(graph)
+                    if self.config.solver_mode == "fix":
+                        repaired = fix_partition(
+                            graph, candidate, self.n_chips, rng=self.rng, solver=solver
+                        )
+                    else:
+                        repaired = sample_partition(
+                            graph, probs, self.n_chips, rng=self.rng, solver=solver
+                        )
                 else:
-                    repaired = sample_partition(graph, probs, self.n_chips, rng=self.rng)
-            else:
-                repaired = candidate
-            sample = env.evaluate(repaired)
-            improvements[k] = sample.improvement
-            if sample.improvement > best_improvement:
-                best, best_improvement = repaired.copy(), sample.improvement
+                    repaired = candidate
+                sample = env.evaluate(repaired)
+                improvements[k] = sample.improvement
+                if sample.improvement > best_improvement:
+                    best, best_improvement = repaired.copy(), sample.improvement
+                k += 1
 
-            if train:
-                # Train on the *repaired* action y': it is the partition the
-                # reward was measured on, so reinforcing it couples the
-                # gradient to the environment signal even while the raw
-                # candidates are still far from valid (the solver acts as an
-                # action-correction layer, cf. Section 4.1: "we use the
-                # reward of y' rather than directly using the reward of y").
-                action = repaired if use_solver else candidate
-                log_prob = np.log(
-                    probs[np.arange(graph.n_nodes), action] + 1e-12
-                )
-                out_value = self._value_of(feats, conditioning)
-                buffer.add(
-                    Rollout(
-                        conditioning=conditioning,
-                        candidate=action,
-                        repaired=repaired,
-                        log_prob=log_prob,
-                        value=out_value,
-                        reward=env.reward(sample),
+                if train:
+                    # Train on the *repaired* action y': it is the partition
+                    # the reward was measured on, so reinforcing it couples
+                    # the gradient to the environment signal even while the
+                    # raw candidates are still far from valid (the solver
+                    # acts as an action-correction layer, cf. Section 4.1:
+                    # "we use the reward of y' rather than directly using
+                    # the reward of y").
+                    action = repaired if use_solver else candidate
+                    log_prob = np.log(
+                        probs[np.arange(graph.n_nodes), action] + 1e-12
                     )
-                )
-                if len(buffer) >= n_rollouts:
-                    self.trainer.update(feats, buffer)
-                    buffer.clear()
+                    buffer.add(
+                        Rollout(
+                            conditioning=conditioning,
+                            candidate=action,
+                            repaired=repaired,
+                            log_prob=log_prob,
+                            value=float(proposal.values[j]),
+                            reward=env.reward(sample),
+                        )
+                    )
+                    if len(buffer) >= n_rollouts:
+                        self.trainer.update(feats, buffer)
+                        buffer.clear()
 
         return SearchResult(
             improvements=improvements,
@@ -198,11 +248,6 @@ class RLPartitioner:
             best_improvement=best_improvement,
             metadata={"trained": train, "use_solver": use_solver},
         )
-
-    def _value_of(self, feats: GraphFeatures, conditioning: np.ndarray) -> float:
-        """Baseline value estimate for one conditioning placement."""
-        out = self.policy.forward_batch(feats, conditioning[None, :])
-        return float(out.values.data[0])
 
     # ------------------------------------------------------------------
     def propose_best(

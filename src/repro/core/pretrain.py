@@ -165,12 +165,15 @@ def select_checkpoint(
         raise ValueError("graphs must be non-empty")
     rng = as_generator(rng)
     feats = [featurize(g) for g in graphs]
+    # One environment per graph, shared by every checkpoint: environment
+    # construction evaluates the baseline partition on the cost model, which
+    # must not be repaid checkpoint x graph times.
+    envs = [env_factory(g) for g in graphs]
 
     best: "Checkpoint | None" = None
     for ckpt in checkpoints:
         scores = []
-        for g, f in zip(graphs, feats):
-            env = env_factory(g)
+        for env, f in zip(envs, feats):
             partitioner.load_state_dict(ckpt.state)
             result = partitioner.search(
                 env, zero_shot_samples, train=False, features=f

@@ -93,10 +93,16 @@ class PipelineSimulator:
             np.add.at(chip_time, src_c, (wire_us + chip.link_latency_us) * stall)
             np.add.at(chip_time, dst_c, 0.5 * wire_us * stall)
             # Each transfer occupies every link between source and
-            # destination for its full wire time.
-            for s, d, w in zip(src_c, dst_c, wire_us):
-                if d > s:
-                    link_time[s:d] += w + chip.link_latency_us
+            # destination for its full wire time.  Range-add via a
+            # difference array: +w at src, -w at dst, then prefix-sum —
+            # one vectorised pass instead of a per-transfer slice loop.
+            forward = dst_c > src_c
+            if np.any(forward):
+                occupancy = wire_us[forward] + chip.link_latency_us
+                diff = np.zeros(link_time.size + 1)
+                np.add.at(diff, src_c[forward], occupancy)
+                np.subtract.at(diff, dst_c[forward], occupancy)
+                link_time = np.cumsum(diff)[:-1]
 
         stage_us = float(chip_time.max())
         if self.package.n_links > 0:

@@ -60,6 +60,61 @@ def matmul(a: Tensor, b: Tensor) -> Tensor:
     )
 
 
+def _aggregate_transpose(agg_matrix):
+    """The transpose used by aggregation backwards, preferring the CSR copy
+    precomputed by :func:`repro.nn.layers.mean_aggregation_matrix`."""
+    cached = getattr(agg_matrix, "_cached_transpose", None)
+    if cached is not None:
+        return cached
+    return agg_matrix.T if hasattr(agg_matrix, "T") else agg_matrix.transpose()
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor) -> Tensor:
+    """Fused affine map ``x @ weight + bias`` (one tape node).
+
+    Identical maths to ``add(matmul(x, weight), bias)`` with a third of the
+    tape nodes; the policy and value heads sit on the search hot path where
+    per-op overhead dominates at these matrix sizes.
+    """
+    x, weight, bias = _wrap(x), _wrap(weight), _wrap(bias)
+    if x.ndim != 2 or weight.ndim != 2:
+        raise ValueError("linear expects 2-D input and weight")
+    out = x.data @ weight.data + bias.data
+
+    def backward(g):
+        return (g @ weight.data.T, x.data.T @ g, g.sum(axis=0))
+
+    return Tensor(out, parents=(x, weight, bias), backward_fn=backward)
+
+
+def sage_mean_combine(
+    h: Tensor, agg_matrix, w_self: Tensor, w_neigh: Tensor, bias: Tensor
+) -> Tensor:
+    """Fused GraphSAGE layer: ``relu(h @ w_self + (A @ h) @ w_neigh + b)``.
+
+    ``agg_matrix`` is the constant row-normalised adjacency ``A``; only the
+    tensors receive gradients.  One tape node replaces the six of the
+    unfused composition, with bitwise-identical forward values (same
+    expression, same evaluation order).
+    """
+    h, w_self, w_neigh, bias = _wrap(h), _wrap(w_self), _wrap(w_neigh), _wrap(bias)
+    neigh = agg_matrix @ h.data
+    pre = h.data @ w_self.data + neigh @ w_neigh.data + bias.data
+    mask = pre > 0
+    out = pre * mask
+
+    need_h_grad = h.requires_grad
+
+    def backward(g):
+        gp = g * mask
+        gh = None
+        if need_h_grad:
+            gh = gp @ w_self.data.T + _aggregate_transpose(agg_matrix) @ (gp @ w_neigh.data.T)
+        return (gh, h.data.T @ gp, neigh.T @ gp, gp.sum(axis=0))
+
+    return Tensor(out, parents=(h, w_self, w_neigh, bias), backward_fn=backward)
+
+
 # ----------------------------------------------------------------------
 # Activations
 # ----------------------------------------------------------------------
@@ -234,11 +289,78 @@ def sparse_mean_aggregate(agg_matrix, x: Tensor) -> Tensor:
     out = agg_matrix @ x.data
 
     def backward(g):
-        if hasattr(agg_matrix, "T"):
-            return (agg_matrix.T @ g,)
-        return (agg_matrix.transpose() @ g,)
+        return (_aggregate_transpose(agg_matrix) @ g,)
 
     return Tensor(out, parents=(x,), backward_fn=backward)
+
+
+def ppo_objective(
+    log_probs: Tensor,
+    values: Tensor,
+    actions: np.ndarray,
+    old_log_probs: np.ndarray,
+    advantages: np.ndarray,
+    returns: np.ndarray,
+    clip_ratio: float,
+    value_coef: float,
+    entropy_coef: float,
+) -> "tuple[Tensor, dict]":
+    """Fused PPO surrogate: clipped policy loss + value loss - entropy bonus.
+
+    Computes, in one tape node, exactly what the unfused composition
+    ``-mean(min(ratio*adv, clip(ratio)*adv)) + value_coef*mean((v-R)^2)
+    - entropy_coef*(-mean(sum(p*logp)))`` builds from ~14 nodes; at PPO
+    minibatch sizes the per-op overhead dominates the maths.  Returns the
+    scalar loss tensor and a dict of detached diagnostics.
+    """
+    log_probs, values = _wrap(log_probs), _wrap(values)
+    lp = log_probs.data
+    rows = np.arange(lp.shape[0])
+    actions = np.asarray(actions, dtype=np.int64)
+
+    new_lp = lp[rows, actions]
+    ratio = np.exp(new_lp - old_log_probs)
+    lo, hi = 1.0 - clip_ratio, 1.0 + clip_ratio
+    clipped_ratio = np.clip(ratio, lo, hi)
+    unclipped = ratio * advantages
+    clipped = clipped_ratio * advantages
+    take_unclipped = unclipped <= clipped
+    surrogate = np.where(take_unclipped, unclipped, clipped)
+    policy_loss = -surrogate.mean()
+
+    value_err = values.data - returns
+    value_loss = float((value_err**2).mean())
+
+    probs = np.exp(lp)
+    ent_terms = (probs * lp).sum(axis=1)
+    entropy = -ent_terms.mean()
+
+    loss = policy_loss + value_coef * value_loss - entropy_coef * entropy
+    n_rows = lp.shape[0]
+
+    def backward(g):
+        g = float(g)
+        # Policy term: d(-mean(min(u, c)))/d new_lp.
+        d_surr = -g / n_rows
+        d_ratio = np.where(
+            take_unclipped, advantages, advantages * ((ratio >= lo) & (ratio <= hi))
+        )
+        d_new_lp = d_surr * d_ratio * ratio
+        grad_lp = np.zeros_like(lp)
+        grad_lp[rows, actions] = d_new_lp
+        # Entropy term: d(-entropy_coef * -mean(sum(p * lp)))/d lp.
+        grad_lp += (g * entropy_coef / n_rows) * (probs * lp + probs)
+        # Value term.
+        grad_values = g * value_coef * 2.0 * value_err / value_err.size
+        return (grad_lp, grad_values)
+
+    out = Tensor(loss, parents=(log_probs, values), backward_fn=backward)
+    stats = {
+        "policy_loss": float(policy_loss),
+        "value_loss": value_loss,
+        "entropy": float(entropy),
+    }
+    return out, stats
 
 
 # ----------------------------------------------------------------------

@@ -39,6 +39,15 @@ class Module:
         for p in self.parameters():
             p.zero_grad()
 
+    def weights_version(self) -> int:
+        """Monotonic counter over all parameter mutations.
+
+        The sum of every parameter's :attr:`Tensor.version`; any optimiser
+        step or ``load_state_dict`` changes it, so derived quantities (e.g.
+        a graph encoding) may be memoised keyed on this value.
+        """
+        return sum(p._version for p in self.parameters())
+
     def state_dict(self) -> dict[str, np.ndarray]:
         """Flat name -> array mapping of all parameters."""
         out: dict[str, np.ndarray] = {}
@@ -76,6 +85,7 @@ class Module:
                     f"shape mismatch for {key}: {arr.shape} vs {tensor.data.shape}"
                 )
             tensor.data = arr.copy()
+            tensor.bump_version()
 
     def _collect_tensors(self, prefix: str, out: dict) -> None:
         for name in sorted(vars(self)):
@@ -100,7 +110,7 @@ class Linear(Module):
         self.bias = Tensor(zeros((out_features,)), requires_grad=True)
 
     def __call__(self, x: Tensor) -> Tensor:
-        return F.add(F.matmul(x, self.weight), self.bias)
+        return F.linear(x, self.weight, self.bias)
 
 
 class Sequential(Module):
@@ -137,12 +147,7 @@ class GraphSAGELayer(Module):
         self.bias = Tensor(zeros((out_features,)), requires_grad=True)
 
     def __call__(self, h: Tensor, agg_matrix) -> Tensor:
-        neigh = F.sparse_mean_aggregate(agg_matrix, h)
-        pre = F.add(
-            F.add(F.matmul(h, self.w_self), F.matmul(neigh, self.w_neigh)),
-            self.bias,
-        )
-        return F.relu(pre)
+        return F.sage_mean_combine(h, agg_matrix, self.w_self, self.w_neigh, self.bias)
 
 
 def mean_aggregation_matrix(n_nodes: int, src: np.ndarray, dst: np.ndarray):
@@ -159,4 +164,8 @@ def mean_aggregation_matrix(n_nodes: int, src: np.ndarray, dst: np.ndarray):
     adj.data = np.ones_like(adj.data)
     degree = np.asarray(adj.sum(axis=1)).reshape(-1)
     inv = np.divide(1.0, degree, out=np.zeros_like(degree), where=degree > 0)
-    return sp.diags(inv) @ adj
+    agg = (sp.diags(inv) @ adj).tocsr()
+    # The backward pass multiplies by the transpose on every step; a
+    # precomputed CSR transpose avoids rebuilding a CSC view per call.
+    agg._cached_transpose = agg.T.tocsr()
+    return agg

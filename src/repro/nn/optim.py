@@ -51,6 +51,7 @@ class SGD:
                 p.data -= self.lr * v
             else:
                 p.data -= self.lr * p.grad
+            p.bump_version()
 
     def zero_grad(self) -> None:
         """Clear gradients on all managed parameters."""
@@ -94,6 +95,7 @@ class Adam:
             v *= self.beta2
             v += (1.0 - self.beta2) * p.grad**2
             p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            p.bump_version()
 
     def zero_grad(self) -> None:
         """Clear gradients on all managed parameters."""

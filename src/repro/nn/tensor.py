@@ -44,7 +44,7 @@ class Tensor:
         (internal).
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn")
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "_version")
 
     def __init__(
         self,
@@ -58,6 +58,7 @@ class Tensor:
         self.grad: "np.ndarray | None" = None
         self._parents = parents or ()
         self._backward_fn = backward_fn
+        self._version = 0
 
     # ------------------------------------------------------------------
     @property
@@ -69,6 +70,20 @@ class Tensor:
     def ndim(self) -> int:
         """Number of dimensions."""
         return self.data.ndim
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter of in-place payload mutations.
+
+        Bumped by whatever rewrites ``data`` after construction (optimiser
+        steps, ``load_state_dict``); consumers may memoise values derived
+        from this tensor keyed on the counter.
+        """
+        return self._version
+
+    def bump_version(self) -> None:
+        """Record that ``data`` was mutated in place."""
+        self._version += 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         grad = ", grad" if self.requires_grad else ""

@@ -16,6 +16,7 @@ Placement generation is iterative but non-autoregressive: ``T`` rounds of
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,6 +26,14 @@ from repro.nn.layers import GraphSAGELayer, Linear, Module
 from repro.nn.tensor import Tensor
 from repro.rl.features import N_FEATURES, GraphFeatures
 from repro.utils.rng import as_generator
+
+#: How many (features, embedding) pairs the encoder cache retains.  Each
+#: entry pins the embedding's full autodiff tape (every SAGE layer's
+#: intermediates — tens of MB for production-size graphs), which backward
+#: passes through cache hits require, so the cap is kept small: enough for
+#: a validation-replay sweep, bounded in memory when thousands of distinct
+#: graphs stream through.
+_ENCODE_CACHE_SIZE = 8
 
 
 @dataclass
@@ -44,6 +53,29 @@ class PolicyOutput:
     log_probs: Tensor
     values: Tensor
     probs: np.ndarray
+
+
+@dataclass(frozen=True)
+class BatchProposal:
+    """A batch of candidate partitions drawn in one refinement sweep.
+
+    Attributes
+    ----------
+    candidates:
+        ``(R, N)`` sampled assignments ``y`` of the final round.
+    conditionings:
+        ``(R, N)`` placements the final round conditioned on (``y^(T-1)``).
+    probs:
+        ``(R, N, C)`` final probability matrices ``P``.
+    values:
+        ``(R,)`` value-baseline estimates from the final policy evaluation
+        (the evaluation conditioned on ``conditionings`` when ``T >= 2``).
+    """
+
+    candidates: np.ndarray
+    conditionings: np.ndarray
+    probs: np.ndarray
+    values: np.ndarray
 
 
 class PartitionPolicy(Module):
@@ -101,10 +133,46 @@ class PartitionPolicy(Module):
         ]
         self.value_hidden = Linear(hidden + n_chips, hidden, rng=rng)
         self.value_out = Linear(hidden, 1, rng=rng)
+        # (weights_version, features, embeddings) memo keyed by feature
+        # object identity; the strong reference to ``features`` keeps the
+        # id() stable while the entry lives.
+        self._encode_cache: "OrderedDict[int, tuple]" = OrderedDict()
+        # The parameter set is fixed after construction; cache the walk so
+        # per-forward version checks stay cheap.
+        self._param_list = self.parameters()
+
+    def weights_version(self) -> int:
+        """See :meth:`Module.weights_version` (cached parameter walk)."""
+        return sum(p._version for p in self._param_list)
 
     # ------------------------------------------------------------------
-    def encode(self, features: GraphFeatures) -> Tensor:
-        """Run the GraphSAGE stack; returns ``(N, hidden)`` node embeddings."""
+    def encode(self, features: GraphFeatures, use_cache: bool = True) -> Tensor:
+        """Run the GraphSAGE stack; returns ``(N, hidden)`` node embeddings.
+
+        The result depends only on (weights, graph), so it is memoised per
+        ``features`` object keyed on :meth:`Module.weights_version` —
+        optimiser steps and ``load_state_dict`` invalidate automatically.
+        Callers must treat ``features`` as immutable (the repo-wide
+        convention; :func:`repro.rl.features.featurize` builds fresh
+        arrays).  The cached tensor stays on the autodiff tape, so reusing
+        it across forward passes backpropagates correctly.
+        """
+        if not use_cache:
+            return self._encode_impl(features)
+        version = self.weights_version()
+        key = id(features)
+        entry = self._encode_cache.get(key)
+        if entry is not None and entry[0] == version and entry[1] is features:
+            self._encode_cache.move_to_end(key)
+            return entry[2]
+        h = self._encode_impl(features)
+        self._encode_cache[key] = (version, features, h)
+        self._encode_cache.move_to_end(key)
+        while len(self._encode_cache) > _ENCODE_CACHE_SIZE:
+            self._encode_cache.popitem(last=False)
+        return h
+
+    def _encode_impl(self, features: GraphFeatures) -> Tensor:
         h = Tensor(features.node_features)
         for layer in self.sage_layers:
             h = layer(h, features.agg_matrix)
@@ -133,16 +201,22 @@ class PartitionPolicy(Module):
         n = features.n_nodes
         states = self._as_state(prev_placements)  # (R, N, C)
         r = states.shape[0]
+        c = self.n_chips
 
         h = self.encode(features)  # (N, hidden)
         agg = features.agg_matrix
-        blocks = [
-            F.concat(
-                [h, Tensor(states[k]), Tensor(agg @ states[k])], axis=1
-            )
-            for k in range(r)
-        ]
-        stacked = F.concat(blocks, axis=0) if r > 1 else blocks[0]  # (R*N, H+2C)
+        # All R neighbour aggregations in one sparse matmul: lay the states
+        # out as an (N, R*C) column block so ``agg @ block`` computes every
+        # ``agg @ states[k]`` with the same per-row accumulation order (the
+        # result is bitwise identical to the per-k loop).
+        state_block = states.transpose(1, 0, 2).reshape(n, r * c)
+        neigh = np.asarray(agg @ state_block)
+        neigh_rows = neigh.reshape(n, r, c).transpose(1, 0, 2).reshape(r * n, c)
+        state_rows = states.reshape(r * n, c)
+        h_rows = F.concat([h] * r, axis=0) if r > 1 else h
+        stacked = F.concat(
+            [h_rows, Tensor(state_rows), Tensor(neigh_rows)], axis=1
+        )  # (R*N, H+2C)
         logits = self._policy_head(stacked)
         log_probs = F.log_softmax(logits, axis=-1)
 
@@ -181,26 +255,59 @@ class PartitionPolicy(Module):
             round, ``conditioning`` the placement it was conditioned on
             (``y^(T-1)``), and ``probs`` the final ``(N, C)`` matrix ``P``.
         """
+        batch = self.propose_batch(features, 1, rng=rng, refine_iters=refine_iters)
+        return batch.candidates[0], batch.conditionings[0], batch.probs[0]
+
+    def propose_batch(
+        self,
+        features: GraphFeatures,
+        n_candidates: int,
+        rng=None,
+        refine_iters: "int | None" = None,
+    ) -> BatchProposal:
+        """Draw ``n_candidates`` independent refinement sweeps in one batch.
+
+        Each candidate runs Equation 7 from the uniform "no placement yet"
+        state; all of them share every policy evaluation (one encoder pass
+        plus one batched head pass per round), which is what makes drawing a
+        full PPO rollout window one forward-batch instead of ``R`` separate
+        ones.  The value baselines of the final round are returned so the
+        search loop needs no extra value pass (when ``T >= 2`` the final
+        round is conditioned on exactly ``conditionings``, matching a
+        dedicated evaluation bitwise; with ``T == 1`` the value is estimated
+        at the uniform state instead).
+        """
+        if n_candidates < 1:
+            raise ValueError("n_candidates must be >= 1")
         rng = as_generator(rng)
         iters = self.refine_iters if refine_iters is None else refine_iters
         n = features.n_nodes
+        r = n_candidates
         # Round 0 conditions on the uniform "no placement yet" state.
-        state = np.full((1, n, self.n_chips), 1.0 / self.n_chips)
-        conditioning = np.zeros(n, dtype=np.int64)
-        candidate = np.zeros(n, dtype=np.int64)
-        probs = np.full((n, self.n_chips), 1.0 / self.n_chips)
+        state = np.full((r, n, self.n_chips), 1.0 / self.n_chips)
+        conditioning = np.zeros((r, n), dtype=np.int64)
+        candidate = np.zeros((r, n), dtype=np.int64)
+        probs = np.full((r, n, self.n_chips), 1.0 / self.n_chips)
+        values = np.zeros(r)
         for t in range(iters):
             out = self.forward_batch(features, state)
-            probs = out.probs[0]
-            cdf = probs.cumsum(axis=1)
-            u = rng.random((n, 1))
-            sampled = (u > cdf).sum(axis=1)
-            conditioning = candidate if t > 0 else conditioning
+            probs = out.probs
+            values = out.values.data.copy()
+            cdf = probs.cumsum(axis=2)
+            u = rng.random((r, n, 1))
+            sampled = (u > cdf).sum(axis=2)
+            if t > 0:
+                conditioning = candidate
             candidate = np.minimum(sampled, self.n_chips - 1).astype(np.int64)
             state = self._as_state(candidate)
         if iters == 1:
-            conditioning = np.zeros(n, dtype=np.int64)
-        return candidate, conditioning, probs
+            conditioning = np.zeros((r, n), dtype=np.int64)
+        return BatchProposal(
+            candidates=candidate,
+            conditionings=conditioning,
+            probs=probs,
+            values=values,
+        )
 
     def propose_autoregressive(
         self, features: GraphFeatures, rng=None, order: "np.ndarray | None" = None

@@ -76,7 +76,8 @@ class PPOTrainer:
         self.policy = policy
         self.config = config or PPOConfig()
         self.rng = as_generator(rng)
-        self.optimizer = Adam(policy.parameters(), lr=self.config.learning_rate)
+        self._params = policy.parameters()
+        self.optimizer = Adam(self._params, lr=self.config.learning_rate)
 
     def update(self, features: GraphFeatures, buffer: RolloutBuffer) -> PPOStats:
         """Run one PPO update from ``buffer`` (rollouts on one graph).
@@ -92,47 +93,40 @@ class PPOTrainer:
 
         stats = {"policy": 0.0, "value": 0.0, "entropy": 0.0, "grad": 0.0}
         n_steps = 0
+        # Per-rollout arrays are assembled once; minibatches index into them.
+        cond_all = np.stack([b.conditioning for b in rollouts])
+        act_all = np.stack([b.candidate for b in rollouts])
+        old_lp_all = np.stack([b.log_prob for b in rollouts])
+        returns_all = np.array([b.reward for b in rollouts])
         for _ in range(cfg.n_epochs):
             for idx in buffer.minibatch_indices(cfg.n_minibatches, self.rng):
-                batch = [rollouts[i] for i in idx]
-                r = len(batch)
-                conditioning = np.stack([b.conditioning for b in batch])
-                actions = np.concatenate([b.candidate for b in batch])
-                old_log_probs = np.concatenate([b.log_prob for b in batch])
+                conditioning = cond_all[idx]
+                actions = act_all[idx].reshape(-1)
+                old_log_probs = old_lp_all[idx].reshape(-1)
                 adv = np.repeat(advantages[idx], n)
-                returns = np.array([b.reward for b in batch])
+                returns = returns_all[idx]
 
                 out = self.policy.forward_batch(features, conditioning)
-                new_log_probs = F.take_along_last(out.log_probs, actions)
-                ratio = F.exp(F.sub(new_log_probs, Tensor(old_log_probs)))
-                unclipped = F.mul(ratio, Tensor(adv))
-                clipped = F.mul(
-                    F.clip(ratio, 1.0 - cfg.clip_ratio, 1.0 + cfg.clip_ratio),
-                    Tensor(adv),
-                )
-                policy_loss = F.mul(F.mean(F.minimum(unclipped, clipped)), Tensor(-1.0))
-
-                value_err = F.sub(out.values, Tensor(returns))
-                value_loss = F.mean(F.square(value_err))
-
-                probs_t = F.exp(out.log_probs)
-                entropy = F.mul(
-                    F.mean(F.sum(F.mul(probs_t, out.log_probs), axis=1)), Tensor(-1.0)
-                )
-
-                loss = F.add(
-                    F.add(policy_loss, F.mul(value_loss, Tensor(cfg.value_coef))),
-                    F.mul(entropy, Tensor(-cfg.entropy_coef)),
+                loss, step_stats = F.ppo_objective(
+                    out.log_probs,
+                    out.values,
+                    actions,
+                    old_log_probs,
+                    adv,
+                    returns,
+                    cfg.clip_ratio,
+                    cfg.value_coef,
+                    cfg.entropy_coef,
                 )
 
                 self.optimizer.zero_grad()
                 loss.backward()
-                grad_norm = clip_grad_norm(self.policy.parameters(), cfg.max_grad_norm)
+                grad_norm = clip_grad_norm(self._params, cfg.max_grad_norm)
                 self.optimizer.step()
 
-                stats["policy"] += policy_loss.item()
-                stats["value"] += value_loss.item()
-                stats["entropy"] += entropy.item()
+                stats["policy"] += step_stats["policy_loss"]
+                stats["value"] += step_stats["value_loss"]
+                stats["entropy"] += step_stats["entropy"]
                 stats["grad"] += grad_norm
                 n_steps += 1
 

@@ -111,14 +111,30 @@ def _guide(graph: CompGraph, probs: np.ndarray, n_chips: int, restart: int) -> n
 
 
 def _sample_from(domain: np.ndarray, probs_row: "np.ndarray | None", rng) -> int:
-    """Sample a chip from ``domain`` following ``probs_row`` when usable."""
+    """Sample a chip from ``domain`` following ``probs_row`` when usable.
+
+    Inverse-CDF sampling over the (tiny) domain; ``rng.choice`` carries
+    tens of microseconds of generic-dispatch overhead per call, which
+    dominates the solver driver at search rates.
+    """
+    size = domain.size
+    if size == 1:
+        return int(domain[0])
     if probs_row is None:
-        return int(rng.choice(domain))
-    weights = probs_row[domain]
-    total = weights.sum()
-    if not np.isfinite(total) or total <= 0:
-        return int(rng.choice(domain))
-    return int(rng.choice(domain, p=weights / total))
+        return int(domain[rng.integers(size)])
+    weights = probs_row.take(domain).tolist()
+    total = 0.0
+    for w in weights:
+        total += w
+    if not 0.0 < total < np.inf:  # catches 0, negatives, inf, and nan
+        return int(domain[rng.integers(size)])
+    r = rng.random() * total
+    acc = 0.0
+    for i in range(size - 1):
+        acc += weights[i]
+        if r < acc:
+            return int(domain[i])
+    return int(domain[size - 1])
 
 
 def _run_driver(

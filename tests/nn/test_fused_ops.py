@@ -1,0 +1,147 @@
+"""Equivalence tests for the fused tape ops (linear, SAGE layer, PPO loss).
+
+Each fused op must match the unfused composition it replaced: bitwise on
+the forward pass (same expression, same evaluation order) and to finite-
+difference accuracy on gradients.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import mean_aggregation_matrix
+from repro.nn.tensor import Tensor
+
+
+def _num_grad(fn, x, eps=1e-6):
+    """Central finite differences of a scalar fn w.r.t. array x."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = fn()
+        x[idx] = orig - eps
+        lo = fn()
+        x[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestLinear:
+    def test_forward_matches_unfused_bitwise(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((7, 5)))
+        w = Tensor(rng.standard_normal((5, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal(3), requires_grad=True)
+        fused = F.linear(x, w, b)
+        unfused = F.add(F.matmul(x, w), b)
+        np.testing.assert_array_equal(fused.data, unfused.data)
+
+    def test_gradients_match_unfused(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.standard_normal((6, 4)), requires_grad=True)
+        w = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal(3), requires_grad=True)
+        F.mean(F.linear(x, w, b)).backward()
+        fused_grads = [x.grad.copy(), w.grad.copy(), b.grad.copy()]
+        for t in (x, w, b):
+            t.zero_grad()
+        F.mean(F.add(F.matmul(x, w), b)).backward()
+        for fused, t in zip(fused_grads, (x, w, b)):
+            np.testing.assert_allclose(fused, t.grad, rtol=1e-12)
+
+
+class TestSageMeanCombine:
+    def _setup(self):
+        rng = np.random.default_rng(2)
+        n, fin, fout = 9, 5, 4
+        src = rng.integers(0, n - 1, 14)
+        dst = np.minimum(src + 1 + rng.integers(0, 3, 14), n - 1)
+        agg = mean_aggregation_matrix(n, src, dst)
+        h = Tensor(rng.standard_normal((n, fin)), requires_grad=True)
+        ws = Tensor(rng.standard_normal((fin, fout)), requires_grad=True)
+        wn = Tensor(rng.standard_normal((fin, fout)), requires_grad=True)
+        b = Tensor(rng.standard_normal(fout), requires_grad=True)
+        return agg, h, ws, wn, b
+
+    def test_forward_matches_unfused_bitwise(self):
+        agg, h, ws, wn, b = self._setup()
+        fused = F.sage_mean_combine(h, agg, ws, wn, b)
+        neigh = F.sparse_mean_aggregate(agg, h)
+        unfused = F.relu(F.add(F.add(F.matmul(h, ws), F.matmul(neigh, wn)), b))
+        np.testing.assert_array_equal(fused.data, unfused.data)
+
+    def test_gradients_match_finite_differences(self):
+        agg, h, ws, wn, b = self._setup()
+        F.mean(F.sage_mean_combine(h, agg, ws, wn, b)).backward()
+        for t in (h, ws, wn, b):
+            expected = _num_grad(
+                lambda: float(F.mean(F.sage_mean_combine(h, agg, ws, wn, b)).data),
+                t.data,
+            )
+            np.testing.assert_allclose(t.grad, expected, rtol=1e-5, atol=1e-7)
+
+    def test_constant_input_skips_input_grad(self):
+        agg, h, ws, wn, b = self._setup()
+        const_h = Tensor(h.data)  # no grad
+        out = F.sage_mean_combine(const_h, agg, ws, wn, b)
+        F.mean(out).backward()
+        assert const_h.grad is None
+        assert ws.grad is not None
+
+
+class TestPPOObjective:
+    def _setup(self):
+        rng = np.random.default_rng(3)
+        rows, c, r = 12, 4, 3
+        logits = rng.standard_normal((rows, c))
+        log_probs = Tensor(logits, requires_grad=True)
+        values = Tensor(rng.standard_normal(r), requires_grad=True)
+        actions = rng.integers(0, c, rows)
+        old_lp = rng.standard_normal(rows) * 0.1 - 1.5
+        adv = rng.standard_normal(rows)
+        returns = rng.standard_normal(r)
+        return log_probs, values, actions, old_lp, adv, returns
+
+    def _unfused(self, log_probs, values, actions, old_lp, adv, returns):
+        clip_ratio, value_coef, entropy_coef = 0.2, 0.5, 0.01
+        new_lp = F.take_along_last(log_probs, actions)
+        ratio = F.exp(F.sub(new_lp, Tensor(old_lp)))
+        unclipped = F.mul(ratio, Tensor(adv))
+        clipped = F.mul(F.clip(ratio, 1 - clip_ratio, 1 + clip_ratio), Tensor(adv))
+        policy_loss = F.mul(F.mean(F.minimum(unclipped, clipped)), Tensor(-1.0))
+        value_loss = F.mean(F.square(F.sub(values, Tensor(returns))))
+        probs_t = F.exp(log_probs)
+        entropy = F.mul(
+            F.mean(F.sum(F.mul(probs_t, log_probs), axis=1)), Tensor(-1.0)
+        )
+        return F.add(
+            F.add(policy_loss, F.mul(value_loss, Tensor(value_coef))),
+            F.mul(entropy, Tensor(-entropy_coef)),
+        )
+
+    def test_loss_matches_unfused(self):
+        log_probs, values, actions, old_lp, adv, returns = self._setup()
+        fused, stats = F.ppo_objective(
+            log_probs, values, actions, old_lp, adv, returns, 0.2, 0.5, 0.01
+        )
+        unfused = self._unfused(log_probs, values, actions, old_lp, adv, returns)
+        np.testing.assert_allclose(fused.data, unfused.data, rtol=1e-12)
+        assert stats["policy_loss"] == pytest.approx(stats["policy_loss"])
+
+    def test_gradients_match_unfused(self):
+        log_probs, values, actions, old_lp, adv, returns = self._setup()
+        loss, _ = F.ppo_objective(
+            log_probs, values, actions, old_lp, adv, returns, 0.2, 0.5, 0.01
+        )
+        loss.backward()
+        fused_lp_grad = log_probs.grad.copy()
+        fused_v_grad = values.grad.copy()
+        log_probs.zero_grad()
+        values.zero_grad()
+        self._unfused(log_probs, values, actions, old_lp, adv, returns).backward()
+        np.testing.assert_allclose(fused_lp_grad, log_probs.grad, rtol=1e-10)
+        np.testing.assert_allclose(fused_v_grad, values.grad, rtol=1e-10)

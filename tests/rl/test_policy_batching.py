@@ -1,0 +1,159 @@
+"""Equivalence tests for the batched/cached policy hot path.
+
+The vectorised ``forward_batch`` and the encoder cache are pure
+restructurings: these tests pin them to the original per-row semantics
+(bitwise where the maths is identical, allclose where accumulation order
+may differ) and prove the cache invalidates on every weight mutation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.optim import SGD
+from repro.nn.tensor import Tensor
+from repro.rl.features import featurize
+from repro.rl.policy import PartitionPolicy
+from tests.conftest import random_dag
+
+
+@pytest.fixture
+def policy():
+    return PartitionPolicy(n_chips=4, hidden=32, n_sage_layers=2, rng=0)
+
+
+def _forward_batch_reference(policy, features, prev_placements):
+    """The original per-``k`` loop implementation of ``forward_batch``."""
+    n = features.n_nodes
+    states = policy._as_state(prev_placements)
+    r = states.shape[0]
+    h = policy.encode(features, use_cache=False)
+    agg = features.agg_matrix
+    blocks = [
+        F.concat([h, Tensor(states[k]), Tensor(agg @ states[k])], axis=1)
+        for k in range(r)
+    ]
+    stacked = F.concat(blocks, axis=0) if r > 1 else blocks[0]
+    logits = policy._policy_head(stacked)
+    log_probs = F.log_softmax(logits, axis=-1)
+
+    pooled = F.mean(h, axis=0, keepdims=True)
+    usage = states.mean(axis=1)
+    pooled_rows = F.concat([pooled] * r, axis=0) if r > 1 else pooled
+    value_in = F.concat([pooled_rows, Tensor(usage)], axis=1)
+    values = policy.value_out(F.relu(policy.value_hidden(value_in)))
+    values = F.reshape(values, (r,))
+    probs = np.exp(log_probs.data).reshape(r, n, policy.n_chips)
+    return log_probs.data, values.data, probs
+
+
+class TestForwardBatchVectorization:
+    @pytest.mark.parametrize("r", [1, 2, 5])
+    def test_matches_per_row_loop_bitwise(self, policy, r):
+        g = random_dag(3, 23)
+        feats = featurize(g)
+        rng = np.random.default_rng(0)
+        prev = rng.integers(0, 4, (r, g.n_nodes))
+        out = policy.forward_batch(feats, prev)
+        ref_lp, ref_values, ref_probs = _forward_batch_reference(policy, feats, prev)
+        np.testing.assert_array_equal(out.log_probs.data, ref_lp)
+        np.testing.assert_array_equal(out.values.data, ref_values)
+        np.testing.assert_array_equal(out.probs, ref_probs)
+
+    def test_soft_states_match(self, policy):
+        g = random_dag(7, 12)
+        feats = featurize(g)
+        rng = np.random.default_rng(1)
+        soft = rng.random((3, g.n_nodes, 4))
+        soft /= soft.sum(axis=2, keepdims=True)
+        out = policy.forward_batch(feats, soft)
+        ref_lp, ref_values, _ = _forward_batch_reference(policy, feats, soft)
+        np.testing.assert_array_equal(out.log_probs.data, ref_lp)
+        np.testing.assert_array_equal(out.values.data, ref_values)
+
+
+class TestEncodeCache:
+    def test_cached_matches_uncached(self, policy, diamond_graph):
+        feats = featurize(diamond_graph)
+        cached = policy.encode(feats)
+        uncached = policy.encode(feats, use_cache=False)
+        np.testing.assert_array_equal(cached.data, uncached.data)
+
+    def test_cache_hit_returns_same_tensor(self, policy, diamond_graph):
+        feats = featurize(diamond_graph)
+        assert policy.encode(feats) is policy.encode(feats)
+
+    def test_distinct_features_get_distinct_entries(self, policy):
+        f1 = featurize(random_dag(0, 9))
+        f2 = featurize(random_dag(1, 9))
+        h1 = policy.encode(f1)
+        h2 = policy.encode(f2)
+        assert h1 is not h2
+        assert policy.encode(f1) is h1
+
+    def test_invalidated_by_optimizer_step(self, policy, diamond_graph):
+        feats = featurize(diamond_graph)
+        before = policy.encode(feats)
+        opt = SGD(policy.parameters(), lr=0.1)
+        loss = F.mean(policy.encode(feats))
+        policy.zero_grad()
+        loss.backward()
+        opt.step()
+        after = policy.encode(feats)
+        assert after is not before
+        np.testing.assert_array_equal(
+            after.data, policy.encode(feats, use_cache=False).data
+        )
+
+    def test_invalidated_by_load_state_dict(self, diamond_graph):
+        feats = featurize(diamond_graph)
+        a = PartitionPolicy(n_chips=4, hidden=16, n_sage_layers=2, rng=0)
+        b = PartitionPolicy(n_chips=4, hidden=16, n_sage_layers=2, rng=1)
+        stale = a.encode(feats)
+        a.load_state_dict(b.state_dict())
+        fresh = a.encode(feats)
+        assert fresh is not stale
+        np.testing.assert_array_equal(fresh.data, b.encode(feats, use_cache=False).data)
+
+    def test_version_counter_monotone(self, policy):
+        v0 = policy.weights_version()
+        opt = SGD(policy.parameters(), lr=0.1)
+        for p in policy.parameters():
+            p.grad = np.ones_like(p.data)
+        opt.step()
+        assert policy.weights_version() > v0
+
+
+class TestProposeBatch:
+    def test_single_candidate_matches_propose(self, policy, diamond_graph):
+        feats = featurize(diamond_graph)
+        batch = policy.propose_batch(feats, 1, rng=11)
+        candidate, conditioning, probs = policy.propose(feats, rng=11)
+        np.testing.assert_array_equal(batch.candidates[0], candidate)
+        np.testing.assert_array_equal(batch.conditionings[0], conditioning)
+        np.testing.assert_array_equal(batch.probs[0], probs)
+
+    def test_shapes(self, policy):
+        g = random_dag(5, 17)
+        feats = featurize(g)
+        batch = policy.propose_batch(feats, 6, rng=0)
+        assert batch.candidates.shape == (6, 17)
+        assert batch.conditionings.shape == (6, 17)
+        assert batch.probs.shape == (6, 17, 4)
+        assert batch.values.shape == (6,)
+
+    def test_values_match_dedicated_value_pass(self, policy):
+        """The threaded values equal a fresh evaluation at the conditioning
+        placement (the old ``_value_of`` round-trip), for ``T >= 2``."""
+        g = random_dag(9, 14)
+        feats = featurize(g)
+        batch = policy.propose_batch(feats, 3, rng=2)
+        for k in range(3):
+            out = policy.forward_batch(feats, batch.conditionings[k][None, :])
+            np.testing.assert_allclose(
+                batch.values[k], float(out.values.data[0]), rtol=1e-12
+            )
+
+    def test_rejects_zero_candidates(self, policy, diamond_graph):
+        with pytest.raises(ValueError):
+            policy.propose_batch(featurize(diamond_graph), 0, rng=0)

@@ -1,0 +1,25 @@
+"""The byte-LUT bitmask -> value-array conversion behind ``get_domain``."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.engine import _mask_to_values
+
+
+@settings(max_examples=200, deadline=None)
+@given(mask=st.integers(0, (1 << 63) - 1))
+def test_matches_list_comprehension(mask):
+    expected = np.array([d for d in range(64) if mask >> d & 1], dtype=np.int64)
+    np.testing.assert_array_equal(_mask_to_values(mask), expected)
+
+
+def test_small_masks_share_readonly_arrays():
+    a = _mask_to_values(0b1011)
+    b = _mask_to_values(0b1011)
+    assert a is b
+    assert not a.flags.writeable
+
+
+def test_empty_mask():
+    assert _mask_to_values(0).size == 0

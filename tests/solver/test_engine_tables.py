@@ -18,6 +18,7 @@ def _engine_with_adjacency(adj: np.ndarray) -> ConstraintSolver:
     g = b.build()
     s = ConstraintSolver(g, adj.shape[0])
     s._edge_count = adj.astype(np.int64)
+    s._rebuild_adj_mask()
     s._tables_dirty = True
     return s
 
