@@ -10,6 +10,11 @@ three loops every experiment sits on:
 * **pretrain** — the training worker across a graph rotation,
 * **zeroshot** — frozen-policy checkpoint replay (`select_checkpoint`).
 
+A **workers sweep** additionally times every loop against the parallel
+rollout pool (:mod:`repro.parallel`) at ``workers in {1, 2, 4}`` plus a
+solver-bound "search at scale" workload (8-chip transformer), reporting
+medians of interleaved runs; ``--workers N`` caps the sweep (0 skips it).
+
 Run as a script (``python benchmarks/bench_search_throughput.py``); it
 writes ``BENCH_search_throughput.json`` at the repo root so the trajectory
 of samples/sec is recorded PR over PR.  ``REPRO_BENCH_SCALE`` scales the
@@ -26,13 +31,21 @@ from pathlib import Path
 if __package__ in (None, ""):
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.bench.harness import bench_scale
+import os
+
+from repro.bench.harness import bench_scale, interleaved_medians
 from repro.core.environment import PartitionEnvironment
 from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
 from repro.core.pretrain import PretrainConfig, pretrain, select_checkpoint
 from repro.graphs.zoo import build_dataset
 from repro.hardware.analytical import AnalyticalCostModel
 from repro.hardware.package import MCMPackage
+from repro.parallel import (
+    ParallelConfig,
+    parallel_pretrain,
+    parallel_search,
+    parallel_select_checkpoint,
+)
 from repro.rl.ppo import PPOConfig
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -120,6 +133,185 @@ def bench_solver_at_scale(scale) -> dict:
     return result
 
 
+def _build_scale_workload(scale):
+    """Search-at-scale workload: an 8-chip transformer, solver-bound.
+
+    On production-size graphs the search loop is dominated by constraint
+    solving and cost-model evaluation (the paper's BERT/8-chip regime — see
+    the ``solver_at_scale`` row), which is exactly the regime the rollout
+    pool parallelises across samples.
+    """
+    from repro.graphs.zoo.transformer import build_transformer
+
+    layers = max(min(int(round(3 * scale.scale)), 8), 2)
+    graph = build_transformer(
+        layers=layers, hidden=256, heads=8, seq=128, vocab=7680,
+        name="tf_scale_bench",
+    )
+    n_chips = 8
+    cfg = RLPartitionerConfig(
+        hidden=64,
+        n_sage_layers=4,
+        ppo=PPOConfig(n_rollouts=20, n_minibatches=4, n_epochs=10),
+    )
+    package = MCMPackage(n_chips=n_chips)
+
+    def make_env():
+        return PartitionEnvironment(graph, AnalyticalCostModel(package), n_chips)
+
+    def make_partitioner():
+        return RLPartitioner(n_chips, config=cfg, rng=0)
+
+    return graph, make_env, make_partitioner
+
+
+def bench_workers_sweep(graphs, scale, worker_counts, n_repeats: int) -> dict:
+    """Scaling sweep: every loop at ``workers in worker_counts`` vs serial.
+
+    Each cell reports the median samples/sec of ``n_repeats`` interleaved
+    runs (ROADMAP methodology).  ``workers1`` is the *parallel code path*
+    executed in-process (the serial fallback); ``serial`` is the plain
+    single-stream path.  Pool start-up (fork) is included in the timings —
+    it is a real cost of the parallel path at these budgets.
+    """
+    search_n = scale.samples(60, cap=2000)
+    pretrain_n = scale.samples(120, cap=4000)
+    zeroshot_per_pair = max(scale.samples(8, cap=32) // 2, 2)
+    at_scale_n = scale.samples(30, cap=120)
+
+    def timed(n, fn):
+        return _timed(n, fn)["samples_per_sec"]
+
+    # -- search (train=True, one small graph: PPO-bound at this size) ----
+    def mk_search(workers):
+        def run():
+            env = _env(graphs[0])
+            partitioner = _partitioner(rng=0)
+            if workers == 0:
+                return timed(search_n, lambda: partitioner.search(env, search_n))
+            cfg = ParallelConfig(n_workers=workers, seed=0)
+            return timed(
+                search_n,
+                lambda: parallel_search(partitioner, env, search_n, config=cfg),
+            )
+        return run
+
+    # -- pretrain rotation ----------------------------------------------
+    pre_cfg = PretrainConfig(
+        total_samples=pretrain_n,
+        n_checkpoints=max(pretrain_n // 40, 2),
+        samples_per_graph=20,
+    )
+
+    def mk_pretrain(workers):
+        def run():
+            partitioner = _partitioner(rng=1)
+            if workers == 0:
+                return timed(
+                    pretrain_n, lambda: pretrain(partitioner, graphs, _env, pre_cfg)
+                )
+            cfg = ParallelConfig(n_workers=workers, seed=1)
+            return timed(
+                pretrain_n,
+                lambda: parallel_pretrain(
+                    partitioner, graphs, _env, pre_cfg, parallel=cfg
+                ),
+            )
+        return run
+
+    # -- zero-shot checkpoint replay (no PPO: embarrassingly parallel) ---
+    replay_partitioner = _partitioner(rng=2)
+    replay_ckpts = pretrain(
+        replay_partitioner,
+        graphs[:1],
+        _env,
+        PretrainConfig(total_samples=40, n_checkpoints=4, samples_per_graph=20),
+    )
+    zeroshot_total = len(replay_ckpts) * len(graphs) * zeroshot_per_pair
+
+    def mk_zeroshot(workers):
+        def run():
+            if workers == 0:
+                return timed(
+                    zeroshot_total,
+                    lambda: select_checkpoint(
+                        replay_ckpts, replay_partitioner, graphs, _env,
+                        zero_shot_samples=zeroshot_per_pair, rng=0,
+                    ),
+                )
+            cfg = ParallelConfig(n_workers=workers, seed=2)
+            return timed(
+                zeroshot_total,
+                lambda: parallel_select_checkpoint(
+                    replay_ckpts, replay_partitioner, graphs, _env,
+                    zero_shot_samples=zeroshot_per_pair, config=cfg,
+                ),
+            )
+        return run
+
+    # -- search at scale (8-chip transformer: solver/env-bound) ----------
+    scale_graph, make_scale_env, make_scale_partitioner = _build_scale_workload(scale)
+
+    def mk_at_scale(workers):
+        def run():
+            env = make_scale_env()
+            partitioner = make_scale_partitioner()
+            if workers == 0:
+                return timed(
+                    at_scale_n, lambda: partitioner.search(env, at_scale_n)
+                )
+            cfg = ParallelConfig(n_workers=workers, seed=3)
+            return timed(
+                at_scale_n,
+                lambda: parallel_search(partitioner, env, at_scale_n, config=cfg),
+            )
+        return run
+
+    sweep = {}
+    for name, mk in (
+        ("search", mk_search),
+        ("pretrain", mk_pretrain),
+        ("zeroshot", mk_zeroshot),
+        ("search_at_scale", mk_at_scale),
+    ):
+        runs = {"serial": mk(0)}
+        for w in worker_counts:
+            runs[f"workers{w}"] = mk(w)
+        sweep[name] = interleaved_medians(runs, n_repeats)
+
+    speedups = {
+        name: {
+            cfg: round(cell["median"] / cells["serial"]["median"], 3)
+            for cfg, cell in cells.items()
+            if cfg != "serial"
+        }
+        for name, cells in sweep.items()
+    }
+    return {
+        "cpu_count": os.cpu_count(),
+        "worker_counts": list(worker_counts),
+        "n_repeats": n_repeats,
+        "budgets": {
+            "search": search_n,
+            "pretrain": pretrain_n,
+            "zeroshot": zeroshot_total,
+            "search_at_scale": at_scale_n,
+        },
+        "at_scale_graph": {
+            "name": scale_graph.name,
+            "n_nodes": scale_graph.n_nodes,
+            "n_chips": 8,
+        },
+        "sweep": sweep,
+        "speedup_vs_serial": speedups,
+        "note": (
+            "medians of interleaved runs; workersN requires >= N idle cores "
+            "to show scaling — on a single-core box the sweep validates "
+            "determinism and bounds pool overhead instead"
+        ),
+    }
+
+
 def bench_zeroshot(graphs, n_samples_per_pair: int) -> dict:
     """Frozen-policy checkpoint replay (the validation worker)."""
     partitioner = _partitioner(rng=2)
@@ -146,6 +338,14 @@ def bench_zeroshot(graphs, n_samples_per_pair: int) -> dict:
 def main(argv=None) -> dict:
     argv = sys.argv[1:] if argv is None else argv
     tiny = "--tiny" in argv
+    max_workers = 4
+    if "--workers" in argv:
+        try:
+            max_workers = int(argv[argv.index("--workers") + 1])
+        except (IndexError, ValueError):
+            raise SystemExit(
+                "usage: bench_search_throughput.py [--tiny] [--workers N]"
+            ) from None
     scale = bench_scale(0.05 if tiny else 1.0) if tiny else bench_scale()
 
     # The same training rotation the repo's pretrain benches use at scale 1
@@ -178,6 +378,15 @@ def main(argv=None) -> dict:
         },
     }
 
+    # Workers scaling sweep (PR 2): parallel rollout pool vs the serial
+    # path, medians of interleaved runs.  ``--workers N`` caps the sweep
+    # (``--workers 0`` skips it); the tiny CI smoke keeps one repeat.
+    worker_counts = [w for w in (1, 2, 4) if w <= max_workers]
+    if worker_counts:
+        results["parallel"] = bench_workers_sweep(
+            graphs, scale, worker_counts, n_repeats=1 if tiny else 3
+        )
+
     # The tiny CI smoke must not clobber the recorded scale-1 trajectory.
     out_path = (
         RESULT_PATH
@@ -193,6 +402,15 @@ def main(argv=None) -> dict:
             f"{key:>15}: {r['samples']:5d} samples in {r['seconds']:8.3f}s"
             f"  -> {r['samples_per_sec']:8.2f} samples/sec"
         )
+    if "parallel" in results:
+        par = results["parallel"]
+        print(f"workers sweep (cpus={par['cpu_count']}, medians of "
+              f"{par['n_repeats']} interleaved runs):")
+        for loop, cells in par["sweep"].items():
+            row = "  ".join(
+                f"{cfg}={cell['median']:8.2f}/s" for cfg, cell in cells.items()
+            )
+            print(f"{loop:>15}: {row}")
     return results
 
 

@@ -4,7 +4,10 @@
 # The bench smoke run both exercises the search/pretrain/zero-shot loops
 # end-to-end (catching integration breaks the unit suite can miss) and
 # refreshes BENCH_search_throughput.json so samples/sec regressions are
-# visible in the diff.
+# visible in the diff.  The smoke includes a 2-worker pool sweep under a
+# hard timeout: a deadlocked worker pool must fail the gate fast, not hang
+# the suite (the pool also has its own recv timeout; the outer `timeout`
+# is the belt-and-braces kill switch).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,7 +15,8 @@ cd "$(dirname "$0")/.."
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
-echo "== throughput bench (tiny smoke) =="
-python benchmarks/bench_search_throughput.py --tiny
+echo "== throughput bench (tiny smoke, 2-worker pool) =="
+timeout --kill-after=30 300 \
+    python benchmarks/bench_search_throughput.py --tiny --workers 2
 
 echo "== ci_check OK =="

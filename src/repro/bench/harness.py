@@ -123,6 +123,32 @@ def repeat_methods(
     return means, stds
 
 
+def interleaved_medians(
+    runs: "dict[str, Callable[[], float]]", n_repeats: int
+) -> "dict[str, dict]":
+    """Interleave repeated runs of each config and report medians.
+
+    Throughput on one box is trajectory-noisy (solver difficulty swings with
+    the policy RNG seed and box load drifts), so the ROADMAP methodology is
+    to never compare single shots: this helper runs the configs round-robin
+    (``A B C  A B C  ...``) so load drift hits them evenly, and reports the
+    per-config median alongside the raw runs.
+
+    ``runs`` maps a config name to a zero-argument callable returning one
+    scalar measurement (conventionally samples/sec).
+    """
+    if n_repeats < 1:
+        raise ValueError("n_repeats must be >= 1")
+    record: dict[str, list[float]] = {name: [] for name in runs}
+    for _ in range(n_repeats):
+        for name, fn in runs.items():
+            record[name].append(float(fn()))
+    return {
+        name: {"runs": values, "median": float(np.median(values))}
+        for name, values in record.items()
+    }
+
+
 def geomean_curves(curves: "Sequence[MethodCurve]", method: str) -> np.ndarray:
     """Geometric-mean best-so-far curve of one method across graphs.
 

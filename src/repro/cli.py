@@ -6,6 +6,18 @@ Commands
 ``partition``  search a partition and print the per-chip report
 ``validate``   check an assignment file against the static constraints
 ``zoo``        list the built-in zoo graphs
+
+Examples
+--------
+``python -m repro partition bert --method rl --samples 200``
+    Serial constrained-RL search (the default single-process path).
+``python -m repro partition bert --method rl --samples 200 --workers 4``
+    Same search with rollouts fanned over 4 worker processes
+    (:mod:`repro.parallel`); ``--workers 1`` is the serial path,
+    bit-for-bit.
+``python -m repro partition bert --chips 8 --eager-frontier on``
+    Force the solver's eager triangle-frontier strengthening above its
+    4-chip heuristic default.
 """
 
 from __future__ import annotations
@@ -30,6 +42,7 @@ from repro.graphs.zoo import build_bert, build_cnn, build_lstm, build_mlp, build
 from repro.hardware.analytical import AnalyticalCostModel
 from repro.hardware.package import MCMPackage
 from repro.hardware.simulator import PipelineSimulator
+from repro.parallel import ParallelConfig, parallel_search
 from repro.rl.ppo import PPOConfig
 from repro.solver.constraints import validate_partition
 
@@ -74,11 +87,20 @@ def _cmd_partition(args) -> int:
         else AnalyticalCostModel(package)
     )
     env = PartitionEnvironment(graph, cost_model, args.chips, objective=args.objective)
+    if args.workers > 1 and args.method != "rl":
+        print("--workers applies to --method rl only", file=sys.stderr)
+        return 2
+    if args.eager_frontier != "auto" and args.method != "rl":
+        # Only the RL partitioner's solver plumbing honours the flag; fail
+        # loudly rather than silently benchmark the wrong configuration.
+        print("--eager-frontier applies to --method rl only", file=sys.stderr)
+        return 2
 
     if args.method == "greedy":
         assignment = greedy_partition(graph, args.chips)
         improvement = env.evaluate(assignment).improvement
     else:
+        eager_frontier = {"auto": None, "on": True, "off": False}[args.eager_frontier]
         searchers = {
             "random": lambda: RandomSearch(rng=args.seed),
             "sa": lambda: SimulatedAnnealing(rng=args.seed),
@@ -87,12 +109,23 @@ def _cmd_partition(args) -> int:
                 args.chips,
                 config=RLPartitionerConfig(
                     hidden=64, n_sage_layers=4,
+                    triangle_frontier=eager_frontier,
                     ppo=PPOConfig(n_rollouts=10, n_minibatches=2, n_epochs=4),
                 ),
                 rng=args.seed,
             ),
         }
-        result = searchers[args.method]().search(env, args.samples)
+        if args.method == "rl" and args.workers > 1:
+            # Parallel rollout pool; --workers 1 stays the serial path
+            # (bit-for-bit identical to earlier releases).
+            result = parallel_search(
+                searchers["rl"](),
+                env,
+                args.samples,
+                config=ParallelConfig(n_workers=args.workers, seed=args.seed),
+            )
+        else:
+            result = searchers[args.method]().search(env, args.samples)
         if result.best_assignment is None:
             print("no valid partition found", file=sys.stderr)
             return 1
@@ -144,6 +177,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_part.add_argument(
         "--objective", choices=["throughput", "latency"], default="throughput"
+    )
+    p_part.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="rollout worker processes for --method rl (1 = serial path, "
+        "bit-for-bit identical to previous releases; >= 2 fans rollouts "
+        "over a deterministic multiprocessing pool)",
+    )
+    p_part.add_argument(
+        "--eager-frontier",
+        choices=["auto", "on", "off"],
+        default="auto",
+        help="solver eager triangle-frontier strengthening: 'auto' enables "
+        "it only at <= 4 chips (the heuristic default), 'on'/'off' force it "
+        "— 'on' helps wedge-heavy instances above 4 chips",
     )
     p_part.add_argument("--output", help="write the assignment to this .npy path")
     p_part.set_defaults(fn=_cmd_partition)

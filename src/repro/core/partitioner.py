@@ -14,7 +14,7 @@ One search iteration (Figure 3):
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -50,6 +50,11 @@ class RLPartitionerConfig:
     ``propose_batch`` caps how many candidates :meth:`RLPartitioner.search`
     draws per policy forward pass; it bounds the transient ``(R*N, .)``
     activation size, never the sample budget.
+
+    ``triangle_frontier`` forwards to :class:`ConstraintSolver`: ``None``
+    keeps the solver's heuristic (eager triangle re-propagation only for
+    ``n_chips <= 4``); ``True``/``False`` forces it — enabling it above 4
+    chips helps wedge-heavy instances at scale.
     """
 
     hidden: int = 128
@@ -59,6 +64,7 @@ class RLPartitionerConfig:
     solver_mode: str = "sample"
     explore_eps: float = 0.1
     propose_batch: int = 16
+    triangle_frontier: "bool | None" = None
     ppo: PPOConfig = PPOConfig()
 
     def __post_init__(self):
@@ -68,6 +74,28 @@ class RLPartitionerConfig:
             raise ValueError("explore_eps must be in [0, 1)")
         if self.propose_batch < 1:
             raise ValueError("propose_batch must be >= 1")
+
+
+@dataclass
+class WindowDraw:
+    """Result of drawing one window of samples against fixed policy weights.
+
+    Attributes
+    ----------
+    rollouts:
+        Training rows (one per sample) when drawn with ``train=True``,
+        otherwise an empty list.
+    improvements:
+        Per-sample throughput improvements, in draw order.
+    best_assignment / best_improvement:
+        Best valid partition seen within the window (``None`` / 0.0 when
+        every sample was invalid).
+    """
+
+    rollouts: list = field(default_factory=list)
+    improvements: "np.ndarray | None" = None
+    best_assignment: "np.ndarray | None" = None
+    best_improvement: float = 0.0
 
 
 class RLPartitioner:
@@ -114,7 +142,9 @@ class RLPartitioner:
             if solver.n_decisions:
                 solver.reset()
             return solver
-        solver = ConstraintSolver(graph, self.n_chips)
+        solver = ConstraintSolver(
+            graph, self.n_chips, triangle_frontier=self.config.triangle_frontier
+        )
         while len(self._solver_cache) >= _SOLVER_CACHE_SIZE:
             self._solver_cache.popitem(last=False)
         self._solver_cache[key] = (graph, solver)
@@ -179,7 +209,6 @@ class RLPartitioner:
         buffer = RolloutBuffer()
         n_rollouts = self.trainer.config.n_rollouts
 
-        eps = self.config.explore_eps
         max_batch = self.config.propose_batch
         k = 0
         while k < n_samples:
@@ -188,65 +217,150 @@ class RLPartitioner:
             # in train mode the batch never outruns the rollout window.
             room = (n_rollouts - len(buffer)) if train else max_batch
             batch_size = min(room, max_batch, n_samples - k)
-            proposal = self.policy.propose_batch(feats, batch_size, rng=self.rng)
-            for j in range(batch_size):
-                candidate = proposal.candidates[j]
-                conditioning = proposal.conditionings[j]
-                probs = proposal.probs[j]
-                # Behaviour policy: the network's distribution smoothed with
-                # an epsilon of uniform exploration, so a sharply pre-trained
-                # policy keeps probing the space during (fine-)tuning.
-                if train and eps > 0.0:
-                    probs = (1.0 - eps) * probs + eps / self.n_chips
-                if use_solver:
-                    solver = self._solver_for(graph)
-                    if self.config.solver_mode == "fix":
-                        repaired = fix_partition(
-                            graph, candidate, self.n_chips, rng=self.rng, solver=solver
-                        )
-                    else:
-                        repaired = sample_partition(
-                            graph, probs, self.n_chips, rng=self.rng, solver=solver
-                        )
-                else:
-                    repaired = candidate
-                sample = env.evaluate(repaired)
-                improvements[k] = sample.improvement
-                if sample.improvement > best_improvement:
-                    best, best_improvement = repaired.copy(), sample.improvement
-                k += 1
+            draw = self._draw_batch(
+                env, feats, batch_size, self.rng, train, use_solver
+            )
+            improvements[k : k + batch_size] = draw.improvements
+            if draw.best_improvement > best_improvement:
+                best = draw.best_assignment
+                best_improvement = draw.best_improvement
+            k += batch_size
 
-                if train:
-                    # Train on the *repaired* action y': it is the partition
-                    # the reward was measured on, so reinforcing it couples
-                    # the gradient to the environment signal even while the
-                    # raw candidates are still far from valid (the solver
-                    # acts as an action-correction layer, cf. Section 4.1:
-                    # "we use the reward of y' rather than directly using
-                    # the reward of y").
-                    action = repaired if use_solver else candidate
-                    log_prob = np.log(
-                        probs[np.arange(graph.n_nodes), action] + 1e-12
-                    )
-                    buffer.add(
-                        Rollout(
-                            conditioning=conditioning,
-                            candidate=action,
-                            repaired=repaired,
-                            log_prob=log_prob,
-                            value=float(proposal.values[j]),
-                            reward=env.reward(sample),
-                        )
-                    )
-                    if len(buffer) >= n_rollouts:
-                        self.trainer.update(feats, buffer)
-                        buffer.clear()
+            if train:
+                for rollout in draw.rollouts:
+                    buffer.add(rollout)
+                if len(buffer) >= n_rollouts:
+                    self.trainer.update(feats, buffer)
+                    buffer.clear()
 
         return SearchResult(
             improvements=improvements,
             best_assignment=best,
             best_improvement=best_improvement,
             metadata={"trained": train, "use_solver": use_solver},
+        )
+
+    def _draw_batch(
+        self,
+        env: PartitionEnvironment,
+        feats: GraphFeatures,
+        batch_size: int,
+        rng,
+        train: bool,
+        use_solver: bool,
+    ) -> WindowDraw:
+        """Draw and evaluate one proposal batch against the current weights.
+
+        This is the per-sample hot loop shared bit-for-bit by the serial
+        search path and the parallel rollout workers
+        (:mod:`repro.parallel`): one batched policy forward pass, then per
+        candidate the epsilon-smoothed behaviour distribution, the solver
+        repair, and the environment evaluation — all drawn from ``rng`` in a
+        fixed order so a given (weights, rng state) pair always produces the
+        same rows.
+        """
+        graph = env.graph
+        eps = self.config.explore_eps
+        proposal = self.policy.propose_batch(feats, batch_size, rng=rng)
+        improvements = np.zeros(batch_size)
+        rollouts: list[Rollout] = []
+        best: "np.ndarray | None" = None
+        best_improvement = 0.0
+        for j in range(batch_size):
+            candidate = proposal.candidates[j]
+            conditioning = proposal.conditionings[j]
+            probs = proposal.probs[j]
+            # Behaviour policy: the network's distribution smoothed with
+            # an epsilon of uniform exploration, so a sharply pre-trained
+            # policy keeps probing the space during (fine-)tuning.
+            if train and eps > 0.0:
+                probs = (1.0 - eps) * probs + eps / self.n_chips
+            if use_solver:
+                solver = self._solver_for(graph)
+                if self.config.solver_mode == "fix":
+                    repaired = fix_partition(
+                        graph, candidate, self.n_chips, rng=rng, solver=solver
+                    )
+                else:
+                    repaired = sample_partition(
+                        graph, probs, self.n_chips, rng=rng, solver=solver
+                    )
+            else:
+                repaired = candidate
+            sample = env.evaluate(repaired)
+            improvements[j] = sample.improvement
+            if sample.improvement > best_improvement:
+                best, best_improvement = repaired.copy(), sample.improvement
+
+            if train:
+                # Train on the *repaired* action y': it is the partition
+                # the reward was measured on, so reinforcing it couples
+                # the gradient to the environment signal even while the
+                # raw candidates are still far from valid (the solver
+                # acts as an action-correction layer, cf. Section 4.1:
+                # "we use the reward of y' rather than directly using
+                # the reward of y").
+                action = repaired if use_solver else candidate
+                log_prob = np.log(
+                    probs[np.arange(graph.n_nodes), action] + 1e-12
+                )
+                rollouts.append(
+                    Rollout(
+                        conditioning=conditioning,
+                        candidate=action,
+                        repaired=repaired,
+                        log_prob=log_prob,
+                        value=float(proposal.values[j]),
+                        reward=env.reward(sample),
+                    )
+                )
+        return WindowDraw(
+            rollouts=rollouts,
+            improvements=improvements,
+            best_assignment=best,
+            best_improvement=best_improvement,
+        )
+
+    def draw_window(
+        self,
+        env: PartitionEnvironment,
+        n_samples: int,
+        rng=None,
+        train: bool = True,
+        use_solver: bool = True,
+        features: "GraphFeatures | None" = None,
+    ) -> WindowDraw:
+        """Draw ``n_samples`` rollouts against the *current* policy weights.
+
+        Unlike :meth:`search` this never runs a PPO update: it is the
+        worker-side primitive of the parallel subsystem — every sample in
+        the window is drawn from one weights version (the PR-1 batching
+        invariant), and the caller owns what happens to the rows.  Chunks
+        internally by ``config.propose_batch``.
+        """
+        if n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        rng = as_generator(rng)
+        feats = features if features is not None else featurize(env.graph)
+        improvements = np.zeros(n_samples)
+        rollouts: list[Rollout] = []
+        best: "np.ndarray | None" = None
+        best_improvement = 0.0
+        k = 0
+        while k < n_samples:
+            batch_size = min(self.config.propose_batch, n_samples - k)
+            draw = self._draw_batch(env, feats, batch_size, rng, train, use_solver)
+            improvements[k : k + batch_size] = draw.improvements
+            rollouts.extend(draw.rollouts)
+            if draw.best_improvement > best_improvement:
+                best = draw.best_assignment
+                best_improvement = draw.best_improvement
+            k += batch_size
+        return WindowDraw(
+            rollouts=rollouts,
+            improvements=improvements,
+            best_assignment=best,
+            best_improvement=best_improvement,
         )
 
     # ------------------------------------------------------------------

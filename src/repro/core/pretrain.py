@@ -10,8 +10,12 @@ Two workers:
   graphs (zero-shot and/or a short fine-tune) and picks the checkpoint
   with the best average reward for deployment.
 
-This module implements both sequentially; they are logically independent
-processes in the paper's production setting.
+This module is the *serial reference*: :func:`pretrain` and
+:func:`select_checkpoint` run one after the other in a single process.
+The paper's production layout — independent training and validation
+processes — lives in :mod:`repro.parallel`: ``parallel_pretrain`` /
+``parallel_select_checkpoint`` fan each worker over a rollout pool, and
+``Pretrainer`` runs training and checkpoint validation concurrently.
 """
 
 from __future__ import annotations

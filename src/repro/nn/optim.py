@@ -80,6 +80,13 @@ class Adam:
         self.eps = eps
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        # Preallocated per-parameter scratch: the update runs thousands of
+        # times per search on small tensors, where temporary allocation
+        # dominates the arithmetic.  Every ``out=`` expression below keeps
+        # the original operation order, so results are bit-for-bit
+        # identical to the allocating form.
+        self._s1 = [np.empty_like(p.data) for p in self.params]
+        self._s2 = [np.empty_like(p.data) for p in self.params]
         self._t = 0
 
     def step(self) -> None:
@@ -87,14 +94,27 @@ class Adam:
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t
-        for p, m, v in zip(self.params, self._m, self._v):
+        for p, m, v, s1, s2 in zip(self.params, self._m, self._v, self._s1, self._s2):
             if p.grad is None:
                 continue
-            m *= self.beta1
-            m += (1.0 - self.beta1) * p.grad
-            v *= self.beta2
-            v += (1.0 - self.beta2) * p.grad**2
-            p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            grad = p.grad
+            # m = beta1 * m + (1 - beta1) * grad
+            np.multiply(m, self.beta1, out=m)
+            np.multiply(grad, 1.0 - self.beta1, out=s1)
+            np.add(m, s1, out=m)
+            # v = beta2 * v + (1 - beta2) * grad**2
+            np.multiply(v, self.beta2, out=v)
+            np.power(grad, 2, out=s1)
+            np.multiply(s1, 1.0 - self.beta2, out=s1)
+            np.add(v, s1, out=v)
+            # p.data -= lr * (m / bias1) / (sqrt(v / bias2) + eps)
+            np.divide(v, bias2, out=s1)
+            np.sqrt(s1, out=s1)
+            np.add(s1, self.eps, out=s1)
+            np.divide(m, bias1, out=s2)
+            np.multiply(s2, self.lr, out=s2)
+            np.divide(s2, s1, out=s2)
+            p.data -= s2
             p.bump_version()
 
     def zero_grad(self) -> None:

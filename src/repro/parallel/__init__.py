@@ -1,0 +1,58 @@
+"""Parallel execution subsystem: multi-core scaling of the search loop.
+
+The package parallelises the three loops every experiment sits on —
+PPO-training search, the pre-training rotation, and zero-shot checkpoint
+replay — across a pool of forked rollout workers:
+
+* each worker owns a private :class:`~repro.core.environment.PartitionEnvironment`
+  copy, per-graph :class:`~repro.solver.engine.ConstraintSolver` cache, and
+  RNG stream (spawn-keyed from the parent seed), so no hot-path state ever
+  crosses the process boundary;
+* workers draw ``propose_batch`` windows against the latest broadcast policy
+  snapshot and ship ``(trajectory, value-baseline)`` rows back;
+* PPO updates stay centralized in the orchestrating process, and no window
+  ever spans a weights version (the PR-1 batching invariant).
+
+Determinism: results are a function of the root seed and the window/shard
+schedule only — never of the worker count or scheduling timing — so
+``n_workers=2`` reproduces the in-process serial fallback bit for bit.  See
+the "Parallelism invariants" section of ROADMAP.md.
+"""
+
+from repro.parallel.pool import (
+    InlineExecutor,
+    ReplayResult,
+    ReplayTask,
+    ShardResult,
+    ShardTask,
+    WorkerHarness,
+    WorkerPool,
+    fork_available,
+    task_rng,
+)
+from repro.parallel.pretrain import (
+    Pretrainer,
+    PretrainReport,
+    parallel_pretrain,
+    parallel_select_checkpoint,
+)
+from repro.parallel.search import ParallelConfig, Window, parallel_search
+
+__all__ = [
+    "InlineExecutor",
+    "ParallelConfig",
+    "Pretrainer",
+    "PretrainReport",
+    "ReplayResult",
+    "ReplayTask",
+    "ShardResult",
+    "ShardTask",
+    "Window",
+    "WorkerHarness",
+    "WorkerPool",
+    "fork_available",
+    "parallel_pretrain",
+    "parallel_search",
+    "parallel_select_checkpoint",
+    "task_rng",
+]

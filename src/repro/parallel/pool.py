@@ -1,0 +1,386 @@
+"""Rollout worker pool: fork-based processes plus an in-process fallback.
+
+Ownership model (mirrors the paper's independent training/validation
+workers): the pool is forked *after* the orchestrator has built the
+partitioner, environments, and featurisations, so every worker inherits a
+copy-on-write snapshot of all of them.  From then on the only state that
+crosses the process boundary is
+
+* policy weight snapshots (parent -> workers, one per PPO update),
+* task descriptions (window/shard metadata plus a spawn-key seed), and
+* result rows (trajectories, value baselines, improvements).
+
+Solver caches, encoder caches, and environment counters stay worker-private
+— they influence speed, never results, which is what makes the pool
+deterministic (see ``task_rng``).
+
+:class:`InlineExecutor` executes the identical task schedule synchronously
+in the orchestrating process: it is the serial fallback for ``--workers 1``
+style runs of the *parallel* code path, and the reference implementation the
+determinism tests compare the pool against.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue
+import threading
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
+
+import numpy as np
+
+_DEFAULT_TIMEOUT = 600.0
+
+
+def fork_available() -> bool:
+    """Whether fork-based worker processes are supported on this platform."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def task_rng(seed_key) -> np.random.Generator:
+    """Deterministic generator for one task, spawn-keyed from the root seed.
+
+    ``seed_key`` is a tuple of non-negative ints, conventionally
+    ``(root, kind_tag, ...indices)``.  The stream is a pure function of the
+    key — independent of which worker runs the task, of the worker count,
+    and of scheduling timing — which is what makes pool results reproducible
+    and worker-count invariant.
+    """
+    return np.random.default_rng(np.random.SeedSequence([int(k) for k in seed_key]))
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard of a rollout window, drawn against the current weights.
+
+    ``seed`` is the spawn-key tuple fed to :func:`task_rng`; ``task_id`` is
+    ``(window_idx, shard_idx)`` and orders the deterministic merge.
+    """
+
+    task_id: tuple
+    graph_idx: int
+    size: int
+    train: bool
+    use_solver: bool
+    seed: tuple
+
+
+@dataclass
+class ShardResult:
+    """Worker reply for one :class:`ShardTask` (rows in draw order)."""
+
+    task_id: tuple
+    rollouts: list
+    improvements: np.ndarray
+    best_assignment: "np.ndarray | None"
+    best_improvement: float
+
+
+@dataclass(frozen=True)
+class ReplayTask:
+    """A frozen-policy replay (checkpoint validation / zero-shot scoring).
+
+    ``state`` is an optional weights snapshot to load first (``None`` keeps
+    whatever the worker currently has loaded); ``restore`` reloads the last
+    *broadcast* (training) weights afterwards, so validation replays can
+    interleave with training shards without perturbing them.
+    """
+
+    task_id: tuple
+    graph_idx: int
+    n_samples: int
+    seed: tuple
+    state: "dict | None" = None
+    restore: bool = False
+
+
+@dataclass
+class ReplayResult:
+    """Worker reply for one :class:`ReplayTask`."""
+
+    task_id: tuple
+    improvements: np.ndarray
+    best_improvement: float
+
+
+class WorkerHarness:
+    """Executes pool tasks against worker-owned state.
+
+    The same harness runs inside forked workers and inside
+    :class:`InlineExecutor`; ``copy_weights=True`` marks the inline case,
+    where the policy object is shared with the orchestrator — broadcast
+    weights are then already live and only a private copy is kept so
+    ``ReplayTask.restore`` can undo checkpoint loads.
+    """
+
+    def __init__(self, partitioner, envs, feats, copy_weights: bool = False):
+        self.partitioner = partitioner
+        self.envs = list(envs)
+        self.feats = list(feats)
+        self._copy_weights = copy_weights
+        self._train_state: "dict | None" = None
+
+    def load_weights(self, state: dict) -> None:
+        """Install a broadcast weights snapshot as the training weights."""
+        if self._copy_weights:
+            self._train_state = {k: v.copy() for k, v in state.items()}
+        else:
+            self.partitioner.load_state_dict(state)
+            self._train_state = state
+
+    def run_shard(self, task: ShardTask) -> ShardResult:
+        """Draw one window shard with the task's private RNG stream."""
+        draw = self.partitioner.draw_window(
+            self.envs[task.graph_idx],
+            task.size,
+            rng=task_rng(task.seed),
+            train=task.train,
+            use_solver=task.use_solver,
+            features=self.feats[task.graph_idx],
+        )
+        return ShardResult(
+            task_id=task.task_id,
+            rollouts=draw.rollouts,
+            improvements=draw.improvements,
+            best_assignment=draw.best_assignment,
+            best_improvement=draw.best_improvement,
+        )
+
+    def run_replay(self, task: ReplayTask) -> ReplayResult:
+        """Run a frozen-policy replay, optionally restoring train weights."""
+        if task.state is not None:
+            self.partitioner.load_state_dict(task.state)
+        draw = self.partitioner.draw_window(
+            self.envs[task.graph_idx],
+            task.n_samples,
+            rng=task_rng(task.seed),
+            train=False,
+            use_solver=True,
+            features=self.feats[task.graph_idx],
+        )
+        if task.restore:
+            if self._train_state is None:
+                raise RuntimeError(
+                    "ReplayTask.restore requires a prior weights broadcast"
+                )
+            self.partitioner.load_state_dict(self._train_state)
+        return ReplayResult(
+            task_id=task.task_id,
+            improvements=draw.improvements,
+            best_improvement=draw.best_improvement,
+        )
+
+
+def _worker_main(conn, partitioner, envs, feats) -> None:
+    """Forked worker loop: recv command, execute, reply."""
+    harness = WorkerHarness(partitioner, envs, feats)
+    try:
+        while True:
+            msg = conn.recv()
+            kind = msg[0]
+            if kind == "stop":
+                break
+            try:
+                if kind == "weights":
+                    harness.load_weights(msg[1])
+                elif kind == "shard":
+                    conn.send(("shard", harness.run_shard(msg[1])))
+                elif kind == "replay":
+                    conn.send(("replay", harness.run_replay(msg[1])))
+                else:
+                    conn.send(("error", f"unknown message kind {kind!r}"))
+            except Exception:  # noqa: BLE001 - forwarded to the parent
+                conn.send(("error", traceback.format_exc()))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class WorkerPool:
+    """``n_workers`` forked rollout workers behind duplex pipes.
+
+    Parameters
+    ----------
+    partitioner / envs / feats:
+        Worker state, inherited by fork (copy-on-write) at construction
+        time; build all of it *before* creating the pool.
+    n_workers:
+        Process count (>= 1).
+    timeout:
+        Seconds :meth:`recv_any` waits before declaring the pool deadlocked.
+    """
+
+    def __init__(
+        self,
+        partitioner,
+        envs,
+        feats,
+        n_workers: int,
+        timeout: float = _DEFAULT_TIMEOUT,
+    ):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if not fork_available():
+            raise RuntimeError(
+                "fork start method unavailable; use InlineExecutor instead"
+            )
+        ctx = mp.get_context("fork")
+        self.n_workers = n_workers
+        self.timeout = timeout
+        self._conns = []
+        self._procs = []
+        self._closed = False
+        for w in range(n_workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, partitioner, envs, feats),
+                daemon=True,
+                name=f"repro-rollout-{w}",
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        # All outbound traffic goes through one FIFO drained by a sender
+        # thread, so the orchestrating thread never blocks in ``send``.
+        # Without this, a weights broadcast larger than the pipe buffer can
+        # deadlock against a worker that is itself blocked sending a large
+        # shard result (neither side recv-ing); with it, the orchestrator
+        # keeps draining results no matter how slow the pipes are, and the
+        # recv-side timeout stays an effective deadlock guard.  A single
+        # queue preserves per-pipe message order (the correctness
+        # invariant: shards of window c precede the next weights version).
+        self._sendq: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._sender = threading.Thread(
+            target=self._send_loop, daemon=True, name="repro-pool-sender"
+        )
+        self._sender.start()
+
+    def _send_loop(self) -> None:
+        while True:
+            item = self._sendq.get()
+            if item is None:
+                return
+            conn, msg = item
+            try:
+                conn.send(msg)
+            except (BrokenPipeError, OSError):
+                # The dead worker surfaces as EOF in recv_any; keep
+                # draining so close() can finish.
+                pass
+
+    # ------------------------------------------------------------------
+    def broadcast_weights(self, state: dict) -> None:
+        """Send a weights snapshot to every worker (ordered per pipe)."""
+        for conn in self._conns:
+            self._sendq.put((conn, ("weights", state)))
+
+    def submit(self, worker: int, kind: str, task) -> None:
+        """Queue a ``"shard"`` or ``"replay"`` task on one worker."""
+        self._sendq.put((self._conns[worker], (kind, task)))
+
+    def recv_any(self):
+        """Block for the next reply from any worker; ``(kind, result)``.
+
+        Raises ``TimeoutError`` after ``timeout`` seconds (a deadlocked or
+        wedged pool must fail fast, not hang the caller), and
+        ``RuntimeError`` if a worker died or reported an exception.
+        """
+        ready = _connection_wait(self._conns, self.timeout)
+        if not ready:
+            self.close(force=True)
+            raise TimeoutError(
+                f"no rollout-worker reply within {self.timeout}s; "
+                "pool terminated"
+            )
+        conn = ready[0]
+        try:
+            kind, payload = conn.recv()
+        except EOFError:
+            idx = self._conns.index(conn)
+            code = self._procs[idx].exitcode
+            self.close(force=True)
+            raise RuntimeError(
+                f"rollout worker {idx} died (exit code {code})"
+            ) from None
+        if kind == "error":
+            self.close(force=True)
+            raise RuntimeError(f"rollout worker failed:\n{payload}")
+        return kind, payload
+
+    def close(self, force: bool = False) -> None:
+        """Stop all workers; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            self._sendq.put((conn, ("stop",)))
+        self._sendq.put(None)
+        self._sender.join(timeout=0.2 if force else 5.0)
+        for proc in self._procs:
+            proc.join(timeout=0.2 if force else 5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(force=exc[0] is not None)
+
+
+class InlineExecutor:
+    """Serial in-process executor with the pool's exact interface.
+
+    ``submit`` runs the task immediately against the orchestrator's own
+    objects and queues the reply for ``recv_any``.  Because the window
+    scheduler submits the next window *before* running the PPO update (the
+    stale-by-one pipeline), inline execution sees the same weights for every
+    window as the pool does — which is what makes ``n_workers=1`` the
+    bit-for-bit reference for any worker count.
+    """
+
+    n_workers = 1
+
+    def __init__(self, partitioner, envs, feats):
+        self._harness = WorkerHarness(partitioner, envs, feats, copy_weights=True)
+        self._replies: deque = deque()
+
+    def broadcast_weights(self, state: dict) -> None:
+        self._harness.load_weights(state)
+
+    def submit(self, worker: int, kind: str, task) -> None:
+        if kind == "shard":
+            self._replies.append(("shard", self._harness.run_shard(task)))
+        elif kind == "replay":
+            self._replies.append(("replay", self._harness.run_replay(task)))
+        else:
+            raise ValueError(f"unknown task kind {kind!r}")
+
+    def recv_any(self):
+        if not self._replies:
+            raise RuntimeError("no outstanding replies (scheduler bug)")
+        return self._replies.popleft()
+
+    def close(self, force: bool = False) -> None:
+        pass
+
+    def __enter__(self) -> "InlineExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass

@@ -1,0 +1,406 @@
+"""Parallel pre-training: training worker + validation replay, concurrently.
+
+The paper (Section 4.3, Figure 4) describes pre-training as two independent
+processes — a training worker producing checkpoints and a validation worker
+replaying them.  :func:`parallel_pretrain` fans the training worker's
+rollouts over the pool; :func:`parallel_select_checkpoint` fans the
+embarrassingly parallel checkpoint replay; :class:`Pretrainer` runs both at
+once on a single pool, validating checkpoints in the scheduling gaps while
+training continues — the paper's production layout instead of the
+sequential train-then-validate of :mod:`repro.core.pretrain`.
+
+Checkpoint cadence, rotation structure, and progress reporting mirror the
+serial :func:`repro.core.pretrain.pretrain` exactly; only the RNG scheme
+differs (spawn-keyed per-shard streams, see :mod:`repro.parallel.search`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.environment import PartitionEnvironment
+from repro.core.partitioner import RLPartitioner
+from repro.core.pretrain import Checkpoint, PretrainConfig
+from repro.graphs.graph import CompGraph
+from repro.parallel.pool import ReplayTask, WorkerPool
+from repro.parallel.search import (
+    REPLAY_SEED_TAG,
+    ParallelConfig,
+    Window,
+    draw_root_seed,
+    make_executor,
+    run_windows,
+)
+from repro.rl.features import featurize
+from repro.utils.rng import as_generator
+
+#: Per-worker cap on queued validation replays; bounds pipe backlog while
+#: keeping every worker's training shards ahead of validation work.
+_MAX_OUTSTANDING_VAL = 4
+
+
+def _pretrain_windows(
+    cfg: PretrainConfig, n_graphs: int, n_rollouts: int
+) -> "tuple[list[Window], dict[int, int]]":
+    """The serial rotation structure expressed as a window schedule.
+
+    Returns the windows plus ``{window_idx: rotation_budget}`` for the
+    windows that end a rotation (where the serial path reports progress and
+    takes checkpoints).
+    """
+    windows: list[Window] = []
+    rotation_budget_at: dict[int, int] = {}
+    done = 0
+    g_idx = 0
+    while done < cfg.total_samples:
+        budget = min(cfg.samples_per_graph, cfg.total_samples - done)
+        remaining = budget
+        while remaining > 0:
+            size = min(n_rollouts, remaining)
+            windows.append(Window(graph_idx=g_idx % n_graphs, size=size))
+            remaining -= size
+        rotation_budget_at[len(windows) - 1] = budget
+        done += budget
+        g_idx += 1
+    return windows, rotation_budget_at
+
+
+class _CheckpointRecorder:
+    """``on_window`` hook replicating the serial checkpoint cadence."""
+
+    def __init__(
+        self,
+        partitioner: RLPartitioner,
+        cfg: PretrainConfig,
+        rotation_budget_at: "dict[int, int]",
+        progress: "Callable[[int, float], None] | None" = None,
+        on_checkpoint: "Callable[[int, Checkpoint], None] | None" = None,
+    ):
+        self._partitioner = partitioner
+        self._rotation_budget_at = rotation_budget_at
+        self._progress = progress
+        self._on_checkpoint = on_checkpoint
+        self._every = max(cfg.total_samples // cfg.n_checkpoints, 1)
+        self._next = self._every
+        self._done = 0
+        self._rotation_improvements: list[np.ndarray] = []
+        self.checkpoints: list[Checkpoint] = []
+
+    def _snapshot(self) -> None:
+        ckpt = Checkpoint(step=self._done, state=self._partitioner.state_dict())
+        self.checkpoints.append(ckpt)
+        if self._on_checkpoint is not None:
+            self._on_checkpoint(len(self.checkpoints) - 1, ckpt)
+
+    def __call__(self, window_idx: int, draw) -> None:
+        self._rotation_improvements.append(draw.improvements)
+        budget = self._rotation_budget_at.get(window_idx)
+        if budget is None:
+            return
+        self._done += budget
+        improvements = np.concatenate(self._rotation_improvements)
+        self._rotation_improvements = []
+        if self._progress is not None:
+            self._progress(self._done, float(improvements.mean()))
+        while self._done >= self._next:
+            self._snapshot()
+            self._next += self._every
+
+    def finalize(self) -> None:
+        """Trailing snapshot, as in the serial path."""
+        if not self.checkpoints or self.checkpoints[-1].step != self._done:
+            self._snapshot()
+
+
+def parallel_pretrain(
+    partitioner: RLPartitioner,
+    graphs: "Sequence[CompGraph]",
+    env_factory: "Callable[[CompGraph], PartitionEnvironment]",
+    config: "PretrainConfig | None" = None,
+    parallel: "ParallelConfig | None" = None,
+    progress: "Callable[[int, float], None] | None" = None,
+) -> list[Checkpoint]:
+    """The training worker with rollouts fanned over the pool.
+
+    Drop-in for :func:`repro.core.pretrain.pretrain` — same rotation,
+    checkpoint, and progress semantics; spawn-keyed RNG streams instead of
+    the partitioner's sequential stream (so trajectories are reproducible
+    and worker-count invariant, but differ from the serial path's).
+    """
+    if not graphs:
+        raise ValueError("graphs must be non-empty")
+    cfg = config or PretrainConfig()
+    pcfg = parallel or ParallelConfig()
+    envs = [env_factory(g) for g in graphs]
+    feats = [featurize(g) for g in graphs]
+    windows, rotation_budget_at = _pretrain_windows(
+        cfg, len(graphs), partitioner.trainer.config.n_rollouts
+    )
+    root = draw_root_seed(partitioner, pcfg)
+    recorder = _CheckpointRecorder(
+        partitioner, cfg, rotation_budget_at, progress=progress
+    )
+    with make_executor(partitioner, envs, feats, pcfg) as executor:
+        run_windows(
+            partitioner,
+            executor,
+            windows,
+            feats,
+            True,
+            True,
+            root,
+            pcfg,
+            on_window=recorder,
+        )
+    recorder.finalize()
+    return recorder.checkpoints
+
+
+def parallel_select_checkpoint(
+    checkpoints: "Sequence[Checkpoint]",
+    partitioner: RLPartitioner,
+    graphs: "Sequence[CompGraph]",
+    env_factory: "Callable[[CompGraph], PartitionEnvironment]",
+    zero_shot_samples: int = 4,
+    config: "ParallelConfig | None" = None,
+    rng=None,
+) -> Checkpoint:
+    """The validation worker: checkpoint replay fanned across the pool.
+
+    The ``checkpoints x graphs`` replay grid is embarrassingly parallel:
+    each checkpoint's replays are pinned to one worker (one weights load per
+    checkpoint), scores are keyed by grid position, and submissions are
+    flow-controlled so a ~200-checkpoint sweep never clogs the pipes.
+    Zero-shot scoring only (the concurrent pool cannot fine-tune); scores
+    are recorded on the checkpoints in place, ties resolved to the earliest
+    — exactly like :func:`repro.core.pretrain.select_checkpoint`.
+    """
+    if not checkpoints:
+        raise ValueError("checkpoints must be non-empty")
+    if not graphs:
+        raise ValueError("graphs must be non-empty")
+    pcfg = config or ParallelConfig()
+    root = (
+        int(pcfg.seed)
+        if pcfg.seed is not None
+        else int(as_generator(rng).integers(2**63 - 1))
+    )
+    envs = [env_factory(g) for g in graphs]
+    feats = [featurize(g) for g in graphs]
+    results: dict[tuple, object] = {}
+    owner: dict[tuple, int] = {}
+    with make_executor(partitioner, envs, feats, pcfg) as executor:
+        n_workers = executor.n_workers
+        outstanding = [0] * n_workers
+
+        def drain_one() -> None:
+            kind, payload = executor.recv_any()
+            if kind != "replay":
+                raise RuntimeError(f"unexpected {kind!r} reply")
+            results[payload.task_id] = payload
+            outstanding[owner.pop(payload.task_id)] -= 1
+
+        for i, ckpt in enumerate(checkpoints):
+            worker = i % n_workers
+            for j in range(len(graphs)):
+                while outstanding[worker] >= _MAX_OUTSTANDING_VAL:
+                    drain_one()
+                executor.submit(
+                    worker,
+                    "replay",
+                    ReplayTask(
+                        task_id=(i, j),
+                        graph_idx=j,
+                        n_samples=zero_shot_samples,
+                        seed=(root, REPLAY_SEED_TAG, i, j),
+                        # The checkpoint's replays run back to back on one
+                        # worker, so only the first needs the weights.
+                        state=ckpt.state if j == 0 else None,
+                    ),
+                )
+                owner[(i, j)] = worker
+                outstanding[worker] += 1
+        while owner:
+            drain_one()
+    # Leave the caller's partitioner holding the last checkpoint evaluated —
+    # the serial ``select_checkpoint`` semantics — identically for the
+    # pooled and inline executors (the inline path loads checkpoints into
+    # the shared policy as it goes; the pooled path only touches worker
+    # replicas, so make the final state explicit).
+    partitioner.load_state_dict(checkpoints[-1].state)
+
+    best: "Checkpoint | None" = None
+    for i, ckpt in enumerate(checkpoints):
+        ckpt.score = float(
+            np.mean(
+                [results[(i, j)].best_improvement for j in range(len(graphs))]
+            )
+        )
+        if best is None or ckpt.score > best.score:
+            best = ckpt
+    return best
+
+
+@dataclass
+class PretrainReport:
+    """Outcome of a concurrent :class:`Pretrainer` run."""
+
+    checkpoints: list
+    best: "Checkpoint | None"
+
+
+class Pretrainer:
+    """Training worker and checkpoint-validation replay on one pool.
+
+    The serial pipeline runs ``pretrain`` to completion and only then scores
+    every checkpoint; here each checkpoint's validation replays are queued
+    the moment the snapshot is taken and execute in workers' scheduling gaps
+    while training continues (every replay carries its checkpoint weights
+    and restores the training snapshot afterwards, so the training
+    trajectory is untouched).  Validation left over when training finishes
+    is drained before returning.
+
+    Parameters
+    ----------
+    partitioner:
+        Trained in place, as in the serial path.
+    train_graphs / val_graphs:
+        The paper's training and validation splits (both non-empty).
+    env_factory:
+        Environment builder shared by both workers.
+    config / parallel:
+        Pre-training budget and pool configuration.
+    zero_shot_samples:
+        Frozen-policy draws per (checkpoint, validation graph) pair.
+    """
+
+    def __init__(
+        self,
+        partitioner: RLPartitioner,
+        train_graphs: "Sequence[CompGraph]",
+        val_graphs: "Sequence[CompGraph]",
+        env_factory: "Callable[[CompGraph], PartitionEnvironment]",
+        config: "PretrainConfig | None" = None,
+        parallel: "ParallelConfig | None" = None,
+        zero_shot_samples: int = 4,
+    ):
+        if not train_graphs:
+            raise ValueError("train_graphs must be non-empty")
+        if not val_graphs:
+            raise ValueError("val_graphs must be non-empty")
+        if zero_shot_samples < 1:
+            raise ValueError("zero_shot_samples must be >= 1")
+        self.partitioner = partitioner
+        self.train_graphs = list(train_graphs)
+        self.val_graphs = list(val_graphs)
+        self.env_factory = env_factory
+        self.config = config or PretrainConfig()
+        self.parallel = parallel or ParallelConfig()
+        self.zero_shot_samples = zero_shot_samples
+
+    def run(
+        self, progress: "Callable[[int, float], None] | None" = None
+    ) -> PretrainReport:
+        """Train with concurrent validation; returns scored checkpoints."""
+        cfg, pcfg = self.config, self.parallel
+        n_train = len(self.train_graphs)
+        all_graphs = self.train_graphs + self.val_graphs
+        envs = [self.env_factory(g) for g in all_graphs]
+        feats = [featurize(g) for g in all_graphs]
+        windows, rotation_budget_at = _pretrain_windows(
+            cfg, n_train, self.partitioner.trainer.config.n_rollouts
+        )
+        root = draw_root_seed(self.partitioner, pcfg)
+
+        results: dict[tuple, object] = {}
+        owner: dict[tuple, int] = {}
+        val_queue: deque = deque()
+
+        with make_executor(self.partitioner, envs, feats, pcfg) as executor:
+            n_workers = executor.n_workers
+            outstanding = [0] * n_workers
+
+            def extra_recv(kind: str, payload) -> None:
+                if kind != "replay":
+                    raise RuntimeError(f"unexpected {kind!r} reply")
+                results[payload.task_id] = payload
+                outstanding[owner.pop(payload.task_id)] -= 1
+                pump()
+
+            def pump() -> None:
+                # Submit queued validation under the per-worker cap; skipping
+                # a full worker keeps per-worker order while letting others
+                # proceed.
+                kept: deque = deque()
+                while val_queue:
+                    worker, task = val_queue.popleft()
+                    if outstanding[worker] >= _MAX_OUTSTANDING_VAL:
+                        kept.append((worker, task))
+                        continue
+                    executor.submit(worker, "replay", task)
+                    owner[task.task_id] = worker
+                    outstanding[worker] += 1
+                val_queue.extend(kept)
+
+            def on_checkpoint(idx: int, ckpt: Checkpoint) -> None:
+                for j in range(len(self.val_graphs)):
+                    worker = (idx * len(self.val_graphs) + j) % n_workers
+                    val_queue.append(
+                        (
+                            worker,
+                            ReplayTask(
+                                task_id=(idx, j),
+                                graph_idx=n_train + j,
+                                n_samples=self.zero_shot_samples,
+                                seed=(root, REPLAY_SEED_TAG, idx, j),
+                                # Self-contained: load this checkpoint, then
+                                # restore the training weights so interleaved
+                                # training shards are unaffected.
+                                state=ckpt.state,
+                                restore=True,
+                            ),
+                        )
+                    )
+                pump()
+
+            recorder = _CheckpointRecorder(
+                self.partitioner,
+                cfg,
+                rotation_budget_at,
+                progress=progress,
+                on_checkpoint=on_checkpoint,
+            )
+            run_windows(
+                self.partitioner,
+                executor,
+                windows,
+                feats,
+                True,
+                True,
+                root,
+                pcfg,
+                on_window=recorder,
+                extra_recv=extra_recv,
+            )
+            recorder.finalize()
+            while val_queue or owner:
+                pump()
+                if owner:
+                    extra_recv(*executor.recv_any())
+
+        checkpoints = recorder.checkpoints
+        n_val = len(self.val_graphs)
+        best: "Checkpoint | None" = None
+        for i, ckpt in enumerate(checkpoints):
+            ckpt.score = float(
+                np.mean(
+                    [results[(i, j)].best_improvement for j in range(n_val)]
+                )
+            )
+            if best is None or ckpt.score > best.score:
+                best = ckpt
+        return PretrainReport(checkpoints=checkpoints, best=best)

@@ -1,0 +1,291 @@
+"""Windowed, pipelined orchestration of the parallel search loop.
+
+The unit of work is a **window**: one PPO buffer's worth of samples, all
+drawn against a single policy-weights version (the PR-1 invariant).  A
+window is split into a fixed number of **shards** — worker-count
+*independent*, so the trajectory is a function of the root seed and the
+schedule only — and the shards of window ``c`` are merged in shard order
+before the centralized PPO update runs.
+
+With ``pipeline=True`` (the default) the scheduler dispatches window
+``c + 1`` *before* running window ``c``'s update, so rollout workers crunch
+the next window while the orchestrator trains: window ``c`` is drawn on the
+weights produced by update ``c - 2`` (stale-by-one).  PPO's clipped
+importance ratios are computed against the recorded behaviour log-probs, so
+the staleness is algorithmically accounted for; the schedule is part of the
+semantics and is identical for every worker count, including the inline
+serial fallback.  ``pipeline=False`` recovers the fully on-policy schedule
+(window ``c`` drawn on the weights of update ``c - 1``) at the cost of
+serializing updates and rollouts.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.baselines import SearchResult
+from repro.core.environment import PartitionEnvironment
+from repro.core.partitioner import RLPartitioner, WindowDraw
+from repro.parallel.pool import (
+    InlineExecutor,
+    ShardTask,
+    WorkerPool,
+    fork_available,
+)
+from repro.rl.features import GraphFeatures, featurize
+from repro.rl.rollout import RolloutBuffer
+
+#: Tags namespacing the per-task seed keys (first element after the root).
+SHARD_SEED_TAG = 0
+REPLAY_SEED_TAG = 1
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Configuration of the parallel execution subsystem.
+
+    Attributes
+    ----------
+    n_workers:
+        Rollout worker processes.  ``1`` (or a platform without ``fork``)
+        runs the identical schedule in-process — the serial fallback the
+        determinism tests compare the pool against.
+    n_shards:
+        Shards per window.  Fixed independently of ``n_workers`` so results
+        never depend on the worker count; it caps how many workers one
+        window can occupy.
+    pipeline:
+        Draw window ``c + 1`` before running window ``c``'s PPO update
+        (stale-by-one overlap).  Deterministic either way.
+    seed:
+        Root of every task's spawn-key stream; ``None`` draws the root from
+        the partitioner's generator (one draw, identical in both executors).
+    timeout:
+        Deadlock guard forwarded to :class:`WorkerPool`.
+    """
+
+    n_workers: int = 2
+    n_shards: int = 4
+    pipeline: bool = True
+    seed: "int | None" = None
+    timeout: float = 600.0
+
+    def __post_init__(self):
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+
+
+@dataclass(frozen=True)
+class Window:
+    """One scheduled rollout window: ``size`` samples on one graph."""
+
+    graph_idx: int
+    size: int
+
+
+def shard_sizes(size: int, n_shards: int) -> list[int]:
+    """Near-even deterministic split of ``size`` samples (no empty shards)."""
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    n = min(n_shards, size)
+    q, r = divmod(size, n)
+    return [q + 1] * r + [q] * (n - r)
+
+
+def window_sizes(n_samples: int, n_rollouts: int) -> list[int]:
+    """PPO-window chunking of a sample budget (trailing partial allowed)."""
+    full, rest = divmod(n_samples, n_rollouts)
+    return [n_rollouts] * full + ([rest] if rest else [])
+
+
+def make_executor(partitioner, envs, feats, config: ParallelConfig):
+    """Pool when ``n_workers >= 2`` and fork exists; inline otherwise."""
+    if config.n_workers >= 2 and not fork_available():  # pragma: no cover
+        warnings.warn(
+            "fork start method unavailable; running the parallel schedule "
+            "in-process",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if config.n_workers < 2 or not fork_available():
+        return InlineExecutor(partitioner, envs, feats)
+    return WorkerPool(
+        partitioner, envs, feats, config.n_workers, timeout=config.timeout
+    )
+
+
+def draw_root_seed(partitioner: RLPartitioner, config: ParallelConfig) -> int:
+    """The root of all task seed keys for one run."""
+    if config.seed is not None:
+        return int(config.seed)
+    return int(partitioner.rng.integers(2**63 - 1))
+
+
+def run_windows(
+    partitioner: RLPartitioner,
+    executor,
+    windows: "list[Window]",
+    feats: "list[GraphFeatures]",
+    train: bool,
+    use_solver: bool,
+    root: int,
+    config: ParallelConfig,
+    on_window=None,
+    extra_recv=None,
+) -> "list[WindowDraw]":
+    """Run the window schedule; returns merged per-window draws in order.
+
+    ``on_window(idx, draw)`` fires after window ``idx``'s PPO update (if
+    any) — the hook point for checkpointing and validation dispatch;
+    ``extra_recv(kind, payload)`` routes non-shard replies (validation
+    replays) that arrive while shards are being collected.
+    """
+    n_rollouts = partitioner.trainer.config.n_rollouts
+    buffer = RolloutBuffer()
+    executor.broadcast_weights(partitioner.state_dict())
+    plan = [shard_sizes(w.size, config.n_shards) for w in windows]
+    cursor = 0  # round-robin worker assignment, shared across windows
+
+    def dispatch(c: int) -> None:
+        nonlocal cursor
+        for s, size in enumerate(plan[c]):
+            executor.submit(
+                cursor % executor.n_workers,
+                "shard",
+                ShardTask(
+                    task_id=(c, s),
+                    graph_idx=windows[c].graph_idx,
+                    size=size,
+                    train=train,
+                    use_solver=use_solver,
+                    seed=(root, SHARD_SEED_TAG, c, s),
+                ),
+            )
+            cursor += 1
+
+    dispatch(0)
+    pending: dict[int, dict[int, object]] = {}
+    outputs: list[WindowDraw] = []
+    for c, window in enumerate(windows):
+        want = len(plan[c])
+        got = pending.setdefault(c, {})
+        while len(got) < want:
+            kind, payload = executor.recv_any()
+            if kind == "shard":
+                w_idx, s_idx = payload.task_id
+                pending.setdefault(w_idx, {})[s_idx] = payload
+            elif extra_recv is not None:
+                extra_recv(kind, payload)
+            else:
+                raise RuntimeError(f"unexpected {kind!r} reply")
+        if config.pipeline and c + 1 < len(windows):
+            dispatch(c + 1)
+
+        shards = [got[s] for s in range(want)]
+        rollouts = [r for shard in shards for r in shard.rollouts]
+        best, best_improvement = None, 0.0
+        for shard in shards:
+            if shard.best_improvement > best_improvement:
+                best = shard.best_assignment
+                best_improvement = shard.best_improvement
+        draw = WindowDraw(
+            rollouts=rollouts,
+            improvements=np.concatenate([s.improvements for s in shards]),
+            best_assignment=best,
+            best_improvement=best_improvement,
+        )
+
+        if train and window.size == n_rollouts:
+            # Centralized PPO update: one buffer, one weights bump, then a
+            # snapshot broadcast so the *next* dispatched window draws it.
+            for rollout in rollouts:
+                buffer.add(rollout)
+            partitioner.trainer.update(feats[window.graph_idx], buffer)
+            buffer.clear()
+            executor.broadcast_weights(partitioner.state_dict())
+        if not config.pipeline and c + 1 < len(windows):
+            dispatch(c + 1)
+        del pending[c]
+        if on_window is not None:
+            on_window(c, draw)
+        outputs.append(draw)
+    return outputs
+
+
+def parallel_search(
+    partitioner: RLPartitioner,
+    env: PartitionEnvironment,
+    n_samples: int,
+    config: "ParallelConfig | None" = None,
+    train: bool = True,
+    use_solver: bool = True,
+    features: "GraphFeatures | None" = None,
+) -> SearchResult:
+    """Constrained-RL search with rollouts fanned over the worker pool.
+
+    Semantics match :meth:`RLPartitioner.search` window for window — same
+    per-sample hot loop (:meth:`RLPartitioner.draw_window`), same
+    centralized PPO cadence — but candidate draws use spawn-keyed per-shard
+    RNG streams instead of the partitioner's single sequential stream, so
+    the trajectory differs from the serial path while being reproducible
+    and *identical for every worker count* (see module docstring).
+
+    The plain serial path stays what it was: call
+    :meth:`RLPartitioner.search` directly (the CLI does exactly that for
+    ``--workers 1``).
+    """
+    cfg = config or ParallelConfig()
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    if env.n_chips != partitioner.n_chips:
+        raise ValueError(
+            f"environment has {env.n_chips} chips, policy expects "
+            f"{partitioner.n_chips}"
+        )
+    feats = features if features is not None else featurize(env.graph)
+    if feats.n_nodes != env.graph.n_nodes:
+        raise ValueError(
+            f"features are for a {feats.n_nodes}-node graph, "
+            f"environment graph has {env.graph.n_nodes}"
+        )
+    root = draw_root_seed(partitioner, cfg)
+    if train:
+        sizes = window_sizes(n_samples, partitioner.trainer.config.n_rollouts)
+    else:
+        sizes = [n_samples]  # no updates: one window, sharded for breadth
+    windows = [Window(graph_idx=0, size=s) for s in sizes]
+
+    with make_executor(partitioner, [env], [feats], cfg) as executor:
+        pooled = isinstance(executor, WorkerPool)
+        draws = run_windows(
+            partitioner, executor, windows, [feats], train, use_solver, root, cfg
+        )
+    if pooled:
+        # Workers evaluated on their own env copies; keep the caller's
+        # sample counter meaningful.
+        env.n_samples += n_samples
+
+    best, best_improvement = None, 0.0
+    for draw in draws:
+        if draw.best_improvement > best_improvement:
+            best = draw.best_assignment
+            best_improvement = draw.best_improvement
+    return SearchResult(
+        improvements=np.concatenate([d.improvements for d in draws]),
+        best_assignment=best,
+        best_improvement=best_improvement,
+        metadata={
+            "trained": train,
+            "use_solver": use_solver,
+            "parallel": True,
+            "n_workers": cfg.n_workers if pooled else 1,
+            "root_seed": root,
+        },
+    )

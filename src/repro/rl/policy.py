@@ -47,12 +47,13 @@ class PolicyOutput:
     values:
         ``(R,)`` tensor of value-baseline estimates.
     probs:
-        ``(R, N, C)`` detached probability matrix (for the solver).
+        ``(R, N, C)`` detached probability matrix (for the solver), or
+        ``None`` when the caller asked ``need_probs=False``.
     """
 
     log_probs: Tensor
     values: Tensor
-    probs: np.ndarray
+    probs: "np.ndarray | None"
 
 
 @dataclass(frozen=True)
@@ -186,7 +187,10 @@ class PartitionPolicy(Module):
         return x
 
     def forward_batch(
-        self, features: GraphFeatures, prev_placements: np.ndarray
+        self,
+        features: GraphFeatures,
+        prev_placements: np.ndarray,
+        need_probs: bool = True,
     ) -> PolicyOutput:
         """Evaluate the policy for a batch of conditioning placements.
 
@@ -197,6 +201,10 @@ class PartitionPolicy(Module):
         prev_placements:
             ``(R, N)`` integer array of previous-iteration placements, or
             ``(R, N, C)`` soft one-hot states.
+        need_probs:
+            Materialise the detached ``(R, N, C)`` probability matrix.  The
+            PPO update only consumes the differentiable outputs, so it skips
+            the extra ``exp``/reshape; sampling callers keep the default.
         """
         n = features.n_nodes
         states = self._as_state(prev_placements)  # (R, N, C)
@@ -227,7 +235,11 @@ class PartitionPolicy(Module):
         values = self.value_out(F.relu(self.value_hidden(value_in)))
         values = F.reshape(values, (r,))
 
-        probs = np.exp(log_probs.data).reshape(r, n, self.n_chips)
+        probs = (
+            np.exp(log_probs.data).reshape(r, n, self.n_chips)
+            if need_probs
+            else None
+        )
         return PolicyOutput(log_probs=log_probs, values=values, probs=probs)
 
     def _as_state(self, prev_placements: np.ndarray) -> np.ndarray:

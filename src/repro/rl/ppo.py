@@ -106,7 +106,9 @@ class PPOTrainer:
                 adv = np.repeat(advantages[idx], n)
                 returns = returns_all[idx]
 
-                out = self.policy.forward_batch(features, conditioning)
+                out = self.policy.forward_batch(
+                    features, conditioning, need_probs=False
+                )
                 loss, step_stats = F.ppo_objective(
                     out.log_probs,
                     out.values,

@@ -91,9 +91,20 @@ class ConstraintSolver:
         The computation graph being partitioned.
     n_chips:
         Number of chiplets (at most 63 so a domain fits in one bitmask).
+    triangle_frontier:
+        Eager re-propagation of the one-hop triangle masks (see
+        :meth:`_propagate`).  ``None`` (default) keeps the heuristic —
+        enabled only for tight chip counts (``n_chips <= 4``); pass
+        ``True``/``False`` to force it either way, e.g. to enable the
+        strengthening on wedge-heavy instances above 4 chips.
     """
 
-    def __init__(self, graph: CompGraph, n_chips: int):
+    def __init__(
+        self,
+        graph: CompGraph,
+        n_chips: int,
+        triangle_frontier: "bool | None" = None,
+    ):
         if n_chips < 1 or n_chips > 63:
             raise ValueError("n_chips must be in [1, 63]")
         self.graph = graph
@@ -105,9 +116,12 @@ class ConstraintSolver:
         #: (measured 2.7-17x on 4-chip instances), but on permissive
         #: higher-chip-count instances the extra pruning rounds and the
         #: trajectory shifts they cause cost more than the wedges they
-        #: avoid — so it defaults on only for tight chip counts.  Public
-        #: knob; override freely.
-        self.triangle_frontier = n_chips <= 4
+        #: avoid — so the heuristic default enables it only for tight chip
+        #: counts.  Public knob; override freely (constructor argument or
+        #: attribute).
+        self.triangle_frontier = (
+            n_chips <= 4 if triangle_frontier is None else bool(triangle_frontier)
+        )
         n = graph.n_nodes
 
         replicable = graph.is_replicable()

@@ -1,0 +1,30 @@
+"""Tests for the interleaved-medians benchmark helper."""
+
+import pytest
+
+from repro.bench.harness import interleaved_medians
+
+
+class TestInterleavedMedians:
+    def test_medians_and_raw_runs(self):
+        values = {"a": iter([10.0, 30.0, 20.0]), "b": iter([1.0, 3.0, 2.0])}
+        out = interleaved_medians(
+            {name: (lambda it=it: next(it)) for name, it in values.items()},
+            n_repeats=3,
+        )
+        assert out["a"]["median"] == 20.0
+        assert out["b"]["median"] == 2.0
+        assert out["a"]["runs"] == [10.0, 30.0, 20.0]
+
+    def test_round_robin_interleaving(self):
+        calls = []
+        runs = {
+            "x": lambda: calls.append("x") or 1.0,
+            "y": lambda: calls.append("y") or 2.0,
+        }
+        interleaved_medians(runs, n_repeats=2)
+        assert calls == ["x", "y", "x", "y"]
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            interleaved_medians({"a": lambda: 1.0}, n_repeats=0)

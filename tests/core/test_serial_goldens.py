@@ -1,0 +1,90 @@
+"""Golden regression: the serial search path is bit-for-bit frozen.
+
+The parallel subsystem (PR 2) refactored the search inner loop into
+``RLPartitioner._draw_batch`` / ``draw_window`` and fused the Adam update.
+These goldens pin the exact serial trajectory (improvements, best, final
+weights) captured on the PR-1 code immediately before the refactor: any
+change to RNG consumption order, operation order, or arithmetic in the
+serial path shows up here as a hard failure.
+
+The values are a function of this repo's pinned numpy/BLAS environment; if
+that environment is ever upgraded, regenerate them with the snippet in each
+test (run on the pre-change commit).
+"""
+
+import numpy as np
+
+from repro.core.environment import PartitionEnvironment
+from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
+from repro.core.pretrain import PretrainConfig, pretrain
+from repro.graphs.zoo import build_dataset
+from repro.hardware.analytical import AnalyticalCostModel
+from repro.hardware.package import MCMPackage
+from repro.rl.ppo import PPOConfig
+from repro.solver.strategies import sample_partition
+
+N_CHIPS = 4
+
+GOLDEN_SEARCH_IMPROVEMENTS = [
+    0.4346292390016788, 0.5418714202014963, 0.39205293332034485,
+    0.6225017835463983, 0.4343799105344472, 0.4346292390016788,
+    0.4343799105344472, 0.5418714202014963, 0.4343799105344472,
+    0.39205293332034485, 0.39205293332034485, 0.39205293332034485,
+    0.5403247621589977, 0.39205293332034485, 0.6225017835463983,
+    0.4343799105344472, 0.4341308679616664, 0.4341308679616664,
+    0.39205293332034485, 0.4343799105344472, 0.391242655235837,
+    0.39205293332034485, 0.4341308679616664, 0.39205293332034485,
+    0.4341308679616664,
+]
+GOLDEN_SEARCH_BEST = 0.6225017835463983
+GOLDEN_SEARCH_WEIGHT_L1 = 845.0066569629125
+GOLDEN_PRETRAIN_WEIGHT_L1 = 872.2428446572112
+GOLDEN_SOLVER8_SUM = 570
+GOLDEN_SOLVER8_HEAD = [5, 6, 6, 5, 7, 7, 7, 7, 7, 7, 7, 7]
+
+
+def _weight_l1(partitioner) -> float:
+    state = partitioner.state_dict()
+    return float(sum(np.abs(state[k]).sum() for k in sorted(state)))
+
+
+def _config():
+    return RLPartitionerConfig(
+        hidden=32,
+        n_sage_layers=2,
+        ppo=PPOConfig(n_rollouts=10, n_minibatches=2, n_epochs=3),
+    )
+
+
+def _env(graph):
+    package = MCMPackage(n_chips=N_CHIPS)
+    return PartitionEnvironment(graph, AnalyticalCostModel(package), N_CHIPS)
+
+
+class TestSerialGoldens:
+    def test_training_search_trajectory(self):
+        graph = build_dataset(seed=0).train[0]
+        partitioner = RLPartitioner(N_CHIPS, config=_config(), rng=123)
+        result = partitioner.search(_env(graph), 25, train=True)
+        assert result.improvements.tolist() == GOLDEN_SEARCH_IMPROVEMENTS
+        assert result.best_improvement == GOLDEN_SEARCH_BEST
+        assert _weight_l1(partitioner) == GOLDEN_SEARCH_WEIGHT_L1
+
+    def test_pretrain_final_weights(self):
+        graphs = list(build_dataset(seed=0).train[:3])
+        partitioner = RLPartitioner(N_CHIPS, config=_config(), rng=7)
+        checkpoints = pretrain(
+            partitioner,
+            graphs,
+            _env,
+            PretrainConfig(total_samples=40, n_checkpoints=4, samples_per_graph=10),
+        )
+        assert [c.step for c in checkpoints] == [10, 20, 30, 40]
+        assert _weight_l1(partitioner) == GOLDEN_PRETRAIN_WEIGHT_L1
+
+    def test_solver_sample_stream_at_8_chips(self):
+        graph = build_dataset(seed=0).train[1]
+        probs = np.full((graph.n_nodes, 8), 1.0 / 8)
+        out = sample_partition(graph, probs, 8, rng=42)
+        assert int(out.sum()) == GOLDEN_SOLVER8_SUM
+        assert out[:12].tolist() == GOLDEN_SOLVER8_HEAD

@@ -1,0 +1,184 @@
+"""Determinism of the parallel subsystem (the PR's satellite guarantee).
+
+The contract: with a fixed seed, a pooled run (``--workers 2``) reproduces
+the serial run of the same schedule — the in-process fallback
+(``n_workers=1``) — bit for bit: same seeds, shards merged in deterministic
+worker order, identical improvements trajectory, identical final weights.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.environment import PartitionEnvironment
+from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
+from repro.core.pretrain import PretrainConfig
+from repro.graphs.zoo import build_dataset
+from repro.hardware.analytical import AnalyticalCostModel
+from repro.hardware.package import MCMPackage
+from repro.parallel import (
+    ParallelConfig,
+    fork_available,
+    parallel_pretrain,
+    parallel_search,
+    parallel_select_checkpoint,
+)
+from repro.rl.ppo import PPOConfig
+
+N_CHIPS = 4
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="fork start method required"
+)
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return list(build_dataset(seed=0).train[:3])
+
+
+def _env(graph):
+    package = MCMPackage(n_chips=N_CHIPS)
+    return PartitionEnvironment(graph, AnalyticalCostModel(package), N_CHIPS)
+
+
+def _partitioner(rng=5):
+    cfg = RLPartitionerConfig(
+        hidden=32,
+        n_sage_layers=2,
+        ppo=PPOConfig(n_rollouts=10, n_minibatches=2, n_epochs=3),
+    )
+    return RLPartitioner(N_CHIPS, config=cfg, rng=rng)
+
+
+def _weights_equal(a: RLPartitioner, b: RLPartitioner) -> bool:
+    sa, sb = a.state_dict(), b.state_dict()
+    return all(np.array_equal(sa[k], sb[k]) for k in sa)
+
+
+class TestSearchDeterminism:
+    def test_two_workers_reproduce_serial_fallback(self, graphs):
+        serial_p, pooled_p = _partitioner(), _partitioner()
+        serial = parallel_search(
+            serial_p, _env(graphs[0]), 25,
+            config=ParallelConfig(n_workers=1, seed=99),
+        )
+        pooled = parallel_search(
+            pooled_p, _env(graphs[0]), 25,
+            config=ParallelConfig(n_workers=2, seed=99),
+        )
+        np.testing.assert_array_equal(serial.improvements, pooled.improvements)
+        assert serial.best_improvement == pooled.best_improvement
+        np.testing.assert_array_equal(
+            serial.best_assignment, pooled.best_assignment
+        )
+        assert _weights_equal(serial_p, pooled_p)
+
+    def test_synchronous_schedule_matches_too(self, graphs):
+        serial_p, pooled_p = _partitioner(), _partitioner()
+        cfg = dict(seed=99, pipeline=False)
+        serial = parallel_search(
+            serial_p, _env(graphs[0]), 25,
+            config=ParallelConfig(n_workers=1, **cfg),
+        )
+        pooled = parallel_search(
+            pooled_p, _env(graphs[0]), 25,
+            config=ParallelConfig(n_workers=2, **cfg),
+        )
+        np.testing.assert_array_equal(serial.improvements, pooled.improvements)
+        assert _weights_equal(serial_p, pooled_p)
+
+    def test_repeated_pooled_run_is_reproducible(self, graphs):
+        results = [
+            parallel_search(
+                _partitioner(), _env(graphs[0]), 15,
+                config=ParallelConfig(n_workers=2, seed=4),
+            )
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(
+            results[0].improvements, results[1].improvements
+        )
+
+    def test_zero_shot_mode(self, graphs):
+        serial = parallel_search(
+            _partitioner(), _env(graphs[0]), 12, train=False,
+            config=ParallelConfig(n_workers=1, seed=11),
+        )
+        pooled = parallel_search(
+            _partitioner(), _env(graphs[0]), 12, train=False,
+            config=ParallelConfig(n_workers=2, seed=11),
+        )
+        np.testing.assert_array_equal(serial.improvements, pooled.improvements)
+        assert serial.metadata["trained"] is False
+
+    def test_pool_keeps_env_sample_counter(self, graphs):
+        env = _env(graphs[0])
+        parallel_search(
+            _partitioner(), env, 15, config=ParallelConfig(n_workers=2, seed=4)
+        )
+        assert env.n_samples == 15
+
+
+class TestPretrainDeterminism:
+    def test_two_workers_reproduce_serial_fallback(self, graphs):
+        cfg = PretrainConfig(
+            total_samples=40, n_checkpoints=4, samples_per_graph=10
+        )
+        serial_p, pooled_p = _partitioner(11), _partitioner(11)
+        serial = parallel_pretrain(
+            serial_p, graphs, _env, cfg,
+            parallel=ParallelConfig(n_workers=1, seed=7),
+        )
+        pooled = parallel_pretrain(
+            pooled_p, graphs, _env, cfg,
+            parallel=ParallelConfig(n_workers=2, seed=7),
+        )
+        assert [c.step for c in serial] == [c.step for c in pooled]
+        for a, b in zip(serial, pooled):
+            for key in a.state:
+                np.testing.assert_array_equal(a.state[key], b.state[key])
+        assert _weights_equal(serial_p, pooled_p)
+
+    def test_select_checkpoint_fanout_matches_serial_fallback(self, graphs):
+        cfg = PretrainConfig(
+            total_samples=30, n_checkpoints=3, samples_per_graph=10
+        )
+        ckpts_a = parallel_pretrain(
+            _partitioner(11), graphs, _env, cfg,
+            parallel=ParallelConfig(n_workers=1, seed=7),
+        )
+        ckpts_b = parallel_pretrain(
+            _partitioner(11), graphs, _env, cfg,
+            parallel=ParallelConfig(n_workers=2, seed=7),
+        )
+        best_a = parallel_select_checkpoint(
+            ckpts_a, _partitioner(2), graphs[:2], _env, zero_shot_samples=3,
+            config=ParallelConfig(n_workers=1, seed=3),
+        )
+        best_b = parallel_select_checkpoint(
+            ckpts_b, _partitioner(2), graphs[:2], _env, zero_shot_samples=3,
+            config=ParallelConfig(n_workers=2, seed=3),
+        )
+        assert [c.score for c in ckpts_a] == [c.score for c in ckpts_b]
+        assert (best_a.step, best_a.score) == (best_b.step, best_b.score)
+
+    def test_select_checkpoint_final_weights_executor_invariant(self, graphs):
+        """Both executors must leave the caller's partitioner holding the
+        last evaluated checkpoint (the serial semantics) — not a state that
+        depends on whether the run was pooled or inline."""
+        cfg = PretrainConfig(
+            total_samples=20, n_checkpoints=2, samples_per_graph=10
+        )
+        ckpts = parallel_pretrain(
+            _partitioner(11), graphs[:2], _env, cfg,
+            parallel=ParallelConfig(n_workers=1, seed=7),
+        )
+        for workers in (1, 2):
+            scorer = _partitioner(2)
+            parallel_select_checkpoint(
+                ckpts, scorer, graphs[:2], _env, zero_shot_samples=2,
+                config=ParallelConfig(n_workers=workers, seed=3),
+            )
+            state = scorer.state_dict()
+            for key, value in ckpts[-1].state.items():
+                np.testing.assert_array_equal(state[key], value)

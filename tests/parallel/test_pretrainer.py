@@ -1,0 +1,115 @@
+"""Tests for the concurrent training + validation ``Pretrainer``."""
+
+import numpy as np
+import pytest
+
+from repro.core.environment import PartitionEnvironment
+from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
+from repro.core.pretrain import PretrainConfig
+from repro.graphs.zoo import build_dataset
+from repro.hardware.analytical import AnalyticalCostModel
+from repro.hardware.package import MCMPackage
+from repro.parallel import (
+    ParallelConfig,
+    Pretrainer,
+    fork_available,
+    parallel_pretrain,
+    parallel_select_checkpoint,
+)
+from repro.rl.ppo import PPOConfig
+
+N_CHIPS = 4
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="fork start method required"
+)
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return list(build_dataset(seed=0).train[:3])
+
+
+def _env(graph):
+    package = MCMPackage(n_chips=N_CHIPS)
+    return PartitionEnvironment(graph, AnalyticalCostModel(package), N_CHIPS)
+
+
+def _partitioner(rng=11):
+    cfg = RLPartitionerConfig(
+        hidden=32,
+        n_sage_layers=2,
+        ppo=PPOConfig(n_rollouts=10, n_minibatches=2, n_epochs=3),
+    )
+    return RLPartitioner(N_CHIPS, config=cfg, rng=rng)
+
+
+CFG = PretrainConfig(total_samples=40, n_checkpoints=4, samples_per_graph=10)
+
+
+class TestPretrainer:
+    def test_all_checkpoints_scored_and_best_selected(self, graphs):
+        report = Pretrainer(
+            _partitioner(), graphs[:2], graphs[2:], _env, config=CFG,
+            parallel=ParallelConfig(n_workers=2, seed=7), zero_shot_samples=3,
+        ).run()
+        assert len(report.checkpoints) == 4
+        assert all(c.score is not None for c in report.checkpoints)
+        assert report.best is report.checkpoints[
+            int(np.argmax([c.score for c in report.checkpoints]))
+        ]
+
+    def test_concurrent_validation_does_not_perturb_training(self, graphs):
+        """Interleaved validation replays must leave the training
+        trajectory identical to a training-only run with the same seed."""
+        only_train = parallel_pretrain(
+            _partitioner(), graphs[:2], _env, CFG,
+            parallel=ParallelConfig(n_workers=2, seed=7),
+        )
+        report = Pretrainer(
+            _partitioner(), graphs[:2], graphs[2:], _env, config=CFG,
+            parallel=ParallelConfig(n_workers=2, seed=7), zero_shot_samples=3,
+        ).run()
+        assert [c.step for c in only_train] == [
+            c.step for c in report.checkpoints
+        ]
+        for a, b in zip(only_train, report.checkpoints):
+            for key in a.state:
+                np.testing.assert_array_equal(a.state[key], b.state[key])
+
+    def test_scores_match_post_hoc_validation(self, graphs):
+        """Concurrent scores equal a separate validation pass with the same
+        root seed (same spawn keys, same checkpoint states)."""
+        report = Pretrainer(
+            _partitioner(), graphs[:2], graphs[2:], _env, config=CFG,
+            parallel=ParallelConfig(n_workers=2, seed=7), zero_shot_samples=3,
+        ).run()
+        ckpts = parallel_pretrain(
+            _partitioner(), graphs[:2], _env, CFG,
+            parallel=ParallelConfig(n_workers=2, seed=7),
+        )
+        parallel_select_checkpoint(
+            ckpts, _partitioner(3), graphs[2:], _env, zero_shot_samples=3,
+            config=ParallelConfig(n_workers=2, seed=7),
+        )
+        assert [c.score for c in report.checkpoints] == [c.score for c in ckpts]
+
+    def test_inline_matches_pool(self, graphs):
+        reports = [
+            Pretrainer(
+                _partitioner(), graphs[:2], graphs[2:], _env, config=CFG,
+                parallel=ParallelConfig(n_workers=w, seed=7),
+                zero_shot_samples=2,
+            ).run()
+            for w in (1, 2)
+        ]
+        assert [c.score for c in reports[0].checkpoints] == [
+            c.score for c in reports[1].checkpoints
+        ]
+        assert reports[0].best.step == reports[1].best.step
+
+    def test_rejects_empty_splits(self, graphs):
+        with pytest.raises(ValueError):
+            Pretrainer(_partitioner(), [], graphs[2:], _env)
+        with pytest.raises(ValueError):
+            Pretrainer(_partitioner(), graphs[:2], [], _env)

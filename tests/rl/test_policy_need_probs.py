@@ -1,0 +1,33 @@
+"""``forward_batch(need_probs=False)``: the PPO-update fast path."""
+
+import numpy as np
+
+from repro.rl.features import featurize
+from repro.rl.policy import PartitionPolicy
+from tests.conftest import random_dag
+
+
+class TestNeedProbs:
+    def test_probs_skipped_but_differentiable_outputs_identical(self):
+        graph = random_dag(1, 14)
+        feats = featurize(graph)
+        policy = PartitionPolicy(n_chips=3, hidden=16, n_sage_layers=2, rng=0)
+        conditioning = np.random.default_rng(0).integers(0, 3, size=(4, 14))
+        with_probs = policy.forward_batch(feats, conditioning)
+        without = policy.forward_batch(feats, conditioning, need_probs=False)
+        assert without.probs is None
+        np.testing.assert_array_equal(
+            with_probs.log_probs.data, without.log_probs.data
+        )
+        np.testing.assert_array_equal(
+            with_probs.values.data, without.values.data
+        )
+
+    def test_default_still_materialises_probs(self):
+        graph = random_dag(2, 10)
+        feats = featurize(graph)
+        policy = PartitionPolicy(n_chips=2, hidden=8, n_sage_layers=1, rng=0)
+        out = policy.forward_batch(feats, np.zeros((2, 10), dtype=np.int64))
+        assert out.probs is not None
+        assert out.probs.shape == (2, 10, 2)
+        np.testing.assert_allclose(out.probs.sum(axis=2), 1.0, atol=1e-9)

@@ -1,0 +1,78 @@
+"""The eager triangle-frontier flag above 4 chips (PR 2 satellite).
+
+The strengthening defaulted on only for ``n_chips <= 4``; the constructor
+flag makes it available at higher chip counts.  The regression risk is
+*completeness*: eager re-propagation must never prune a value that some
+valid completion uses — checked exhaustively at 8 chips against the
+brute-force valid set, and statistically on a wedge-heavy zoo graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
+from repro.graphs.zoo import build_dataset
+from repro.solver.constraints import validate_partition
+from repro.solver.engine import ConstraintSolver
+from repro.solver.enumerate import enumerate_valid_partitions
+from repro.solver.strategies import fix_partition, sample_partition
+
+
+class TestConstructorFlag:
+    def test_heuristic_default(self, diamond_graph):
+        assert ConstraintSolver(diamond_graph, 4).triangle_frontier is True
+        assert ConstraintSolver(diamond_graph, 8).triangle_frontier is False
+
+    def test_forced_on_above_four_chips(self, diamond_graph):
+        solver = ConstraintSolver(diamond_graph, 8, triangle_frontier=True)
+        assert solver.triangle_frontier is True
+
+    def test_forced_off_at_tight_chip_count(self, diamond_graph):
+        solver = ConstraintSolver(diamond_graph, 4, triangle_frontier=False)
+        assert solver.triangle_frontier is False
+
+    def test_partitioner_config_plumbs_through(self, diamond_graph):
+        config = RLPartitionerConfig(
+            hidden=8, n_sage_layers=1, triangle_frontier=True
+        )
+        partitioner = RLPartitioner(8, config=config, rng=0)
+        assert partitioner._solver_for(diamond_graph).triangle_frontier is True
+
+
+class TestCompletenessAt8Chips:
+    def test_every_valid_partition_survives_eager_frontier(self, diamond_graph):
+        """FIX with a valid candidate keeps it verbatim — for every valid
+        partition at 8 chips, with the frontier forced on and off."""
+        valid = enumerate_valid_partitions(diamond_graph, 8)
+        assert valid, "fixture must admit valid partitions"
+        for frontier in (True, False):
+            solver = ConstraintSolver(
+                diamond_graph, 8, triangle_frontier=frontier
+            )
+            for y in valid:
+                if solver.n_decisions:
+                    solver.reset()
+                repaired = fix_partition(
+                    diamond_graph, y, 8, rng=0, solver=solver
+                )
+                np.testing.assert_array_equal(repaired, y)
+
+    def test_sample_valid_on_wedge_heavy_graph(self):
+        """SAMPLE at 8 chips with the frontier forced on: the strengthening
+        path actually runs (gru graphs wedge the triangle constraint) and
+        every output satisfies the static constraints."""
+        graph = build_dataset(seed=0).train[1]  # gru: fan-out/merge motifs
+        solver = ConstraintSolver(graph, 8, triangle_frontier=True)
+        probs = np.full((graph.n_nodes, 8), 1.0 / 8)
+        rng = np.random.default_rng(0)
+        for _ in range(4):
+            if solver.n_decisions:
+                solver.reset()
+            y = sample_partition(graph, probs, 8, rng=rng, solver=solver)
+            assert validate_partition(graph, y, 8).ok
+
+    def test_flag_survives_reset(self, diamond_graph):
+        solver = ConstraintSolver(diamond_graph, 8, triangle_frontier=True)
+        probs = np.full((5, 8), 1.0 / 8)
+        sample_partition(diamond_graph, probs, 8, rng=1, solver=solver)
+        assert solver.triangle_frontier is True

@@ -64,6 +64,29 @@ class TestPartition:
         )
         assert code == 0
 
+    def test_rl_with_worker_pool(self, capsys):
+        code = main(
+            ["partition", "mlp", "--method", "rl", "--samples", "8",
+             "--workers", "2", "--seed", "0"]
+        )
+        assert code == 0
+        assert "improvement" in capsys.readouterr().out
+
+    def test_workers_rejected_for_non_rl_methods(self, capsys):
+        code = main(
+            ["partition", "mlp", "--method", "random", "--samples", "4",
+             "--workers", "2"]
+        )
+        assert code == 2
+        assert "--method rl" in capsys.readouterr().err
+
+    def test_eager_frontier_flag(self, capsys):
+        code = main(
+            ["partition", "mlp", "--method", "rl", "--samples", "4",
+             "--chips", "8", "--eager-frontier", "on", "--seed", "0"]
+        )
+        assert code == 0
+
 
 class TestValidate:
     def test_valid_assignment(self, tmp_path, capsys):
