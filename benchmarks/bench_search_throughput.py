@@ -68,6 +68,11 @@ def _env(graph) -> PartitionEnvironment:
     return PartitionEnvironment(graph, AnalyticalCostModel(package), N_CHIPS)
 
 
+#: Interconnect all bench loops run on; recorded in every JSON row so the
+#: samples/sec trajectory stays comparable when other topologies are benched.
+TOPOLOGY = MCMPackage(n_chips=N_CHIPS).topology.name
+
+
 def _timed(n_samples: int, fn) -> dict:
     start = time.perf_counter()
     fn()
@@ -76,6 +81,7 @@ def _timed(n_samples: int, fn) -> dict:
         "samples": n_samples,
         "seconds": round(elapsed, 4),
         "samples_per_sec": round(n_samples / elapsed, 2),
+        "topology": TOPOLOGY,
     }
 
 
@@ -359,6 +365,7 @@ def main(argv=None) -> dict:
         "bench": "search_throughput",
         "scale": scale.scale,
         "n_chips": N_CHIPS,
+        "topology": TOPOLOGY,
         "graphs": [g.name for g in graphs],
         "search": bench_search(graphs, scale.samples(60, cap=2000)),
         "pretrain": bench_pretrain(graphs, scale.samples(120, cap=4000)),

@@ -19,4 +19,15 @@ echo "== throughput bench (tiny smoke, 2-worker pool) =="
 timeout --kill-after=30 300 \
     python benchmarks/bench_search_throughput.py --tiny --workers 2
 
+echo "== cross-topology smoke (mesh 2x2 + biring) =="
+# A partition search on each non-ring interconnect: catches topology
+# plumbing breaks (solver general mode, reachability cost models, CLI)
+# end-to-end, under a hard timeout so a wedged solver fails fast.
+timeout --kill-after=15 120 env PYTHONPATH=src python -m repro partition mlp \
+    --topology mesh --mesh-dims 2x2 --method random --samples 4 --seed 0 \
+    > /dev/null
+timeout --kill-after=15 120 env PYTHONPATH=src python -m repro partition mlp \
+    --topology biring --chips 3 --method random --samples 4 --seed 0 \
+    > /dev/null
+
 echo "== ci_check OK =="

@@ -7,10 +7,24 @@ Quickstart
 ...     build_bert, MCMPackage, AnalyticalCostModel,
 ...     PartitionEnvironment, RLPartitioner,
 ... )
->>> package = MCMPackage(n_chips=4)
+>>> package = MCMPackage(n_chips=4)  # the paper's uni-directional ring
 >>> graph = build_bert(layers=2, hidden=128, heads=4, seq=64, target_nodes=None)
 >>> env = PartitionEnvironment(graph, AnalyticalCostModel(package), package.n_chips)
 >>> partitioner = RLPartitioner(package.n_chips, rng=0)
+>>> result = partitioner.search(env, n_samples=20)
+>>> result.best_improvement > 0
+True
+
+The platform interconnect is pluggable: pick a topology (uni-ring is the
+default; bi-directional ring, 2D mesh, and crossbar are built in) and the
+package, cost models, constraint solver, and policy features all re-target
+to it:
+
+>>> from repro import Mesh2D, RLPartitioner
+>>> mesh = Mesh2D(2, 2)
+>>> package = MCMPackage(n_chips=4, topology=mesh)
+>>> env = PartitionEnvironment(graph, AnalyticalCostModel(package), 4)
+>>> partitioner = RLPartitioner(4, rng=0, topology=mesh)
 >>> result = partitioner.search(env, n_samples=20)
 >>> result.best_improvement > 0
 True
@@ -39,10 +53,16 @@ from repro.graphs.serialization import load_graph, save_graph
 from repro.graphs.zoo import build_bert, build_dataset
 from repro.hardware import (
     AnalyticalCostModel,
+    BiRing,
     ChipSpec,
+    Crossbar,
     MCMPackage,
     MemoryPlanner,
+    Mesh2D,
     PipelineSimulator,
+    Topology,
+    UniRing,
+    make_topology,
 )
 from repro.solver import (
     ConstraintSolver,
@@ -61,6 +81,12 @@ __all__ = [
     "build_dataset",
     "ChipSpec",
     "MCMPackage",
+    "Topology",
+    "UniRing",
+    "BiRing",
+    "Mesh2D",
+    "Crossbar",
+    "make_topology",
     "AnalyticalCostModel",
     "PipelineSimulator",
     "MemoryPlanner",

@@ -31,11 +31,12 @@ class PartitionReport:
     peak_bytes:
         ``(C,)`` scheduled peak memory per chip.
     link_bytes:
-        ``(C-1,)`` bytes crossing each ring link per inference.
+        ``(n_links,)`` bytes crossing each interconnect link per inference
+        (``C-1`` ring links on the default uni-ring package).
     cut_edges:
         Number of graph edges crossing chips.
     max_hop:
-        Longest ring distance any transfer travels.
+        Longest route (in links) any transfer travels.
     static_ok:
         Whether the partition satisfies Equations 2-4.
     """
@@ -79,14 +80,17 @@ def analyze_partition(
     peaks = planner.plan(graph, assignment).peak_bytes
 
     src_c, dst_c, nbytes = cross_chip_transfers(graph, assignment)
+    topology = package.topology
     link_bytes = np.zeros(max(package.n_links, 1))
     max_hop = 0
     for s, d, b in zip(src_c, dst_c, nbytes):
-        if d > s:
-            link_bytes[s:d] += b
-            max_hop = max(max_hop, int(d - s))
+        # Unroutable transfers carry no link traffic; the validation report
+        # below flags the partition instead.
+        if topology.reachable[s, d]:
+            link_bytes[topology.link_path(int(s), int(d))] += b
+            max_hop = max(max_hop, int(topology.hop_matrix[s, d]))
 
-    report = validate_partition(graph, assignment, n_chips)
+    report = validate_partition(graph, assignment, n_chips, topology=topology)
     return PartitionReport(
         n_chips=n_chips,
         node_counts=node_counts,

@@ -18,6 +18,10 @@ Examples
 ``python -m repro partition bert --chips 8 --eager-frontier on``
     Force the solver's eager triangle-frontier strengthening above its
     4-chip heuristic default.
+``python -m repro partition cnn --topology mesh --mesh-dims 2x2``
+    Re-target the whole framework to a 2x2 mesh interconnect; ``biring``
+    and ``crossbar`` work the same way (``uniring`` is the paper's
+    platform and the default).
 """
 
 from __future__ import annotations
@@ -38,10 +42,23 @@ from repro.core.environment import PartitionEnvironment
 from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
 from repro.graphs.graph import CompGraph
 from repro.graphs.serialization import load_graph
-from repro.graphs.zoo import build_bert, build_cnn, build_lstm, build_mlp, build_residual_cnn
+from repro.graphs.zoo import (
+    build_autoencoder,
+    build_bert,
+    build_cnn,
+    build_decoder,
+    build_gru,
+    build_inception_cnn,
+    build_lstm,
+    build_mlp,
+    build_mobilenet,
+    build_residual_cnn,
+    build_unet,
+)
 from repro.hardware.analytical import AnalyticalCostModel
 from repro.hardware.package import MCMPackage
 from repro.hardware.simulator import PipelineSimulator
+from repro.hardware.topology import TOPOLOGY_NAMES, make_topology, parse_mesh_dims
 from repro.parallel import ParallelConfig, parallel_search
 from repro.rl.ppo import PPOConfig
 from repro.solver.constraints import validate_partition
@@ -51,8 +68,14 @@ _ZOO = {
     "bert-large": build_bert,
     "cnn": build_cnn,
     "resnet": build_residual_cnn,
+    "inception": build_inception_cnn,
     "lstm": build_lstm,
+    "gru": build_gru,
     "mlp": build_mlp,
+    "autoencoder": build_autoencoder,
+    "decoder": build_decoder,
+    "unet": build_unet,
+    "mobilenet": build_mobilenet,
 }
 
 
@@ -79,14 +102,42 @@ def _cmd_zoo(args) -> int:
     return 0
 
 
+def _resolve_package(args) -> MCMPackage:
+    """Build the package from ``--chips`` / ``--topology`` / ``--mesh-dims``."""
+    chips = args.chips
+    dims = None
+    if getattr(args, "mesh_dims", None):
+        if args.topology != "mesh":
+            raise SystemExit("--mesh-dims applies to --topology mesh only")
+        try:
+            dims = parse_mesh_dims(args.mesh_dims)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        if chips is None:
+            chips = dims[0] * dims[1]
+        elif chips != dims[0] * dims[1]:
+            raise SystemExit(
+                f"--chips {chips} conflicts with --mesh-dims "
+                f"{dims[0]}x{dims[1]} ({dims[0] * dims[1]} chips)"
+            )
+    if chips is None:
+        chips = 4
+    try:
+        topology = make_topology(args.topology, chips, dims)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    return MCMPackage(n_chips=chips, topology=topology)
+
+
 def _cmd_partition(args) -> int:
     graph = _resolve_graph(args.graph)
-    package = MCMPackage(n_chips=args.chips)
+    package = _resolve_package(args)
+    n_chips = package.n_chips
     cost_model = (
         PipelineSimulator(package) if args.platform == "simulator"
         else AnalyticalCostModel(package)
     )
-    env = PartitionEnvironment(graph, cost_model, args.chips, objective=args.objective)
+    env = PartitionEnvironment(graph, cost_model, n_chips, objective=args.objective)
     if args.workers > 1 and args.method != "rl":
         print("--workers applies to --method rl only", file=sys.stderr)
         return 2
@@ -97,22 +148,27 @@ def _cmd_partition(args) -> int:
         return 2
 
     if args.method == "greedy":
-        assignment = greedy_partition(graph, args.chips)
+        assignment = greedy_partition(graph, n_chips)
         improvement = env.evaluate(assignment).improvement
     else:
         eager_frontier = {"auto": None, "on": True, "off": False}[args.eager_frontier]
+        # The default uni-ring stays on the legacy path (topology=None:
+        # legacy solver engine and feature width, bit-for-bit); any other
+        # interconnect runs the topology-conditioned partitioner.
+        rl_topology = None if package.topology.is_total_order else package.topology
         searchers = {
             "random": lambda: RandomSearch(rng=args.seed),
             "sa": lambda: SimulatedAnnealing(rng=args.seed),
             "hill": lambda: HillClimbing(rng=args.seed),
             "rl": lambda: RLPartitioner(
-                args.chips,
+                n_chips,
                 config=RLPartitionerConfig(
                     hidden=64, n_sage_layers=4,
                     triangle_frontier=eager_frontier,
                     ppo=PPOConfig(n_rollouts=10, n_minibatches=2, n_epochs=4),
                 ),
                 rng=args.seed,
+                topology=rl_topology,
             ),
         }
         if args.method == "rl" and args.workers > 1:
@@ -142,12 +198,31 @@ def _cmd_partition(args) -> int:
 def _cmd_validate(args) -> int:
     graph = _resolve_graph(args.graph)
     assignment = np.load(args.assignment)
-    report = validate_partition(graph, assignment, args.chips)
+    package = _resolve_package(args)
+    report = validate_partition(
+        graph, assignment, package.n_chips, topology=package.topology
+    )
     if report.ok:
         print("valid: all static constraints satisfied")
         return 0
     print(f"INVALID: {', '.join(report.violated)}")
     return 1
+
+
+def _add_topology_args(parser) -> None:
+    parser.add_argument(
+        "--topology",
+        choices=list(TOPOLOGY_NAMES),
+        default="uniring",
+        help="interconnect topology (uniring is the paper's platform)",
+    )
+    parser.add_argument(
+        "--mesh-dims",
+        default=None,
+        metavar="RxC",
+        help="mesh grid dimensions, e.g. 2x3 (--topology mesh only; "
+        "defaults to the most-square factorisation of --chips)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -166,7 +241,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_part = sub.add_parser("partition", help="search a partition")
     p_part.add_argument("graph", help="zoo name or .npz path")
-    p_part.add_argument("--chips", type=int, default=4)
+    p_part.add_argument(
+        "--chips",
+        type=int,
+        default=None,
+        help="number of chiplets (default 4, or rows*cols with --mesh-dims)",
+    )
+    _add_topology_args(p_part)
     p_part.add_argument(
         "--method", choices=["greedy", "random", "sa", "hill", "rl"], default="rl"
     )
@@ -200,7 +281,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_val = sub.add_parser("validate", help="validate an assignment file")
     p_val.add_argument("graph", help="zoo name or .npz path")
     p_val.add_argument("assignment", help=".npy assignment path")
-    p_val.add_argument("--chips", type=int, default=4)
+    p_val.add_argument("--chips", type=int, default=None)
+    _add_topology_args(p_val)
     p_val.set_defaults(fn=_cmd_validate)
     return parser
 

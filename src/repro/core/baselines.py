@@ -83,7 +83,9 @@ def greedy_partition(graph: CompGraph, n_chips: int) -> np.ndarray:
     return contiguous_partition(graph, n_chips, weights=np.ones(graph.n_nodes))
 
 
-def random_baseline_partition(graph: CompGraph, n_chips: int, seed: int = 0) -> np.ndarray:
+def random_baseline_partition(
+    graph: CompGraph, n_chips: int, seed: int = 0, topology=None
+) -> np.ndarray:
     """The ``O(N)`` random-partition heuristic (paper Section 5.1).
 
     One uniform draw through the solver's SAMPLE mode — the other fast
@@ -91,7 +93,7 @@ def random_baseline_partition(graph: CompGraph, n_chips: int, seed: int = 0) -> 
     greedy algorithm and a random partition").
     """
     probs = np.full((graph.n_nodes, n_chips), 1.0 / n_chips)
-    return sample_partition(graph, probs, n_chips, rng=seed)
+    return sample_partition(graph, probs, n_chips, rng=seed, topology=topology)
 
 
 # ----------------------------------------------------------------------
@@ -108,12 +110,15 @@ class RandomSearch:
         if n_samples < 1:
             raise ValueError("n_samples must be >= 1")
         graph, n_chips = env.graph, env.n_chips
+        topology = getattr(env, "topology", None)
         probs = np.full((graph.n_nodes, n_chips), 1.0 / n_chips)
         improvements = np.zeros(n_samples)
         best: "np.ndarray | None" = None
         best_improvement = 0.0
         for k in range(n_samples):
-            assignment = sample_partition(graph, probs, n_chips, rng=self.rng)
+            assignment = sample_partition(
+                graph, probs, n_chips, rng=self.rng, topology=topology
+            )
             sample = env.evaluate(assignment)
             improvements[k] = sample.improvement
             if sample.improvement > best_improvement:
@@ -171,6 +176,7 @@ class SimulatedAnnealing:
         if n_samples < 1:
             raise ValueError("n_samples must be >= 1")
         graph, n_chips = env.graph, env.n_chips
+        topology = getattr(env, "topology", None)
         rng = self.rng
         n = graph.n_nodes
         probs = np.full((n, n_chips), 1.0 / n_chips)
@@ -187,7 +193,9 @@ class SimulatedAnnealing:
             proposal[nodes] = rng.dirichlet(
                 np.full(n_chips, self.concentration), size=n_perturb
             )
-            assignment = sample_partition(graph, proposal, n_chips, rng=rng)
+            assignment = sample_partition(
+                graph, proposal, n_chips, rng=rng, topology=topology
+            )
             sample = env.evaluate(assignment)
             improvements[k] = sample.improvement
             if sample.improvement > best_improvement:
@@ -252,7 +260,10 @@ class HillClimbing:
                 if since_accept >= self.restart_after:
                     # stuck: restart from a fresh random valid partition
                     current = random_baseline_partition(
-                        graph, n_chips, seed=int(rng.integers(0, 2**31))
+                        graph,
+                        n_chips,
+                        seed=int(rng.integers(0, 2**31)),
+                        topology=getattr(env, "topology", None),
                     )
                     current_score = env.evaluate(current).improvement
                     since_accept = 0

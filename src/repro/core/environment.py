@@ -60,6 +60,11 @@ class PartitionEnvironment:
         ("our framework can easily re-target a latency metric", §5.1);
         improvements are throughput ratio or latency reduction ratio
         respectively.
+    topology:
+        Platform interconnect the static validation runs against.  Defaults
+        to the cost model's package topology when it has one (so the
+        environment and the platform always agree), else the legacy
+        uni-ring semantics.
     """
 
     def __init__(
@@ -70,6 +75,7 @@ class PartitionEnvironment:
         check_static: bool = True,
         baseline_assignment: "np.ndarray | None" = None,
         objective: str = "throughput",
+        topology=None,
     ):
         if objective not in ("throughput", "latency"):
             raise ValueError("objective must be 'throughput' or 'latency'")
@@ -78,6 +84,22 @@ class PartitionEnvironment:
         self.n_chips = n_chips
         self.check_static = check_static
         self.objective = objective
+        if topology is not None:
+            if topology.n_chips != n_chips:
+                raise ValueError(
+                    f"topology is for {topology.n_chips} chips, environment "
+                    f"has {n_chips}"
+                )
+        else:
+            topology = getattr(
+                getattr(cost_model, "package", None), "topology", None
+            )
+            if topology is not None and topology.n_chips != n_chips:
+                # A package sized differently from the environment (legacy
+                # tolerance, used by chip-count-mismatch tests): fall back
+                # to the uni-ring validation semantics.
+                topology = None
+        self.topology = topology
         self.n_samples = 0
 
         if baseline_assignment is None:
@@ -97,7 +119,9 @@ class PartitionEnvironment:
         assignment = np.asarray(assignment, dtype=np.int64)
         self.n_samples += 1
         if self.check_static:
-            report = validate_partition(self.graph, assignment, self.n_chips)
+            report = validate_partition(
+                self.graph, assignment, self.n_chips, topology=self.topology
+            )
             if not report.ok:
                 result = EvaluationResult.invalid(
                     "static:" + ",".join(report.violated), self.n_chips

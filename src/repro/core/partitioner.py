@@ -21,7 +21,7 @@ import numpy as np
 from repro.core.baselines import SearchResult
 from repro.core.environment import PartitionEnvironment
 from repro.nn import functional as F
-from repro.rl.features import GraphFeatures, featurize
+from repro.rl.features import N_FEATURES, N_TOPO_FEATURES, GraphFeatures, featurize
 from repro.rl.policy import PartitionPolicy
 from repro.rl.ppo import PPOConfig, PPOTrainer
 from repro.rl.rollout import Rollout, RolloutBuffer
@@ -34,6 +34,19 @@ from repro.utils.rng import as_generator
 #: closures across samples and search calls (a pretraining rotation visits
 #: the same graphs every cycle).
 _SOLVER_CACHE_SIZE = 16
+
+
+def _topology_semantics(topology, n_chips: int) -> tuple:
+    """Constraint-semantics identity of a platform topology.
+
+    ``None`` and every total-order topology share the legacy uni-ring
+    semantics, so they compare equal; anything else is identified by its
+    topology key.  Used to reject partitioner/environment platform
+    mismatches before they silently search the wrong constraint set.
+    """
+    if topology is None or topology.is_total_order:
+        return ("uniring", n_chips)
+    return topology.key
 
 
 @dataclass(frozen=True)
@@ -109,6 +122,13 @@ class RLPartitioner:
         Network + PPO configuration.
     rng:
         Seed or generator for sampling and PPO shuffling.
+    topology:
+        Platform interconnect (:mod:`repro.hardware.topology`).  ``None``
+        (default) is the legacy uni-ring path, bit-for-bit: legacy solver
+        engine and legacy feature width.  Passing a topology — including an
+        explicit ``UniRing`` — switches featurisation to the
+        topology-conditioned columns (one policy can then train across
+        platforms) and builds solvers for that interconnect.
     """
 
     def __init__(
@@ -116,12 +136,20 @@ class RLPartitioner:
         n_chips: int,
         config: "RLPartitionerConfig | None" = None,
         rng=None,
+        topology=None,
     ):
+        if topology is not None and topology.n_chips != n_chips:
+            raise ValueError(
+                f"topology is for {topology.n_chips} chips, partitioner got "
+                f"{n_chips}"
+            )
         self.n_chips = n_chips
         self.config = config or RLPartitionerConfig()
         self.rng = as_generator(rng)
+        self.topology = topology
         self.policy = PartitionPolicy(
             n_chips=n_chips,
+            n_features=N_FEATURES + (N_TOPO_FEATURES if topology is not None else 0),
             hidden=self.config.hidden,
             n_sage_layers=self.config.n_sage_layers,
             n_policy_layers=self.config.n_policy_layers,
@@ -132,9 +160,64 @@ class RLPartitioner:
         # (graph, solver) entries keyed by graph identity, LRU-evicted.
         self._solver_cache: "OrderedDict[int, tuple]" = OrderedDict()
 
-    def _solver_for(self, graph) -> ConstraintSolver:
+    def effective_topology(self, env):
+        """Platform the next search runs against (the environment's).
+
+        A legacy partitioner (``topology=None``) only targets the uni-ring:
+        its policy has no platform-descriptor inputs and its solvers run the
+        legacy engine.  A topology-conditioned partitioner follows the
+        *environment's* interconnect — same policy weights, per-platform
+        features and solvers — which is what lets one policy train and
+        deploy across platforms.  Mismatched constraint semantics in either
+        direction (legacy policy on a non-ring platform, or a non-ring
+        partitioner on a legacy uni-ring-validating environment) raise
+        rather than silently searching the wrong constraint set.
+        """
+        env_topology = getattr(env, "topology", None)
+        if self.topology is None:
+            if _topology_semantics(env_topology, self.n_chips) != (
+                "uniring",
+                self.n_chips,
+            ):
+                raise ValueError(
+                    f"environment topology {env_topology.name!r} requires a "
+                    "topology-conditioned partitioner (pass topology=... to "
+                    "RLPartitioner)"
+                )
+            return None
+        effective = env_topology if env_topology is not None else self.topology
+        if effective.n_chips != self.n_chips:
+            raise ValueError(
+                f"environment topology is for {effective.n_chips} chips, "
+                f"policy expects {self.n_chips}"
+            )
+        if env_topology is None and not self.topology.is_total_order:
+            raise ValueError(
+                "environment validates legacy uni-ring semantics; it cannot "
+                f"evaluate partitions for topology {self.topology.name!r} — "
+                "build it on a package with that topology"
+            )
+        return effective
+
+    def _check_features(self, feats: GraphFeatures, graph) -> None:
+        """Reject featurisations built for another graph or platform mode."""
+        if feats.n_nodes != graph.n_nodes:
+            raise ValueError(
+                f"features are for a {feats.n_nodes}-node graph, "
+                f"environment graph has {graph.n_nodes}"
+            )
+        expected = N_FEATURES + (N_TOPO_FEATURES if self.topology is not None else 0)
+        width = feats.node_features.shape[1]
+        if width != expected:
+            raise ValueError(
+                f"features have width {width}, policy expects {expected} — "
+                "a topology-conditioned partitioner needs "
+                "featurize(graph, topology), a legacy one featurize(graph)"
+            )
+
+    def _solver_for(self, graph, topology=None) -> ConstraintSolver:
         """A reset constraint solver for ``graph``, reused across samples."""
-        key = id(graph)
+        key = (id(graph), _topology_semantics(topology, self.n_chips))
         entry = self._solver_cache.get(key)
         if entry is not None and entry[0] is graph:
             self._solver_cache.move_to_end(key)
@@ -143,7 +226,10 @@ class RLPartitioner:
                 solver.reset()
             return solver
         solver = ConstraintSolver(
-            graph, self.n_chips, triangle_frontier=self.config.triangle_frontier
+            graph,
+            self.n_chips,
+            triangle_frontier=self.config.triangle_frontier,
+            topology=topology,
         )
         while len(self._solver_cache) >= _SOLVER_CACHE_SIZE:
             self._solver_cache.popitem(last=False)
@@ -195,13 +281,10 @@ class RLPartitioner:
             raise ValueError(
                 f"environment has {env.n_chips} chips, policy expects {self.n_chips}"
             )
+        topology = self.effective_topology(env)
         graph = env.graph
-        feats = features if features is not None else featurize(graph)
-        if feats.n_nodes != graph.n_nodes:
-            raise ValueError(
-                f"features are for a {feats.n_nodes}-node graph, "
-                f"environment graph has {graph.n_nodes}"
-            )
+        feats = features if features is not None else featurize(graph, topology)
+        self._check_features(feats, graph)
 
         improvements = np.zeros(n_samples)
         best: "np.ndarray | None" = None
@@ -260,6 +343,7 @@ class RLPartitioner:
         same rows.
         """
         graph = env.graph
+        topology = self.effective_topology(env)
         eps = self.config.explore_eps
         proposal = self.policy.propose_batch(feats, batch_size, rng=rng)
         improvements = np.zeros(batch_size)
@@ -276,7 +360,7 @@ class RLPartitioner:
             if train and eps > 0.0:
                 probs = (1.0 - eps) * probs + eps / self.n_chips
             if use_solver:
-                solver = self._solver_for(graph)
+                solver = self._solver_for(graph, topology)
                 if self.config.solver_mode == "fix":
                     repaired = fix_partition(
                         graph, candidate, self.n_chips, rng=rng, solver=solver
@@ -341,7 +425,12 @@ class RLPartitioner:
         if n_samples < 1:
             raise ValueError("n_samples must be >= 1")
         rng = as_generator(rng)
-        feats = features if features is not None else featurize(env.graph)
+        feats = (
+            features
+            if features is not None
+            else featurize(env.graph, self.effective_topology(env))
+        )
+        self._check_features(feats, env.graph)
         improvements = np.zeros(n_samples)
         rollouts: list[Rollout] = []
         best: "np.ndarray | None" = None

@@ -103,7 +103,10 @@ def pretrain(
         raise ValueError("graphs must be non-empty")
     cfg = config or PretrainConfig()
     envs = [env_factory(g) for g in graphs]
-    feats = [featurize(g) for g in graphs]
+    feats = [
+        featurize(g, partitioner.effective_topology(env))
+        for g, env in zip(graphs, envs)
+    ]
 
     checkpoints: list[Checkpoint] = []
     every = max(cfg.total_samples // cfg.n_checkpoints, 1)
@@ -168,11 +171,14 @@ def select_checkpoint(
     if not graphs:
         raise ValueError("graphs must be non-empty")
     rng = as_generator(rng)
-    feats = [featurize(g) for g in graphs]
     # One environment per graph, shared by every checkpoint: environment
     # construction evaluates the baseline partition on the cost model, which
     # must not be repaid checkpoint x graph times.
     envs = [env_factory(g) for g in graphs]
+    feats = [
+        featurize(g, partitioner.effective_topology(env))
+        for g, env in zip(graphs, envs)
+    ]
 
     best: "Checkpoint | None" = None
     for ckpt in checkpoints:

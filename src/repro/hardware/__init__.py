@@ -1,4 +1,4 @@
-"""MCM hardware model: chip specs, ring package, cost models, simulator.
+"""MCM hardware model: chip specs, package + topologies, cost models, simulator.
 
 The paper evaluates on a 36-die multi-chip TPU package joined by a
 uni-directional 1D ring (Dasari et al., 2021).  That hardware is proprietary,
@@ -8,8 +8,11 @@ code paths:
 * :class:`AnalyticalCostModel` — the paper's pre-training cost model (max
   per-chip latency, Section 5.1).
 * :class:`PipelineSimulator` — the "real hardware": pipelined execution with
-  ring-link contention, per-op efficiency perturbation, and a memory planner
+  per-link contention, per-op efficiency perturbation, and a memory planner
   enforcing the dynamic SRAM constraint ``H(G, f)``.
+* :mod:`repro.hardware.topology` — pluggable interconnects (:class:`UniRing`
+  is the paper's platform and the default; :class:`BiRing`, :class:`Mesh2D`,
+  and :class:`Crossbar` re-target the whole framework).
 """
 
 from repro.hardware.analytical import AnalyticalCostModel
@@ -19,10 +22,24 @@ from repro.hardware.memory import MemoryPlanner, MemoryReport
 from repro.hardware.noise import PerturbationModel
 from repro.hardware.package import MCMPackage
 from repro.hardware.simulator import PipelineSimulator
+from repro.hardware.topology import (
+    BiRing,
+    Crossbar,
+    Mesh2D,
+    Topology,
+    UniRing,
+    make_topology,
+)
 
 __all__ = [
     "ChipSpec",
     "MCMPackage",
+    "Topology",
+    "UniRing",
+    "BiRing",
+    "Mesh2D",
+    "Crossbar",
+    "make_topology",
     "CostModel",
     "EvaluationResult",
     "AnalyticalCostModel",

@@ -34,20 +34,22 @@ class AnalyticalCostModel:
     def evaluate(self, graph: CompGraph, assignment) -> EvaluationResult:
         """Score a complete assignment.
 
-        Backward transfers (impossible on the uni-directional ring) yield an
-        invalid result; no other validity checks are performed — the
-        analytical model cannot see dynamic constraints.
+        Transfers the interconnect cannot route (e.g. backward transfers on
+        the uni-directional ring) yield an invalid result; no other validity
+        checks are performed — the analytical model cannot see dynamic
+        constraints.
         """
         assignment = check_assignment(graph, assignment, self.package.n_chips)
         n_chips = self.package.n_chips
         chip = self.package.chip
+        topology = self.package.topology
 
         latency = np.zeros(n_chips)
         np.add.at(latency, assignment, graph.compute_us * chip.compute_scale)
 
         src_c, dst_c, nbytes = cross_chip_transfers(graph, assignment)
-        if src_c.size and np.any(dst_c < src_c):
-            return EvaluationResult.invalid("backward_edge", n_chips)
+        if src_c.size and not np.all(topology.reachable[src_c, dst_c]):
+            return EvaluationResult.invalid(topology.unreachable_reason, n_chips)
         if src_c.size:
             wire_us = nbytes / (chip.link_bandwidth_gbps * 1e9) * 1e6 + chip.link_latency_us
             # DMA engines hide io_overlap of each transfer behind compute;

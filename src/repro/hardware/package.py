@@ -1,8 +1,13 @@
-"""The MCM package: chiplets joined by a uni-directional 1D ring.
+"""The MCM package: chiplets joined by a pluggable interconnect topology.
 
-Data can only move from a lower chip ID to a higher chip ID (Figure 2b of the
-paper); a transfer from chip ``a`` to chip ``b > a`` occupies every link
-``a -> a+1 -> ... -> b``.
+The paper's platform joins 36 chiplets by a uni-directional 1D ring
+(Figure 2b): data can only move from a lower chip ID to a higher chip ID,
+and a transfer from chip ``a`` to chip ``b > a`` occupies every link
+``a -> a+1 -> ... -> b``.  That platform is the default
+(:class:`repro.hardware.topology.UniRing`, exact legacy semantics), but any
+:class:`repro.hardware.topology.Topology` — bi-directional ring, 2D mesh,
+crossbar — can be plugged in; hop counts, link routes, and reachability all
+come from the topology's precomputed tables.
 """
 
 from __future__ import annotations
@@ -12,48 +17,57 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.hardware.chip import ChipSpec
+from repro.hardware.topology import Topology, UniRing
 
 
 @dataclass(frozen=True)
 class MCMPackage:
-    """A package of ``n_chips`` identical chiplets on a uni-directional ring.
+    """A package of ``n_chips`` identical chiplets on an interconnect.
 
-    The paper's platform has 36 chiplets; tests and scaled benchmarks use
-    smaller packages with the same topology.
+    The paper's platform has 36 chiplets on a uni-directional ring; tests
+    and scaled benchmarks use smaller packages, and alternative topologies
+    re-target the whole framework (the paper's §5.1 "easily re-targets"
+    claim).
+
+    Parameters
+    ----------
+    n_chips:
+        Number of chiplets.
+    chip:
+        Per-chiplet capabilities.
+    topology:
+        Interconnect description; defaults to ``UniRing(n_chips)`` (the
+        paper's platform, bit-for-bit legacy behaviour).
     """
 
     n_chips: int = 36
     chip: ChipSpec = field(default_factory=ChipSpec)
+    topology: "Topology | None" = None
 
     def __post_init__(self):
         if self.n_chips < 1:
             raise ValueError("n_chips must be >= 1")
+        if self.topology is None:
+            object.__setattr__(self, "topology", UniRing(self.n_chips))
+        elif self.topology.n_chips != self.n_chips:
+            raise ValueError(
+                f"topology is for {self.topology.n_chips} chips, "
+                f"package has {self.n_chips}"
+            )
 
     @property
     def n_links(self) -> int:
-        """Number of inter-chip links (``n_chips - 1`` for a 1D chain)."""
-        return self.n_chips - 1
+        """Number of inter-chip links (``n_chips - 1`` for the uni-ring)."""
+        return self.topology.n_links
 
     def hops(self, src_chip: int, dst_chip: int) -> int:
-        """Number of ring hops from ``src_chip`` to ``dst_chip``.
+        """Route length in links from ``src_chip`` to ``dst_chip``.
 
-        Raises ``ValueError`` for backward transfers, which the
-        uni-directional ring cannot perform.
+        Raises ``ValueError`` for transfers the interconnect cannot perform
+        (e.g. backward transfers on the uni-directional ring).
         """
-        self._check_chip(src_chip)
-        self._check_chip(dst_chip)
-        if dst_chip < src_chip:
-            raise ValueError(
-                f"backward transfer {src_chip} -> {dst_chip} impossible on a "
-                "uni-directional ring"
-            )
-        return dst_chip - src_chip
+        return self.topology.hops(src_chip, dst_chip)
 
     def links_crossed(self, src_chip: int, dst_chip: int) -> np.ndarray:
-        """Link ids traversed by a transfer (link ``l`` joins ``l -> l+1``)."""
-        self.hops(src_chip, dst_chip)
-        return np.arange(src_chip, dst_chip, dtype=np.int64)
-
-    def _check_chip(self, chip_id: int) -> None:
-        if not (0 <= chip_id < self.n_chips):
-            raise ValueError(f"chip id {chip_id} out of range [0, {self.n_chips})")
+        """Link ids traversed by a transfer, in route order."""
+        return self.topology.link_path(src_chip, dst_chip)

@@ -9,9 +9,9 @@ ring link.  On top of the analytical model's view, the simulator adds:
   (:class:`repro.hardware.noise.PerturbationModel`),
 * per-op scheduling overhead (chips running many tiny ops lose time the
   analytical model does not see),
-* ring-link contention: a transfer from chip ``a`` to chip ``b`` occupies
-  every link in between, so long-distance transfers are disproportionately
-  expensive,
+* link contention: a transfer occupies every link on its (topology-routed)
+  path — the chain ``a -> a+1 -> ... -> b`` on the default uni-ring — so
+  long-distance transfers are disproportionately expensive,
 * the dynamic memory constraint ``H(G, f)`` via
   :class:`repro.hardware.memory.MemoryPlanner` — partitions whose scheduled
   peak memory exceeds a chiplet's SRAM are rejected with zero throughput,
@@ -35,7 +35,7 @@ class PipelineSimulator:
     Parameters
     ----------
     package:
-        Hardware description (chip count, SRAM, ring bandwidth).
+        Hardware description (chip count, SRAM, link bandwidth, topology).
     perturbation:
         Systematic efficiency model; ``None`` disables perturbations (the
         simulator then differs from the analytical model only through
@@ -69,8 +69,9 @@ class PipelineSimulator:
         chip = self.package.chip
 
         src_c, dst_c, nbytes = cross_chip_transfers(graph, assignment)
-        if src_c.size and np.any(dst_c < src_c):
-            return EvaluationResult.invalid("backward_edge", n_chips)
+        topology = self.package.topology
+        if src_c.size and not np.all(topology.reachable[src_c, dst_c]):
+            return EvaluationResult.invalid(topology.unreachable_reason, n_chips)
 
         if self.check_memory and not self._memory.check(graph, assignment):
             return EvaluationResult.invalid("oom", n_chips)
@@ -92,17 +93,12 @@ class PipelineSimulator:
             stall = 1.0 - chip.io_overlap
             np.add.at(chip_time, src_c, (wire_us + chip.link_latency_us) * stall)
             np.add.at(chip_time, dst_c, 0.5 * wire_us * stall)
-            # Each transfer occupies every link between source and
-            # destination for its full wire time.  Range-add via a
-            # difference array: +w at src, -w at dst, then prefix-sum —
-            # one vectorised pass instead of a per-transfer slice loop.
-            forward = dst_c > src_c
-            if np.any(forward):
-                occupancy = wire_us[forward] + chip.link_latency_us
-                diff = np.zeros(link_time.size + 1)
-                np.add.at(diff, src_c[forward], occupancy)
-                np.subtract.at(diff, dst_c[forward], occupancy)
-                link_time = np.cumsum(diff)[:-1]
+            # Each transfer occupies every link on its route for its full
+            # wire time; the topology owns the vectorised accounting (the
+            # uni-ring's contiguous routes use a difference-array range-add,
+            # arbitrary routes a flattened path-table gather).
+            occupancy = wire_us + chip.link_latency_us
+            link_time = topology.link_occupancy(src_c, dst_c, occupancy)
 
         stage_us = float(chip_time.max())
         if self.package.n_links > 0:

@@ -1,0 +1,407 @@
+"""Pluggable interconnect topologies for the MCM package.
+
+The paper's platform is a fixed 36-chiplet uni-directional ring (Figure 2b),
+and the original reproduction hard-coded that assumption into every layer:
+``hops`` rejected backward transfers, both cost models special-cased
+``backward_edge``, and the constraint solver assumed chip IDs are totally
+ordered.  This module lifts the platform into a swappable component: a
+:class:`Topology` precomputes hop counts, deterministic link routes, and the
+chip-reachability matrix, and every consumer (package, cost models, solver,
+features, CLI) works against those tables instead of the ring arithmetic.
+
+Concrete topologies
+-------------------
+* :class:`UniRing` — the paper's platform, *exact* legacy semantics: data
+  moves only from lower to higher chip IDs over a 1D chain of
+  ``n_chips - 1`` links.  Reachability is the ID total order, which is what
+  the solver's bounds-propagation engine and the triangle constraint
+  (Equation 4) assume; uni-ring instances therefore run bit-for-bit the
+  legacy code paths.
+* :class:`BiRing` — a bi-directional ring (both rotation directions,
+  including the wrap-around link); transfers take the shorter way round,
+  ties broken clockwise.
+* :class:`Mesh2D` — a ``rows x cols`` grid with bidirectional neighbour
+  links and deterministic XY routing (column first, then row).
+* :class:`Crossbar` — a dedicated link per ordered chip pair; every
+  transfer is one hop and no two distinct transfers share a link.
+
+Routing is static and deterministic (precomputed per ordered pair), so the
+simulator's per-link contention accounting stays a pure function of the
+assignment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+#: Largest package any topology will precompute tables for.  The solver is
+#: additionally capped at 63 chips (one domain bitmask word).
+MAX_CHIPS = 1024
+
+
+def _parse_links(n_chips: int, links: "list[tuple[int, int]]") -> np.ndarray:
+    arr = np.asarray(links, dtype=np.int64).reshape(-1, 2)
+    if arr.size and (arr.min() < 0 or arr.max() >= n_chips):
+        raise ValueError("link endpoints must be chip ids in [0, n_chips)")
+    if arr.size and np.any(arr[:, 0] == arr[:, 1]):
+        raise ValueError("self-loop links are not allowed")
+    return arr
+
+
+class Topology:
+    """Precomputed interconnect tables shared by every platform consumer.
+
+    Parameters
+    ----------
+    n_chips:
+        Number of chiplets.
+    name:
+        Short machine-readable name (used in failure reasons and bench rows).
+    links:
+        Directed links as ``(src_chip, dst_chip)`` pairs; the list index is
+        the link ID used throughout (contention vectors, reports).
+    key:
+        Hashable identity tuple; two topologies compare equal iff their keys
+        match (lets frozen dataclasses like :class:`MCMPackage` stay
+        hashable and comparable).
+
+    Attributes
+    ----------
+    hop_matrix:
+        ``(C, C)`` int64 route lengths in links; ``-1`` where unreachable,
+        ``0`` on the diagonal.
+    reachable:
+        ``(C, C)`` bool, ``reachable[a, b]`` iff data can move ``a -> b``
+        (diagonal is True).
+    """
+
+    def __init__(
+        self,
+        n_chips: int,
+        name: str,
+        links: "list[tuple[int, int]]",
+        key: tuple,
+    ):
+        if n_chips < 1:
+            raise ValueError("n_chips must be >= 1")
+        if n_chips > MAX_CHIPS:
+            raise ValueError(f"n_chips must be <= {MAX_CHIPS}")
+        self.n_chips = int(n_chips)
+        self.name = str(name)
+        self.key = tuple(key)
+        self.links = _parse_links(n_chips, links)
+        self.n_links = int(self.links.shape[0])
+        self._build_tables()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _route_pair(self, src: int, dst: int) -> "list[int] | None":
+        """Hook: explicit route (link-id list) for one pair, or ``None`` to
+        use the BFS default (shortest path, link-ID tie-break)."""
+        return None
+
+    def _build_tables(self) -> None:
+        c = self.n_chips
+        # Adjacency in link-id order: BFS discovery order (and therefore
+        # shortest-path tie-breaking) is deterministic in the link list.
+        out: "list[list[tuple[int, int]]]" = [[] for _ in range(c)]
+        for lid, (a, b) in enumerate(self.links.tolist()):
+            out[a].append((b, lid))
+
+        hop = np.full((c, c), -1, dtype=np.int64)
+        np.fill_diagonal(hop, 0)
+        indptr = np.zeros(c * c + 1, dtype=np.int64)
+        flat: "list[int]" = []
+        for src in range(c):
+            # BFS with (parent chip, via link) pointers.
+            prev = [(-1, -1)] * c
+            seen = [False] * c
+            seen[src] = True
+            queue = deque([src])
+            while queue:
+                u = queue.popleft()
+                for v, lid in out[u]:
+                    if not seen[v]:
+                        seen[v] = True
+                        prev[v] = (u, lid)
+                        hop[src, v] = hop[src, u] + 1
+                        queue.append(v)
+            for dst in range(c):
+                path: "list[int] | None" = None
+                if dst != src and seen[dst]:
+                    path = self._route_pair(src, dst)
+                    if path is None:
+                        path = []
+                        v = dst
+                        while v != src:
+                            u, lid = prev[v]
+                            path.append(lid)
+                            v = u
+                        path.reverse()
+                    hop[src, dst] = len(path)
+                flat.extend(path or [])
+                indptr[src * c + dst + 1] = len(flat)
+        self.hop_matrix = hop
+        self.hop_matrix.setflags(write=False)
+        self.reachable = hop >= 0
+        self.reachable.setflags(write=False)
+        self._path_links = np.asarray(flat, dtype=np.int64)
+        self._path_indptr = indptr
+        #: Reachability is the chip-ID total order (``a`` reaches ``b`` iff
+        #: ``a <= b``).  Total-order topologies keep the *exact* legacy
+        #: uni-ring semantics everywhere: Eq. 2 as ``f(u) <= f(v)``, the
+        #: triangle constraint (Eq. 4), and the solver's bounds-propagation
+        #: engine.  Everything else runs the reachability-generalised paths.
+        self.is_total_order = bool(
+            np.array_equal(self.reachable, np.triu(np.ones((c, c), dtype=bool)))
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _check_chip(self, chip_id: int) -> None:
+        if not (0 <= chip_id < self.n_chips):
+            raise ValueError(f"chip id {chip_id} out of range [0, {self.n_chips})")
+
+    def _unreachable_msg(self, src: int, dst: int) -> str:
+        return f"no route {src} -> {dst} on topology {self.name!r}"
+
+    @property
+    def unreachable_reason(self) -> str:
+        """Failure reason cost models attach to unreachable transfers."""
+        return f"unreachable_edge:{self.name}"
+
+    def hops(self, src_chip: int, dst_chip: int) -> int:
+        """Route length in links from ``src_chip`` to ``dst_chip``.
+
+        Raises ``ValueError`` for transfers the interconnect cannot perform.
+        """
+        self._check_chip(src_chip)
+        self._check_chip(dst_chip)
+        h = int(self.hop_matrix[src_chip, dst_chip])
+        if h < 0:
+            raise ValueError(self._unreachable_msg(src_chip, dst_chip))
+        return h
+
+    def link_path(self, src_chip: int, dst_chip: int) -> np.ndarray:
+        """Link IDs traversed by a transfer, in route order."""
+        self.hops(src_chip, dst_chip)
+        pair = src_chip * self.n_chips + dst_chip
+        return self._path_links[self._path_indptr[pair] : self._path_indptr[pair + 1]]
+
+    def link_occupancy(
+        self, src_c: np.ndarray, dst_c: np.ndarray, occupancy: np.ndarray
+    ) -> np.ndarray:
+        """Per-link total busy time of a batch of transfers (vectorised).
+
+        Each transfer occupies every link on its route for its full
+        ``occupancy`` value.  All pairs must be reachable (cost models check
+        reachability before accounting contention).
+        """
+        link_time = np.zeros(max(self.n_links, 1))
+        if src_c.size == 0:
+            return link_time
+        pair = src_c * np.int64(self.n_chips) + dst_c
+        starts = self._path_indptr[pair]
+        counts = self._path_indptr[pair + 1] - starts
+        total = int(counts.sum())
+        if total:
+            # Gather every transfer's route from the flattened path table:
+            # position j of the expansion belongs to transfer i and offset
+            # j - first_position(i) within its route.
+            offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+            links = self._path_links[np.repeat(starts, counts) + offsets]
+            np.add.at(link_time, links, np.repeat(occupancy, counts))
+        return link_time
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n_chips={self.n_chips})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Topology) and self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+
+class UniRing(Topology):
+    """The paper's uni-directional ring (Figure 2b) — legacy semantics.
+
+    Data can only move from a lower chip ID to a higher chip ID; a transfer
+    from chip ``a`` to chip ``b > a`` occupies every link
+    ``a -> a+1 -> ... -> b``.  ``n_links == n_chips - 1`` (the 1D chain the
+    original ``MCMPackage`` modelled).
+    """
+
+    def __init__(self, n_chips: int):
+        links = [(i, i + 1) for i in range(n_chips - 1)]
+        super().__init__(n_chips, "uniring", links, ("uniring", n_chips))
+
+    def _unreachable_msg(self, src: int, dst: int) -> str:
+        return (
+            f"backward transfer {src} -> {dst} impossible on a "
+            "uni-directional ring"
+        )
+
+    @property
+    def unreachable_reason(self) -> str:
+        """Legacy alias kept so existing tests/logs keep matching."""
+        return "backward_edge"
+
+    def link_occupancy(
+        self, src_c: np.ndarray, dst_c: np.ndarray, occupancy: np.ndarray
+    ) -> np.ndarray:
+        # Contiguous routes admit a range-add via a difference array: +w at
+        # src, -w at dst, then prefix-sum — the exact legacy accumulation
+        # order, so uni-ring simulator results stay bit-for-bit unchanged.
+        link_time = np.zeros(max(self.n_links, 1))
+        if src_c.size == 0:
+            return link_time
+        diff = np.zeros(link_time.size + 1)
+        np.add.at(diff, src_c, occupancy)
+        np.subtract.at(diff, dst_c, occupancy)
+        return np.cumsum(diff)[:-1]
+
+
+class BiRing(Topology):
+    """Bi-directional ring: both rotation directions, wrap-around included.
+
+    ``2 * n_chips`` directed links for ``n_chips >= 3`` (clockwise link IDs
+    first, then counter-clockwise; a 2-ring has just one link each way).
+    Transfers take the shorter direction; equidistant pairs break the tie
+    clockwise.
+    """
+
+    def __init__(self, n_chips: int):
+        links: "list[tuple[int, int]]" = []
+        if n_chips == 2:
+            # Both rotation directions coincide on a 2-ring: one physical
+            # link each way, not duplicated pairs.
+            links = [(0, 1), (1, 0)]
+        elif n_chips > 2:
+            links += [(i, (i + 1) % n_chips) for i in range(n_chips)]
+            links += [(i, (i - 1) % n_chips) for i in range(n_chips)]
+        super().__init__(n_chips, "biring", links, ("biring", n_chips))
+
+
+class Mesh2D(Topology):
+    """``rows x cols`` grid with bidirectional neighbour links, XY routing.
+
+    Chip ``(r, c)`` has ID ``r * cols + c``.  Routes move along the row to
+    the destination column first, then along the column — deterministic and
+    minimal, the standard static mesh routing.
+    """
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 1 or cols < 1:
+            raise ValueError("mesh dims must be >= 1")
+        self.rows = int(rows)
+        self.cols = int(cols)
+        links: "list[tuple[int, int]]" = []
+        for r in range(rows):
+            for c in range(cols):
+                u = r * cols + c
+                if c + 1 < cols:
+                    links += [(u, u + 1), (u + 1, u)]
+                if r + 1 < rows:
+                    links += [(u, u + cols), (u + cols, u)]
+        super().__init__(
+            rows * cols, f"mesh2d-{rows}x{cols}", links, ("mesh2d", rows, cols)
+        )
+
+    def _route_pair(self, src: int, dst: int) -> "list[int]":
+        if not hasattr(self, "_link_lut"):
+            self._link_lut = {
+                (int(a), int(b)): lid for lid, (a, b) in enumerate(self.links.tolist())
+            }
+        sr, sc = divmod(src, self.cols)
+        dr, dc = divmod(dst, self.cols)
+        path: "list[int]" = []
+        r, c = sr, sc
+        while c != dc:
+            step = 1 if dc > c else -1
+            path.append(self._link_lut[(r * self.cols + c, r * self.cols + c + step)])
+            c += step
+        while r != dr:
+            step = 1 if dr > r else -1
+            path.append(
+                self._link_lut[(r * self.cols + c, (r + step) * self.cols + c)]
+            )
+            r += step
+        return path
+
+
+class Crossbar(Topology):
+    """Full crossbar: a dedicated link per ordered chip pair.
+
+    Every transfer is one hop on its own link, so distinct transfers never
+    contend — the zero-contention reference platform.
+    """
+
+    def __init__(self, n_chips: int):
+        links = [
+            (a, b) for a in range(n_chips) for b in range(n_chips) if a != b
+        ]
+        super().__init__(n_chips, "crossbar", links, ("crossbar", n_chips))
+
+
+#: CLI / factory names of the built-in topologies.
+TOPOLOGY_NAMES = ("uniring", "biring", "mesh", "crossbar")
+
+
+def parse_mesh_dims(spec: str) -> "tuple[int, int]":
+    """Parse a ``RxC`` mesh-dimension spec (e.g. ``"2x3"``)."""
+    parts = str(spec).lower().split("x")
+    if len(parts) != 2:
+        raise ValueError(f"mesh dims must look like 'RxC', got {spec!r}")
+    try:
+        rows, cols = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ValueError(f"mesh dims must look like 'RxC', got {spec!r}") from None
+    if rows < 1 or cols < 1:
+        raise ValueError("mesh dims must be >= 1")
+    return rows, cols
+
+
+def _default_mesh_dims(n_chips: int) -> "tuple[int, int]":
+    """Most-square factorisation of ``n_chips`` (rows <= cols)."""
+    rows = 1
+    for d in range(1, int(np.sqrt(n_chips)) + 1):
+        if n_chips % d == 0:
+            rows = d
+    return rows, n_chips // rows
+
+
+def make_topology(
+    name: str, n_chips: int, mesh_dims: "tuple[int, int] | str | None" = None
+) -> Topology:
+    """Build a topology by name (the CLI's ``--topology`` values).
+
+    ``mesh`` accepts ``mesh_dims`` as a ``(rows, cols)`` tuple or ``"RxC"``
+    string; omitted dims default to the most-square factorisation of
+    ``n_chips``.
+    """
+    name = str(name).lower()
+    if name == "uniring":
+        return UniRing(n_chips)
+    if name == "biring":
+        return BiRing(n_chips)
+    if name == "crossbar":
+        return Crossbar(n_chips)
+    if name == "mesh":
+        if mesh_dims is None:
+            rows, cols = _default_mesh_dims(n_chips)
+        elif isinstance(mesh_dims, str):
+            rows, cols = parse_mesh_dims(mesh_dims)
+        else:
+            rows, cols = int(mesh_dims[0]), int(mesh_dims[1])
+        if rows * cols != n_chips:
+            raise ValueError(
+                f"mesh dims {rows}x{cols} give {rows * cols} chips, expected {n_chips}"
+            )
+        return Mesh2D(rows, cols)
+    raise ValueError(f"unknown topology {name!r}: expected one of {TOPOLOGY_NAMES}")

@@ -136,7 +136,10 @@ def parallel_pretrain(
     cfg = config or PretrainConfig()
     pcfg = parallel or ParallelConfig()
     envs = [env_factory(g) for g in graphs]
-    feats = [featurize(g) for g in graphs]
+    feats = [
+        featurize(g, partitioner.effective_topology(env))
+        for g, env in zip(graphs, envs)
+    ]
     windows, rotation_budget_at = _pretrain_windows(
         cfg, len(graphs), partitioner.trainer.config.n_rollouts
     )
@@ -190,7 +193,10 @@ def parallel_select_checkpoint(
         else int(as_generator(rng).integers(2**63 - 1))
     )
     envs = [env_factory(g) for g in graphs]
-    feats = [featurize(g) for g in graphs]
+    feats = [
+        featurize(g, partitioner.effective_topology(env))
+        for g, env in zip(graphs, envs)
+    ]
     results: dict[tuple, object] = {}
     owner: dict[tuple, int] = {}
     with make_executor(partitioner, envs, feats, pcfg) as executor:
@@ -310,7 +316,10 @@ class Pretrainer:
         n_train = len(self.train_graphs)
         all_graphs = self.train_graphs + self.val_graphs
         envs = [self.env_factory(g) for g in all_graphs]
-        feats = [featurize(g) for g in all_graphs]
+        feats = [
+            featurize(g, self.partitioner.effective_topology(env))
+            for g, env in zip(all_graphs, envs)
+        ]
         windows, rotation_budget_at = _pretrain_windows(
             cfg, n_train, self.partitioner.trainer.config.n_rollouts
         )

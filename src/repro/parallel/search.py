@@ -249,12 +249,12 @@ def parallel_search(
             f"environment has {env.n_chips} chips, policy expects "
             f"{partitioner.n_chips}"
         )
-    feats = features if features is not None else featurize(env.graph)
-    if feats.n_nodes != env.graph.n_nodes:
-        raise ValueError(
-            f"features are for a {feats.n_nodes}-node graph, "
-            f"environment graph has {env.graph.n_nodes}"
-        )
+    feats = (
+        features
+        if features is not None
+        else featurize(env.graph, partitioner.effective_topology(env))
+    )
+    partitioner._check_features(feats, env.graph)
     root = draw_root_seed(partitioner, cfg)
     if train:
         sizes = window_sizes(n_samples, partitioner.trainer.config.n_rollouts)

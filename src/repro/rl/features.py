@@ -4,6 +4,13 @@ Features are graph-local and scale-free so one policy transfers across
 graphs of different sizes and cost magnitudes (the paper's generalisation
 requirement): costs are normalised by graph totals, positions by graph
 depth, and op types are one-hot by category.
+
+Topology conditioning: passing a platform topology to :func:`featurize`
+appends ``N_TOPO_FEATURES`` scale-free platform-descriptor columns
+(broadcast to every node), so one policy can train and deploy across
+interconnects — the descriptor has the same width for every topology.
+``topology=None`` keeps the legacy uni-ring featurisation (and width)
+bit-for-bit.
 """
 
 from __future__ import annotations
@@ -19,6 +26,8 @@ from repro.nn.layers import mean_aggregation_matrix
 #: numeric features + op-category one-hot
 N_BASE_FEATURES = 8
 N_FEATURES = N_BASE_FEATURES + N_CATEGORIES
+#: platform-descriptor columns appended when a topology is supplied
+N_TOPO_FEATURES = 4
 
 
 @dataclass(frozen=True)
@@ -42,8 +51,40 @@ class GraphFeatures:
         return self.node_features.shape[0]
 
 
-def featurize(graph: CompGraph) -> GraphFeatures:
-    """Build policy-network inputs for ``graph``."""
+def topology_descriptor(topology) -> np.ndarray:
+    """``(N_TOPO_FEATURES,)`` scale-free summary of a platform topology.
+
+    Columns: reachable fraction of ordered chip pairs (0.5 on the uni-ring,
+    1.0 on strongly connected interconnects), mean route length over
+    reachable pairs normalised by ``n_chips - 1``, link density relative to
+    a full crossbar, and a total-order flag (1.0 exactly when the legacy
+    ring constraints apply).  All entries are bounded in ``[0, 1]`` and
+    independent of the graph; they do vary with the package size within a
+    topology family (e.g. uni-ring link density is ``1/C``), which is
+    signal — a 4-chip and a 36-chip ring are different platforms.
+    """
+    c = topology.n_chips
+    pairs = c * (c - 1)
+    if pairs == 0:
+        return np.array([1.0, 0.0, 1.0, 1.0])
+    hops = topology.hop_matrix
+    routable = hops > 0
+    reach_frac = routable.sum() / pairs
+    mean_hops = (
+        float(hops[routable].mean()) / max(c - 1, 1) if np.any(routable) else 0.0
+    )
+    link_density = min(topology.n_links / pairs, 1.0)
+    return np.array(
+        [reach_frac, mean_hops, link_density, 1.0 if topology.is_total_order else 0.0]
+    )
+
+
+def featurize(graph: CompGraph, topology=None) -> GraphFeatures:
+    """Build policy-network inputs for ``graph``.
+
+    ``topology`` appends the platform-descriptor columns (see
+    :func:`topology_descriptor`); ``None`` keeps the legacy width.
+    """
     n = graph.n_nodes
     compute = graph.compute_us
     out_bytes = graph.output_bytes
@@ -76,6 +117,11 @@ def featurize(graph: CompGraph) -> GraphFeatures:
     features[:, 7] = 1.0  # bias feature
     cats = graph.op_categories()
     features[np.arange(n), N_BASE_FEATURES + cats] = 1.0
+    if topology is not None:
+        desc = topology_descriptor(topology)
+        features = np.concatenate(
+            [features, np.broadcast_to(desc, (n, desc.size))], axis=1
+        )
 
     agg = mean_aggregation_matrix(n, graph.src, graph.dst)
     return GraphFeatures(node_features=features, agg_matrix=agg)

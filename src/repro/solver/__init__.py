@@ -13,6 +13,7 @@ from repro.solver.constraints import (
     ConstraintReport,
     check_acyclic_dataflow,
     check_no_skipping,
+    check_reachable_dataflow,
     check_triangle_dependency,
     validate_partition,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "validate_partition",
     "ConstraintReport",
     "check_acyclic_dataflow",
+    "check_reachable_dataflow",
     "check_no_skipping",
     "check_triangle_dependency",
     "chip_adjacency",

@@ -3,6 +3,14 @@
 These are the ground-truth checks used by the environment, the tests, and the
 solver's own property tests; the incremental solver must never emit a
 partition these functions reject.
+
+Topology generalisation: Eq. 2 ("acyclic dataflow", ``f(u) <= f(v)``) is the
+uni-directional ring's instance of the *reachability* constraint — every
+edge's destination chip must be routable from its source chip.  Validators
+accept an optional :class:`repro.hardware.topology.Topology`; ``None`` or
+any total-order topology keeps the exact legacy uni-ring semantics
+(including the triangle constraint, Eq. 4, which is a ring-compiler
+artifact), while other topologies check reachability + no-skipping.
 """
 
 from __future__ import annotations
@@ -26,6 +34,22 @@ def check_acyclic_dataflow(graph: CompGraph, assignment: np.ndarray) -> bool:
         return True
     exempt = graph.is_replicable()[graph.src]
     return bool(np.all((assignment[graph.src] <= assignment[graph.dst]) | exempt))
+
+
+def check_reachable_dataflow(
+    graph: CompGraph, assignment: np.ndarray, topology
+) -> bool:
+    """Generalised Constraint 1: every edge's chips must be routable.
+
+    ``topology.reachable[f(u), f(v)]`` must hold for every constraint edge;
+    for the uni-ring this is exactly ``f(u) <= f(v)`` (Eq. 2).  Edges from
+    replicable constants are exempt, as in the ordered check.
+    """
+    if graph.n_edges == 0:
+        return True
+    exempt = graph.is_replicable()[graph.src]
+    ok = topology.reachable[assignment[graph.src], assignment[graph.dst]]
+    return bool(np.all(ok | exempt))
 
 
 def check_no_skipping(graph: CompGraph, assignment: np.ndarray, n_chips: int) -> bool:
@@ -72,16 +96,37 @@ class ConstraintReport:
         return tuple(out)
 
 
-def validate_partition(graph: CompGraph, assignment, n_chips: int) -> ConstraintReport:
-    """Validate a complete assignment against all static constraints."""
+def validate_partition(
+    graph: CompGraph, assignment, n_chips: int, topology=None
+) -> ConstraintReport:
+    """Validate a complete assignment against all static constraints.
+
+    ``topology=None`` (or any total-order topology, i.e. the uni-ring)
+    applies the paper's Equations 2-4 exactly.  Other topologies replace
+    Eq. 2 by the reachability check and drop the triangle constraint, which
+    is specific to the ring compiler (reported as satisfied so the
+    :class:`ConstraintReport` shape stays stable).
+    """
     assignment = check_assignment(graph, assignment, n_chips)
-    acyclic = check_acyclic_dataflow(graph, assignment)
+    if topology is None or topology.is_total_order:
+        acyclic = check_acyclic_dataflow(graph, assignment)
+        return ConstraintReport(
+            acyclic_dataflow=acyclic,
+            no_skipping=check_no_skipping(graph, assignment, n_chips),
+            # The triangle check presumes ascending chip edges; report it as
+            # violated when dataflow is already broken.
+            triangle_dependency=(
+                check_triangle_dependency(graph, assignment, n_chips)
+                if acyclic
+                else False
+            ),
+        )
+    if topology.n_chips != n_chips:
+        raise ValueError(
+            f"topology is for {topology.n_chips} chips, validator got {n_chips}"
+        )
     return ConstraintReport(
-        acyclic_dataflow=acyclic,
+        acyclic_dataflow=check_reachable_dataflow(graph, assignment, topology),
         no_skipping=check_no_skipping(graph, assignment, n_chips),
-        # The triangle check presumes ascending chip edges; report it as
-        # violated when dataflow is already broken.
-        triangle_dependency=(
-            check_triangle_dependency(graph, assignment, n_chips) if acyclic else False
-        ),
+        triangle_dependency=True,
     )

@@ -97,6 +97,20 @@ class ConstraintSolver:
         enabled only for tight chip counts (``n_chips <= 4``); pass
         ``True``/``False`` to force it either way, e.g. to enable the
         strengthening on wedge-heavy instances above 4 chips.
+    topology:
+        Interconnect the partition must be routable on
+        (:class:`repro.hardware.topology.Topology`).  ``None`` or any
+        total-order topology (the uni-ring) keeps the exact legacy engine:
+        Eq. 2 bounds propagation, the no-skipping coverage check, and the
+        triangle constraint (Eq. 4).  Other topologies run the
+        reachability-generalised propagation instead
+        (:meth:`_propagate_general`): every precedence restriction is
+        derived from the topology's chip-reachability matrix, and the
+        triangle constraint — a uni-ring compiler artifact — does not
+        apply.  The bounds propagation *is* the reachability propagation
+        specialised to the total order (``reach_from(c) = {c..C-1}``,
+        ``reach_to(c) = {0..c}``), which is why the uni-ring reduces
+        bit-for-bit to the legacy code path.
     """
 
     def __init__(
@@ -104,11 +118,33 @@ class ConstraintSolver:
         graph: CompGraph,
         n_chips: int,
         triangle_frontier: "bool | None" = None,
+        topology=None,
     ):
         if n_chips < 1 or n_chips > 63:
             raise ValueError("n_chips must be in [1, 63]")
+        if topology is not None and topology.n_chips != n_chips:
+            raise ValueError(
+                f"topology is for {topology.n_chips} chips, solver got {n_chips}"
+            )
         self.graph = graph
         self.n_chips = n_chips
+        self.topology = topology
+        #: Reachability-generalised mode: active for any topology whose
+        #: reachability is not the chip-ID total order.  Total-order
+        #: topologies (the uni-ring) take the legacy engine unchanged.
+        self._general = topology is not None and not topology.is_total_order
+        if self._general:
+            # Per-chip reachability sets, as chip-index lists: which chips
+            # can reach ``d`` / are reachable from ``d`` (both include
+            # ``d``).  These generalise the ordered engine's prefix/suffix
+            # unions.
+            reach = topology.reachable
+            self._reach_to_list = [
+                np.flatnonzero(reach[:, d]).tolist() for d in range(n_chips)
+            ]
+            self._reach_from_list = [
+                np.flatnonzero(reach[d]).tolist() for d in range(n_chips)
+            ]
         #: Re-apply the one-hop triangle masks of every fixed node whenever
         #: new chip edges tighten the tables (see :meth:`_propagate`).  The
         #: strengthening is sound and catches triangle wedges hundreds of
@@ -293,6 +329,11 @@ class ConstraintSolver:
         """
         mask = self._domain_mask(node)
         if mask & (mask - 1) == 0:
+            return _mask_to_values(mask)
+        if self._general:
+            # The reachability propagation already restricts neighbours of
+            # fixed nodes through their full domains (stronger than the
+            # one-hop look-ahead), and Eq. 4 does not apply off the ring.
             return _mask_to_values(mask)
         pruned = self._triangle_prune(node, mask)
         # Never return an empty domain from look-ahead alone; let
@@ -479,7 +520,10 @@ class ConstraintSolver:
             d_bit = removed & -removed
             avail[d_bit.bit_length() - 1] &= ~bit
             removed ^= d_bit
-        self._propagate()
+        if self._general:
+            self._propagate_general()
+        else:
+            self._propagate()
 
     def _propagate(self) -> None:
         """Word-parallel propagation to fixpoint, then the global checks.
@@ -665,6 +709,112 @@ class ConstraintSolver:
         if self._new_edges:
             self._new_edges = False
             if self._tables()["violated"]:
+                raise _Conflict
+
+    def _propagate_general(self) -> None:
+        """Reachability propagation for non-total-order topologies.
+
+        The ordered engine's bounds propagation is the special case of this
+        wave for ``reach_to(d) = {0..d}`` / ``reach_from(d) = {d..C-1}``:
+        a node whose domain contains no chip that can reach ``d`` drags all
+        its (transitive) descendants off chip ``d``, and symmetrically a
+        node whose domain contains no chip reachable *from* ``d`` drags its
+        ancestors off ``d``.  Soundness follows from the transitivity of
+        reachability (any valid completion routes every ancestor/descendant
+        pair).  The per-chip ``done`` sets memoise processed nodes exactly
+        as in the ordered engine — blocked status is monotone as domains
+        shrink, so snapshots restore them consistently.
+
+        The triangle constraint (Eq. 4) is not enforced here: it is a
+        compiler restriction of the paper's uni-directional ring, meaningless
+        once the chip-dependency graph may legally contain cycles.  The
+        no-skipping rule (Eq. 3) is a chip-*allocation* rule, independent of
+        the interconnect, and is checked the same way as in the ordered
+        engine.
+        """
+        avail = self._avail
+        full = self._full
+        c = self.n_chips
+        desc = self._desc
+        anc = self._anc
+        done_lo = self._done_lo
+        done_hi = self._done_hi
+        reach_to = self._reach_to_list
+        reach_from = self._reach_from_list
+        while True:
+            changed = False
+            for d in range(c):
+                # Nodes that cannot sit on any chip reaching ``d`` exclude
+                # their descendants from ``d`` (generalised lower bound).
+                acc = 0
+                for x in reach_to[d]:
+                    acc |= avail[x]
+                blocked = full & ~acc & ~done_lo[d]
+                if blocked:
+                    rem = 0
+                    m = blocked
+                    while m:
+                        b = m & -m
+                        rem |= desc[b.bit_length() - 1]
+                        m ^= b
+                    done_lo[d] |= blocked | rem
+                    if avail[d] & rem:
+                        avail[d] &= ~rem
+                        changed = True
+                # Nodes that cannot sit on any chip reachable from ``d``
+                # exclude their ancestors from ``d`` (generalised upper
+                # bound).
+                acc = 0
+                for x in reach_from[d]:
+                    acc |= avail[x]
+                blocked = full & ~acc & ~done_hi[d]
+                if blocked:
+                    rem = 0
+                    m = blocked
+                    while m:
+                        b = m & -m
+                        rem |= anc[b.bit_length() - 1]
+                        m ^= b
+                    done_hi[d] |= blocked | rem
+                    if avail[d] & rem:
+                        avail[d] &= ~rem
+                        changed = True
+
+            ge1 = 0
+            ge2 = 0
+            for d in range(c):
+                a = avail[d]
+                ge2 |= ge1 & a
+                ge1 |= a
+            if ge1 != full:
+                raise _Conflict
+            if not changed:
+                break
+
+        # Fixed-node bookkeeping (``assignment()`` / ``is_fixed`` views);
+        # no chip-edge or triangle tracking in this mode.
+        new_fixed = ge1 & ~ge2 & ~self._fixed_set
+        if new_fixed:
+            values = self._values
+            for d in range(c):
+                hit = new_fixed & avail[d]
+                while hit:
+                    b = hit & -hit
+                    values[b.bit_length() - 1] = d
+                    hit ^= b
+            self._fixed_set |= new_fixed
+
+        # No-skipping (Eq. 3): every chip below the largest forced lower
+        # bound must still be coverable by some node.
+        acc = 0
+        max_lo = 0
+        for d in range(c - 1):
+            acc |= avail[d]
+            if full & ~acc:
+                max_lo = d + 1
+        self._max_lo = max_lo
+        for d in range(max_lo):
+            if avail[d] == 0:
                 raise _Conflict
 
     def _add_chip_edge(self, a: int, b: int) -> None:

@@ -20,7 +20,7 @@ _MAX_CANDIDATES = 2_000_000
 
 
 def enumerate_valid_partitions(
-    graph: CompGraph, n_chips: int, limit: "int | None" = None
+    graph: CompGraph, n_chips: int, limit: "int | None" = None, topology=None
 ) -> list[np.ndarray]:
     """All assignments satisfying the static constraints, by brute force.
 
@@ -33,6 +33,8 @@ def enumerate_valid_partitions(
         Number of chiplets.
     limit:
         Stop after this many valid partitions (``None`` = all).
+    topology:
+        Platform interconnect; ``None`` is the legacy uni-ring semantics.
     """
     n = graph.n_nodes
     total = n_chips**n
@@ -44,15 +46,17 @@ def enumerate_valid_partitions(
     out: list[np.ndarray] = []
     for values in product(range(n_chips), repeat=n):
         assignment = np.array(values, dtype=np.int64)
-        if validate_partition(graph, assignment, n_chips).ok:
+        if validate_partition(graph, assignment, n_chips, topology=topology).ok:
             out.append(assignment)
             if limit is not None and len(out) >= limit:
                 break
     return out
 
 
-def count_valid_partitions(graph: CompGraph, n_chips: int) -> tuple[int, int]:
+def count_valid_partitions(
+    graph: CompGraph, n_chips: int, topology=None
+) -> tuple[int, int]:
     """``(n_valid, n_total)`` assignment counts — the sparsity the paper
     describes ("valid solutions are extremely sparse")."""
-    valid = enumerate_valid_partitions(graph, n_chips)
+    valid = enumerate_valid_partitions(graph, n_chips, topology=topology)
     return len(valid), n_chips**graph.n_nodes

@@ -5,7 +5,9 @@ baseline) and the solver strategies' terminal fallback: sweep a topological
 order accumulating compute, closing a chip once it holds its proportional
 share, but only at *safe* cut points where no edge would cross two chip
 boundaries.  The resulting chip-dependency graph is a path, which satisfies
-the acyclic-dataflow, no-skipping, and triangle constraints by construction.
+the acyclic-dataflow, no-skipping, and triangle constraints by construction —
+and therefore stays valid on every built-in topology, since each of them can
+route every ascending chip pair.
 """
 
 from __future__ import annotations

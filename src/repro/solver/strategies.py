@@ -183,6 +183,7 @@ def sample_partition(
     rng=None,
     order=None,
     solver: "ConstraintSolver | None" = None,
+    topology=None,
 ) -> np.ndarray:
     """Algorithm 1 (SAMPLE): draw a valid partition guided by ``probs``.
 
@@ -200,6 +201,10 @@ def sample_partition(
         Node visit order; defaults to a fresh random linear extension.
     solver:
         Reuse an existing (reset) solver; a new one is built by default.
+        A reused solver's topology takes precedence over ``topology``.
+    topology:
+        Platform interconnect for a freshly built solver; ``None`` is the
+        legacy uni-ring.
 
     Returns
     -------
@@ -207,7 +212,11 @@ def sample_partition(
     """
     rng = as_generator(rng)
     probs = check_probability_matrix(probs, graph.n_nodes, n_chips)
-    s = solver if solver is not None else ConstraintSolver(graph, n_chips)
+    s = (
+        solver
+        if solver is not None
+        else ConstraintSolver(graph, n_chips, topology=topology)
+    )
     if s.n_decisions:
         raise ValueError("solver must be freshly reset")
 
@@ -237,6 +246,7 @@ def fix_partition(
     rng=None,
     order=None,
     solver: "ConstraintSolver | None" = None,
+    topology=None,
 ) -> np.ndarray:
     """Algorithm 2 (FIX): repair ``candidate`` into a valid partition.
 
@@ -252,7 +262,7 @@ def fix_partition(
         ``(N,)`` proposed assignment ``y`` (possibly invalid).
     n_chips:
         Number of chiplets.
-    rng, order, solver:
+    rng, order, solver, topology:
         As in :func:`sample_partition`.
 
     Returns
@@ -266,7 +276,11 @@ def fix_partition(
         raise ValueError(f"candidate must have shape ({graph.n_nodes},)")
     if candidate.size and (candidate.min() < 0 or candidate.max() >= n_chips):
         raise ValueError(f"candidate contains chip ids outside [0, {n_chips})")
-    s = solver if solver is not None else ConstraintSolver(graph, n_chips)
+    s = (
+        solver
+        if solver is not None
+        else ConstraintSolver(graph, n_chips, topology=topology)
+    )
     if s.n_decisions:
         raise ValueError("solver must be freshly reset")
 

@@ -1,0 +1,226 @@
+"""End-to-end search across interconnect topologies."""
+
+import numpy as np
+import pytest
+
+from repro.core.environment import PartitionEnvironment
+from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
+from repro.core.baselines import RandomSearch, SimulatedAnnealing
+from repro.hardware.analytical import AnalyticalCostModel
+from repro.hardware.package import MCMPackage
+from repro.hardware.simulator import PipelineSimulator
+from repro.hardware.topology import BiRing, Crossbar, Mesh2D, UniRing
+from repro.rl.features import N_FEATURES, N_TOPO_FEATURES, featurize
+from repro.rl.ppo import PPOConfig
+from repro.solver.constraints import validate_partition
+from tests.conftest import random_dag
+
+
+def _env(graph, topology, objective="throughput", simulator=False):
+    package = MCMPackage(n_chips=topology.n_chips, topology=topology)
+    model = PipelineSimulator(package) if simulator else AnalyticalCostModel(package)
+    return PartitionEnvironment(
+        graph, model, topology.n_chips, objective=objective
+    )
+
+
+def _partitioner(topology, rng=0):
+    cfg = RLPartitionerConfig(
+        hidden=16,
+        n_sage_layers=2,
+        ppo=PPOConfig(n_rollouts=8, n_minibatches=2, n_epochs=2),
+    )
+    return RLPartitioner(topology.n_chips, config=cfg, rng=rng, topology=topology)
+
+
+TOPOLOGIES = [BiRing(4), Mesh2D(2, 2), Crossbar(4)]
+
+
+class TestRLSearchAcrossTopologies:
+    @pytest.mark.parametrize("topology", TOPOLOGIES, ids=lambda t: t.name)
+    def test_search_finds_valid_partition_with_improvement(self, topology):
+        graph = random_dag(0, 16)
+        env = _env(graph, topology)
+        result = _partitioner(topology).search(env, 16, train=True)
+        assert result.best_assignment is not None
+        assert result.best_improvement > 0
+        report = validate_partition(
+            graph, result.best_assignment, topology.n_chips, topology=topology
+        )
+        assert report.ok
+
+    def test_one_policy_runs_on_every_platform(self):
+        """Topology-conditioned features share a width, so one set of
+        weights trains and deploys across interconnects."""
+        graph = random_dag(1, 12)
+        partitioner = _partitioner(UniRing(4), rng=7)
+        state = partitioner.state_dict()
+        for topology in TOPOLOGIES:
+            env = _env(graph, topology)
+            partitioner.load_state_dict(state)
+            result = partitioner.search(env, 8, train=False)
+            assert result.best_improvement > 0
+
+    def test_legacy_partitioner_rejects_foreign_topology(self):
+        graph = random_dag(2, 10)
+        env = _env(graph, Mesh2D(2, 2))
+        legacy = RLPartitioner(4, rng=0)  # no topology: uni-ring only
+        with pytest.raises(ValueError, match="topology-conditioned"):
+            legacy.search(env, 4)
+
+    def test_chip_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="topology is for"):
+            RLPartitioner(4, rng=0, topology=BiRing(5))
+
+    def test_simulator_platform_on_mesh(self):
+        graph = random_dag(4, 14)
+        topology = Mesh2D(2, 2)
+        env = _env(graph, topology, simulator=True)
+        result = _partitioner(topology, rng=3).search(env, 12, train=False)
+        assert result.best_improvement > 0
+
+
+class TestCrossPlatformConsistency:
+    def test_conditioned_partitioner_rejects_legacy_environment(self):
+        """A non-ring partitioner on an environment that validates legacy
+        uni-ring semantics must raise, not train on all-invalid rollouts."""
+
+        class _BareModel:
+            def evaluate(self, graph, assignment):  # no .package attribute
+                package = MCMPackage(n_chips=4)
+                return AnalyticalCostModel(package).evaluate(graph, assignment)
+
+        graph = random_dag(3, 10)
+        env = PartitionEnvironment(graph, _BareModel(), 4)
+        assert env.topology is None
+        with pytest.raises(ValueError, match="legacy uni-ring semantics"):
+            _partitioner(Mesh2D(2, 2)).search(env, 4)
+
+    def test_legacy_features_rejected_by_conditioned_partitioner(self):
+        """Width mismatches fail with a clear error, not a deep shape crash."""
+        graph = random_dag(4, 10)
+        topology = Mesh2D(2, 2)
+        env = _env(graph, topology)
+        legacy_feats = featurize(graph)  # no topology columns
+        with pytest.raises(ValueError, match="width"):
+            _partitioner(topology).search(env, 4, features=legacy_feats)
+
+    def test_parallel_featurizes_with_the_env_topology(self):
+        """parallel_search must condition features on the environment's
+        platform, exactly like the serial path — a partitioner constructed
+        for another interconnect follows the env."""
+        from repro.parallel import ParallelConfig, parallel_search
+
+        graph = random_dag(0, 12)
+        mesh = Mesh2D(2, 2)
+        env = _env(graph, mesh)
+        cfg = ParallelConfig(n_workers=1, seed=9)
+        auto = parallel_search(
+            _partitioner(BiRing(4), rng=1), env, 8, train=False, config=cfg
+        )
+        explicit = parallel_search(
+            _partitioner(BiRing(4), rng=1),
+            env,
+            8,
+            train=False,
+            config=cfg,
+            features=featurize(graph, mesh),
+        )
+        assert auto.improvements.tolist() == explicit.improvements.tolist()
+
+
+class TestParallelAcrossTopologies:
+    def test_pool_matches_inline_on_mesh(self):
+        """The parallel schedule stays worker-count invariant off the ring."""
+        from repro.parallel import ParallelConfig, parallel_search
+
+        topology = Mesh2D(2, 2)
+        graph = random_dag(0, 16)
+        env = _env(graph, topology)
+        runs = []
+        for workers in (1, 2):
+            partitioner = _partitioner(topology, rng=0)
+            result = parallel_search(
+                partitioner,
+                env,
+                16,
+                config=ParallelConfig(n_workers=workers, seed=5),
+            )
+            runs.append(result.improvements.tolist())
+        assert runs[0] == runs[1]
+        assert max(runs[0]) > 0
+
+
+class TestBaselinesAcrossTopologies:
+    @pytest.mark.parametrize("topology", [BiRing(3), Crossbar(3)], ids=lambda t: t.name)
+    def test_random_search(self, topology):
+        env = _env(random_dag(5, 10), topology)
+        result = RandomSearch(rng=0).search(env, 6)
+        assert result.best_improvement > 0
+
+    def test_simulated_annealing_on_mesh(self):
+        topology = Mesh2D(2, 2)
+        env = _env(random_dag(6, 10), topology)
+        result = SimulatedAnnealing(rng=0).search(env, 6)
+        assert result.best_improvement > 0
+
+
+class TestEnvironmentTopology:
+    def test_env_derives_topology_from_package(self):
+        topology = BiRing(4)
+        env = _env(random_dag(7, 8), topology)
+        assert env.topology == topology
+
+    def test_static_reasons_differ_by_platform(self):
+        graph = random_dag(8, 8)
+        backward = np.zeros(graph.n_nodes, dtype=np.int64)
+        backward[graph.topological_order()[0]] = 1  # first node above the rest
+        ring_env = _env(graph, UniRing(2))
+        sample = ring_env.evaluate(backward)
+        assert not sample.result.valid
+        assert "acyclic_dataflow" in sample.result.failure_reason
+        # On the bi-ring the same assignment is statically fine.
+        bi_env = _env(graph, BiRing(2))
+        assert bi_env.evaluate(backward).result.valid
+
+    def test_explicit_topology_mismatch_raises(self):
+        graph = random_dag(9, 8)
+        package = MCMPackage(n_chips=4)
+        with pytest.raises(ValueError, match="topology is for"):
+            PartitionEnvironment(
+                graph, AnalyticalCostModel(package), 4, topology=BiRing(5)
+            )
+
+
+class TestTopologyFeatures:
+    def test_legacy_width_unchanged(self):
+        graph = random_dag(10, 9)
+        assert featurize(graph).node_features.shape[1] == N_FEATURES
+
+    def test_conditioned_width_constant_across_platforms(self):
+        graph = random_dag(10, 9)
+        widths = {
+            featurize(graph, t).node_features.shape[1]
+            for t in [UniRing(4)] + TOPOLOGIES
+        }
+        assert widths == {N_FEATURES + N_TOPO_FEATURES}
+
+    def test_descriptor_distinguishes_platforms(self):
+        # 6 chips: at 4 chips a 2x2 mesh *is* the 4-cycle bi-ring, so the
+        # descriptors legitimately coincide there.
+        graph = random_dag(10, 9)
+        rows = {
+            t.name: tuple(featurize(graph, t).node_features[0, N_FEATURES:])
+            for t in [UniRing(6), BiRing(6), Mesh2D(2, 3), Crossbar(6)]
+        }
+        assert len(set(rows.values())) == len(rows)
+        # Total-order flag: set exactly for the uni-ring.
+        assert rows["uniring"][-1] == 1.0
+        assert all(v[-1] == 0.0 for k, v in rows.items() if k != "uniring")
+
+    def test_descriptor_broadcast_to_every_node(self):
+        graph = random_dag(11, 7)
+        feats = featurize(graph, Mesh2D(2, 2)).node_features
+        np.testing.assert_array_equal(
+            feats[:, N_FEATURES:], np.tile(feats[0, N_FEATURES:], (graph.n_nodes, 1))
+        )

@@ -1,0 +1,178 @@
+"""Tests for the pluggable interconnect topologies."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.package import MCMPackage
+from repro.hardware.topology import (
+    BiRing,
+    Crossbar,
+    Mesh2D,
+    Topology,
+    UniRing,
+    make_topology,
+    parse_mesh_dims,
+)
+
+
+class TestUniRing:
+    """The default topology must preserve the legacy package semantics."""
+
+    def test_tables(self):
+        t = UniRing(4)
+        assert t.n_links == 3
+        assert t.is_total_order
+        assert t.hops(0, 3) == 3 and t.hops(2, 2) == 0
+        np.testing.assert_array_equal(t.link_path(1, 3), [1, 2])
+        np.testing.assert_array_equal(
+            t.reachable, np.triu(np.ones((4, 4), dtype=bool))
+        )
+
+    def test_backward_raises_legacy_message(self):
+        with pytest.raises(ValueError, match="backward transfer"):
+            UniRing(4).hops(2, 1)
+
+    def test_backward_edge_reason_alias(self):
+        assert UniRing(4).unreachable_reason == "backward_edge"
+
+    def test_occupancy_matches_generic_gather(self):
+        t = UniRing(6)
+        src = np.array([0, 1, 0, 3])
+        dst = np.array([2, 4, 1, 5])
+        occ = np.array([1.0, 2.0, 4.0, 0.5])
+        fast = t.link_occupancy(src, dst, occ)
+        generic = Topology.link_occupancy(t, src, dst, occ)
+        np.testing.assert_allclose(fast, generic, rtol=1e-15)
+
+    def test_single_chip(self):
+        t = UniRing(1)
+        assert t.n_links == 0 and t.hops(0, 0) == 0
+
+
+class TestBiRing:
+    def test_shortest_direction(self):
+        t = BiRing(5)
+        assert not t.is_total_order
+        assert t.reachable.all()
+        assert t.hops(0, 4) == 1  # wrap-around beats 4 forward hops
+        assert t.hops(4, 0) == 1
+        assert t.hops(0, 2) == 2
+
+    def test_two_chip_ring_has_no_duplicate_links(self):
+        t = BiRing(2)
+        assert t.n_links == 2
+        assert {tuple(l) for l in t.links} == {(0, 1), (1, 0)}
+        assert t.hops(0, 1) == 1 and t.hops(1, 0) == 1
+
+    def test_wraparound_contention_isolated(self):
+        t = BiRing(4)
+        # 3 -> 0 is one clockwise hop on the wrap link; no chain link busy.
+        occ = t.link_occupancy(np.array([3]), np.array([0]), np.array([7.0]))
+        assert occ.sum() == 7.0
+        (link,) = np.flatnonzero(occ)
+        a, b = t.links[link]
+        assert (a, b) == (3, 0)
+
+
+class TestMesh2D:
+    def test_xy_routing(self):
+        t = Mesh2D(2, 3)
+        assert t.n_chips == 6 and t.reachable.all()
+        # 0 -> 5: along the row to column 2, then down: 0 -> 1 -> 2 -> 5.
+        path = t.link_path(0, 5)
+        chips = [tuple(t.links[l]) for l in path]
+        assert chips == [(0, 1), (1, 2), (2, 5)]
+        assert t.hops(0, 5) == 3
+
+    def test_hop_counts_are_manhattan(self):
+        t = Mesh2D(3, 3)
+        for src in range(9):
+            for dst in range(9):
+                sr, sc = divmod(src, 3)
+                dr, dc = divmod(dst, 3)
+                assert t.hop_matrix[src, dst] == abs(sr - dr) + abs(sc - dc)
+
+
+class TestCrossbar:
+    def test_all_pairs_one_hop(self):
+        t = Crossbar(4)
+        assert t.n_links == 12
+        off = ~np.eye(4, dtype=bool)
+        assert (t.hop_matrix[off] == 1).all()
+
+    def test_dedicated_links_never_shared(self):
+        t = Crossbar(3)
+        occ = t.link_occupancy(
+            np.array([0, 1, 2]), np.array([2, 2, 0]), np.array([1.0, 2.0, 4.0])
+        )
+        # Three transfers on three distinct links, each with its own time.
+        assert sorted(occ[occ > 0].tolist()) == [1.0, 2.0, 4.0]
+
+
+class TestBaseTopology:
+    def test_partial_topology_unreachable(self):
+        t = Topology(3, "chain", [(0, 1), (1, 2)], ("chain", 3))
+        assert t.is_total_order  # forward chain == uni-ring reachability
+        assert t.unreachable_reason == "unreachable_edge:chain"
+        with pytest.raises(ValueError, match="no route"):
+            t.hops(2, 0)
+
+    def test_chip_range_checked(self):
+        with pytest.raises(ValueError, match="out of range"):
+            UniRing(4).hops(0, 4)
+
+    def test_equality_by_key(self):
+        assert UniRing(4) == UniRing(4)
+        assert UniRing(4) != UniRing(5)
+        assert UniRing(4) != BiRing(4)
+        assert Mesh2D(2, 3) == Mesh2D(2, 3)
+        assert hash(Crossbar(3)) == hash(Crossbar(3))
+
+
+class TestFactory:
+    def test_names(self):
+        assert make_topology("uniring", 4).key == ("uniring", 4)
+        assert make_topology("biring", 4).key == ("biring", 4)
+        assert make_topology("crossbar", 4).key == ("crossbar", 4)
+        assert make_topology("mesh", 4, "2x2").key == ("mesh2d", 2, 2)
+
+    def test_mesh_default_dims_most_square(self):
+        assert make_topology("mesh", 6).key == ("mesh2d", 2, 3)
+        assert make_topology("mesh", 9).key == ("mesh2d", 3, 3)
+        assert make_topology("mesh", 5).key == ("mesh2d", 1, 5)
+
+    def test_mesh_dims_must_match_chips(self):
+        with pytest.raises(ValueError, match="chips"):
+            make_topology("mesh", 4, "2x3")
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            make_topology("torus", 4)
+
+    def test_parse_mesh_dims(self):
+        assert parse_mesh_dims("2x3") == (2, 3)
+        with pytest.raises(ValueError):
+            parse_mesh_dims("2by3")
+
+
+class TestPackageIntegration:
+    def test_default_package_is_uniring(self):
+        pkg = MCMPackage(n_chips=4)
+        assert pkg.topology == UniRing(4)
+        assert pkg.n_links == 3
+        np.testing.assert_array_equal(pkg.links_crossed(1, 3), [1, 2])
+        with pytest.raises(ValueError, match="backward transfer"):
+            pkg.hops(2, 1)
+
+    def test_topology_package(self):
+        pkg = MCMPackage(n_chips=4, topology=BiRing(4))
+        assert pkg.n_links == 8
+        assert pkg.hops(3, 0) == 1
+
+    def test_chip_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="topology is for"):
+            MCMPackage(n_chips=4, topology=BiRing(5))
+
+    def test_packages_compare_by_topology(self):
+        assert MCMPackage(n_chips=4) == MCMPackage(n_chips=4)
+        assert MCMPackage(n_chips=4) != MCMPackage(n_chips=4, topology=BiRing(4))

@@ -1,0 +1,147 @@
+"""Per-topology cost-model behaviour: reachability and link contention."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.builders import GraphBuilder
+from repro.graphs.ops import OpType
+from repro.hardware.analytical import AnalyticalCostModel
+from repro.hardware.noise import PerturbationModel
+from repro.hardware.package import MCMPackage
+from repro.hardware.simulator import PipelineSimulator
+from repro.hardware.topology import BiRing, Crossbar, Mesh2D, Topology, UniRing
+
+
+def _chain(k, nbytes=1e6):
+    b = GraphBuilder("chain")
+    prev = b.add_node("n0", OpType.INPUT, compute_us=10.0, output_bytes=nbytes)
+    for i in range(1, k):
+        prev = b.add_node(
+            f"n{i}", OpType.RELU, compute_us=10.0, output_bytes=nbytes, inputs=[prev]
+        )
+    return b.build()
+
+
+def _simulator(package):
+    # Identity perturbation: contention numbers stay hand-checkable.
+    return PipelineSimulator(
+        package,
+        perturbation=PerturbationModel(0.0, 0.0, 0.0),
+        op_overhead_us=0.0,
+        check_memory=False,
+    )
+
+
+def _wire_us(package, nbytes):
+    return nbytes / (package.chip.link_bandwidth_gbps * 1e9) * 1e6
+
+
+class TestReachabilityReasons:
+    def test_uniring_keeps_backward_edge_alias(self):
+        g = _chain(2)
+        pkg = MCMPackage(n_chips=4)
+        for model in (AnalyticalCostModel(pkg), _simulator(pkg)):
+            res = model.evaluate(g, np.array([1, 0]))
+            assert not res.valid
+            assert res.failure_reason == "backward_edge"
+
+    def test_generic_unreachable_reason_names_topology(self):
+        g = _chain(2)
+        chain_topo = Topology(3, "chain3", [(0, 1), (1, 2)], ("chain3", 3))
+        pkg = MCMPackage(n_chips=3, topology=chain_topo)
+        for model in (AnalyticalCostModel(pkg), _simulator(pkg)):
+            res = model.evaluate(g, np.array([2, 0]))
+            assert not res.valid
+            assert res.failure_reason == "unreachable_edge:chain3"
+
+    def test_backward_transfers_valid_on_biring(self):
+        g = _chain(2)
+        pkg = MCMPackage(n_chips=4, topology=BiRing(4))
+        for model in (AnalyticalCostModel(pkg), _simulator(pkg)):
+            res = model.evaluate(g, np.array([1, 0]))
+            assert res.valid and res.throughput > 0
+
+
+class TestBiRingContention:
+    def test_wraparound_transfer_occupies_only_wrap_link(self):
+        topo = BiRing(4)
+        pkg = MCMPackage(n_chips=4, topology=topo)
+        sim = _simulator(pkg)
+        res = sim.evaluate(_chain(2), np.array([3, 0]))
+        assert res.valid
+        busy = np.flatnonzero(res.link_latency_us)
+        assert busy.size == 1
+        assert tuple(topo.links[busy[0]]) == (3, 0)
+        expected = _wire_us(pkg, 1e6) + pkg.chip.link_latency_us
+        assert res.link_latency_us[busy[0]] == pytest.approx(expected)
+
+
+class TestMeshContention:
+    def test_xy_route_links_accumulate(self):
+        topo = Mesh2D(2, 2)
+        pkg = MCMPackage(n_chips=4, topology=topo)
+        sim = _simulator(pkg)
+        # 0 -> 3 routes 0 -> 1 -> 3 under XY: both links carry the transfer.
+        res = sim.evaluate(_chain(2), np.array([0, 3]))
+        assert res.valid
+        busy = {tuple(topo.links[l]) for l in np.flatnonzero(res.link_latency_us)}
+        assert busy == {(0, 1), (1, 3)}
+        expected = _wire_us(pkg, 1e6) + pkg.chip.link_latency_us
+        for l in np.flatnonzero(res.link_latency_us):
+            assert res.link_latency_us[l] == pytest.approx(expected)
+
+    def test_shared_link_contention_sums(self):
+        topo = Mesh2D(2, 2)
+        pkg = MCMPackage(n_chips=4, topology=topo)
+        sim = _simulator(pkg)
+        # Two producers on chip 0 feeding chips 1 and 3: link (0, 1) carries
+        # both transfers, link (1, 3) only one.
+        b = GraphBuilder("fanout")
+        a = b.add_node("a", OpType.INPUT, compute_us=10.0, output_bytes=1e6)
+        m = b.add_node("m", OpType.RELU, compute_us=10.0, output_bytes=1e6, inputs=[a])
+        b.add_node("x", OpType.RELU, compute_us=10.0, output_bytes=1.0, inputs=[m])
+        b.add_node("y", OpType.RELU, compute_us=10.0, output_bytes=1.0, inputs=[m])
+        g = b.build()
+        res = sim.evaluate(g, np.array([0, 0, 1, 3]))
+        assert res.valid
+        lut = {tuple(topo.links[l]): res.link_latency_us[l] for l in range(topo.n_links)}
+        one = _wire_us(pkg, 1e6) + pkg.chip.link_latency_us
+        assert lut[(0, 1)] == pytest.approx(2 * one)
+        assert lut[(1, 3)] == pytest.approx(one)
+
+
+class TestCrossbarContention:
+    def test_transfers_never_interfere(self):
+        topo = Crossbar(3)
+        pkg = MCMPackage(n_chips=3, topology=topo)
+        sim = _simulator(pkg)
+        # 0 -> 1 and 1 -> 2 transfers ride dedicated links.
+        res = sim.evaluate(_chain(3), np.array([0, 1, 2]))
+        assert res.valid
+        nonzero = res.link_latency_us[res.link_latency_us > 0]
+        expected = _wire_us(pkg, 1e6) + pkg.chip.link_latency_us
+        assert nonzero.size == 2
+        np.testing.assert_allclose(nonzero, expected)
+
+    def test_crossbar_beats_uniring_on_long_hops(self):
+        """The same partition is cheaper without multi-hop link occupancy."""
+        g = _chain(4, nbytes=4e6)
+        assignment = np.array([0, 1, 2, 3])
+        ring = _simulator(MCMPackage(n_chips=4)).evaluate(g, assignment)
+        xbar = _simulator(
+            MCMPackage(n_chips=4, topology=Crossbar(4))
+        ).evaluate(g, assignment)
+        assert ring.valid and xbar.valid
+        assert xbar.link_latency_us.max() <= ring.link_latency_us.max()
+
+
+class TestUniRingUnchanged:
+    def test_simulator_matches_pre_refactor_reference(self):
+        """Uni-ring contention numbers are the legacy difference-array ones."""
+        g = _chain(4, nbytes=2e6)
+        pkg = MCMPackage(n_chips=4)
+        res = _simulator(pkg).evaluate(g, np.array([0, 0, 1, 3]))
+        assert res.valid
+        wire = _wire_us(pkg, 2e6) + pkg.chip.link_latency_us
+        # transfer 0->1 rides link 0; transfer 1->3 rides links 1 and 2.
+        np.testing.assert_allclose(res.link_latency_us, [wire, wire, wire])

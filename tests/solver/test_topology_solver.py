@@ -1,0 +1,187 @@
+"""Per-topology solver completeness: solver solutions == brute force.
+
+For every built-in topology the incremental solver must accept *exactly*
+the brute-force-valid partitions: driving it with the values of a valid
+assignment commits every step and reproduces the assignment, and driving it
+with an invalid assignment back-tracks (or leaves the driver unable to pick
+the value).  The uni-ring case additionally pins that a total-order topology
+reduces to the legacy engine.
+"""
+
+from itertools import product
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.builders import GraphBuilder
+from repro.graphs.ops import OpType
+from repro.hardware.topology import BiRing, Crossbar, Mesh2D, UniRing
+from repro.solver.engine import ConstraintSolver, Unsatisfiable
+from repro.solver.enumerate import count_valid_partitions, enumerate_valid_partitions
+from repro.solver.strategies import fix_partition, sample_partition
+from tests.conftest import random_dag
+
+
+def _chain(k):
+    b = GraphBuilder("chain")
+    prev = b.add_node("n0", OpType.INPUT, compute_us=1.0, output_bytes=1.0)
+    for i in range(1, k):
+        prev = b.add_node(
+            f"n{i}", OpType.RELU, compute_us=1.0, output_bytes=1.0, inputs=[prev]
+        )
+    return b.build()
+
+
+def _diamond():
+    b = GraphBuilder("diamond")
+    a = b.add_node("a", OpType.INPUT, compute_us=1.0, output_bytes=1.0)
+    l = b.add_node("l", OpType.RELU, compute_us=1.0, output_bytes=1.0, inputs=[a])
+    r = b.add_node("r", OpType.RELU, compute_us=1.0, output_bytes=1.0, inputs=[a])
+    b.add_node("o", OpType.ADD, compute_us=1.0, output_bytes=1.0, inputs=[l, r])
+    return b.build()
+
+
+def _solver_emits(graph, n_chips, topology, assignment) -> bool:
+    """Drive the solver with exactly ``assignment``; True iff it commits."""
+    s = ConstraintSolver(graph, n_chips, topology=topology)
+    try:
+        for u in graph.topological_order().tolist():
+            if int(assignment[u]) not in s.get_domain(u):
+                return False
+            before = s.n_decisions
+            if s.set_domain(u, int(assignment[u])) <= before:
+                return False
+        return bool(np.array_equal(s.assignment(), assignment))
+    except Unsatisfiable:
+        return False
+
+
+TOPOLOGIES = [
+    UniRing(3),
+    BiRing(3),
+    Crossbar(3),
+    Mesh2D(2, 2),
+]
+
+
+class TestExhaustiveCompleteness:
+    @pytest.mark.parametrize("topology", TOPOLOGIES, ids=lambda t: t.name)
+    @pytest.mark.parametrize("make_graph", [_chain, _diamond], ids=["chain", "diamond"])
+    def test_solver_accepts_exactly_the_valid_set(self, topology, make_graph):
+        graph = make_graph(4) if make_graph is _chain else make_graph()
+        c = topology.n_chips
+        valid = {
+            tuple(v)
+            for v in enumerate_valid_partitions(graph, c, topology=topology)
+        }
+        emitted = {
+            values
+            for values in product(range(c), repeat=graph.n_nodes)
+            if _solver_emits(graph, c, topology, np.array(values, dtype=np.int64))
+        }
+        assert emitted == valid
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_random_dags_on_biring(self, seed):
+        graph = random_dag(seed, 5)
+        topology = BiRing(3)
+        valid = {
+            tuple(v) for v in enumerate_valid_partitions(graph, 3, topology=topology)
+        }
+        emitted = {
+            values
+            for values in product(range(3), repeat=5)
+            if _solver_emits(graph, 3, topology, np.array(values, dtype=np.int64))
+        }
+        assert emitted == valid
+
+
+class TestStrategiesAcrossTopologies:
+    @pytest.mark.parametrize("topology", TOPOLOGIES, ids=lambda t: t.name)
+    def test_sample_and_fix_emit_valid_partitions(self, topology):
+        graph = random_dag(3, 7)
+        c = topology.n_chips
+        valid = {
+            tuple(v) for v in enumerate_valid_partitions(graph, c, topology=topology)
+        }
+        rng = np.random.default_rng(0)
+        probs = np.full((graph.n_nodes, c), 1.0 / c)
+        for _ in range(5):
+            y = sample_partition(graph, probs, c, rng=rng, topology=topology)
+            assert tuple(y) in valid
+            cand = rng.integers(0, c, graph.n_nodes)
+            y2 = fix_partition(graph, cand, c, rng=rng, topology=topology)
+            assert tuple(y2) in valid
+
+    def test_sample_covers_the_biring_valid_set(self):
+        graph = _chain(3)
+        topology = BiRing(2)
+        valid = {
+            tuple(v) for v in enumerate_valid_partitions(graph, 2, topology=topology)
+        }
+        probs = np.full((3, 2), 0.5)
+        rng = np.random.default_rng(1)
+        seen = set()
+        for _ in range(400):
+            seen.add(tuple(sample_partition(graph, probs, 2, rng=rng, topology=topology)))
+            if seen == valid:
+                break
+        assert seen == valid
+
+
+class TestUniRingReduction:
+    def test_total_order_topology_takes_the_legacy_engine(self):
+        graph = _chain(4)
+        legacy = ConstraintSolver(graph, 3)
+        pinned = ConstraintSolver(graph, 3, topology=UniRing(3))
+        assert not legacy._general and not pinned._general
+        # Identical domains after identical restrictions.
+        for s in (legacy, pinned):
+            s.set_domain(1, 1)
+        for u in range(4):
+            np.testing.assert_array_equal(legacy.get_domain(u), pinned.get_domain(u))
+
+    def test_valid_sets_agree_with_and_without_topology(self):
+        graph = _diamond()
+        with_topo = count_valid_partitions(graph, 3, topology=UniRing(3))
+        without = count_valid_partitions(graph, 3)
+        assert with_topo == without
+
+    def test_wider_reachability_never_shrinks_the_valid_set(self):
+        """The ring's valid partitions stay valid on every richer fabric."""
+        graph = _diamond()
+        ring = {tuple(v) for v in enumerate_valid_partitions(graph, 3)}
+        for topology in (BiRing(3), Crossbar(3)):
+            richer = {
+                tuple(v)
+                for v in enumerate_valid_partitions(graph, 3, topology=topology)
+            }
+            assert ring <= richer
+            assert len(richer) > len(ring)
+
+
+class TestGeneralModeEngine:
+    def test_chip_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="topology is for"):
+            ConstraintSolver(_chain(3), 4, topology=BiRing(3))
+
+    def test_no_skipping_enforced_in_general_mode(self):
+        graph = _chain(2)
+        s = ConstraintSolver(graph, 2, topology=Crossbar(2))
+        # Forcing both nodes onto chip 1 leaves chip 0 uncovered.
+        assert s.set_domain(0, 1) == 1
+        count = s.set_domain(1, 1)
+        assert count <= 1  # back-tracked rather than committed
+
+    def test_backtracking_restores_general_state(self):
+        graph = _diamond()
+        topology = BiRing(3)
+        s = ConstraintSolver(graph, 3, topology=topology)
+        baseline = [s.get_domain(u).tolist() for u in range(4)]
+        # Drive into a conflict, then reset: domains must be pristine.
+        s.set_domain(0, 2)
+        s.reset()
+        assert [s.get_domain(u).tolist() for u in range(4)] == baseline

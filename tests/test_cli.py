@@ -32,6 +32,36 @@ class TestZoo:
         out = capsys.readouterr().out
         assert "bert" in out and "mlp" in out
 
+    def test_zoo_table_covers_every_builder(self):
+        """Every ``build_*`` export of ``repro.graphs.zoo`` is reachable
+        from the CLI ``_ZOO`` table."""
+        import repro.graphs.zoo as zoo
+        from repro.cli import _ZOO
+
+        builders = {
+            name
+            for name in zoo.__all__
+            if name.startswith("build_") and name != "build_dataset"
+        }
+        covered = set()
+        for entry in _ZOO.values():
+            if entry.__name__ in builders:
+                covered.add(entry.__name__)
+            else:  # parametrised lambda: resolve the builder it calls
+                covered |= builders & set(entry.__code__.co_names)
+        missing = builders - covered
+        assert not missing, f"zoo builders missing from the CLI table: {missing}"
+
+    def test_every_zoo_entry_builds(self):
+        """Each table entry constructs a graph (small ones built fully)."""
+        from repro.cli import _ZOO
+
+        for name, fn in _ZOO.items():
+            if name in ("bert", "bert-large"):  # heavyweight: covered elsewhere
+                continue
+            g = fn()
+            assert g.n_nodes > 0, name
+
 
 class TestPartition:
     def test_greedy(self, capsys):
@@ -86,6 +116,96 @@ class TestPartition:
              "--chips", "8", "--eager-frontier", "on", "--seed", "0"]
         )
         assert code == 0
+
+    def test_latency_objective_through_search(self, capsys):
+        """End-to-end latency objective on the RL search path (not just the
+        environment unit path)."""
+        code = main(
+            ["partition", "mlp", "--method", "rl", "--samples", "8",
+             "--objective", "latency", "--seed", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "latency improvement" in out
+        import re
+
+        (value,) = re.findall(r"latency improvement over greedy heuristic: ([0-9.]+)x", out)
+        assert float(value) > 0
+
+    def test_latency_objective_through_random_search(self, capsys):
+        code = main(
+            ["partition", "mlp", "--method", "random", "--samples", "5",
+             "--objective", "latency", "--seed", "0"]
+        )
+        assert code == 0
+        assert "latency improvement" in capsys.readouterr().out
+
+
+class TestTopologyCLI:
+    def test_mesh_partition_with_dims(self, capsys):
+        code = main(
+            ["partition", "cnn", "--topology", "mesh", "--mesh-dims", "2x2",
+             "--method", "rl", "--samples", "8", "--seed", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "static constraints: OK" in out
+        assert "improvement" in out
+
+    def test_biring_partition(self, capsys):
+        code = main(
+            ["partition", "mlp", "--topology", "biring", "--chips", "3",
+             "--method", "random", "--samples", "4", "--seed", "0"]
+        )
+        assert code == 0
+        assert "static constraints: OK" in capsys.readouterr().out
+
+    def test_crossbar_partition_simulator(self, capsys):
+        code = main(
+            ["partition", "mlp", "--topology", "crossbar", "--chips", "3",
+             "--method", "random", "--samples", "4", "--platform", "simulator"]
+        )
+        assert code == 0
+
+    def test_mesh_dims_infer_chip_count(self, capsys):
+        code = main(
+            ["partition", "mlp", "--topology", "mesh", "--mesh-dims", "2x3",
+             "--method", "greedy"]
+        )
+        assert code == 0
+        assert "static constraints: OK" in capsys.readouterr().out
+
+    def test_mesh_dims_conflict_rejected(self):
+        with pytest.raises(SystemExit, match="conflicts"):
+            main(
+                ["partition", "mlp", "--topology", "mesh", "--mesh-dims", "2x2",
+                 "--chips", "6", "--method", "greedy"]
+            )
+
+    def test_mesh_dims_require_mesh(self):
+        with pytest.raises(SystemExit, match="--topology mesh"):
+            main(
+                ["partition", "mlp", "--topology", "biring",
+                 "--mesh-dims", "2x2", "--method", "greedy"]
+            )
+
+    def test_validate_respects_topology(self, tmp_path, capsys):
+        from repro.cli import _resolve_graph
+
+        g = _resolve_graph("mlp")
+        # Reversed greedy: invalid on the uni-ring, valid on the bi-ring.
+        from repro.core.baselines import greedy_partition
+
+        reversed_assignment = 2 - greedy_partition(g, 3)
+        path = str(tmp_path / "a.npy")
+        np.save(path, reversed_assignment)
+        assert main(["validate", "mlp", path, "--chips", "3"]) == 1
+        capsys.readouterr()
+        code = main(
+            ["validate", "mlp", path, "--chips", "3", "--topology", "biring"]
+        )
+        assert code == 0
+        assert "valid" in capsys.readouterr().out
 
 
 class TestValidate:
