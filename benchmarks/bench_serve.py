@@ -1,0 +1,253 @@
+"""Serving-layer latency benchmark: cold / warm / cached request classes.
+
+The serving pitch is operational: the expensive transferability machinery
+(policy build, checkpoint load, zero-shot search) is paid once per
+checkpoint and once per distinct request, after which repeated requests are
+a fingerprint lookup.  This bench measures the three request classes the
+``/metrics`` endpoint distinguishes:
+
+* **cold** — first request on a fresh service: partitioner build +
+  checkpoint load from the registry + environment baseline + zero-shot
+  search;
+* **warm** — cache miss on a live service: the partitioner and weights are
+  already resident, only the per-graph work remains;
+* **cached** — repeat request: fingerprint + LRU lookup, no policy/solver.
+
+It reports p50/p95 latency per class, sustained requests/sec for an
+all-hit stream and an all-miss stream, and pins the core guarantees in the
+JSON: the cached reply is bit-identical to the cold one and >= 10x faster
+(the tier-1 suite pins the same bound in
+``tests/serve/test_service.py::test_cached_request_is_10x_faster_and_identical``).
+
+Run as a script (``python benchmarks/bench_serve.py``); writes
+``BENCH_serve.json`` at the repo root.  ``--tiny`` shrinks repeats for the
+CI smoke and redirects output under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
+from repro.graphs.zoo import build_dataset
+from repro.serve import (
+    CheckpointRegistry,
+    PartitionRequest,
+    PartitionService,
+    ServiceConfig,
+)
+from repro.serve.registry import default_serving_config
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_serve.json"
+REGISTRY_DIR = REPO_ROOT / "benchmarks" / ".cache" / "serve_registry"
+
+N_CHIPS = 4
+SAMPLES = 16
+
+
+def _rl_config() -> RLPartitionerConfig:
+    """Exactly the network ``repro serve`` runs: the bench must measure the
+    configuration the service actually serves."""
+    return default_serving_config()
+
+
+def _registry() -> CheckpointRegistry:
+    """A registry with one published serving checkpoint (built once)."""
+    registry = CheckpointRegistry(str(REGISTRY_DIR))
+    if not registry.versions("bench"):
+        registry.publish_partitioner(
+            "bench",
+            RLPartitioner(N_CHIPS, config=_rl_config(), rng=0),
+            metadata={"purpose": "bench_serve"},
+        )
+    return registry
+
+
+def _service() -> PartitionService:
+    return PartitionService(
+        ServiceConfig(default_samples=SAMPLES, cache_capacity=512, seed=0),
+        registry=_registry(),
+        partitioner_config=_rl_config(),
+    )
+
+
+def _request(graph) -> PartitionRequest:
+    return PartitionRequest(
+        graph=graph, n_chips=N_CHIPS, checkpoint="bench", samples=SAMPLES
+    )
+
+
+def _perturbed(graph, k: int):
+    """A content-distinct variant of ``graph`` (same size, same difficulty).
+
+    Adds ``k`` nanoseconds (``k * 1e-3`` µs) to one node's compute cost:
+    enough to change the content fingerprint (exact float64 bytes are
+    hashed), far too small to change what the search or cost model does.
+    """
+    from repro.graphs.graph import CompGraph
+
+    compute = graph.compute_us.copy()
+    compute[0] += k * 1e-3
+    return CompGraph(
+        names=graph.names,
+        op_types=graph.op_types,
+        compute_us=compute,
+        output_bytes=graph.output_bytes,
+        param_bytes=graph.param_bytes,
+        src=graph.src,
+        dst=graph.dst,
+        name=f"{graph.name}~{k}",
+    )
+
+
+def _percentiles(latencies_ms: "list[float]") -> dict:
+    arr = np.asarray(latencies_ms, dtype=np.float64)
+    return {
+        "n": int(arr.size),
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p95_ms": float(np.percentile(arr, 95)),
+        "mean_ms": float(arr.mean()),
+    }
+
+
+def bench_request_classes(graphs, n_repeats: int) -> dict:
+    """Per-class latency percentiles + the cached-vs-cold guarantees.
+
+    Cold latencies come from *fresh services* (one per repeat, first
+    request each); warm from cache misses on a live service; cached from
+    repeat requests.  The identity check compares the cold and cached
+    assignments of the same request on every service.
+    """
+    cold_ms, warm_ms, cached_ms = [], [], []
+    bit_identical = True
+    for repeat in range(n_repeats):
+        service = _service()
+        # Rotate which graph lands in the cold slot so every class samples
+        # the same workload mix (graphs differ in search cost).
+        rotated = graphs[repeat % len(graphs):] + graphs[: repeat % len(graphs)]
+        for i, graph in enumerate(rotated):
+            response = service.submit(_request(graph))
+            (cold_ms if i == 0 else warm_ms).append(response.latency_ms)
+            assert response.source == ("cold" if i == 0 else "warm")
+            hit = service.submit(_request(graph))
+            assert hit.cached
+            cached_ms.append(hit.latency_ms)
+            bit_identical &= bool(
+                np.array_equal(hit.assignment, response.assignment)
+            )
+    cold = _percentiles(cold_ms)
+    cached = _percentiles(cached_ms)
+    return {
+        "cold": cold,
+        "warm": _percentiles(warm_ms),
+        "cached": cached,
+        "cached_bit_identical_to_cold": bit_identical,
+        "speedup_cached_vs_cold_p50": round(cold["p50_ms"] / cached["p50_ms"], 1),
+    }
+
+
+def bench_sustained(graphs, n_requests: int) -> dict:
+    """Requests/sec for an all-hit stream and an all-miss stream.
+
+    The hit stream cycles over pre-warmed entries (the steady serving
+    state); the miss stream feeds distinct graph variants so every request
+    pays a zero-shot search (the worst case, bounded by search throughput).
+    """
+    service = _service()
+    for graph in graphs:
+        service.submit(_request(graph))
+
+    start = time.perf_counter()
+    for k in range(n_requests):
+        response = service.submit(_request(graphs[k % len(graphs)]))
+        assert response.cached
+    hit_elapsed = time.perf_counter() - start
+
+    # Distinct fingerprints per request via distinct graph *content* (an
+    # epsilon on one node's compute cost changes the content hash without
+    # changing search difficulty), so every miss runs a real search at the
+    # same SAMPLES budget the JSON reports.
+    service_miss = _service()
+    miss_budget = max(n_requests // 4, 2)
+    start = time.perf_counter()
+    for k in range(miss_budget):
+        response = service_miss.submit(
+            _request(_perturbed(graphs[0], k + 1))
+        )
+        assert not response.cached
+    miss_elapsed = time.perf_counter() - start
+    return {
+        "hit_stream": {
+            "n": n_requests,
+            "requests_per_sec": n_requests / max(hit_elapsed, 1e-9),
+        },
+        "miss_stream": {
+            "n": miss_budget,
+            "requests_per_sec": miss_budget / max(miss_elapsed, 1e-9),
+        },
+    }
+
+
+def main(argv=None) -> dict:
+    argv = sys.argv[1:] if argv is None else argv
+    tiny = "--tiny" in argv
+    n_graphs = 3 if tiny else 6
+    n_repeats = 2 if tiny else 5
+    n_requests = 50 if tiny else 400
+
+    dataset = build_dataset(seed=0)
+    graphs = list(dataset.test[:n_graphs])
+
+    results = {
+        "bench": "serve",
+        "tiny": tiny,
+        "cpu_count": os.cpu_count(),
+        "n_chips": N_CHIPS,
+        "samples_per_miss": SAMPLES,
+        "checkpoint": "bench@1",
+        "graphs": [g.name for g in graphs],
+        "n_repeats": n_repeats,
+        "latency": bench_request_classes(graphs, n_repeats),
+        "sustained": bench_sustained(graphs, n_requests),
+    }
+
+    out_path = (
+        RESULT_PATH
+        if not tiny
+        else REPO_ROOT / "benchmarks" / "results" / "BENCH_serve_tiny.json"
+    )
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    latency = results["latency"]
+    for cls in ("cold", "warm", "cached"):
+        row = latency[cls]
+        print(
+            f"{cls:>7}: p50 {row['p50_ms']:8.3f} ms   p95 {row['p95_ms']:8.3f} ms"
+            f"   (n={row['n']})"
+        )
+    print(
+        f"cached vs cold p50 speedup: {latency['speedup_cached_vs_cold_p50']}x"
+        f"  | bit-identical: {latency['cached_bit_identical_to_cold']}"
+    )
+    sustained = results["sustained"]
+    print(
+        f"sustained: {sustained['hit_stream']['requests_per_sec']:9.1f} req/s"
+        f" all-hit | {sustained['miss_stream']['requests_per_sec']:6.2f} req/s"
+        f" all-miss"
+    )
+    return results
+
+
+if __name__ == "__main__":
+    main()

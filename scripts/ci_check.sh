@@ -30,4 +30,33 @@ timeout --kill-after=15 120 env PYTHONPATH=src python -m repro partition mlp \
     --topology biring --chips 3 --method random --samples 4 --seed 0 \
     > /dev/null
 
+echo "== serve smoke (HTTP server, 2 requests, metrics) =="
+# Start the serving endpoint, issue two identical requests over HTTP (the
+# second must be a cache hit), assert the metrics counters, and shut down
+# cleanly — all under a hard timeout so a wedged server fails the gate
+# fast.  Exercises the full serve stack end-to-end: fingerprinting, the
+# partition cache, the warm pool, the JSON endpoint, and /metrics.
+timeout --kill-after=15 120 env PYTHONPATH=src python - <<'PY'
+from repro.cli import _resolve_zoo_graph
+from repro.serve import (
+    PartitionServer, PartitionService, ServiceConfig,
+    fetch_metrics, request_partition,
+)
+
+# Wired exactly like `repro serve`: the zoo-names-only resolver (a network
+# client must never make the server read server-local .npz paths).
+service = PartitionService(ServiceConfig(default_samples=6))
+with PartitionServer(service, port=0, graph_resolver=_resolve_zoo_graph).start() as server:
+    first = request_partition({"graph": "mlp", "chips": 4}, port=server.port)
+    assert first["cached"] is False and first["source"] == "cold", first
+    second = request_partition({"graph": "mlp", "chips": 4}, port=server.port)
+    assert second["cached"] is True, second
+    assert second["assignment"] == first["assignment"]
+    metrics = fetch_metrics(port=server.port)
+    assert metrics["requests_total"] == 2, metrics
+    assert metrics["cache"]["hits"] == 1 and metrics["cache"]["misses"] == 1, metrics
+    assert metrics["by_source"]["cached"] == 1 and metrics["by_source"]["cold"] == 1
+print("serve smoke OK: cold -> cache hit, metrics consistent, clean shutdown")
+PY
+
 echo "== ci_check OK =="

@@ -30,7 +30,12 @@ to it:
 True
 """
 
-from repro.analysis import analyze_partition, format_partition_report, to_dot
+from repro.analysis import (
+    analyze_partition,
+    format_partition_report,
+    format_service_metrics,
+    to_dot,
+)
 from repro.core import (
     HillClimbing,
     PartitionEnvironment,
@@ -49,7 +54,12 @@ from repro.core import (
     zero_shot_search,
 )
 from repro.graphs import CompGraph, GraphBuilder, OpType
-from repro.graphs.serialization import load_graph, save_graph
+from repro.graphs.serialization import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
 from repro.graphs.zoo import build_bert, build_dataset
 from repro.hardware import (
     AnalyticalCostModel,
@@ -63,6 +73,16 @@ from repro.hardware import (
     Topology,
     UniRing,
     make_topology,
+)
+from repro.serve import (
+    CheckpointRegistry,
+    PartitionRequest,
+    PartitionResponse,
+    PartitionServer,
+    PartitionService,
+    ServiceConfig,
+    graph_fingerprint,
+    request_fingerprint,
 )
 from repro.solver import (
     ConstraintSolver,
@@ -107,6 +127,17 @@ __all__ = [
     "to_dot",
     "save_graph",
     "load_graph",
+    "graph_to_dict",
+    "graph_from_dict",
+    "graph_fingerprint",
+    "request_fingerprint",
+    "CheckpointRegistry",
+    "PartitionRequest",
+    "PartitionResponse",
+    "PartitionServer",
+    "PartitionService",
+    "ServiceConfig",
+    "format_service_metrics",
     "SimulatedAnnealing",
     "UnconstrainedRL",
     "pretrain",

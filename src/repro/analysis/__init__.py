@@ -6,12 +6,18 @@ fall.  This package turns an assignment into a structured report, a
 rendered table, or a Graphviz dump.
 """
 
-from repro.analysis.report import PartitionReport, analyze_partition, format_partition_report
+from repro.analysis.report import (
+    PartitionReport,
+    analyze_partition,
+    format_partition_report,
+    format_service_metrics,
+)
 from repro.analysis.visualize import to_dot
 
 __all__ = [
     "PartitionReport",
     "analyze_partition",
     "format_partition_report",
+    "format_service_metrics",
     "to_dot",
 ]

@@ -129,3 +129,40 @@ def format_partition_report(report: PartitionReport) -> str:
         f" | compute imbalance: {report.compute_imbalance:.2f}x"
     )
     return table + summary
+
+
+def format_service_metrics(metrics: dict) -> str:
+    """Render a :meth:`PartitionService.metrics` snapshot as a text report.
+
+    One latency row per request source (``cached`` / ``warm`` / ``cold``),
+    prefixed by the aggregate counters — the operator's view of the serving
+    layer (the ``/metrics`` endpoint carries the same dict as JSON).
+    """
+    cache = metrics.get("cache", {})
+    rows = []
+    for source in ("cached", "warm", "cold"):
+        stats = metrics.get("latency_ms", {}).get(source, {})
+        count = stats.get("count", 0)
+        p50, p95 = stats.get("p50_ms"), stats.get("p95_ms")
+        rows.append(
+            [
+                source,
+                str(count),
+                "-" if p50 is None else f"{p50:.2f}",
+                "-" if p95 is None else f"{p95:.2f}",
+            ]
+        )
+    table = format_table(
+        ["source", "requests", "p50 (ms)", "p95 (ms)"],
+        rows,
+        title="serving metrics",
+    )
+    summary = (
+        f"\nrequests: {metrics.get('requests_total', 0)}"
+        f" ({metrics.get('requests_per_sec', 0.0):.1f}/s over "
+        f"{metrics.get('uptime_s', 0.0):.0f}s)"
+        f" | cache hit rate: {cache.get('hit_rate', 0.0):.1%}"
+        f" ({cache.get('size', 0)}/{cache.get('capacity', 0)} entries)"
+        f" | errors: {metrics.get('errors', 0)}"
+    )
+    return table + summary

@@ -6,6 +6,8 @@ Commands
 ``partition``  search a partition and print the per-chip report
 ``validate``   check an assignment file against the static constraints
 ``zoo``        list the built-in zoo graphs
+``serve``      run the partition-as-a-service HTTP endpoint
+``request``    ask a running server for a partition
 
 Examples
 --------
@@ -22,6 +24,12 @@ Examples
     Re-target the whole framework to a 2x2 mesh interconnect; ``biring``
     and ``crossbar`` work the same way (``uniring`` is the paper's
     platform and the default).
+``python -m repro serve --port 8080 --registry ./checkpoints``
+    Long-lived serving mode: fingerprint-keyed result cache, warm policy
+    pool over the checkpoint registry, ``/metrics`` endpoint.
+``python -m repro request bert --port 8080 --chips 8``
+    Ask the running server for a partition (repeat requests are cache
+    hits and come back in microseconds).
 """
 
 from __future__ import annotations
@@ -90,6 +98,18 @@ def _resolve_graph(spec: str) -> CompGraph:
     )
 
 
+def _resolve_zoo_graph(spec: str) -> CompGraph:
+    """Zoo names only — the resolver the HTTP server gets.
+
+    Unlike :func:`_resolve_graph` this never touches the filesystem: a
+    network client must not be able to make the server read server-local
+    ``.npz`` paths (``repro request`` inlines local files instead).
+    """
+    if spec in _ZOO:
+        return _ZOO[spec]()
+    raise KeyError(spec)
+
+
 def _cmd_info(args) -> int:
     graph = _resolve_graph(args.graph)
     print(graph.summary())
@@ -102,8 +122,13 @@ def _cmd_zoo(args) -> int:
     return 0
 
 
-def _resolve_package(args) -> MCMPackage:
-    """Build the package from ``--chips`` / ``--topology`` / ``--mesh-dims``."""
+def _resolve_mesh(args) -> tuple:
+    """``(chips, dims)`` from ``--chips`` / ``--topology`` / ``--mesh-dims``.
+
+    The one contract for every verb taking topology flags (``partition``,
+    ``validate``, ``request``): dims only apply to a mesh, and they pin the
+    chip count.  ``chips`` stays ``None`` when neither flag decides it.
+    """
     chips = args.chips
     dims = None
     if getattr(args, "mesh_dims", None):
@@ -120,6 +145,12 @@ def _resolve_package(args) -> MCMPackage:
                 f"--chips {chips} conflicts with --mesh-dims "
                 f"{dims[0]}x{dims[1]} ({dims[0] * dims[1]} chips)"
             )
+    return chips, dims
+
+
+def _resolve_package(args) -> MCMPackage:
+    """Build the package from ``--chips`` / ``--topology`` / ``--mesh-dims``."""
+    chips, dims = _resolve_mesh(args)
     if chips is None:
         chips = 4
     try:
@@ -209,6 +240,107 @@ def _cmd_validate(args) -> int:
     return 1
 
 
+def _cmd_serve(args) -> int:
+    """Run the partition-as-a-service HTTP endpoint (foreground)."""
+    from repro.serve import PartitionServer, PartitionService, ServiceConfig
+
+    config = ServiceConfig(
+        cache_capacity=args.cache_capacity,
+        registry_path=args.registry,
+        n_workers=args.workers,
+        default_samples=args.samples,
+        seed=args.seed,
+    )
+    # The warm pool's untrained-policy network defaults to
+    # repro.serve.registry.default_serving_config (the CLI's 64x4 sizing).
+    service = PartitionService(config)
+    server = PartitionServer(
+        service,
+        host=args.host,
+        port=args.port,
+        graph_resolver=_resolve_zoo_graph,
+        verbose=args.verbose,
+        # Single-threaded HTTP when (a) a bounded run must finish each
+        # request before counting it (see PartitionServer docstring), or
+        # (b) cache misses fork a worker pool — fork() from one of many
+        # live handler threads can inherit a lock held mid-operation and
+        # deadlock the forked worker.
+        threaded=args.max_requests is None and args.workers < 2,
+    )
+    # Machine-readable first line: smoke tests / scripts bind --port 0 and
+    # parse the ephemeral port from here.
+    print(f"serving on {server.host}:{server.port}", flush=True)
+    try:
+        if args.max_requests is not None:
+            for _ in range(args.max_requests):
+                server.handle_request()
+        else:
+            server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
+def _cmd_request(args) -> int:
+    """Send one request to a running server and print the reply."""
+    import json
+
+    from repro.graphs.serialization import graph_to_dict
+    from repro.serve import ServiceError, request_partition
+
+    if args.graph in _ZOO:
+        graph_payload: "str | dict" = args.graph
+    elif args.graph.endswith(".npz"):
+        # Local file: inline it — the server need not share our filesystem.
+        graph_payload = graph_to_dict(load_graph(args.graph))
+    else:
+        raise SystemExit(
+            f"unknown graph {args.graph!r}: expected one of {sorted(_ZOO)} "
+            "or a .npz path"
+        )
+    chips, _ = _resolve_mesh(args)
+    payload = {
+        "graph": graph_payload,
+        "chips": chips if chips is not None else 4,
+        "topology": args.topology,
+        "mesh_dims": args.mesh_dims,
+        "objective": args.objective,
+        "platform": args.platform,
+    }
+    if args.samples is not None:
+        payload["samples"] = args.samples
+    if args.checkpoint is not None:
+        payload["checkpoint"] = args.checkpoint
+    if args.checkpoint_version is not None:
+        payload["checkpoint_version"] = args.checkpoint_version
+    try:
+        reply = request_partition(
+            payload, host=args.host, port=args.port, timeout=args.timeout
+        )
+    except (ServiceError, OSError) as exc:
+        print(f"request failed: {exc}", file=sys.stderr)
+        return 1
+    assignment = np.asarray(reply["assignment"], dtype=np.int64)
+    if args.output:
+        np.save(args.output, assignment)
+    if args.json:
+        print(json.dumps(reply, indent=2, sort_keys=True))
+        return 0
+    source = "cache hit" if reply["cached"] else f"computed ({reply['source']})"
+    print(f"fingerprint: {reply['fingerprint'][:16]}…  [{source}]")
+    print(
+        f"{reply['objective']} improvement over greedy heuristic: "
+        f"{reply['improvement']:.3f}x  ({reply['latency_ms']:.1f} ms)"
+    )
+    counts = np.bincount(assignment, minlength=reply["chips"])
+    print("ops per chip:", " ".join(str(int(c)) for c in counts))
+    if args.output:
+        print(f"assignment written to {args.output}")
+    return 0
+
+
 def _add_topology_args(parser) -> None:
     parser.add_argument(
         "--topology",
@@ -284,6 +416,60 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("--chips", type=int, default=None)
     _add_topology_args(p_val)
     p_val.set_defaults(fn=_cmd_validate)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the partition-as-a-service HTTP endpoint"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port (0 binds an ephemeral port, printed on start-up)",
+    )
+    p_serve.add_argument(
+        "--registry", default=None,
+        help="checkpoint registry directory (enables --checkpoint requests)",
+    )
+    p_serve.add_argument("--cache-capacity", type=int, default=256)
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="rollout workers for cache-miss searches (1 = in-process)",
+    )
+    p_serve.add_argument(
+        "--samples", type=int, default=16,
+        help="default zero-shot draw budget per cache miss",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--max-requests", type=int, default=None,
+        help="exit after serving this many requests (smoke tests)",
+    )
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_req = sub.add_parser(
+        "request", help="ask a running server for a partition"
+    )
+    p_req.add_argument("graph", help="zoo name or .npz path (inlined)")
+    p_req.add_argument("--host", default="127.0.0.1")
+    p_req.add_argument("--port", type=int, default=8080)
+    p_req.add_argument("--chips", type=int, default=None)
+    _add_topology_args(p_req)
+    p_req.add_argument(
+        "--objective", choices=["throughput", "latency"], default="throughput"
+    )
+    p_req.add_argument(
+        "--platform", choices=["analytical", "simulator"], default="analytical"
+    )
+    p_req.add_argument("--samples", type=int, default=None)
+    p_req.add_argument("--checkpoint", default=None,
+                       help="registry checkpoint name for the policy weights")
+    p_req.add_argument("--checkpoint-version", type=int, default=None)
+    p_req.add_argument("--timeout", type=float, default=600.0)
+    p_req.add_argument("--json", action="store_true",
+                       help="print the raw JSON reply")
+    p_req.add_argument("--output", help="write the assignment to this .npy path")
+    p_req.set_defaults(fn=_cmd_request)
     return parser
 
 

@@ -159,6 +159,10 @@ class RLPartitioner:
         self.trainer = PPOTrainer(self.policy, self.config.ppo, rng=self.rng)
         # (graph, solver) entries keyed by graph identity, LRU-evicted.
         self._solver_cache: "OrderedDict[int, tuple]" = OrderedDict()
+        # (tag, weights_version) of the checkpoint currently installed via
+        # install_checkpoint; lets long-lived serving partitioners skip
+        # redundant weight loads (see the serving invariants in ROADMAP.md).
+        self._installed_checkpoint: "tuple | None" = None
 
     def effective_topology(self, env):
         """Platform the next search runs against (the environment's).
@@ -246,6 +250,31 @@ class RLPartitioner:
     def load_state_dict(self, state: dict) -> None:
         """Restore policy weights from :meth:`state_dict`."""
         self.policy.load_state_dict(state)
+        self._installed_checkpoint = None
+
+    def install_checkpoint(self, state: dict, tag=None) -> bool:
+        """Load ``state`` unless the same tagged checkpoint is already live.
+
+        The warm-reuse hook for long-lived serving partitioners
+        (:mod:`repro.serve.registry`): ``tag`` names the checkpoint (any
+        hashable, conventionally ``(name, version)``).  The load is skipped
+        only when the tag matches *and* the policy weights are untouched
+        since that install (tracked via :meth:`Module.weights_version`, so
+        training or a direct ``load_state_dict`` in between forces a
+        reload).  Returns ``True`` when weights were actually loaded.
+        """
+        if (
+            tag is not None
+            and self._installed_checkpoint is not None
+            and self._installed_checkpoint[0] == tag
+            and self._installed_checkpoint[1] == self.policy.weights_version()
+        ):
+            return False
+        self.policy.load_state_dict(state)
+        self._installed_checkpoint = (
+            None if tag is None else (tag, self.policy.weights_version())
+        )
+        return True
 
     # ------------------------------------------------------------------
     # Search

@@ -53,3 +53,45 @@ def load_graph(path: str) -> CompGraph:
             dst=data["dst"].astype(np.int64),
             name=str(data["name"]),
         )
+
+
+def graph_to_dict(graph: CompGraph) -> dict:
+    """JSON-serialisable canonical form of a graph (the wire format).
+
+    The serving HTTP endpoint ships graphs as this dict.  Floats pass
+    through Python's JSON encoder, whose ``repr``-based shortest-roundtrip
+    encoding preserves ``float64`` payloads exactly — so content
+    fingerprints (:mod:`repro.serve.fingerprint`) are stable across the
+    wire, same as across ``save_graph``/``load_graph``.
+    """
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": graph.name,
+        "names": list(graph.names),
+        "op_types": graph.op_types.astype(np.int64).tolist(),
+        "compute_us": graph.compute_us.astype(np.float64).tolist(),
+        "output_bytes": graph.output_bytes.astype(np.float64).tolist(),
+        "param_bytes": graph.param_bytes.astype(np.float64).tolist(),
+        "src": graph.src.astype(np.int64).tolist(),
+        "dst": graph.dst.astype(np.int64).tolist(),
+    }
+
+
+def graph_from_dict(payload: dict) -> CompGraph:
+    """Rebuild a graph from :func:`graph_to_dict` output."""
+    version = int(payload.get("format_version", _FORMAT_VERSION))
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported graph format version {version} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    return CompGraph(
+        names=tuple(str(n) for n in payload["names"]),
+        op_types=np.asarray(payload["op_types"], dtype=np.int64),
+        compute_us=np.asarray(payload["compute_us"], dtype=np.float64),
+        output_bytes=np.asarray(payload["output_bytes"], dtype=np.float64),
+        param_bytes=np.asarray(payload["param_bytes"], dtype=np.float64),
+        src=np.asarray(payload["src"], dtype=np.int64),
+        dst=np.asarray(payload["dst"], dtype=np.int64),
+        name=str(payload.get("name", "graph")),
+    )

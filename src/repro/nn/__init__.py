@@ -12,7 +12,12 @@ ops with gradients (:mod:`repro.nn.functional`), the layers the policy needs
 from repro.nn import functional
 from repro.nn.layers import GraphSAGELayer, Linear, Module, Sequential
 from repro.nn.optim import SGD, Adam, clip_grad_norm
-from repro.nn.serialization import load_state, save_state
+from repro.nn.serialization import (
+    load_state,
+    load_state_dict_file,
+    save_state,
+    save_state_dict,
+)
 from repro.nn.tensor import Tensor
 
 __all__ = [
@@ -27,4 +32,6 @@ __all__ = [
     "clip_grad_norm",
     "save_state",
     "load_state",
+    "save_state_dict",
+    "load_state_dict_file",
 ]

@@ -9,15 +9,35 @@ import numpy as np
 from repro.nn.layers import Module
 
 
-def save_state(module: Module, path: str) -> None:
-    """Write a module's parameters to ``path`` as a compressed ``.npz``."""
-    state = module.state_dict()
+def save_state_dict(state: "dict[str, np.ndarray]", path: str) -> None:
+    """Write a bare ``state_dict`` to ``path`` as a compressed ``.npz``.
+
+    The checkpoint registry (:mod:`repro.serve.registry`) stores weights
+    detached from any live module, so the dict form is the primitive and
+    :func:`save_state` is the module-level convenience over it.
+    """
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     np.savez_compressed(path, **state)
 
 
-def load_state(module: Module, path: str) -> None:
-    """Load parameters written by :func:`save_state` into ``module``."""
+def load_state_dict_file(path: str) -> "dict[str, np.ndarray]":
+    """Read a ``state_dict`` written by :func:`save_state_dict`."""
     with np.load(path) as data:
-        module.load_state_dict({k: data[k] for k in data.files})
+        return {k: data[k] for k in data.files}
+
+
+def save_state(module: Module, path: str) -> None:
+    """Write a module's parameters to ``path`` as a compressed ``.npz``."""
+    save_state_dict(module.state_dict(), path)
+
+
+def load_state(module: Module, path: str) -> None:
+    """Load parameters written by :func:`save_state` into ``module``.
+
+    Routes through :meth:`Module.load_state_dict`, which bumps every loaded
+    tensor's version — required so memos keyed on
+    :meth:`Module.weights_version` (e.g. the policy's encoder cache) are
+    invalidated by a checkpoint load exactly like by an optimiser step.
+    """
+    module.load_state_dict(load_state_dict_file(path))

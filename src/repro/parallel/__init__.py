@@ -36,7 +36,12 @@ from repro.parallel.pretrain import (
     parallel_pretrain,
     parallel_select_checkpoint,
 )
-from repro.parallel.search import ParallelConfig, Window, parallel_search
+from repro.parallel.search import (
+    ParallelConfig,
+    Window,
+    parallel_search,
+    replay_batch,
+)
 
 __all__ = [
     "InlineExecutor",
@@ -53,6 +58,7 @@ __all__ = [
     "fork_available",
     "parallel_pretrain",
     "parallel_search",
+    "replay_batch",
     "parallel_select_checkpoint",
     "task_rng",
 ]

@@ -99,11 +99,17 @@ class ReplayTask:
 
 @dataclass
 class ReplayResult:
-    """Worker reply for one :class:`ReplayTask`."""
+    """Worker reply for one :class:`ReplayTask`.
+
+    ``best_assignment`` is the best valid partition of the replay window
+    (``None`` when every sample was invalid) — the serving path's payload;
+    checkpoint-validation callers only read the improvement statistics.
+    """
 
     task_id: tuple
     improvements: np.ndarray
     best_improvement: float
+    best_assignment: "np.ndarray | None" = None
 
 
 class WorkerHarness:
@@ -171,6 +177,7 @@ class WorkerHarness:
             task_id=task.task_id,
             improvements=draw.improvements,
             best_improvement=draw.best_improvement,
+            best_assignment=draw.best_assignment,
         )
 
 

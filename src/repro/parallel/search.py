@@ -31,6 +31,7 @@ from repro.core.environment import PartitionEnvironment
 from repro.core.partitioner import RLPartitioner, WindowDraw
 from repro.parallel.pool import (
     InlineExecutor,
+    ReplayTask,
     ShardTask,
     WorkerPool,
     fork_available,
@@ -217,6 +218,63 @@ def run_windows(
             on_window(c, draw)
         outputs.append(draw)
     return outputs
+
+
+def replay_batch(
+    partitioner: RLPartitioner,
+    envs: "list[PartitionEnvironment]",
+    n_samples: "list[int]",
+    seeds: "list[tuple]",
+    config: "ParallelConfig | None" = None,
+    features: "list[GraphFeatures] | None" = None,
+) -> list:
+    """Frozen-policy draws on many environments over one executor.
+
+    The serving layer's batched-submission primitive: each environment gets
+    one :class:`ReplayTask` (no training, no weight broadcast — workers
+    inherit the partitioner's current weights at fork), and tasks fan
+    round-robin over the pool.  Each task's RNG comes from its *own* seed
+    key, so a request's result is a pure function of ``(weights, its
+    seed)`` — independent of which other requests share the batch, of the
+    worker count, and of the executor kind (the inline fallback is
+    bit-identical).
+
+    Returns the per-environment :class:`ReplayResult` list, in input order.
+    """
+    if len(envs) != len(n_samples) or len(envs) != len(seeds):
+        raise ValueError("envs, n_samples, and seeds must have equal lengths")
+    if not envs:
+        return []
+    cfg = config or ParallelConfig()
+    feats = (
+        features
+        if features is not None
+        else [
+            featurize(env.graph, partitioner.effective_topology(env))
+            for env in envs
+        ]
+    )
+    for env, f in zip(envs, feats):
+        partitioner._check_features(f, env.graph)
+    results: list = [None] * len(envs)
+    with make_executor(partitioner, envs, feats, cfg) as executor:
+        for i in range(len(envs)):
+            executor.submit(
+                i % executor.n_workers,
+                "replay",
+                ReplayTask(
+                    task_id=(i, 0),
+                    graph_idx=i,
+                    n_samples=int(n_samples[i]),
+                    seed=tuple(seeds[i]),
+                ),
+            )
+        for _ in range(len(envs)):
+            kind, payload = executor.recv_any()
+            if kind != "replay":
+                raise RuntimeError(f"unexpected {kind!r} reply")
+            results[payload.task_id[0]] = payload
+    return results
 
 
 def parallel_search(

@@ -1,0 +1,70 @@
+"""Partition-as-a-service: a long-lived serving layer over the partitioner.
+
+The paper's transferability claim — a pretrained policy produces good
+partitions for unseen graphs in seconds — pays off operationally only when
+the system runs as a service: weights loaded once, repeated requests
+answered from a cache, metrics observable.  This package provides exactly
+that, with four pieces:
+
+* :mod:`repro.serve.fingerprint` — canonical content hashes for graphs and
+  requests (insertion-order and serialisation-roundtrip invariant);
+* :mod:`repro.serve.cache` — a bounded LRU mapping request fingerprints to
+  bit-identical stored partitions;
+* :mod:`repro.serve.registry` — named, versioned policy checkpoints on disk
+  plus a warm pool of live partitioners;
+* :mod:`repro.serve.service` / :mod:`repro.serve.server` — the in-process
+  :class:`PartitionService` front end and its stdlib-HTTP JSON endpoint
+  (CLI: ``repro serve`` / ``repro request``).
+
+See the "Serving invariants" section of ROADMAP.md for what may be cached,
+what keys it, and what invalidates it.
+"""
+
+from repro.serve.cache import CachedPartition, PartitionCache
+from repro.serve.fingerprint import (
+    PlatformDescriptor,
+    canonical_form,
+    graph_fingerprint,
+    request_fingerprint,
+)
+from repro.serve.registry import (
+    CheckpointRegistry,
+    RegistryError,
+    WarmPartitionerPool,
+)
+from repro.serve.server import (
+    PartitionServer,
+    fetch_metrics,
+    request_from_payload,
+    request_partition,
+    response_to_payload,
+)
+from repro.serve.service import (
+    PartitionRequest,
+    PartitionResponse,
+    PartitionService,
+    ServiceConfig,
+    ServiceError,
+)
+
+__all__ = [
+    "CachedPartition",
+    "CheckpointRegistry",
+    "PartitionCache",
+    "PartitionRequest",
+    "PartitionResponse",
+    "PartitionServer",
+    "PartitionService",
+    "PlatformDescriptor",
+    "RegistryError",
+    "ServiceConfig",
+    "ServiceError",
+    "WarmPartitionerPool",
+    "canonical_form",
+    "fetch_metrics",
+    "graph_fingerprint",
+    "request_from_payload",
+    "request_partition",
+    "request_fingerprint",
+    "response_to_payload",
+]

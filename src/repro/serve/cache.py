@@ -1,0 +1,148 @@
+"""Fingerprint-keyed partition result cache.
+
+A bounded LRU mapping request fingerprints to stored partitions.  Hits
+return the *bit-identical* stored partition without touching the policy or
+the solver — the stored assignment is frozen read-only at insertion, so a
+hit can hand out the same array object safely.
+
+Eviction is deterministic: strictly least-recently-used, where "use" is a
+``get`` hit or a ``put`` (re-``put`` of an existing key refreshes both the
+entry and its recency).  Two requests only share an entry when their full
+request fingerprints match, and the platform descriptor is part of the
+fingerprint (see :mod:`repro.serve.fingerprint`), so partitions computed
+for different platforms can never collide.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CachedPartition:
+    """One stored serving result.
+
+    Attributes
+    ----------
+    fingerprint:
+        The request fingerprint the entry is keyed by.
+    assignment:
+        ``(N,)`` int64 partition in the *producing* graph's node order,
+        frozen read-only.
+    node_order:
+        The producing graph's canonical node order
+        (:func:`repro.serve.fingerprint.canonical_form`); lets a hit be
+        remapped onto a same-content graph with permuted node ids (see
+        :meth:`aligned_assignment`).  ``None`` restricts hits to the
+        producer's exact node order.
+    improvement:
+        Improvement over the environment baseline (objective-dependent).
+    objective:
+        ``"throughput"`` or ``"latency"``.
+    throughput / latency_us:
+        Raw cost-model outcome of the stored partition.
+    metadata:
+        Free-form provenance (checkpoint, samples, source).
+    """
+
+    fingerprint: str
+    assignment: np.ndarray
+    improvement: float
+    node_order: "np.ndarray | None" = None
+    objective: str = "throughput"
+    throughput: float = 0.0
+    latency_us: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        frozen = np.array(self.assignment, dtype=np.int64)
+        frozen.setflags(write=False)
+        object.__setattr__(self, "assignment", frozen)
+        if self.node_order is not None:
+            order = np.array(self.node_order, dtype=np.int64)
+            order.setflags(write=False)
+            object.__setattr__(self, "node_order", order)
+
+    def aligned_assignment(self, node_order: "np.ndarray | None") -> np.ndarray:
+        """The stored partition expressed in a requester's node order.
+
+        ``node_order`` is the requesting graph's canonical order.  When it
+        matches the producer's (the common case: the identical graph), the
+        stored array is returned as-is — bit-identical, no copy.  A
+        same-content graph with permuted node ids gets the partition
+        remapped through the canonical alignment: canonical slot ``k`` was
+        produced by node ``node_order[k]`` on both sides.
+        """
+        if (
+            node_order is None
+            or self.node_order is None
+            or np.array_equal(node_order, self.node_order)
+        ):
+            return self.assignment
+        remapped = np.empty_like(self.assignment)
+        remapped[node_order] = self.assignment[self.node_order]
+        remapped.setflags(write=False)
+        return remapped
+
+
+class PartitionCache:
+    """Bounded LRU of :class:`CachedPartition` keyed by fingerprint."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[str, CachedPartition]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        """Membership probe; does not touch recency or counters."""
+        return key in self._entries
+
+    def keys(self) -> list[str]:
+        """Fingerprints in eviction order (least recently used first)."""
+        return list(self._entries)
+
+    def get(self, key: str) -> "CachedPartition | None":
+        """Look up a fingerprint; a hit refreshes its recency."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, entry: CachedPartition) -> "str | None":
+        """Store an entry; returns the evicted fingerprint, if any."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            evicted, _ = self._entries.popitem(last=False)
+            self.evictions += 1
+            return evicted
+        return None
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        """Counters snapshot for the metrics endpoint."""
+        lookups = self.hits + self.misses
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }

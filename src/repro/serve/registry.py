@@ -1,0 +1,346 @@
+"""Named, versioned policy checkpoints on disk + a warm partitioner pool.
+
+The registry is the serving layer's model store: pretraining publishes a
+policy ``state_dict`` under a name, serving resolves ``(name, version)`` to
+weights.  Layout (one directory per name, monotone integer versions)::
+
+    <root>/
+      <name>/
+        v0001.npz    # the weights (repro.nn.serialization.save_state_dict)
+        v0001.json   # metadata: chip count, network config, provenance
+
+Metadata records everything needed to *rebuild* a compatible
+:class:`~repro.core.partitioner.RLPartitioner` (the policy head's width is
+the chip count and the feature width depends on topology conditioning, so a
+checkpoint is only loadable into a matching network).
+
+:class:`WarmPartitionerPool` sits on top: a small LRU of live partitioners
+keyed by (checkpoint, platform semantics), so a request stream against the
+same model pays the network build and the weight load **once**, not per
+request (see :meth:`RLPartitioner.install_checkpoint`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from collections import OrderedDict
+
+from repro.core.partitioner import (
+    RLPartitioner,
+    RLPartitionerConfig,
+    _topology_semantics,
+)
+from repro.nn.serialization import load_state_dict_file, save_state_dict
+from repro.rl.ppo import PPOConfig
+
+_VERSION_RE = re.compile(r"^v(\d{4,})\.npz$")
+
+
+class RegistryError(KeyError):
+    """Unknown checkpoint name/version, or incompatible metadata."""
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr-quotes its argument (useful for dict keys,
+        # noise in HTTP error bodies); report the plain message instead.
+        return str(self.args[0]) if self.args else ""
+
+
+#: Sentinel distinguishing "resolve for me" from "already resolved to None".
+_UNRESOLVED = object()
+
+
+def _network_meta(config: RLPartitionerConfig, topology_conditioned: bool) -> dict:
+    return {
+        "hidden": config.hidden,
+        "n_sage_layers": config.n_sage_layers,
+        "n_policy_layers": config.n_policy_layers,
+        "refine_iters": config.refine_iters,
+        "topology_conditioned": bool(topology_conditioned),
+    }
+
+
+class CheckpointRegistry:
+    """Filesystem-backed store of named, versioned policy checkpoints."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(str(root))
+        os.makedirs(self.root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Paths / listing
+    # ------------------------------------------------------------------
+    def _dir(self, name: str) -> str:
+        if not name or "/" in name or name.startswith("."):
+            raise RegistryError(f"invalid checkpoint name {name!r}")
+        return os.path.join(self.root, name)
+
+    def names(self) -> list[str]:
+        """Registered checkpoint names, sorted.
+
+        Entries no ``publish`` could have created (dot-directories, files)
+        are skipped, not rejected — tool droppings in the registry root
+        must not break listing.
+        """
+        return sorted(
+            d
+            for d in os.listdir(self.root)
+            if not d.startswith(".")
+            and os.path.isdir(os.path.join(self.root, d))
+            and self.versions(d)
+        )
+
+    def versions(self, name: str) -> list[int]:
+        """Published versions of ``name``, ascending (empty if unknown)."""
+        path = self._dir(name)
+        if not os.path.isdir(path):
+            return []
+        out = []
+        for fname in os.listdir(path):
+            m = _VERSION_RE.match(fname)
+            if m:
+                out.append(int(m.group(1)))
+        return sorted(out)
+
+    def latest(self, name: str) -> int:
+        """Highest published version of ``name``."""
+        versions = self.versions(name)
+        if not versions:
+            raise RegistryError(f"no checkpoint named {name!r} in {self.root}")
+        return versions[-1]
+
+    def resolve(self, name: str, version: "int | None" = None) -> tuple:
+        """``(name, version)`` with ``None`` resolved to the latest."""
+        if version is None:
+            return (name, self.latest(name))
+        if version not in self.versions(name):
+            raise RegistryError(
+                f"checkpoint {name!r} has no version {version} "
+                f"(published: {self.versions(name)})"
+            )
+        return (name, int(version))
+
+    # ------------------------------------------------------------------
+    # Publish / load
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        name: str,
+        state: dict,
+        n_chips: int,
+        network: "dict | None" = None,
+        metadata: "dict | None" = None,
+    ) -> int:
+        """Store ``state`` as the next version of ``name``; returns it.
+
+        ``network`` describes the policy architecture (see
+        :func:`_network_meta`); ``metadata`` is free-form provenance.
+        """
+        directory = self._dir(name)
+        os.makedirs(directory, exist_ok=True)
+        versions = self.versions(name)
+        version = (versions[-1] + 1) if versions else 1
+        save_state_dict(state, os.path.join(directory, f"v{version:04d}.npz"))
+        meta = {
+            "name": name,
+            "version": version,
+            "n_chips": int(n_chips),
+            "network": network or {},
+            "metadata": metadata or {},
+            "created_unix": time.time(),
+        }
+        with open(os.path.join(directory, f"v{version:04d}.json"), "w") as fh:
+            json.dump(meta, fh, indent=2, sort_keys=True)
+        return version
+
+    def publish_partitioner(
+        self,
+        name: str,
+        partitioner: RLPartitioner,
+        metadata: "dict | None" = None,
+    ) -> int:
+        """Publish a live partitioner's weights, capturing its architecture."""
+        return self.publish(
+            name,
+            partitioner.state_dict(),
+            n_chips=partitioner.n_chips,
+            network=_network_meta(
+                partitioner.config, partitioner.topology is not None
+            ),
+            metadata=metadata,
+        )
+
+    def load(self, name: str, version: "int | None" = None) -> tuple:
+        """``(state_dict, meta)`` for a checkpoint (``None`` = latest)."""
+        name, version = self.resolve(name, version)
+        directory = self._dir(name)
+        state = load_state_dict_file(os.path.join(directory, f"v{version:04d}.npz"))
+        meta_path = os.path.join(directory, f"v{version:04d}.json")
+        meta: dict = {}
+        if os.path.exists(meta_path):
+            with open(meta_path) as fh:
+                meta = json.load(fh)
+        return state, meta
+
+
+def default_serving_config() -> RLPartitionerConfig:
+    """Network/search configuration for untrained serving partitioners.
+
+    Matches the CLI's interactive sizing (64x4: fast to build and evaluate)
+    rather than the paper's full 128x8 training network; checkpointed
+    policies carry their own architecture in registry metadata.
+    """
+    return RLPartitionerConfig(
+        hidden=64,
+        n_sage_layers=4,
+        ppo=PPOConfig(n_rollouts=10, n_minibatches=2, n_epochs=4),
+    )
+
+
+class WarmPartitionerPool:
+    """LRU of live :class:`RLPartitioner` instances for the serving path.
+
+    Keyed by ``(checkpoint name, version, n_chips, constraint semantics)``:
+    everything that changes the network architecture or the solver/feature
+    mode.  ``get`` returns ``(partitioner, cold)`` where ``cold`` marks a
+    fresh build (+ weight load) — the serving metrics' cold/warm split.
+
+    Weight-load discipline: a pool hit calls
+    :meth:`RLPartitioner.install_checkpoint` with the resolved tag, which
+    is a no-op while the weights are untouched — so a request stream
+    against one checkpoint loads weights exactly once (``weight_loads``
+    counts the actual loads, pinned by tests).
+    """
+
+    def __init__(
+        self,
+        registry: "CheckpointRegistry | None" = None,
+        capacity: int = 4,
+        seed: int = 0,
+        config: "RLPartitionerConfig | None" = None,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.registry = registry
+        self.capacity = int(capacity)
+        self.seed = int(seed)
+        self.config = config or default_serving_config()
+        self._pool: "OrderedDict[tuple, RLPartitioner]" = OrderedDict()
+        # Resolved checkpoint states kept alive with their partitioner so a
+        # warm hit can re-install without touching the registry directory.
+        self._states: "dict[tuple, tuple]" = {}
+        self.builds = 0
+        self.weight_loads = 0
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def resolve_checkpoint(
+        self, checkpoint: "str | None", version: "int | None" = None
+    ) -> "tuple | None":
+        """Normalise a request's checkpoint spec to ``(name, version)``."""
+        if checkpoint is None:
+            return None
+        if self.registry is None:
+            raise RegistryError(
+                "service has no checkpoint registry configured; "
+                "pass registry_path / a CheckpointRegistry"
+            )
+        return self.registry.resolve(checkpoint, version)
+
+    def _build(self, key: tuple, n_chips: int, topology) -> RLPartitioner:
+        ckpt = key[0]
+        rl_topology = (
+            None if topology is None or topology.is_total_order else topology
+        )
+        if ckpt is None:
+            partitioner = RLPartitioner(
+                n_chips, config=self.config, rng=self.seed, topology=rl_topology
+            )
+        else:
+            if self.registry is None:
+                raise RegistryError(
+                    "service has no checkpoint registry configured; "
+                    "pass registry_path / a CheckpointRegistry"
+                )
+            state, meta = self.registry.load(*ckpt)
+            net = meta.get("network", {})
+            meta_chips = meta.get("n_chips")
+            if meta_chips is not None and int(meta_chips) != n_chips:
+                raise RegistryError(
+                    f"checkpoint {ckpt[0]}@{ckpt[1]} was trained for "
+                    f"{meta_chips} chips; request targets {n_chips} "
+                    "(policy head width is chip-count specific)"
+                )
+            conditioned = bool(net.get("topology_conditioned", False))
+            if conditioned and rl_topology is None:
+                # A topology-conditioned network can serve any platform,
+                # including the uni-ring — give it the explicit topology so
+                # the feature width matches the weights.
+                from repro.hardware.topology import UniRing
+
+                rl_topology = topology if topology is not None else UniRing(n_chips)
+            elif not conditioned and rl_topology is not None:
+                raise RegistryError(
+                    f"checkpoint {ckpt[0]}@{ckpt[1]} is a legacy uni-ring "
+                    f"policy; it cannot serve topology {topology.name!r}"
+                )
+            config = (
+                RLPartitionerConfig(
+                    hidden=int(net["hidden"]),
+                    n_sage_layers=int(net["n_sage_layers"]),
+                    n_policy_layers=int(net["n_policy_layers"]),
+                    refine_iters=int(net["refine_iters"]),
+                    ppo=self.config.ppo,
+                )
+                if net
+                else self.config
+            )
+            partitioner = RLPartitioner(
+                n_chips, config=config, rng=self.seed, topology=rl_topology
+            )
+            partitioner.install_checkpoint(state, tag=ckpt)
+            self.weight_loads += 1
+            self._states[key] = (state, ckpt)
+        self.builds += 1
+        return partitioner
+
+    def get(
+        self,
+        n_chips: int,
+        topology=None,
+        checkpoint: "str | None" = None,
+        version: "int | None" = None,
+        resolved=_UNRESOLVED,
+    ) -> tuple:
+        """``(partitioner, cold)`` serving the given platform + checkpoint.
+
+        ``resolved`` short-circuits checkpoint resolution with an already
+        resolved ``(name, version)`` tuple (or ``None`` for no checkpoint):
+        the serving path resolves once per request and threads the result
+        here, both to skip a redundant registry directory scan and so a
+        concurrent publish cannot retarget the request between its cache
+        key and its weights.
+        """
+        ckpt = (
+            resolved
+            if resolved is not _UNRESOLVED
+            else self.resolve_checkpoint(checkpoint, version)
+        )
+        key = (ckpt, int(n_chips), _topology_semantics(topology, int(n_chips)))
+        partitioner = self._pool.get(key)
+        if partitioner is not None:
+            self._pool.move_to_end(key)
+            if key in self._states:
+                state, tag = self._states[key]
+                if partitioner.install_checkpoint(state, tag=tag):
+                    self.weight_loads += 1
+            return partitioner, False
+        partitioner = self._build(key, int(n_chips), topology)
+        self._pool[key] = partitioner
+        while len(self._pool) > self.capacity:
+            evicted, _ = self._pool.popitem(last=False)
+            self._states.pop(evicted, None)
+        return partitioner, True

@@ -1,0 +1,305 @@
+"""Stdlib HTTP/JSON endpoint over :class:`PartitionService`.
+
+Endpoints
+---------
+``POST /partition``
+    Body: a JSON request (see :func:`request_from_payload`).  The graph is
+    either a zoo name (string, resolved server-side) or an inline
+    :func:`repro.graphs.serialization.graph_to_dict` dict.  Reply: the
+    partition, its improvement, and cache provenance.
+``GET /metrics``
+    The service metrics snapshot (hit rate, per-source p50/p95 latency,
+    requests served).
+``GET /healthz``
+    Liveness probe.
+
+The server is a ``ThreadingHTTPServer``; the service underneath serialises
+submissions with its own lock, so concurrent clients are safe.  Client-side
+helpers (:func:`request_partition`, :func:`fetch_metrics`) wrap ``urllib``
+so the CLI's ``repro request`` needs no third-party HTTP stack.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, HTTPServer, ThreadingHTTPServer
+
+from repro.graphs.serialization import graph_from_dict
+from repro.hardware.topology import make_topology
+from repro.serve.service import PartitionRequest, PartitionService, ServiceError
+
+#: Upper bound on an inline-graph request body (a graph_to_dict of a
+#: 100k-node graph is ~20 MB; anything bigger is a framing error or abuse).
+_MAX_BODY_BYTES = 64 * 2**20
+
+
+def request_from_payload(
+    payload: dict, graph_resolver=None
+) -> PartitionRequest:
+    """Build a :class:`PartitionRequest` from a JSON payload.
+
+    Payload keys: ``graph`` (zoo name string or inline graph dict),
+    ``chips``, ``topology`` (+ ``mesh_dims``), ``objective``, ``platform``
+    (``analytical``/``simulator``), ``samples``, ``checkpoint``,
+    ``checkpoint_version``.  ``graph_resolver`` maps name strings to
+    :class:`CompGraph` (the CLI passes the zoo table; inline dicts always
+    work).
+    """
+    spec = payload.get("graph")
+    if isinstance(spec, str):
+        if graph_resolver is None:
+            raise ServiceError(
+                "this server only accepts inline graphs; send a "
+                "graph_to_dict payload instead of a name"
+            )
+        try:
+            graph = graph_resolver(spec)
+        except (KeyError, SystemExit, OSError, ValueError):
+            # Whatever the resolver rejects — unknown name, or a
+            # path-shaped probe it refuses to read — is the client's
+            # problem, reported as a 422, never a dropped connection.
+            raise ServiceError(f"unknown graph {spec!r}") from None
+    elif isinstance(spec, dict):
+        try:
+            graph = graph_from_dict(spec)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ServiceError(f"bad inline graph: {exc}") from None
+    else:
+        raise ServiceError("payload must carry 'graph' (name or inline dict)")
+
+    try:
+        n_chips = int(payload.get("chips", 4))
+    except (TypeError, ValueError):
+        raise ServiceError(f"bad chips value {payload.get('chips')!r}") from None
+    topology = None
+    topo_name = payload.get("topology")
+    if payload.get("mesh_dims") is not None and topo_name != "mesh":
+        # Same contract as the CLI (`--mesh-dims applies to --topology
+        # mesh only`): silently ignoring the dims would hand back a
+        # partition for a platform the client didn't ask for.
+        raise ServiceError("mesh_dims applies to topology 'mesh' only")
+    if topo_name is not None and topo_name != "uniring":
+        try:
+            topology = make_topology(
+                topo_name, n_chips, payload.get("mesh_dims")
+            )
+        except (ValueError, TypeError, KeyError, IndexError) as exc:
+            # Whatever shape of junk arrived in topology/mesh_dims: a 422,
+            # never a crashed handler.
+            raise ServiceError(
+                f"bad topology spec: {exc or type(exc).__name__}"
+            ) from None
+    samples = payload.get("samples")
+    version = payload.get("checkpoint_version")
+    return PartitionRequest(
+        graph=graph,
+        n_chips=n_chips,
+        topology=topology,
+        objective=str(payload.get("objective", "throughput")),
+        cost_model=str(payload.get("platform", "analytical")),
+        samples=None if samples is None else int(samples),
+        checkpoint=payload.get("checkpoint"),
+        version=None if version is None else int(version),
+    )
+
+
+def response_to_payload(response) -> dict:
+    """JSON-safe dict form of a :class:`PartitionResponse`."""
+    return {
+        "fingerprint": response.fingerprint,
+        "assignment": response.assignment.tolist(),
+        "improvement": response.improvement,
+        "objective": response.objective,
+        "cached": response.cached,
+        "source": response.source,
+        "latency_ms": response.latency_ms,
+        "samples": response.samples,
+        "chips": response.n_chips,
+        "checkpoint": (
+            None
+            if response.checkpoint is None
+            else {
+                "name": response.checkpoint[0],
+                "version": response.checkpoint[1],
+            }
+        ),
+        "throughput": response.throughput,
+        "latency_us": response.latency_us,
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the server's service; JSON in, JSON out."""
+
+    server_version = "repro-serve/1"
+
+    def _reply(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt, *args):  # pragma: no cover - quiet by default
+        if getattr(self.server, "verbose", False):
+            super().log_message(fmt, *args)
+
+    def do_GET(self) -> None:
+        if self.path == "/metrics":
+            self._reply(200, self.server.service.metrics())
+        elif self.path == "/healthz":
+            self._reply(200, {"ok": True})
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:
+        if self.path != "/partition":
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            # Never trust the client's framing: a negative length would
+            # turn read() into read-until-EOF (a thread wedged on a held
+            # connection), an absurd one into unbounded buffering.
+            if length < 0:
+                self._reply(400, {"error": "bad Content-Length"})
+                return
+            if length > _MAX_BODY_BYTES:
+                self._reply(
+                    413,
+                    {"error": f"request body over {_MAX_BODY_BYTES} bytes"},
+                )
+                return
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            request = request_from_payload(
+                payload, graph_resolver=self.server.graph_resolver
+            )
+            response = self.server.service.submit(request)
+        except ServiceError as exc:
+            self._reply(422, {"error": str(exc)})
+            return
+        except (json.JSONDecodeError, ValueError, TypeError) as exc:
+            self._reply(400, {"error": f"bad request: {exc}"})
+            return
+        except Exception as exc:  # noqa: BLE001 - last-resort: a handler
+            # crash must surface as an HTTP error, not a dropped connection.
+            self._reply(500, {"error": f"internal error: {exc!r}"})
+            return
+        self._reply(200, response_to_payload(response))
+
+
+class PartitionServer:
+    """A :class:`ThreadingHTTPServer` bound to one service.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    construction.  ``start()`` serves in a daemon thread (tests, CLI
+    foreground mode calls :meth:`serve_forever` directly).
+    ``threaded=False`` switches to a single-threaded ``HTTPServer`` whose
+    :meth:`handle_request` fully serves one request before returning — the
+    right mode for bounded ``--max-requests`` smoke runs, where a threaded
+    accept loop could exit before an in-flight handler thread replies.
+    """
+
+    def __init__(
+        self,
+        service: PartitionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        graph_resolver=None,
+        verbose: bool = False,
+        threaded: bool = True,
+    ):
+        self.service = service
+        server_cls = ThreadingHTTPServer if threaded else HTTPServer
+        self._httpd = server_cls((host, port), _Handler)
+        self._httpd.service = service
+        self._httpd.graph_resolver = graph_resolver
+        self._httpd.verbose = verbose
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    def start(self) -> "PartitionServer":
+        """Serve in a background daemon thread; returns self."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown`."""
+        self._httpd.serve_forever()
+
+    def handle_request(self) -> None:
+        """Serve exactly one request (the CLI's ``--max-requests`` loop)."""
+        self._httpd.handle_request()
+
+    def shutdown(self) -> None:
+        """Stop serving and release the socket; idempotent."""
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "PartitionServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Client helpers
+# ----------------------------------------------------------------------
+def _http_json(url: str, data: "bytes | None" = None, timeout: float = 600.0) -> dict:
+    req = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.loads(exc.read()).get("error", "")
+        except (ValueError, OSError):
+            detail = ""
+        raise ServiceError(
+            f"server replied {exc.code}: {detail or exc.reason}"
+        ) from None
+
+
+def request_partition(
+    payload: dict,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    timeout: float = 600.0,
+) -> dict:
+    """POST one request payload to a running server; returns the reply."""
+    return _http_json(
+        f"http://{host}:{port}/partition",
+        data=json.dumps(payload).encode("utf-8"),
+        timeout=timeout,
+    )
+
+
+def fetch_metrics(
+    host: str = "127.0.0.1", port: int = 8080, timeout: float = 60.0
+) -> dict:
+    """GET the server's metrics snapshot."""
+    return _http_json(f"http://{host}:{port}/metrics", timeout=timeout)

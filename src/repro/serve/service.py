@@ -1,0 +1,529 @@
+"""Partition-as-a-service: the in-process request/response front end.
+
+:class:`PartitionService` wraps the whole stack — fingerprinting, the
+result cache, the checkpoint registry's warm partitioner pool, environment
+construction, and the parallel pool's batched zero-shot replay — behind one
+call::
+
+    service = PartitionService()
+    response = service.submit(PartitionRequest(graph=my_graph, n_chips=4))
+
+Request lifecycle (see the "Serving invariants" section of ROADMAP.md):
+
+1. the request is canonicalised to a content fingerprint (graph hash +
+   platform descriptor + objective + cost model + sample budget + resolved
+   checkpoint version);
+2. a cache hit returns the bit-identical stored partition without touching
+   the policy or the solver;
+3. misses are grouped by (checkpoint, platform semantics), each group gets
+   a warm partitioner from the pool (weights load once per checkpoint, not
+   per request), and the group's searches fan over the parallel executor as
+   one replay batch — each request seeded purely by its own fingerprint, so
+   results are independent of batch composition and worker count;
+4. results are stored in the cache and latency is recorded per source
+   (``cached`` / ``warm`` / ``cold``) for the ``/metrics`` view.
+
+The service is thread-safe: one lock serialises submission (searches are
+CPU-bound; concurrency comes from the worker pool underneath, not from
+overlapping submits).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.environment import PartitionEnvironment
+from repro.core.partitioner import RLPartitionerConfig, _topology_semantics
+from repro.graphs.graph import CompGraph
+from repro.hardware.analytical import AnalyticalCostModel
+from repro.hardware.package import MCMPackage
+from repro.hardware.simulator import PipelineSimulator
+from repro.parallel.search import ParallelConfig, replay_batch
+from repro.rl.features import featurize
+from repro.serve.cache import CachedPartition, PartitionCache
+from repro.serve.fingerprint import (
+    PlatformDescriptor,
+    canonical_form,
+    request_fingerprint,
+)
+from repro.serve.registry import CheckpointRegistry, WarmPartitionerPool
+
+#: Seed-key tag namespacing serving replays (0/1 are the training pool's).
+SERVE_SEED_TAG = 2
+
+#: How many recent per-source latencies the metrics retain for percentiles.
+_LATENCY_WINDOW = 4096
+
+
+class ServiceError(RuntimeError):
+    """A request the service cannot fulfil (bad spec, no valid partition)."""
+
+
+@dataclass
+class PartitionRequest:
+    """One partitioning request.
+
+    Attributes
+    ----------
+    graph:
+        The workload to partition.
+    n_chips:
+        Package size.
+    topology:
+        Interconnect (:mod:`repro.hardware.topology`); ``None`` is the
+        paper's uni-ring.
+    objective:
+        ``"throughput"`` (default) or ``"latency"``.
+    cost_model:
+        ``"analytical"`` (default) or ``"simulator"``.
+    samples:
+        Zero-shot draw budget for a cache miss (``None`` uses the service
+        default).
+    checkpoint / version:
+        Registry checkpoint supplying policy weights (``None`` serves the
+        untrained policy; ``version=None`` resolves to the latest).
+    """
+
+    graph: CompGraph
+    n_chips: int = 4
+    topology: object = None
+    objective: str = "throughput"
+    cost_model: str = "analytical"
+    samples: "int | None" = None
+    checkpoint: "str | None" = None
+    version: "int | None" = None
+
+
+@dataclass(frozen=True)
+class PartitionResponse:
+    """The service's reply for one request.
+
+    ``source`` records how the result was produced: ``"cached"`` (hit),
+    ``"warm"`` (searched on an already-live partitioner), or ``"cold"``
+    (the partitioner had to be built and its weights loaded first).
+    """
+
+    fingerprint: str
+    assignment: np.ndarray
+    improvement: float
+    objective: str
+    cached: bool
+    source: str
+    latency_ms: float
+    samples: int
+    n_chips: int
+    checkpoint: "tuple | None" = None
+    throughput: float = 0.0
+    latency_us: float = 0.0
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of one :class:`PartitionService` instance."""
+
+    cache_capacity: int = 256
+    registry_path: "str | None" = None
+    pool_capacity: int = 4
+    n_workers: int = 1
+    default_samples: int = 16
+    seed: int = 0
+    timeout: float = 600.0
+
+    def __post_init__(self):
+        if self.default_samples < 1:
+            raise ValueError("default_samples must be >= 1")
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+
+
+class ServiceMetrics:
+    """Counters + bounded latency reservoirs behind the ``/metrics`` view.
+
+    Guarded by its own small lock, *not* the service's submission lock: a
+    monitoring scrape must never block behind an in-flight search.
+    """
+
+    def __init__(self):
+        self.started = time.perf_counter()
+        self.started_unix = time.time()
+        self.requests_total = 0
+        self.errors = 0
+        self.by_source = {"cached": 0, "warm": 0, "cold": 0}
+        self._latency_ms = {
+            source: deque(maxlen=_LATENCY_WINDOW) for source in self.by_source
+        }
+        self._lock = threading.Lock()
+
+    def record(self, source: str, latency_ms: float) -> None:
+        with self._lock:
+            self.requests_total += 1
+            self.by_source[source] += 1
+            self._latency_ms[source].append(float(latency_ms))
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    @staticmethod
+    def _percentiles(values: deque) -> dict:
+        if not values:
+            return {"count": 0, "p50_ms": None, "p95_ms": None}
+        arr = np.fromiter(values, dtype=np.float64)
+        return {
+            "count": int(arr.size),
+            "p50_ms": float(np.percentile(arr, 50)),
+            "p95_ms": float(np.percentile(arr, 95)),
+        }
+
+    def snapshot(self) -> dict:
+        uptime = max(time.perf_counter() - self.started, 1e-9)
+        with self._lock:
+            return {
+                "requests_total": self.requests_total,
+                "errors": self.errors,
+                "uptime_s": uptime,
+                "requests_per_sec": self.requests_total / uptime,
+                "by_source": dict(self.by_source),
+                "latency_ms": {
+                    source: self._percentiles(values)
+                    for source, values in self._latency_ms.items()
+                },
+            }
+
+
+class PartitionService:
+    """Long-lived serving front end over the partitioning stack."""
+
+    def __init__(
+        self,
+        config: "ServiceConfig | None" = None,
+        registry: "CheckpointRegistry | None" = None,
+        partitioner_config: "RLPartitionerConfig | None" = None,
+    ):
+        self.config = config or ServiceConfig()
+        if registry is None and self.config.registry_path is not None:
+            registry = CheckpointRegistry(self.config.registry_path)
+        self.registry = registry
+        self.cache = PartitionCache(self.config.cache_capacity)
+        self.pool = WarmPartitionerPool(
+            registry=registry,
+            capacity=self.config.pool_capacity,
+            seed=self.config.seed,
+            config=partitioner_config,
+        )
+        self.metrics_state = ServiceMetrics()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Fingerprinting
+    # ------------------------------------------------------------------
+    def _validate(self, request: PartitionRequest) -> None:
+        if request.objective not in ("throughput", "latency"):
+            raise ServiceError(
+                f"objective must be 'throughput' or 'latency', "
+                f"got {request.objective!r}"
+            )
+        if request.cost_model not in ("analytical", "simulator"):
+            raise ServiceError(
+                f"cost_model must be 'analytical' or 'simulator', "
+                f"got {request.cost_model!r}"
+            )
+        if request.n_chips < 1:
+            raise ServiceError("n_chips must be >= 1")
+        samples = self._samples(request)
+        if samples < 1:
+            raise ServiceError("samples must be >= 1")
+        if (
+            request.topology is not None
+            and request.topology.n_chips != request.n_chips
+        ):
+            raise ServiceError(
+                f"topology is for {request.topology.n_chips} chips, request "
+                f"targets {request.n_chips}"
+            )
+
+    def _samples(self, request: PartitionRequest) -> int:
+        return int(
+            self.config.default_samples
+            if request.samples is None
+            else request.samples
+        )
+
+    def fingerprint(self, request: PartitionRequest) -> str:
+        """The request's cache key (checkpoint version resolved)."""
+        return self._fingerprint_resolved(request)[0]
+
+    def _fingerprint_resolved(self, request: PartitionRequest) -> tuple:
+        """``(fingerprint, resolved checkpoint, canonical node order)`` —
+        one registry resolve and one graph canonicalisation per request,
+        threaded through the whole submission path.  The node order is
+        what lets a cache hit be remapped onto a same-content graph with
+        permuted node ids (:meth:`CachedPartition.aligned_assignment`)."""
+        self._validate(request)
+        try:
+            ckpt = self.pool.resolve_checkpoint(request.checkpoint, request.version)
+        except KeyError as exc:
+            raise ServiceError(str(exc)) from None
+        graph_fp, order = canonical_form(request.graph)
+        fp = request_fingerprint(
+            graph_fp,
+            PlatformDescriptor.of(request.n_chips, request.topology),
+            objective=request.objective,
+            cost_model=request.cost_model,
+            samples=self._samples(request),
+            checkpoint=ckpt,
+        )
+        return fp, ckpt, order
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, request: PartitionRequest) -> PartitionResponse:
+        """Serve one request (cache hit or zero-shot search)."""
+        return self.submit_many([request])[0]
+
+    def submit_many(
+        self, requests: "list[PartitionRequest]"
+    ) -> "list[PartitionResponse]":
+        """Serve a batch: hits answered inline, misses fanned over the pool.
+
+        Misses sharing a (checkpoint, platform-semantics) group run as one
+        :func:`repro.parallel.replay_batch`; each request's search is seeded
+        by its own fingerprint, so the returned partition for a given
+        request is identical whether it arrives alone or in any batch.
+        Duplicate requests inside one batch are deduplicated: the search
+        runs once and the copies are served from the fresh cache entry.
+
+        An invalid or unsatisfiable request does not abort the rest: every
+        other member still runs (and its result is cached) before a single
+        :class:`ServiceError` summarising the failures is raised — so a
+        retry without the failing requests is answered entirely from
+        cache.  Members processed before such a raise are still counted in
+        the metrics: their work really ran and their results are retained.
+        """
+        with self._lock:
+            try:
+                return self._submit_locked(list(requests))
+            except ServiceError:
+                self.metrics_state.record_error()
+                raise
+
+    def _submit_locked(self, requests) -> list:
+        responses: list = [None] * len(requests)
+        groups: dict = {}
+        in_flight: set = set()
+        duplicates: list = []
+        failures: list = []
+        for i, request in enumerate(requests):
+            t0 = time.perf_counter()
+            try:
+                fp, ckpt, order = self._fingerprint_resolved(request)
+            except ServiceError as exc:
+                # An invalid member must not abort its siblings (the
+                # batch-isolation contract of submit_many).
+                failures.append(str(exc))
+                continue
+            if fp in in_flight:
+                # Same fingerprint already queued in this batch: search
+                # once, serve this copy from the entry it will store.  No
+                # cache probe here — the primary's miss is already counted.
+                duplicates.append((i, request, fp, ckpt, order))
+                continue
+            entry = self.cache.get(fp)
+            if entry is not None:
+                latency_ms = (time.perf_counter() - t0) * 1e3
+                self.metrics_state.record("cached", latency_ms)
+                responses[i] = self._response_from_entry(
+                    request, fp, ckpt, order, entry, latency_ms
+                )
+                continue
+            in_flight.add(fp)
+            group_key = (
+                ckpt,
+                int(request.n_chips),
+                _topology_semantics(request.topology, int(request.n_chips)),
+            )
+            groups.setdefault(group_key, []).append((i, request, fp, ckpt, order))
+
+        fresh: dict = {}
+        for members in groups.values():
+            failures.extend(self._run_group(members, responses, fresh))
+        for i, request, fp, ckpt, order in duplicates:
+            # Served from the entry the primary stored this batch (held in
+            # ``fresh`` so a tiny cache whose LRU already evicted it can't
+            # leave the duplicate unanswered).  The cache-serve step is
+            # timed on its own: the duplicate's wait on the primary's
+            # search is already accounted under the primary's cold/warm
+            # record, and folding it into the "cached" class would corrupt
+            # the sub-millisecond hit percentiles.
+            t0 = time.perf_counter()
+            entry = fresh.get(fp)
+            if entry is None:  # the primary copy failed (failure recorded)
+                continue
+            latency_ms = (time.perf_counter() - t0) * 1e3
+            self.metrics_state.record("cached", latency_ms)
+            responses[i] = self._response_from_entry(
+                request, fp, ckpt, order, entry, latency_ms
+            )
+        if failures:
+            raise ServiceError("; ".join(failures))
+        return responses
+
+    def _run_group(self, members, responses, fresh: "dict | None" = None) -> "list[str]":
+        """Search one miss group; returns failure messages (never raises
+        past a member, so sibling requests always complete).  Stored
+        entries are also recorded into ``fresh`` for in-batch duplicates.
+
+        Latency accounting starts at *group* start, so a member's cold/
+        warm record covers its own group's work — earlier groups in the
+        same batch don't inflate it (members within a group share the
+        batch's wall time, which is what each of them actually waited)."""
+        t_group = time.perf_counter()
+        first, first_ckpt = members[0][1], members[0][3]
+        try:
+            # Hand the pool the *already resolved* (name, version) pair,
+            # not the raw request spec: a checkpoint published between
+            # fingerprinting and here must not shift a version=None
+            # request to different weights than its cache key claims (and
+            # the pool then skips a redundant registry re-resolve).
+            partitioner, cold = self.pool.get(
+                first.n_chips,
+                topology=first.topology,
+                resolved=first_ckpt,
+            )
+        except KeyError as exc:
+            return [str(exc)]
+        source = "cold" if cold else "warm"
+        failures: list = []
+        runnable, envs, feats, seeds, budgets = [], [], [], [], []
+        for member in members:
+            request, fp = member[1], member[2]
+            try:
+                env = self._build_env(request)
+            except ServiceError as exc:
+                failures.append(str(exc))
+                continue
+            runnable.append(member)
+            envs.append(env)
+            feats.append(featurize(env.graph, partitioner.effective_topology(env)))
+            seeds.append((self.config.seed, SERVE_SEED_TAG, int(fp[:15], 16)))
+            budgets.append(self._samples(request))
+        members = runnable
+        if not members:
+            return failures
+        results = replay_batch(
+            partitioner,
+            envs,
+            budgets,
+            seeds,
+            config=ParallelConfig(
+                n_workers=self.config.n_workers,
+                seed=0,
+                timeout=self.config.timeout,
+            ),
+            features=feats,
+        )
+        for (i, request, fp, ckpt, order), env, result in zip(members, envs, results):
+            if result.best_assignment is None:
+                failures.append(
+                    f"no valid partition found for graph "
+                    f"{request.graph.name!r} within {self._samples(request)} "
+                    "samples (raise the budget or relax the platform)"
+                )
+                continue
+            check = env.evaluate(result.best_assignment)
+            entry = CachedPartition(
+                fingerprint=fp,
+                assignment=result.best_assignment,
+                improvement=float(result.best_improvement),
+                node_order=order,
+                objective=request.objective,
+                throughput=float(check.result.throughput),
+                latency_us=float(check.result.latency_us),
+                metadata={
+                    "samples": self._samples(request),
+                    "source": source,
+                    "graph": request.graph.name,
+                },
+            )
+            self.cache.put(fp, entry)
+            if fresh is not None:
+                fresh[fp] = entry
+            latency_ms = (time.perf_counter() - t_group) * 1e3
+            self.metrics_state.record(source, latency_ms)
+            responses[i] = self._response_from_entry(
+                request, fp, ckpt, order, entry, latency_ms,
+                cached=False, source=source,
+            )
+        return failures
+
+    def _response_from_entry(
+        self,
+        request: PartitionRequest,
+        fp: str,
+        ckpt: "tuple | None",
+        order: "np.ndarray | None",
+        entry: CachedPartition,
+        latency_ms: float,
+        cached: bool = True,
+        source: str = "cached",
+    ) -> PartitionResponse:
+        return PartitionResponse(
+            fingerprint=fp,
+            assignment=entry.aligned_assignment(order),
+            improvement=entry.improvement,
+            objective=entry.objective,
+            cached=cached,
+            source=source,
+            latency_ms=latency_ms,
+            samples=self._samples(request),
+            n_chips=int(request.n_chips),
+            checkpoint=ckpt,
+            throughput=entry.throughput,
+            latency_us=entry.latency_us,
+        )
+
+    def _build_env(self, request: PartitionRequest) -> PartitionEnvironment:
+        package = MCMPackage(
+            n_chips=int(request.n_chips), topology=request.topology
+        )
+        cost_model = (
+            PipelineSimulator(package)
+            if request.cost_model == "simulator"
+            else AnalyticalCostModel(package)
+        )
+        try:
+            return PartitionEnvironment(
+                request.graph,
+                cost_model,
+                int(request.n_chips),
+                objective=request.objective,
+            )
+        except ValueError as exc:
+            raise ServiceError(str(exc)) from None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict:
+        """JSON-safe snapshot: request counters, hit rate, latency percentiles.
+
+        Deliberately does **not** take the submission lock (a scrape must
+        not block behind an in-flight search); counters are guarded by the
+        metrics' own lock, and the cache/pool gauges are simple reads whose
+        worst case is being one request stale.
+        """
+        snap = self.metrics_state.snapshot()
+        snap["cache"] = self.cache.stats()
+        snap["pool"] = {
+            "size": len(self.pool),
+            "capacity": self.pool.capacity,
+            "builds": self.pool.builds,
+            "weight_loads": self.pool.weight_loads,
+        }
+        return snap

@@ -1,0 +1,108 @@
+"""Regression: checkpoint loads must invalidate weights-version memos.
+
+``PartitionPolicy.encode`` is cached per features object keyed on
+``Module.weights_version()`` (the sum of per-tensor mutation counters).  A
+checkpoint load that failed to bump every loaded tensor's version would
+leave that key unchanged and serve embeddings computed with the *old*
+weights — silently wrong zero-shot partitions.  These tests pin the
+invariant for the whole load surface: ``Module.load_state_dict``, the
+file-level ``load_state``, and the state-dict file helpers the checkpoint
+registry uses.
+"""
+
+import numpy as np
+
+from repro.graphs.zoo import build_mlp
+from repro.nn.serialization import (
+    load_state,
+    load_state_dict_file,
+    save_state,
+    save_state_dict,
+)
+from repro.rl.features import featurize
+from repro.rl.policy import PartitionPolicy
+
+
+def _policy(seed=0) -> PartitionPolicy:
+    return PartitionPolicy(
+        n_chips=4, hidden=16, n_sage_layers=2, refine_iters=1, rng=seed
+    )
+
+
+class TestVersionBumps:
+    def test_load_state_dict_bumps_every_tensor(self):
+        policy = _policy()
+        versions = [p.version for p in policy.parameters()]
+        policy.load_state_dict(policy.state_dict())
+        after = [p.version for p in policy.parameters()]
+        assert all(b == a + 1 for a, b in zip(versions, after))
+
+    def test_load_state_changes_weights_version(self, tmp_path):
+        policy = _policy()
+        path = str(tmp_path / "w.npz")
+        save_state(policy, path)
+        before = policy.weights_version()
+        load_state(policy, path)
+        assert policy.weights_version() != before
+
+    def test_state_dict_file_roundtrip(self, tmp_path):
+        policy = _policy(seed=3)
+        path = str(tmp_path / "w.npz")
+        save_state_dict(policy.state_dict(), path)
+        state = load_state_dict_file(path)
+        for key, value in policy.state_dict().items():
+            np.testing.assert_array_equal(state[key], value)
+
+
+class TestEncodeCacheInvalidation:
+    def test_cached_encode_invalidated_after_load_state(self, tmp_path):
+        """Satellite regression: a cached ``encode`` must not survive
+        ``load_state`` — even when the loaded weights differ."""
+        features = featurize(build_mlp())
+        policy = _policy(seed=0)
+        other = _policy(seed=99)  # different init: observably different h
+        path = str(tmp_path / "other.npz")
+        save_state(other, path)
+
+        cached = policy.encode(features)
+        assert policy.encode(features) is cached  # memo is live
+        load_state(policy, path)
+        fresh = policy.encode(features)
+        assert fresh is not cached
+        np.testing.assert_array_equal(fresh.data, other.encode(features).data)
+        assert not np.allclose(fresh.data, cached.data)
+
+    def test_cached_encode_invalidated_by_identical_reload(self, tmp_path):
+        """Reloading the *same* weights still misses the memo (the version
+        counter is mutation-count based, deliberately conservative)."""
+        features = featurize(build_mlp())
+        policy = _policy()
+        path = str(tmp_path / "same.npz")
+        save_state(policy, path)
+        cached = policy.encode(features)
+        load_state(policy, path)
+        fresh = policy.encode(features)
+        assert fresh is not cached
+        np.testing.assert_array_equal(fresh.data, cached.data)
+
+    def test_partitioner_install_checkpoint_skip_keeps_cache(self):
+        """The warm-serving fast path: install_checkpoint with a matching
+        tag skips the load, so the encoder memo stays valid (weights are
+        untouched)."""
+        from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
+        from repro.rl.ppo import PPOConfig
+
+        config = RLPartitionerConfig(
+            hidden=16, n_sage_layers=1, refine_iters=1,
+            ppo=PPOConfig(n_rollouts=4, n_minibatches=1, n_epochs=1),
+        )
+        partitioner = RLPartitioner(4, config=config, rng=0)
+        state = partitioner.state_dict()
+        assert partitioner.install_checkpoint(state, tag=("prod", 1)) is True
+        features = featurize(build_mlp())
+        cached = partitioner.policy.encode(features)
+        assert partitioner.install_checkpoint(state, tag=("prod", 1)) is False
+        assert partitioner.policy.encode(features) is cached
+        # A different tag is a real load: memo must fall out.
+        assert partitioner.install_checkpoint(state, tag=("prod", 2)) is True
+        assert partitioner.policy.encode(features) is not cached

@@ -1,0 +1,36 @@
+"""Shared fixtures for the serving-layer tests: tiny, fast configurations."""
+
+import pytest
+
+from repro.core.partitioner import RLPartitionerConfig
+from repro.rl.ppo import PPOConfig
+from repro.serve import PartitionService, ServiceConfig
+
+
+def tiny_rl_config(**overrides) -> RLPartitionerConfig:
+    """A minimal policy network: serving tests measure plumbing, not quality."""
+    kwargs = dict(
+        hidden=16,
+        n_sage_layers=1,
+        n_policy_layers=1,
+        refine_iters=1,
+        ppo=PPOConfig(n_rollouts=4, n_minibatches=1, n_epochs=1),
+    )
+    kwargs.update(overrides)
+    return RLPartitionerConfig(**kwargs)
+
+
+def tiny_service(registry=None, **config_overrides) -> PartitionService:
+    """A service wired with the tiny network and a small default budget."""
+    kwargs = dict(default_samples=6, cache_capacity=32, seed=0)
+    kwargs.update(config_overrides)
+    return PartitionService(
+        ServiceConfig(**kwargs),
+        registry=registry,
+        partitioner_config=tiny_rl_config(),
+    )
+
+
+@pytest.fixture
+def service() -> PartitionService:
+    return tiny_service()

@@ -1,0 +1,121 @@
+"""Partition-cache semantics: deterministic LRU, bit-identical hits,
+platform isolation."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.topology import Mesh2D
+from repro.serve.cache import CachedPartition, PartitionCache
+from repro.serve.fingerprint import PlatformDescriptor, request_fingerprint
+from tests.conftest import random_dag
+
+
+def _entry(key: str, assignment) -> CachedPartition:
+    return CachedPartition(
+        fingerprint=key,
+        assignment=np.asarray(assignment, dtype=np.int64),
+        improvement=1.5,
+    )
+
+
+class TestLRU:
+    def test_eviction_order_is_deterministic_lru(self):
+        """Satellite: least-recently-used goes first, refreshed entries
+        survive — same sequence, same evictions, every run."""
+        cache = PartitionCache(capacity=3)
+        for key in ("a", "b", "c"):
+            assert cache.put(key, _entry(key, [0, 1])) is None
+        assert cache.keys() == ["a", "b", "c"]
+        assert cache.get("a") is not None  # refresh a: b is now LRU
+        assert cache.put("d", _entry("d", [0, 1])) == "b"
+        assert cache.keys() == ["c", "a", "d"]
+        assert cache.put("e", _entry("e", [0, 1])) == "c"
+        assert cache.put("f", _entry("f", [0, 1])) == "a"
+        assert cache.keys() == ["d", "e", "f"]
+        assert cache.evictions == 3
+
+    def test_input_order_is_the_only_tiebreak(self):
+        """Two caches fed the same sequence evolve identically."""
+        sequence = ["x", "y", "z", "x", "w", "v", "y"]
+        caches = [PartitionCache(capacity=2) for _ in range(2)]
+        logs = []
+        for cache in caches:
+            log = []
+            for key in sequence:
+                if cache.get(key) is None:
+                    log.append(("miss", key, cache.put(key, _entry(key, [0]))))
+                else:
+                    log.append(("hit", key, None))
+            logs.append((log, cache.keys()))
+        assert logs[0] == logs[1]
+
+    def test_reput_refreshes_entry_and_recency(self):
+        cache = PartitionCache(capacity=2)
+        cache.put("a", _entry("a", [0, 0]))
+        cache.put("b", _entry("b", [0, 1]))
+        cache.put("a", _entry("a", [1, 1]))  # refresh: b becomes LRU
+        assert cache.put("c", _entry("c", [0])) == "b"
+        np.testing.assert_array_equal(cache.get("a").assignment, [1, 1])
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PartitionCache(capacity=0)
+
+
+class TestHitIdentity:
+    def test_hit_is_bit_identical_and_frozen(self):
+        """Satellite: a hit returns the originally stored partition,
+        bit for bit, and the stored array cannot be mutated."""
+        cache = PartitionCache(capacity=4)
+        original = np.array([0, 0, 1, 2, 3, 3], dtype=np.int64)
+        cache.put("k", _entry("k", original))
+        hit = cache.get("k")
+        np.testing.assert_array_equal(hit.assignment, original)
+        assert hit.assignment.dtype == np.int64
+        assert not hit.assignment.flags.writeable
+        # The source array is decoupled: mutating it cannot corrupt the cache.
+        original[0] = 99
+        np.testing.assert_array_equal(
+            cache.get("k").assignment, [0, 0, 1, 2, 3, 3]
+        )
+        # Repeat hits hand out the same frozen object (no copies needed).
+        assert cache.get("k").assignment is hit.assignment
+
+    def test_counters(self):
+        cache = PartitionCache(capacity=2)
+        assert cache.get("nope") is None
+        cache.put("k", _entry("k", [0]))
+        cache.get("k")
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert "k" in cache and "nope" not in cache
+
+
+class TestPlatformIsolation:
+    def test_mismatched_platforms_never_collide(self):
+        """Satellite: the platform descriptor is part of the key, so the
+        same graph cached for two platforms yields two distinct entries."""
+        graph = random_dag(0, 12)
+        key_ring = request_fingerprint(graph, PlatformDescriptor.of(4))
+        key_mesh = request_fingerprint(
+            graph, PlatformDescriptor.of(4, Mesh2D(2, 2))
+        )
+        assert key_ring != key_mesh
+        cache = PartitionCache(capacity=4)
+        cache.put(key_ring, _entry(key_ring, [0, 1, 2, 3]))
+        cache.put(key_mesh, _entry(key_mesh, [3, 2, 1, 0]))
+        np.testing.assert_array_equal(
+            cache.get(key_ring).assignment, [0, 1, 2, 3]
+        )
+        np.testing.assert_array_equal(
+            cache.get(key_mesh).assignment, [3, 2, 1, 0]
+        )
+
+    def test_chip_count_is_part_of_the_platform(self):
+        graph = random_dag(1, 12)
+        keys = {
+            request_fingerprint(graph, PlatformDescriptor.of(c))
+            for c in (2, 3, 4, 8)
+        }
+        assert len(keys) == 4

@@ -1,0 +1,230 @@
+"""Canonical graph fingerprints: stability, invariance, and sensitivity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graphs.builders import GraphBuilder
+from repro.graphs.ops import OpType
+from repro.graphs.serialization import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+from repro.graphs.zoo import (
+    build_autoencoder,
+    build_bert,
+    build_cnn,
+    build_decoder,
+    build_gru,
+    build_inception_cnn,
+    build_lstm,
+    build_mlp,
+    build_mobilenet,
+    build_residual_cnn,
+    build_unet,
+)
+from repro.hardware.topology import BiRing, Crossbar, Mesh2D, UniRing
+from repro.serve.fingerprint import (
+    PlatformDescriptor,
+    graph_fingerprint,
+    request_fingerprint,
+)
+from tests.conftest import random_dag
+
+#: Every zoo family (BERT scaled down so the sweep stays fast).
+ZOO_BUILDERS = {
+    "mlp": build_mlp,
+    "autoencoder": build_autoencoder,
+    "cnn": build_cnn,
+    "resnet": build_residual_cnn,
+    "inception": build_inception_cnn,
+    "lstm": build_lstm,
+    "gru": build_gru,
+    "decoder": build_decoder,
+    "unet": build_unet,
+    "mobilenet": build_mobilenet,
+    "bert-small": lambda: build_bert(
+        layers=1, hidden=64, heads=2, seq=16, target_nodes=None
+    ),
+}
+
+
+class TestRoundtripStability:
+    @pytest.mark.parametrize("name", sorted(ZOO_BUILDERS))
+    def test_save_load_roundtrip_preserves_fingerprint(self, name, tmp_path):
+        """Satellite: the fingerprint is identical before/after ``.npz``
+        serialization for every zoo graph family."""
+        graph = ZOO_BUILDERS[name]()
+        before = graph_fingerprint(graph)
+        path = str(tmp_path / f"{name}.npz")
+        save_graph(graph, path)
+        assert graph_fingerprint(load_graph(path)) == before
+
+    @pytest.mark.parametrize("name", sorted(ZOO_BUILDERS))
+    def test_json_wire_roundtrip_preserves_fingerprint(self, name):
+        """The HTTP wire format (graph_to_dict through a real JSON encode)
+        also preserves the fingerprint bit-for-bit."""
+        graph = ZOO_BUILDERS[name]()
+        wire = json.loads(json.dumps(graph_to_dict(graph)))
+        assert graph_fingerprint(graph_from_dict(wire)) == graph_fingerprint(graph)
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_random_dag_roundtrip(self, seed, tmp_path):
+        graph = random_dag(seed, 23)
+        path = str(tmp_path / "g.npz")
+        save_graph(graph, path)
+        assert graph_fingerprint(load_graph(path)) == graph_fingerprint(graph)
+
+
+def _diamond(order: "list[str]"):
+    """The same 4-node diamond built with nodes inserted in ``order``."""
+    spec = {
+        "in": (OpType.INPUT, 0.0, 64.0, 0.0),
+        "left": (OpType.MATMUL, 5.0, 128.0, 256.0),
+        "right": (OpType.RELU, 1.0, 128.0, 0.0),
+        "out": (OpType.ADD, 2.0, 64.0, 0.0),
+    }
+    edges = [("in", "left"), ("in", "right"), ("left", "out"), ("right", "out")]
+    b = GraphBuilder("diamond")
+    ids = {}
+    for name in order:
+        op, c, o, p = spec[name]
+        ids[name] = b.add_node(name, op, compute_us=c, output_bytes=o, param_bytes=p)
+    for s, d in edges:
+        b.add_edge(ids[s], ids[d])
+    return b.build()
+
+
+class TestInsertionOrderInvariance:
+    def test_diamond_orders_agree(self):
+        fps = {
+            graph_fingerprint(_diamond(order))
+            for order in (
+                ["in", "left", "right", "out"],
+                ["in", "right", "left", "out"],
+                ["out", "in", "left", "right"],
+            )
+        }
+        assert len(fps) == 1
+
+    def test_graph_name_is_metadata(self):
+        from repro.graphs.graph import CompGraph
+
+        a = _diamond(["in", "left", "right", "out"])
+        renamed = CompGraph(
+            names=a.names,
+            op_types=a.op_types,
+            compute_us=a.compute_us,
+            output_bytes=a.output_bytes,
+            param_bytes=a.param_bytes,
+            src=a.src,
+            dst=a.dst,
+            name="renamed",
+        )
+        assert graph_fingerprint(a) == graph_fingerprint(renamed)
+
+
+class TestSensitivity:
+    def test_attribute_change_changes_fingerprint(self):
+        base = random_dag(3, 12)
+        bumped = base.compute_us.copy()
+        bumped[5] += 1e-9
+        from repro.graphs.graph import CompGraph
+
+        changed = CompGraph(
+            names=base.names,
+            op_types=base.op_types,
+            compute_us=bumped,
+            output_bytes=base.output_bytes,
+            param_bytes=base.param_bytes,
+            src=base.src,
+            dst=base.dst,
+            name=base.name,
+        )
+        assert graph_fingerprint(changed) != graph_fingerprint(base)
+
+    def test_extra_edge_changes_fingerprint(self):
+        a = _diamond(["in", "left", "right", "out"])
+        b = GraphBuilder("diamond")
+        ids = {}
+        for name, (op, c, o, p) in {
+            "in": (OpType.INPUT, 0.0, 64.0, 0.0),
+            "left": (OpType.MATMUL, 5.0, 128.0, 256.0),
+            "right": (OpType.RELU, 1.0, 128.0, 0.0),
+            "out": (OpType.ADD, 2.0, 64.0, 0.0),
+        }.items():
+            ids[name] = b.add_node(name, op, compute_us=c, output_bytes=o, param_bytes=p)
+        for s, d in [("in", "left"), ("in", "right"), ("left", "out"),
+                     ("right", "out"), ("in", "out")]:
+            b.add_edge(ids[s], ids[d])
+        assert graph_fingerprint(b.build()) != graph_fingerprint(a)
+
+    def test_node_rename_changes_fingerprint(self):
+        a = random_dag(4, 10)
+        from repro.graphs.graph import CompGraph
+
+        renamed = CompGraph(
+            names=tuple(["other"] + list(a.names[1:])),
+            op_types=a.op_types,
+            compute_us=a.compute_us,
+            output_bytes=a.output_bytes,
+            param_bytes=a.param_bytes,
+            src=a.src,
+            dst=a.dst,
+            name=a.name,
+        )
+        assert graph_fingerprint(renamed) != graph_fingerprint(a)
+
+
+class TestPlatformDescriptor:
+    def test_legacy_none_equals_explicit_uniring(self):
+        assert PlatformDescriptor.of(4) == PlatformDescriptor.of(4, UniRing(4))
+
+    def test_distinct_platforms_distinct_tokens(self):
+        descriptors = [
+            PlatformDescriptor.of(4),
+            PlatformDescriptor.of(6),
+            PlatformDescriptor.of(4, BiRing(4)),
+            PlatformDescriptor.of(4, Mesh2D(2, 2)),
+            PlatformDescriptor.of(6, Mesh2D(2, 3)),
+            PlatformDescriptor.of(6, Mesh2D(3, 2)),
+            PlatformDescriptor.of(4, Crossbar(4)),
+        ]
+        tokens = {d.token() for d in descriptors}
+        assert len(tokens) == len(descriptors)
+
+    def test_chip_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="topology is for"):
+            PlatformDescriptor.of(6, Mesh2D(2, 2))
+
+
+class TestRequestFingerprint:
+    def test_every_field_is_load_bearing(self):
+        graph = random_dag(0, 10)
+        base = dict(
+            platform=PlatformDescriptor.of(4),
+            objective="throughput",
+            cost_model="analytical",
+            samples=16,
+            checkpoint=None,
+        )
+        reference = request_fingerprint(graph, **base)
+        variants = [
+            dict(base, platform=PlatformDescriptor.of(4, Mesh2D(2, 2))),
+            dict(base, objective="latency"),
+            dict(base, cost_model="simulator"),
+            dict(base, samples=17),
+            dict(base, checkpoint=("prod", 3)),
+        ]
+        fps = {request_fingerprint(graph, **v) for v in variants}
+        assert reference not in fps and len(fps) == len(variants)
+
+    def test_accepts_precomputed_graph_fingerprint(self):
+        graph = random_dag(1, 8)
+        platform = PlatformDescriptor.of(4)
+        assert request_fingerprint(graph, platform) == request_fingerprint(
+            graph_fingerprint(graph), platform
+        )

@@ -1,0 +1,167 @@
+"""Checkpoint registry + warm partitioner pool."""
+
+import numpy as np
+import pytest
+
+from repro.core.partitioner import RLPartitioner
+from repro.graphs.zoo import build_mlp
+from repro.hardware.topology import Mesh2D, UniRing
+from repro.serve.registry import (
+    CheckpointRegistry,
+    RegistryError,
+    WarmPartitionerPool,
+)
+from tests.serve.conftest import tiny_rl_config
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return CheckpointRegistry(str(tmp_path / "registry"))
+
+
+def _partitioner(n_chips=4, seed=0, topology=None) -> RLPartitioner:
+    return RLPartitioner(n_chips, config=tiny_rl_config(), rng=seed,
+                         topology=topology)
+
+
+class TestRegistry:
+    def test_publish_versions_latest(self, registry):
+        p = _partitioner()
+        assert registry.versions("prod") == []
+        assert registry.publish_partitioner("prod", p) == 1
+        assert registry.publish_partitioner("prod", p) == 2
+        assert registry.versions("prod") == [1, 2]
+        assert registry.latest("prod") == 2
+        assert registry.resolve("prod", None) == ("prod", 2)
+        assert registry.resolve("prod", 1) == ("prod", 1)
+        assert registry.names() == ["prod"]
+
+    def test_load_roundtrips_weights_and_metadata(self, registry):
+        p = _partitioner(seed=7)
+        registry.publish_partitioner("prod", p, metadata={"note": "seed7"})
+        state, meta = registry.load("prod")
+        for key, value in p.state_dict().items():
+            np.testing.assert_array_equal(state[key], value)
+        assert meta["n_chips"] == 4
+        assert meta["network"]["hidden"] == 16
+        assert meta["network"]["topology_conditioned"] is False
+        assert meta["metadata"] == {"note": "seed7"}
+
+    def test_unknown_name_and_version(self, registry):
+        with pytest.raises(RegistryError):
+            registry.latest("ghost")
+        registry.publish_partitioner("prod", _partitioner())
+        with pytest.raises(RegistryError):
+            registry.resolve("prod", 9)
+
+    def test_invalid_names_rejected(self, registry):
+        for bad in ("", "a/b", ".hidden"):
+            with pytest.raises(RegistryError):
+                registry.publish(bad, {}, n_chips=4)
+
+    def test_names_skips_foreign_directory_entries(self, registry, tmp_path):
+        """Dot-directories and stray files in the registry root must not
+        break listing."""
+        import os
+
+        registry.publish_partitioner("prod", _partitioner())
+        os.makedirs(os.path.join(registry.root, ".backup"))
+        with open(os.path.join(registry.root, "README"), "w") as fh:
+            fh.write("not a checkpoint")
+        assert registry.names() == ["prod"]
+
+
+class TestWarmPool:
+    def test_untrained_pool_reuses_partitioner(self):
+        pool = WarmPartitionerPool(config=tiny_rl_config())
+        p1, cold1 = pool.get(4)
+        p2, cold2 = pool.get(4)
+        assert cold1 and not cold2
+        assert p1 is p2
+        assert pool.builds == 1 and pool.weight_loads == 0
+
+    def test_checkpoint_weights_load_exactly_once(self, registry):
+        """The serving discipline: a request stream against one checkpoint
+        pays the weight load once, not per request."""
+        trained = _partitioner(seed=3)
+        registry.publish_partitioner("prod", trained)
+        pool = WarmPartitionerPool(registry, config=tiny_rl_config())
+        p1, cold = pool.get(4, checkpoint="prod")
+        assert cold and pool.weight_loads == 1
+        for _ in range(5):
+            p, cold = pool.get(4, checkpoint="prod")
+            assert p is p1 and not cold
+        assert pool.weight_loads == 1
+        for key, value in trained.state_dict().items():
+            np.testing.assert_array_equal(p1.state_dict()[key], value)
+
+    def test_perturbed_weights_trigger_reload(self, registry):
+        """install_checkpoint's version guard: touching the weights between
+        requests forces a reload rather than serving stale parameters."""
+        registry.publish_partitioner("prod", _partitioner(seed=3))
+        pool = WarmPartitionerPool(registry, config=tiny_rl_config())
+        p, _ = pool.get(4, checkpoint="prod")
+        p.policy.parameters()[0].data += 1.0
+        p.policy.parameters()[0].bump_version()
+        pool.get(4, checkpoint="prod")
+        assert pool.weight_loads == 2
+
+    def test_version_pinning_distinct_entries(self, registry):
+        p = _partitioner(seed=1)
+        registry.publish_partitioner("prod", p)
+        registry.publish_partitioner("prod", p)
+        pool = WarmPartitionerPool(registry, config=tiny_rl_config())
+        a, _ = pool.get(4, checkpoint="prod", version=1)
+        b, _ = pool.get(4, checkpoint="prod", version=2)
+        latest, cold = pool.get(4, checkpoint="prod")  # resolves to v2
+        assert a is not b and latest is b and not cold
+
+    def test_chip_count_mismatch_rejected(self, registry):
+        registry.publish_partitioner("prod", _partitioner(n_chips=4))
+        pool = WarmPartitionerPool(registry, config=tiny_rl_config())
+        with pytest.raises(RegistryError, match="trained for"):
+            pool.get(8, checkpoint="prod")
+
+    def test_legacy_checkpoint_cannot_serve_mesh(self, registry):
+        registry.publish_partitioner("prod", _partitioner(n_chips=4))
+        pool = WarmPartitionerPool(registry, config=tiny_rl_config())
+        with pytest.raises(RegistryError, match="uni-ring"):
+            pool.get(4, topology=Mesh2D(2, 2), checkpoint="prod")
+
+    def test_conditioned_checkpoint_serves_uniring_and_mesh(self, registry):
+        conditioned = _partitioner(topology=UniRing(4))
+        registry.publish_partitioner("prod", conditioned)
+        pool = WarmPartitionerPool(registry, config=tiny_rl_config())
+        ring, _ = pool.get(4, checkpoint="prod")
+        mesh, _ = pool.get(4, topology=Mesh2D(2, 2), checkpoint="prod")
+        assert ring.topology is not None and mesh.topology is not None
+        assert pool.weight_loads == 2  # distinct pool entries
+
+    def test_checkpoint_without_registry_rejected(self):
+        pool = WarmPartitionerPool(config=tiny_rl_config())
+        with pytest.raises(RegistryError, match="no checkpoint registry"):
+            pool.get(4, checkpoint="prod")
+
+    def test_lru_eviction_bounds_live_partitioners(self):
+        pool = WarmPartitionerPool(capacity=2, config=tiny_rl_config())
+        a, _ = pool.get(2)
+        pool.get(3)
+        pool.get(4)  # evicts the 2-chip entry
+        assert len(pool) == 2
+        rebuilt, cold = pool.get(2)
+        assert cold and rebuilt is not a
+
+    def test_pool_partitioner_actually_searches(self):
+        """End-to-end sanity: a pooled partitioner serves a real search."""
+        from repro.core.environment import PartitionEnvironment
+        from repro.hardware.analytical import AnalyticalCostModel
+        from repro.hardware.package import MCMPackage
+
+        pool = WarmPartitionerPool(config=tiny_rl_config())
+        partitioner, _ = pool.get(4)
+        graph = build_mlp()
+        env = PartitionEnvironment(
+            graph, AnalyticalCostModel(MCMPackage(n_chips=4)), 4
+        )
+        result = partitioner.search(env, 4, train=False)
+        assert result.best_assignment is not None

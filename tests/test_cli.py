@@ -229,3 +229,159 @@ class TestValidate:
         np.save(path, bad)
         assert main(["validate", "mlp", path]) == 1
         assert "INVALID" in capsys.readouterr().out
+
+
+class TestServeRequest:
+    """The serving verbs: ``repro serve`` + ``repro request``."""
+
+    @pytest.fixture
+    def live_server(self):
+        """An in-process server wired exactly like ``repro serve``."""
+        from repro.cli import _resolve_zoo_graph
+        from repro.core.partitioner import RLPartitionerConfig
+        from repro.rl.ppo import PPOConfig
+        from repro.serve import (
+            PartitionServer,
+            PartitionService,
+            ServiceConfig,
+        )
+
+        service = PartitionService(
+            ServiceConfig(default_samples=4),
+            partitioner_config=RLPartitionerConfig(
+                hidden=16, n_sage_layers=1, refine_iters=1,
+                ppo=PPOConfig(n_rollouts=4, n_minibatches=1, n_epochs=1),
+            ),
+        )
+        with PartitionServer(
+            service, port=0, graph_resolver=_resolve_zoo_graph
+        ).start() as server:
+            yield server
+
+    def test_request_cold_then_cached(self, live_server, capsys):
+        args = ["request", "mlp", "--port", str(live_server.port)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "computed (cold)" in first
+        assert "improvement over greedy heuristic" in first
+        assert main(args) == 0
+        assert "cache hit" in capsys.readouterr().out
+
+    def test_request_json_and_output(self, live_server, tmp_path, capsys):
+        import json
+
+        out_path = str(tmp_path / "a.npy")
+        code = main(
+            ["request", "mlp", "--port", str(live_server.port), "--json"]
+        )
+        assert code == 0
+        reply = json.loads(capsys.readouterr().out)
+        assert reply["chips"] == 4
+        code = main(
+            ["request", "mlp", "--port", str(live_server.port),
+             "--output", out_path]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assignment = np.load(out_path)
+        assert assignment.tolist() == reply["assignment"]
+
+    def test_request_json_with_output_still_writes(self, live_server,
+                                                   tmp_path, capsys):
+        """--json must not short-circuit --output."""
+        import json
+
+        out_path = str(tmp_path / "b.npy")
+        code = main(
+            ["request", "mlp", "--port", str(live_server.port),
+             "--json", "--output", out_path]
+        )
+        assert code == 0
+        reply = json.loads(capsys.readouterr().out)
+        assert np.load(out_path).tolist() == reply["assignment"]
+
+    def test_request_npz_graph_is_inlined(self, live_server, tmp_path, capsys):
+        g = random_dag(2, 15)
+        path = str(tmp_path / "g.npz")
+        save_graph(g, path)
+        code = main(["request", path, "--port", str(live_server.port)])
+        assert code == 0
+        assert "improvement" in capsys.readouterr().out
+
+    def test_request_mesh_dims_implies_chips(self, live_server, capsys):
+        code = main(
+            ["request", "mlp", "--port", str(live_server.port),
+             "--topology", "mesh", "--mesh-dims", "2x3", "--json"]
+        )
+        assert code == 0
+        import json
+
+        assert json.loads(capsys.readouterr().out)["chips"] == 6
+
+    def test_request_unknown_graph_rejected(self, live_server):
+        with pytest.raises(SystemExit, match="unknown graph"):
+            main(["request", "ghost", "--port", str(live_server.port)])
+
+    def test_request_connection_refused_fails_cleanly(self, capsys):
+        # A port from the ephemeral range with (almost surely) no listener.
+        code = main(["request", "mlp", "--port", "1", "--timeout", "5"])
+        assert code == 1
+        assert "request failed" in capsys.readouterr().err
+
+    def test_serve_cli_end_to_end(self, tmp_path, capsys):
+        """``repro serve --max-requests`` in a subprocess: the full CLI
+        surface, ephemeral port parsed from the announce line."""
+        import os
+        import subprocess
+        import sys as _sys
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--max-requests", "2", "--samples", "4"],
+            stdout=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            announce = proc.stdout.readline().strip()
+            assert announce.startswith("serving on ")
+            port = announce.rsplit(":", 1)[1]
+            assert main(["request", "mlp", "--port", port, "--samples", "4"]) == 0
+            capsys.readouterr()
+            assert main(["request", "mlp", "--port", port, "--samples", "4"]) == 0
+            assert "cache hit" in capsys.readouterr().out
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+
+    def test_request_mesh_dims_require_mesh(self, live_server):
+        with pytest.raises(SystemExit, match="--topology mesh"):
+            main(
+                ["request", "mlp", "--port", str(live_server.port),
+                 "--mesh-dims", "2x3"]
+            )
+
+    def test_request_mesh_dims_chip_conflict(self, live_server):
+        with pytest.raises(SystemExit, match="conflicts"):
+            main(
+                ["request", "mlp", "--port", str(live_server.port),
+                 "--topology", "mesh", "--mesh-dims", "2x3", "--chips", "4"]
+            )
+
+    def test_server_never_reads_server_local_paths(self, live_server, tmp_path):
+        """A path-shaped graph name is rejected with a clean 422: the HTTP
+        resolver is zoo-names-only, so remote clients cannot make the
+        server load arbitrary server-side .npz files."""
+        from repro.serve import ServiceError, request_partition
+
+        g = random_dag(3, 8)
+        path = str(tmp_path / "probe.npz")
+        save_graph(g, path)  # exists server-side, must still be refused
+        with pytest.raises(ServiceError, match="422.*unknown graph"):
+            request_partition({"graph": path, "chips": 4},
+                              port=live_server.port)
