@@ -19,6 +19,15 @@ JSON: the cached reply is bit-identical to the cold one and >= 10x faster
 (the tier-1 suite pins the same bound in
 ``tests/serve/test_service.py::test_cached_request_is_10x_faster_and_identical``).
 
+Two reliability rows ride along:
+
+* **degraded** — every checkpoint load fails (injected registry fault):
+  p50/p95 of the greedy-heuristic fallback path, the latency floor the
+  service guarantees under total checkpoint loss;
+* **restart** — a service with a persistent cache is killed and rebuilt
+  on the same journal: warm-start hit rate and hit latency vs the
+  cold-start recompute cost it avoids.
+
 Run as a script (``python benchmarks/bench_serve.py``); writes
 ``BENCH_serve.json`` at the repo root.  ``--tiny`` shrinks repeats for the
 CI smoke and redirects output under ``benchmarks/results/``.
@@ -28,6 +37,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import sys
 import time
 from pathlib import Path
@@ -39,6 +49,7 @@ import numpy as np
 
 from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
 from repro.graphs.zoo import build_dataset
+from repro.reliability import Fault, FaultPlan
 from repro.serve import (
     CheckpointRegistry,
     PartitionRequest,
@@ -198,6 +209,90 @@ def bench_sustained(graphs, n_requests: int) -> dict:
     }
 
 
+def bench_degraded(graphs, n_repeats: int) -> dict:
+    """Latency of the graceful-degradation path under total checkpoint loss.
+
+    An always-firing injected registry fault makes every weights load
+    fail, so every request is served by the greedy-heuristic fallback
+    (``source="degraded"``, never cached — each repeat pays the full
+    path).  This is the availability floor: what a client sees while the
+    checkpoint store is down.
+    """
+    plan = FaultPlan(
+        [Fault(site="registry", kind="io_error", at=("load",), times=-1)]
+    )
+    service = PartitionService(
+        ServiceConfig(
+            default_samples=SAMPLES,
+            cache_capacity=512,
+            seed=0,
+            fault_plan=plan,
+        ),
+        registry=CheckpointRegistry(str(REGISTRY_DIR), fault_plan=plan),
+        partitioner_config=_rl_config(),
+    )
+    degraded_ms = []
+    for _ in range(n_repeats):
+        for graph in graphs:
+            response = service.submit(_request(graph))
+            assert response.degraded and response.source == "degraded"
+            degraded_ms.append(response.latency_ms)
+    metrics = service.metrics()
+    return {
+        "degraded": _percentiles(degraded_ms),
+        "degraded_serves": metrics["reliability"]["degraded_serves"],
+        "faults_fired": metrics["reliability"]["faults_fired"],
+    }
+
+
+def bench_restart_recovery(graphs) -> dict:
+    """Kill a persistent-cache service, rebuild on the journal, re-request.
+
+    Reports the cold-start cost (first boot: every request a miss), the
+    restarted service's hit rate over the same workload (1.0 = the journal
+    replayed everything), and the warm hit latency that replaces those
+    recomputes.
+    """
+    cache_dir = REPO_ROOT / "benchmarks" / ".cache" / "serve_restart"
+    shutil.rmtree(cache_dir, ignore_errors=True)
+
+    def _persistent_service() -> PartitionService:
+        return PartitionService(
+            ServiceConfig(
+                default_samples=SAMPLES,
+                cache_capacity=512,
+                seed=0,
+                cache_dir=str(cache_dir),
+            ),
+            registry=_registry(),
+            partitioner_config=_rl_config(),
+        )
+
+    first_boot_ms = []
+    service = _persistent_service()
+    for graph in graphs:
+        response = service.submit(_request(graph))
+        assert not response.cached
+        first_boot_ms.append(response.latency_ms)
+    service.close()  # the clean half; the journal also survives kill -9
+
+    restarted = _persistent_service()
+    warm_hit_ms, hits = [], 0
+    for graph in graphs:
+        response = restarted.submit(_request(graph))
+        hits += int(response.cached)
+        warm_hit_ms.append(response.latency_ms)
+    stats = restarted.metrics()["cache"]
+    shutil.rmtree(cache_dir, ignore_errors=True)
+    return {
+        "cold_start": _percentiles(first_boot_ms),
+        "restarted_hit_rate": hits / len(graphs),
+        "restarted_hit": _percentiles(warm_hit_ms),
+        "warm_entries_recovered": stats["warm_entries"],
+        "corrupt_skipped": stats["corrupt_skipped"],
+    }
+
+
 def main(argv=None) -> dict:
     argv = sys.argv[1:] if argv is None else argv
     tiny = "--tiny" in argv
@@ -219,6 +314,10 @@ def main(argv=None) -> dict:
         "n_repeats": n_repeats,
         "latency": bench_request_classes(graphs, n_repeats),
         "sustained": bench_sustained(graphs, n_requests),
+        "reliability": {
+            **bench_degraded(graphs, n_repeats),
+            "restart": bench_restart_recovery(graphs),
+        },
     }
 
     out_path = (
@@ -245,6 +344,19 @@ def main(argv=None) -> dict:
         f"sustained: {sustained['hit_stream']['requests_per_sec']:9.1f} req/s"
         f" all-hit | {sustained['miss_stream']['requests_per_sec']:6.2f} req/s"
         f" all-miss"
+    )
+    reliability = results["reliability"]
+    row = reliability["degraded"]
+    print(
+        f"degraded: p50 {row['p50_ms']:8.3f} ms   p95 {row['p95_ms']:8.3f} ms"
+        f"   (n={row['n']}, checkpoint store down)"
+    )
+    restart = reliability["restart"]
+    print(
+        f"restart: hit rate {restart['restarted_hit_rate']:.2f} "
+        f"({restart['warm_entries_recovered']} entries recovered), "
+        f"hit p50 {restart['restarted_hit']['p50_ms']:.3f} ms vs "
+        f"cold-start p50 {restart['cold_start']['p50_ms']:.3f} ms"
     )
     return results
 

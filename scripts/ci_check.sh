@@ -59,4 +59,12 @@ with PartitionServer(service, port=0, graph_resolver=_resolve_zoo_graph).start()
 print("serve smoke OK: cold -> cache hit, metrics consistent, clean shutdown")
 PY
 
+echo "== chaos smoke (kill a worker mid-replay, assert bit-identity) =="
+# One representative fault-injection run from the chaos suite (the full
+# suite runs under `pytest -m chaos`; tier-1 deselects the marker).  The
+# hard timeout is the point: a recovery path that wedges instead of
+# respawning must fail the gate fast.
+timeout --kill-after=30 300 \
+    python -m pytest -q -m chaos -k smoke tests/reliability
+
 echo "== ci_check OK =="

@@ -250,6 +250,9 @@ def _cmd_serve(args) -> int:
         n_workers=args.workers,
         default_samples=args.samples,
         seed=args.seed,
+        max_in_flight=args.max_in_flight,
+        request_deadline=args.request_deadline,
+        cache_dir=args.cache_dir,
     )
     # The warm pool's untrained-policy network defaults to
     # repro.serve.registry.default_serving_config (the CLI's 64x4 sizing).
@@ -280,6 +283,7 @@ def _cmd_serve(args) -> int:
         pass
     finally:
         server.shutdown()
+        service.close()  # compacts the persistent cache journal, if any
     return 0
 
 
@@ -317,7 +321,11 @@ def _cmd_request(args) -> int:
         payload["checkpoint_version"] = args.checkpoint_version
     try:
         reply = request_partition(
-            payload, host=args.host, port=args.port, timeout=args.timeout
+            payload,
+            host=args.host,
+            port=args.port,
+            timeout=args.timeout,
+            retries=args.retries,
         )
     except (ServiceError, OSError) as exc:
         print(f"request failed: {exc}", file=sys.stderr)
@@ -328,7 +336,12 @@ def _cmd_request(args) -> int:
     if args.json:
         print(json.dumps(reply, indent=2, sort_keys=True))
         return 0
-    source = "cache hit" if reply["cached"] else f"computed ({reply['source']})"
+    if reply.get("degraded"):
+        source = f"DEGRADED: {reply.get('degraded_reason', 'fallback')}"
+    elif reply["cached"]:
+        source = "cache hit"
+    else:
+        source = f"computed ({reply['source']})"
     print(f"fingerprint: {reply['fingerprint'][:16]}…  [{source}]")
     print(
         f"{reply['objective']} improvement over greedy heuristic: "
@@ -440,6 +453,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument(
+        "--cache-dir", default=None,
+        help="persist the result cache to a crash-safe journal here "
+             "(restarts warm-start from it)",
+    )
+    p_serve.add_argument(
+        "--max-in-flight", type=int, default=0,
+        help="admission gate: concurrent requests beyond this get HTTP 429 "
+             "+ Retry-After (0 = unbounded)",
+    )
+    p_serve.add_argument(
+        "--request-deadline", type=float, default=None,
+        help="per-request wall-clock budget in seconds; an exhausted budget "
+             "serves the greedy-heuristic fallback marked 'degraded'",
+    )
+    p_serve.add_argument(
         "--max-requests", type=int, default=None,
         help="exit after serving this many requests (smoke tests)",
     )
@@ -465,7 +493,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_req.add_argument("--checkpoint", default=None,
                        help="registry checkpoint name for the policy weights")
     p_req.add_argument("--checkpoint-version", type=int, default=None)
-    p_req.add_argument("--timeout", type=float, default=600.0)
+    p_req.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="per-attempt HTTP timeout in seconds (fail fast; see --retries)",
+    )
+    p_req.add_argument(
+        "--retries", type=int, default=2,
+        help="retry budget for 429/503/connection failures "
+             "(jittered exponential backoff, honours Retry-After)",
+    )
     p_req.add_argument("--json", action="store_true",
                        help="print the raw JSON reply")
     p_req.add_argument("--output", help="write the assignment to this .npy path")

@@ -1,4 +1,4 @@
-"""Rollout worker pool: fork-based processes plus an in-process fallback.
+"""Rollout worker pool: supervised forked processes plus an in-process fallback.
 
 Ownership model (mirrors the paper's independent training/validation
 workers): the pool is forked *after* the orchestrator has built the
@@ -14,25 +14,48 @@ Solver caches, encoder caches, and environment counters stay worker-private
 — they influence speed, never results, which is what makes the pool
 deterministic (see ``task_rng``).
 
+Supervision (the reliability layer): the pool detects **dead** workers
+(pipe EOF / process exit) and **stuck** workers (no reply within
+``task_deadline`` while holding tasks), respawns the process, and reassigns
+every task the worker held.  Because each task's RNG is a pure function of
+its spawn key — never of the worker that runs it — a reassigned task
+produces the bit-identical result, so worker loss is invisible in the
+trajectory (pinned by the chaos suite).  Weights correctness across a
+respawn is kept by *epoch replay*: each in-flight task records which
+broadcast epoch it was dispatched under, and the replacement worker
+receives ``[weights of epoch e] -> [e's lost tasks] -> [weights e+1] ->
+...`` in the original pipe order.
+
+Deterministic faults (:class:`repro.reliability.FaultPlan`) are injected at
+submit time, parent-side: a task's crash/delay directive is consumed when
+the task is *first* dispatched, so the recovered schedule runs clean.
+
 :class:`InlineExecutor` executes the identical task schedule synchronously
 in the orchestrating process: it is the serial fallback for ``--workers 1``
 style runs of the *parallel* code path, and the reference implementation the
-determinism tests compare the pool against.
+determinism tests compare the pool against.  (It has no processes, so pool
+faults and supervision do not apply to it.)
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import queue
 import threading
+import time
 import traceback
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
 
 import numpy as np
 
 _DEFAULT_TIMEOUT = 600.0
+
+#: Exit code an injected ``crash`` fault dies with (distinguishable from a
+#: real segfault in the supervisor's log line).
+_CRASH_EXIT_CODE = 13
 
 
 def fork_available() -> bool:
@@ -47,7 +70,8 @@ def task_rng(seed_key) -> np.random.Generator:
     ``(root, kind_tag, ...indices)``.  The stream is a pure function of the
     key — independent of which worker runs the task, of the worker count,
     and of scheduling timing — which is what makes pool results reproducible
-    and worker-count invariant.
+    and worker-count invariant (and what makes supervised *reassignment*
+    result-invariant: the replacement worker replays the same stream).
     """
     return np.random.default_rng(np.random.SeedSequence([int(k) for k in seed_key]))
 
@@ -181,6 +205,22 @@ class WorkerHarness:
         )
 
 
+def _apply_directive(directive) -> None:
+    """Honour an injected fault directive inside the worker process.
+
+    ``("crash",)`` dies *before* executing — no result, no partial pipe
+    write, exactly what a kill -9 mid-task looks like from the parent.
+    ``("delay", s)`` sleeps first — a stuck/slow worker for the deadline
+    supervisor to reap.
+    """
+    if directive is None:
+        return
+    if directive[0] == "crash":
+        os._exit(_CRASH_EXIT_CODE)
+    elif directive[0] == "delay":
+        time.sleep(float(directive[1]))
+
+
 def _worker_main(conn, partitioner, envs, feats) -> None:
     """Forked worker loop: recv command, execute, reply."""
     harness = WorkerHarness(partitioner, envs, feats)
@@ -194,8 +234,10 @@ def _worker_main(conn, partitioner, envs, feats) -> None:
                 if kind == "weights":
                     harness.load_weights(msg[1])
                 elif kind == "shard":
+                    _apply_directive(msg[2])
                     conn.send(("shard", harness.run_shard(msg[1])))
                 elif kind == "replay":
+                    _apply_directive(msg[2])
                     conn.send(("replay", harness.run_replay(msg[1])))
                 else:
                     conn.send(("error", f"unknown message kind {kind!r}"))
@@ -211,17 +253,30 @@ def _worker_main(conn, partitioner, envs, feats) -> None:
 
 
 class WorkerPool:
-    """``n_workers`` forked rollout workers behind duplex pipes.
+    """``n_workers`` supervised forked rollout workers behind duplex pipes.
 
     Parameters
     ----------
     partitioner / envs / feats:
         Worker state, inherited by fork (copy-on-write) at construction
-        time; build all of it *before* creating the pool.
+        time; build all of it *before* creating the pool.  (Kept by the
+        pool so a respawned replacement worker forks from the same
+        objects; PPO mutations in the parent between fork and respawn are
+        hidden by the epoch-replayed weights broadcast.)
     n_workers:
         Process count (>= 1).
     timeout:
         Seconds :meth:`recv_any` waits before declaring the pool deadlocked.
+    task_deadline:
+        Seconds a worker may hold tasks without replying before it is
+        declared stuck, killed, and respawned (``None`` disables the
+        deadline supervisor; death detection is always on).
+    max_respawns:
+        Total worker respawns the pool will perform before giving up with
+        ``RuntimeError`` (a crash-looping fleet must fail, not spin).
+    fault_plan:
+        Optional :class:`repro.reliability.FaultPlan`; pool faults are
+        consumed parent-side at first dispatch (see module docstring).
     """
 
     def __init__(
@@ -231,6 +286,9 @@ class WorkerPool:
         feats,
         n_workers: int,
         timeout: float = _DEFAULT_TIMEOUT,
+        task_deadline: "float | None" = None,
+        max_respawns: int = 3,
+        fault_plan=None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -238,24 +296,31 @@ class WorkerPool:
             raise RuntimeError(
                 "fork start method unavailable; use InlineExecutor instead"
             )
-        ctx = mp.get_context("fork")
+        self._ctx = mp.get_context("fork")
         self.n_workers = n_workers
         self.timeout = timeout
-        self._conns = []
-        self._procs = []
+        self.task_deadline = task_deadline
+        self.max_respawns = int(max_respawns)
+        self.fault_plan = fault_plan
+        self.respawns = 0
+        self._partitioner = partitioner
+        self._envs = list(envs)
+        self._feats = list(feats)
         self._closed = False
-        for w in range(n_workers):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(child_conn, partitioner, envs, feats),
-                daemon=True,
-                name=f"repro-rollout-{w}",
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
+        self._conns: list = [None] * n_workers
+        self._procs: list = [None] * n_workers
+        #: Per-worker in-flight ledger: ``(kind, task_id) -> (kind, task,
+        #: weights epoch)`` in dispatch order — exactly what a replacement
+        #: worker must replay.
+        self._inflight: "list[OrderedDict]" = [
+            OrderedDict() for _ in range(n_workers)
+        ]
+        self._last_activity = [time.monotonic()] * n_workers
+        #: Weights-broadcast epochs: 0 = fork-inherited weights, then one
+        #: per ``broadcast_weights``.  Snapshots are retained while any
+        #: in-flight task still references their epoch (see ``_prune``).
+        self._epoch = 0
+        self._weights: "dict[int, dict]" = {}
         # All outbound traffic goes through one FIFO drained by a sender
         # thread, so the orchestrating thread never blocks in ``send``.
         # Without this, a weights broadcast larger than the pipe buffer can
@@ -265,11 +330,33 @@ class WorkerPool:
         # recv-side timeout stays an effective deadlock guard.  A single
         # queue preserves per-pipe message order (the correctness
         # invariant: shards of window c precede the next weights version).
+        # ``_send_lock`` additionally excludes the sender from being
+        # mid-``send`` while a respawn forks: the child must never inherit
+        # a half-written pipe.
+        self._send_lock = threading.Lock()
         self._sendq: "queue.SimpleQueue" = queue.SimpleQueue()
+        for w in range(n_workers):
+            self._spawn(w)
         self._sender = threading.Thread(
             target=self._send_loop, daemon=True, name="repro-pool-sender"
         )
         self._sender.start()
+
+    def _spawn(self, w: int) -> None:
+        """Fork (or re-fork) worker slot ``w``."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        with self._send_lock:
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn, self._partitioner, self._envs, self._feats),
+                daemon=True,
+                name=f"repro-rollout-{w}",
+            )
+            proc.start()
+        child_conn.close()
+        self._conns[w] = parent_conn
+        self._procs[w] = proc
+        self._last_activity[w] = time.monotonic()
 
     def _send_loop(self) -> None:
         while True:
@@ -278,50 +365,141 @@ class WorkerPool:
                 return
             conn, msg = item
             try:
-                conn.send(msg)
+                with self._send_lock:
+                    conn.send(msg)
             except (BrokenPipeError, OSError):
-                # The dead worker surfaces as EOF in recv_any; keep
+                # The dead worker surfaces as EOF in recv_any (and its
+                # in-flight ledger is replayed to the replacement); keep
                 # draining so close() can finish.
                 pass
 
     # ------------------------------------------------------------------
     def broadcast_weights(self, state: dict) -> None:
         """Send a weights snapshot to every worker (ordered per pipe)."""
+        self._epoch += 1
+        self._weights[self._epoch] = state
         for conn in self._conns:
             self._sendq.put((conn, ("weights", state)))
+        self._prune_weights()
+
+    def _prune_weights(self) -> None:
+        """Drop snapshots no in-flight task can need for a respawn replay."""
+        floor = self._epoch
+        for ledger in self._inflight:
+            for _kind, _task, epoch in ledger.values():
+                floor = min(floor, epoch)
+        for epoch in [e for e in self._weights if e < floor]:
+            del self._weights[epoch]
 
     def submit(self, worker: int, kind: str, task) -> None:
         """Queue a ``"shard"`` or ``"replay"`` task on one worker."""
-        self._sendq.put((self._conns[worker], (kind, task)))
+        directive = None
+        if self.fault_plan is not None:
+            directive = self.fault_plan.pool_directive(task.task_id)
+        if not self._inflight[worker]:
+            # The deadline clock runs from "worker went busy", refreshed by
+            # every reply — a per-task deadline as the parent can see it.
+            self._last_activity[worker] = time.monotonic()
+        self._inflight[worker][(kind, task.task_id)] = (kind, task, self._epoch)
+        self._sendq.put((self._conns[worker], (kind, task, directive)))
 
     def recv_any(self):
         """Block for the next reply from any worker; ``(kind, result)``.
 
-        Raises ``TimeoutError`` after ``timeout`` seconds (a deadlocked or
-        wedged pool must fail fast, not hang the caller), and
-        ``RuntimeError`` if a worker died or reported an exception.
+        Supervision happens here: a dead worker (EOF) or a stuck worker
+        (``task_deadline`` exceeded while holding tasks) is respawned and
+        its in-flight tasks are reassigned — invisible to the caller beyond
+        latency, because reassignment is result-invariant (spawn-keyed
+        RNG).  Raises ``TimeoutError`` after ``timeout`` seconds without
+        any reply (a deadlocked pool must fail fast, not hang the caller),
+        and ``RuntimeError`` if a worker reported a task exception (a
+        deterministic bug — retrying it would fail identically) or the
+        respawn budget is exhausted.
         """
-        ready = _connection_wait(self._conns, self.timeout)
-        if not ready:
-            self.close(force=True)
-            raise TimeoutError(
-                f"no rollout-worker reply within {self.timeout}s; "
-                "pool terminated"
-            )
-        conn = ready[0]
-        try:
-            kind, payload = conn.recv()
-        except EOFError:
-            idx = self._conns.index(conn)
-            code = self._procs[idx].exitcode
+        deadline = time.monotonic() + self.timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.close(force=True)
+                raise TimeoutError(
+                    f"no rollout-worker reply within {self.timeout}s; "
+                    "pool terminated"
+                )
+            if self.task_deadline is not None:
+                poll = min(remaining, max(self.task_deadline / 4.0, 0.02), 0.25)
+            else:
+                poll = remaining
+            ready = _connection_wait(self._conns, poll)
+            if ready:
+                conn = ready[0]
+                w = self._conns.index(conn)
+                try:
+                    kind, payload = conn.recv()
+                except (EOFError, OSError):
+                    code = self._procs[w].exitcode
+                    self._recover_worker(w, f"died (exit code {code})")
+                    continue
+                if kind == "error":
+                    self.close(force=True)
+                    raise RuntimeError(f"rollout worker failed:\n{payload}")
+                self._inflight[w].pop((kind, payload.task_id), None)
+                self._last_activity[w] = time.monotonic()
+                return kind, payload
+            if self.task_deadline is None:
+                continue
+            now = time.monotonic()
+            for w in range(self.n_workers):
+                if (
+                    self._inflight[w]
+                    and now - self._last_activity[w] > self.task_deadline
+                ):
+                    self._recover_worker(
+                        w,
+                        f"stuck (no reply in {self.task_deadline}s)",
+                        kill=True,
+                    )
+
+    def _recover_worker(self, w: int, reason: str, kill: bool = False) -> None:
+        """Respawn worker ``w`` and reassign everything it held.
+
+        The replacement receives the lost tasks in their original dispatch
+        order, each preceded by the weights snapshot of the epoch it was
+        dispatched under — so every reassigned draw runs against exactly
+        the weights the original dispatch promised (bit-identity).
+        """
+        if self.respawns >= self.max_respawns:
             self.close(force=True)
             raise RuntimeError(
-                f"rollout worker {idx} died (exit code {code})"
-            ) from None
-        if kind == "error":
-            self.close(force=True)
-            raise RuntimeError(f"rollout worker failed:\n{payload}")
-        return kind, payload
+                f"rollout worker {w} {reason}; respawn budget "
+                f"({self.max_respawns}) exhausted"
+            )
+        self.respawns += 1
+        proc, conn = self._procs[w], self._conns[w]
+        if kill and proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover - terminate() refused
+            proc.kill()
+            proc.join(timeout=1.0)
+        try:
+            conn.close()
+        except OSError:
+            pass
+        lost = list(self._inflight[w].values())
+        self._inflight[w] = OrderedDict()
+        self._spawn(w)
+        new_conn = self._conns[w]
+        replayed_epoch: "int | None" = None
+        for kind, task, epoch in lost:
+            if epoch != replayed_epoch and epoch in self._weights:
+                self._sendq.put((new_conn, ("weights", self._weights[epoch])))
+                replayed_epoch = epoch
+            self._inflight[w][(kind, task.task_id)] = (kind, task, epoch)
+            self._sendq.put((new_conn, (kind, task, None)))
+        if self._epoch and replayed_epoch != self._epoch:
+            # Future submits assume every live worker holds the latest
+            # broadcast; catch the replacement up past the replayed tasks.
+            self._sendq.put((new_conn, ("weights", self._weights[self._epoch])))
 
     def close(self, force: bool = False) -> None:
         """Stop all workers; idempotent."""
@@ -358,10 +536,12 @@ class InlineExecutor:
     scheduler submits the next window *before* running the PPO update (the
     stale-by-one pipeline), inline execution sees the same weights for every
     window as the pool does — which is what makes ``n_workers=1`` the
-    bit-for-bit reference for any worker count.
+    bit-for-bit reference for any worker count (faulty or not: pool faults
+    target processes, which the inline executor does not have).
     """
 
     n_workers = 1
+    respawns = 0
 
     def __init__(self, partitioner, envs, feats):
         self._harness = WorkerHarness(partitioner, envs, feats, copy_weights=True)

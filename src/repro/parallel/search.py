@@ -66,6 +66,16 @@ class ParallelConfig:
         the partitioner's generator (one draw, identical in both executors).
     timeout:
         Deadlock guard forwarded to :class:`WorkerPool`.
+    task_deadline:
+        Per-task stuck-worker deadline forwarded to :class:`WorkerPool`
+        (``None`` disables the deadline supervisor; dead-worker respawn is
+        always on).
+    max_respawns:
+        Worker-respawn budget forwarded to :class:`WorkerPool`.
+    fault_plan:
+        Optional :class:`repro.reliability.FaultPlan` injected into the
+        pool (chaos testing); ignored by the inline executor, which has no
+        worker processes to fault.
     """
 
     n_workers: int = 2
@@ -73,6 +83,9 @@ class ParallelConfig:
     pipeline: bool = True
     seed: "int | None" = None
     timeout: float = 600.0
+    task_deadline: "float | None" = None
+    max_respawns: int = 3
+    fault_plan: "object | None" = None
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -81,6 +94,10 @@ class ParallelConfig:
             raise ValueError("n_shards must be >= 1")
         if self.timeout <= 0:
             raise ValueError("timeout must be positive")
+        if self.task_deadline is not None and self.task_deadline <= 0:
+            raise ValueError("task_deadline must be positive (or None)")
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -118,7 +135,14 @@ def make_executor(partitioner, envs, feats, config: ParallelConfig):
     if config.n_workers < 2 or not fork_available():
         return InlineExecutor(partitioner, envs, feats)
     return WorkerPool(
-        partitioner, envs, feats, config.n_workers, timeout=config.timeout
+        partitioner,
+        envs,
+        feats,
+        config.n_workers,
+        timeout=config.timeout,
+        task_deadline=config.task_deadline,
+        max_respawns=config.max_respawns,
+        fault_plan=config.fault_plan,
     )
 
 

@@ -1,0 +1,28 @@
+"""Reliability subsystem: deterministic fault injection + recovery hooks.
+
+The fault-injection harness (:mod:`repro.reliability.faults`) is the test
+and chaos-engineering surface of the recovery machinery that lives in the
+layers it exercises:
+
+* the supervised worker pool (:class:`repro.parallel.pool.WorkerPool`)
+  respawns crashed or stuck workers and reassigns their tasks — result
+  *invariant*, because every task's RNG is spawn-keyed;
+* the serving layer (:mod:`repro.serve.service`) degrades to the greedy
+  heuristic baseline instead of failing when a checkpoint cannot load or a
+  search blows its deadline, and sheds load with structured 429s;
+* persistence (:mod:`repro.serve.registry`, :mod:`repro.serve.persist`)
+  publishes atomically and survives torn journal writes.
+
+Faults are **constructor arguments**, never monkeypatches: every layer that
+can fail takes an optional :class:`FaultPlan` and consults it at its
+failure points, so a chaos test injects the exact fault schedule the seed
+describes and the production path (``fault_plan=None``) stays zero-cost.
+"""
+
+from repro.reliability.faults import (
+    Fault,
+    FaultPlan,
+    InjectedIOError,
+)
+
+__all__ = ["Fault", "FaultPlan", "InjectedIOError"]

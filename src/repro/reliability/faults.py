@@ -1,0 +1,176 @@
+"""Deterministic fault injection: seed-keyed plans, constructor-injected.
+
+A :class:`FaultPlan` is an explicit, finite schedule of faults.  Each layer
+that can fail takes the plan as a constructor argument and consults it at
+its injection points:
+
+========== ============== ====================================================
+site       kinds          injection point
+========== ============== ====================================================
+``pool``   ``crash``      worker ``os._exit``\\ s before executing the task
+           ``delay``      worker sleeps ``delay_s`` before executing the task
+``registry`` ``io_error`` :meth:`CheckpointRegistry.publish` / ``load`` raise
+``cache``  ``io_error``   persistent-cache journal append / compaction raise
+``server`` ``drop``       HTTP handler closes the connection without replying
+========== ============== ====================================================
+
+Determinism contract: a fault fires for the *task/operation it names*, at
+most ``times`` times, and consumption is recorded in the plan — so a
+reassigned task (the pool consumes pool faults at submit time, parent-side)
+is re-executed clean, and a chaos run is a pure function of ``(workload
+seed, plan)``.  The recovery invariants the chaos suite pins (bit-identical
+trajectories, zero corrupt-entry crashes) all reduce to that contract.
+
+Plans are cheap to share: one lock guards the armed counters, and a layer
+holding ``fault_plan=None`` pays a single ``is None`` check.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class InjectedIOError(OSError):
+    """The injected stand-in for a disk/OS failure (an ``OSError``)."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One schedulable fault.
+
+    Attributes
+    ----------
+    site:
+        Which layer consults it: ``"pool"``, ``"registry"``, ``"cache"``,
+        or ``"server"``.
+    kind:
+        ``"crash"``, ``"delay"``, ``"io_error"``, or ``"drop"`` (see the
+        module table for which site honours which kind).
+    at:
+        Match key, compared as a prefix of the operation key the layer
+        passes to :meth:`FaultPlan.fire` — e.g. ``(window, shard)`` for a
+        pool task, ``("load",)`` for a registry operation.  The empty
+        tuple matches every operation at the site.
+    delay_s:
+        Sleep injected before the task runs (``kind="delay"`` only).
+    times:
+        How many times the fault fires before it is spent (``times < 0``
+        never spends — an "always fail" fault for degradation tests).
+    """
+
+    site: str
+    kind: str
+    at: tuple = ()
+    delay_s: float = 0.0
+    times: int = 1
+
+
+class FaultPlan:
+    """A finite, deterministic schedule of :class:`Fault`\\ s.
+
+    ``fire(site, kind, key)`` consumes and returns the first armed fault
+    whose ``at`` is a prefix of ``key`` (or ``None``); every firing is
+    recorded in :attr:`fired` for the metrics/assertion surface.
+    """
+
+    def __init__(self, faults: "list[Fault] | None" = None, seed: int = 0):
+        self.seed = int(seed)
+        self._faults = list(faults or [])
+        self._remaining = [f.times for f in self._faults]
+        self.fired: "list[tuple]" = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        n_windows: int = 4,
+        n_shards: int = 4,
+        n_faults: int = 2,
+        kinds: tuple = ("crash", "delay"),
+        delay_s: float = 0.0,
+    ) -> "FaultPlan":
+        """A seed-keyed random *pool* fault schedule (the chaos tests' input).
+
+        Purely a function of its arguments: the same seed always produces
+        the same plan, so "bit-identical under any seed-keyed plan" is a
+        testable statement.  Faults target concrete ``(window, shard)``
+        task ids, which is where worker loss hurts the schedule most.
+        """
+        rng = np.random.default_rng(np.random.SeedSequence([int(seed), 0xFA]))
+        faults = []
+        for _ in range(int(n_faults)):
+            kind = kinds[int(rng.integers(len(kinds)))]
+            at = (int(rng.integers(n_windows)), int(rng.integers(n_shards)))
+            faults.append(
+                Fault(site="pool", kind=kind, at=at, delay_s=delay_s)
+            )
+        return cls(faults, seed=seed)
+
+    # ------------------------------------------------------------------
+    def fire(self, site: str, kind: str, key: tuple = ()) -> "Fault | None":
+        """Consume one armed fault matching ``(site, kind, key)``, if any."""
+        key = tuple(key)
+        with self._lock:
+            for i, fault in enumerate(self._faults):
+                if fault.site != site or fault.kind != kind:
+                    continue
+                if self._remaining[i] == 0:
+                    continue
+                if fault.at and key[: len(fault.at)] != fault.at:
+                    continue
+                if self._remaining[i] > 0:
+                    self._remaining[i] -= 1
+                self.fired.append((site, kind, key))
+                return fault
+        return None
+
+    def io_error(self, site: str, op: str) -> None:
+        """Raise :class:`InjectedIOError` if an ``io_error`` fault is armed.
+
+        The convenience form the persistence layers call at their disk
+        touch points: ``plan.io_error("registry", "publish")``.
+        """
+        if self.fire(site, "io_error", (op,)) is not None:
+            raise InjectedIOError(
+                f"injected {site} {op} failure (FaultPlan seed={self.seed})"
+            )
+
+    # ------------------------------------------------------------------
+    def pool_directive(self, task_id: tuple) -> "tuple | None":
+        """The pool's submit-time hook: crash/delay directive for one task.
+
+        Consulted (and consumed) by the *parent* when the task is first
+        dispatched — never on reassignment — so an injected crash kills
+        exactly one worker once and the recovered schedule runs clean.
+        """
+        fault = self.fire("pool", "crash", tuple(task_id))
+        if fault is not None:
+            return ("crash",)
+        fault = self.fire("pool", "delay", tuple(task_id))
+        if fault is not None:
+            return ("delay", float(fault.delay_s))
+        return None
+
+    # ------------------------------------------------------------------
+    def counts(self) -> dict:
+        """Fired-fault counters by site (the ``/metrics`` surface)."""
+        with self._lock:
+            by_site: dict = {}
+            for site, _kind, _key in self.fired:
+                by_site[site] = by_site.get(site, 0) + 1
+            return {
+                "armed": sum(1 for r in self._remaining if r != 0),
+                "fired_total": len(self.fired),
+                "fired_by_site": by_site,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(seed={self.seed}, faults={len(self._faults)}, "
+            f"fired={len(self.fired)})"
+        )

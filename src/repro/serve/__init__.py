@@ -14,13 +14,17 @@ that, with four pieces:
   plus a warm pool of live partitioners;
 * :mod:`repro.serve.service` / :mod:`repro.serve.server` — the in-process
   :class:`PartitionService` front end and its stdlib-HTTP JSON endpoint
-  (CLI: ``repro serve`` / ``repro request``).
+  (CLI: ``repro serve`` / ``repro request``);
+* :mod:`repro.serve.persist` — the crash-safe journal-backed variant of
+  the result cache (``--cache-dir``), surviving restarts.
 
-See the "Serving invariants" section of ROADMAP.md for what may be cached,
-what keys it, and what invalidates it.
+See the "Serving invariants" and "Reliability invariants" sections of
+ROADMAP.md for what may be cached, what keys it, what invalidates it, and
+how the service degrades under faults.
 """
 
 from repro.serve.cache import CachedPartition, PartitionCache
+from repro.serve.persist import PersistentPartitionCache
 from repro.serve.fingerprint import (
     PlatformDescriptor,
     canonical_form,
@@ -45,6 +49,7 @@ from repro.serve.service import (
     PartitionService,
     ServiceConfig,
     ServiceError,
+    ServiceOverloadError,
 )
 
 __all__ = [
@@ -55,10 +60,12 @@ __all__ = [
     "PartitionResponse",
     "PartitionServer",
     "PartitionService",
+    "PersistentPartitionCache",
     "PlatformDescriptor",
     "RegistryError",
     "ServiceConfig",
     "ServiceError",
+    "ServiceOverloadError",
     "WarmPartitionerPool",
     "canonical_form",
     "fetch_metrics",

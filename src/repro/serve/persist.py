@@ -1,0 +1,279 @@
+"""Disk-backed :class:`PartitionCache`: append-only journal, crash-safe.
+
+The persistence model is a write-ahead journal of cache *events*:
+
+* ``put`` records carry the full serialized entry (assignment, node order,
+  measured cost, provenance);
+* ``touch`` records mark a hit, so LRU *recency* — not just membership —
+  survives a restart.
+
+Each journal line is ``<sha256-prefix> <json-payload>``; on load, lines
+whose checksum or JSON fail to verify (torn final line after ``kill -9``,
+bit flips, truncation anywhere) are **skipped and counted**, never fatal —
+a corrupt entry costs one recompute, not an outage.  Replaying the journal
+in order reconstructs the exact LRU state: puts insert, touches refresh,
+capacity evicts, so a warmed restart behaves as if the process had never
+died (pinned by ``tests/serve/test_persist.py``).
+
+The journal is compacted (rewritten as one ``put`` per live entry, in
+recency order, via temp-file + ``os.replace``) when it grows past
+``compact_every`` records, so disk stays proportional to the cache, not to
+its history.
+
+Failure policy: persistence is a *cache of the cache* — any journal IO
+error (including injected ``cache``-site faults from a
+:class:`repro.reliability.FaultPlan`) disables further journalling for the
+affected operation and counts ``persist_errors``; in-memory serving
+continues untouched.  Durability degrades before availability does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import numpy as np
+
+from repro.serve.cache import CachedPartition, PartitionCache
+
+_JOURNAL_NAME = "journal.jsonl"
+_CHECKSUM_LEN = 16
+
+
+def _entry_to_record(key: str, entry: CachedPartition) -> dict:
+    return {
+        "op": "put",
+        "fp": key,
+        "assignment": entry.assignment.tolist(),
+        "node_order": (
+            None if entry.node_order is None else entry.node_order.tolist()
+        ),
+        "improvement": entry.improvement,
+        "objective": entry.objective,
+        "throughput": entry.throughput,
+        "latency_us": entry.latency_us,
+        "metadata": entry.metadata,
+    }
+
+
+def _record_to_entry(record: dict) -> CachedPartition:
+    return CachedPartition(
+        fingerprint=record["fp"],
+        assignment=np.asarray(record["assignment"], dtype=np.int64),
+        improvement=float(record["improvement"]),
+        node_order=(
+            None
+            if record.get("node_order") is None
+            else np.asarray(record["node_order"], dtype=np.int64)
+        ),
+        objective=str(record.get("objective", "throughput")),
+        throughput=float(record.get("throughput", 0.0)),
+        latency_us=float(record.get("latency_us", 0.0)),
+        metadata=dict(record.get("metadata", {})),
+    )
+
+
+def _frame(record: dict) -> str:
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return f"{digest[:_CHECKSUM_LEN]} {payload}\n"
+
+
+def _unframe(line: str) -> "dict | None":
+    """Parse one journal line; ``None`` for anything that fails to verify."""
+    line = line.rstrip("\n")
+    if len(line) < _CHECKSUM_LEN + 2 or line[_CHECKSUM_LEN] != " ":
+        return None
+    digest, payload = line[:_CHECKSUM_LEN], line[_CHECKSUM_LEN + 1:]
+    if hashlib.sha256(payload.encode("utf-8")).hexdigest()[:_CHECKSUM_LEN] != digest:
+        return None
+    try:
+        record = json.loads(payload)
+    except ValueError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+class PersistentPartitionCache(PartitionCache):
+    """A :class:`PartitionCache` whose state survives process death.
+
+    Parameters
+    ----------
+    capacity:
+        LRU bound, enforced identically in memory and on replay.
+    directory:
+        Journal directory (created if missing).  One cache per directory.
+    journal_touches:
+        Persist ``get``-hit recency (default).  Disabling trades exact
+        restart recency for zero disk writes on the hit path.
+    compact_every:
+        Compact once the journal holds this many records (puts + touches).
+    fault_plan:
+        Optional :class:`repro.reliability.FaultPlan`; ``io_error`` faults
+        at site ``"cache"`` fire on ``append`` / ``compact`` operations.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        directory: str = ".",
+        journal_touches: bool = True,
+        compact_every: int = 4096,
+        fault_plan=None,
+    ):
+        super().__init__(capacity)
+        self.directory = os.path.abspath(str(directory))
+        self.journal_touches = bool(journal_touches)
+        self.compact_every = int(compact_every)
+        self.fault_plan = fault_plan
+        self.journal_path = os.path.join(self.directory, _JOURNAL_NAME)
+        self.corrupt_skipped = 0
+        self.persist_errors = 0
+        self.warm_entries = 0
+        self._records_since_compact = 0
+        self._journal_fh = None
+        os.makedirs(self.directory, exist_ok=True)
+        self._warm_start()
+        self._open_journal()
+
+    # ------------------------------------------------------------------
+    # Restart / recovery
+    # ------------------------------------------------------------------
+    def _warm_start(self) -> None:
+        """Replay the journal into the in-memory LRU (corruption skipped)."""
+        if not os.path.exists(self.journal_path):
+            return
+        try:
+            with open(self.journal_path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            self.persist_errors += 1
+            return
+        hits, misses = self.hits, self.misses  # replay must not skew stats
+        for line in lines:
+            if not line.strip():
+                continue
+            record = _unframe(line)
+            if record is None:
+                self.corrupt_skipped += 1
+                continue
+            op = record.get("op")
+            if op == "put":
+                try:
+                    super().put(record["fp"], _record_to_entry(record))
+                except (KeyError, TypeError, ValueError):
+                    self.corrupt_skipped += 1
+            elif op == "touch":
+                super().get(str(record.get("fp", "")))
+            else:
+                self.corrupt_skipped += 1
+        self.hits, self.misses = hits, misses
+        self.evictions = 0
+        self.warm_entries = len(self)
+
+    def _open_journal(self) -> None:
+        if self._journal_fh is not None:
+            try:
+                self._journal_fh.close()
+            except OSError:
+                pass
+        try:
+            self._journal_fh = open(self.journal_path, "a", encoding="utf-8")
+        except OSError:
+            self._journal_fh = None
+            self.persist_errors += 1
+
+    # ------------------------------------------------------------------
+    # Journalling
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        if self._journal_fh is None:
+            return
+        try:
+            if self.fault_plan is not None:
+                self.fault_plan.io_error("cache", "append")
+            self._journal_fh.write(_frame(record))
+            self._journal_fh.flush()
+        except OSError:
+            # Durability degrades, serving does not: stop journalling and
+            # keep answering from memory.
+            self.persist_errors += 1
+            try:
+                self._journal_fh.close()
+            except OSError:
+                pass
+            self._journal_fh = None
+            return
+        self._records_since_compact += 1
+        if self._records_since_compact >= self.compact_every:
+            self.compact()
+
+    def compact(self) -> None:
+        """Rewrite the journal as one ``put`` per live entry, LRU order.
+
+        Atomic (temp file + ``os.replace``): a crash mid-compaction leaves
+        the previous journal intact.
+        """
+        tmp_path = self.journal_path + ".tmp"
+        try:
+            if self.fault_plan is not None:
+                self.fault_plan.io_error("cache", "compact")
+            with open(tmp_path, "w", encoding="utf-8") as fh:
+                for key in self.keys():  # least-recently-used first
+                    entry = self._entries[key]
+                    fh.write(_frame(_entry_to_record(key, entry)))
+            if self._journal_fh is not None:
+                self._journal_fh.close()
+            os.replace(tmp_path, self.journal_path)
+        except OSError:
+            self.persist_errors += 1
+            if os.path.exists(tmp_path):
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+        finally:
+            self._records_since_compact = 0
+            self._open_journal()
+
+    # ------------------------------------------------------------------
+    # Cache interface (journalled)
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> "CachedPartition | None":
+        entry = super().get(key)
+        if entry is not None and self.journal_touches:
+            self._append({"op": "touch", "fp": key})
+        return entry
+
+    def put(self, key: str, entry: CachedPartition) -> "str | None":
+        evicted = super().put(key, entry)
+        self._append(_entry_to_record(key, entry))
+        return evicted
+
+    def clear(self) -> None:
+        super().clear()
+        self.compact()
+
+    def close(self) -> None:
+        """Compact and release the journal handle (restart-ready state)."""
+        self.compact()
+        if self._journal_fh is not None:
+            try:
+                self._journal_fh.close()
+            except OSError:
+                pass
+            self._journal_fh = None
+
+    def stats(self) -> dict:
+        out = super().stats()
+        out.update(
+            {
+                "persistent": True,
+                "journal_path": self.journal_path,
+                "warm_entries": self.warm_entries,
+                "corrupt_skipped": self.corrupt_skipped,
+                "persist_errors": self.persist_errors,
+            }
+        )
+        return out

@@ -18,10 +18,20 @@ checkpoint is only loadable into a matching network).
 keyed by (checkpoint, platform semantics), so a request stream against the
 same model pays the network build and the weight load **once**, not per
 request (see :meth:`RLPartitioner.install_checkpoint`).
+
+Crash safety: ``publish`` is atomic.  Both files are written to
+dot-prefixed temporaries and moved into place with ``os.replace``, the
+metadata (which records a SHA-256 of the weights file) strictly *before*
+the weights; since ``versions()`` keys on the ``.npz`` name, a version
+becomes visible only at the final atomic rename — a crash mid-publish can
+never leave a torn version visible to ``names()``/``resolve``.  ``load``
+verifies the checksum and reports corruption as :class:`RegistryError`,
+never a crashed caller.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import re
@@ -40,7 +50,15 @@ _VERSION_RE = re.compile(r"^v(\d{4,})\.npz$")
 
 
 class RegistryError(KeyError):
-    """Unknown checkpoint name/version, or incompatible metadata."""
+    """Unknown checkpoint name/version, or incompatible metadata.
+
+    ``degradable`` marks failures where the checkpoint *should* exist but
+    its bytes can't be used (IO error, corruption): the serving layer may
+    answer such requests with a degraded heuristic result.  Client errors
+    (unknown name, incompatible chip count) stay non-degradable.
+    """
+
+    degradable = False
 
     def __str__(self) -> str:
         # KeyError.__str__ repr-quotes its argument (useful for dict keys,
@@ -62,11 +80,26 @@ def _network_meta(config: RLPartitionerConfig, topology_conditioned: bool) -> di
     }
 
 
-class CheckpointRegistry:
-    """Filesystem-backed store of named, versioned policy checkpoints."""
+def _sha256_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
-    def __init__(self, root: str):
+
+class CheckpointRegistry:
+    """Filesystem-backed store of named, versioned policy checkpoints.
+
+    ``fault_plan`` (a :class:`repro.reliability.FaultPlan`) injects
+    ``io_error`` faults at the publish/load disk touch points — before any
+    rename, so an injected publish failure is indistinguishable from a real
+    mid-publish crash (no torn version becomes visible).
+    """
+
+    def __init__(self, root: str, fault_plan=None):
         self.root = os.path.abspath(str(root))
+        self.fault_plan = fault_plan
         os.makedirs(self.root, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -137,22 +170,49 @@ class CheckpointRegistry:
 
         ``network`` describes the policy architecture (see
         :func:`_network_meta`); ``metadata`` is free-form provenance.
+
+        Publish order (crash safety): weights to a dot-prefixed temp file,
+        checksum it, metadata (with the checksum) atomically into place,
+        then the weights atomically into place.  ``versions()`` keys on the
+        final ``.npz`` name, so the version is invisible until the last
+        rename — at which point both files are complete and fsync-clean
+        enough for a same-directory rename.  Temp files are dot-prefixed,
+        which ``names()`` already skips.
         """
         directory = self._dir(name)
         os.makedirs(directory, exist_ok=True)
         versions = self.versions(name)
         version = (versions[-1] + 1) if versions else 1
-        save_state_dict(state, os.path.join(directory, f"v{version:04d}.npz"))
-        meta = {
-            "name": name,
-            "version": version,
-            "n_chips": int(n_chips),
-            "network": network or {},
-            "metadata": metadata or {},
-            "created_unix": time.time(),
-        }
-        with open(os.path.join(directory, f"v{version:04d}.json"), "w") as fh:
-            json.dump(meta, fh, indent=2, sort_keys=True)
+        npz_path = os.path.join(directory, f"v{version:04d}.npz")
+        json_path = os.path.join(directory, f"v{version:04d}.json")
+        npz_tmp = os.path.join(directory, f".tmp-v{version:04d}.npz")
+        json_tmp = os.path.join(directory, f".tmp-v{version:04d}.json")
+        try:
+            if self.fault_plan is not None:
+                self.fault_plan.io_error("registry", "publish")
+            save_state_dict(state, npz_tmp)
+            meta = {
+                "name": name,
+                "version": version,
+                "n_chips": int(n_chips),
+                "network": network or {},
+                "metadata": metadata or {},
+                "created_unix": time.time(),
+                "weights_sha256": _sha256_file(npz_tmp),
+            }
+            with open(json_tmp, "w") as fh:
+                json.dump(meta, fh, indent=2, sort_keys=True)
+            os.replace(json_tmp, json_path)
+            os.replace(npz_tmp, npz_path)
+        except BaseException:
+            # Leave nothing visible: drop temporaries and an orphaned
+            # metadata file (the npz rename is the commit point).
+            for stray in (npz_tmp, json_tmp):
+                if os.path.exists(stray):
+                    os.unlink(stray)
+            if os.path.exists(json_path) and not os.path.exists(npz_path):
+                os.unlink(json_path)
+            raise
         return version
 
     def publish_partitioner(
@@ -173,15 +233,39 @@ class CheckpointRegistry:
         )
 
     def load(self, name: str, version: "int | None" = None) -> tuple:
-        """``(state_dict, meta)`` for a checkpoint (``None`` = latest)."""
+        """``(state_dict, meta)`` for a checkpoint (``None`` = latest).
+
+        Verifies the weights checksum recorded at publish time: a
+        bit-flipped or truncated ``.npz`` is reported as a
+        :class:`RegistryError` (the serving layer degrades on it), never a
+        crash or silently wrong weights.
+        """
         name, version = self.resolve(name, version)
         directory = self._dir(name)
-        state = load_state_dict_file(os.path.join(directory, f"v{version:04d}.npz"))
+        npz_path = os.path.join(directory, f"v{version:04d}.npz")
         meta_path = os.path.join(directory, f"v{version:04d}.json")
+        if self.fault_plan is not None:
+            self.fault_plan.io_error("registry", "load")
         meta: dict = {}
         if os.path.exists(meta_path):
             with open(meta_path) as fh:
                 meta = json.load(fh)
+        expected = meta.get("weights_sha256")
+        if expected is not None and _sha256_file(npz_path) != expected:
+            err = RegistryError(
+                f"checkpoint {name}@{version} is corrupt: weights checksum "
+                "mismatch (re-publish it)"
+            )
+            err.degradable = True
+            raise err
+        try:
+            state = load_state_dict_file(npz_path)
+        except (OSError, ValueError) as exc:
+            err = RegistryError(
+                f"checkpoint {name}@{version} failed to load: {exc}"
+            )
+            err.degradable = True
+            raise err from None
         return state, meta
 
 

@@ -17,19 +17,41 @@ The server is a ``ThreadingHTTPServer``; the service underneath serialises
 submissions with its own lock, so concurrent clients are safe.  Client-side
 helpers (:func:`request_partition`, :func:`fetch_metrics`) wrap ``urllib``
 so the CLI's ``repro request`` needs no third-party HTTP stack.
+
+Backpressure & retries: the service's admission gate surfaces here as HTTP
+429 with a ``Retry-After`` header (503 is reserved for the server's own
+shutdown window).  The client helpers take a ``retries`` budget and back
+off exponentially with jitter on 429/503/connection failures, honouring
+``Retry-After`` — so a burst against a bounded server drains instead of
+failing, without a thundering-herd retry spike.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
+import socket
 import threading
+import time
 import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, HTTPServer, ThreadingHTTPServer
 
 from repro.graphs.serialization import graph_from_dict
 from repro.hardware.topology import make_topology
-from repro.serve.service import PartitionRequest, PartitionService, ServiceError
+from repro.serve.service import (
+    PartitionRequest,
+    PartitionService,
+    ServiceError,
+    ServiceOverloadError,
+)
+
+#: Client-helper defaults: fail fast (a minute, not ten) and retry twice.
+DEFAULT_TIMEOUT_S = 60.0
+DEFAULT_RETRIES = 2
+_BACKOFF_BASE_S = 0.25
+_BACKOFF_CAP_S = 4.0
 
 #: Upper bound on an inline-graph request body (a graph_to_dict of a
 #: 100k-node graph is ~20 MB; anything bigger is a framing error or abuse).
@@ -128,6 +150,8 @@ def response_to_payload(response) -> dict:
         ),
         "throughput": response.throughput,
         "latency_us": response.latency_us,
+        "degraded": response.degraded,
+        "degraded_reason": response.degraded_reason,
     }
 
 
@@ -136,19 +160,38 @@ class _Handler(BaseHTTPRequestHandler):
 
     server_version = "repro-serve/1"
 
-    def _reply(self, code: int, payload: dict) -> None:
+    def _reply(
+        self, code: int, payload: dict, headers: "dict | None" = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _drop_fault(self) -> bool:
+        """Injected connection drop (chaos tests of the client's retry
+        path): close the socket without a reply, like a crashed peer."""
+        plan = getattr(self.server, "fault_plan", None)
+        if plan is None or plan.fire("server", "drop", (self.path,)) is None:
+            return False
+        self.close_connection = True
+        try:
+            self.connection.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        return True
 
     def log_message(self, fmt, *args):  # pragma: no cover - quiet by default
         if getattr(self.server, "verbose", False):
             super().log_message(fmt, *args)
 
     def do_GET(self) -> None:
+        if self._drop_fault():
+            return
         if self.path == "/metrics":
             self._reply(200, self.server.service.metrics())
         elif self.path == "/healthz":
@@ -157,6 +200,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(404, {"error": f"unknown path {self.path!r}"})
 
     def do_POST(self) -> None:
+        if self._drop_fault():
+            return
         if self.path != "/partition":
             self._reply(404, {"error": f"unknown path {self.path!r}"})
             return
@@ -179,6 +224,15 @@ class _Handler(BaseHTTPRequestHandler):
                 payload, graph_resolver=self.server.graph_resolver
             )
             response = self.server.service.submit(request)
+        except ServiceOverloadError as exc:
+            # Structured backpressure, not a failure: the client helpers
+            # sleep Retry-After (± backoff) and resubmit.
+            self._reply(
+                429,
+                {"error": str(exc), "retry_after_s": exc.retry_after},
+                headers={"Retry-After": f"{max(exc.retry_after, 0):g}"},
+            )
+            return
         except ServiceError as exc:
             self._reply(422, {"error": str(exc)})
             return
@@ -212,6 +266,7 @@ class PartitionServer:
         graph_resolver=None,
         verbose: bool = False,
         threaded: bool = True,
+        fault_plan=None,
     ):
         self.service = service
         server_cls = ThreadingHTTPServer if threaded else HTTPServer
@@ -219,6 +274,11 @@ class PartitionServer:
         self._httpd.service = service
         self._httpd.graph_resolver = graph_resolver
         self._httpd.verbose = verbose
+        # The HTTP layer shares the service's plan unless given its own
+        # (the ``server``-site drop faults are consulted per request).
+        self._httpd.fault_plan = (
+            fault_plan if fault_plan is not None else service.config.fault_plan
+        )
         self._thread: "threading.Thread | None" = None
 
     @property
@@ -265,41 +325,102 @@ class PartitionServer:
 # ----------------------------------------------------------------------
 # Client helpers
 # ----------------------------------------------------------------------
-def _http_json(url: str, data: "bytes | None" = None, timeout: float = 600.0) -> dict:
-    req = urllib.request.Request(
-        url,
-        data=data,
-        headers={"Content-Type": "application/json"} if data else {},
-    )
-    try:
-        with urllib.request.urlopen(req, timeout=timeout) as resp:
-            return json.loads(resp.read())
-    except urllib.error.HTTPError as exc:
+_RETRYABLE_CODES = (429, 503)
+
+
+def _backoff_s(attempt: int, retry_after: "float | None") -> float:
+    """Capped exponential backoff with full jitter (AWS-style).
+
+    A server-supplied ``Retry-After`` is a *floor* — backing off less
+    than the server asked for would just earn another 429."""
+    delay = min(_BACKOFF_BASE_S * (2 ** attempt), _BACKOFF_CAP_S)
+    delay *= 0.5 + random.random() * 0.5
+    if retry_after is not None:
+        delay = max(delay, retry_after)
+    return delay
+
+
+def _http_json(
+    url: str,
+    data: "bytes | None" = None,
+    timeout: float = DEFAULT_TIMEOUT_S,
+    retries: int = DEFAULT_RETRIES,
+) -> dict:
+    """One JSON round trip with bounded retries.
+
+    Retried: 429/503 replies (honouring ``Retry-After``) and transport
+    failures where no reply arrived at all (connection refused/reset,
+    socket timeout) — these are either explicit backpressure or ambiguous
+    network loss, and every server endpoint is idempotent (a retried
+    search is answered from cache or recomputed bit-identically).  Any
+    other HTTP error is a real answer and raises immediately."""
+    last_error: "Exception | None" = None
+    for attempt in range(int(retries) + 1):
+        req = urllib.request.Request(
+            url,
+            data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        retry_after: "float | None" = None
         try:
-            detail = json.loads(exc.read()).get("error", "")
-        except (ValueError, OSError):
-            detail = ""
-        raise ServiceError(
-            f"server replied {exc.code}: {detail or exc.reason}"
-        ) from None
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read()).get("error", "")
+            except (ValueError, OSError):
+                detail = ""
+            error = ServiceError(
+                f"server replied {exc.code}: {detail or exc.reason}"
+            )
+            if exc.code not in _RETRYABLE_CODES:
+                raise error from None
+            try:
+                retry_after = float(exc.headers.get("Retry-After"))
+            except (TypeError, ValueError):
+                retry_after = None
+            last_error = error
+        except (
+            urllib.error.URLError,
+            http.client.HTTPException,
+            ConnectionError,
+            TimeoutError,
+            socket.timeout,
+            OSError,
+        ) as exc:
+            last_error = ServiceError(f"request to {url} failed: {exc}")
+        if attempt < retries:
+            time.sleep(_backoff_s(attempt, retry_after))
+    raise last_error from None
 
 
 def request_partition(
     payload: dict,
     host: str = "127.0.0.1",
     port: int = 8080,
-    timeout: float = 600.0,
+    timeout: float = DEFAULT_TIMEOUT_S,
+    retries: int = DEFAULT_RETRIES,
 ) -> dict:
-    """POST one request payload to a running server; returns the reply."""
+    """POST one request payload to a running server; returns the reply.
+
+    Fails fast (``timeout`` seconds, default 60) and retries
+    429/503/connection loss with jittered exponential backoff —
+    resubmission is safe because serving is deterministic and cached."""
     return _http_json(
         f"http://{host}:{port}/partition",
         data=json.dumps(payload).encode("utf-8"),
         timeout=timeout,
+        retries=retries,
     )
 
 
 def fetch_metrics(
-    host: str = "127.0.0.1", port: int = 8080, timeout: float = 60.0
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    timeout: float = 60.0,
+    retries: int = DEFAULT_RETRIES,
 ) -> dict:
     """GET the server's metrics snapshot."""
-    return _http_json(f"http://{host}:{port}/metrics", timeout=timeout)
+    return _http_json(
+        f"http://{host}:{port}/metrics", timeout=timeout, retries=retries
+    )

@@ -21,11 +21,31 @@ Request lifecycle (see the "Serving invariants" section of ROADMAP.md):
    one replay batch — each request seeded purely by its own fingerprint, so
    results are independent of batch composition and worker count;
 4. results are stored in the cache and latency is recorded per source
-   (``cached`` / ``warm`` / ``cold``) for the ``/metrics`` view.
+   (``cached`` / ``warm`` / ``cold`` / ``degraded``) for the ``/metrics``
+   view.
 
 The service is thread-safe: one lock serialises submission (searches are
 CPU-bound; concurrency comes from the worker pool underneath, not from
 overlapping submits).
+
+Resilience (see the "Reliability invariants" section of ROADMAP.md):
+
+* **Admission gate** — ``max_in_flight > 0`` bounds concurrent
+  submissions; excess load fails fast with
+  :class:`ServiceOverloadError` (HTTP 429 + ``Retry-After`` at the
+  server) instead of queueing unboundedly behind the submission lock.
+* **Deadlines** — ``request_deadline`` caps a batch's wall time; a group
+  whose budget is exhausted (or whose search times out) is answered by
+  the degraded path rather than erroring.
+* **Graceful degradation** — when policy weights cannot be loaded
+  (registry IO error, corrupt checkpoint) or the search misses its
+  deadline, the service falls back to the greedy heuristic baseline:
+  the response carries ``source="degraded"``/``degraded=True`` and is
+  **never cached**, so a later healthy request recomputes the real
+  answer.
+* **Crash-safe cache** — ``cache_dir`` swaps the in-memory result cache
+  for :class:`repro.serve.persist.PersistentPartitionCache`, whose
+  journal survives restarts.
 """
 
 from __future__ import annotations
@@ -37,6 +57,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.baselines import greedy_partition
 from repro.core.environment import PartitionEnvironment
 from repro.core.partitioner import RLPartitionerConfig, _topology_semantics
 from repro.graphs.graph import CompGraph
@@ -51,7 +72,12 @@ from repro.serve.fingerprint import (
     canonical_form,
     request_fingerprint,
 )
-from repro.serve.registry import CheckpointRegistry, WarmPartitionerPool
+from repro.serve.persist import PersistentPartitionCache
+from repro.serve.registry import (
+    CheckpointRegistry,
+    RegistryError,
+    WarmPartitionerPool,
+)
 
 #: Seed-key tag namespacing serving replays (0/1 are the training pool's).
 SERVE_SEED_TAG = 2
@@ -62,6 +88,19 @@ _LATENCY_WINDOW = 4096
 
 class ServiceError(RuntimeError):
     """A request the service cannot fulfil (bad spec, no valid partition)."""
+
+
+class ServiceOverloadError(ServiceError):
+    """Admission gate rejection: too many requests already in flight.
+
+    Carries ``retry_after`` (seconds) so transports can emit a structured
+    backpressure signal (HTTP 429 + ``Retry-After``) instead of letting
+    callers pile up behind the submission lock.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
 
 
 @dataclass
@@ -104,8 +143,14 @@ class PartitionResponse:
     """The service's reply for one request.
 
     ``source`` records how the result was produced: ``"cached"`` (hit),
-    ``"warm"`` (searched on an already-live partitioner), or ``"cold"``
-    (the partitioner had to be built and its weights loaded first).
+    ``"warm"`` (searched on an already-live partitioner), ``"cold"``
+    (the partitioner had to be built and its weights loaded first), or
+    ``"degraded"`` (heuristic fallback; see ``degraded``).
+
+    ``degraded=True`` marks a best-effort answer from the greedy
+    heuristic baseline, produced because the real search could not run
+    (checkpoint load failure, deadline exhausted, worker pool gave up);
+    ``degraded_reason`` says why.  Degraded results are never cached.
     """
 
     fingerprint: str
@@ -120,11 +165,35 @@ class PartitionResponse:
     checkpoint: "tuple | None" = None
     throughput: float = 0.0
     latency_us: float = 0.0
+    degraded: bool = False
+    degraded_reason: str = ""
 
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Configuration of one :class:`PartitionService` instance."""
+    """Configuration of one :class:`PartitionService` instance.
+
+    Reliability knobs (all off by default, preserving prior behaviour):
+
+    ``max_in_flight``
+        ``> 0`` bounds concurrent submissions; excess raises
+        :class:`ServiceOverloadError` (transports map it to HTTP 429).
+    ``request_deadline``
+        Wall-clock budget in seconds for one ``submit`` /
+        ``submit_many`` call; an exhausted budget serves the degraded
+        heuristic answer instead of blocking.
+    ``retry_after_s``
+        The hint carried by overload rejections.
+    ``cache_dir``
+        When set, results persist to a crash-safe journal there
+        (:class:`repro.serve.persist.PersistentPartitionCache`).
+    ``task_deadline`` / ``max_respawns``
+        Forwarded to the worker pool's supervisor: stuck-worker
+        detection and the respawn budget.
+    ``fault_plan``
+        Optional :class:`repro.reliability.FaultPlan` threaded into the
+        registry, cache, and worker pool (tests/chaos only).
+    """
 
     cache_capacity: int = 256
     registry_path: "str | None" = None
@@ -133,12 +202,25 @@ class ServiceConfig:
     default_samples: int = 16
     seed: int = 0
     timeout: float = 600.0
+    max_in_flight: int = 0
+    request_deadline: "float | None" = None
+    retry_after_s: float = 1.0
+    cache_dir: "str | None" = None
+    task_deadline: "float | None" = None
+    max_respawns: int = 3
+    fault_plan: "object | None" = None
 
     def __post_init__(self):
         if self.default_samples < 1:
             raise ValueError("default_samples must be >= 1")
         if self.n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if self.max_in_flight < 0:
+            raise ValueError("max_in_flight must be >= 0 (0 disables the gate)")
+        if self.request_deadline is not None and self.request_deadline <= 0:
+            raise ValueError("request_deadline must be positive when set")
+        if self.retry_after_s < 0:
+            raise ValueError("retry_after_s must be >= 0")
 
 
 class ServiceMetrics:
@@ -153,7 +235,8 @@ class ServiceMetrics:
         self.started_unix = time.time()
         self.requests_total = 0
         self.errors = 0
-        self.by_source = {"cached": 0, "warm": 0, "cold": 0}
+        self.throttled = 0
+        self.by_source = {"cached": 0, "warm": 0, "cold": 0, "degraded": 0}
         self._latency_ms = {
             source: deque(maxlen=_LATENCY_WINDOW) for source in self.by_source
         }
@@ -168,6 +251,10 @@ class ServiceMetrics:
     def record_error(self) -> None:
         with self._lock:
             self.errors += 1
+
+    def record_throttled(self) -> None:
+        with self._lock:
+            self.throttled += 1
 
     @staticmethod
     def _percentiles(values: deque) -> dict:
@@ -186,6 +273,7 @@ class ServiceMetrics:
             return {
                 "requests_total": self.requests_total,
                 "errors": self.errors,
+                "throttled": self.throttled,
                 "uptime_s": uptime,
                 "requests_per_sec": self.requests_total / uptime,
                 "by_source": dict(self.by_source),
@@ -207,9 +295,18 @@ class PartitionService:
     ):
         self.config = config or ServiceConfig()
         if registry is None and self.config.registry_path is not None:
-            registry = CheckpointRegistry(self.config.registry_path)
+            registry = CheckpointRegistry(
+                self.config.registry_path, fault_plan=self.config.fault_plan
+            )
         self.registry = registry
-        self.cache = PartitionCache(self.config.cache_capacity)
+        if self.config.cache_dir is not None:
+            self.cache: PartitionCache = PersistentPartitionCache(
+                self.config.cache_capacity,
+                directory=self.config.cache_dir,
+                fault_plan=self.config.fault_plan,
+            )
+        else:
+            self.cache = PartitionCache(self.config.cache_capacity)
         self.pool = WarmPartitionerPool(
             registry=registry,
             capacity=self.config.pool_capacity,
@@ -218,6 +315,40 @@ class PartitionService:
         )
         self.metrics_state = ServiceMetrics()
         self._lock = threading.Lock()
+        self._admit_lock = threading.Lock()
+        self._in_flight = 0
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Submissions currently admitted (includes any waiting on the
+        submission lock)."""
+        return self._in_flight
+
+    def _admit(self) -> None:
+        limit = self.config.max_in_flight
+        with self._admit_lock:
+            if limit > 0 and self._in_flight >= limit:
+                self.metrics_state.record_throttled()
+                raise ServiceOverloadError(
+                    f"service over capacity: {self._in_flight} requests in "
+                    f"flight (max_in_flight={limit}); retry after "
+                    f"{self.config.retry_after_s:g}s",
+                    retry_after=self.config.retry_after_s,
+                )
+            self._in_flight += 1
+
+    def _release(self) -> None:
+        with self._admit_lock:
+            self._in_flight -= 1
+
+    def close(self) -> None:
+        """Flush persistent state (compacts the journal when one exists)."""
+        close = getattr(self.cache, "close", None)
+        if close is not None:
+            close()
 
     # ------------------------------------------------------------------
     # Fingerprinting
@@ -305,20 +436,32 @@ class PartitionService:
         retry without the failing requests is answered entirely from
         cache.  Members processed before such a raise are still counted in
         the metrics: their work really ran and their results are retained.
-        """
-        with self._lock:
-            try:
-                return self._submit_locked(list(requests))
-            except ServiceError:
-                self.metrics_state.record_error()
-                raise
 
-    def _submit_locked(self, requests) -> list:
+        With ``max_in_flight`` set, a submission arriving while that many
+        are already admitted raises :class:`ServiceOverloadError`
+        immediately (no queueing); with ``request_deadline`` set, the
+        batch's wall clock starts here — groups that can't finish in
+        budget are served degraded heuristic answers.
+        """
+        t_batch = time.perf_counter()
+        self._admit()
+        try:
+            with self._lock:
+                try:
+                    return self._submit_locked(list(requests), t_batch)
+                except ServiceError:
+                    self.metrics_state.record_error()
+                    raise
+        finally:
+            self._release()
+
+    def _submit_locked(self, requests, t_batch: float) -> list:
         responses: list = [None] * len(requests)
         groups: dict = {}
         in_flight: set = set()
         duplicates: list = []
         failures: list = []
+        degraded_fps: dict = {}
         for i, request in enumerate(requests):
             t0 = time.perf_counter()
             try:
@@ -352,7 +495,9 @@ class PartitionService:
 
         fresh: dict = {}
         for members in groups.values():
-            failures.extend(self._run_group(members, responses, fresh))
+            failures.extend(
+                self._run_group(members, responses, fresh, t_batch, degraded_fps)
+            )
         for i, request, fp, ckpt, order in duplicates:
             # Served from the entry the primary stored this batch (held in
             # ``fresh`` so a tiny cache whose LRU already evicted it can't
@@ -363,8 +508,19 @@ class PartitionService:
             # the sub-millisecond hit percentiles.
             t0 = time.perf_counter()
             entry = fresh.get(fp)
-            if entry is None:  # the primary copy failed (failure recorded)
-                continue
+            if entry is None:
+                if fp in degraded_fps:
+                    # The primary was answered degraded (nothing cached to
+                    # copy) — degrade this duplicate the same way.
+                    failure = self._serve_degraded(
+                        (i, request, fp, ckpt, order),
+                        degraded_fps[fp],
+                        responses,
+                        t0,
+                    )
+                    if failure is not None:
+                        failures.append(failure)
+                continue  # the primary copy failed (failure recorded)
             latency_ms = (time.perf_counter() - t0) * 1e3
             self.metrics_state.record("cached", latency_ms)
             responses[i] = self._response_from_entry(
@@ -374,7 +530,21 @@ class PartitionService:
             raise ServiceError("; ".join(failures))
         return responses
 
-    def _run_group(self, members, responses, fresh: "dict | None" = None) -> "list[str]":
+    def _deadline_left(self, t_batch: float) -> "float | None":
+        """Seconds of ``request_deadline`` budget remaining (``None`` =
+        no deadline configured; may be <= 0 when already exhausted)."""
+        if self.config.request_deadline is None:
+            return None
+        return self.config.request_deadline - (time.perf_counter() - t_batch)
+
+    def _run_group(
+        self,
+        members,
+        responses,
+        fresh: "dict | None" = None,
+        t_batch: "float | None" = None,
+        degraded_fps: "dict | None" = None,
+    ) -> "list[str]":
         """Search one miss group; returns failure messages (never raises
         past a member, so sibling requests always complete).  Stored
         entries are also recorded into ``fresh`` for in-batch duplicates.
@@ -382,9 +552,22 @@ class PartitionService:
         Latency accounting starts at *group* start, so a member's cold/
         warm record covers its own group's work — earlier groups in the
         same batch don't inflate it (members within a group share the
-        batch's wall time, which is what each of them actually waited)."""
+        batch's wall time, which is what each of them actually waited).
+
+        Degradation: a group whose deadline budget is already spent,
+        whose checkpoint bytes can't be loaded, or whose search times
+        out/fails is answered by :meth:`_serve_degraded` for every
+        member instead of erroring (client errors still fail)."""
         t_group = time.perf_counter()
+        if t_batch is None:
+            t_batch = t_group
         first, first_ckpt = members[0][1], members[0][3]
+        left = self._deadline_left(t_batch)
+        if left is not None and left <= 0:
+            return self._degrade_group(
+                members, "request deadline exhausted before search",
+                responses, t_group, degraded_fps,
+            )
         try:
             # Hand the pool the *already resolved* (name, version) pair,
             # not the raw request spec: a checkpoint published between
@@ -395,6 +578,18 @@ class PartitionService:
                 first.n_chips,
                 topology=first.topology,
                 resolved=first_ckpt,
+            )
+        except RegistryError as exc:
+            if not exc.degradable:
+                return [str(exc)]
+            return self._degrade_group(
+                members, f"checkpoint unusable ({exc})",
+                responses, t_group, degraded_fps,
+            )
+        except OSError as exc:
+            return self._degrade_group(
+                members, f"checkpoint load failed ({exc})",
+                responses, t_group, degraded_fps,
             )
         except KeyError as exc:
             return [str(exc)]
@@ -416,18 +611,46 @@ class PartitionService:
         members = runnable
         if not members:
             return failures
-        results = replay_batch(
-            partitioner,
-            envs,
-            budgets,
-            seeds,
-            config=ParallelConfig(
-                n_workers=self.config.n_workers,
-                seed=0,
-                timeout=self.config.timeout,
-            ),
-            features=feats,
-        )
+        timeout = self.config.timeout
+        left = self._deadline_left(t_batch)
+        if left is not None:
+            # The search may use whatever deadline budget the batch still
+            # has (earlier groups included); a late timeout degrades
+            # rather than errors.
+            timeout = min(timeout, max(left, 0.05))
+        try:
+            results = replay_batch(
+                partitioner,
+                envs,
+                budgets,
+                seeds,
+                config=ParallelConfig(
+                    n_workers=self.config.n_workers,
+                    seed=0,
+                    timeout=timeout,
+                    task_deadline=self.config.task_deadline,
+                    max_respawns=self.config.max_respawns,
+                    fault_plan=self.config.fault_plan,
+                ),
+                features=feats,
+            )
+        except TimeoutError:
+            failures.extend(
+                self._degrade_group(
+                    members,
+                    f"search exceeded its deadline ({timeout:.3g}s)",
+                    responses, t_group, degraded_fps,
+                )
+            )
+            return failures
+        except RuntimeError as exc:
+            failures.extend(
+                self._degrade_group(
+                    members, f"search worker pool failed ({exc})",
+                    responses, t_group, degraded_fps,
+                )
+            )
+            return failures
         for (i, request, fp, ckpt, order), env, result in zip(members, envs, results):
             if result.best_assignment is None:
                 failures.append(
@@ -461,6 +684,65 @@ class PartitionService:
                 cached=False, source=source,
             )
         return failures
+
+    def _degrade_group(
+        self, members, reason, responses, t_start, degraded_fps
+    ) -> "list[str]":
+        """Answer every group member with the heuristic fallback."""
+        failures = []
+        for member in members:
+            if degraded_fps is not None:
+                degraded_fps[member[2]] = reason
+            failure = self._serve_degraded(member, reason, responses, t_start)
+            if failure is not None:
+                failures.append(failure)
+        return failures
+
+    def _serve_degraded(
+        self, member, reason: str, responses, t_start: float
+    ) -> "str | None":
+        """Serve one member from the greedy heuristic baseline.
+
+        This is the graceful-degradation path: no policy weights, no
+        solver — just the fastest always-available heuristic, evaluated
+        once for honest cost numbers.  The response is marked
+        ``degraded`` and is **never cached**: a cache must only ever
+        hold the answers the service actually promises, and a later
+        request (once the fault clears) must get the real search.
+        Returns a failure message instead when even the heuristic can't
+        produce a valid partition."""
+        i, request, fp, ckpt, order = member
+        try:
+            env = self._build_env(request)
+        except ServiceError as exc:
+            return str(exc)
+        assignment = greedy_partition(env.graph, int(request.n_chips))
+        sample = env.evaluate(assignment)
+        if not sample.result.valid:
+            return (
+                f"degraded fallback for graph {request.graph.name!r} is "
+                f"invalid ({sample.result.failure_reason}); real search "
+                f"unavailable: {reason}"
+            )
+        latency_ms = (time.perf_counter() - t_start) * 1e3
+        self.metrics_state.record("degraded", latency_ms)
+        responses[i] = PartitionResponse(
+            fingerprint=fp,
+            assignment=np.asarray(assignment, dtype=np.int64),
+            improvement=float(sample.improvement),
+            objective=request.objective,
+            cached=False,
+            source="degraded",
+            latency_ms=latency_ms,
+            samples=0,
+            n_chips=int(request.n_chips),
+            checkpoint=ckpt,
+            throughput=float(sample.result.throughput),
+            latency_us=float(sample.result.latency_us),
+            degraded=True,
+            degraded_reason=reason,
+        )
+        return None
 
     def _response_from_entry(
         self,
@@ -526,4 +808,16 @@ class PartitionService:
             "builds": self.pool.builds,
             "weight_loads": self.pool.weight_loads,
         }
+        snap["reliability"] = {
+            "in_flight": self._in_flight,
+            "max_in_flight": self.config.max_in_flight,
+            "request_deadline_s": self.config.request_deadline,
+            "degraded_serves": snap["by_source"]["degraded"],
+            "throttled": snap["throttled"],
+        }
+        if self.config.fault_plan is not None:
+            counts = self.config.fault_plan.counts()
+            snap["reliability"]["faults_armed"] = counts["armed"]
+            snap["reliability"]["faults_fired"] = counts["fired_total"]
+            snap["reliability"]["faults_by_site"] = counts["fired_by_site"]
         return snap

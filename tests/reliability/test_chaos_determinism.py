@@ -1,0 +1,173 @@
+"""Chaos suite: faulty runs must be *bit-identical* to fault-free runs.
+
+Each test runs the same workload twice — once clean, once under a
+:class:`FaultPlan` that kills or stalls workers mid-window — and asserts
+the merged trajectory, best assignment, and final weights match exactly.
+This is the payoff of spawn-keyed RNG + epoch-replayed weights: worker
+loss is invisible in results, not just survivable.
+
+Marked ``chaos`` (multi-process, seconds per test): deselected from the
+tier-1 run by default, exercised by ``pytest -m chaos`` in CI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.environment import PartitionEnvironment
+from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
+from repro.core.pretrain import PretrainConfig
+from repro.graphs.zoo import build_dataset
+from repro.hardware.analytical import AnalyticalCostModel
+from repro.hardware.package import MCMPackage
+from repro.parallel import (
+    ParallelConfig,
+    fork_available,
+    parallel_pretrain,
+    parallel_search,
+    replay_batch,
+)
+from repro.reliability import Fault, FaultPlan
+from repro.rl.features import featurize
+from repro.rl.ppo import PPOConfig
+
+N_CHIPS = 4
+
+pytestmark = [
+    pytest.mark.chaos,
+    pytest.mark.skipif(not fork_available(), reason="fork start method required"),
+]
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return list(build_dataset(seed=0).train[:2])
+
+
+def _env(graph):
+    package = MCMPackage(n_chips=N_CHIPS)
+    return PartitionEnvironment(graph, AnalyticalCostModel(package), N_CHIPS)
+
+
+def _partitioner(rng=5):
+    cfg = RLPartitionerConfig(
+        hidden=32,
+        n_sage_layers=2,
+        ppo=PPOConfig(n_rollouts=10, n_minibatches=2, n_epochs=3),
+    )
+    return RLPartitioner(N_CHIPS, config=cfg, rng=rng)
+
+
+def _weights_equal(a: RLPartitioner, b: RLPartitioner) -> bool:
+    sa, sb = a.state_dict(), b.state_dict()
+    return all(np.array_equal(sa[k], sb[k]) for k in sa)
+
+
+def _crash_at(window, shard):
+    return FaultPlan([Fault(site="pool", kind="crash", at=(window, shard))])
+
+
+class TestRolloutChaos:
+    """Worker killed mid-window during PPO-training search."""
+
+    def test_crash_mid_search_bit_identical(self, graphs):
+        clean_p, chaos_p = _partitioner(), _partitioner()
+        clean = parallel_search(
+            clean_p, _env(graphs[0]), 25,
+            config=ParallelConfig(n_workers=2, seed=99),
+        )
+        plan = _crash_at(1, 0)
+        chaos = parallel_search(
+            chaos_p, _env(graphs[0]), 25,
+            config=ParallelConfig(n_workers=2, seed=99, fault_plan=plan),
+        )
+        assert plan.counts()["fired_total"] == 1, "fault must actually fire"
+        np.testing.assert_array_equal(clean.improvements, chaos.improvements)
+        np.testing.assert_array_equal(
+            clean.best_assignment, chaos.best_assignment
+        )
+        assert clean.best_improvement == chaos.best_improvement
+        assert _weights_equal(clean_p, chaos_p)
+
+    def test_stalled_worker_mid_search_bit_identical(self, graphs):
+        clean_p, chaos_p = _partitioner(), _partitioner()
+        clean = parallel_search(
+            clean_p, _env(graphs[0]), 25,
+            config=ParallelConfig(n_workers=2, seed=99),
+        )
+        plan = FaultPlan(
+            [Fault(site="pool", kind="delay", at=(1, 1), delay_s=30.0)]
+        )
+        chaos = parallel_search(
+            chaos_p, _env(graphs[0]), 25,
+            config=ParallelConfig(
+                n_workers=2, seed=99, fault_plan=plan, task_deadline=0.8,
+            ),
+        )
+        assert plan.counts()["fired_total"] == 1
+        np.testing.assert_array_equal(clean.improvements, chaos.improvements)
+        assert _weights_equal(clean_p, chaos_p)
+
+    def test_seed_generated_plan_bit_identical(self, graphs):
+        """Any seed-keyed random plan leaves results untouched."""
+        clean = parallel_search(
+            _partitioner(), _env(graphs[0]), 25,
+            config=ParallelConfig(n_workers=2, seed=4),
+        )
+        plan = FaultPlan.generate(seed=11, n_windows=3, n_shards=2, n_faults=2)
+        chaos = parallel_search(
+            _partitioner(), _env(graphs[0]), 25,
+            config=ParallelConfig(n_workers=2, seed=4, fault_plan=plan),
+        )
+        np.testing.assert_array_equal(clean.improvements, chaos.improvements)
+
+
+class TestPretrainChaos:
+    """Worker killed mid-window during the pre-training rotation."""
+
+    def test_crash_mid_pretrain_identical_checkpoints(self, graphs):
+        cfg = PretrainConfig(
+            total_samples=40, n_checkpoints=4, samples_per_graph=10
+        )
+        clean_p, chaos_p = _partitioner(11), _partitioner(11)
+        clean = parallel_pretrain(
+            clean_p, graphs, _env, cfg,
+            parallel=ParallelConfig(n_workers=2, seed=7),
+        )
+        plan = _crash_at(1, 0)
+        chaos = parallel_pretrain(
+            chaos_p, graphs, _env, cfg,
+            parallel=ParallelConfig(n_workers=2, seed=7, fault_plan=plan),
+        )
+        assert plan.counts()["fired_total"] == 1
+        assert [c.step for c in clean] == [c.step for c in chaos]
+        for a, b in zip(clean, chaos):
+            for key in a.state:
+                np.testing.assert_array_equal(a.state[key], b.state[key])
+        assert _weights_equal(clean_p, chaos_p)
+
+
+class TestReplayChaos:
+    """Worker killed mid-window during zero-shot serving replay."""
+
+    def test_crash_mid_replay_smoke(self, graphs):
+        # The CI chaos smoke (`-m chaos -k smoke`): cheapest end-to-end
+        # kill-and-recover with a bit-identity assertion.
+        partitioner = _partitioner()
+        envs = [_env(g) for g in graphs]
+        feats = [featurize(g) for g in graphs]
+        seeds = [(0, 2, i) for i in range(len(envs))]
+        clean = replay_batch(
+            partitioner, envs, [6] * len(envs), seeds,
+            config=ParallelConfig(n_workers=2, seed=0),
+            features=feats,
+        )
+        plan = _crash_at(0, 0)  # replay task ids are (env_idx, 0)
+        chaos = replay_batch(
+            partitioner, envs, [6] * len(envs), seeds,
+            config=ParallelConfig(n_workers=2, seed=0, fault_plan=plan),
+            features=feats,
+        )
+        assert plan.counts()["fired_total"] == 1
+        for a, b in zip(clean, chaos):
+            np.testing.assert_array_equal(a.improvements, b.improvements)
+            np.testing.assert_array_equal(a.best_assignment, b.best_assignment)

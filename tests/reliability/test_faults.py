@@ -1,0 +1,114 @@
+"""Unit tests for the deterministic fault-injection plan."""
+
+import pytest
+
+from repro.reliability import Fault, FaultPlan, InjectedIOError
+
+
+class TestFire:
+    def test_exact_key_match_consumes_once(self):
+        plan = FaultPlan([Fault(site="pool", kind="crash", at=(1, 0))])
+        assert plan.fire("pool", "crash", (1, 0)) is not None
+        assert plan.fire("pool", "crash", (1, 0)) is None  # spent
+
+    def test_prefix_match(self):
+        plan = FaultPlan([Fault(site="registry", kind="io_error", at=("load",))])
+        assert plan.fire("registry", "io_error", ("load", "extra")) is not None
+
+    def test_empty_at_matches_everything(self):
+        plan = FaultPlan([Fault(site="server", kind="drop")])
+        assert plan.fire("server", "drop", ("/partition",)) is not None
+
+    def test_site_and_kind_must_match(self):
+        plan = FaultPlan([Fault(site="pool", kind="crash", at=(0, 0))])
+        assert plan.fire("pool", "delay", (0, 0)) is None
+        assert plan.fire("cache", "crash", (0, 0)) is None
+        assert plan.fire("pool", "crash", (0, 1)) is None
+        # nothing above consumed it
+        assert plan.fire("pool", "crash", (0, 0)) is not None
+
+    def test_times_bounds_firing(self):
+        plan = FaultPlan([Fault(site="server", kind="drop", times=2)])
+        assert plan.fire("server", "drop", ()) is not None
+        assert plan.fire("server", "drop", ()) is not None
+        assert plan.fire("server", "drop", ()) is None
+
+    def test_negative_times_never_spends(self):
+        plan = FaultPlan([Fault(site="cache", kind="io_error", times=-1)])
+        for _ in range(10):
+            assert plan.fire("cache", "io_error", ("append",)) is not None
+
+    def test_fired_log_records_keys(self):
+        plan = FaultPlan([Fault(site="pool", kind="crash", at=(2, 1))])
+        plan.fire("pool", "crash", (2, 1))
+        assert plan.fired == [("pool", "crash", (2, 1))]
+
+
+class TestIOError:
+    def test_raises_injected_oserror(self):
+        plan = FaultPlan(
+            [Fault(site="registry", kind="io_error", at=("publish",))]
+        )
+        with pytest.raises(InjectedIOError):
+            plan.io_error("registry", "publish")
+        # spent: second call is clean
+        plan.io_error("registry", "publish")
+
+    def test_injected_error_is_oserror(self):
+        # Layers catch OSError; the injection must be indistinguishable.
+        assert issubclass(InjectedIOError, OSError)
+
+
+class TestPoolDirective:
+    def test_crash_directive(self):
+        plan = FaultPlan([Fault(site="pool", kind="crash", at=(0, 1))])
+        assert plan.pool_directive((0, 1)) == ("crash",)
+        assert plan.pool_directive((0, 1)) is None  # consumed
+
+    def test_delay_directive_carries_duration(self):
+        plan = FaultPlan(
+            [Fault(site="pool", kind="delay", at=(1, 0), delay_s=2.5)]
+        )
+        assert plan.pool_directive((1, 0)) == ("delay", 2.5)
+
+    def test_clean_task_gets_no_directive(self):
+        plan = FaultPlan([Fault(site="pool", kind="crash", at=(0, 0))])
+        assert plan.pool_directive((3, 3)) is None
+
+
+class TestGenerate:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.generate(seed=7, n_faults=3)
+        b = FaultPlan.generate(seed=7, n_faults=3)
+        assert a._faults == b._faults
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.generate(seed=7, n_faults=4)
+        b = FaultPlan.generate(seed=8, n_faults=4)
+        assert a._faults != b._faults
+
+    def test_targets_are_pool_tasks_in_range(self):
+        plan = FaultPlan.generate(seed=3, n_windows=4, n_shards=2, n_faults=5)
+        for fault in plan._faults:
+            assert fault.site == "pool"
+            assert fault.kind in ("crash", "delay")
+            window, shard = fault.at
+            assert 0 <= window < 4
+            assert 0 <= shard < 2
+
+
+class TestCounts:
+    def test_counts_surface(self):
+        plan = FaultPlan(
+            [
+                Fault(site="pool", kind="crash", at=(0, 0)),
+                Fault(site="cache", kind="io_error", times=-1),
+            ]
+        )
+        plan.fire("pool", "crash", (0, 0))
+        plan.fire("cache", "io_error", ("append",))
+        plan.fire("cache", "io_error", ("append",))
+        counts = plan.counts()
+        assert counts["fired_total"] == 3
+        assert counts["fired_by_site"] == {"pool": 1, "cache": 2}
+        assert counts["armed"] == 1  # only the unspendable cache fault

@@ -1,0 +1,196 @@
+"""Crash-safe persistent cache: journal replay, corruption, degradation."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.reliability import Fault, FaultPlan
+from repro.serve import CachedPartition, PersistentPartitionCache
+
+
+def _entry(fp: str, n: int = 6, chips: int = 3) -> CachedPartition:
+    rng = np.random.default_rng(abs(hash(fp)) % (2**32))
+    return CachedPartition(
+        fingerprint=fp,
+        assignment=rng.integers(0, chips, size=n),
+        improvement=float(rng.random()),
+        node_order=np.arange(n, dtype=np.int64),
+        objective="throughput",
+        throughput=123.0,
+        latency_us=45.0,
+        metadata={"graph": fp},
+    )
+
+
+class TestRestartRoundtrip:
+    def test_entries_survive_restart(self, tmp_path):
+        cache = PersistentPartitionCache(8, directory=tmp_path)
+        entries = {f"fp{i}": _entry(f"fp{i}") for i in range(3)}
+        for key, entry in entries.items():
+            cache.put(key, entry)
+        cache.close()
+
+        warm = PersistentPartitionCache(8, directory=tmp_path)
+        assert warm.stats()["warm_entries"] == 3
+        for key, entry in entries.items():
+            got = warm.get(key)
+            assert got is not None
+            np.testing.assert_array_equal(got.assignment, entry.assignment)
+            assert got.improvement == entry.improvement
+            assert got.metadata == entry.metadata
+
+    def test_unclosed_journal_also_replays(self, tmp_path):
+        # No close()/compact(): the append-only journal alone must be
+        # enough (that's the crash case).
+        cache = PersistentPartitionCache(8, directory=tmp_path)
+        cache.put("fp0", _entry("fp0"))
+        del cache
+        warm = PersistentPartitionCache(8, directory=tmp_path)
+        assert warm.get("fp0") is not None
+
+    def test_replay_does_not_skew_hit_stats(self, tmp_path):
+        cache = PersistentPartitionCache(8, directory=tmp_path)
+        cache.put("fp0", _entry("fp0"))
+        cache.get("fp0")
+        cache.close()
+        warm = PersistentPartitionCache(8, directory=tmp_path)
+        stats = warm.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        assert stats["evictions"] == 0
+
+
+class TestRecency:
+    def test_lru_recency_survives_restart(self, tmp_path):
+        cache = PersistentPartitionCache(2, directory=tmp_path)
+        cache.put("a", _entry("a"))
+        cache.put("b", _entry("b"))
+        cache.get("a")  # journalled touch: 'a' is now most recent
+        cache.close()
+
+        warm = PersistentPartitionCache(2, directory=tmp_path)
+        warm.put("c", _entry("c"))  # must evict 'b', not 'a'
+        assert warm.get("a") is not None
+        assert warm.get("c") is not None
+        assert warm.get("b") is None
+
+    def test_capacity_enforced_on_replay(self, tmp_path):
+        cache = PersistentPartitionCache(8, directory=tmp_path)
+        for i in range(6):
+            cache.put(f"fp{i}", _entry(f"fp{i}"))
+        cache.close()
+        small = PersistentPartitionCache(2, directory=tmp_path)
+        assert len(small) == 2
+        # the two most recent puts survive
+        assert small.get("fp5") is not None
+        assert small.get("fp4") is not None
+
+
+class TestCorruption:
+    def test_bit_flip_skipped_not_fatal(self, tmp_path):
+        cache = PersistentPartitionCache(8, directory=tmp_path)
+        for i in range(3):
+            cache.put(f"fp{i}", _entry(f"fp{i}"))
+        cache.close()
+        path = cache.journal_path
+        lines = open(path, "r", encoding="utf-8").readlines()
+        # flip one byte inside the payload of the middle record
+        mid = list(lines[1])
+        mid[30] = "X" if mid[30] != "X" else "Y"
+        lines[1] = "".join(mid)
+        open(path, "w", encoding="utf-8").writelines(lines)
+
+        warm = PersistentPartitionCache(8, directory=tmp_path)
+        assert warm.stats()["corrupt_skipped"] == 1
+        assert warm.get("fp0") is not None
+        assert warm.get("fp1") is None  # the corrupt record
+        assert warm.get("fp2") is not None
+
+    def test_torn_final_line_skipped(self, tmp_path):
+        cache = PersistentPartitionCache(8, directory=tmp_path)
+        cache.put("fp0", _entry("fp0"))
+        cache.put("fp1", _entry("fp1"))
+        cache.close()
+        path = cache.journal_path
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[: len(data) - 40])  # tear mid-record
+
+        warm = PersistentPartitionCache(8, directory=tmp_path)
+        assert warm.stats()["corrupt_skipped"] == 1
+        assert warm.get("fp0") is not None
+        assert warm.get("fp1") is None
+
+    def test_garbage_journal_yields_empty_cache(self, tmp_path):
+        path = os.path.join(tmp_path, "journal.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("not a journal\nat all\n")
+        cache = PersistentPartitionCache(8, directory=tmp_path)
+        assert len(cache) == 0
+        assert cache.stats()["corrupt_skipped"] == 2
+        # and it keeps working
+        cache.put("fp0", _entry("fp0"))
+        assert cache.get("fp0") is not None
+
+
+class TestCompaction:
+    def test_compaction_bounds_journal(self, tmp_path):
+        cache = PersistentPartitionCache(
+            4, directory=tmp_path, compact_every=6
+        )
+        for i in range(12):
+            cache.put(f"fp{i}", _entry(f"fp{i}"))
+        lines = [
+            line
+            for line in open(cache.journal_path, encoding="utf-8")
+            if line.strip()
+        ]
+        # compacted journal holds at most capacity puts + appends since
+        assert len(lines) <= 4 + 6
+        warm = PersistentPartitionCache(4, directory=tmp_path)
+        assert warm.get("fp11") is not None
+
+    def test_clear_compacts_to_empty(self, tmp_path):
+        cache = PersistentPartitionCache(4, directory=tmp_path)
+        cache.put("fp0", _entry("fp0"))
+        cache.clear()
+        warm = PersistentPartitionCache(4, directory=tmp_path)
+        assert len(warm) == 0
+
+
+class TestIOFaultDegradation:
+    def test_append_fault_disables_journal_keeps_serving(self, tmp_path):
+        plan = FaultPlan([Fault(site="cache", kind="io_error", times=-1)])
+        cache = PersistentPartitionCache(
+            8, directory=tmp_path, fault_plan=plan
+        )
+        cache.put("fp0", _entry("fp0"))
+        assert cache.stats()["persist_errors"] >= 1
+        # in-memory serving unaffected
+        assert cache.get("fp0") is not None
+        cache.put("fp1", _entry("fp1"))
+        assert cache.get("fp1") is not None
+
+    def test_compact_fault_preserves_previous_journal(self, tmp_path):
+        cache = PersistentPartitionCache(8, directory=tmp_path)
+        cache.put("fp0", _entry("fp0"))
+        cache.close()
+        plan = FaultPlan(
+            [Fault(site="cache", kind="io_error", at=("compact",))]
+        )
+        faulty = PersistentPartitionCache(
+            8, directory=tmp_path, fault_plan=plan
+        )
+        faulty.compact()  # injected failure
+        assert faulty.stats()["persist_errors"] == 1
+        warm = PersistentPartitionCache(8, directory=tmp_path)
+        assert warm.get("fp0") is not None  # old journal intact
+
+
+class TestStats:
+    def test_stats_mark_persistence(self, tmp_path):
+        cache = PersistentPartitionCache(8, directory=tmp_path)
+        stats = cache.stats()
+        assert stats["persistent"] is True
+        assert stats["journal_path"] == cache.journal_path
+        assert stats["corrupt_skipped"] == 0
+        assert stats["persist_errors"] == 0

@@ -165,3 +165,70 @@ class TestWarmPool:
         )
         result = partitioner.search(env, 4, train=False)
         assert result.best_assignment is not None
+
+
+class TestCrashSafety:
+    """Atomic publish + checksum-verified load (the reliability layer)."""
+
+    def _corrupt_npz(self, registry, name, version):
+        import os
+
+        path = os.path.join(registry.root, name, f"v{version:04d}.npz")
+        with open(path, "r+b") as fh:
+            fh.seek(120)
+            byte = fh.read(1)
+            fh.seek(120)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+
+    def test_publish_records_weights_checksum(self, registry):
+        registry.publish_partitioner("prod", _partitioner())
+        _, meta = registry.load("prod")
+        assert len(meta["weights_sha256"]) == 64
+
+    def test_interrupted_publish_leaves_nothing_visible(self, tmp_path):
+        from repro.reliability import Fault, FaultPlan, InjectedIOError
+
+        plan = FaultPlan(
+            [Fault(site="registry", kind="io_error", at=("publish",))]
+        )
+        registry = CheckpointRegistry(str(tmp_path / "reg"), fault_plan=plan)
+        with pytest.raises(InjectedIOError):
+            registry.publish_partitioner("prod", _partitioner())
+        # no torn version, no stray temp files, and publishing again works
+        assert registry.versions("prod") == []
+        assert registry.publish_partitioner("prod", _partitioner()) == 1
+        import os
+
+        strays = [
+            f
+            for f in os.listdir(os.path.join(registry.root, "prod"))
+            if f.startswith(".tmp")
+        ]
+        assert strays == []
+
+    def test_corrupt_weights_detected_on_load(self, registry):
+        version = registry.publish_partitioner("prod", _partitioner())
+        self._corrupt_npz(registry, "prod", version)
+        with pytest.raises(RegistryError, match="corrupt") as excinfo:
+            registry.load("prod")
+        assert excinfo.value.degradable is True
+
+    def test_client_errors_are_not_degradable(self, registry):
+        with pytest.raises(RegistryError) as excinfo:
+            registry.latest("ghost")
+        assert excinfo.value.degradable is False
+
+    def test_load_fault_raises_oserror(self, tmp_path):
+        from repro.reliability import Fault, FaultPlan, InjectedIOError
+
+        clean = CheckpointRegistry(str(tmp_path / "reg"))
+        clean.publish_partitioner("prod", _partitioner())
+        plan = FaultPlan(
+            [Fault(site="registry", kind="io_error", at=("load",))]
+        )
+        faulty = CheckpointRegistry(str(tmp_path / "reg"), fault_plan=plan)
+        with pytest.raises(InjectedIOError):
+            faulty.load("prod")
+        # fault spent: the next load succeeds
+        state, _ = faulty.load("prod")
+        assert state

@@ -1,0 +1,271 @@
+"""Serving resilience: deadlines, backpressure, degraded fallback, retries."""
+
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.reliability import Fault, FaultPlan
+from repro.serve import (
+    CheckpointRegistry,
+    PartitionRequest,
+    PartitionServer,
+    ServiceError,
+    ServiceOverloadError,
+    fetch_metrics,
+    request_partition,
+)
+from repro.serve.server import DEFAULT_RETRIES, DEFAULT_TIMEOUT_S
+from tests.conftest import random_dag
+from tests.serve.conftest import tiny_service
+
+
+@pytest.fixture
+def graph():
+    return random_dag(0, 12)
+
+
+def _payload(graph):
+    from repro.graphs.serialization import graph_to_dict
+
+    return {"graph": graph_to_dict(graph), "chips": 4}
+
+
+def _published_registry(tmp_path, fault_plan=None):
+    """A registry holding one checkpoint, optionally fault-injected."""
+    path = str(tmp_path / "reg")
+    clean = CheckpointRegistry(path)
+    seed_service = tiny_service(registry=clean)
+    partitioner, _ = seed_service.pool.get(4)
+    clean.publish_partitioner("pol", partitioner)
+    return CheckpointRegistry(path, fault_plan=fault_plan)
+
+
+class TestAdmissionGate:
+    def test_overload_rejected_with_retry_after(self, graph):
+        service = tiny_service(max_in_flight=1, retry_after_s=0.7)
+        service._admit()  # occupy the only slot
+        try:
+            with pytest.raises(ServiceOverloadError) as excinfo:
+                service.submit(PartitionRequest(graph=graph, n_chips=4))
+            assert excinfo.value.retry_after == 0.7
+        finally:
+            service._release()
+        assert service.metrics()["throttled"] == 1
+        # overload is backpressure, not a failure
+        assert service.metrics()["errors"] == 0
+
+    def test_gate_reopens_after_release(self, graph):
+        service = tiny_service(max_in_flight=1)
+        response = service.submit(PartitionRequest(graph=graph, n_chips=4))
+        assert not response.degraded
+        assert service.in_flight == 0
+
+    def test_unbounded_by_default(self, graph):
+        service = tiny_service()
+        for _ in range(3):
+            service._admit()
+        service.submit(PartitionRequest(graph=graph, n_chips=4))
+        for _ in range(3):
+            service._release()
+
+
+class TestDegradedFallback:
+    def test_registry_io_fault_serves_degraded(self, graph, tmp_path):
+        plan = FaultPlan(
+            [Fault(site="registry", kind="io_error", at=("load",), times=-1)]
+        )
+        registry = _published_registry(tmp_path, fault_plan=plan)
+        service = tiny_service(registry=registry, fault_plan=plan)
+        request = PartitionRequest(graph=graph, n_chips=4, checkpoint="pol")
+        response = service.submit(request)
+        assert response.degraded
+        assert response.source == "degraded"
+        assert response.samples == 0
+        # the fallback *is* the greedy baseline: improvement ratio is 1.0
+        assert response.improvement == pytest.approx(1.0)
+        metrics = service.metrics()
+        assert metrics["by_source"]["degraded"] == 1
+        assert metrics["reliability"]["degraded_serves"] == 1
+        assert metrics["reliability"]["faults_fired"] >= 1
+
+    def test_corrupt_checkpoint_serves_degraded(self, graph, tmp_path):
+        registry = _published_registry(tmp_path)
+        import os
+
+        npz = os.path.join(registry.root, "pol", "v0001.npz")
+        with open(npz, "r+b") as fh:
+            fh.seek(99)
+            byte = fh.read(1)
+            fh.seek(99)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        service = tiny_service(registry=registry)
+        response = service.submit(
+            PartitionRequest(graph=graph, n_chips=4, checkpoint="pol")
+        )
+        assert response.degraded
+        assert "corrupt" in response.degraded_reason
+
+    def test_unknown_checkpoint_still_errors(self, graph, tmp_path):
+        # Client errors must NOT be papered over with a degraded answer.
+        registry = _published_registry(tmp_path)
+        service = tiny_service(registry=registry)
+        with pytest.raises(ServiceError, match="ghost"):
+            service.submit(
+                PartitionRequest(graph=graph, n_chips=4, checkpoint="ghost")
+            )
+
+    def test_exhausted_deadline_serves_degraded(self, graph):
+        service = tiny_service(request_deadline=1e-9)
+        response = service.submit(PartitionRequest(graph=graph, n_chips=4))
+        assert response.degraded
+        assert "deadline" in response.degraded_reason
+        assert response.assignment.shape == (graph.n_nodes,)
+        assert (response.assignment >= 0).all()
+        assert (response.assignment < 4).all()
+
+    def test_degraded_result_is_never_cached(self, graph):
+        service = tiny_service(request_deadline=1e-9)
+        request = PartitionRequest(graph=graph, n_chips=4)
+        first = service.submit(request)
+        assert first.degraded
+        assert len(service.cache) == 0
+        # same request once the pressure clears: a real (cached-able) search
+        healthy = tiny_service()
+        healthy.cache = service.cache
+        second = healthy.submit(request)
+        assert not second.degraded
+        assert second.source == "cold"
+        assert len(healthy.cache) == 1
+
+    def test_degraded_duplicates_in_one_batch(self, graph):
+        service = tiny_service(request_deadline=1e-9)
+        request = PartitionRequest(graph=graph, n_chips=4)
+        responses = service.submit_many([request, request])
+        assert all(r is not None and r.degraded for r in responses)
+        np.testing.assert_array_equal(
+            responses[0].assignment, responses[1].assignment
+        )
+
+    def test_cache_hit_beats_deadline_check(self, graph):
+        # A hit is served before the miss path: warm entries stay availabl
+        # even when the deadline would degrade a fresh search.
+        service = tiny_service()
+        request = PartitionRequest(graph=graph, n_chips=4)
+        real = service.submit(request)
+        slow = tiny_service(request_deadline=1e-9)
+        slow.cache = service.cache
+        hit = slow.submit(request)
+        assert hit.cached and not hit.degraded
+        np.testing.assert_array_equal(hit.assignment, real.assignment)
+
+
+class TestHTTPBackpressure:
+    def test_429_with_retry_after_header(self, graph):
+        import json
+
+        service = tiny_service(max_in_flight=1, retry_after_s=0.3)
+        with PartitionServer(service, port=0) as server:
+            server.start()
+            service._admit()
+            try:
+                body = json.dumps(_payload(graph)).encode()
+                request = urllib.request.Request(
+                    f"http://127.0.0.1:{server.port}/partition",
+                    data=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(request, timeout=10.0)
+                assert excinfo.value.code == 429
+                assert float(excinfo.value.headers["Retry-After"]) == 0.3
+            finally:
+                service._release()
+
+    def test_client_retries_through_429(self, graph):
+        service = tiny_service(max_in_flight=1, retry_after_s=0.1)
+        with PartitionServer(service, port=0) as server:
+            server.start()
+            service._admit()
+            threading.Thread(
+                target=lambda: (time.sleep(0.4), service._release()),
+                daemon=True,
+            ).start()
+            reply = request_partition(
+                _payload(graph), port=server.port, timeout=10.0, retries=4
+            )
+            assert reply["degraded"] is False
+            assert fetch_metrics(port=server.port)["throttled"] >= 1
+
+    def test_degraded_flag_in_http_payload(self, graph):
+        service = tiny_service(request_deadline=1e-9)
+        with PartitionServer(service, port=0) as server:
+            server.start()
+            reply = request_partition(
+                _payload(graph), port=server.port, timeout=10.0
+            )
+            assert reply["degraded"] is True
+            assert "deadline" in reply["degraded_reason"]
+
+
+class TestClientRetries:
+    def test_dropped_connection_retried(self, graph):
+        plan = FaultPlan(
+            [Fault(site="server", kind="drop", at=("/partition",))]
+        )
+        service = tiny_service()
+        with PartitionServer(service, port=0, fault_plan=plan) as server:
+            server.start()
+            reply = request_partition(
+                _payload(graph), port=server.port, timeout=10.0, retries=2
+            )
+            assert reply["degraded"] is False
+            assert plan.counts()["fired_total"] == 1
+
+    def test_retries_exhausted_raises(self, graph):
+        plan = FaultPlan([Fault(site="server", kind="drop", times=-1)])
+        service = tiny_service()
+        with PartitionServer(service, port=0, fault_plan=plan) as server:
+            server.start()
+            with pytest.raises(ServiceError, match="failed"):
+                request_partition(
+                    _payload(graph), port=server.port, timeout=5.0, retries=1
+                )
+
+    def test_client_errors_not_retried(self, graph):
+        # 422 must raise immediately (retrying a bad request can't help).
+        service = tiny_service()
+        with PartitionServer(service, port=0) as server:
+            server.start()
+            t0 = time.monotonic()
+            with pytest.raises(ServiceError, match="422"):
+                request_partition(
+                    {"graph": "nope"}, port=server.port,
+                    timeout=5.0, retries=5,
+                )
+            assert time.monotonic() - t0 < 2.0  # no backoff sleeps happened
+
+    def test_default_timeouts_fail_fast(self):
+        assert DEFAULT_TIMEOUT_S == 60.0
+        assert DEFAULT_RETRIES == 2
+
+
+class TestPersistentServing:
+    def test_service_restart_warm_starts_from_journal(self, graph, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        service = tiny_service(cache_dir=cache_dir)
+        request = PartitionRequest(graph=graph, n_chips=4)
+        first = service.submit(request)
+        assert not first.cached
+        service.close()
+
+        restarted = tiny_service(cache_dir=cache_dir)
+        second = restarted.submit(request)
+        assert second.cached
+        np.testing.assert_array_equal(second.assignment, first.assignment)
+        stats = restarted.metrics()["cache"]
+        assert stats["persistent"] is True
+        assert stats["warm_entries"] == 1

@@ -199,7 +199,9 @@ class TestBatchSemantics:
         # Request-level accounting: one real search, two deduplicated
         # copies.  Duplicates never probe the cache (the primary's miss is
         # already counted), so lookup counters see exactly one miss.
-        assert metrics["by_source"] == {"cached": 2, "warm": 0, "cold": 1}
+        assert metrics["by_source"] == {
+            "cached": 2, "warm": 0, "cold": 1, "degraded": 0,
+        }
         assert metrics["latency_ms"]["cold"]["count"] == 1
         assert metrics["cache"]["hits"] == 0
         assert metrics["cache"]["misses"] == 1
@@ -385,7 +387,9 @@ class TestMetrics:
         service.submit(PartitionRequest(graph=build_cnn(), n_chips=4))
         metrics = service.metrics()
         assert metrics["requests_total"] == 3
-        assert metrics["by_source"] == {"cached": 1, "warm": 1, "cold": 1}
+        assert metrics["by_source"] == {
+            "cached": 1, "warm": 1, "cold": 1, "degraded": 0,
+        }
         assert metrics["cache"]["hits"] == 1
         assert metrics["cache"]["misses"] == 2
         assert metrics["latency_ms"]["cold"]["count"] == 1
