@@ -13,7 +13,7 @@ a fingerprint lookup.  This bench measures the three request classes the
   already resident, only the per-graph work remains;
 * **cached** — repeat request: fingerprint + LRU lookup, no policy/solver.
 
-It reports p50/p95 latency per class, sustained requests/sec for an
+It reports p50/p95/p99 latency per class, sustained requests/sec for an
 all-hit stream and an all-miss stream, and pins the core guarantees in the
 JSON: the cached reply is bit-identical to the cold one and >= 10x faster
 (the tier-1 suite pins the same bound in
@@ -27,6 +27,13 @@ Two reliability rows ride along:
 * **restart** — a service with a persistent cache is killed and rebuilt
   on the same journal: warm-start hit rate and hit latency vs the
   cold-start recompute cost it avoids.
+
+A **router** section drives the replicated tier (2 ``repro serve``
+subprocesses behind the consistent-hash router, replication 2) under a
+sustained request stream and reports p50/p95/p99 — tail latency is the
+whole point of hedging — for three deployments: healthy with hedging,
+healthy without hedging, and one shard SIGKILLed mid-stream (failover
+cost), plus the failover/hedge counters for each.
 
 Run as a script (``python benchmarks/bench_serve.py``); writes
 ``BENCH_serve.json`` at the repo root.  ``--tiny`` shrinks repeats for the
@@ -127,6 +134,7 @@ def _percentiles(latencies_ms: "list[float]") -> dict:
         "n": int(arr.size),
         "p50_ms": float(np.percentile(arr, 50)),
         "p95_ms": float(np.percentile(arr, 95)),
+        "p99_ms": float(np.percentile(arr, 99)),
         "mean_ms": float(arr.mean()),
     }
 
@@ -293,6 +301,78 @@ def bench_restart_recovery(graphs) -> dict:
     }
 
 
+def bench_router(graphs, n_requests: int) -> dict:
+    """Sustained load on the replicated tier: 2 shard processes, R=2.
+
+    Three deployments over the same request stream (cycling the graph set,
+    so the steady state is cache hits — the regime where routing overhead
+    and tail behaviour are visible):
+
+    * ``healthy`` — both shards up, hedging on;
+    * ``hedging_off`` — both shards up, no hedge (the control for what
+      hedging buys/costs at the tail);
+    * ``one_shard_killed`` — the stream's first primary is SIGKILLed
+      before the stream starts: every request that hashes to it pays
+      failover until the breaker opens, then skips it outright.
+
+    Every reply must be non-degraded 200 — one replica is always enough.
+    """
+    from repro.graphs.serialization import graph_to_dict
+    from repro.serve import RouterConfig, ShardRouter
+
+    cycle = [
+        {"graph": graph_to_dict(g), "chips": N_CHIPS, "samples": SAMPLES}
+        for g in graphs
+    ]
+    payloads = [cycle[k % len(cycle)] for k in range(n_requests)]
+    deployments = (
+        ("healthy", True, False),
+        ("hedging_off", False, False),
+        ("one_shard_killed", True, True),
+    )
+    rows = {}
+    for name, hedge, kill in deployments:
+        router = ShardRouter.spawn(
+            2,
+            config=RouterConfig(
+                replication=2,
+                probe_interval_s=1.0,
+                failure_threshold=2,
+                breaker_reset_s=1.0,
+                hedge=hedge,
+            ),
+            seed=0,
+        )
+        try:
+            for payload in cycle:  # warm the primaries' caches
+                status, _ = router.handle_partition(payload)
+                assert status == 200
+            if kill:
+                victim = router.ring.replicas(
+                    router.routing_key(payloads[0]), 1
+                )[0]
+                router._shards[victim].endpoint.kill()
+            latencies_ms = []
+            for payload in payloads:
+                start = time.perf_counter()
+                status, reply = router.handle_partition(payload)
+                latencies_ms.append((time.perf_counter() - start) * 1e3)
+                assert status == 200 and not reply.get("degraded")
+            metrics = router.metrics()
+            rows[name] = {
+                **_percentiles(latencies_ms),
+                "requests_per_sec": len(payloads)
+                / max(sum(latencies_ms) / 1e3, 1e-9),
+                "failovers": metrics["failovers"],
+                "hedges_fired": metrics["hedges_fired"],
+                "hedge_wins": metrics["hedge_wins"],
+                "degraded_serves": metrics["degraded_serves"],
+            }
+        finally:
+            router.close()
+    return {"n_shards": 2, "replication": 2, "deployments": rows}
+
+
 def main(argv=None) -> dict:
     argv = sys.argv[1:] if argv is None else argv
     tiny = "--tiny" in argv
@@ -318,6 +398,7 @@ def main(argv=None) -> dict:
             **bench_degraded(graphs, n_repeats),
             "restart": bench_restart_recovery(graphs),
         },
+        "router": bench_router(graphs, max(n_requests // 4, 12)),
     }
 
     out_path = (
@@ -358,6 +439,12 @@ def main(argv=None) -> dict:
         f"hit p50 {restart['restarted_hit']['p50_ms']:.3f} ms vs "
         f"cold-start p50 {restart['cold_start']['p50_ms']:.3f} ms"
     )
+    for name, row in results["router"]["deployments"].items():
+        print(
+            f"router/{name:>16}: p50 {row['p50_ms']:8.3f} ms  "
+            f"p95 {row['p95_ms']:8.3f} ms  p99 {row['p99_ms']:8.3f} ms  "
+            f"(failovers {row['failovers']}, hedges {row['hedges_fired']})"
+        )
     return results
 
 

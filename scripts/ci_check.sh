@@ -59,6 +59,49 @@ with PartitionServer(service, port=0, graph_resolver=_resolve_zoo_graph).start()
 print("serve smoke OK: cold -> cache hit, metrics consistent, clean shutdown")
 PY
 
+echo "== router smoke (2 shards x 2 replicas, SIGKILL one mid-burst) =="
+# The replicated tier's acceptance bar, end-to-end with real shard
+# subprocesses: an armed shard_kill fault SIGKILLs a shard under the
+# router mid-burst, and every client request must still succeed (failover
+# + fingerprint-seeded determinism make the loss invisible).  The hard
+# timeout is the gate: a router that hangs on a dead shard instead of
+# failing over must fail fast.
+timeout --kill-after=30 300 env PYTHONPATH=src python - <<'PY'
+from repro.cli import _resolve_zoo_graph
+from repro.reliability import Fault, FaultPlan
+from repro.serve import RouterConfig, ShardRouter
+
+plan = FaultPlan([Fault(site="shard_kill", kind="kill", at=())])
+router = ShardRouter.spawn(
+    2,
+    config=RouterConfig(
+        replication=2,
+        probe_interval_s=0.5,
+        failure_threshold=2,
+        breaker_reset_s=1.0,
+        hedge=False,  # failover, not the hedge, must absorb the kill
+        fault_plan=plan,
+    ),
+    graph_resolver=_resolve_zoo_graph,
+    seed=0,
+)
+try:
+    payload = {"graph": "mlp", "chips": 4, "samples": 4}
+    replies = [router.handle_partition(payload) for _ in range(6)]
+    assert all(status == 200 for status, _ in replies), replies
+    assert all(not reply.get("degraded") for _, reply in replies), replies
+    first = replies[0][1]["assignment"]
+    assert all(reply["assignment"] == first for _, reply in replies)
+    metrics = router.metrics()
+    assert metrics["failovers"] >= 1, metrics
+    assert metrics["faults"]["fired_by_site"] == {"shard_kill": 1}, metrics
+    dead = [s for s in metrics["shards"].values() if not s["process_alive"]]
+    assert len(dead) == 1, metrics
+finally:
+    router.close()
+print("router smoke OK: shard SIGKILLed, zero failed requests, failovers counted")
+PY
+
 echo "== chaos smoke (kill a worker mid-replay, assert bit-identity) =="
 # One representative fault-injection run from the chaos suite (the full
 # suite runs under `pytest -m chaos`; tier-1 deselects the marker).  The

@@ -6,7 +6,9 @@ Commands
 ``partition``  search a partition and print the per-chip report
 ``validate``   check an assignment file against the static constraints
 ``zoo``        list the built-in zoo graphs
-``serve``      run the partition-as-a-service HTTP endpoint
+``serve``      run the partition-as-a-service HTTP endpoint (one shard)
+``route``      run the replicated sharded tier: spawn N shards behind a
+               consistent-hash router with failover and hedging
 ``request``    ask a running server for a partition
 
 Examples
@@ -30,6 +32,10 @@ Examples
 ``python -m repro request bert --port 8080 --chips 8``
     Ask the running server for a partition (repeat requests are cache
     hits and come back in microseconds).
+``python -m repro route --shards 3 --replication 2 --port 8080``
+    Replicated deployment: three shard processes behind one router; each
+    request consistent-hashes onto 2 replicas, fails over on shard death,
+    hedges the tail.  ``repro request`` works against it unchanged.
 """
 
 from __future__ import annotations
@@ -240,6 +246,22 @@ def _cmd_validate(args) -> int:
     return 1
 
 
+def _parse_fault_plan(args):
+    """``--fault-plan``/``--fault-seed`` → armed :class:`FaultPlan` (or None).
+
+    A malformed spec is a usage error (exit 2 with the grammar), not a
+    server that silently runs without its chaos schedule.
+    """
+    if getattr(args, "fault_plan", None) is None:
+        return None
+    from repro.reliability import FaultPlan
+
+    try:
+        return FaultPlan.parse(args.fault_plan, seed=args.fault_seed)
+    except ValueError as exc:
+        raise SystemExit(f"--fault-plan: {exc}")
+
+
 def _cmd_serve(args) -> int:
     """Run the partition-as-a-service HTTP endpoint (foreground)."""
     from repro.serve import PartitionServer, PartitionService, ServiceConfig
@@ -253,6 +275,8 @@ def _cmd_serve(args) -> int:
         max_in_flight=args.max_in_flight,
         request_deadline=args.request_deadline,
         cache_dir=args.cache_dir,
+        fault_plan=_parse_fault_plan(args),
+        shard_id=args.shard_id,
     )
     # The warm pool's untrained-policy network defaults to
     # repro.serve.registry.default_serving_config (the CLI's 64x4 sizing).
@@ -284,6 +308,48 @@ def _cmd_serve(args) -> int:
     finally:
         server.shutdown()
         service.close()  # compacts the persistent cache journal, if any
+    return 0
+
+
+def _cmd_route(args) -> int:
+    """Spawn N shards and run the consistent-hash router in front of them."""
+    from repro.serve import RouterConfig, RouterServer, ShardRouter
+
+    config = RouterConfig(
+        replication=args.replication,
+        vnodes=args.vnodes,
+        default_samples=args.samples,
+        probe_interval_s=args.probe_interval,
+        shard_timeout_s=args.shard_timeout,
+        failure_threshold=args.failure_threshold,
+        breaker_reset_s=args.breaker_reset,
+        hedge=not args.no_hedge,
+        fault_plan=_parse_fault_plan(args),
+    )
+    router = ShardRouter.spawn(
+        args.shards,
+        config=config,
+        graph_resolver=_resolve_zoo_graph,
+        seed=args.seed,
+        registry=args.registry,
+        cache_capacity=args.cache_capacity,
+        max_in_flight=args.max_in_flight,
+    )
+    server = RouterServer(
+        router, host=args.host, port=args.port, verbose=args.verbose
+    )
+    # Same machine-readable first line as `repro serve`: the router is
+    # wire-compatible with a shard, so scripts parse both identically.
+    print(f"serving on {server.host}:{server.port}", flush=True)
+    for shard_id, info in sorted(router.metrics()["shards"].items()):
+        print(f"shard {shard_id} on {info['address']}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.shutdown()
+        router.close()  # terminates the spawned shard processes
     return 0
 
 
@@ -471,9 +537,94 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-requests", type=int, default=None,
         help="exit after serving this many requests (smoke tests)",
     )
+    p_serve.add_argument(
+        "--fault-plan", default=None,
+        help="arm a deterministic fault schedule, e.g. "
+             "'server:drop:times=2;registry:io_error:at=load' "
+             "(sites: pool/registry/cache/server/shard_*; echoed in /metrics)",
+    )
+    p_serve.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed recorded on the armed fault plan",
+    )
+    p_serve.add_argument(
+        "--shard-id", default=None,
+        help="shard identity within a routed deployment "
+             "(set by `repro route`; echoed in /metrics and /healthz)",
+    )
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_route = sub.add_parser(
+        "route",
+        help="spawn N shard processes behind a consistent-hash router "
+             "with health-checked failover, circuit breakers, and hedging",
+    )
+    p_route.add_argument("--host", default="127.0.0.1")
+    p_route.add_argument(
+        "--port", type=int, default=8080,
+        help="router port (0 binds an ephemeral port, printed on stdout)",
+    )
+    p_route.add_argument(
+        "--shards", type=int, default=2,
+        help="number of shard processes to spawn (each a `repro serve`)",
+    )
+    p_route.add_argument(
+        "--replication", type=int, default=2,
+        help="replica-set size R: distinct shards each request may land on",
+    )
+    p_route.add_argument(
+        "--vnodes", type=int, default=64,
+        help="virtual nodes per shard on the consistent-hash ring",
+    )
+    p_route.add_argument(
+        "--samples", type=int, default=16,
+        help="zero-shot draw budget given to every shard (and folded "
+             "into routing keys)",
+    )
+    p_route.add_argument(
+        "--seed", type=int, default=0,
+        help="service seed shared by all shards (replica interchangeability)",
+    )
+    p_route.add_argument(
+        "--registry", default=None,
+        help="checkpoint registry directory passed to every shard",
+    )
+    p_route.add_argument("--cache-capacity", type=int, default=256)
+    p_route.add_argument(
+        "--max-in-flight", type=int, default=0,
+        help="per-shard admission bound (0 = unbounded)",
+    )
+    p_route.add_argument(
+        "--probe-interval", type=float, default=2.0,
+        help="seconds between /healthz probes of each shard (0 disables)",
+    )
+    p_route.add_argument(
+        "--shard-timeout", type=float, default=60.0,
+        help="per-attempt forward timeout; expiry fails over",
+    )
+    p_route.add_argument(
+        "--failure-threshold", type=int, default=3,
+        help="consecutive failures that open a shard's circuit breaker",
+    )
+    p_route.add_argument(
+        "--breaker-reset", type=float, default=5.0,
+        help="seconds an open breaker waits before its half-open probe",
+    )
+    p_route.add_argument(
+        "--no-hedge", action="store_true",
+        help="disable hedged requests (failover still applies)",
+    )
+    p_route.add_argument(
+        "--fault-plan", default=None,
+        help="arm router-side chaos, e.g. 'shard_kill:kill:at=s1' or "
+             "'shard_stall:stall:at=s0:delay=2'",
+    )
+    p_route.add_argument("--fault-seed", type=int, default=0)
+    p_route.add_argument("--verbose", action="store_true",
+                         help="log HTTP requests to stderr")
+    p_route.set_defaults(fn=_cmd_route)
 
     p_req = sub.add_parser(
         "request", help="ask a running server for a partition"

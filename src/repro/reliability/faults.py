@@ -4,15 +4,26 @@ A :class:`FaultPlan` is an explicit, finite schedule of faults.  Each layer
 that can fail takes the plan as a constructor argument and consults it at
 its injection points:
 
-========== ============== ====================================================
-site       kinds          injection point
-========== ============== ====================================================
-``pool``   ``crash``      worker ``os._exit``\\ s before executing the task
-           ``delay``      worker sleeps ``delay_s`` before executing the task
-``registry`` ``io_error`` :meth:`CheckpointRegistry.publish` / ``load`` raise
-``cache``  ``io_error``   persistent-cache journal append / compaction raise
-``server`` ``drop``       HTTP handler closes the connection without replying
-========== ============== ====================================================
+=================== ============== ===========================================
+site                kinds          injection point
+=================== ============== ===========================================
+``pool``            ``crash``      worker ``os._exit``\\ s before the task
+                    ``delay``      worker sleeps ``delay_s`` before the task
+``registry``        ``io_error``   :meth:`CheckpointRegistry.publish` /
+                                   ``load`` raise
+``cache``           ``io_error``   persistent-cache journal append /
+                                   compaction raise
+``server``          ``drop``       HTTP handler closes the connection without
+                                   replying
+``shard_kill``      ``kill``       router SIGKILLs the shard process it is
+                                   about to forward to (key: ``(shard_id,)``)
+``shard_stall``     ``stall``      router's forward to the shard sleeps
+                                   ``delay_s`` first — a wedged shard, seen
+                                   as a slow/expired attempt
+``network_partition`` ``partition`` router's transport to the shard fails
+                                   without sending (the process stays alive;
+                                   key: ``(shard_id,)``)
+=================== ============== ===========================================
 
 Determinism contract: a fault fires for the *task/operation it names*, at
 most ``times`` times, and consumption is recorded in the plan — so a
@@ -110,6 +121,82 @@ class FaultPlan:
                 Fault(site="pool", kind=kind, at=at, delay_s=delay_s)
             )
         return cls(faults, seed=seed)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Build a plan from a CLI spec string (``repro serve --fault-plan``).
+
+        Grammar: faults separated by ``;`` (or ``,``), each
+        ``site:kind[:at=a/b][:times=N][:delay=S]`` — e.g.
+
+        * ``server:drop:times=2`` — drop the next two HTTP connections;
+        * ``registry:io_error:at=load:times=-1`` — every weights load fails;
+        * ``shard_kill:kill:at=s1`` — SIGKILL shard ``s1`` when the router
+          next forwards to it;
+        * ``shard_stall:stall:at=s0:delay=2`` — stall one forward to ``s0``
+          for two seconds (a hedge/failover trigger).
+
+        ``at`` elements are ``/``-separated and parsed as ints where
+        possible (pool task ids are ``(window, shard)`` int tuples).
+        """
+        faults = []
+        for item in spec.replace(",", ";").split(";"):
+            item = item.strip()
+            if not item:
+                continue
+            fields = item.split(":")
+            if len(fields) < 2:
+                raise ValueError(
+                    f"bad fault spec {item!r}: expected site:kind[:key=value...]"
+                )
+            site, kind = fields[0].strip(), fields[1].strip()
+            at: tuple = ()
+            times, delay_s = 1, 0.0
+            for extra in fields[2:]:
+                name, sep, value = extra.partition("=")
+                name, value = name.strip(), value.strip()
+                if not sep:
+                    raise ValueError(
+                        f"bad fault option {extra!r} in {item!r}: "
+                        "expected at=/times=/delay="
+                    )
+                if name == "at":
+                    at = tuple(
+                        int(part) if part.lstrip("-").isdigit() else part
+                        for part in value.split("/")
+                        if part != ""
+                    )
+                elif name == "times":
+                    times = int(value)
+                elif name == "delay":
+                    delay_s = float(value)
+                else:
+                    raise ValueError(
+                        f"unknown fault option {name!r} in {item!r}"
+                    )
+            faults.append(
+                Fault(site=site, kind=kind, at=at, delay_s=delay_s, times=times)
+            )
+        if not faults:
+            raise ValueError(f"fault spec {spec!r} declares no faults")
+        return cls(faults, seed=seed)
+
+    def describe(self) -> "list[dict]":
+        """JSON-safe armed-plan echo (the ``/metrics`` surface): one dict
+        per declared fault with its remaining budget."""
+        with self._lock:
+            return [
+                {
+                    "site": f.site,
+                    "kind": f.kind,
+                    "at": list(f.at),
+                    "delay_s": f.delay_s,
+                    "times": f.times,
+                    "remaining": self._remaining[i],
+                }
+                for i, f in enumerate(self._faults)
+            ]
 
     # ------------------------------------------------------------------
     def fire(self, site: str, kind: str, key: tuple = ()) -> "Fault | None":

@@ -16,7 +16,11 @@ that, with four pieces:
   :class:`PartitionService` front end and its stdlib-HTTP JSON endpoint
   (CLI: ``repro serve`` / ``repro request``);
 * :mod:`repro.serve.persist` — the crash-safe journal-backed variant of
-  the result cache (``--cache-dir``), surviving restarts.
+  the result cache (``--cache-dir``), surviving restarts;
+* :mod:`repro.serve.router` — the replicated sharded tier: a
+  consistent-hash router over N shard processes with health-checked
+  failover, per-shard circuit breakers, and hedged requests (CLI:
+  ``repro route``).
 
 See the "Serving invariants" and "Reliability invariants" sections of
 ROADMAP.md for what may be cached, what keys it, what invalidates it, and
@@ -35,6 +39,16 @@ from repro.serve.registry import (
     CheckpointRegistry,
     RegistryError,
     WarmPartitionerPool,
+)
+from repro.serve.router import (
+    CircuitBreaker,
+    HashRing,
+    RouterConfig,
+    RouterServer,
+    ShardEndpoint,
+    ShardRouter,
+    routing_key,
+    spawn_shard,
 )
 from repro.serve.server import (
     PartitionServer,
@@ -55,6 +69,8 @@ from repro.serve.service import (
 __all__ = [
     "CachedPartition",
     "CheckpointRegistry",
+    "CircuitBreaker",
+    "HashRing",
     "PartitionCache",
     "PartitionRequest",
     "PartitionResponse",
@@ -63,9 +79,13 @@ __all__ = [
     "PersistentPartitionCache",
     "PlatformDescriptor",
     "RegistryError",
+    "RouterConfig",
+    "RouterServer",
     "ServiceConfig",
     "ServiceError",
     "ServiceOverloadError",
+    "ShardEndpoint",
+    "ShardRouter",
     "WarmPartitionerPool",
     "canonical_form",
     "fetch_metrics",
@@ -74,4 +94,6 @@ __all__ = [
     "request_partition",
     "request_fingerprint",
     "response_to_payload",
+    "routing_key",
+    "spawn_shard",
 ]

@@ -25,6 +25,13 @@ error (including injected ``cache``-site faults from a
 :class:`repro.reliability.FaultPlan`) disables further journalling for the
 affected operation and counts ``persist_errors``; in-memory serving
 continues untouched.  Durability degrades before availability does.
+
+Thread safety: one re-entrant lock serialises every mutation *and* the
+compaction rewrite.  Without it, a ``put`` racing ``compact()`` could hit
+the window where the journal handle is closed for the atomic rename (write
+to a closed file) or mutate the LRU while compaction iterates it — the
+threaded HTTP server and the sharded router both drive one cache from many
+threads (pinned by ``test_persist.py``'s compaction-race test).
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 
 import numpy as np
 
@@ -133,6 +141,9 @@ class PersistentPartitionCache(PartitionCache):
         self.warm_entries = 0
         self._records_since_compact = 0
         self._journal_fh = None
+        # Re-entrant: put/get append under the lock, and an append can
+        # itself trigger compact() at the threshold.
+        self._journal_lock = threading.RLock()
         os.makedirs(self.directory, exist_ok=True)
         self._warm_start()
         self._open_journal()
@@ -188,6 +199,10 @@ class PersistentPartitionCache(PartitionCache):
     # Journalling
     # ------------------------------------------------------------------
     def _append(self, record: dict) -> None:
+        with self._journal_lock:
+            self._append_locked(record)
+
+    def _append_locked(self, record: dict) -> None:
         if self._journal_fh is None:
             return
         try:
@@ -213,57 +228,64 @@ class PersistentPartitionCache(PartitionCache):
         """Rewrite the journal as one ``put`` per live entry, LRU order.
 
         Atomic (temp file + ``os.replace``): a crash mid-compaction leaves
-        the previous journal intact.
+        the previous journal intact.  Holds the journal lock throughout,
+        so concurrent puts/touches queue behind the rewrite and land in
+        the *new* journal — never in the handle being retired.
         """
-        tmp_path = self.journal_path + ".tmp"
-        try:
-            if self.fault_plan is not None:
-                self.fault_plan.io_error("cache", "compact")
-            with open(tmp_path, "w", encoding="utf-8") as fh:
-                for key in self.keys():  # least-recently-used first
-                    entry = self._entries[key]
-                    fh.write(_frame(_entry_to_record(key, entry)))
-            if self._journal_fh is not None:
-                self._journal_fh.close()
-            os.replace(tmp_path, self.journal_path)
-        except OSError:
-            self.persist_errors += 1
-            if os.path.exists(tmp_path):
-                try:
-                    os.unlink(tmp_path)
-                except OSError:
-                    pass
-        finally:
-            self._records_since_compact = 0
-            self._open_journal()
+        with self._journal_lock:
+            tmp_path = self.journal_path + ".tmp"
+            try:
+                if self.fault_plan is not None:
+                    self.fault_plan.io_error("cache", "compact")
+                with open(tmp_path, "w", encoding="utf-8") as fh:
+                    for key in self.keys():  # least-recently-used first
+                        entry = self._entries[key]
+                        fh.write(_frame(_entry_to_record(key, entry)))
+                if self._journal_fh is not None:
+                    self._journal_fh.close()
+                os.replace(tmp_path, self.journal_path)
+            except OSError:
+                self.persist_errors += 1
+                if os.path.exists(tmp_path):
+                    try:
+                        os.unlink(tmp_path)
+                    except OSError:
+                        pass
+            finally:
+                self._records_since_compact = 0
+                self._open_journal()
 
     # ------------------------------------------------------------------
     # Cache interface (journalled)
     # ------------------------------------------------------------------
     def get(self, key: str) -> "CachedPartition | None":
-        entry = super().get(key)
-        if entry is not None and self.journal_touches:
-            self._append({"op": "touch", "fp": key})
-        return entry
+        with self._journal_lock:
+            entry = super().get(key)
+            if entry is not None and self.journal_touches:
+                self._append_locked({"op": "touch", "fp": key})
+            return entry
 
     def put(self, key: str, entry: CachedPartition) -> "str | None":
-        evicted = super().put(key, entry)
-        self._append(_entry_to_record(key, entry))
-        return evicted
+        with self._journal_lock:
+            evicted = super().put(key, entry)
+            self._append_locked(_entry_to_record(key, entry))
+            return evicted
 
     def clear(self) -> None:
-        super().clear()
-        self.compact()
+        with self._journal_lock:
+            super().clear()
+            self.compact()
 
     def close(self) -> None:
         """Compact and release the journal handle (restart-ready state)."""
-        self.compact()
-        if self._journal_fh is not None:
-            try:
-                self._journal_fh.close()
-            except OSError:
-                pass
-            self._journal_fh = None
+        with self._journal_lock:
+            self.compact()
+            if self._journal_fh is not None:
+                try:
+                    self._journal_fh.close()
+                except OSError:
+                    pass
+                self._journal_fh = None
 
     def stats(self) -> dict:
         out = super().stats()

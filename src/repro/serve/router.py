@@ -1,0 +1,1042 @@
+"""Replicated sharded serving: consistent-hash router over shard processes.
+
+One :class:`PartitionService` process is a single point of failure and a
+single-core ceiling.  This module runs *N* of them (``repro serve``
+subprocesses, or any addresses you attach) behind one front door:
+
+* **Consistent-hash routing** (:class:`HashRing`) — each request's routing
+  fingerprint lands on a *replica set* of ``replication`` distinct shards,
+  so every fingerprint has R independent homes and the cache-key → shard
+  mapping moves minimally when shards join or leave.  Because every cache
+  miss is seeded purely from ``(service seed, request fingerprint)``
+  (the PR-4 serving invariant), *which* replica answers cannot change the
+  result — replicas are interchangeable bit-for-bit.
+* **Health-checked failover** — a monitor thread probes each shard's
+  ``/healthz`` (readiness, not liveness) and feeds a per-shard
+  :class:`CircuitBreaker`; requests fail over to the next replica on
+  breaker-open, connection loss, timeout, 429, or 5xx.
+* **Hedged requests** — when the primary replica has not answered within a
+  p95-derived delay, the same request is fired at the second replica and
+  the first answer wins (the loser's reply is discarded — with stdlib
+  ``urllib`` there is no true cancel, and shard work is idempotent and
+  cache-warming anyway).
+* **Last-resort degradation** — only when *every* replica is down does the
+  router itself answer, from the greedy heuristic
+  (:func:`repro.serve.service.greedy_fallback`), marked
+  ``degraded_reason="all_replicas_down"`` and never cached.
+
+Client errors (4xx other than 429) are *answers*, not failures: they are
+forwarded verbatim from the first replica that produced one, never failed
+over (every replica would say the same thing), and never trip a breaker.
+
+Chaos hooks (:class:`repro.reliability.FaultPlan` sites): ``shard_kill``
+SIGKILLs a spawned shard right before a forward, ``shard_stall`` sleeps a
+forward (a wedged shard, as seen by hedging), ``network_partition`` makes
+the transport to one shard fail without sending (process stays alive).
+
+CLI: ``repro route --shards 2 --replication 2`` (see :mod:`repro.cli`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import http.client
+import json
+import os
+import queue
+import select
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from collections import deque
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.serve.fingerprint import PlatformDescriptor, canonical_form, request_fingerprint
+from repro.serve.server import request_from_payload
+from repro.serve.service import (
+    PartitionRequest,
+    ServiceError,
+    greedy_fallback,
+)
+
+#: Upper bound on a routed request body (matches the shard server's bound).
+_MAX_BODY_BYTES = 64 * 2**20
+
+#: Successful-request latencies retained for the hedge-delay percentile.
+_HEDGE_WINDOW = 256
+
+#: Minimum latency samples before the p95 is trusted over ``hedge_min_s``.
+_HEDGE_MIN_SAMPLES = 8
+
+
+def _hash64(token: str) -> int:
+    """Stable 64-bit point on the ring (sha256 prefix — never ``hash()``,
+    which is salted per process and would re-route every restart)."""
+    return int.from_bytes(
+        hashlib.sha256(token.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes.
+
+    Each shard contributes ``vnodes`` points on a 64-bit ring; a key's
+    replica set is the first ``r`` *distinct* shards clockwise from the
+    key's own point.  Adding or removing one shard therefore moves only the
+    keyspace slices adjacent to its points (~1/N of keys), never reshuffles
+    everything — the property that keeps shard-local result caches warm
+    across membership changes.
+    """
+
+    def __init__(self, shard_ids=(), vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = int(vnodes)
+        self._shards: "set[str]" = set()
+        self._hashes: "list[int]" = []
+        self._points: "list[tuple[int, str]]" = []
+        for shard_id in shard_ids:
+            self.add(shard_id)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def shard_ids(self) -> "list[str]":
+        return sorted(self._shards)
+
+    def add(self, shard_id: str) -> None:
+        if shard_id in self._shards:
+            raise ValueError(f"shard {shard_id!r} already on the ring")
+        self._shards.add(shard_id)
+        for v in range(self.vnodes):
+            self._points.append((_hash64(f"{shard_id}#{v}"), shard_id))
+        self._points.sort()
+        self._hashes = [h for h, _ in self._points]
+
+    def remove(self, shard_id: str) -> None:
+        if shard_id not in self._shards:
+            raise KeyError(shard_id)
+        self._shards.discard(shard_id)
+        self._points = [(h, s) for h, s in self._points if s != shard_id]
+        self._hashes = [h for h, _ in self._points]
+
+    def replicas(self, key: str, r: int) -> "list[str]":
+        """The first ``r`` distinct shards clockwise from ``key``'s point.
+
+        Deterministic for a given membership; returns fewer than ``r`` when
+        the ring holds fewer shards.
+        """
+        if not self._points or r < 1:
+            return []
+        start = bisect.bisect_right(self._hashes, _hash64(key))
+        out: "list[str]" = []
+        seen: "set[str]" = set()
+        n = len(self._points)
+        for step in range(n):
+            shard_id = self._points[(start + step) % n][1]
+            if shard_id in seen:
+                continue
+            seen.add(shard_id)
+            out.append(shard_id)
+            if len(out) == r:
+                break
+        return out
+
+
+class CircuitBreaker:
+    """Closed → open on consecutive failures → half-open probe → closed.
+
+    * **closed** — requests flow; ``failure_threshold`` *consecutive*
+      failures open it.
+    * **open** — requests skip the shard; after ``reset_timeout_s`` the
+      next :meth:`admit` converts to half-open and admits one trial.
+    * **half-open** — exactly one in-flight trial; success closes, failure
+      re-opens.  The health monitor's probes also feed
+      :meth:`record_success` / :meth:`record_failure`, so a recovered
+      shard is usually closed again by the next probe without spending a
+      client request on the trial.
+
+    Thread-safe; ``clock`` is injectable so the state machine is testable
+    without sleeping.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 5.0,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self._clock = clock
+        self._state = "closed"
+        self._opened_at = 0.0
+        self._trial_in_flight = False
+        self.consecutive_failures = 0
+        self.opened_total = 0
+        self.transitions: "dict[str, int]" = {}
+        self._lock = threading.Lock()
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def _move(self, new_state: str) -> None:
+        key = f"{self._state}->{new_state}"
+        self.transitions[key] = self.transitions.get(key, 0) + 1
+        self._state = new_state
+        if new_state == "open":
+            self.opened_total += 1
+            self._opened_at = self._clock()
+
+    def admit(self) -> bool:
+        """May a request be sent to this shard right now?
+
+        Open breakers admit nothing until ``reset_timeout_s`` has elapsed,
+        then exactly one trial (the half-open probe); further requests are
+        refused until that trial resolves.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._clock() - self._opened_at < self.reset_timeout_s:
+                    return False
+                self._move("half_open")
+                self._trial_in_flight = True
+                return True
+            if self._trial_in_flight:
+                return False
+            self._trial_in_flight = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.consecutive_failures = 0
+            self._trial_in_flight = False
+            if self._state != "closed":
+                self._move("closed")
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.consecutive_failures += 1
+            if self._state == "half_open":
+                self._trial_in_flight = False
+                self._move("open")
+            elif (
+                self._state == "closed"
+                and self.consecutive_failures >= self.failure_threshold
+            ):
+                self._move("open")
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self.consecutive_failures,
+                "opened_total": self.opened_total,
+                "transitions": dict(self.transitions),
+            }
+
+
+@dataclass
+class ShardEndpoint:
+    """One shard's address, optionally with the process the router spawned.
+
+    ``process=None`` is attach mode: the shard belongs to someone else and
+    the router never signals it (``shard_kill`` faults are then no-ops).
+    """
+
+    shard_id: str
+    host: str
+    port: int
+    process: "subprocess.Popen | None" = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def alive(self) -> bool:
+        return self.process is None or self.process.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL — the impolite death the chaos tests inject."""
+        if self.process is not None and self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=30)
+
+    def terminate(self, timeout: float = 10.0) -> None:
+        """Polite shutdown (SIGTERM, then SIGKILL after ``timeout``)."""
+        if self.process is None or self.process.poll() is not None:
+            return
+        self.process.terminate()
+        try:
+            self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait(timeout=30)
+
+
+def _read_line(proc: subprocess.Popen, timeout_s: float) -> str:
+    """First stdout line of a child, with a deadline (never block forever
+    on a shard that wedges before printing its address)."""
+    fd = proc.stdout.fileno()
+    deadline = time.monotonic() + timeout_s
+    buf = b""
+    while b"\n" not in buf:
+        left = deadline - time.monotonic()
+        if left <= 0:
+            raise TimeoutError(
+                f"shard did not announce its address within {timeout_s:g}s"
+            )
+        ready, _, _ = select.select([fd], [], [], min(left, 0.25))
+        if not ready:
+            if proc.poll() is not None:
+                raise RuntimeError(
+                    f"shard exited with code {proc.returncode} before "
+                    "announcing its address"
+                )
+            continue
+        chunk = os.read(fd, 4096)
+        if not chunk:
+            raise RuntimeError(
+                "shard closed stdout before announcing its address"
+            )
+        buf += chunk
+    return buf.split(b"\n", 1)[0].decode("utf-8", "replace")
+
+
+def spawn_shard(
+    shard_id: str,
+    samples: int = 16,
+    seed: int = 0,
+    cache_capacity: int = 256,
+    registry: "str | None" = None,
+    cache_dir: "str | None" = None,
+    max_in_flight: int = 0,
+    extra_args: tuple = (),
+    startup_timeout_s: float = 60.0,
+) -> ShardEndpoint:
+    """Spawn one ``repro serve`` process on an ephemeral port.
+
+    All shards of a deployment must share ``seed`` and ``samples``: the
+    replica-independence guarantee (any replica answers bit-identically)
+    holds because a miss is seeded purely from ``(service seed, request
+    fingerprint)`` — a seed mismatch between replicas would break it.
+    """
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", "0",
+        "--samples", str(int(samples)),
+        "--seed", str(int(seed)),
+        "--cache-capacity", str(int(cache_capacity)),
+        "--shard-id", shard_id,
+    ]
+    if registry is not None:
+        cmd += ["--registry", str(registry)]
+    if cache_dir is not None:
+        cmd += ["--cache-dir", str(cache_dir)]
+    if max_in_flight:
+        cmd += ["--max-in-flight", str(int(max_in_flight))]
+    cmd += list(extra_args)
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        src_root + (os.pathsep + existing if existing else "")
+    )
+    proc = subprocess.Popen(
+        cmd,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env,
+    )
+    try:
+        line = _read_line(proc, startup_timeout_s)
+        # `repro serve`'s machine-readable first line: "serving on host:port".
+        if not line.startswith("serving on "):
+            raise RuntimeError(f"unexpected shard start-up line {line!r}")
+        host, _, port = line[len("serving on "):].rpartition(":")
+        return ShardEndpoint(
+            shard_id=shard_id, host=host, port=int(port), process=proc
+        )
+    except Exception:
+        proc.kill()
+        proc.wait(timeout=30)
+        raise
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Knobs of one :class:`ShardRouter`.
+
+    ``replication``
+        Replica-set size R: how many independent homes each fingerprint
+        has.  Failover and hedging both draw from this set.
+    ``default_samples``
+        Folded into the routing fingerprint when a request omits
+        ``samples`` — must match the shards' ``--samples`` default for the
+        routing key to equal the shard's cache key.
+    ``probe_interval_s``
+        Health-monitor period (``0`` disables the background probes;
+        breakers then learn only from request outcomes).
+    ``shard_timeout_s``
+        Per-attempt forward timeout; an expired attempt is a failure
+        (failover material), not a client error.
+    ``failure_threshold`` / ``breaker_reset_s``
+        Circuit-breaker consecutive-failure trip point and open→half-open
+        cool-down.
+    ``hedge`` / ``hedge_p95_factor`` / ``hedge_min_s`` / ``hedge_max_s``
+        Tail-latency hedging: after ``clamp(p95 * factor, min, max)``
+        seconds without an answer, fire the next replica.  The p95 is over
+        recent successful forwards; until enough samples exist,
+        ``hedge_min_s`` is the delay.  ``hedge=False`` disables (failover
+        still applies).
+    ``fault_plan``
+        Chaos hooks (``shard_kill`` / ``shard_stall`` /
+        ``network_partition`` sites), constructor-wired like every other
+        layer's.
+    """
+
+    replication: int = 2
+    vnodes: int = 64
+    default_samples: int = 16
+    probe_interval_s: float = 2.0
+    probe_timeout_s: float = 1.0
+    shard_timeout_s: float = 60.0
+    failure_threshold: int = 3
+    breaker_reset_s: float = 5.0
+    hedge: bool = True
+    hedge_p95_factor: float = 1.5
+    hedge_min_s: float = 0.05
+    hedge_max_s: float = 2.0
+    fault_plan: "object | None" = None
+
+    def __post_init__(self):
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+        if self.vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        if self.default_samples < 1:
+            raise ValueError("default_samples must be >= 1")
+        if self.shard_timeout_s <= 0 or self.probe_timeout_s <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.hedge_min_s < 0 or self.hedge_max_s < self.hedge_min_s:
+            raise ValueError("need 0 <= hedge_min_s <= hedge_max_s")
+
+
+class _ShardState:
+    """Router-side view of one shard: breaker, health, counters."""
+
+    def __init__(self, endpoint: ShardEndpoint, config: RouterConfig):
+        self.endpoint = endpoint
+        self.breaker = CircuitBreaker(
+            failure_threshold=config.failure_threshold,
+            reset_timeout_s=config.breaker_reset_s,
+        )
+        self.healthy: "bool | None" = None  # None until first probe
+        self.consecutive_probe_failures = 0
+        self.probe_ewma_ms: "float | None" = None
+        self.last_probe_unix: "float | None" = None
+        self.last_health: dict = {}
+        self.requests = 0
+        self.failures = 0
+
+
+def routing_key(request: PartitionRequest, default_samples: int = 16) -> str:
+    """The fingerprint the ring hashes for one request.
+
+    Identical to the shard's cache fingerprint except that the checkpoint
+    spec stays *unresolved* (the router holds no registry, so
+    ``version=None`` is hashed as "latest" rather than a concrete number).
+    Uncheckpointed requests — and any request pinning an explicit version —
+    therefore route exactly by their cache key; ``version=None`` requests
+    for one checkpoint name all land on the same replica set, which is
+    precisely the cache affinity sharding needs.
+    """
+    graph_fp, _ = canonical_form(request.graph)
+    checkpoint = None
+    if request.checkpoint is not None:
+        checkpoint = (
+            request.checkpoint,
+            -1 if request.version is None else int(request.version),
+        )
+    samples = (
+        default_samples if request.samples is None else int(request.samples)
+    )
+    return request_fingerprint(
+        graph_fp,
+        PlatformDescriptor.of(request.n_chips, request.topology),
+        objective=request.objective,
+        cost_model=request.cost_model,
+        samples=samples,
+        checkpoint=checkpoint,
+    )
+
+
+class ShardRouter:
+    """Routes partition requests across replicated shard processes.
+
+    Construct with shard endpoints (:func:`spawn_shard` /
+    :meth:`ShardRouter.spawn`, or attach to addresses you already run),
+    then call :meth:`handle_partition` per request — or put
+    :class:`RouterServer` in front for the HTTP form.
+    """
+
+    def __init__(
+        self,
+        shards: "list[ShardEndpoint]",
+        config: "RouterConfig | None" = None,
+        graph_resolver=None,
+    ):
+        if not shards:
+            raise ValueError("a router needs at least one shard")
+        ids = [s.shard_id for s in shards]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate shard ids: {sorted(ids)}")
+        self.config = config or RouterConfig()
+        self.graph_resolver = graph_resolver
+        self.ring = HashRing(ids, vnodes=self.config.vnodes)
+        self._shards: "dict[str, _ShardState]" = {
+            s.shard_id: _ShardState(s, self.config) for s in shards
+        }
+        self._spawned: "list[ShardEndpoint]" = []
+        self._metrics_lock = threading.Lock()
+        self.requests_total = 0
+        self.failovers = 0
+        self.hedges_fired = 0
+        self.hedge_wins = 0
+        self.degraded_serves = 0
+        self.all_replicas_down = 0
+        self.client_errors = 0
+        self._latency_s: "deque[float]" = deque(maxlen=_HEDGE_WINDOW)
+        self._stop = threading.Event()
+        self._monitor: "threading.Thread | None" = None
+        if self.config.probe_interval_s > 0:
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, name="repro-router-health",
+                daemon=True,
+            )
+            self._monitor.start()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def spawn(
+        cls,
+        n_shards: int,
+        config: "RouterConfig | None" = None,
+        graph_resolver=None,
+        seed: int = 0,
+        registry: "str | None" = None,
+        cache_capacity: int = 256,
+        max_in_flight: int = 0,
+    ) -> "ShardRouter":
+        """Spawn ``n_shards`` ``repro serve`` processes and route over them.
+
+        The spawned processes are owned: :meth:`close` terminates them.
+        Every shard gets the same seed and sample budget (replica
+        interchangeability — see :func:`spawn_shard`).
+        """
+        config = config or RouterConfig()
+        shards: "list[ShardEndpoint]" = []
+        try:
+            for i in range(int(n_shards)):
+                shards.append(
+                    spawn_shard(
+                        f"s{i}",
+                        samples=config.default_samples,
+                        seed=seed,
+                        cache_capacity=cache_capacity,
+                        registry=registry,
+                        max_in_flight=max_in_flight,
+                    )
+                )
+        except Exception:
+            for shard in shards:
+                shard.terminate()
+            raise
+        router = cls(shards, config=config, graph_resolver=graph_resolver)
+        router._spawned = list(shards)
+        return router
+
+    def close(self) -> None:
+        """Stop the health monitor and terminate owned shard processes."""
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+            self._monitor = None
+        for shard in self._spawned:
+            shard.terminate()
+        self._spawned = []
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Health monitoring
+    # ------------------------------------------------------------------
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.config.probe_interval_s):
+            self.probe_all()
+
+    def probe_all(self) -> None:
+        """One synchronous health sweep (the monitor's body; callable from
+        tests to avoid timing-dependent waits)."""
+        for state in list(self._shards.values()):
+            self._probe(state)
+
+    def _probe(self, state: _ShardState) -> None:
+        url = f"http://{state.endpoint.address}/healthz"
+        t0 = time.perf_counter()
+        try:
+            with urllib.request.urlopen(
+                url, timeout=self.config.probe_timeout_s
+            ) as resp:
+                payload = json.loads(resp.read())
+            ok = True
+        except urllib.error.HTTPError as exc:
+            # A 503 readiness reply is a *diagnosed* unready shard: keep
+            # its payload for the metrics view, count it as a failure.
+            try:
+                payload = json.loads(exc.read())
+            except (ValueError, OSError):
+                payload = {"error": str(exc.reason)}
+            ok = False
+        except (
+            urllib.error.URLError,
+            http.client.HTTPException,
+            ConnectionError,
+            TimeoutError,
+            socket.timeout,
+            OSError,
+            ValueError,
+        ) as exc:
+            payload = {"error": str(exc)}
+            ok = False
+        latency_ms = (time.perf_counter() - t0) * 1e3
+        state.last_probe_unix = time.time()
+        state.last_health = payload
+        ewma = state.probe_ewma_ms
+        state.probe_ewma_ms = (
+            latency_ms if ewma is None else 0.8 * ewma + 0.2 * latency_ms
+        )
+        state.healthy = ok
+        if ok:
+            state.consecutive_probe_failures = 0
+            state.breaker.record_success()
+        else:
+            state.consecutive_probe_failures += 1
+            state.breaker.record_failure()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def parse_request(self, payload: dict) -> PartitionRequest:
+        return request_from_payload(payload, graph_resolver=self.graph_resolver)
+
+    def routing_key(self, payload: dict) -> str:
+        return routing_key(
+            self.parse_request(payload), self.config.default_samples
+        )
+
+    def _hedge_delay_s(self) -> float:
+        with self._metrics_lock:
+            samples = list(self._latency_s)
+        if len(samples) < _HEDGE_MIN_SAMPLES:
+            return self.config.hedge_min_s
+        p95 = float(np.percentile(np.asarray(samples), 95))
+        return min(
+            max(p95 * self.config.hedge_p95_factor, self.config.hedge_min_s),
+            self.config.hedge_max_s,
+        )
+
+    def _attempt(self, state: _ShardState, body: bytes, out: queue.Queue) -> None:
+        """One forward to one shard; classified outcome onto ``out``.
+
+        Outcome kinds: ``ok`` (200), ``client_error`` (4xx except 429 —
+        an answer, not a shard failure), ``failure`` (429/5xx, connection
+        loss, timeout, injected partition).
+        """
+        plan = self.config.fault_plan
+        shard_id = state.endpoint.shard_id
+        t0 = time.perf_counter()
+        if plan is not None:
+            if plan.fire("shard_kill", "kill", (shard_id,)) is not None:
+                # The chaos hook: the process dies *now*, and this very
+                # attempt discovers it the way production would — a
+                # connection error, then failover.
+                state.endpoint.kill()
+            stall = plan.fire("shard_stall", "stall", (shard_id,))
+            if stall is not None:
+                time.sleep(stall.delay_s)
+            if plan.fire("network_partition", "partition", (shard_id,)) is not None:
+                out.put((shard_id, "failure", 0,
+                         {"error": "network partition (injected)"},
+                         time.perf_counter() - t0))
+                return
+        url = f"http://{state.endpoint.address}/partition"
+        req = urllib.request.Request(
+            url, data=body, headers={"Content-Type": "application/json"}
+        )
+        try:
+            with urllib.request.urlopen(
+                req, timeout=self.config.shard_timeout_s
+            ) as resp:
+                payload = json.loads(resp.read())
+            out.put((shard_id, "ok", 200, payload, time.perf_counter() - t0))
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read())
+            except (ValueError, OSError):
+                payload = {"error": str(exc.reason)}
+            kind = (
+                "client_error"
+                if 400 <= exc.code < 500 and exc.code != 429
+                else "failure"
+            )
+            out.put((shard_id, kind, exc.code, payload,
+                     time.perf_counter() - t0))
+        except (
+            urllib.error.URLError,
+            http.client.HTTPException,
+            ConnectionError,
+            TimeoutError,
+            socket.timeout,
+            OSError,
+            ValueError,
+        ) as exc:
+            out.put((shard_id, "failure", 0, {"error": str(exc)},
+                     time.perf_counter() - t0))
+
+    def handle_partition(self, payload: dict) -> "tuple[int, dict]":
+        """Serve one request: ``(HTTP status, JSON-safe reply)``.
+
+        Routing: hash the request fingerprint onto its replica set; launch
+        the primary; hedge onto the next replica after the p95-derived
+        delay; fail over to further replicas on any shard failure; first
+        ``ok`` (or first client error) wins.  Only when every replica has
+        failed or is breaker-open does the router answer degraded itself.
+        """
+        with self._metrics_lock:
+            self.requests_total += 1
+        try:
+            request = self.parse_request(payload)
+            key = routing_key(request, self.config.default_samples)
+        except ServiceError as exc:
+            with self._metrics_lock:
+                self.client_errors += 1
+            return 422, {"error": str(exc)}
+        replicas = self.ring.replicas(key, self.config.replication)
+        body = json.dumps(payload).encode("utf-8")
+        results: "queue.Queue" = queue.Queue()
+        reasons: "dict[str, str]" = {}
+        next_idx = 0
+        active = 0
+
+        def launch(reason: str) -> "str | None":
+            """Start the next breaker-admitted replica; None when spent."""
+            nonlocal next_idx, active
+            while next_idx < len(replicas):
+                shard_id = replicas[next_idx]
+                next_idx += 1
+                state = self._shards[shard_id]
+                if not state.breaker.admit():
+                    continue
+                reasons[shard_id] = reason
+                with self._metrics_lock:
+                    state.requests += 1
+                active += 1
+                threading.Thread(
+                    target=self._attempt,
+                    args=(state, body, results),
+                    name=f"repro-route-{shard_id}",
+                    daemon=True,
+                ).start()
+                return shard_id
+            return None
+
+        launch("primary")
+        hedge_spent = not self.config.hedge
+        failures: "list[str]" = []
+        while active:
+            timeout = None
+            if not hedge_spent and next_idx < len(replicas):
+                timeout = self._hedge_delay_s()
+            try:
+                shard_id, kind, status, reply, latency_s = results.get(
+                    timeout=timeout
+                )
+            except queue.Empty:
+                # Primary slow past the hedge delay: fire the next replica.
+                hedge_spent = True
+                if launch("hedge") is not None:
+                    with self._metrics_lock:
+                        self.hedges_fired += 1
+                continue
+            active -= 1
+            state = self._shards[shard_id]
+            if kind == "ok":
+                state.breaker.record_success()
+                with self._metrics_lock:
+                    self._latency_s.append(latency_s)
+                    if reasons.get(shard_id) == "hedge":
+                        self.hedge_wins += 1
+                return 200, reply
+            if kind == "client_error":
+                # A real answer: the request is wrong, not the shard.
+                state.breaker.record_success()
+                with self._metrics_lock:
+                    self.client_errors += 1
+                return status, reply
+            state.breaker.record_failure()
+            with self._metrics_lock:
+                state.failures += 1
+            failures.append(
+                f"{shard_id}: {reply.get('error', f'status {status}')}"
+            )
+            # ``failovers`` counts failed attempts whose request continued
+            # on another replica — whether that replica is launched right
+            # now or was already in flight as a hedge.
+            if launch("failover") is not None or active:
+                with self._metrics_lock:
+                    self.failovers += 1
+        return self._serve_degraded(request, key, failures)
+
+    def _serve_degraded(
+        self, request: PartitionRequest, key: str, failures: "list[str]"
+    ) -> "tuple[int, dict]":
+        """Every replica down: the router's own greedy heuristic answer.
+
+        Mirrors the shard-side degraded contract — marked, honest about
+        cost, and **never cached** anywhere (the router has no cache, and
+        shards never saw the request).
+        """
+        t0 = time.perf_counter()
+        with self._metrics_lock:
+            self.all_replicas_down += 1
+        try:
+            assignment, sample = greedy_fallback(request)
+        except ServiceError as exc:
+            return 503, {
+                "error": (
+                    f"all replicas down ({'; '.join(failures) or 'breakers open'}) "
+                    f"and degraded fallback failed: {exc}"
+                ),
+                "retry_after_s": self.config.breaker_reset_s,
+            }
+        with self._metrics_lock:
+            self.degraded_serves += 1
+        checkpoint = None
+        if request.checkpoint is not None:
+            checkpoint = {
+                "name": request.checkpoint,
+                "version": request.version,
+            }
+        return 200, {
+            "fingerprint": key,
+            "assignment": assignment.tolist(),
+            "improvement": float(sample.improvement),
+            "objective": request.objective,
+            "cached": False,
+            "source": "degraded",
+            "latency_ms": (time.perf_counter() - t0) * 1e3,
+            "samples": 0,
+            "chips": int(request.n_chips),
+            "checkpoint": checkpoint,
+            "throughput": float(sample.result.throughput),
+            "latency_us": float(sample.result.latency_us),
+            "degraded": True,
+            "degraded_reason": "all_replicas_down",
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health(self) -> "tuple[bool, dict]":
+        """Router readiness: 200 while at least one shard's breaker would
+        admit work (degraded-only routing still answers, but a 503 here
+        lets an orchestrator see the difference)."""
+        states = {
+            shard_id: state.breaker.snapshot()["state"]
+            for shard_id, state in self._shards.items()
+        }
+        any_up = any(s != "open" for s in states.values())
+        return any_up, {
+            "ok": any_up,
+            "router": True,
+            "shards": states,
+            "degraded_only": not any_up,
+        }
+
+    def metrics(self) -> dict:
+        """JSON-safe router metrics: routing counters, per-shard breaker
+        state and health, hedge configuration, armed fault plan."""
+        with self._metrics_lock:
+            snap = {
+                "router": True,
+                "replication": self.config.replication,
+                "requests_total": self.requests_total,
+                "failovers": self.failovers,
+                "hedges_fired": self.hedges_fired,
+                "hedge_wins": self.hedge_wins,
+                "degraded_serves": self.degraded_serves,
+                "all_replicas_down": self.all_replicas_down,
+                "client_errors": self.client_errors,
+            }
+        snap["hedge"] = {
+            "enabled": self.config.hedge,
+            "delay_s": self._hedge_delay_s(),
+            "p95_factor": self.config.hedge_p95_factor,
+            "min_s": self.config.hedge_min_s,
+            "max_s": self.config.hedge_max_s,
+        }
+        shards = {}
+        for shard_id, state in self._shards.items():
+            shards[shard_id] = {
+                "address": state.endpoint.address,
+                "process_alive": state.endpoint.alive,
+                "requests": state.requests,
+                "failures": state.failures,
+                "breaker": state.breaker.snapshot(),
+                "health": {
+                    "healthy": state.healthy,
+                    "consecutive_probe_failures": state.consecutive_probe_failures,
+                    "probe_ewma_ms": state.probe_ewma_ms,
+                    "last_probe_unix": state.last_probe_unix,
+                    "shard": state.last_health,
+                },
+            }
+        snap["shards"] = shards
+        plan = self.config.fault_plan
+        if plan is not None:
+            snap["faults"] = plan.counts()
+            describe = getattr(plan, "describe", None)
+            if describe is not None:
+                snap["fault_plan"] = describe()
+        return snap
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    """The router's HTTP face — wire-compatible with a shard's, so the
+    existing client helpers (``repro request``, :func:`request_partition`)
+    work unchanged against a router."""
+
+    server_version = "repro-route/1"
+
+    def _reply(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if code == 503 and "retry_after_s" in payload:
+            self.send_header(
+                "Retry-After", f"{max(payload['retry_after_s'], 0):g}"
+            )
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt, *args):  # pragma: no cover - quiet by default
+        if getattr(self.server, "verbose", False):
+            super().log_message(fmt, *args)
+
+    def do_GET(self) -> None:
+        if self.path == "/metrics":
+            self._reply(200, self.server.router.metrics())
+        elif self.path == "/healthz":
+            ready, payload = self.server.router.health()
+            self._reply(200 if ready else 503, payload)
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:
+        if self.path != "/partition":
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            if length < 0:
+                self._reply(400, {"error": "bad Content-Length"})
+                return
+            if length > _MAX_BODY_BYTES:
+                self._reply(
+                    413,
+                    {"error": f"request body over {_MAX_BODY_BYTES} bytes"},
+                )
+                return
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            status, reply = self.server.router.handle_partition(payload)
+        except (json.JSONDecodeError, ValueError, TypeError) as exc:
+            self._reply(400, {"error": f"bad request: {exc}"})
+            return
+        except Exception as exc:  # noqa: BLE001 - surface, don't drop
+            self._reply(500, {"error": f"internal error: {exc!r}"})
+            return
+        self._reply(status, reply)
+
+
+class RouterServer:
+    """HTTP front for a :class:`ShardRouter` (mirrors
+    :class:`repro.serve.server.PartitionServer`'s lifecycle API)."""
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ):
+        self.router = router
+        self._httpd = ThreadingHTTPServer((host, port), _RouterHandler)
+        self._httpd.router = router
+        self._httpd.verbose = verbose
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    def start(self) -> "RouterServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-route-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "RouterServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

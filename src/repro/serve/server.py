@@ -11,7 +11,9 @@ Endpoints
     The service metrics snapshot (hit rate, per-source p50/p95 latency,
     requests served).
 ``GET /healthz``
-    Liveness probe.
+    Readiness probe: in-flight load, registry reachability, recent
+    degraded-serve count; 503 when saturated or the configured registry
+    root is unreachable (alive but unable to take work).
 
 The server is a ``ThreadingHTTPServer``; the service underneath serialises
 submissions with its own lock, so concurrent clients are safe.  Client-side
@@ -195,7 +197,12 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path == "/metrics":
             self._reply(200, self.server.service.metrics())
         elif self.path == "/healthz":
-            self._reply(200, {"ok": True})
+            # Readiness, not just liveness: 503 when the service is alive
+            # but cannot usefully take work (admission gate full, or a
+            # configured checkpoint registry has gone unreachable), so
+            # routers/orchestrators can drain it instead of timing out.
+            ready, payload = self.server.service.health()
+            self._reply(200 if ready else 503, payload)
         else:
             self._reply(404, {"error": f"unknown path {self.path!r}"})
 

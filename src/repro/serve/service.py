@@ -50,6 +50,7 @@ Resilience (see the "Reliability invariants" section of ROADMAP.md):
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import deque
@@ -193,6 +194,10 @@ class ServiceConfig:
     ``fault_plan``
         Optional :class:`repro.reliability.FaultPlan` threaded into the
         registry, cache, and worker pool (tests/chaos only).
+    ``shard_id``
+        Identity of this process in a replicated deployment (set by the
+        router's shard spawner); echoed in ``/metrics`` and ``/healthz``
+        so probes and dashboards can tell shards apart.
     """
 
     cache_capacity: int = 256
@@ -209,6 +214,7 @@ class ServiceConfig:
     task_deadline: "float | None" = None
     max_respawns: int = 3
     fault_plan: "object | None" = None
+    shard_id: "str | None" = None
 
     def __post_init__(self):
         if self.default_samples < 1:
@@ -240,6 +246,7 @@ class ServiceMetrics:
         self._latency_ms = {
             source: deque(maxlen=_LATENCY_WINDOW) for source in self.by_source
         }
+        self._degraded_at = deque(maxlen=_LATENCY_WINDOW)
         self._lock = threading.Lock()
 
     def record(self, source: str, latency_ms: float) -> None:
@@ -247,6 +254,16 @@ class ServiceMetrics:
             self.requests_total += 1
             self.by_source[source] += 1
             self._latency_ms[source].append(float(latency_ms))
+            if source == "degraded":
+                self._degraded_at.append(time.monotonic())
+
+    def degraded_recent(self, window_s: float = 60.0) -> int:
+        """Degraded serves within the last ``window_s`` seconds — the
+        readiness probe's "currently limping" signal, as opposed to the
+        lifetime ``by_source`` counter."""
+        cutoff = time.monotonic() - window_s
+        with self._lock:
+            return sum(1 for t in self._degraded_at if t >= cutoff)
 
     def record_error(self) -> None:
         with self._lock:
@@ -282,6 +299,51 @@ class ServiceMetrics:
                     for source, values in self._latency_ms.items()
                 },
             }
+
+
+def build_environment(request: PartitionRequest) -> PartitionEnvironment:
+    """The environment a request describes (package + cost model + graph).
+
+    Module-level because two layers need it: the service's search and
+    degraded paths here, and the router's last-resort degraded serve
+    (:mod:`repro.serve.router`), which answers from the greedy heuristic
+    when every shard replica is down and has no service instance at all.
+    """
+    package = MCMPackage(
+        n_chips=int(request.n_chips), topology=request.topology
+    )
+    cost_model = (
+        PipelineSimulator(package)
+        if request.cost_model == "simulator"
+        else AnalyticalCostModel(package)
+    )
+    try:
+        return PartitionEnvironment(
+            request.graph,
+            cost_model,
+            int(request.n_chips),
+            objective=request.objective,
+        )
+    except ValueError as exc:
+        raise ServiceError(str(exc)) from None
+
+
+def greedy_fallback(request: PartitionRequest):
+    """``(assignment, evaluated sample)`` of the degraded-path heuristic.
+
+    Raises :class:`ServiceError` when even the heuristic cannot produce a
+    valid partition for the platform (the caller reports *that* together
+    with why the real search was unavailable).
+    """
+    env = build_environment(request)
+    assignment = greedy_partition(env.graph, int(request.n_chips))
+    sample = env.evaluate(assignment)
+    if not sample.result.valid:
+        raise ServiceError(
+            f"degraded fallback for graph {request.graph.name!r} is "
+            f"invalid ({sample.result.failure_reason})"
+        )
+    return np.asarray(assignment, dtype=np.int64), sample
 
 
 class PartitionService:
@@ -713,22 +775,14 @@ class PartitionService:
         produce a valid partition."""
         i, request, fp, ckpt, order = member
         try:
-            env = self._build_env(request)
+            assignment, sample = greedy_fallback(request)
         except ServiceError as exc:
-            return str(exc)
-        assignment = greedy_partition(env.graph, int(request.n_chips))
-        sample = env.evaluate(assignment)
-        if not sample.result.valid:
-            return (
-                f"degraded fallback for graph {request.graph.name!r} is "
-                f"invalid ({sample.result.failure_reason}); real search "
-                f"unavailable: {reason}"
-            )
+            return f"{exc}; real search unavailable: {reason}"
         latency_ms = (time.perf_counter() - t_start) * 1e3
         self.metrics_state.record("degraded", latency_ms)
         responses[i] = PartitionResponse(
             fingerprint=fp,
-            assignment=np.asarray(assignment, dtype=np.int64),
+            assignment=assignment,
             improvement=float(sample.improvement),
             objective=request.objective,
             cached=False,
@@ -771,27 +825,46 @@ class PartitionService:
         )
 
     def _build_env(self, request: PartitionRequest) -> PartitionEnvironment:
-        package = MCMPackage(
-            n_chips=int(request.n_chips), topology=request.topology
-        )
-        cost_model = (
-            PipelineSimulator(package)
-            if request.cost_model == "simulator"
-            else AnalyticalCostModel(package)
-        )
-        try:
-            return PartitionEnvironment(
-                request.graph,
-                cost_model,
-                int(request.n_chips),
-                objective=request.objective,
-            )
-        except ValueError as exc:
-            raise ServiceError(str(exc)) from None
+        return build_environment(request)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def health(self) -> "tuple[bool, dict]":
+        """Readiness probe: ``(ready, JSON payload)`` for ``GET /healthz``.
+
+        Liveness is implied by answering at all; *readiness* is what the
+        payload decides, and the transport maps ``ready=False`` to a 503 so
+        a router/orchestrator can stop sending work without killing the
+        process.  Not ready when:
+
+        * **saturated** — the admission gate is full (``in_flight`` has
+          reached ``max_in_flight``); new work would only earn 429s; or
+        * **registry unreachable** — a *configured* checkpoint registry's
+          root directory has gone missing (every checkpointed request would
+          degrade).  A service deliberately running without a registry is
+          ready: serving the untrained policy is its normal job.
+
+        ``degraded_recent`` (last 60 s) rides along so probes can tell a
+        healthy shard from one that is alive but limping on fallbacks.
+        """
+        limit = self.config.max_in_flight
+        in_flight = self._in_flight
+        saturated = limit > 0 and in_flight >= limit
+        registry_ok = self.registry is None or os.path.isdir(self.registry.root)
+        ready = not saturated and registry_ok
+        payload = {
+            "ok": ready,
+            "shard_id": self.config.shard_id,
+            "in_flight": in_flight,
+            "max_in_flight": limit,
+            "saturated": saturated,
+            "registry_configured": self.registry is not None,
+            "registry_ok": registry_ok,
+            "degraded_recent": self.metrics_state.degraded_recent(60.0),
+        }
+        return ready, payload
+
     def metrics(self) -> dict:
         """JSON-safe snapshot: request counters, hit rate, latency percentiles.
 
@@ -815,9 +888,14 @@ class PartitionService:
             "degraded_serves": snap["by_source"]["degraded"],
             "throttled": snap["throttled"],
         }
+        if self.config.shard_id is not None:
+            snap["shard"] = {"id": self.config.shard_id}
         if self.config.fault_plan is not None:
             counts = self.config.fault_plan.counts()
             snap["reliability"]["faults_armed"] = counts["armed"]
             snap["reliability"]["faults_fired"] = counts["fired_total"]
             snap["reliability"]["faults_by_site"] = counts["fired_by_site"]
+            describe = getattr(self.config.fault_plan, "describe", None)
+            if describe is not None:
+                snap["reliability"]["fault_plan"] = describe()
         return snap

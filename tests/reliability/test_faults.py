@@ -112,3 +112,71 @@ class TestCounts:
         assert counts["fired_total"] == 3
         assert counts["fired_by_site"] == {"pool": 1, "cache": 2}
         assert counts["armed"] == 1  # only the unspendable cache fault
+
+
+class TestParse:
+    def test_single_fault_with_options(self):
+        plan = FaultPlan.parse("registry:io_error:at=load:times=-1", seed=9)
+        assert plan.seed == 9
+        fault = plan._faults[0]
+        assert (fault.site, fault.kind, fault.at) == (
+            "registry", "io_error", ("load",)
+        )
+        assert fault.times == -1
+
+    def test_multiple_faults_and_separators(self):
+        plan = FaultPlan.parse(
+            "server:drop:times=2; shard_stall:stall:at=s0:delay=1.5,"
+            "shard_kill:kill:at=s1"
+        )
+        assert [f.site for f in plan._faults] == [
+            "server", "shard_stall", "shard_kill"
+        ]
+        assert plan._faults[1].delay_s == 1.5
+        assert plan._faults[1].at == ("s0",)
+        assert plan._faults[2].at == ("s1",)
+
+    def test_at_parses_ints_where_possible(self):
+        plan = FaultPlan.parse("pool:crash:at=2/1")
+        assert plan._faults[0].at == (2, 1)  # pool task ids are int tuples
+
+    def test_parsed_plan_fires(self):
+        plan = FaultPlan.parse("shard_kill:kill:at=s1")
+        assert plan.fire("shard_kill", "kill", ("s0",)) is None
+        assert plan.fire("shard_kill", "kill", ("s1",)) is not None
+        assert plan.fire("shard_kill", "kill", ("s1",)) is None  # spent
+
+    def test_malformed_specs_rejected(self):
+        with pytest.raises(ValueError, match="expected site:kind"):
+            FaultPlan.parse("justasite")
+        with pytest.raises(ValueError, match="expected at=/times=/delay="):
+            FaultPlan.parse("server:drop:banana")
+        with pytest.raises(ValueError, match="unknown fault option"):
+            FaultPlan.parse("server:drop:wat=1")
+        with pytest.raises(ValueError, match="declares no faults"):
+            FaultPlan.parse(" ; ")
+
+
+class TestDescribe:
+    def test_describe_tracks_remaining_budget(self):
+        plan = FaultPlan.parse("server:drop:times=2;cache:io_error:times=-1")
+        before = plan.describe()
+        assert before[0] == {
+            "site": "server", "kind": "drop", "at": [],
+            "delay_s": 0.0, "times": 2, "remaining": 2,
+        }
+        assert before[1]["remaining"] == -1
+        plan.fire("server", "drop", ("/partition",))
+        try:
+            plan.io_error("cache", "append")
+        except InjectedIOError:
+            pass
+        after = plan.describe()
+        assert after[0]["remaining"] == 1
+        assert after[1]["remaining"] == -1  # unspendable stays armed
+
+    def test_describe_is_json_safe(self):
+        import json
+
+        plan = FaultPlan.parse("pool:crash:at=1/0:delay=0.5")
+        json.dumps(plan.describe())  # must not raise

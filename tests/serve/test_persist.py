@@ -194,3 +194,65 @@ class TestStats:
         assert stats["journal_path"] == cache.journal_path
         assert stats["corrupt_skipped"] == 0
         assert stats["persist_errors"] == 0
+
+
+class TestCompactionRace:
+    """Compaction vs live serving: the journal handle swap and the LRU
+    iteration must be invisible to concurrent puts/gets (the threaded HTTP
+    server and the sharded router both hammer one cache from many threads).
+    """
+
+    def test_touch_after_compact_lands_in_new_journal(self, tmp_path):
+        cache = PersistentPartitionCache(8, directory=tmp_path)
+        for key in ("a", "b", "c"):
+            cache.put(key, _entry(key))
+        cache.compact()
+        assert cache.get("a") is not None  # recency event post-compaction
+        cache.close()
+        warm = PersistentPartitionCache(8, directory=tmp_path)
+        # Touch survived the journal swap: 'a' is most recent on restart.
+        assert list(warm.keys()) == ["b", "c", "a"]
+        assert warm.stats()["corrupt_skipped"] == 0
+
+    def test_concurrent_puts_during_compaction(self, tmp_path):
+        import threading
+
+        cache = PersistentPartitionCache(
+            64, directory=tmp_path, compact_every=8
+        )
+        stop = threading.Event()
+        errors = []
+
+        def hammer(tid: int) -> None:
+            try:
+                i = 0
+                while not stop.is_set():
+                    key = f"w{tid}-{i % 20}"
+                    cache.put(key, _entry(key))
+                    cache.get(key)
+                    i += 1
+            except Exception as exc:  # noqa: BLE001 - the race under test
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        # Meanwhile, force explicit compactions on top of the threshold-
+        # triggered ones: every handle swap races the writers.
+        for _ in range(25):
+            cache.compact()
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors  # no write-to-closed-handle, no dict mutation
+        assert cache.stats()["persist_errors"] == 0
+        order = list(cache.keys())
+        cache.close()
+        warm = PersistentPartitionCache(64, directory=tmp_path)
+        # The surviving journal replays to exactly the live LRU state.
+        assert list(warm.keys()) == order
+        assert warm.stats()["corrupt_skipped"] == 0
+        for key in order:
+            assert warm.get(key) is not None

@@ -86,10 +86,72 @@ class TestMetricsEndpoint:
         assert metrics["latency_ms"]["cached"]["count"] == 1
 
     def test_healthz(self, server):
+        """Readiness probe: load, registry reachability, degraded counts."""
         with urllib.request.urlopen(
             f"http://127.0.0.1:{server.port}/healthz", timeout=30
         ) as resp:
-            assert json.loads(resp.read()) == {"ok": True}
+            payload = json.loads(resp.read())
+        assert payload["ok"] is True
+        assert payload["saturated"] is False
+        assert payload["in_flight"] == 0
+        assert payload["max_in_flight"] == 0
+        # No registry configured is a legitimate deployment (untrained
+        # policy), not an unready one.
+        assert payload["registry_configured"] is False
+        assert payload["registry_ok"] is True
+        assert payload["degraded_recent"] == 0
+        assert payload["shard_id"] is None
+
+    def test_healthz_503_when_saturated(self):
+        """A saturated shard reports unready so routers stop sending work."""
+        service = tiny_service(max_in_flight=2)
+        service._in_flight = 2  # pin the gauge at the admission bound
+        try:
+            with PartitionServer(service, port=0).start() as srv:
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    urllib.request.urlopen(
+                        f"http://127.0.0.1:{srv.port}/healthz", timeout=30
+                    )
+                assert err.value.code == 503
+                payload = json.loads(err.value.read())
+                assert payload["ok"] is False
+                assert payload["saturated"] is True
+        finally:
+            service._in_flight = 0
+
+    def test_metrics_echo_shard_id_and_armed_fault_plan(self):
+        """A routed shard's identity and its armed chaos schedule are both
+        observable from /metrics (the `--shard-id`/`--fault-plan` flags)."""
+        from repro.reliability import FaultPlan
+
+        plan = FaultPlan.parse("registry:io_error:at=load:times=2", seed=5)
+        service = tiny_service(shard_id="s7", fault_plan=plan)
+        with PartitionServer(service, port=0).start() as srv:
+            metrics = fetch_metrics(port=srv.port)
+        assert metrics["shard"] == {"id": "s7"}
+        assert metrics["reliability"]["fault_plan"] == [
+            {
+                "site": "registry", "kind": "io_error", "at": ["load"],
+                "delay_s": 0.0, "times": 2, "remaining": 2,
+            }
+        ]
+
+    def test_healthz_503_when_registry_root_lost(self, tmp_path):
+        """A configured registry whose root vanished means the shard can no
+        longer resolve checkpoints: alive, but not ready."""
+        root = tmp_path / "registry"
+        root.mkdir()
+        service = tiny_service(registry_path=str(root))
+        with PartitionServer(service, port=0).start() as srv:
+            root.rmdir()
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{srv.port}/healthz", timeout=30
+                )
+            assert err.value.code == 503
+            payload = json.loads(err.value.read())
+            assert payload["registry_configured"] is True
+            assert payload["registry_ok"] is False
 
 
 class TestErrorHandling:

@@ -359,6 +359,60 @@ class TestServeRequest:
                 proc.kill()
 
 
+    def test_serve_fault_plan_parse_error_is_usage_error(self):
+        """A malformed --fault-plan must exit with the grammar, not start a
+        server with no chaos armed."""
+        with pytest.raises(SystemExit, match="--fault-plan"):
+            main(["serve", "--port", "0", "--fault-plan", "nonsense"])
+
+    def test_route_cli_end_to_end(self, capsys):
+        """``repro route`` in a subprocess: spawns its shards, announces the
+        same machine-readable first line as ``repro serve``, serves
+        ``repro request`` unchanged, and shuts its shards down on SIGINT."""
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys as _sys
+        import urllib.request
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "route", "--port", "0",
+             "--shards", "2", "--replication", "2", "--samples", "4",
+             "--probe-interval", "0.5"],
+            stdout=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            announce = proc.stdout.readline().strip()
+            assert announce.startswith("serving on ")
+            port = announce.rsplit(":", 1)[1]
+            for shard_id in ("s0", "s1"):
+                line = proc.stdout.readline().strip()
+                assert line.startswith(f"shard {shard_id} on ")
+            assert main(["request", "mlp", "--port", port,
+                         "--samples", "4"]) == 0
+            capsys.readouterr()
+            assert main(["request", "mlp", "--port", port,
+                         "--samples", "4"]) == 0
+            assert "cache hit" in capsys.readouterr().out
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=30
+            ) as resp:
+                metrics = json.loads(resp.read())
+            assert metrics["router"] is True
+            assert metrics["requests_total"] == 2
+            assert set(metrics["shards"]) == {"s0", "s1"}
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
     def test_request_mesh_dims_require_mesh(self, live_server):
         with pytest.raises(SystemExit, match="--topology mesh"):
             main(
