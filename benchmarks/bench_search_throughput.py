@@ -54,11 +54,12 @@ RESULT_PATH = REPO_ROOT / "BENCH_search_throughput.json"
 N_CHIPS = 4
 
 
-def _partitioner(rng=0) -> RLPartitioner:
+def _partitioner(rng=0, precision: str = "float64") -> RLPartitioner:
     cfg = RLPartitionerConfig(
         hidden=64,
         n_sage_layers=4,
         ppo=PPOConfig(n_rollouts=20, n_minibatches=4, n_epochs=10),
+        precision=precision,
     )
     return RLPartitioner(N_CHIPS, config=cfg, rng=rng)
 
@@ -73,7 +74,7 @@ def _env(graph) -> PartitionEnvironment:
 TOPOLOGY = MCMPackage(n_chips=N_CHIPS).topology.name
 
 
-def _timed(n_samples: int, fn) -> dict:
+def _timed(n_samples: int, fn, precision: str = "float64") -> dict:
     start = time.perf_counter()
     fn()
     elapsed = time.perf_counter() - start
@@ -82,6 +83,7 @@ def _timed(n_samples: int, fn) -> dict:
         "seconds": round(elapsed, 4),
         "samples_per_sec": round(n_samples / elapsed, 2),
         "topology": TOPOLOGY,
+        "precision": precision,
     }
 
 
@@ -318,6 +320,122 @@ def bench_workers_sweep(graphs, scale, worker_counts, n_repeats: int) -> dict:
     }
 
 
+def bench_precision_sweep(graphs, scale, n_repeats: int) -> dict:
+    """float64 vs float32 backend on the three serial loops (PR 8 tentpole).
+
+    Each cell is the median samples/sec of ``n_repeats`` interleaved runs
+    (same methodology as the workers sweep).  The search cells additionally
+    record PPO's share of wall time — the fused float32 kernels attack the
+    PPO update, so the share dropping is the direct signature of the
+    optimisation (the residue is solver + cost model, precision-agnostic).
+
+    The search cell uses a longer window than the headline ``search`` row:
+    the first PPO window (20 samples) runs before any update, and
+    featurise/solver warm-up is precision-agnostic, so a 60-sample shot
+    understates the steady-state kernel speedup the sweep tracks.
+    """
+    search_n = scale.samples(200, cap=2000)
+    pretrain_n = scale.samples(120, cap=4000)
+    zeroshot_per_pair = max(scale.samples(8, cap=32) // 2, 2)
+
+    ppo_shares: dict[str, list] = {"float64": [], "float32": []}
+
+    def mk_search(precision):
+        def run():
+            env = _env(graphs[0])
+            partitioner = _partitioner(rng=0, precision=precision)
+            trainer = partitioner.trainer
+            inner = trainer.update
+            ppo_seconds = [0.0]
+
+            def timed_update(*a, **kw):
+                t0 = time.perf_counter()
+                out = inner(*a, **kw)
+                ppo_seconds[0] += time.perf_counter() - t0
+                return out
+
+            trainer.update = timed_update
+            start = time.perf_counter()
+            partitioner.search(env, search_n)
+            elapsed = time.perf_counter() - start
+            ppo_shares[precision].append(round(ppo_seconds[0] / elapsed, 3))
+            return search_n / elapsed
+        return run
+
+    def mk_pretrain(precision):
+        pre_cfg = PretrainConfig(
+            total_samples=pretrain_n,
+            n_checkpoints=max(pretrain_n // 40, 2),
+            samples_per_graph=20,
+        )
+
+        def run():
+            partitioner = _partitioner(rng=1, precision=precision)
+            return _timed(
+                pretrain_n,
+                lambda: pretrain(partitioner, graphs, _env, pre_cfg),
+                precision=precision,
+            )["samples_per_sec"]
+        return run
+
+    def mk_zeroshot(precision):
+        def run():
+            partitioner = _partitioner(rng=2, precision=precision)
+            checkpoints = pretrain(
+                partitioner,
+                graphs[:1],
+                _env,
+                PretrainConfig(
+                    total_samples=40, n_checkpoints=4, samples_per_graph=20
+                ),
+            )
+            total = len(checkpoints) * len(graphs) * zeroshot_per_pair
+            return _timed(
+                total,
+                lambda: select_checkpoint(
+                    checkpoints, partitioner, graphs, _env,
+                    zero_shot_samples=zeroshot_per_pair, rng=0,
+                ),
+                precision=precision,
+            )["samples_per_sec"]
+        return run
+
+    sweep = {}
+    for name, mk in (
+        ("search", mk_search),
+        ("pretrain", mk_pretrain),
+        ("zeroshot", mk_zeroshot),
+    ):
+        sweep[name] = interleaved_medians(
+            {p: mk(p) for p in ("float64", "float32")}, n_repeats
+        )
+    speedups = {
+        name: round(cells["float32"]["median"] / cells["float64"]["median"], 3)
+        for name, cells in sweep.items()
+    }
+    import numpy as np
+
+    return {
+        "n_repeats": n_repeats,
+        "budgets": {
+            "search": search_n,
+            "pretrain": pretrain_n,
+            "zeroshot_per_pair": zeroshot_per_pair,
+        },
+        "sweep": sweep,
+        "float32_speedup": speedups,
+        "ppo_wall_share": {
+            p: float(np.median(v)) if v else None for p, v in ppo_shares.items()
+        },
+        "note": (
+            "medians of interleaved runs; float64 is the frozen bit-for-bit "
+            "default, float32 enables the fused-GEMM kernels (wide SAGE hop, "
+            "tiled policy head, flat Adam) — equivalence is pinned by "
+            "tests/core/test_precision_equivalence.py"
+        ),
+    }
+
+
 def bench_zeroshot(graphs, n_samples_per_pair: int) -> dict:
     """Frozen-policy checkpoint replay (the validation worker)."""
     partitioner = _partitioner(rng=2)
@@ -388,6 +506,19 @@ def main(argv=None) -> dict:
     # Workers scaling sweep (PR 2): parallel rollout pool vs the serial
     # path, medians of interleaved runs.  ``--workers N`` caps the sweep
     # (``--workers 0`` skips it); the tiny CI smoke keeps one repeat.
+    # Precision sweep (PR 8): float64 serial reference vs the float32
+    # fused-GEMM backend on the three serial loops, medians of interleaved
+    # runs plus PPO's share of search wall time at each precision.  Five
+    # repeats (not three): the sweep's product is a *ratio* between
+    # adjacent cells, which is more sensitive to box drift than the
+    # absolute rows.  Runs *before* the fork-heavy workers sweep: pool
+    # fan-out leaves the allocator fragmented, which measurably penalises
+    # the fused float32 kernels' wide concat temporaries (~10% on the
+    # PR-8 box) and would skew the ratio.
+    results["precision"] = bench_precision_sweep(
+        graphs, scale, n_repeats=1 if tiny else 5
+    )
+
     worker_counts = [w for w in (1, 2, 4) if w <= max_workers]
     if worker_counts:
         results["parallel"] = bench_workers_sweep(
@@ -418,6 +549,19 @@ def main(argv=None) -> dict:
                 f"{cfg}={cell['median']:8.2f}/s" for cfg, cell in cells.items()
             )
             print(f"{loop:>15}: {row}")
+    prec = results["precision"]
+    print(f"precision sweep (medians of {prec['n_repeats']} interleaved runs):")
+    for loop, cells in prec["sweep"].items():
+        row = "  ".join(
+            f"{cfg}={cell['median']:8.2f}/s" for cfg, cell in cells.items()
+        )
+        print(
+            f"{loop:>15}: {row}  (f32 speedup "
+            f"{prec['float32_speedup'][loop]:.2f}x)"
+        )
+    print(f"{'ppo share':>15}: " + "  ".join(
+        f"{p}={s}" for p, s in prec["ppo_wall_share"].items()
+    ))
     return results
 
 

@@ -19,6 +19,47 @@ echo "== throughput bench (tiny smoke, 2-worker pool) =="
 timeout --kill-after=30 300 \
     python benchmarks/bench_search_throughput.py --tiny --workers 2
 
+echo "== float32 backend smoke (fused kernels vs float64 reference) =="
+# A tiny search at both precisions from the same seed: the float32 fused
+# path (wide SAGE GEMM, tiled policy head, flat Adam) must produce the
+# same best partition as the frozen float64 reference and stay inside the
+# backend's drift tolerance — the precision seam's end-to-end invariant,
+# under a hard timeout so a wedged fused kernel fails the gate fast.
+timeout --kill-after=15 120 env PYTHONPATH=src python - <<'PY'
+import numpy as np
+from repro.core.environment import PartitionEnvironment
+from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
+from repro.graphs.zoo import build_mlp
+from repro.hardware.analytical import AnalyticalCostModel
+from repro.hardware.package import MCMPackage
+from repro.rl.ppo import PPOConfig
+
+def run(precision):
+    cfg = RLPartitionerConfig(
+        hidden=32, n_sage_layers=2,
+        ppo=PPOConfig(n_rollouts=10, n_minibatches=2, n_epochs=3),
+        precision=precision,
+    )
+    p = RLPartitioner(4, config=cfg, rng=7)
+    env = PartitionEnvironment(
+        build_mlp(), AnalyticalCostModel(MCMPackage(n_chips=4)), 4
+    )
+    return p, p.search(env, 30)
+
+p64, r64 = run("float64")
+p32, r32 = run("float32")
+assert r32.best_assignment is not None
+np.testing.assert_array_equal(r64.best_assignment, r32.best_assignment)
+s64, s32 = p64.state_dict(), p32.state_dict()
+assert all(v.dtype == np.float32 for v in s32.values())
+drift = max(
+    float(np.max(np.abs(s64[k].astype(np.float64) - s32[k].astype(np.float64))))
+    for k in s64
+)
+assert drift < 1e-4, f"float32 weight drift {drift} exceeds bound"
+print(f"float32 smoke OK: same best partition, weight drift {drift:.2e}")
+PY
+
 echo "== cross-topology smoke (mesh 2x2 + biring) =="
 # A partition search on each non-ring interconnect: catches topology
 # plumbing breaks (solver general mode, reachability cost models, CLI)

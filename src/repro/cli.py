@@ -183,6 +183,9 @@ def _cmd_partition(args) -> int:
         # loudly rather than silently benchmark the wrong configuration.
         print("--eager-frontier applies to --method rl only", file=sys.stderr)
         return 2
+    if args.precision != "float64" and args.method != "rl":
+        print("--precision applies to --method rl only", file=sys.stderr)
+        return 2
 
     if args.method == "greedy":
         assignment = greedy_partition(graph, n_chips)
@@ -202,6 +205,7 @@ def _cmd_partition(args) -> int:
                 config=RLPartitionerConfig(
                     hidden=64, n_sage_layers=4,
                     triangle_frontier=eager_frontier,
+                    precision=args.precision,
                     ppo=PPOConfig(n_rollouts=10, n_minibatches=2, n_epochs=4),
                 ),
                 rng=args.seed,
@@ -277,6 +281,7 @@ def _cmd_serve(args) -> int:
         cache_dir=args.cache_dir,
         fault_plan=_parse_fault_plan(args),
         shard_id=args.shard_id,
+        precision=args.precision,
     )
     # The warm pool's untrained-policy network defaults to
     # repro.serve.registry.default_serving_config (the CLI's 64x4 sizing).
@@ -334,6 +339,7 @@ def _cmd_route(args) -> int:
         registry=args.registry,
         cache_capacity=args.cache_capacity,
         max_in_flight=args.max_in_flight,
+        precision=args.precision,
     )
     server = RouterServer(
         router, host=args.host, port=args.port, verbose=args.verbose
@@ -486,6 +492,14 @@ def build_parser() -> argparse.ArgumentParser:
         "it only at <= 4 chips (the heuristic default), 'on'/'off' force it "
         "— 'on' helps wedge-heavy instances above 4 chips",
     )
+    p_part.add_argument(
+        "--precision",
+        choices=["float64", "float32"],
+        default="float64",
+        help="policy-network numeric backend: 'float64' is the frozen "
+        "bit-for-bit default, 'float32' the fused-GEMM fast path "
+        "(tolerance-pinned; ~1.5x+ search samples/sec)",
+    )
     p_part.add_argument("--output", help="write the assignment to this .npy path")
     p_part.set_defaults(fn=_cmd_partition)
 
@@ -551,6 +565,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-id", default=None,
         help="shard identity within a routed deployment "
              "(set by `repro route`; echoed in /metrics and /healthz)",
+    )
+    p_serve.add_argument(
+        "--precision",
+        choices=["float64", "float32"],
+        default="float64",
+        help="warm-pool policy backend; a per-deployment invariant like "
+             "--seed (all replicas of a deployment must agree), not part "
+             "of the request fingerprint",
     )
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
@@ -622,6 +644,13 @@ def build_parser() -> argparse.ArgumentParser:
              "'shard_stall:stall:at=s0:delay=2'",
     )
     p_route.add_argument("--fault-seed", type=int, default=0)
+    p_route.add_argument(
+        "--precision",
+        choices=["float64", "float32"],
+        default="float64",
+        help="policy backend forwarded to every spawned shard (a "
+             "deployment-wide invariant, like --seed)",
+    )
     p_route.add_argument("--verbose", action="store_true",
                          help="log HTTP requests to stderr")
     p_route.set_defaults(fn=_cmd_route)

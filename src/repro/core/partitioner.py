@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.baselines import SearchResult
 from repro.core.environment import PartitionEnvironment
 from repro.nn import functional as F
+from repro.nn.backend import PRECISIONS
 from repro.rl.features import N_FEATURES, N_TOPO_FEATURES, GraphFeatures, featurize
 from repro.rl.policy import PartitionPolicy
 from repro.rl.ppo import PPOConfig, PPOTrainer
@@ -68,6 +69,12 @@ class RLPartitionerConfig:
     keeps the solver's heuristic (eager triangle re-propagation only for
     ``n_chips <= 4``); ``True``/``False`` forces it — enabling it above 4
     chips helps wedge-heavy instances at scale.
+
+    ``precision`` selects the numeric backend of the policy network
+    (:mod:`repro.nn.backend`): ``"float64"`` (default) is the frozen
+    bit-for-bit serial path; ``"float32"`` is the fused large-GEMM fast
+    path, pinned by tolerance-bounded equivalence tests instead of goldens
+    (see ROADMAP "Precision invariants").
     """
 
     hidden: int = 128
@@ -78,6 +85,7 @@ class RLPartitionerConfig:
     explore_eps: float = 0.1
     propose_batch: int = 16
     triangle_frontier: "bool | None" = None
+    precision: str = "float64"
     ppo: PPOConfig = PPOConfig()
 
     def __post_init__(self):
@@ -87,6 +95,8 @@ class RLPartitionerConfig:
             raise ValueError("explore_eps must be in [0, 1)")
         if self.propose_batch < 1:
             raise ValueError("propose_batch must be >= 1")
+        if self.precision not in PRECISIONS:
+            raise ValueError(f"precision must be one of {PRECISIONS}")
 
 
 @dataclass
@@ -155,6 +165,7 @@ class RLPartitioner:
             n_policy_layers=self.config.n_policy_layers,
             refine_iters=self.config.refine_iters,
             rng=self.rng,
+            backend=self.config.precision,
         )
         self.trainer = PPOTrainer(self.policy, self.config.ppo, rng=self.rng)
         # (graph, solver) entries keyed by graph identity, LRU-evicted.

@@ -5,11 +5,22 @@ stack the paper builds on TensorFlow is reimplemented here from scratch:
 a reverse-mode tape over NumPy arrays (:mod:`repro.nn.tensor`), functional
 ops with gradients (:mod:`repro.nn.functional`), the layers the policy needs
 (:mod:`repro.nn.layers`), Adam/SGD with gradient clipping
-(:mod:`repro.nn.optim`), and ``.npz`` checkpointing
-(:mod:`repro.nn.serialization`).
+(:mod:`repro.nn.optim`), ``.npz`` checkpointing
+(:mod:`repro.nn.serialization`), and the numeric precision seam
+(:mod:`repro.nn.backend`): a frozen bit-for-bit float64 default plus an
+opt-in float32 fast path with fused large-GEMM kernels.
 """
 
 from repro.nn import functional
+from repro.nn.backend import (
+    FLOAT32,
+    FLOAT64,
+    PRECISIONS,
+    Backend,
+    backend_of,
+    resolve_backend,
+    typed_aggregation,
+)
 from repro.nn.layers import GraphSAGELayer, Linear, Module, Sequential
 from repro.nn.optim import SGD, Adam, clip_grad_norm
 from repro.nn.serialization import (
@@ -18,11 +29,20 @@ from repro.nn.serialization import (
     save_state,
     save_state_dict,
 )
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import MutationGuard, Tensor, debug_checks_enabled
 
 __all__ = [
     "Tensor",
     "functional",
+    "Backend",
+    "FLOAT32",
+    "FLOAT64",
+    "PRECISIONS",
+    "backend_of",
+    "resolve_backend",
+    "typed_aggregation",
+    "MutationGuard",
+    "debug_checks_enabled",
     "Module",
     "Linear",
     "GraphSAGELayer",

@@ -1,0 +1,151 @@
+"""Numeric precision backends for the nn stack.
+
+A :class:`Backend` bundles a storage dtype with the kernel-selection flags
+the rest of the stack keys on: whether the fused large-GEMM training path
+is eligible, and the tolerance envelope the equivalence tests pin the fast
+path against.  Two backends exist:
+
+``float64``
+    The frozen default.  Serial evaluation order, bit-for-bit reproducible
+    against the goldens; nothing in this module may change its arithmetic.
+``float32``
+    The opt-in fast path.  Same operations, but ops are allowed to batch
+    per-minibatch matmuls into single large GEMMs (changing summation
+    order), so results are pinned by tolerance bounds instead of goldens.
+
+There is deliberately **no mutable global backend**: precision is a
+property of the arrays flowing through the tape.  Leaf tensors (weights,
+features) are created in the backend's dtype and NumPy propagates it from
+there; ops that want the fused kernels look the backend up from their
+operand dtype via :func:`backend_of`.  This keeps mixed-precision
+partitioners in one process (serving pools, equivalence tests) safe by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Precision names accepted by configs and the CLI ``--precision`` flag.
+PRECISIONS = ("float64", "float32")
+
+
+@dataclass(frozen=True)
+class Backend:
+    """A numeric precision: storage dtype + kernel-selection flags.
+
+    Attributes
+    ----------
+    name:
+        Precision name (``"float64"`` / ``"float32"``).
+    dtype:
+        NumPy storage dtype for leaf tensors created under this backend.
+    fused_gemm:
+        Whether ops may take the fused large-GEMM path.  Fusion changes
+        floating-point summation order, so it is forbidden on the
+        bit-for-bit ``float64`` default.
+    rtol, atol:
+        The tolerance envelope the equivalence tests hold this backend to
+        (relative to the float64 reference); zero for float64 itself.
+    """
+
+    name: str
+    dtype: np.dtype
+    fused_gemm: bool
+    rtol: float
+    atol: float
+
+    # -- array helpers --------------------------------------------------
+    def asarray(self, data) -> np.ndarray:
+        """``data`` as an array in this backend's dtype (copies if needed)."""
+        return np.asarray(data, dtype=self.dtype)
+
+    def cast(self, arr) -> np.ndarray:
+        """``arr`` in this backend's dtype; the same object when it already is."""
+        arr = np.asarray(arr)
+        return arr if arr.dtype == self.dtype else arr.astype(self.dtype)
+
+    def zeros(self, shape) -> np.ndarray:
+        """A zero array in this backend's dtype."""
+        return np.zeros(shape, dtype=self.dtype)
+
+    def full(self, shape, fill_value) -> np.ndarray:
+        """A constant array in this backend's dtype."""
+        return np.full(shape, fill_value, dtype=self.dtype)
+
+
+FLOAT64 = Backend(
+    name="float64", dtype=np.dtype(np.float64), fused_gemm=False, rtol=0.0, atol=0.0
+)
+#: Tolerances sized for ~1e3-step training windows: single-precision GEMM
+#: rounding compounds through Adam, so the envelope is loose in relative
+#: terms but still far below any decision boundary the policy acts on.
+FLOAT32 = Backend(
+    name="float32", dtype=np.dtype(np.float32), fused_gemm=True, rtol=5e-2, atol=1e-4
+)
+
+_BY_NAME = {b.name: b for b in (FLOAT64, FLOAT32)}
+_BY_DTYPE = {b.dtype: b for b in (FLOAT64, FLOAT32)}
+
+
+def resolve_backend(spec=None) -> Backend:
+    """The :class:`Backend` for ``spec`` (name, dtype, Backend, or None).
+
+    ``None`` resolves to the frozen float64 default.
+    """
+    if spec is None:
+        return FLOAT64
+    if isinstance(spec, Backend):
+        return spec
+    if isinstance(spec, str):
+        backend = _BY_NAME.get(spec)
+        if backend is None:
+            raise ValueError(
+                f"unknown precision {spec!r}; expected one of {PRECISIONS}"
+            )
+        return backend
+    return backend_of(spec)
+
+
+def backend_of(dtype) -> Backend:
+    """The :class:`Backend` whose storage dtype is ``dtype``."""
+    backend = _BY_DTYPE.get(np.dtype(dtype))
+    if backend is None:
+        raise ValueError(f"no backend for dtype {dtype!r}; expected one of {PRECISIONS}")
+    return backend
+
+
+def typed_aggregation(agg_matrix, dtype):
+    """A dtype-matched variant of a constant aggregation matrix, cached.
+
+    The row-normalised adjacency built by ``mean_aggregation_matrix`` is
+    float64; under scipy a float64 CSR times a float32 dense silently
+    promotes the product back to float64, defeating the fast path.  This
+    returns ``agg_matrix`` itself when the dtype already matches (so the
+    float64 path sees the identical object) and otherwise a cast copy
+    memoised on the original matrix, with its ``_cached_transpose``
+    companion cast alongside it.
+    """
+    dtype = np.dtype(dtype)
+    if agg_matrix.dtype == dtype:
+        return agg_matrix
+    cache = getattr(agg_matrix, "_typed_variants", None)
+    if cache is None:
+        cache = {}
+        try:
+            agg_matrix._typed_variants = cache
+        except AttributeError:  # plain ndarrays reject new attributes
+            pass
+    typed = cache.get(dtype)
+    if typed is None:
+        typed = agg_matrix.astype(dtype)
+        transpose = getattr(agg_matrix, "_cached_transpose", None)
+        if transpose is not None:
+            try:
+                typed._cached_transpose = transpose.astype(dtype)
+            except AttributeError:
+                pass
+        cache[dtype] = typed
+    return typed

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.tensor import Tensor, _wrap
+from repro.nn.backend import backend_of, typed_aggregation
+from repro.nn.tensor import Tensor, _wrap, _wrap_pair
 
 
 # ----------------------------------------------------------------------
@@ -18,19 +19,19 @@ from repro.nn.tensor import Tensor, _wrap
 # ----------------------------------------------------------------------
 def add(a: Tensor, b: Tensor) -> Tensor:
     """Element-wise ``a + b`` with broadcasting."""
-    a, b = _wrap(a), _wrap(b)
+    a, b = _wrap_pair(a, b)
     return Tensor(a.data + b.data, parents=(a, b), backward_fn=lambda g: (g, g))
 
 
 def sub(a: Tensor, b: Tensor) -> Tensor:
     """Element-wise ``a - b`` with broadcasting."""
-    a, b = _wrap(a), _wrap(b)
+    a, b = _wrap_pair(a, b)
     return Tensor(a.data - b.data, parents=(a, b), backward_fn=lambda g: (g, -g))
 
 
 def mul(a: Tensor, b: Tensor) -> Tensor:
     """Element-wise ``a * b`` with broadcasting."""
-    a, b = _wrap(a), _wrap(b)
+    a, b = _wrap_pair(a, b)
     return Tensor(
         a.data * b.data,
         parents=(a, b),
@@ -40,7 +41,7 @@ def mul(a: Tensor, b: Tensor) -> Tensor:
 
 def div(a: Tensor, b: Tensor) -> Tensor:
     """Element-wise ``a / b`` with broadcasting."""
-    a, b = _wrap(a), _wrap(b)
+    a, b = _wrap_pair(a, b)
     return Tensor(
         a.data / b.data,
         parents=(a, b),
@@ -50,7 +51,7 @@ def div(a: Tensor, b: Tensor) -> Tensor:
 
 def matmul(a: Tensor, b: Tensor) -> Tensor:
     """Matrix product ``a @ b`` (2-D operands)."""
-    a, b = _wrap(a), _wrap(b)
+    a, b = _wrap_pair(a, b)
     if a.ndim != 2 or b.ndim != 2:
         raise ValueError("matmul expects 2-D tensors")
     return Tensor(
@@ -94,10 +95,17 @@ def sage_mean_combine(
 
     ``agg_matrix`` is the constant row-normalised adjacency ``A``; only the
     tensors receive gradients.  One tape node replaces the six of the
-    unfused composition, with bitwise-identical forward values (same
-    expression, same evaluation order).
+    unfused composition.  On the float64 backend the forward values are
+    bitwise-identical to the unfused composition (same expression, same
+    evaluation order); on a backend with ``fused_gemm`` the two per-hop
+    matmuls are batched into one wide GEMM, ``[h | A@h] @ [w_self; w_neigh]``,
+    which changes summation order and is therefore pinned by tolerance
+    tests instead of goldens.
     """
     h, w_self, w_neigh, bias = _wrap(h), _wrap(w_self), _wrap(w_neigh), _wrap(bias)
+    agg_matrix = typed_aggregation(agg_matrix, h.data.dtype)
+    if backend_of(h.data.dtype).fused_gemm:
+        return _sage_mean_combine_fused(h, agg_matrix, w_self, w_neigh, bias)
     neigh = agg_matrix @ h.data
     pre = h.data @ w_self.data + neigh @ w_neigh.data + bias.data
     mask = pre > 0
@@ -113,6 +121,80 @@ def sage_mean_combine(
         return (gh, h.data.T @ gp, neigh.T @ gp, gp.sum(axis=0))
 
     return Tensor(out, parents=(h, w_self, w_neigh, bias), backward_fn=backward)
+
+
+def _sage_mean_combine_fused(
+    h: Tensor, agg_matrix, w_self: Tensor, w_neigh: Tensor, bias: Tensor
+) -> Tensor:
+    """Wide-GEMM GraphSAGE layer for ``fused_gemm`` backends.
+
+    Forward runs one ``(N, 2F) @ (2F, O)`` product instead of two
+    ``(N, F) @ (F, O)`` products; backward runs two GEMMs (weight grad via
+    the concatenated activations, input grad via the concatenated weights)
+    instead of four.  Mathematically identical to the serial form; the
+    summation order differs, so this path never runs under float64.
+    """
+    neigh = agg_matrix @ h.data
+    hn = np.concatenate([h.data, neigh], axis=1)
+    w_cat = np.concatenate([w_self.data, w_neigh.data], axis=0)
+    pre = hn @ w_cat + bias.data
+    mask = pre > 0
+    out = pre * mask
+
+    need_h_grad = h.requires_grad
+    in_features = h.data.shape[1]
+
+    def backward(g):
+        gp = g * mask
+        gw = hn.T @ gp
+        gh = None
+        if need_h_grad:
+            gcat = gp @ w_cat.T
+            gh = gcat[:, :in_features] + _aggregate_transpose(agg_matrix) @ (
+                np.ascontiguousarray(gcat[:, in_features:])
+            )
+        # gw's row slices are views of one buffer; downstream only reads or
+        # rebinds parent .grad per-parent over disjoint slices, so no copy.
+        return (gh, gw[:in_features], gw[in_features:], gp.sum(axis=0))
+
+    return Tensor(out, parents=(h, w_self, w_neigh, bias), backward_fn=backward)
+
+
+def tiled_linear(h: Tensor, extra: np.ndarray, weight: Tensor, bias: Tensor, n_tile: int) -> Tensor:
+    """Fused affine over ``n_tile`` stacked copies of ``h`` plus per-row extras.
+
+    Computes exactly ``linear(concat([concat([h] * n_tile, axis=0), extra],
+    axis=1), weight, bias)`` — the shape of the policy/value head's first
+    layer over a conditioning batch, where the (N, F) encoder output is
+    shared by all ``n_tile`` rollouts and only the (n_tile*N, E) state
+    block differs — but evaluates ``h @ weight[:F]`` **once** and tiles the
+    result, cutting the dominant first-layer GEMM's flops by ``n_tile``.
+    ``extra`` is a constant (no gradient).  Fusion changes summation order
+    versus the serial composition, so callers gate it on ``fused_gemm``
+    backends; equivalence is pinned by gradcheck/tolerance tests.
+    """
+    h, weight, bias = _wrap(h), _wrap(weight), _wrap(bias)
+    extra = np.asarray(extra, dtype=h.data.dtype)
+    if h.ndim != 2 or weight.ndim != 2 or extra.ndim != 2:
+        raise ValueError("tiled_linear expects 2-D h, weight, and extra")
+    n, in_h = h.data.shape
+    if extra.shape[0] != n_tile * n:
+        raise ValueError(
+            f"extra has {extra.shape[0]} rows; expected n_tile*N = {n_tile * n}"
+        )
+    w_h = weight.data[:in_h]
+    w_e = weight.data[in_h:]
+    out = np.tile(h.data @ w_h, (n_tile, 1))
+    out += extra @ w_e
+    out += bias.data
+
+    def backward(g):
+        g_stack = g.reshape(n_tile, n, -1).sum(axis=0)
+        gh = g_stack @ w_h.T
+        gw = np.concatenate([h.data.T @ g_stack, extra.T @ g], axis=0)
+        return (gh, gw, g.sum(axis=0))
+
+    return Tensor(out, parents=(h, weight, bias), backward_fn=backward)
 
 
 # ----------------------------------------------------------------------
@@ -286,6 +368,7 @@ def sparse_mean_aggregate(agg_matrix, x: Tensor) -> Tensor:
     adjacency; only ``x`` receives gradients.
     """
     x = _wrap(x)
+    agg_matrix = typed_aggregation(agg_matrix, x.data.dtype)
     out = agg_matrix @ x.data
 
     def backward(g):
@@ -317,6 +400,12 @@ def ppo_objective(
     lp = log_probs.data
     rows = np.arange(lp.shape[0])
     actions = np.asarray(actions, dtype=np.int64)
+    # Constants follow the operand dtype (no-ops on float64): rollout
+    # buffers hand float64 advantage/return rows, and mixing them into
+    # float32 surrogate maths would promote every elementwise op below.
+    old_log_probs = np.asarray(old_log_probs, dtype=lp.dtype)
+    advantages = np.asarray(advantages, dtype=lp.dtype)
+    returns = np.asarray(returns, dtype=values.data.dtype)
 
     new_lp = lp[rows, actions]
     ratio = np.exp(new_lp - old_log_probs)
@@ -376,7 +465,7 @@ def clip(x: Tensor, low: float, high: float) -> Tensor:
 
 def minimum(a: Tensor, b: Tensor) -> Tensor:
     """Element-wise minimum; gradient flows to the smaller operand."""
-    a, b = _wrap(a), _wrap(b)
+    a, b = _wrap_pair(a, b)
     take_a = a.data <= b.data
     out = np.where(take_a, a.data, b.data)
     return Tensor(

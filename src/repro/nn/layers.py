@@ -79,7 +79,10 @@ class Module:
                 f"unexpected={sorted(unexpected)}"
             )
         for key, tensor in own.items():
-            arr = np.asarray(state[key], dtype=np.float64)
+            # Restore into the tensor's existing dtype (the active backend):
+            # loading a float64 checkpoint must not silently promote a
+            # float32 run back to float64, nor vice versa.
+            arr = np.asarray(state[key], dtype=tensor.data.dtype)
             if arr.shape != tensor.data.shape:
                 raise ValueError(
                     f"shape mismatch for {key}: {arr.shape} vs {tensor.data.shape}"
@@ -104,10 +107,14 @@ class Module:
 class Linear(Module):
     """Dense layer ``y = x @ W + b``."""
 
-    def __init__(self, in_features: int, out_features: int, rng=None):
+    def __init__(self, in_features: int, out_features: int, rng=None, dtype=None):
         rng = as_generator(rng)
-        self.weight = Tensor(glorot_uniform((in_features, out_features), rng), requires_grad=True)
-        self.bias = Tensor(zeros((out_features,)), requires_grad=True)
+        # Init draws stay float64 from the shared RNG stream and are cast
+        # afterwards, so every precision starts from the same weights.
+        self.weight = Tensor(
+            glorot_uniform((in_features, out_features), rng), requires_grad=True, dtype=dtype
+        )
+        self.bias = Tensor(zeros((out_features,)), requires_grad=True, dtype=dtype)
 
     def __call__(self, x: Tensor) -> Tensor:
         return F.linear(x, self.weight, self.bias)
@@ -140,11 +147,15 @@ class GraphSAGELayer(Module):
     matrix built once per graph by :func:`mean_aggregation_matrix`.
     """
 
-    def __init__(self, in_features: int, out_features: int, rng=None):
+    def __init__(self, in_features: int, out_features: int, rng=None, dtype=None):
         rng = as_generator(rng)
-        self.w_self = Tensor(glorot_uniform((in_features, out_features), rng), requires_grad=True)
-        self.w_neigh = Tensor(glorot_uniform((in_features, out_features), rng), requires_grad=True)
-        self.bias = Tensor(zeros((out_features,)), requires_grad=True)
+        self.w_self = Tensor(
+            glorot_uniform((in_features, out_features), rng), requires_grad=True, dtype=dtype
+        )
+        self.w_neigh = Tensor(
+            glorot_uniform((in_features, out_features), rng), requires_grad=True, dtype=dtype
+        )
+        self.bias = Tensor(zeros((out_features,)), requires_grad=True, dtype=dtype)
 
     def __call__(self, h: Tensor, agg_matrix) -> Tensor:
         return F.sage_mean_combine(h, agg_matrix, self.w_self, self.w_neigh, self.bias)

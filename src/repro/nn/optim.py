@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.backend import backend_of
 from repro.nn.tensor import Tensor
 
 
@@ -17,7 +18,14 @@ def clip_grad_norm(params: list[Tensor], max_norm: float) -> float:
     total = 0.0
     for p in params:
         if p.grad is not None:
-            total += float((p.grad**2).sum())
+            if p.grad.dtype == np.float32:
+                # BLAS dot, no squared temporary; float32 only — the dot's
+                # accumulation order differs from the reduction below, and
+                # the float64 path is frozen bit-for-bit.
+                flat = np.ascontiguousarray(p.grad).ravel()
+                total += float(np.dot(flat, flat))
+            else:
+                total += float((p.grad**2).sum())
     norm = float(np.sqrt(total))
     if norm > max_norm and norm > 0:
         scale = max_norm / norm
@@ -60,7 +68,20 @@ class SGD:
 
 
 class Adam:
-    """Adam optimiser (Kingma & Ba, 2015)."""
+    """Adam optimiser (Kingma & Ba, 2015).
+
+    Two update kernels share the same mathematics:
+
+    * **Serial per-parameter loop** (float64, and whenever any parameter is
+      missing a gradient): preallocated per-parameter scratch with ``out=``
+      expressions in the original operation order — bit-for-bit identical
+      to the allocating textbook form.
+    * **Fused flat step** (``fused_gemm`` backends, i.e. float32): moments
+      and scratch live in flat buffers with per-parameter views, so one
+      vectorised sweep updates every parameter instead of ~30 small-array
+      op dispatches per step.  Same element-wise maths; only the loop
+      structure changes, so float32 results match the serial loop exactly.
+    """
 
     def __init__(
         self,
@@ -78,13 +99,38 @@ class Adam:
         self.lr = lr
         self.beta1, self.beta2 = b1, b2
         self.eps = eps
-        self._m = [np.zeros_like(p.data) for p in self.params]
-        self._v = [np.zeros_like(p.data) for p in self.params]
-        # Preallocated per-parameter scratch: the update runs thousands of
-        # times per search on small tensors, where temporary allocation
-        # dominates the arithmetic.  Every ``out=`` expression below keeps
-        # the original operation order, so results are bit-for-bit
-        # identical to the allocating form.
+        dtypes = {p.data.dtype for p in self.params}
+        self._fused = len(dtypes) == 1 and backend_of(next(iter(dtypes))).fused_gemm
+        if self._fused:
+            dtype = next(iter(dtypes))
+            sizes = [p.data.size for p in self.params]
+            total = int(np.sum(sizes)) if sizes else 0
+            offsets = np.cumsum([0] + sizes)
+            self._slices = [
+                slice(int(offsets[i]), int(offsets[i + 1])) for i in range(len(sizes))
+            ]
+            self._flat_m = np.zeros(total, dtype=dtype)
+            self._flat_v = np.zeros(total, dtype=dtype)
+            self._flat_g = np.empty(total, dtype=dtype)
+            self._flat_s = np.empty(total, dtype=dtype)
+            # Per-parameter views into the flat moments: state_dict and the
+            # serial fallback loop see the same storage as the fused step.
+            self._m = [
+                self._flat_m[sl].reshape(p.data.shape)
+                for p, sl in zip(self.params, self._slices)
+            ]
+            self._v = [
+                self._flat_v[sl].reshape(p.data.shape)
+                for p, sl in zip(self.params, self._slices)
+            ]
+        else:
+            self._m = [np.zeros_like(p.data) for p in self.params]
+            self._v = [np.zeros_like(p.data) for p in self.params]
+        # Preallocated per-parameter scratch for the serial loop: the update
+        # runs thousands of times per search on small tensors, where
+        # temporary allocation dominates the arithmetic.  Every ``out=``
+        # expression below keeps the original operation order, so results
+        # are bit-for-bit identical to the allocating form.
         self._s1 = [np.empty_like(p.data) for p in self.params]
         self._s2 = [np.empty_like(p.data) for p in self.params]
         self._t = 0
@@ -94,6 +140,13 @@ class Adam:
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t
+        if self._fused and all(p.grad is not None for p in self.params):
+            # A missing gradient falls through to the serial loop, whose
+            # skip semantics (param, m, v all untouched) the flat sweep
+            # cannot express; the loop writes through the flat views, so
+            # the two kernels stay interchangeable step to step.
+            self._step_fused(bias1, bias2)
+            return
         for p, m, v, s1, s2 in zip(self.params, self._m, self._v, self._s1, self._s2):
             if p.grad is None:
                 continue
@@ -117,6 +170,31 @@ class Adam:
             p.data -= s2
             p.bump_version()
 
+    def _step_fused(self, bias1: float, bias2: float) -> None:
+        """One vectorised update over the flat moment/scratch buffers."""
+        g, m, v, s = self._flat_g, self._flat_m, self._flat_v, self._flat_s
+        for p, sl in zip(self.params, self._slices):
+            g[sl] = p.grad.reshape(-1)
+        # m = beta1 * m + (1 - beta1) * g
+        np.multiply(m, self.beta1, out=m)
+        np.multiply(g, 1.0 - self.beta1, out=s)
+        np.add(m, s, out=m)
+        # v = beta2 * v + (1 - beta2) * g**2
+        np.multiply(v, self.beta2, out=v)
+        np.multiply(g, g, out=s)
+        np.multiply(s, 1.0 - self.beta2, out=s)
+        np.add(v, s, out=v)
+        # update = lr * (m / bias1) / (sqrt(v / bias2) + eps); g is free now.
+        np.divide(v, bias2, out=s)
+        np.sqrt(s, out=s)
+        np.add(s, self.eps, out=s)
+        np.divide(m, bias1, out=g)
+        np.multiply(g, self.lr, out=g)
+        np.divide(g, s, out=g)
+        for p, sl in zip(self.params, self._slices):
+            p.data -= g[sl].reshape(p.data.shape)
+            p.bump_version()
+
     def zero_grad(self) -> None:
         """Clear gradients on all managed parameters."""
         for p in self.params:
@@ -131,9 +209,17 @@ class Adam:
         }
 
     def load_state_dict(self, state: dict) -> None:
-        """Restore optimiser state from :meth:`state_dict`."""
+        """Restore optimiser state from :meth:`state_dict`.
+
+        Moments restore into each parameter's existing dtype (the active
+        backend), not a hardcoded float64 — loading a checkpoint must not
+        silently promote a float32 run.  Writes go through the preallocated
+        buffers so the fused step's flat views stay valid.
+        """
         self._t = int(state["t"])
         if len(state["m"]) != len(self._m) or len(state["v"]) != len(self._v):
             raise ValueError("optimizer state does not match parameter count")
-        self._m = [np.asarray(m, dtype=np.float64).copy() for m in state["m"]]
-        self._v = [np.asarray(v, dtype=np.float64).copy() for v in state["v"]]
+        for dst, src in zip(self._m, state["m"]):
+            dst[...] = np.asarray(src, dtype=dst.dtype)
+        for dst, src in zip(self._v, state["v"]):
+            dst[...] = np.asarray(src, dtype=dst.dtype)

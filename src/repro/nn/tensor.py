@@ -9,9 +9,60 @@ each one is gradient-checked in the test suite against finite differences.
 
 from __future__ import annotations
 
+import os
+import zlib
 from typing import Callable, Iterable
 
 import numpy as np
+
+#: Dtypes a tensor payload may carry; anything else is promoted to float64
+#: at construction (ints, bools, python scalars), exactly as before the
+#: precision seam existed.
+_PAYLOAD_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
+
+
+def debug_checks_enabled() -> bool:
+    """Whether the opt-in debug invariant checks are on (``REPRO_NN_CHECKS=1``)."""
+    return os.environ.get("REPRO_NN_CHECKS", "") == "1"
+
+
+def payload_digest(arr: np.ndarray) -> int:
+    """A cheap checksum of an array's bytes (debug-mode mutation witness)."""
+    return zlib.crc32(np.ascontiguousarray(arr).tobytes())
+
+
+class MutationGuard:
+    """Debug-mode witness that cached values still match their inputs.
+
+    Records ``(version, checksum)`` for a set of tensors (plus raw arrays)
+    when a cache entry is stored; :meth:`verify` re-checksums on cache read
+    and raises if any payload changed bytes *without* bumping its version —
+    the exact footgun the caching invariants warn about (an in-place write
+    to ``tensor.data`` that skipped :meth:`Tensor.bump_version`).  A payload
+    whose version did change is ignored: the cache key already misses on it.
+    """
+
+    __slots__ = ("_tensors", "_arrays")
+
+    def __init__(self, tensors, arrays=()):
+        self._tensors = [(t, t.version, payload_digest(t.data)) for t in tensors]
+        self._arrays = [(a, payload_digest(a)) for a in arrays]
+
+    def verify(self, context: str) -> None:
+        """Raise ``RuntimeError`` on a mutated-without-bump payload."""
+        for tensor, version, digest in self._tensors:
+            if tensor.version == version and payload_digest(tensor.data) != digest:
+                raise RuntimeError(
+                    f"{context}: Tensor{tensor.data.shape} payload mutated in "
+                    "place without bump_version(); memoised values keyed on "
+                    "its version are now stale"
+                )
+        for arr, digest in self._arrays:
+            if payload_digest(arr) != digest:
+                raise RuntimeError(
+                    f"{context}: constant array {arr.shape} mutated in place; "
+                    "cached values derived from it are now stale"
+                )
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -34,7 +85,10 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload (stored as ``float64``).
+        Array-like payload.  Float32/float64 arrays are stored as-is (the
+        dtype selects the numeric backend — see :mod:`repro.nn.backend`);
+        everything else (python scalars, ints, bools) is promoted to
+        ``float64`` exactly as before the precision seam existed.
     requires_grad:
         Record operations so gradients flow back to this tensor.
     parents:
@@ -42,6 +96,10 @@ class Tensor:
     backward_fn:
         Function mapping the output gradient to per-parent gradients
         (internal).
+    dtype:
+        Explicit storage dtype for the payload (used when creating leaves
+        under a non-default backend, or wrapping scalars next to a float32
+        operand without promoting it).
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "_version")
@@ -52,8 +110,12 @@ class Tensor:
         requires_grad: bool = False,
         parents: "tuple | None" = None,
         backward_fn: "Callable | None" = None,
+        dtype=None,
     ):
-        self.data = np.asarray(data, dtype=np.float64)
+        arr = np.asarray(data, dtype=dtype)
+        if dtype is None and arr.dtype not in _PAYLOAD_DTYPES:
+            arr = arr.astype(np.float64)
+        self.data = arr
         self.requires_grad = bool(requires_grad) or bool(parents)
         self.grad: "np.ndarray | None" = None
         self._parents = parents or ()
@@ -117,7 +179,7 @@ class Tensor:
             if self.data.size != 1:
                 raise ValueError("backward() without grad requires a scalar tensor")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             raise ValueError(f"grad shape {grad.shape} != tensor shape {self.data.shape}")
 
@@ -152,7 +214,9 @@ class Tensor:
             for parent, pgrad in zip(node._parents, parent_grads):
                 if pgrad is None or not parent.requires_grad:
                     continue
-                pgrad = _unbroadcast(np.asarray(pgrad, dtype=np.float64), parent.data.shape)
+                pgrad = _unbroadcast(
+                    np.asarray(pgrad, dtype=parent.data.dtype), parent.data.shape
+                )
                 key = id(parent)
                 if parent._backward_fn is None:
                     parent.grad = pgrad if parent.grad is None else parent.grad + pgrad
@@ -164,51 +228,53 @@ class Tensor:
         self.grad = None
 
     # ------------------------------------------------------------------
-    # Operator sugar (delegates to repro.nn.functional)
+    # Operator sugar (delegates to repro.nn.functional, whose binary ops
+    # wrap non-tensor operands in the dtype of the tensor operand so float32
+    # computations are not silently promoted by float64 scalar constants)
     # ------------------------------------------------------------------
     def __add__(self, other):
         from repro.nn import functional as F
 
-        return F.add(self, _wrap(other))
+        return F.add(self, other)
 
     __radd__ = __add__
 
     def __sub__(self, other):
         from repro.nn import functional as F
 
-        return F.sub(self, _wrap(other))
+        return F.sub(self, other)
 
     def __rsub__(self, other):
         from repro.nn import functional as F
 
-        return F.sub(_wrap(other), self)
+        return F.sub(other, self)
 
     def __mul__(self, other):
         from repro.nn import functional as F
 
-        return F.mul(self, _wrap(other))
+        return F.mul(self, other)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other):
         from repro.nn import functional as F
 
-        return F.div(self, _wrap(other))
+        return F.div(self, other)
 
     def __rtruediv__(self, other):
         from repro.nn import functional as F
 
-        return F.div(_wrap(other), self)
+        return F.div(other, self)
 
     def __neg__(self):
         from repro.nn import functional as F
 
-        return F.mul(self, Tensor(-1.0))
+        return F.mul(self, Tensor(-1.0, dtype=self.data.dtype))
 
     def __matmul__(self, other):
         from repro.nn import functional as F
 
-        return F.matmul(self, _wrap(other))
+        return F.matmul(self, other)
 
     def sum(self, axis=None, keepdims: bool = False):
         from repro.nn import functional as F
@@ -226,9 +292,25 @@ class Tensor:
         return F.reshape(self, shape)
 
 
-def _wrap(value) -> Tensor:
-    """Coerce scalars/arrays to constant tensors."""
-    return value if isinstance(value, Tensor) else Tensor(value)
+def _wrap(value, dtype=None) -> Tensor:
+    """Coerce scalars/arrays to constant tensors.
+
+    ``dtype`` sets the payload dtype for non-tensor values; binary ops pass
+    their tensor operand's dtype so scalar constants follow the operand's
+    backend instead of promoting float32 maths to float64 (NEP 50 keeps
+    python scalars weak, but 0-d float64 *arrays* are strong).
+    """
+    return value if isinstance(value, Tensor) else Tensor(value, dtype=dtype)
+
+
+def _wrap_pair(a, b) -> "tuple[Tensor, Tensor]":
+    """Wrap a binary op's operands, casting scalar wraps to the tensor
+    operand's dtype (float64 when neither side is a tensor)."""
+    if isinstance(a, Tensor):
+        return a, (b if isinstance(b, Tensor) else Tensor(b, dtype=a.data.dtype))
+    if isinstance(b, Tensor):
+        return Tensor(a, dtype=b.data.dtype), b
+    return Tensor(a), Tensor(b)
 
 
 def parameters_vector(params: "Iterable[Tensor]") -> np.ndarray:

@@ -22,8 +22,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.nn import functional as F
+from repro.nn.backend import resolve_backend, typed_aggregation
 from repro.nn.layers import GraphSAGELayer, Linear, Module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import MutationGuard, Tensor, debug_checks_enabled
 from repro.rl.features import N_FEATURES, GraphFeatures
 from repro.utils.rng import as_generator
 
@@ -98,6 +99,11 @@ class PartitionPolicy(Module):
         Refinement rounds ``T`` in Equation 7.
     rng:
         Seed or generator for weight initialisation.
+    backend:
+        Numeric backend (name, dtype, or :class:`repro.nn.Backend`); None
+        selects the frozen float64 default.  All weight initialisation
+        draws come from the same RNG stream regardless of backend, so
+        float32 and float64 policies start from the same weights.
     """
 
     def __init__(
@@ -109,6 +115,7 @@ class PartitionPolicy(Module):
         n_policy_layers: int = 2,
         refine_iters: int = 2,
         rng=None,
+        backend=None,
     ):
         if n_chips < 1:
             raise ValueError("n_chips must be >= 1")
@@ -117,10 +124,12 @@ class PartitionPolicy(Module):
         if refine_iters < 1:
             raise ValueError("refine_iters must be >= 1")
         rng = as_generator(rng)
+        self.backend = resolve_backend(backend)
+        dtype = self.backend.dtype
         self.n_chips = n_chips
         self.refine_iters = refine_iters
         self.sage_layers = [
-            GraphSAGELayer(n_features if i == 0 else hidden, hidden, rng=rng)
+            GraphSAGELayer(n_features if i == 0 else hidden, hidden, rng=rng, dtype=dtype)
             for i in range(n_sage_layers)
         ]
         # Head input: node embedding | own previous assignment | mean of the
@@ -129,11 +138,11 @@ class PartitionPolicy(Module):
         # iterations (and gives Equation 6 its sequential conditioning).
         head_dims = [hidden + 2 * n_chips] + [hidden] * (n_policy_layers - 1) + [n_chips]
         self.policy_layers = [
-            Linear(head_dims[i], head_dims[i + 1], rng=rng)
+            Linear(head_dims[i], head_dims[i + 1], rng=rng, dtype=dtype)
             for i in range(len(head_dims) - 1)
         ]
-        self.value_hidden = Linear(hidden + n_chips, hidden, rng=rng)
-        self.value_out = Linear(hidden, 1, rng=rng)
+        self.value_hidden = Linear(hidden + n_chips, hidden, rng=rng, dtype=dtype)
+        self.value_out = Linear(hidden, 1, rng=rng, dtype=dtype)
         # (weights_version, features, embeddings) memo keyed by feature
         # object identity; the strong reference to ``features`` keeps the
         # id() stable while the entry lives.
@@ -164,17 +173,30 @@ class PartitionPolicy(Module):
         key = id(features)
         entry = self._encode_cache.get(key)
         if entry is not None and entry[0] == version and entry[1] is features:
+            if entry[3] is not None:
+                # Debug mode (REPRO_NN_CHECKS=1): a weight or feature array
+                # mutated in place without bump_version() would make this
+                # hit silently stale — fail loudly instead.
+                entry[3].verify("encoder memo hit")
             self._encode_cache.move_to_end(key)
             return entry[2]
         h = self._encode_impl(features)
-        self._encode_cache[key] = (version, features, h)
+        guard = (
+            MutationGuard(self._param_list, arrays=(features.node_features,))
+            if debug_checks_enabled()
+            else None
+        )
+        self._encode_cache[key] = (version, features, h, guard)
         self._encode_cache.move_to_end(key)
         while len(self._encode_cache) > _ENCODE_CACHE_SIZE:
             self._encode_cache.popitem(last=False)
         return h
 
     def _encode_impl(self, features: GraphFeatures) -> Tensor:
-        h = Tensor(features.node_features)
+        # Features are built float64 once per graph; cast (a no-op on the
+        # default backend) rather than rebuilding so every precision shares
+        # one featurize pass and one aggregation matrix.
+        h = Tensor(self.backend.cast(features.node_features))
         for layer in self.sage_layers:
             h = layer(h, features.agg_matrix)
         return h
@@ -212,7 +234,7 @@ class PartitionPolicy(Module):
         c = self.n_chips
 
         h = self.encode(features)  # (N, hidden)
-        agg = features.agg_matrix
+        agg = typed_aggregation(features.agg_matrix, self.backend.dtype)
         # All R neighbour aggregations in one sparse matmul: lay the states
         # out as an (N, R*C) column block so ``agg @ block`` computes every
         # ``agg @ states[k]`` with the same per-row accumulation order (the
@@ -221,18 +243,32 @@ class PartitionPolicy(Module):
         neigh = np.asarray(agg @ state_block)
         neigh_rows = neigh.reshape(n, r, c).transpose(1, 0, 2).reshape(r * n, c)
         state_rows = states.reshape(r * n, c)
-        h_rows = F.concat([h] * r, axis=0) if r > 1 else h
-        stacked = F.concat(
-            [h_rows, Tensor(state_rows), Tensor(neigh_rows)], axis=1
-        )  # (R*N, H+2C)
-        logits = self._policy_head(stacked)
-        log_probs = F.log_softmax(logits, axis=-1)
-
-        pooled = F.mean(h, axis=0, keepdims=True)  # (1, hidden)
         usage = states.mean(axis=1)  # (R, C)
-        pooled_rows = F.concat([pooled] * r, axis=0) if r > 1 else pooled
-        value_in = F.concat([pooled_rows, Tensor(usage)], axis=1)
-        values = self.value_out(F.relu(self.value_hidden(value_in)))
+        pooled = F.mean(h, axis=0, keepdims=True)  # (1, hidden)
+        if self.backend.fused_gemm:
+            # Fast path: the (N, H) encoder output is shared by all R
+            # conditioning rows, so the heads' first-layer GEMMs compute
+            # ``h @ W[:H]`` once and tile, instead of tiling ``h`` R times
+            # and multiplying R copies (see :func:`F.tiled_linear`).
+            extra = np.concatenate([state_rows, neigh_rows], axis=1)
+            head0 = self.policy_layers[0]
+            x = F.tiled_linear(h, extra, head0.weight, head0.bias, r)
+            for layer in self.policy_layers[1:]:
+                x = layer(F.relu(x))
+            logits = x
+            vh = self.value_hidden
+            value_pre = F.tiled_linear(pooled, usage, vh.weight, vh.bias, r)
+            values = self.value_out(F.relu(value_pre))
+        else:
+            h_rows = F.concat([h] * r, axis=0) if r > 1 else h
+            stacked = F.concat(
+                [h_rows, Tensor(state_rows), Tensor(neigh_rows)], axis=1
+            )  # (R*N, H+2C)
+            logits = self._policy_head(stacked)
+            pooled_rows = F.concat([pooled] * r, axis=0) if r > 1 else pooled
+            value_in = F.concat([pooled_rows, Tensor(usage)], axis=1)
+            values = self.value_out(F.relu(self.value_hidden(value_in)))
+        log_probs = F.log_softmax(logits, axis=-1)
         values = F.reshape(values, (r,))
 
         probs = (
@@ -245,12 +281,13 @@ class PartitionPolicy(Module):
     def _as_state(self, prev_placements: np.ndarray) -> np.ndarray:
         """Convert placements to ``(R, N, C)`` one-hot state embeddings."""
         arr = np.asarray(prev_placements)
+        dtype = self.backend.dtype
         if arr.ndim == 3:
-            return arr.astype(np.float64)
+            return arr.astype(dtype)
         if arr.ndim == 1:
             arr = arr[None, :]
         r, n = arr.shape
-        state = np.zeros((r, n, self.n_chips))
+        state = np.zeros((r, n, self.n_chips), dtype=dtype)
         state[np.arange(r)[:, None], np.arange(n)[None, :], arr.astype(np.int64)] = 1.0
         return state
 
@@ -296,10 +333,10 @@ class PartitionPolicy(Module):
         n = features.n_nodes
         r = n_candidates
         # Round 0 conditions on the uniform "no placement yet" state.
-        state = np.full((r, n, self.n_chips), 1.0 / self.n_chips)
+        state = np.full((r, n, self.n_chips), 1.0 / self.n_chips, dtype=self.backend.dtype)
         conditioning = np.zeros((r, n), dtype=np.int64)
         candidate = np.zeros((r, n), dtype=np.int64)
-        probs = np.full((r, n, self.n_chips), 1.0 / self.n_chips)
+        probs = np.full((r, n, self.n_chips), 1.0 / self.n_chips, dtype=self.backend.dtype)
         values = np.zeros(r)
         for t in range(iters):
             out = self.forward_batch(features, state)
@@ -346,7 +383,7 @@ class PartitionPolicy(Module):
             if sorted(order.tolist()) != list(range(n)):
                 raise ValueError("order must be a permutation of all node ids")
         # Unassigned nodes carry the uniform state; assigned ones one-hot.
-        state = np.full((1, n, self.n_chips), 1.0 / self.n_chips)
+        state = np.full((1, n, self.n_chips), 1.0 / self.n_chips, dtype=self.backend.dtype)
         assignment = np.zeros(n, dtype=np.int64)
         probs = np.full((n, self.n_chips), 1.0 / self.n_chips)
         for u in order:

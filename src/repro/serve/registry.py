@@ -269,16 +269,21 @@ class CheckpointRegistry:
         return state, meta
 
 
-def default_serving_config() -> RLPartitionerConfig:
+def default_serving_config(precision: str = "float64") -> RLPartitionerConfig:
     """Network/search configuration for untrained serving partitioners.
 
     Matches the CLI's interactive sizing (64x4: fast to build and evaluate)
     rather than the paper's full 128x8 training network; checkpointed
     policies carry their own architecture in registry metadata.
+    ``precision`` selects the policy's numeric backend — a per-deployment
+    invariant (like the service seed), deliberately *not* recorded in
+    checkpoint metadata: weights are precision-portable and restore into
+    whatever backend the serving partitioner runs.
     """
     return RLPartitionerConfig(
         hidden=64,
         n_sage_layers=4,
+        precision=precision,
         ppo=PPOConfig(n_rollouts=10, n_minibatches=2, n_epochs=4),
     )
 
@@ -377,6 +382,10 @@ class WarmPartitionerPool:
                     n_sage_layers=int(net["n_sage_layers"]),
                     n_policy_layers=int(net["n_policy_layers"]),
                     refine_iters=int(net["refine_iters"]),
+                    # Architecture comes from the checkpoint; the numeric
+                    # backend is the pool's deployment-wide setting (the
+                    # saved weights cast into it on load).
+                    precision=self.config.precision,
                     ppo=self.config.ppo,
                 )
                 if net

@@ -326,15 +326,17 @@ def spawn_shard(
     registry: "str | None" = None,
     cache_dir: "str | None" = None,
     max_in_flight: int = 0,
+    precision: str = "float64",
     extra_args: tuple = (),
     startup_timeout_s: float = 60.0,
 ) -> ShardEndpoint:
     """Spawn one ``repro serve`` process on an ephemeral port.
 
-    All shards of a deployment must share ``seed`` and ``samples``: the
-    replica-independence guarantee (any replica answers bit-identically)
-    holds because a miss is seeded purely from ``(service seed, request
-    fingerprint)`` — a seed mismatch between replicas would break it.
+    All shards of a deployment must share ``seed``, ``samples``, and
+    ``precision``: the replica-independence guarantee (any replica answers
+    bit-identically) holds because a miss is seeded purely from ``(service
+    seed, request fingerprint)`` and evaluated on one numeric backend — a
+    seed or precision mismatch between replicas would break it.
     """
     cmd = [
         sys.executable, "-m", "repro", "serve",
@@ -344,6 +346,8 @@ def spawn_shard(
         "--cache-capacity", str(int(cache_capacity)),
         "--shard-id", shard_id,
     ]
+    if precision != "float64":
+        cmd += ["--precision", precision]
     if registry is not None:
         cmd += ["--registry", str(registry)]
     if cache_dir is not None:
@@ -544,12 +548,13 @@ class ShardRouter:
         registry: "str | None" = None,
         cache_capacity: int = 256,
         max_in_flight: int = 0,
+        precision: str = "float64",
     ) -> "ShardRouter":
         """Spawn ``n_shards`` ``repro serve`` processes and route over them.
 
         The spawned processes are owned: :meth:`close` terminates them.
-        Every shard gets the same seed and sample budget (replica
-        interchangeability — see :func:`spawn_shard`).
+        Every shard gets the same seed, sample budget, and precision
+        (replica interchangeability — see :func:`spawn_shard`).
         """
         config = config or RouterConfig()
         shards: "list[ShardEndpoint]" = []
@@ -563,6 +568,7 @@ class ShardRouter:
                         cache_capacity=cache_capacity,
                         registry=registry,
                         max_in_flight=max_in_flight,
+                        precision=precision,
                     )
                 )
         except Exception:

@@ -78,6 +78,7 @@ from repro.serve.registry import (
     CheckpointRegistry,
     RegistryError,
     WarmPartitionerPool,
+    default_serving_config,
 )
 
 #: Seed-key tag namespacing serving replays (0/1 are the training pool's).
@@ -198,6 +199,15 @@ class ServiceConfig:
         Identity of this process in a replicated deployment (set by the
         router's shard spawner); echoed in ``/metrics`` and ``/healthz``
         so probes and dashboards can tell shards apart.
+    ``precision``
+        Numeric backend of the warm pool's policy networks (``"float64"``
+        / ``"float32"``, see :mod:`repro.nn.backend`).  Like ``seed`` this
+        is a per-deployment invariant, not part of the request
+        fingerprint: all replicas (and any persisted cache/journal) of
+        one deployment must agree on it, since the float32 fast path is
+        tolerance-equivalent, not bit-identical, to float64.  Ignored
+        when an explicit ``partitioner_config`` is passed (that config's
+        own ``precision`` wins).
     """
 
     cache_capacity: int = 256
@@ -215,8 +225,11 @@ class ServiceConfig:
     max_respawns: int = 3
     fault_plan: "object | None" = None
     shard_id: "str | None" = None
+    precision: str = "float64"
 
     def __post_init__(self):
+        if self.precision not in ("float64", "float32"):
+            raise ValueError("precision must be 'float64' or 'float32'")
         if self.default_samples < 1:
             raise ValueError("default_samples must be >= 1")
         if self.n_workers < 1:
@@ -369,6 +382,10 @@ class PartitionService:
             )
         else:
             self.cache = PartitionCache(self.config.cache_capacity)
+        if partitioner_config is None and self.config.precision != "float64":
+            partitioner_config = default_serving_config(
+                precision=self.config.precision
+            )
         self.pool = WarmPartitionerPool(
             registry=registry,
             capacity=self.config.pool_capacity,

@@ -1,0 +1,378 @@
+"""The numeric backend seam: resolution, dtype propagation, fused kernels.
+
+Contract under test (the PR's tentpole): the float64 backend is the frozen
+bit-for-bit default — fused kernels never engage on it — while the float32
+backend opts into summation-order-changing fusion (wide SAGE GEMM, tiled
+policy-head, flat Adam) pinned here by tolerance-bounded equivalence
+against the serial float64 reference.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs.zoo import build_mlp
+from repro.nn import functional as F
+from repro.nn.backend import (
+    FLOAT32,
+    FLOAT64,
+    PRECISIONS,
+    Backend,
+    backend_of,
+    resolve_backend,
+    typed_aggregation,
+)
+from repro.nn.layers import Linear
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, debug_checks_enabled
+from repro.rl.features import featurize
+from repro.rl.policy import PartitionPolicy
+
+
+class TestResolution:
+    def test_none_resolves_to_frozen_float64_default(self):
+        backend = resolve_backend(None)
+        assert backend is FLOAT64
+        assert backend.dtype == np.dtype(np.float64)
+        assert not backend.fused_gemm
+
+    def test_names_dtypes_and_backends_resolve(self):
+        assert resolve_backend("float32") is FLOAT32
+        assert resolve_backend("float64") is FLOAT64
+        assert resolve_backend(np.float32) is FLOAT32
+        assert resolve_backend(np.dtype(np.float64)) is FLOAT64
+        assert resolve_backend(FLOAT32) is FLOAT32
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("bfloat16")
+
+    def test_backend_of_maps_payload_dtypes(self):
+        assert backend_of(np.dtype(np.float64)) is FLOAT64
+        assert backend_of(np.dtype(np.float32)) is FLOAT32
+
+    def test_precisions_tuple_matches_backends(self):
+        assert PRECISIONS == ("float64", "float32")
+        for name in PRECISIONS:
+            assert resolve_backend(name).name == name
+
+    def test_float32_carries_tolerances_float64_is_exact(self):
+        assert FLOAT64.rtol == 0.0 and FLOAT64.atol == 0.0
+        assert FLOAT32.rtol > 0.0 and FLOAT32.atol > 0.0
+        assert FLOAT32.fused_gemm and not FLOAT64.fused_gemm
+
+    def test_backend_is_immutable(self):
+        with pytest.raises(Exception):
+            FLOAT32.fused_gemm = False
+
+
+class TestDtypePropagation:
+    """float32 tensors stay float32 through every op and scalar mix."""
+
+    def test_default_tensor_is_float64(self):
+        assert Tensor([1.0, 2.0]).data.dtype == np.dtype(np.float64)
+
+    def test_dtype_kwarg_creates_float32_leaf(self):
+        t = Tensor([1.0, 2.0], dtype=np.float32)
+        assert t.data.dtype == np.dtype(np.float32)
+
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            lambda t: t + 1.0,
+            lambda t: 1.0 - t,
+            lambda t: t * 2.0,
+            lambda t: t / 2.0,
+            lambda t: 2.0 / t,
+            lambda t: -t,
+        ],
+        ids=["add", "rsub", "mul", "div", "rdiv", "neg"],
+    )
+    def test_python_scalars_do_not_promote_float32(self, expr):
+        t = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        out = expr(t)
+        assert out.data.dtype == np.dtype(np.float32)
+        F.sum(out).backward()
+        assert t.grad.dtype == np.dtype(np.float32)
+
+    def test_float64_scalar_mix_still_float64(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        assert (t * 0.5 + 1.0).data.dtype == np.dtype(np.float64)
+
+    def test_backward_grads_match_param_dtype(self):
+        for dtype in (np.float64, np.float32):
+            w = Tensor(np.ones((3, 2), dtype=dtype), requires_grad=True)
+            x = Tensor(np.ones((4, 3), dtype=dtype))
+            F.sum(F.relu(x @ w)).backward()
+            assert w.grad.dtype == np.dtype(dtype)
+
+
+class TestTypedAggregation:
+    def _agg(self):
+        rows = np.array([[0.0, 0.5, 0.5], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        return sp.csr_matrix(rows)
+
+    def test_matching_dtype_returns_identical_object(self):
+        agg = self._agg()
+        assert typed_aggregation(agg, np.dtype(np.float64)) is agg
+
+    def test_float32_variant_is_cached(self):
+        agg = self._agg()
+        v1 = typed_aggregation(agg, np.dtype(np.float32))
+        v2 = typed_aggregation(agg, np.dtype(np.float32))
+        assert v1 is v2
+        assert v1.dtype == np.dtype(np.float32)
+        np.testing.assert_allclose(v1.toarray(), agg.toarray(), rtol=1e-6)
+
+    def test_float32_product_stays_float32(self):
+        agg = typed_aggregation(self._agg(), np.dtype(np.float32))
+        h = np.ones((3, 4), dtype=np.float32)
+        assert (agg @ h).dtype == np.dtype(np.float32)
+
+    def test_dense_aggregation_matrix_supported(self):
+        dense = np.eye(3)
+        out = typed_aggregation(dense, np.dtype(np.float32))
+        assert out.dtype == np.dtype(np.float32)
+
+
+def _sage_inputs(rng, dtype):
+    n, in_f, out_f = 7, 5, 6
+    h = Tensor(rng.standard_normal((n, in_f)).astype(dtype), requires_grad=True)
+    w_self = Tensor(rng.standard_normal((in_f, out_f)).astype(dtype), requires_grad=True)
+    w_neigh = Tensor(rng.standard_normal((in_f, out_f)).astype(dtype), requires_grad=True)
+    bias = Tensor(rng.standard_normal(out_f).astype(dtype), requires_grad=True)
+    agg = sp.csr_matrix(
+        np.abs(rng.standard_normal((n, n))) * (rng.random((n, n)) < 0.4)
+    )
+    return h, w_self, w_neigh, bias, agg
+
+
+class TestFusedSage:
+    """The wide-GEMM SAGE hop matches the serial float64 composition."""
+
+    def test_float32_forward_and_grads_match_float64_reference(self):
+        rng = np.random.default_rng(0)
+        h64, ws64, wn64, b64, agg = _sage_inputs(rng, np.float64)
+        ref = F.sage_mean_combine(h64, agg, ws64, wn64, b64)
+        seed = F.sum(ref * ref)
+        seed.backward()
+
+        h32 = Tensor(h64.data.astype(np.float32), requires_grad=True)
+        ws32 = Tensor(ws64.data.astype(np.float32), requires_grad=True)
+        wn32 = Tensor(wn64.data.astype(np.float32), requires_grad=True)
+        b32 = Tensor(b64.data.astype(np.float32), requires_grad=True)
+        out = F.sage_mean_combine(h32, agg, ws32, wn32, b32)
+        assert out.data.dtype == np.dtype(np.float32)
+        F.sum(out * out).backward()
+
+        np.testing.assert_allclose(out.data, ref.data, rtol=1e-4, atol=1e-5)
+        for fused, serial in [(h32, h64), (ws32, ws64), (wn32, wn64), (b32, b64)]:
+            np.testing.assert_allclose(fused.grad, serial.grad, rtol=1e-3, atol=1e-4)
+
+    def test_float64_path_is_bitwise_unfused_composition(self):
+        rng = np.random.default_rng(1)
+        h, w_self, w_neigh, bias, agg = _sage_inputs(rng, np.float64)
+        fused = F.sage_mean_combine(h, agg, w_self, w_neigh, bias)
+        neigh = agg @ h.data
+        manual = np.maximum(
+            h.data @ w_self.data + neigh @ w_neigh.data + bias.data, 0.0
+        )
+        np.testing.assert_array_equal(fused.data, manual)
+
+
+class TestTiledLinear:
+    """tiled_linear == linear over the tiled concat, within f32 tolerance."""
+
+    def _case(self, rng):
+        n, in_h, in_e, out, r = 5, 4, 3, 6, 3
+        h = rng.standard_normal((n, in_h))
+        extra = rng.standard_normal((r * n, in_e))
+        w = rng.standard_normal((in_h + in_e, out))
+        b = rng.standard_normal(out)
+        return h, extra, w, b, r
+
+    def test_matches_serial_reference_forward_and_backward(self):
+        rng = np.random.default_rng(2)
+        h, extra, w, b, r = self._case(rng)
+        n = h.shape[0]
+
+        # Serial float64 reference through the unfused tape.
+        h64 = Tensor(h, requires_grad=True)
+        w64 = Tensor(w, requires_grad=True)
+        b64 = Tensor(b, requires_grad=True)
+        stacked = F.concat([h64] * r, axis=0)
+        full = F.concat([stacked, Tensor(extra)], axis=1)
+        ref = F.linear(full, w64, b64)
+        F.sum(ref * ref).backward()
+
+        h32 = Tensor(h.astype(np.float32), requires_grad=True)
+        w32 = Tensor(w.astype(np.float32), requires_grad=True)
+        b32 = Tensor(b.astype(np.float32), requires_grad=True)
+        out = F.tiled_linear(h32, extra, w32, b32, r)
+        assert out.data.dtype == np.dtype(np.float32)
+        assert out.data.shape == (r * n, w.shape[1])
+        F.sum(out * out).backward()
+
+        np.testing.assert_allclose(out.data, ref.data, rtol=1e-4, atol=1e-5)
+        for fused, serial in [(h32, h64), (w32, w64), (b32, b64)]:
+            np.testing.assert_allclose(fused.grad, serial.grad, rtol=1e-3, atol=1e-4)
+
+    def test_row_count_mismatch_rejected(self):
+        rng = np.random.default_rng(3)
+        h, extra, w, b, r = self._case(rng)
+        with pytest.raises(ValueError, match="n_tile"):
+            F.tiled_linear(
+                Tensor(h.astype(np.float32)),
+                extra[:-1],
+                Tensor(w.astype(np.float32)),
+                Tensor(b.astype(np.float32)),
+                r,
+            )
+
+
+def _adam_params(rng, dtype, shapes=((3, 4), (4,), (2, 3))):
+    return [
+        Tensor(rng.standard_normal(s).astype(dtype), requires_grad=True)
+        for s in shapes
+    ]
+
+
+class TestFusedAdam:
+    def test_fusion_engages_only_on_float32(self):
+        rng = np.random.default_rng(4)
+        assert Adam(_adam_params(rng, np.float32))._fused
+        assert not Adam(_adam_params(rng, np.float64))._fused
+        mixed = _adam_params(rng, np.float32) + _adam_params(rng, np.float64)
+        assert not Adam(mixed)._fused
+
+    def test_flat_step_matches_textbook_float32_loop_bitwise(self):
+        """Same element-wise maths, different loop structure: the fused
+        sweep must agree with the per-parameter float32 reference exactly."""
+        rng = np.random.default_rng(5)
+        params = _adam_params(rng, np.float32)
+        opt = Adam(params, lr=1e-2)
+        ref = [p.data.copy() for p in params]
+        m = [np.zeros_like(r) for r in ref]
+        v = [np.zeros_like(r) for r in ref]
+        for t in range(1, 6):
+            grads = [rng.standard_normal(p.data.shape).astype(np.float32) for p in params]
+            for p, g in zip(params, grads):
+                p.grad = g.copy()
+            opt.step()
+            bias1 = 1.0 - opt.beta1**t
+            bias2 = 1.0 - opt.beta2**t
+            for i, g in enumerate(grads):
+                m[i] = m[i] * opt.beta1 + g * (1.0 - opt.beta1)
+                v[i] = v[i] * opt.beta2 + (g * g) * (1.0 - opt.beta2)
+                ref[i] -= (m[i] / bias1) * opt.lr / (np.sqrt(v[i] / bias2) + opt.eps)
+            for p, r in zip(params, ref):
+                np.testing.assert_array_equal(p.data, r)
+        for got, want in zip(opt._m, m):
+            np.testing.assert_array_equal(got, want)
+
+    def test_missing_grad_falls_back_to_skip_semantics(self):
+        """None grads route through the serial loop: the gradless param and
+        its moments stay untouched, the others still update through the
+        flat views so the next fused step sees consistent state."""
+        rng = np.random.default_rng(6)
+        params = _adam_params(rng, np.float32)
+        opt = Adam(params, lr=1e-2)
+        assert opt._fused
+        frozen = params[1].data.copy()
+        params[0].grad = np.ones_like(params[0].data)
+        params[1].grad = None
+        params[2].grad = np.ones_like(params[2].data)
+        opt.step()
+        np.testing.assert_array_equal(params[1].data, frozen)
+        assert not np.any(opt._m[1])
+        assert np.any(opt._m[0]) and np.any(opt._m[2])
+        assert not np.array_equal(params[0].data, _adam_params(
+            np.random.default_rng(6), np.float32)[0].data)
+        # Views still alias the flat buffers after the serial fallback.
+        assert opt._m[0].base is opt._flat_m
+
+    def test_load_state_dict_restores_into_active_dtype(self):
+        rng = np.random.default_rng(7)
+        params = _adam_params(rng, np.float32)
+        opt = Adam(params)
+        state = {
+            "t": 3,
+            "m": [np.full(p.data.shape, 0.25, dtype=np.float64) for p in params],
+            "v": [np.full(p.data.shape, 0.5, dtype=np.float64) for p in params],
+        }
+        opt.load_state_dict(state)
+        for m, v in zip(opt._m, opt._v):
+            assert m.dtype == np.dtype(np.float32)
+            assert v.dtype == np.dtype(np.float32)
+            assert m.base is opt._flat_m and v.base is opt._flat_v
+        # And the reverse direction: float64 optimiser, float32 checkpoint.
+        params64 = _adam_params(np.random.default_rng(7), np.float64)
+        opt64 = Adam(params64)
+        opt64.load_state_dict(
+            {
+                "t": 1,
+                "m": [np.zeros(p.data.shape, dtype=np.float32) for p in params64],
+                "v": [np.zeros(p.data.shape, dtype=np.float32) for p in params64],
+            }
+        )
+        assert all(m.dtype == np.dtype(np.float64) for m in opt64._m)
+
+
+class TestModuleStateLoadDtype:
+    def test_cross_precision_load_keeps_active_backend(self):
+        for active, stored in [(np.float32, np.float64), (np.float64, np.float32)]:
+            layer = Linear(4, 3, rng=0, dtype=active)
+            donor = Linear(4, 3, rng=1, dtype=stored)
+            before = layer.weights_version()
+            layer.load_state_dict(donor.state_dict())
+            assert layer.weight.data.dtype == np.dtype(active)
+            assert layer.bias.data.dtype == np.dtype(active)
+            assert layer.weights_version() != before
+            np.testing.assert_allclose(
+                layer.weight.data,
+                donor.weight.data.astype(active),
+                rtol=1e-6,
+                atol=1e-7,
+            )
+
+
+class TestMutationGuard:
+    """REPRO_NN_CHECKS=1 catches in-place writes that skipped bump_version."""
+
+    def _policy_and_features(self):
+        policy = PartitionPolicy(4, hidden=16, n_sage_layers=1, rng=0)
+        return policy, featurize(build_mlp())
+
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NN_CHECKS", raising=False)
+        assert not debug_checks_enabled()
+        policy, feats = self._policy_and_features()
+        policy.encode(feats)
+        policy.sage_layers[0].w_self.data[0, 0] += 1.0  # silent staleness
+        policy.encode(feats)  # no guard, no error
+
+    def test_stealth_weight_mutation_raises_on_memo_hit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NN_CHECKS", "1")
+        policy, feats = self._policy_and_features()
+        policy.encode(feats)
+        policy.sage_layers[0].w_self.data[0, 0] += 1.0  # no bump_version()
+        with pytest.raises(RuntimeError, match="bump_version"):
+            policy.encode(feats)
+
+    def test_stealth_feature_mutation_raises_on_memo_hit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NN_CHECKS", "1")
+        policy, feats = self._policy_and_features()
+        policy.encode(feats)
+        feats.node_features[0, 0] += 1.0
+        with pytest.raises(RuntimeError, match="mutated in place"):
+            policy.encode(feats)
+
+    def test_announced_mutation_is_a_clean_miss(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NN_CHECKS", "1")
+        policy, feats = self._policy_and_features()
+        h1 = policy.encode(feats)
+        layer = policy.sage_layers[0]
+        layer.w_self.data[0, 0] += 1.0
+        layer.w_self.bump_version()  # the contract: announce the write
+        h2 = policy.encode(feats)
+        assert h2 is not h1  # version changed -> recomputed, not stale

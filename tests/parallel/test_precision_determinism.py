@@ -1,0 +1,85 @@
+"""Worker-count invariance holds on the float32 backend too.
+
+The fused float32 kernels change summation order versus float64, but they
+are still deterministic functions of their inputs — so the parallel
+subsystem's contract (``--workers 2`` reproduces the in-process serial
+fallback bit for bit) must survive a precision flip unchanged.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.environment import PartitionEnvironment
+from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
+from repro.graphs.zoo import build_dataset
+from repro.hardware.analytical import AnalyticalCostModel
+from repro.hardware.package import MCMPackage
+from repro.parallel import ParallelConfig, fork_available, parallel_search
+from repro.rl.ppo import PPOConfig
+
+N_CHIPS = 4
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="fork start method required"
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_dataset(seed=0).train[0]
+
+
+def _env(graph):
+    package = MCMPackage(n_chips=N_CHIPS)
+    return PartitionEnvironment(graph, AnalyticalCostModel(package), N_CHIPS)
+
+
+def _partitioner(rng=5):
+    cfg = RLPartitionerConfig(
+        hidden=32,
+        n_sage_layers=2,
+        ppo=PPOConfig(n_rollouts=10, n_minibatches=2, n_epochs=3),
+        precision="float32",
+    )
+    return RLPartitioner(N_CHIPS, config=cfg, rng=rng)
+
+
+def _weights_equal(a: RLPartitioner, b: RLPartitioner) -> bool:
+    sa, sb = a.state_dict(), b.state_dict()
+    return all(np.array_equal(sa[k], sb[k]) for k in sa)
+
+
+class TestFloat32SearchDeterminism:
+    @pytest.mark.parametrize("pipeline", [True, False], ids=["pipelined", "sync"])
+    def test_two_workers_reproduce_serial_fallback(self, graph, pipeline):
+        serial_p, pooled_p = _partitioner(), _partitioner()
+        serial = parallel_search(
+            serial_p,
+            _env(graph),
+            25,
+            config=ParallelConfig(n_workers=1, seed=99, pipeline=pipeline),
+        )
+        pooled = parallel_search(
+            pooled_p,
+            _env(graph),
+            25,
+            config=ParallelConfig(n_workers=2, seed=99, pipeline=pipeline),
+        )
+        np.testing.assert_array_equal(serial.improvements, pooled.improvements)
+        assert serial.best_improvement == pooled.best_improvement
+        np.testing.assert_array_equal(serial.best_assignment, pooled.best_assignment)
+        assert _weights_equal(serial_p, pooled_p)
+
+    def test_weights_stay_float32_through_the_pool(self, graph):
+        """Shards serialise and merge state across process boundaries; the
+        merged weights must come back in the run's precision, not promoted
+        to float64 by the transport."""
+        partitioner = _partitioner()
+        parallel_search(
+            partitioner,
+            _env(graph),
+            25,
+            config=ParallelConfig(n_workers=2, seed=99),
+        )
+        for value in partitioner.state_dict().values():
+            assert value.dtype == np.dtype(np.float32)

@@ -1,0 +1,124 @@
+"""Precision as a deployment invariant: checkpoints and fingerprints.
+
+Two serving-side contracts for the backend seam:
+
+* **Checkpoints are precision-portable.** Weights carry no precision tag;
+  loading restores into the *active* backend's dtype, bumps versions, and
+  invalidates the encoder memo — a float32 deployment can serve float64
+  training checkpoints and vice versa.
+* **Precision is not identity.** Like the service seed, precision is a
+  per-deployment invariant (every replica must agree), so it is deliberately
+  absent from request/graph fingerprints: flipping precision must not fork
+  the result cache or the registry namespace.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.zoo import build_mlp
+from repro.nn.serialization import load_state, save_state
+from repro.rl.features import featurize
+from repro.rl.policy import PartitionPolicy
+from repro.serve import PartitionRequest, PartitionService, ServiceConfig
+from tests.serve.conftest import tiny_rl_config, tiny_service
+
+
+def _policy(precision, rng=0):
+    return PartitionPolicy(
+        4, hidden=16, n_sage_layers=1, rng=rng, backend=precision
+    )
+
+
+class TestCheckpointRoundTrip:
+    @pytest.mark.parametrize(
+        "saved,active,dtype",
+        [
+            ("float32", "float64", np.float64),
+            ("float64", "float32", np.float32),
+        ],
+        ids=["f32-into-f64", "f64-into-f32"],
+    )
+    def test_cross_precision_load_restores_active_dtype(
+        self, saved, active, dtype, tmp_path
+    ):
+        donor = _policy(saved, rng=1)
+        path = str(tmp_path / "policy.npz")
+        save_state(donor, path)
+
+        target = _policy(active, rng=2)
+        feats = featurize(build_mlp())
+        h_before = target.encode(feats)
+        version_before = target.weights_version()
+
+        load_state(target, path)
+
+        state = target.state_dict()
+        donor_state = donor.state_dict()
+        for key, value in state.items():
+            assert value.dtype == np.dtype(dtype)
+            np.testing.assert_allclose(
+                value.astype(np.float64),
+                donor_state[key].astype(np.float64),
+                rtol=1e-6,
+                atol=1e-7,
+            )
+        # Loading announces the weight change: versions bump, so the
+        # encoder memo keyed on weights_version is invalidated.
+        assert target.weights_version() != version_before
+        h_after = target.encode(feats)
+        assert h_after is not h_before
+        assert h_after.data.dtype == np.dtype(dtype)
+
+    def test_round_trip_through_float32_is_lossless_for_float32(self, tmp_path):
+        """f32 -> disk -> f32 is exact; the payload is stored as written."""
+        donor = _policy("float32", rng=3)
+        path = str(tmp_path / "p.npz")
+        save_state(donor, path)
+        target = _policy("float32", rng=4)
+        load_state(target, path)
+        for key, value in target.state_dict().items():
+            np.testing.assert_array_equal(value, donor.state_dict()[key])
+
+
+class TestServingInvariants:
+    def test_service_config_rejects_unknown_precision(self):
+        with pytest.raises(ValueError, match="precision"):
+            ServiceConfig(precision="float16")
+
+    def test_precision_threads_to_the_warm_pool(self):
+        service = PartitionService(
+            ServiceConfig(default_samples=6, cache_capacity=8, seed=0,
+                          precision="float32")
+        )
+        assert service.pool.config.precision == "float32"
+
+    def test_fingerprints_identical_across_precisions(self):
+        """Same request, two deployments at different precisions: identical
+        fingerprint — precision is not part of request identity."""
+        s64 = tiny_service()
+        s32 = PartitionService(
+            ServiceConfig(default_samples=6, cache_capacity=32, seed=0,
+                          precision="float32"),
+            partitioner_config=tiny_rl_config(precision="float32"),
+        )
+        graph = build_mlp()
+        request = PartitionRequest(graph=graph, n_chips=4)
+        r64 = s64.submit(request)
+        r32 = s32.submit(PartitionRequest(graph=graph, n_chips=4))
+        assert r64.fingerprint == r32.fingerprint
+        assert not r32.cached and r32.source == "cold"
+        assert r32.assignment is not None
+        assert r32.assignment.min() >= 0 and r32.assignment.max() < 4
+
+    def test_float32_service_serves_from_cache_bit_identical(self):
+        service = PartitionService(
+            ServiceConfig(default_samples=6, cache_capacity=32, seed=0,
+                          precision="float32"),
+            partitioner_config=tiny_rl_config(precision="float32"),
+        )
+        graph = build_mlp()
+        first = service.submit(PartitionRequest(graph=graph, n_chips=4))
+        second = service.submit(PartitionRequest(graph=graph, n_chips=4))
+        assert second.cached
+        np.testing.assert_array_equal(second.assignment, first.assignment)
+        assert second.improvement == first.improvement
