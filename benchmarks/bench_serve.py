@@ -19,6 +19,14 @@ JSON: the cached reply is bit-identical to the cold one and >= 10x faster
 (the tier-1 suite pins the same bound in
 ``tests/serve/test_service.py::test_cached_request_is_10x_faster_and_identical``).
 
+A **coalescing** sweep measures the admission-batching hot path: all-miss
+sustained req/s at 1/4/8 concurrent clients with cross-connection
+coalescing off vs on (``batch_window_ms``), on a 2-worker service — the
+win is the replay pool's fork/broadcast/teardown amortized across batch
+members.  A **precision** section compares the int8 inference-only
+deployment's cold p50 (checkpoint install + weight quantization) against
+float32, with the installed weights' worst-case dequantization error.
+
 Two reliability rows ride along:
 
 * **degraded** — every checkpoint load fails (injected registry fault):
@@ -217,6 +225,138 @@ def bench_sustained(graphs, n_requests: int) -> dict:
     }
 
 
+def bench_coalescing(graphs, per_client: int) -> dict:
+    """All-miss sustained req/s under concurrent clients, coalescing on/off.
+
+    Each client thread drives its own stream of content-distinct graph
+    variants (every request a zero-shot search), released together by a
+    barrier.  The coalescing deployment sets ``batch_max_size`` to the
+    client count so a synchronized round flushes immediately; the window
+    only bounds straggler waiting.  Services run ``n_workers=2``: the win
+    comes from amortizing the replay pool's fork/broadcast/teardown over
+    batch members, so it needs a forked pool to exist at all.
+    """
+    import threading
+
+    def run_cell(concurrency: int, coalesce: bool) -> dict:
+        service = PartitionService(
+            ServiceConfig(
+                default_samples=SAMPLES,
+                cache_capacity=512,
+                seed=0,
+                n_workers=2,
+                batch_window_ms=20.0 if coalesce else 0.0,
+                batch_max_size=max(concurrency, 2),
+            ),
+            registry=_registry(),
+            partitioner_config=_rl_config(),
+        )
+        # One throwaway cold request warms the pool (partitioner build +
+        # checkpoint load), so the timed region measures steady all-miss
+        # throughput, not one-time setup.
+        service.submit(_request(_perturbed(graphs[0], 10_000)))
+        barrier = threading.Barrier(concurrency)
+        errors = []
+
+        def client(cid: int):
+            barrier.wait()
+            for j in range(per_client):
+                k = cid * per_client + j + 1
+                response = service.submit(_request(_perturbed(graphs[0], k)))
+                if response.cached:  # all-miss by construction
+                    errors.append(f"unexpected hit for variant {k}")
+
+        threads = [
+            threading.Thread(target=client, args=(cid,))
+            for cid in range(concurrency)
+        ]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+        assert not errors, errors
+        batching = service.metrics()["batching"]
+        n = concurrency * per_client
+        return {
+            "n_requests": n,
+            "requests_per_sec": n / max(elapsed, 1e-9),
+            "coalesced_requests": batching["coalesced_requests"],
+            "batches_flushed": batching["batches_flushed"],
+        }
+
+    rows = []
+    for concurrency in (1, 4, 8):
+        off = run_cell(concurrency, coalesce=False)
+        on = run_cell(concurrency, coalesce=True)
+        rows.append(
+            {
+                "concurrency": concurrency,
+                "coalescing_off": off,
+                "coalescing_on": on,
+                "speedup": round(
+                    on["requests_per_sec"] / max(off["requests_per_sec"], 1e-9),
+                    3,
+                ),
+            }
+        )
+    return {
+        "n_workers": 2,
+        "batch_window_ms": 20.0,
+        "per_client_requests": per_client,
+        "sweep": rows,
+    }
+
+
+def bench_precision_cold(graphs, n_repeats: int) -> dict:
+    """Cold/miss latency of the int8 inference deployment vs float32.
+
+    One fresh service per repeat and precision; the first request is the
+    cold row (build + checkpoint install — for int8 that includes weight
+    quantization), the rest are warm misses.  The int8 row also reports
+    the worst-case dequantization error of the installed weights, the
+    number /metrics exports as ``int8_quantization``.
+    """
+    rows = {}
+    for precision in ("float32", "int8"):
+        cold_ms, miss_ms = [], []
+        quant_err = None
+        for repeat in range(n_repeats):
+            service = PartitionService(
+                ServiceConfig(
+                    default_samples=SAMPLES,
+                    cache_capacity=512,
+                    seed=0,
+                    precision=precision,
+                ),
+                registry=_registry(),
+                # An explicit partitioner_config's own precision wins, so
+                # build it at the deployment's precision.
+                partitioner_config=default_serving_config(precision=precision),
+            )
+            rotated = (
+                graphs[repeat % len(graphs):] + graphs[: repeat % len(graphs)]
+            )
+            for i, graph in enumerate(rotated):
+                response = service.submit(_request(graph))
+                assert not response.cached
+                (cold_ms if i == 0 else miss_ms).append(response.latency_ms)
+            if precision == "int8":
+                quant = service.metrics()["int8_quantization"]
+                quant_err = max(s["max_abs_err"] for s in quant.values())
+        rows[precision] = {
+            "cold": _percentiles(cold_ms),
+            "miss": _percentiles(miss_ms),
+        }
+        if quant_err is not None:
+            rows[precision]["max_abs_quantization_error"] = quant_err
+    rows["int8_vs_float32_cold_p50"] = round(
+        rows["int8"]["cold"]["p50_ms"] / rows["float32"]["cold"]["p50_ms"], 3
+    )
+    return rows
+
+
 def bench_degraded(graphs, n_repeats: int) -> dict:
     """Latency of the graceful-degradation path under total checkpoint loss.
 
@@ -394,6 +534,8 @@ def main(argv=None) -> dict:
         "n_repeats": n_repeats,
         "latency": bench_request_classes(graphs, n_repeats),
         "sustained": bench_sustained(graphs, n_requests),
+        "coalescing": bench_coalescing(graphs, 2 if tiny else 4),
+        "precision": bench_precision_cold(graphs, n_repeats),
         "reliability": {
             **bench_degraded(graphs, n_repeats),
             "restart": bench_restart_recovery(graphs),
@@ -425,6 +567,21 @@ def main(argv=None) -> dict:
         f"sustained: {sustained['hit_stream']['requests_per_sec']:9.1f} req/s"
         f" all-hit | {sustained['miss_stream']['requests_per_sec']:6.2f} req/s"
         f" all-miss"
+    )
+    for row in results["coalescing"]["sweep"]:
+        on, off = row["coalescing_on"], row["coalescing_off"]
+        print(
+            f"coalescing @ {row['concurrency']} clients: "
+            f"{off['requests_per_sec']:6.2f} req/s off | "
+            f"{on['requests_per_sec']:6.2f} req/s on "
+            f"({row['speedup']}x, {on['coalesced_requests']} coalesced)"
+        )
+    precision = results["precision"]
+    print(
+        f"precision: cold p50 float32 "
+        f"{precision['float32']['cold']['p50_ms']:.1f} ms | int8 "
+        f"{precision['int8']['cold']['p50_ms']:.1f} ms "
+        f"(quant err {precision['int8']['max_abs_quantization_error']:.4f})"
     )
     reliability = results["reliability"]
     row = reliability["degraded"]

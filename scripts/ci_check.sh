@@ -100,6 +100,67 @@ with PartitionServer(service, port=0, graph_resolver=_resolve_zoo_graph).start()
 print("serve smoke OK: cold -> cache hit, metrics consistent, clean shutdown")
 PY
 
+echo "== coalescing smoke (concurrent cold misses over HTTP) =="
+# Four concurrent clients send distinct cold requests inside one admission
+# window: they must coalesce into a shared replay flush (coalesced_requests
+# >= 1 in /metrics) and each still get a valid partition.  Exercises the
+# cross-connection batching path end-to-end: threaded HTTP handlers ->
+# leader/follower admission -> one replay_batch fan-out.  Hard timeout: a
+# batch whose leader never flushes (or whose followers never wake) must
+# fail the gate fast, not hang it.
+timeout --kill-after=15 120 env PYTHONPATH=src python - <<'PY'
+import threading
+from repro.cli import _resolve_zoo_graph
+from repro.serve import (
+    PartitionServer, PartitionService, ServiceConfig,
+    fetch_metrics, request_partition,
+)
+
+service = PartitionService(
+    ServiceConfig(default_samples=6, batch_window_ms=200.0, batch_max_size=4)
+)
+names = ["mlp", "cnn", "gru", "bert"]
+replies, barrier = [None] * 4, threading.Barrier(4)
+with PartitionServer(service, port=0, graph_resolver=_resolve_zoo_graph).start() as server:
+    def client(i):
+        barrier.wait()
+        replies[i] = request_partition(
+            {"graph": names[i], "chips": 4}, port=server.port
+        )
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(4)]
+    for t in threads: t.start()
+    for t in threads: t.join()
+    assert all(r is not None and not r["cached"] for r in replies), replies
+    metrics = fetch_metrics(port=server.port)
+assert metrics["batching"]["coalesced_requests"] >= 1, metrics["batching"]
+print(
+    "coalescing smoke OK: 4 concurrent cold requests, "
+    f"{metrics['batching']['coalesced_requests']} coalesced in "
+    f"{metrics['batching']['batches_flushed']} flush(es)"
+)
+PY
+
+echo "== int8 serve smoke (quantized inference-only deployment) =="
+# An int8 service must serve a valid partition whose request fingerprint
+# matches the float64 deployment's (precision is not identity), surface
+# its quantization error in /metrics, and refuse to train.  Hard timeout:
+# a wedged quantized GEMM fails the gate fast.
+timeout --kill-after=15 120 env PYTHONPATH=src python - <<'PY'
+from repro.graphs.zoo import build_mlp
+from repro.serve import PartitionRequest, PartitionService, ServiceConfig
+
+s8 = PartitionService(ServiceConfig(default_samples=6, precision="int8"))
+s64 = PartitionService(ServiceConfig(default_samples=6))
+r8 = s8.submit(PartitionRequest(graph=build_mlp(), n_chips=4))
+r64 = s64.submit(PartitionRequest(graph=build_mlp(), n_chips=4))
+assert r8.source == "cold" and r8.assignment.max() < 4, r8
+assert r8.fingerprint == r64.fingerprint
+quant = s8.metrics()["int8_quantization"]
+assert quant and all(s["max_abs_err"] > 0 for s in quant.values()), quant
+assert "int8_quantization" not in s64.metrics()
+print(f"int8 smoke OK: valid partition, quantization stats {list(quant)}")
+PY
+
 echo "== router smoke (2 shards x 2 replicas, SIGKILL one mid-burst) =="
 # The replicated tier's acceptance bar, end-to-end with real shard
 # subprocesses: an armed shard_kill fault SIGKILLs a shard under the

@@ -282,6 +282,10 @@ def _cmd_serve(args) -> int:
         fault_plan=_parse_fault_plan(args),
         shard_id=args.shard_id,
         precision=args.precision,
+        batch_window_ms=args.batch_window_ms,
+        batch_max_size=args.batch_max_size,
+        rate_limit_rps=args.rate_limit,
+        rate_limit_burst=args.rate_limit_burst,
     )
     # The warm pool's untrained-policy network defaults to
     # repro.serve.registry.default_serving_config (the CLI's 64x4 sizing).
@@ -340,6 +344,8 @@ def _cmd_route(args) -> int:
         cache_capacity=args.cache_capacity,
         max_in_flight=args.max_in_flight,
         precision=args.precision,
+        batch_window_ms=args.batch_window_ms,
+        batch_max_size=args.batch_max_size,
     )
     server = RouterServer(
         router, host=args.host, port=args.port, verbose=args.verbose
@@ -568,11 +574,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--precision",
-        choices=["float64", "float32"],
+        choices=["float64", "float32", "int8"],
         default="float64",
         help="warm-pool policy backend; a per-deployment invariant like "
              "--seed (all replicas of a deployment must agree), not part "
-             "of the request fingerprint",
+             "of the request fingerprint; int8 is the inference-only "
+             "quantized encoder (serve/route only)",
+    )
+    p_serve.add_argument(
+        "--batch-window-ms", type=float, default=0.0,
+        help="admission coalescing: hold a cache miss open this long so "
+             "concurrent misses run as one replay batch (0 = off; results "
+             "are batch-composition invariant either way)",
+    )
+    p_serve.add_argument(
+        "--batch-max-size", type=int, default=8,
+        help="flush a coalescing window immediately once this many "
+             "requests joined",
+    )
+    p_serve.add_argument(
+        "--rate-limit", type=float, default=0.0,
+        help="per-source token-bucket admission rate in req/s; over-limit "
+             "requests get HTTP 429 + Retry-After (0 = off)",
+    )
+    p_serve.add_argument(
+        "--rate-limit-burst", type=int, default=0,
+        help="token-bucket burst capacity (defaults to 1 when --rate-limit "
+             "is set)",
     )
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
@@ -646,10 +674,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_route.add_argument("--fault-seed", type=int, default=0)
     p_route.add_argument(
         "--precision",
-        choices=["float64", "float32"],
+        choices=["float64", "float32", "int8"],
         default="float64",
         help="policy backend forwarded to every spawned shard (a "
-             "deployment-wide invariant, like --seed)",
+             "deployment-wide invariant, like --seed); int8 is the "
+             "inference-only quantized encoder",
+    )
+    p_route.add_argument(
+        "--batch-window-ms", type=float, default=0.0,
+        help="admission-coalescing window forwarded to every shard "
+             "(0 = off)",
+    )
+    p_route.add_argument(
+        "--batch-max-size", type=int, default=8,
+        help="per-shard coalescing flush cap",
     )
     p_route.add_argument("--verbose", action="store_true",
                          help="log HTTP requests to stderr")

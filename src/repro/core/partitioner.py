@@ -21,7 +21,7 @@ import numpy as np
 from repro.core.baselines import SearchResult
 from repro.core.environment import PartitionEnvironment
 from repro.nn import functional as F
-from repro.nn.backend import PRECISIONS
+from repro.nn.backend import SERVE_PRECISIONS
 from repro.rl.features import N_FEATURES, N_TOPO_FEATURES, GraphFeatures, featurize
 from repro.rl.policy import PartitionPolicy
 from repro.rl.ppo import PPOConfig, PPOTrainer
@@ -74,7 +74,10 @@ class RLPartitionerConfig:
     (:mod:`repro.nn.backend`): ``"float64"`` (default) is the frozen
     bit-for-bit serial path; ``"float32"`` is the fused large-GEMM fast
     path, pinned by tolerance-bounded equivalence tests instead of goldens
-    (see ROADMAP "Precision invariants").
+    (see ROADMAP "Precision invariants"); ``"int8"`` is the inference-only
+    serving backend (quantized encoder, float32 heads) — training with it
+    is refused by the PPO trainer, so it is only reachable through the
+    serving stack.
     """
 
     hidden: int = 128
@@ -95,8 +98,8 @@ class RLPartitionerConfig:
             raise ValueError("explore_eps must be in [0, 1)")
         if self.propose_batch < 1:
             raise ValueError("propose_batch must be >= 1")
-        if self.precision not in PRECISIONS:
-            raise ValueError(f"precision must be one of {PRECISIONS}")
+        if self.precision not in SERVE_PRECISIONS:
+            raise ValueError(f"precision must be one of {SERVE_PRECISIONS}")
 
 
 @dataclass
@@ -285,7 +288,17 @@ class RLPartitioner:
         self._installed_checkpoint = (
             None if tag is None else (tag, self.policy.weights_version())
         )
+        # Quantized backends pay their per-tensor quantization here, at
+        # install time, not on the first request — and the error stats it
+        # yields feed /metrics (int8 quantization observability).
+        self.policy.quantization_stats()
         return True
+
+    def quantization_stats(self) -> "dict | None":
+        """Int8 quantization error stats of the live weights (None unless
+        the backend is quantized); see
+        :meth:`PartitionPolicy.quantization_stats`."""
+        return self.policy.quantization_stats()
 
     # ------------------------------------------------------------------
     # Search

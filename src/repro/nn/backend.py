@@ -12,6 +12,15 @@ path against.  Two backends exist:
     The opt-in fast path.  Same operations, but ops are allowed to batch
     per-minibatch matmuls into single large GEMMs (changing summation
     order), so results are pinned by tolerance bounds instead of goldens.
+``int8``
+    The inference-only serving backend.  Encoder weights are quantized
+    per-tensor (symmetric, scale = max|w|/127) at checkpoint-install time;
+    the SAGE hop runs as an int8xint8 GEMM with float32 accumulation and
+    the policy/value heads stay float32 ("dequantized heads").  Training
+    under int8 is forbidden — it exists only behind ``repro serve`` /
+    ``repro route`` ``--precision int8``.  Its storage dtype is float32
+    (activations and heads), so :func:`backend_of` never resolves to it:
+    quantization is selected by name, never inferred from arrays.
 
 There is deliberately **no mutable global backend**: precision is a
 property of the arrays flowing through the tape.  Leaf tensors (weights,
@@ -31,6 +40,11 @@ import numpy as np
 #: Precision names accepted by configs and the CLI ``--precision`` flag.
 PRECISIONS = ("float64", "float32")
 
+#: Precisions accepted on the *serving* path (``repro serve`` / ``route``).
+#: Superset of :data:`PRECISIONS`: int8 is inference-only, never a
+#: training precision and never the default.
+SERVE_PRECISIONS = ("float64", "float32", "int8")
+
 
 @dataclass(frozen=True)
 class Backend:
@@ -49,6 +63,10 @@ class Backend:
     rtol, atol:
         The tolerance envelope the equivalence tests hold this backend to
         (relative to the float64 reference); zero for float64 itself.
+    quantized:
+        Whether encoder weights are int8-quantized at install time and the
+        SAGE hop runs the quantized kernel.  Implies inference-only: the
+        PPO trainer refuses to step a quantized policy.
     """
 
     name: str
@@ -56,6 +74,7 @@ class Backend:
     fused_gemm: bool
     rtol: float
     atol: float
+    quantized: bool = False
 
     # -- array helpers --------------------------------------------------
     def asarray(self, data) -> np.ndarray:
@@ -85,8 +104,24 @@ FLOAT64 = Backend(
 FLOAT32 = Backend(
     name="float32", dtype=np.dtype(np.float32), fused_gemm=True, rtol=5e-2, atol=1e-4
 )
+#: Inference-only serving backend.  Activations and heads are float32, so
+#: the storage dtype matches FLOAT32; only the name selects quantization.
+#: The tolerance budget bounds encoder-output drift vs the float32
+#: reference (per-tensor symmetric weight quantization at hidden widths
+#: <= 64 lands well inside it); the *behavioural* pin is argmax-partition
+#: agreement across the zoo, tested in tests/nn/test_int8_backend.py.
+INT8 = Backend(
+    name="int8",
+    dtype=np.dtype(np.float32),
+    fused_gemm=True,
+    rtol=5e-2,
+    atol=5e-2,
+    quantized=True,
+)
 
-_BY_NAME = {b.name: b for b in (FLOAT64, FLOAT32)}
+_BY_NAME = {b.name: b for b in (FLOAT64, FLOAT32, INT8)}
+# int8 is deliberately absent: its storage dtype is float32, and arrays
+# must never infer quantization — backend_of(float32 array) is FLOAT32.
 _BY_DTYPE = {b.dtype: b for b in (FLOAT64, FLOAT32)}
 
 
@@ -103,7 +138,7 @@ def resolve_backend(spec=None) -> Backend:
         backend = _BY_NAME.get(spec)
         if backend is None:
             raise ValueError(
-                f"unknown precision {spec!r}; expected one of {PRECISIONS}"
+                f"unknown precision {spec!r}; expected one of {SERVE_PRECISIONS}"
             )
         return backend
     return backend_of(spec)
@@ -115,6 +150,26 @@ def backend_of(dtype) -> Backend:
     if backend is None:
         raise ValueError(f"no backend for dtype {dtype!r}; expected one of {PRECISIONS}")
     return backend
+
+
+def quantize_symmetric(arr):
+    """Per-tensor symmetric int8 quantization of ``arr``.
+
+    Returns ``(q, scale)`` with ``q`` int8 in [-127, 127] and
+    ``scale = max|arr| / 127`` (1.0 for an all-zero tensor, so dequant is
+    still exact).  Symmetric quantization keeps zero exactly representable
+    — ReLU sparsity and zero-padded features survive the round trip.
+    """
+    arr = np.asarray(arr, dtype=np.float64)
+    max_abs = float(np.max(np.abs(arr))) if arr.size else 0.0
+    scale = max_abs / 127.0 if max_abs > 0.0 else 1.0
+    q = np.clip(np.rint(arr / scale), -127, 127).astype(np.int8)
+    return q, scale
+
+
+def dequantize(q, scale) -> np.ndarray:
+    """The float32 tensor ``q * scale`` (inverse of :func:`quantize_symmetric`)."""
+    return q.astype(np.float32) * np.float32(scale)
 
 
 def typed_aggregation(agg_matrix, dtype):

@@ -160,6 +160,35 @@ def _sage_mean_combine_fused(
     return Tensor(out, parents=(h, w_self, w_neigh, bias), backward_fn=backward)
 
 
+def sage_mean_combine_int8(
+    h: np.ndarray, agg_matrix, w_q: np.ndarray, w_scale: float,
+    bias: np.ndarray,
+) -> np.ndarray:
+    """Quantized GraphSAGE hop: int8 GEMM with float32 accumulation.
+
+    Inference-only (raw ndarrays, no tape).  ``w_q``/``w_scale`` is the
+    per-tensor symmetric quantization of ``[w_self; w_neigh]`` prepared by
+    :meth:`GraphSAGELayer.int8_weights`; the concatenated activation
+    ``[h | A@h]`` is quantized dynamically per call against its own max.
+    The product runs as a float32 sgemm over the int8 values, which is
+    *exact* integer arithmetic at these sizes: each product is <= 127^2
+    and row sums stay far below 2^24, float32's exact-integer ceiling.
+    One scale multiply dequantizes the accumulator; bias add and ReLU run
+    in float32.
+    """
+    from repro.nn.backend import typed_aggregation
+
+    h = np.ascontiguousarray(h, dtype=np.float32)
+    agg_matrix = typed_aggregation(agg_matrix, np.float32)
+    hn = np.concatenate([h, agg_matrix @ h], axis=1)
+    a_bound = float(np.max(np.abs(hn))) if hn.size else 0.0
+    a_scale = a_bound / 127.0 if a_bound > 0.0 else 1.0
+    a_q = np.clip(np.rint(hn / np.float32(a_scale)), -127, 127).astype(np.int8)
+    acc = a_q.astype(np.float32) @ w_q.astype(np.float32)
+    pre = acc * np.float32(a_scale * w_scale) + bias.astype(np.float32)
+    return np.maximum(pre, np.float32(0.0))
+
+
 def tiled_linear(h: Tensor, extra: np.ndarray, weight: Tensor, bias: Tensor, n_tile: int) -> Tensor:
     """Fused affine over ``n_tile`` stacked copies of ``h`` plus per-row extras.
 

@@ -160,6 +160,32 @@ class GraphSAGELayer(Module):
     def __call__(self, h: Tensor, agg_matrix) -> Tensor:
         return F.sage_mean_combine(h, agg_matrix, self.w_self, self.w_neigh, self.bias)
 
+    def int8_weights(self):
+        """Quantized ``[w_self; w_neigh]`` for the int8 serving kernel.
+
+        Returns ``(w_q, scale, bias32, max_abs_err)`` where ``w_q`` is the
+        per-tensor symmetric int8 quantization of the concatenated hop
+        weights (the same ``[w_self; w_neigh]`` layout the fused float
+        kernel uses), ``bias32`` the float32 bias, and ``max_abs_err`` the
+        worst-case dequantization error over the tensor.  Memoised on the
+        weight versions, so a checkpoint install (which bumps versions)
+        re-quantizes and a warm hit pays nothing.
+        """
+        from repro.nn.backend import quantize_symmetric
+
+        key = (self.w_self._version, self.w_neigh._version)
+        cached = getattr(self, "_int8_cache", None)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        w_cat = np.concatenate([self.w_self.data, self.w_neigh.data], axis=0)
+        w_q, scale = quantize_symmetric(w_cat)
+        err = float(
+            np.max(np.abs(w_q.astype(np.float64) * scale - np.asarray(w_cat, dtype=np.float64)))
+        ) if w_cat.size else 0.0
+        packed = (w_q, scale, self.bias.data.astype(np.float32), err)
+        self._int8_cache = (key, packed)
+        return packed
+
 
 def mean_aggregation_matrix(n_nodes: int, src: np.ndarray, dst: np.ndarray):
     """Row-normalised undirected adjacency for GraphSAGE mean aggregation.

@@ -196,10 +196,41 @@ class PartitionPolicy(Module):
         # Features are built float64 once per graph; cast (a no-op on the
         # default backend) rather than rebuilding so every precision shares
         # one featurize pass and one aggregation matrix.
+        if self.backend.quantized:
+            # int8 serving path: each SAGE hop runs the quantized kernel
+            # over raw ndarrays (inference-only, no tape); the constant
+            # result feeds the float32 heads ("dequantized heads").
+            h = np.asarray(features.node_features, dtype=np.float32)
+            for layer in self.sage_layers:
+                w_q, w_scale, bias32, _ = layer.int8_weights()
+                h = F.sage_mean_combine_int8(
+                    h, features.agg_matrix, w_q, w_scale, bias32
+                )
+            return Tensor(h)
         h = Tensor(self.backend.cast(features.node_features))
         for layer in self.sage_layers:
             h = layer(h, features.agg_matrix)
         return h
+
+    def quantization_stats(self) -> "dict | None":
+        """Int8 weight-quantization error stats, or None when not quantized.
+
+        Forces quantization of every SAGE hop (a no-op on warm weights —
+        :meth:`GraphSAGELayer.int8_weights` memoises on weight versions)
+        and reports the per-layer scale and worst-case dequantization
+        error, plus the max across layers.
+        """
+        if not self.backend.quantized:
+            return None
+        layers = []
+        for layer in self.sage_layers:
+            _, scale, _, err = layer.int8_weights()
+            layers.append({"scale": scale, "max_abs_err": err})
+        return {
+            "n_layers": len(layers),
+            "max_abs_err": max((l["max_abs_err"] for l in layers), default=0.0),
+            "layers": layers,
+        }
 
     def _policy_head(self, x: Tensor) -> Tensor:
         for i, layer in enumerate(self.policy_layers):

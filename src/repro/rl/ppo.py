@@ -84,6 +84,14 @@ class PPOTrainer:
 
         Returns averaged diagnostics over all epochs/minibatches.
         """
+        if self.policy.backend.quantized:
+            # Quantized backends are inference-only: the encoder runs off
+            # the tape and weight updates would silently desync the int8
+            # cache — refuse rather than train a wrong gradient.
+            raise RuntimeError(
+                f"precision {self.policy.backend.name!r} is inference-only; "
+                "training requires float64 or float32"
+            )
         if len(buffer) == 0:
             raise ValueError("buffer is empty")
         cfg = self.config

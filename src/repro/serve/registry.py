@@ -43,6 +43,7 @@ from repro.core.partitioner import (
     RLPartitionerConfig,
     _topology_semantics,
 )
+from repro.nn.backend import resolve_backend
 from repro.nn.serialization import load_state_dict_file, save_state_dict
 from repro.rl.ppo import PPOConfig
 
@@ -437,3 +438,27 @@ class WarmPartitionerPool:
             evicted, _ = self._pool.popitem(last=False)
             self._states.pop(evicted, None)
         return partitioner, True
+
+    def quantization_stats(self) -> "dict | None":
+        """Per-pool-entry int8 quantization error stats for /metrics.
+
+        ``None`` unless the pool's precision is quantized; otherwise a
+        mapping from a printable pool-key label (``checkpoint@version`` or
+        ``untrained``, plus chip count) to the partitioner's per-layer
+        stats — worst-case dequantization error per SAGE hop, refreshed at
+        every checkpoint install.
+        """
+        if not resolve_backend(self.config.precision).quantized:
+            return None
+        out = {}
+        for key, partitioner in self._pool.items():
+            ckpt, n_chips = key[0], key[1]
+            label = (
+                f"untrained/chips={n_chips}"
+                if ckpt is None
+                else f"{ckpt[0]}@{ckpt[1]}/chips={n_chips}"
+            )
+            stats = partitioner.quantization_stats()
+            if stats is not None:
+                out[label] = stats
+        return out

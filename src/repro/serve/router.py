@@ -327,6 +327,8 @@ def spawn_shard(
     cache_dir: "str | None" = None,
     max_in_flight: int = 0,
     precision: str = "float64",
+    batch_window_ms: float = 0.0,
+    batch_max_size: int = 8,
     extra_args: tuple = (),
     startup_timeout_s: float = 60.0,
 ) -> ShardEndpoint:
@@ -337,6 +339,9 @@ def spawn_shard(
     bit-identically) holds because a miss is seeded purely from ``(service
     seed, request fingerprint)`` and evaluated on one numeric backend — a
     seed or precision mismatch between replicas would break it.
+    ``batch_window_ms``/``batch_max_size`` enable admission coalescing on
+    the shard (composition-invariant, so safe to vary per shard — but a
+    uniform window keeps tail latencies comparable across the ring).
     """
     cmd = [
         sys.executable, "-m", "repro", "serve",
@@ -348,6 +353,11 @@ def spawn_shard(
     ]
     if precision != "float64":
         cmd += ["--precision", precision]
+    if batch_window_ms > 0:
+        cmd += [
+            "--batch-window-ms", repr(float(batch_window_ms)),
+            "--batch-max-size", str(int(batch_max_size)),
+        ]
     if registry is not None:
         cmd += ["--registry", str(registry)]
     if cache_dir is not None:
@@ -549,12 +559,15 @@ class ShardRouter:
         cache_capacity: int = 256,
         max_in_flight: int = 0,
         precision: str = "float64",
+        batch_window_ms: float = 0.0,
+        batch_max_size: int = 8,
     ) -> "ShardRouter":
         """Spawn ``n_shards`` ``repro serve`` processes and route over them.
 
         The spawned processes are owned: :meth:`close` terminates them.
-        Every shard gets the same seed, sample budget, and precision
-        (replica interchangeability — see :func:`spawn_shard`).
+        Every shard gets the same seed, sample budget, precision, and
+        coalescing window (replica interchangeability — see
+        :func:`spawn_shard`).
         """
         config = config or RouterConfig()
         shards: "list[ShardEndpoint]" = []
@@ -569,6 +582,8 @@ class ShardRouter:
                         registry=registry,
                         max_in_flight=max_in_flight,
                         precision=precision,
+                        batch_window_ms=batch_window_ms,
+                        batch_max_size=batch_max_size,
                     )
                 )
         except Exception:

@@ -230,7 +230,11 @@ class _Handler(BaseHTTPRequestHandler):
             request = request_from_payload(
                 payload, graph_resolver=self.server.graph_resolver
             )
-            response = self.server.service.submit(request)
+            # Client source id for per-source rate limiting: an explicit
+            # header wins (routers/proxies forward the original client);
+            # otherwise the peer address identifies the source.
+            source = self.headers.get("X-Repro-Source") or self.client_address[0]
+            response = self.server.service.submit(request, source=source)
         except ServiceOverloadError as exc:
             # Structured backpressure, not a failure: the client helpers
             # sleep Retry-After (± backoff) and resubmit.
@@ -352,6 +356,7 @@ def _http_json(
     data: "bytes | None" = None,
     timeout: float = DEFAULT_TIMEOUT_S,
     retries: int = DEFAULT_RETRIES,
+    source: "str | None" = None,
 ) -> dict:
     """One JSON round trip with bounded retries.
 
@@ -363,11 +368,10 @@ def _http_json(
     other HTTP error is a real answer and raises immediately."""
     last_error: "Exception | None" = None
     for attempt in range(int(retries) + 1):
-        req = urllib.request.Request(
-            url,
-            data=data,
-            headers={"Content-Type": "application/json"} if data else {},
-        )
+        headers = {"Content-Type": "application/json"} if data else {}
+        if source is not None:
+            headers["X-Repro-Source"] = str(source)
+        req = urllib.request.Request(url, data=data, headers=headers)
         retry_after: "float | None" = None
         try:
             with urllib.request.urlopen(req, timeout=timeout) as resp:
@@ -407,17 +411,21 @@ def request_partition(
     port: int = 8080,
     timeout: float = DEFAULT_TIMEOUT_S,
     retries: int = DEFAULT_RETRIES,
+    source: "str | None" = None,
 ) -> dict:
     """POST one request payload to a running server; returns the reply.
 
     Fails fast (``timeout`` seconds, default 60) and retries
     429/503/connection loss with jittered exponential backoff —
-    resubmission is safe because serving is deterministic and cached."""
+    resubmission is safe because serving is deterministic and cached.
+    ``source`` sets the ``X-Repro-Source`` header, the client identity the
+    server's per-source rate limiter keys on (defaults to peer address)."""
     return _http_json(
         f"http://{host}:{port}/partition",
         data=json.dumps(payload).encode("utf-8"),
         timeout=timeout,
         retries=retries,
+        source=source,
     )
 
 

@@ -53,7 +53,7 @@ from __future__ import annotations
 import os
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -61,6 +61,7 @@ import numpy as np
 from repro.core.baselines import greedy_partition
 from repro.core.environment import PartitionEnvironment
 from repro.core.partitioner import RLPartitionerConfig, _topology_semantics
+from repro.nn.backend import SERVE_PRECISIONS
 from repro.graphs.graph import CompGraph
 from repro.hardware.analytical import AnalyticalCostModel
 from repro.hardware.package import MCMPackage
@@ -201,13 +202,37 @@ class ServiceConfig:
         so probes and dashboards can tell shards apart.
     ``precision``
         Numeric backend of the warm pool's policy networks (``"float64"``
-        / ``"float32"``, see :mod:`repro.nn.backend`).  Like ``seed`` this
-        is a per-deployment invariant, not part of the request
-        fingerprint: all replicas (and any persisted cache/journal) of
-        one deployment must agree on it, since the float32 fast path is
-        tolerance-equivalent, not bit-identical, to float64.  Ignored
-        when an explicit ``partitioner_config`` is passed (that config's
-        own ``precision`` wins).
+        / ``"float32"`` / ``"int8"``, see :mod:`repro.nn.backend`).  Like
+        ``seed`` this is a per-deployment invariant, not part of the
+        request fingerprint: all replicas (and any persisted
+        cache/journal) of one deployment must agree on it, since the
+        float32 fast path is tolerance-equivalent, not bit-identical, to
+        float64 (and int8 is argmax-equivalent).  ``"int8"`` is
+        inference-only — this serving config is its sole entry point.
+        Ignored when an explicit ``partitioner_config`` is passed (that
+        config's own ``precision`` wins).
+
+    Admission batching (``batch_window_ms > 0`` enables coalescing):
+
+    ``batch_window_ms``
+        How long :meth:`PartitionService.submit` may hold a cache miss
+        open for other concurrent submissions to join, so misses landing
+        together run as **one** ``replay_batch`` fan-out instead of one
+        per connection.  Fingerprint seeding makes results independent of
+        batch composition, so coalescing is purely a throughput win.
+        ``0`` (default) keeps the unbatched path byte-for-byte.
+    ``batch_max_size``
+        Immediate-flush cap: a window holding this many requests flushes
+        without waiting out the remainder of the window.
+
+    Per-source rate limiting (``rate_limit_rps > 0`` enables it):
+
+    ``rate_limit_rps`` / ``rate_limit_burst``
+        Token-bucket admission per client source id (the transport's
+        ``X-Repro-Source`` header, falling back to the peer address).
+        Over-limit submissions raise :class:`ServiceOverloadError`
+        (HTTP 429 + ``Retry-After``), counted as ``rate_limited`` in
+        ``/metrics`` — separate from the ``throttled`` in-flight gate.
     """
 
     cache_capacity: int = 256
@@ -226,10 +251,16 @@ class ServiceConfig:
     fault_plan: "object | None" = None
     shard_id: "str | None" = None
     precision: str = "float64"
+    batch_window_ms: float = 0.0
+    batch_max_size: int = 8
+    rate_limit_rps: float = 0.0
+    rate_limit_burst: int = 0
 
     def __post_init__(self):
-        if self.precision not in ("float64", "float32"):
-            raise ValueError("precision must be 'float64' or 'float32'")
+        if self.precision not in SERVE_PRECISIONS:
+            raise ValueError(
+                f"precision must be one of {SERVE_PRECISIONS}"
+            )
         if self.default_samples < 1:
             raise ValueError("default_samples must be >= 1")
         if self.n_workers < 1:
@@ -240,6 +271,14 @@ class ServiceConfig:
             raise ValueError("request_deadline must be positive when set")
         if self.retry_after_s < 0:
             raise ValueError("retry_after_s must be >= 0")
+        if self.batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be >= 0 (0 disables coalescing)")
+        if self.batch_max_size < 1:
+            raise ValueError("batch_max_size must be >= 1")
+        if self.rate_limit_rps < 0:
+            raise ValueError("rate_limit_rps must be >= 0 (0 disables the limiter)")
+        if self.rate_limit_burst < 0:
+            raise ValueError("rate_limit_burst must be >= 0")
 
 
 class ServiceMetrics:
@@ -255,11 +294,19 @@ class ServiceMetrics:
         self.requests_total = 0
         self.errors = 0
         self.throttled = 0
+        self.rate_limited = 0
         self.by_source = {"cached": 0, "warm": 0, "cold": 0, "degraded": 0}
         self._latency_ms = {
             source: deque(maxlen=_LATENCY_WINDOW) for source in self.by_source
         }
         self._degraded_at = deque(maxlen=_LATENCY_WINDOW)
+        # Admission-batching observability: flushed-batch sizes (histogram),
+        # per-member window waits, and how many requests actually shared a
+        # flush with at least one other (``coalesced_requests``).
+        self.batches_flushed = 0
+        self.coalesced_requests = 0
+        self._batch_sizes: dict = {}
+        self._batch_wait_ms = deque(maxlen=_LATENCY_WINDOW)
         self._lock = threading.Lock()
 
     def record(self, source: str, latency_ms: float) -> None:
@@ -286,6 +333,22 @@ class ServiceMetrics:
         with self._lock:
             self.throttled += 1
 
+    def record_rate_limited(self) -> None:
+        with self._lock:
+            self.rate_limited += 1
+
+    def record_batch(self, size: int, waits_ms) -> None:
+        """One coalescing flush of ``size`` members with the given
+        per-member window waits (milliseconds spent parked before the
+        flush started)."""
+        with self._lock:
+            self.batches_flushed += 1
+            self._batch_sizes[int(size)] = self._batch_sizes.get(int(size), 0) + 1
+            if size >= 2:
+                self.coalesced_requests += int(size)
+            for wait in waits_ms:
+                self._batch_wait_ms.append(float(wait))
+
     @staticmethod
     def _percentiles(values: deque) -> dict:
         if not values:
@@ -304,6 +367,7 @@ class ServiceMetrics:
                 "requests_total": self.requests_total,
                 "errors": self.errors,
                 "throttled": self.throttled,
+                "rate_limited": self.rate_limited,
                 "uptime_s": uptime,
                 "requests_per_sec": self.requests_total / uptime,
                 "by_source": dict(self.by_source),
@@ -311,7 +375,66 @@ class ServiceMetrics:
                     source: self._percentiles(values)
                     for source, values in self._latency_ms.items()
                 },
+                "batching": {
+                    "batches_flushed": self.batches_flushed,
+                    "coalesced_requests": self.coalesced_requests,
+                    "batch_size_histogram": {
+                        str(k): v for k, v in sorted(self._batch_sizes.items())
+                    },
+                    "batch_wait_ms": self._percentiles(self._batch_wait_ms),
+                },
             }
+
+
+class _TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, capacity ``burst``.
+
+    Not self-locking — the service's admission lock guards all access.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float, now: float):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.stamp = now
+
+    def try_acquire(self, now: float) -> float:
+        """0.0 when a token was taken; else seconds until one accrues."""
+        self.tokens = min(
+            self.burst, self.tokens + (now - self.stamp) * self.rate
+        )
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+#: Distinct client sources the rate limiter tracks before LRU-evicting the
+#: stalest bucket (an eviction only ever *grants* a fresh burst).
+_RATE_LIMIT_SOURCES = 1024
+
+
+class _PendingBatch:
+    """One open coalescing window: requests parked waiting for the flush.
+
+    The leader (first submitter) owns the window timer and the flush; every
+    member (leader included) reads its own slot of ``results`` once
+    ``done`` is set.  ``closed`` flips under the service's coalescing lock
+    — after that no submission may join.
+    """
+
+    __slots__ = ("requests", "joined_at", "results", "closed", "full", "done")
+
+    def __init__(self):
+        self.requests: list = []
+        self.joined_at: list = []
+        self.results: list = []
+        self.closed = False
+        self.full = threading.Event()
+        self.done = threading.Event()
 
 
 def build_environment(request: PartitionRequest) -> PartitionEnvironment:
@@ -396,6 +519,11 @@ class PartitionService:
         self._lock = threading.Lock()
         self._admit_lock = threading.Lock()
         self._in_flight = 0
+        # Per-source token buckets (rate limiting), LRU-bounded.
+        self._buckets: "OrderedDict[str, _TokenBucket]" = OrderedDict()
+        # Coalescing state: the currently open window, if any.
+        self._coalesce_lock = threading.Lock()
+        self._open_batch: "_PendingBatch | None" = None
 
     # ------------------------------------------------------------------
     # Admission control
@@ -406,9 +534,33 @@ class PartitionService:
         submission lock)."""
         return self._in_flight
 
-    def _admit(self) -> None:
+    def _admit(self, source: "str | None" = None) -> None:
         limit = self.config.max_in_flight
+        rate = self.config.rate_limit_rps
         with self._admit_lock:
+            if rate > 0:
+                # The per-source bucket is checked before the in-flight
+                # gate: a source over its budget must not consume capacity
+                # other clients could use.  ``None`` sources (in-process
+                # callers, transports that send no id) share one bucket.
+                key = source if source is not None else ""
+                now = time.monotonic()
+                bucket = self._buckets.get(key)
+                if bucket is None:
+                    burst = max(self.config.rate_limit_burst, 1)
+                    bucket = _TokenBucket(rate, burst, now)
+                    self._buckets[key] = bucket
+                    while len(self._buckets) > _RATE_LIMIT_SOURCES:
+                        self._buckets.popitem(last=False)
+                self._buckets.move_to_end(key)
+                wait = bucket.try_acquire(now)
+                if wait > 0.0:
+                    self.metrics_state.record_rate_limited()
+                    raise ServiceOverloadError(
+                        f"source {source or 'anonymous'!r} over its rate "
+                        f"limit ({rate:g} req/s); retry after {wait:.3g}s",
+                        retry_after=wait,
+                    )
             if limit > 0 and self._in_flight >= limit:
                 self.metrics_state.record_throttled()
                 raise ServiceOverloadError(
@@ -493,12 +645,25 @@ class PartitionService:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit(self, request: PartitionRequest) -> PartitionResponse:
-        """Serve one request (cache hit or zero-shot search)."""
-        return self.submit_many([request])[0]
+    def submit(
+        self, request: PartitionRequest, source: "str | None" = None
+    ) -> PartitionResponse:
+        """Serve one request (cache hit or zero-shot search).
+
+        With ``batch_window_ms > 0``, concurrent submissions coalesce:
+        this call may park for up to the window so cache misses arriving
+        together run as one ``replay_batch`` fan-out.  Fingerprint seeding
+        makes the answer identical either way — coalescing only changes
+        wall-clock, never results.
+        """
+        if self.config.batch_window_ms <= 0:
+            return self.submit_many([request], source=source)[0]
+        return self._submit_coalesced(request, source)
 
     def submit_many(
-        self, requests: "list[PartitionRequest]"
+        self,
+        requests: "list[PartitionRequest]",
+        source: "str | None" = None,
     ) -> "list[PartitionResponse]":
         """Serve a batch: hits answered inline, misses fanned over the pool.
 
@@ -523,7 +688,7 @@ class PartitionService:
         budget are served degraded heuristic answers.
         """
         t_batch = time.perf_counter()
-        self._admit()
+        self._admit(source)
         try:
             with self._lock:
                 try:
@@ -534,12 +699,113 @@ class PartitionService:
         finally:
             self._release()
 
+    # ------------------------------------------------------------------
+    # Cross-connection coalescing
+    # ------------------------------------------------------------------
+    def _submit_coalesced(
+        self, request: PartitionRequest, source: "str | None"
+    ) -> PartitionResponse:
+        """Join (or open) the current coalescing window and await its flush.
+
+        The first submission in a window is the *leader*: it waits out
+        ``batch_window_ms`` (or until ``batch_max_size`` members joined),
+        closes the window, and runs the whole batch as one locked
+        submission.  Followers park on the batch's ``done`` event and read
+        their own slot.  Admission (rate limit + in-flight gate) happens
+        per member *before* joining, so an over-limit client is rejected
+        without delaying the window.
+        """
+        t_join = time.perf_counter()
+        self._admit(source)
+        try:
+            with self._coalesce_lock:
+                batch = self._open_batch
+                leader = batch is None or batch.closed
+                if leader:
+                    batch = _PendingBatch()
+                    self._open_batch = batch
+                index = len(batch.requests)
+                batch.requests.append(request)
+                batch.joined_at.append(t_join)
+                if len(batch.requests) >= self.config.batch_max_size:
+                    batch.closed = True
+                    if self._open_batch is batch:
+                        self._open_batch = None
+                    batch.full.set()
+            if leader:
+                batch.full.wait(timeout=self.config.batch_window_ms / 1e3)
+                with self._coalesce_lock:
+                    batch.closed = True
+                    if self._open_batch is batch:
+                        self._open_batch = None
+                try:
+                    self._flush_batch(batch)
+                finally:
+                    batch.done.set()
+            else:
+                batch.done.wait()
+            result = batch.results[index]
+            if isinstance(result, BaseException):
+                raise result
+            return result
+        finally:
+            self._release()
+
+    def _flush_batch(self, batch: _PendingBatch) -> None:
+        """Run one closed window as a single locked submission.
+
+        Per-member outcomes: successful members get their response,
+        failed members get a :class:`ServiceError` carrying *their own*
+        message — member isolation identical to sequential submission
+        (a failure never contaminates siblings, PR-4/6 invariants).
+        """
+        t_flush = time.perf_counter()
+        n = len(batch.requests)
+        batch.results = [None] * n
+        try:
+            with self._lock:
+                responses, failures = self._submit_locked_core(
+                    list(batch.requests), t_flush
+                )
+            for i in range(n):
+                batch.results[i] = responses[i]
+            for indices, message in failures:
+                error = ServiceError(message)
+                for i in indices:
+                    batch.results[i] = error
+                    self.metrics_state.record_error()
+            for i in range(n):
+                if batch.results[i] is None:
+                    batch.results[i] = ServiceError(
+                        "internal: batch member produced no result"
+                    )
+        except BaseException as exc:
+            for i in range(n):
+                if batch.results[i] is None:
+                    batch.results[i] = exc
+        self.metrics_state.record_batch(
+            n, [(t_flush - t) * 1e3 for t in batch.joined_at]
+        )
+
     def _submit_locked(self, requests, t_batch: float) -> list:
+        responses, failures = self._submit_locked_core(requests, t_batch)
+        if failures:
+            raise ServiceError("; ".join(message for _, message in failures))
+        return responses
+
+    def _submit_locked_core(self, requests, t_batch: float) -> tuple:
+        """``(responses, failures)`` for one locked batch.
+
+        ``failures`` is a list of ``(member indices, message)`` tuples so
+        callers can either combine them into one raise
+        (:meth:`submit_many`'s contract) or hand each member its own
+        error (the coalesced path's member isolation)."""
         responses: list = [None] * len(requests)
         groups: dict = {}
         in_flight: set = set()
         duplicates: list = []
         failures: list = []
+        failed_fps: dict = {}
         degraded_fps: dict = {}
         for i, request in enumerate(requests):
             t0 = time.perf_counter()
@@ -548,7 +814,7 @@ class PartitionService:
             except ServiceError as exc:
                 # An invalid member must not abort its siblings (the
                 # batch-isolation contract of submit_many).
-                failures.append(str(exc))
+                failures.append(([i], str(exc)))
                 continue
             if fp in in_flight:
                 # Same fingerprint already queued in this batch: search
@@ -574,9 +840,14 @@ class PartitionService:
 
         fresh: dict = {}
         for members in groups.values():
-            failures.extend(
-                self._run_group(members, responses, fresh, t_batch, degraded_fps)
+            group_failures = self._run_group(
+                members, responses, fresh, t_batch, degraded_fps
             )
+            failures.extend(group_failures)
+            for indices, message in group_failures:
+                for member in members:
+                    if member[0] in indices:
+                        failed_fps.setdefault(member[2], message)
         for i, request, fp, ckpt, order in duplicates:
             # Served from the entry the primary stored this batch (held in
             # ``fresh`` so a tiny cache whose LRU already evicted it can't
@@ -598,16 +869,19 @@ class PartitionService:
                         t0,
                     )
                     if failure is not None:
-                        failures.append(failure)
-                continue  # the primary copy failed (failure recorded)
+                        failures.append(([i], failure))
+                elif fp in failed_fps:
+                    # The primary failed; this copy fails with the same
+                    # message (per-member delivery on the coalesced path;
+                    # submit_many folds it into the combined raise).
+                    failures.append(([i], failed_fps[fp]))
+                continue
             latency_ms = (time.perf_counter() - t0) * 1e3
             self.metrics_state.record("cached", latency_ms)
             responses[i] = self._response_from_entry(
                 request, fp, ckpt, order, entry, latency_ms
             )
-        if failures:
-            raise ServiceError("; ".join(failures))
-        return responses
+        return responses, failures
 
     def _deadline_left(self, t_batch: float) -> "float | None":
         """Seconds of ``request_deadline`` budget remaining (``None`` =
@@ -623,10 +897,11 @@ class PartitionService:
         fresh: "dict | None" = None,
         t_batch: "float | None" = None,
         degraded_fps: "dict | None" = None,
-    ) -> "list[str]":
-        """Search one miss group; returns failure messages (never raises
-        past a member, so sibling requests always complete).  Stored
-        entries are also recorded into ``fresh`` for in-batch duplicates.
+    ) -> "list[tuple]":
+        """Search one miss group; returns ``(indices, message)`` failure
+        tuples (never raises past a member, so sibling requests always
+        complete).  Stored entries are also recorded into ``fresh`` for
+        in-batch duplicates.
 
         Latency accounting starts at *group* start, so a member's cold/
         warm record covers its own group's work — earlier groups in the
@@ -660,7 +935,7 @@ class PartitionService:
             )
         except RegistryError as exc:
             if not exc.degradable:
-                return [str(exc)]
+                return [([m[0] for m in members], str(exc))]
             return self._degrade_group(
                 members, f"checkpoint unusable ({exc})",
                 responses, t_group, degraded_fps,
@@ -671,7 +946,7 @@ class PartitionService:
                 responses, t_group, degraded_fps,
             )
         except KeyError as exc:
-            return [str(exc)]
+            return [([m[0] for m in members], str(exc))]
         source = "cold" if cold else "warm"
         failures: list = []
         runnable, envs, feats, seeds, budgets = [], [], [], [], []
@@ -680,7 +955,7 @@ class PartitionService:
             try:
                 env = self._build_env(request)
             except ServiceError as exc:
-                failures.append(str(exc))
+                failures.append(([member[0]], str(exc)))
                 continue
             runnable.append(member)
             envs.append(env)
@@ -732,11 +1007,12 @@ class PartitionService:
             return failures
         for (i, request, fp, ckpt, order), env, result in zip(members, envs, results):
             if result.best_assignment is None:
-                failures.append(
+                failures.append((
+                    [i],
                     f"no valid partition found for graph "
                     f"{request.graph.name!r} within {self._samples(request)} "
-                    "samples (raise the budget or relax the platform)"
-                )
+                    "samples (raise the budget or relax the platform)",
+                ))
                 continue
             check = env.evaluate(result.best_assignment)
             entry = CachedPartition(
@@ -766,7 +1042,7 @@ class PartitionService:
 
     def _degrade_group(
         self, members, reason, responses, t_start, degraded_fps
-    ) -> "list[str]":
+    ) -> "list[tuple]":
         """Answer every group member with the heuristic fallback."""
         failures = []
         for member in members:
@@ -774,7 +1050,7 @@ class PartitionService:
                 degraded_fps[member[2]] = reason
             failure = self._serve_degraded(member, reason, responses, t_start)
             if failure is not None:
-                failures.append(failure)
+                failures.append(([member[0]], failure))
         return failures
 
     def _serve_degraded(
@@ -898,13 +1174,20 @@ class PartitionService:
             "builds": self.pool.builds,
             "weight_loads": self.pool.weight_loads,
         }
+        snap["batching"]["window_ms"] = self.config.batch_window_ms
+        snap["batching"]["max_size"] = self.config.batch_max_size
         snap["reliability"] = {
             "in_flight": self._in_flight,
             "max_in_flight": self.config.max_in_flight,
             "request_deadline_s": self.config.request_deadline,
             "degraded_serves": snap["by_source"]["degraded"],
             "throttled": snap["throttled"],
+            "rate_limited": snap["rate_limited"],
+            "rate_limit_rps": self.config.rate_limit_rps,
         }
+        quant = self.pool.quantization_stats()
+        if quant is not None:
+            snap["int8_quantization"] = quant
         if self.config.shard_id is not None:
             snap["shard"] = {"id": self.config.shard_id}
         if self.config.fault_plan is not None:

@@ -1,0 +1,193 @@
+"""The int8 inference-only backend: quantization maths + serving pins.
+
+Contracts (ROADMAP "Precision invariants", int8 entry):
+
+* **Selection by name only.** ``resolve_backend("int8")`` returns the
+  quantized backend, but its storage dtype is float32 and it is absent
+  from the dtype map — an array can never silently select quantization,
+  and ``PRECISIONS`` (the training precisions) does not grow.
+* **Symmetric per-tensor quantization.** Zero stays exact, the round trip
+  is within one quantization step, and the int8 GEMM with float32
+  accumulation is exact integer arithmetic at encoder sizes.
+* **Argmax-partition agreement.** The behavioural pin: across the graph
+  zoo, the int8 policy head must place every *decided* node — float32
+  top-2 probability margin above the declared tolerance budget — on the
+  same chip as the float32 argmax; near-tie nodes may flip, but overall
+  agreement stays above 90%.
+* **Inference-only.** The PPO trainer refuses to step a quantized policy;
+  the training CLI never exposes the precision.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.zoo import build_cnn, build_gru, build_mlp
+from repro.nn.backend import (
+    FLOAT32,
+    INT8,
+    PRECISIONS,
+    SERVE_PRECISIONS,
+    backend_of,
+    dequantize,
+    quantize_symmetric,
+    resolve_backend,
+)
+from repro.rl.features import featurize
+from repro.rl.policy import PartitionPolicy
+
+
+class TestBackendResolution:
+    def test_serve_precisions_superset(self):
+        assert PRECISIONS == ("float64", "float32")
+        assert SERVE_PRECISIONS == ("float64", "float32", "int8")
+
+    def test_resolve_by_name(self):
+        backend = resolve_backend("int8")
+        assert backend is INT8
+        assert backend.quantized
+        assert backend.dtype == np.dtype(np.float32)
+        assert backend.fused_gemm
+
+    def test_float_backends_not_quantized(self):
+        assert not resolve_backend("float64").quantized
+        assert not FLOAT32.quantized
+
+    def test_dtype_never_resolves_to_int8(self):
+        """float32 arrays belong to FLOAT32; quantization is name-only."""
+        assert backend_of(np.float32) is FLOAT32
+
+
+class TestQuantizeSymmetric:
+    def test_round_trip_within_one_step(self):
+        rng = np.random.default_rng(0)
+        arr = rng.normal(size=(37, 16))
+        q, scale = quantize_symmetric(arr)
+        assert q.dtype == np.int8
+        assert np.abs(q).max() <= 127
+        np.testing.assert_allclose(
+            dequantize(q, scale), arr, atol=scale / 2 + 1e-12
+        )
+
+    def test_zero_is_exact(self):
+        q, scale = quantize_symmetric(np.array([0.0, 1.0, -2.0]))
+        assert q[0] == 0
+        assert dequantize(q, scale)[0] == 0.0
+
+    def test_all_zero_tensor(self):
+        q, scale = quantize_symmetric(np.zeros((3, 3)))
+        assert scale == 1.0
+        assert np.all(q == 0)
+
+    def test_extremes_hit_127(self):
+        q, _ = quantize_symmetric(np.array([-3.0, 0.0, 3.0]))
+        assert q[0] == -127 and q[2] == 127
+
+
+def _policies(rng=0, hidden=32, n_sage_layers=2):
+    kwargs = dict(hidden=hidden, n_sage_layers=n_sage_layers, rng=rng)
+    return (
+        PartitionPolicy(4, backend="float32", **kwargs),
+        PartitionPolicy(4, backend="int8", **kwargs),
+    )
+
+
+class TestInt8Encoder:
+    def test_encoder_within_tolerance_budget(self):
+        p32, p8 = _policies()
+        feats = featurize(build_mlp())
+        h32 = p32.encode(feats).data
+        h8 = p8.encode(feats).data
+        assert h8.dtype == np.float32
+        np.testing.assert_allclose(h8, h32, rtol=INT8.rtol, atol=INT8.atol)
+
+    @pytest.mark.parametrize(
+        "builder", [build_mlp, build_cnn, build_gru],
+        ids=["mlp", "cnn", "gru"],
+    )
+    def test_argmax_partition_agreement_across_zoo(self, builder):
+        """The behavioural pin: on the same conditioning, the int8 policy
+        head places every *decided* node on the same chip as float32 —
+        argmax must agree wherever the float32 probability margin (top-1
+        minus top-2) exceeds the backend's declared tolerance budget.
+        Near-tie nodes (margin inside the budget) are allowed to flip —
+        that is exactly what the tolerance budget declares — but even
+        counting them, agreement must stay above 90%."""
+        p32, p8 = _policies(rng=7)
+        feats = featurize(builder())
+        conditioning = np.zeros((1, feats.n_nodes), dtype=np.int64)
+        probs32 = p32.forward_batch(feats, conditioning).probs[0]
+        probs8 = p8.forward_batch(feats, conditioning).probs[0]
+        am32 = probs32.argmax(axis=1)
+        am8 = probs8.argmax(axis=1)
+        sorted32 = np.sort(probs32, axis=1)
+        margin = sorted32[:, -1] - sorted32[:, -2]
+        decided = margin > INT8.atol
+        assert decided.any()
+        np.testing.assert_array_equal(am32[decided], am8[decided])
+        assert (am32 == am8).mean() > 0.9
+
+    def test_quantization_stats(self):
+        _, p8 = _policies()
+        stats = p8.quantization_stats()
+        assert stats["n_layers"] == 2
+        assert stats["max_abs_err"] > 0.0
+        assert all(l["scale"] > 0.0 for l in stats["layers"])
+        assert stats["max_abs_err"] == max(
+            l["max_abs_err"] for l in stats["layers"]
+        )
+
+    def test_float_policy_has_no_stats(self):
+        p32, _ = _policies()
+        assert p32.quantization_stats() is None
+
+    def test_checkpoint_install_requantizes(self):
+        """Loading new weights bumps versions, so the memoised int8 cache
+        refreshes — stale quantized weights can never serve."""
+        _, p8 = _policies(rng=3)
+        donor = PartitionPolicy(4, backend="float32", hidden=32,
+                                n_sage_layers=2, rng=9)
+        feats = featurize(build_mlp())
+        h_before = p8.encode(feats).data.copy()
+        p8.load_state_dict(donor.state_dict())
+        h_after = p8.encode(feats).data
+        h_donor = donor.encode(feats).data
+        assert not np.array_equal(h_after, h_before)
+        np.testing.assert_allclose(h_after, h_donor, rtol=INT8.rtol, atol=INT8.atol)
+
+
+class TestInferenceOnly:
+    def test_ppo_trainer_refuses_quantized_policy(self):
+        from repro.core.environment import PartitionEnvironment
+        from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
+        from repro.hardware.analytical import AnalyticalCostModel
+        from repro.hardware.package import MCMPackage
+        from repro.rl.ppo import PPOConfig
+
+        config = RLPartitionerConfig(
+            hidden=16, n_sage_layers=1, precision="int8",
+            ppo=PPOConfig(n_rollouts=4, n_minibatches=1, n_epochs=1),
+        )
+        partitioner = RLPartitioner(4, config=config, rng=0)
+        env = PartitionEnvironment(
+            build_mlp(), AnalyticalCostModel(MCMPackage(n_chips=4)), 4
+        )
+        # Zero-shot draws (the serving path) work fine ...
+        draw = partitioner.draw_window(env, 4)
+        assert draw.improvements is not None and len(draw.improvements) == 4
+        # ... but any training step is refused.
+        with pytest.raises(RuntimeError, match="inference-only"):
+            partitioner.search(env, 8)
+
+    def test_training_cli_rejects_int8(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["partition", "mlp", "--precision", "int8"]
+            )
+
+    def test_serve_cli_accepts_int8(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--precision", "int8"])
+        assert args.precision == "int8"

@@ -122,3 +122,80 @@ class TestServingInvariants:
         assert second.cached
         np.testing.assert_array_equal(second.assignment, first.assignment)
         assert second.improvement == first.improvement
+
+
+def _int8_service(registry=None, **overrides):
+    kwargs = dict(default_samples=6, cache_capacity=32, seed=0,
+                  precision="int8")
+    kwargs.update(overrides)
+    return PartitionService(
+        ServiceConfig(**kwargs),
+        registry=registry,
+        partitioner_config=tiny_rl_config(precision="int8"),
+    )
+
+
+class TestInt8Serving:
+    """The quantized inference-only deployment: explicit opt-in, same
+    request identity, quantization error surfaced in /metrics."""
+
+    def test_service_config_accepts_int8(self):
+        assert ServiceConfig(precision="int8").precision == "int8"
+
+    def test_precision_threads_to_the_warm_pool(self):
+        assert _int8_service().pool.config.precision == "int8"
+
+    def test_serves_valid_partitions(self):
+        service = _int8_service()
+        response = service.submit(PartitionRequest(graph=build_mlp(),
+                                                   n_chips=4))
+        assert not response.cached and response.source == "cold"
+        assert response.assignment.min() >= 0
+        assert response.assignment.max() < 4
+
+    def test_fingerprint_matches_float_deployments(self):
+        """int8 is a deployment invariant like float32: absent from
+        request identity, so caches/registries never fork on it."""
+        graph = build_mlp()
+        r64 = tiny_service().submit(PartitionRequest(graph=graph, n_chips=4))
+        r8 = _int8_service().submit(PartitionRequest(graph=graph, n_chips=4))
+        assert r8.fingerprint == r64.fingerprint
+
+    def test_cache_replay_bit_identical(self):
+        service = _int8_service()
+        graph = build_mlp()
+        first = service.submit(PartitionRequest(graph=graph, n_chips=4))
+        second = service.submit(PartitionRequest(graph=graph, n_chips=4))
+        assert second.cached
+        np.testing.assert_array_equal(second.assignment, first.assignment)
+
+    def test_quantization_stats_in_metrics(self):
+        """Quantization error appears in /metrics per pool entry; float
+        deployments never grow the key."""
+        service = _int8_service()
+        service.submit(PartitionRequest(graph=build_mlp(), n_chips=4))
+        metrics = service.metrics()
+        assert "int8_quantization" in metrics
+        (label, stats), = metrics["int8_quantization"].items()
+        assert label == "untrained/chips=4"
+        assert stats["n_layers"] >= 1
+        assert stats["max_abs_err"] > 0.0
+
+        float_metrics = tiny_service().metrics()
+        assert "int8_quantization" not in float_metrics
+
+    def test_checkpoint_install_refreshes_stats(self, tmp_path):
+        """A checkpoint install re-quantizes: the served stats describe
+        the installed weights, keyed by checkpoint@version."""
+        from repro.core.partitioner import RLPartitioner
+        from repro.serve import CheckpointRegistry
+
+        registry = CheckpointRegistry(str(tmp_path / "reg"))
+        registry.publish_partitioner(
+            "prod", RLPartitioner(4, config=tiny_rl_config(), rng=5)
+        )
+        service = _int8_service(registry=registry)
+        service.submit(PartitionRequest(graph=build_mlp(), n_chips=4,
+                                        checkpoint="prod"))
+        quant = service.metrics()["int8_quantization"]
+        assert any(key.startswith("prod@") for key in quant)
