@@ -34,6 +34,7 @@ if __package__ in (None, ""):
 import os
 
 from repro.bench.harness import bench_scale, interleaved_medians
+from repro.obs.profile import PhaseTimer
 from repro.core.environment import PartitionEnvironment
 from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
 from repro.core.pretrain import PretrainConfig, pretrain, select_checkpoint
@@ -88,10 +89,21 @@ def _timed(n_samples: int, fn, precision: str = "float64") -> dict:
 
 
 def bench_search(graphs, n_samples: int) -> dict:
-    """PPO-training search loop on one graph (the fine-tune hot path)."""
+    """PPO-training search loop on one graph (the fine-tune hot path).
+
+    The row carries the library-side phase breakdown (repro.obs.profile):
+    the partitioner attributes its own wall time to encoder / solver /
+    rollout / ppo_update, so the JSON records where the window went without
+    any bench-local monkeypatching.
+    """
     env = _env(graphs[0])
     partitioner = _partitioner(rng=0)
-    return _timed(n_samples, lambda: partitioner.search(env, n_samples, train=True))
+    partitioner.profiler = PhaseTimer()
+    row = _timed(
+        n_samples, lambda: partitioner.search(env, n_samples, train=True)
+    )
+    row["phases"] = partitioner.profiler.breakdown(row["seconds"])
+    return row
 
 
 def bench_pretrain(graphs, n_samples: int) -> dict:
@@ -339,26 +351,25 @@ def bench_precision_sweep(graphs, scale, n_repeats: int) -> dict:
     zeroshot_per_pair = max(scale.samples(8, cap=32) // 2, 2)
 
     ppo_shares: dict[str, list] = {"float64": [], "float32": []}
+    phase_rows: dict[str, list] = {"float64": [], "float32": []}
 
     def mk_search(precision):
         def run():
             env = _env(graphs[0])
             partitioner = _partitioner(rng=0, precision=precision)
-            trainer = partitioner.trainer
-            inner = trainer.update
-            ppo_seconds = [0.0]
-
-            def timed_update(*a, **kw):
-                t0 = time.perf_counter()
-                out = inner(*a, **kw)
-                ppo_seconds[0] += time.perf_counter() - t0
-                return out
-
-            trainer.update = timed_update
+            # Library-side attribution (repro.obs.profile): the partitioner
+            # times its own ppo_update at the hook site, replacing the old
+            # trainer.update monkeypatch with the shared PhaseTimer.
+            timer = PhaseTimer()
+            partitioner.profiler = timer
             start = time.perf_counter()
             partitioner.search(env, search_n)
             elapsed = time.perf_counter() - start
-            ppo_shares[precision].append(round(ppo_seconds[0] / elapsed, 3))
+            info = timer.breakdown(elapsed)
+            ppo_shares[precision].append(
+                info["shares"].get("ppo_update", 0.0)
+            )
+            phase_rows[precision].append(info)
             return search_n / elapsed
         return run
 
@@ -426,6 +437,9 @@ def bench_precision_sweep(graphs, scale, n_repeats: int) -> dict:
         "float32_speedup": speedups,
         "ppo_wall_share": {
             p: float(np.median(v)) if v else None for p, v in ppo_shares.items()
+        },
+        "phase_breakdown": {
+            p: (rows[-1] if rows else None) for p, rows in phase_rows.items()
         },
         "note": (
             "medians of interleaved runs; float64 is the frozen bit-for-bit "

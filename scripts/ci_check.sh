@@ -204,6 +204,63 @@ finally:
 print("router smoke OK: shard SIGKILLed, zero failed requests, failovers counted")
 PY
 
+echo "== trace smoke (2-shard router, X-Repro-Trace end to end) =="
+# A traced request through a router with two shard subprocesses: the
+# client-supplied trace id must be echoed back, force-sample the trace,
+# and appear in BOTH processes' JSONL sinks — router.attempt on the
+# router side, cache.lookup + search.replay_batch on the shard side.
+# Hard timeout: a tracing layer that wedges the request path (or a
+# writer thread that never drains) must fail the gate fast.
+timeout --kill-after=30 300 env PYTHONPATH=src python - <<'PY'
+import glob, json, os, tempfile, time
+from repro.cli import _resolve_zoo_graph
+from repro.serve import RouterConfig, ShardRouter
+
+trace_dir = tempfile.mkdtemp(prefix="repro-trace-smoke-")
+router = ShardRouter.spawn(
+    2,
+    config=RouterConfig(trace_dir=trace_dir, trace_sample=0.0),
+    graph_resolver=_resolve_zoo_graph,
+    seed=0,
+)
+try:
+    # Same shape as RouterServer.do_POST: a client-supplied header id
+    # forces sampling; handle_partition forwards it to the shard.
+    trace = router.tracer.start(trace_id="ci-trace-smoke-01")
+    status, reply = router.handle_partition(
+        {"graph": "mlp", "chips": 4, "samples": 4}, trace=trace
+    )
+    router.tracer.finish(trace, status=status)
+    assert status == 200 and "assignment" in reply, (status, reply)
+    # The writer threads are asynchronous (and the shard is another
+    # process): poll the JSONL sinks until both sides have landed.
+    deadline = time.time() + 30
+    rows = []
+    while time.time() < deadline:
+        router.tracer.flush(timeout=1.0)
+        rows = []
+        for path in glob.glob(os.path.join(trace_dir, "*.jsonl")):
+            with open(path) as fh:
+                rows.extend(json.loads(line) for line in fh)
+        rows = [r for r in rows if r["trace_id"] == "ci-trace-smoke-01"]
+        names = {s["name"] for r in rows for s in r["spans"]}
+        if {"router.attempt", "cache.lookup", "search.replay_batch"} <= names:
+            break
+        time.sleep(0.1)
+    assert len(rows) == 2, f"expected router+shard traces, got {rows}"
+    names = {s["name"] for r in rows for s in r["spans"]}
+    assert "router.attempt" in names, names
+    assert "cache.lookup" in names and "search.replay_batch" in names, names
+    for r in rows:  # every non-root span links into its own trace
+        ids = {s["span_id"] for s in r["spans"]}
+        assert all(
+            s["parent_id"] in ids for s in r["spans"] if s["span_id"] != "s0"
+        ), r
+finally:
+    router.close()
+print("trace smoke OK: id echoed, router+shard spans linked in JSONL")
+PY
+
 echo "== chaos smoke (kill a worker mid-replay, assert bit-identity) =="
 # One representative fault-injection run from the chaos suite (the full
 # suite runs under `pytest -m chaos`; tier-1 deselects the marker).  The

@@ -131,38 +131,133 @@ def format_partition_report(report: PartitionReport) -> str:
     return table + summary
 
 
-def format_service_metrics(metrics: dict) -> str:
-    """Render a :meth:`PartitionService.metrics` snapshot as a text report.
+def _fmt_ms(value) -> str:
+    return "-" if value is None else f"{value:.2f}"
 
-    One latency row per request source (``cached`` / ``warm`` / ``cold``),
-    prefixed by the aggregate counters — the operator's view of the serving
-    layer (the ``/metrics`` endpoint carries the same dict as JSON).
-    """
-    cache = metrics.get("cache", {})
+
+def _format_router_metrics(metrics: dict) -> str:
+    """Render a :meth:`ShardRouter.metrics` snapshot (``router: true``)."""
     rows = []
-    for source in ("cached", "warm", "cold"):
-        stats = metrics.get("latency_ms", {}).get(source, {})
-        count = stats.get("count", 0)
-        p50, p95 = stats.get("p50_ms"), stats.get("p95_ms")
+    for shard_id, info in sorted(metrics.get("shards", {}).items()):
+        health = info.get("health", {})
+        breaker = info.get("breaker", {})
         rows.append(
             [
-                source,
-                str(count),
-                "-" if p50 is None else f"{p50:.2f}",
-                "-" if p95 is None else f"{p95:.2f}",
+                shard_id,
+                info.get("address", "-"),
+                "yes" if health.get("healthy") else "no",
+                breaker.get("state", "-"),
+                str(info.get("requests", 0)),
+                str(info.get("failures", 0)),
             ]
         )
     table = format_table(
-        ["source", "requests", "p50 (ms)", "p95 (ms)"],
+        ["shard", "address", "healthy", "breaker", "requests", "failures"],
+        rows,
+        title="router metrics",
+    )
+    latency = metrics.get("latency_ms", {})
+    hedge = metrics.get("hedge", {})
+    lines = [
+        table,
+        f"\nrequests: {metrics.get('requests_total', 0)}"
+        f" (p50 {_fmt_ms(latency.get('p50_ms'))} ms"
+        f" / p95 {_fmt_ms(latency.get('p95_ms'))} ms"
+        f" / p99 {_fmt_ms(latency.get('p99_ms'))} ms)"
+        f" | replication: {metrics.get('replication', 1)}",
+        f"failovers: {metrics.get('failovers', 0)}"
+        f" | hedges: {metrics.get('hedges_fired', 0)}"
+        f" fired / {metrics.get('hedge_wins', 0)} won"
+        f" (delay {hedge.get('delay_s', 0.0):.3f}s,"
+        f" {'on' if hedge.get('enabled') else 'off'})",
+        f"degraded serves: {metrics.get('degraded_serves', 0)}"
+        f" | all-replicas-down: {metrics.get('all_replicas_down', 0)}"
+        f" | client errors: {metrics.get('client_errors', 0)}",
+    ]
+    faults = metrics.get("faults")
+    if faults:
+        lines.append(
+            f"faults: {faults.get('fired_total', 0)} fired"
+            f" / {faults.get('armed', 0)} armed"
+        )
+    return "\n".join(lines)
+
+
+def format_service_metrics(metrics: dict) -> str:
+    """Render a :meth:`PartitionService.metrics` snapshot as a text report.
+
+    One latency row per request source (``cached`` / ``warm`` / ``cold`` /
+    ``degraded``), prefixed by the aggregate counters, then batching /
+    reliability / pool lines when those blocks are present — the operator's
+    view of the serving layer (the ``/metrics`` endpoint carries the same
+    dict as JSON; ``repro metrics`` fetches and feeds it here).  A router
+    snapshot (``router: true``) renders the per-shard table instead.
+    """
+    if metrics.get("router"):
+        return _format_router_metrics(metrics)
+    cache = metrics.get("cache", {})
+    rows = []
+    for source in ("cached", "warm", "cold", "degraded"):
+        stats = metrics.get("latency_ms", {}).get(source, {})
+        rows.append(
+            [
+                source,
+                str(stats.get("count", 0)),
+                _fmt_ms(stats.get("p50_ms")),
+                _fmt_ms(stats.get("p95_ms")),
+                _fmt_ms(stats.get("p99_ms")),
+            ]
+        )
+    table = format_table(
+        ["source", "requests", "p50 (ms)", "p95 (ms)", "p99 (ms)"],
         rows,
         title="serving metrics",
     )
-    summary = (
+    lines = [
+        table,
         f"\nrequests: {metrics.get('requests_total', 0)}"
         f" ({metrics.get('requests_per_sec', 0.0):.1f}/s over "
         f"{metrics.get('uptime_s', 0.0):.0f}s)"
         f" | cache hit rate: {cache.get('hit_rate', 0.0):.1%}"
         f" ({cache.get('size', 0)}/{cache.get('capacity', 0)} entries)"
-        f" | errors: {metrics.get('errors', 0)}"
-    )
-    return table + summary
+        f" | errors: {metrics.get('errors', 0)}",
+    ]
+    batching = metrics.get("batching")
+    if batching is not None:
+        wait = batching.get("batch_wait_ms", {})
+        sizes = batching.get("batch_size_histogram", {})
+        size_text = (
+            " ".join(f"{k}x{v}" for k, v in sorted(
+                sizes.items(), key=lambda kv: int(kv[0])
+            ))
+            or "-"
+        )
+        lines.append(
+            f"batching: {batching.get('batches_flushed', 0)} batches"
+            f" / {batching.get('coalesced_requests', 0)} coalesced"
+            f" (window {batching.get('window_ms', 0.0):.0f}ms,"
+            f" wait p95 {_fmt_ms(wait.get('p95_ms'))} ms)"
+            f" | sizes: {size_text}"
+        )
+    reliability = metrics.get("reliability")
+    if reliability is not None:
+        deadline = reliability.get("request_deadline_s")
+        lines.append(
+            f"reliability: {metrics.get('throttled', 0)} throttled"
+            f" | {metrics.get('rate_limited', 0)} rate-limited"
+            f" | {reliability.get('degraded_serves', 0)} degraded"
+            f" | deadline: {'-' if deadline is None else f'{deadline:g}s'}"
+        )
+        if "faults_fired" in reliability:
+            lines.append(
+                f"faults: {reliability.get('faults_fired', 0)} fired"
+                f" / {reliability.get('faults_armed', 0)} armed"
+            )
+    pool = metrics.get("pool")
+    if pool is not None:
+        lines.append(
+            f"warm pool: {pool.get('size', 0)}/{pool.get('capacity', 0)}"
+            f" policies | {pool.get('builds', 0)} builds"
+            f" | {pool.get('weight_loads', 0)} weight loads"
+        )
+    return "\n".join(lines)

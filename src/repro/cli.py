@@ -10,6 +10,7 @@ Commands
 ``route``      run the replicated sharded tier: spawn N shards behind a
                consistent-hash router with failover and hedging
 ``request``    ask a running server for a partition
+``metrics``    fetch a server's /metrics snapshot and pretty-print it
 
 Examples
 --------
@@ -186,6 +187,14 @@ def _cmd_partition(args) -> int:
     if args.precision != "float64" and args.method != "rl":
         print("--precision applies to --method rl only", file=sys.stderr)
         return 2
+    profiler = None
+    if args.profile or args.profile_log:
+        if args.method != "rl":
+            print("--profile applies to --method rl only", file=sys.stderr)
+            return 2
+        from repro.obs.profile import PhaseTimer
+
+        profiler = PhaseTimer(log_path=args.profile_log)
 
     if args.method == "greedy":
         assignment = greedy_partition(graph, n_chips)
@@ -212,17 +221,22 @@ def _cmd_partition(args) -> int:
                 topology=rl_topology,
             ),
         }
+        searcher = searchers[args.method]()
+        if profiler is not None:
+            # Zero-perturbation hook: the partitioner only reads this to
+            # pick a timing context; the search path is otherwise identical.
+            searcher.profiler = profiler
         if args.method == "rl" and args.workers > 1:
             # Parallel rollout pool; --workers 1 stays the serial path
             # (bit-for-bit identical to earlier releases).
             result = parallel_search(
-                searchers["rl"](),
+                searcher,
                 env,
                 args.samples,
                 config=ParallelConfig(n_workers=args.workers, seed=args.seed),
             )
         else:
-            result = searchers[args.method]().search(env, args.samples)
+            result = searcher.search(env, args.samples)
         if result.best_assignment is None:
             print("no valid partition found", file=sys.stderr)
             return 1
@@ -230,6 +244,17 @@ def _cmd_partition(args) -> int:
 
     print(format_partition_report(analyze_partition(graph, assignment, package)))
     print(f"\n{args.objective} improvement over greedy heuristic: {improvement:.3f}x")
+    if profiler is not None:
+        print()
+        print(profiler.format())
+        profiler.log_event(
+            "partition_profile",
+            graph=args.graph,
+            method=args.method,
+            samples=args.samples,
+            workers=args.workers,
+            **profiler.breakdown(),
+        )
     if args.output:
         np.save(args.output, assignment)
         print(f"assignment written to {args.output}")
@@ -286,6 +311,9 @@ def _cmd_serve(args) -> int:
         batch_max_size=args.batch_max_size,
         rate_limit_rps=args.rate_limit,
         rate_limit_burst=args.rate_limit_burst,
+        trace_dir=args.trace_dir,
+        trace_sample=args.trace_sample,
+        trace_slow_ms=args.trace_slow_ms,
     )
     # The warm pool's untrained-policy network defaults to
     # repro.serve.registry.default_serving_config (the CLI's 64x4 sizing).
@@ -334,6 +362,9 @@ def _cmd_route(args) -> int:
         breaker_reset_s=args.breaker_reset,
         hedge=not args.no_hedge,
         fault_plan=_parse_fault_plan(args),
+        trace_dir=args.trace_dir,
+        trace_sample=args.trace_sample,
+        trace_slow_ms=args.trace_slow_ms,
     )
     router = ShardRouter.spawn(
         args.shards,
@@ -404,6 +435,7 @@ def _cmd_request(args) -> int:
             port=args.port,
             timeout=args.timeout,
             retries=args.retries,
+            trace_id=args.trace_id,
         )
     except (ServiceError, OSError) as exc:
         print(f"request failed: {exc}", file=sys.stderr)
@@ -430,6 +462,35 @@ def _cmd_request(args) -> int:
     if args.output:
         print(f"assignment written to {args.output}")
     return 0
+
+
+def _cmd_metrics(args) -> int:
+    """Fetch /metrics from a running server and pretty-print it."""
+    import json
+    import time as _time
+
+    from repro.analysis.report import format_service_metrics
+    from repro.serve import fetch_metrics
+
+    while True:
+        try:
+            snapshot = fetch_metrics(
+                host=args.host, port=args.port, timeout=args.timeout, retries=0
+            )
+        except OSError as exc:
+            print(f"metrics fetch failed: {exc}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+        else:
+            print(format_service_metrics(snapshot))
+        if not args.watch:
+            return 0
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0
+        print()
 
 
 def _add_topology_args(parser) -> None:
@@ -507,6 +568,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(tolerance-pinned; ~1.5x+ search samples/sec)",
     )
     p_part.add_argument("--output", help="write the assignment to this .npy path")
+    p_part.add_argument(
+        "--profile", action="store_true",
+        help="attribute search wall time to rollout / solver / encoder / "
+             "ppo_update / pool_ipc phases and print the breakdown "
+             "(--method rl only; zero-perturbation — results are identical)",
+    )
+    p_part.add_argument(
+        "--profile-log", default=None, metavar="PATH",
+        help="append the phase breakdown as a JSONL event here "
+             "(implies --profile)",
+    )
     p_part.set_defaults(fn=_cmd_partition)
 
     p_val = sub.add_parser("validate", help="validate an assignment file")
@@ -602,6 +674,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="token-bucket burst capacity (defaults to 1 when --rate-limit "
              "is set)",
     )
+    p_serve.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="append sampled request traces as JSONL under this directory "
+             "(enables X-Repro-Trace propagation)",
+    )
+    p_serve.add_argument(
+        "--trace-sample", type=float, default=1.0,
+        help="fraction of traces written (deterministic per trace id; "
+             "client-supplied ids are always written)",
+    )
+    p_serve.add_argument(
+        "--trace-slow-ms", type=float, default=0.0,
+        help="requests at or above this duration are written even when "
+             "not sampled (0 = off)",
+    )
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
     p_serve.set_defaults(fn=_cmd_serve)
@@ -689,9 +776,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-max-size", type=int, default=8,
         help="per-shard coalescing flush cap",
     )
+    p_route.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="append sampled request traces as JSONL under this directory "
+             "(enables X-Repro-Trace propagation; forwarded to every shard so one id links router and shard spans)",
+    )
+    p_route.add_argument(
+        "--trace-sample", type=float, default=1.0,
+        help="fraction of traces written (deterministic per trace id; "
+             "client-supplied ids are always written)",
+    )
+    p_route.add_argument(
+        "--trace-slow-ms", type=float, default=0.0,
+        help="requests at or above this duration are written even when "
+             "not sampled (0 = off)",
+    )
     p_route.add_argument("--verbose", action="store_true",
                          help="log HTTP requests to stderr")
     p_route.set_defaults(fn=_cmd_route)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="fetch a server's /metrics snapshot and pretty-print it"
+    )
+    p_metrics.add_argument("--host", default="127.0.0.1")
+    p_metrics.add_argument("--port", type=int, default=8080)
+    p_metrics.add_argument("--timeout", type=float, default=10.0)
+    p_metrics.add_argument("--json", action="store_true",
+                           help="print the raw JSON snapshot")
+    p_metrics.add_argument("--watch", action="store_true",
+                           help="refresh every --interval seconds until ^C")
+    p_metrics.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh period for --watch (seconds)",
+    )
+    p_metrics.set_defaults(fn=_cmd_metrics)
 
     p_req = sub.add_parser(
         "request", help="ask a running server for a partition"
@@ -719,6 +837,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=2,
         help="retry budget for 429/503/connection failures "
              "(jittered exponential backoff, honours Retry-After)",
+    )
+    p_req.add_argument(
+        "--trace-id", default=None,
+        help="X-Repro-Trace id to send: a tracing-enabled server "
+             "force-samples the request and echoes the id, so its trace "
+             "can be found in the server's --trace-dir JSONL",
     )
     p_req.add_argument("--json", action="store_true",
                        help="print the raw JSON reply")

@@ -27,6 +27,7 @@ from repro.rl.policy import PartitionPolicy
 from repro.rl.ppo import PPOConfig, PPOTrainer
 from repro.rl.rollout import Rollout, RolloutBuffer
 from repro.solver.engine import ConstraintSolver
+from repro.obs.profile import NULL_PHASE
 from repro.solver.strategies import fix_partition, sample_partition
 from repro.utils.rng import as_generator
 
@@ -177,6 +178,14 @@ class RLPartitioner:
         # install_checkpoint; lets long-lived serving partitioners skip
         # redundant weight loads (see the serving invariants in ROADMAP.md).
         self._installed_checkpoint: "tuple | None" = None
+        # Optional PhaseTimer (repro.obs.profile) attached by the CLI or
+        # benches; None keeps every hook site on the shared no-op phase.
+        self.profiler = None
+
+    def _phase(self, name: str):
+        """Profiler phase for ``name``, or the shared no-op when detached."""
+        prof = self.profiler
+        return NULL_PHASE if prof is None else prof.phase(name)
 
     def effective_topology(self, env):
         """Platform the next search runs against (the environment's).
@@ -366,7 +375,8 @@ class RLPartitioner:
                 for rollout in draw.rollouts:
                     buffer.add(rollout)
                 if len(buffer) >= n_rollouts:
-                    self.trainer.update(feats, buffer)
+                    with self._phase("ppo_update"):
+                        self.trainer.update(feats, buffer)
                     buffer.clear()
 
         return SearchResult(
@@ -398,7 +408,8 @@ class RLPartitioner:
         graph = env.graph
         topology = self.effective_topology(env)
         eps = self.config.explore_eps
-        proposal = self.policy.propose_batch(feats, batch_size, rng=rng)
+        with self._phase("encoder"):
+            proposal = self.policy.propose_batch(feats, batch_size, rng=rng)
         improvements = np.zeros(batch_size)
         rollouts: list[Rollout] = []
         best: "np.ndarray | None" = None
@@ -414,17 +425,19 @@ class RLPartitioner:
                 probs = (1.0 - eps) * probs + eps / self.n_chips
             if use_solver:
                 solver = self._solver_for(graph, topology)
-                if self.config.solver_mode == "fix":
-                    repaired = fix_partition(
-                        graph, candidate, self.n_chips, rng=rng, solver=solver
-                    )
-                else:
-                    repaired = sample_partition(
-                        graph, probs, self.n_chips, rng=rng, solver=solver
-                    )
+                with self._phase("solver"):
+                    if self.config.solver_mode == "fix":
+                        repaired = fix_partition(
+                            graph, candidate, self.n_chips, rng=rng, solver=solver
+                        )
+                    else:
+                        repaired = sample_partition(
+                            graph, probs, self.n_chips, rng=rng, solver=solver
+                        )
             else:
                 repaired = candidate
-            sample = env.evaluate(repaired)
+            with self._phase("rollout"):
+                sample = env.evaluate(repaired)
             improvements[j] = sample.improvement
             if sample.improvement > best_improvement:
                 best, best_improvement = repaired.copy(), sample.improvement

@@ -1,0 +1,56 @@
+"""Shared observability layer: tracing, typed metrics, phase profiling.
+
+Three pillars, all zero-perturbation (no RNG use, timers only around
+existing boundaries — see the ROADMAP "Observability invariants"):
+
+* :mod:`repro.obs.trace` — ``Trace``/``Span`` request tracing with ids
+  propagated via the ``X-Repro-Trace`` header and sampled JSONL sinks.
+* :mod:`repro.obs.metrics` — ``Counter``/``Gauge``/``Histogram``
+  primitives (bounded-memory log buckets, streaming percentiles, merge)
+  plus Prometheus text rendering.
+* :mod:`repro.obs.profile` — ``PhaseTimer`` attributing training-window
+  wall time to rollout / solver / encoder / PPO-update / pool-IPC.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    latency_summary,
+    prometheus_from_snapshot,
+)
+from repro.obs.profile import NULL_PHASE, PhaseTimer
+from repro.obs.trace import (
+    NULL_SPAN,
+    TRACE_HEADER,
+    Span,
+    Trace,
+    Tracer,
+    activate,
+    current_trace,
+    deactivate,
+    span,
+    trace_id_should_sample,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_PHASE",
+    "NULL_SPAN",
+    "PhaseTimer",
+    "Span",
+    "TRACE_HEADER",
+    "Trace",
+    "Tracer",
+    "activate",
+    "current_trace",
+    "deactivate",
+    "latency_summary",
+    "prometheus_from_snapshot",
+    "span",
+    "trace_id_should_sample",
+]

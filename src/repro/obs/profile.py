@@ -1,0 +1,151 @@
+"""Training-loop phase profiling.
+
+:class:`PhaseTimer` attributes wall time inside a search/pretrain loop to
+named phases — ``rollout`` / ``solver`` / ``encoder`` / ``ppo_update`` /
+``pool_ipc`` — at existing call boundaries, so benches and the CLI report
+"where did this window go?" from the library instead of monkeypatching
+trainer methods.
+
+Zero-perturbation: the hook sites read ``partitioner.profiler`` once per
+batch; when it is ``None`` (the default) they fall back to a shared no-op
+context manager, so the instrumented loop with profiling off executes the
+same arithmetic in the same order as the uninstrumented one.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+__all__ = ["NULL_PHASE", "PhaseTimer"]
+
+
+class _NullPhase:
+    """Shared no-op phase context: the profiling-off path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_PHASE = _NullPhase()
+
+
+class _Phase:
+    __slots__ = ("_timer", "_name", "_t0")
+
+    def __init__(self, timer: "PhaseTimer", name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Phase":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._timer.add(self._name, time.perf_counter() - self._t0)
+        return False
+
+
+class PhaseTimer:
+    """Accumulates per-phase wall seconds across a training run.
+
+    ``phase(name)`` returns a context manager timing one occurrence;
+    ``add(name, seconds)`` records externally measured time (IPC waits).
+    ``shares()`` normalises against total wall time between construction
+    (or the last :meth:`reset`) and now, so unattributed time shows up as
+    an explicit ``other`` share instead of silently inflating the rest.
+    """
+
+    def __init__(self, log_path: "str | None" = None) -> None:
+        self._seconds: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._log_path = log_path
+        self._t_start = time.perf_counter()
+
+    def phase(self, name: str) -> _Phase:
+        return _Phase(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        with self._lock:
+            self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self._seconds.clear()
+            self._counts.clear()
+            self._t_start = time.perf_counter()
+
+    @property
+    def elapsed_s(self) -> float:
+        return time.perf_counter() - self._t_start
+
+    def seconds(self) -> "dict[str, float]":
+        with self._lock:
+            return dict(self._seconds)
+
+    def counts(self) -> "dict[str, int]":
+        with self._lock:
+            return dict(self._counts)
+
+    def shares(self, elapsed_s: "float | None" = None) -> "dict[str, float]":
+        """Fraction of wall time per phase, plus ``other`` for the rest.
+
+        Phases that nest (``solver`` inside a timed batch) are reported as
+        measured; ``other`` is clamped at 0 when attributed time exceeds
+        the wall clock due to nesting.
+        """
+        total = self.elapsed_s if elapsed_s is None else float(elapsed_s)
+        with self._lock:
+            seconds = dict(self._seconds)
+        if total <= 0.0:
+            return {name: 0.0 for name in seconds}
+        out = {name: round(s / total, 4) for name, s in sorted(seconds.items())}
+        out["other"] = round(max(0.0, 1.0 - sum(seconds.values()) / total), 4)
+        return out
+
+    def breakdown(self, elapsed_s: "float | None" = None) -> dict:
+        """The JSON row benches and ``--profile`` emit."""
+        total = self.elapsed_s if elapsed_s is None else float(elapsed_s)
+        with self._lock:
+            seconds = {k: round(v, 6) for k, v in sorted(self._seconds.items())}
+            counts = dict(sorted(self._counts.items()))
+        return {
+            "elapsed_s": round(total, 6),
+            "seconds": seconds,
+            "counts": counts,
+            "shares": self.shares(total),
+        }
+
+    def log_event(self, event: str, **fields) -> None:
+        """Append one JSONL event (window boundary, breakdown) to the log."""
+        if self._log_path is None:
+            return
+        row = {"event": event, **fields}
+        try:
+            with open(self._log_path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(row, separators=(",", ":")) + "\n")
+        except OSError:
+            pass
+
+    def format(self, elapsed_s: "float | None" = None) -> str:
+        """Human-readable breakdown table for ``repro partition --profile``."""
+        info = self.breakdown(elapsed_s)
+        lines = [f"phase breakdown over {info['elapsed_s']:.3f}s wall:"]
+        shares = info["shares"]
+        for name, secs in info["seconds"].items():
+            n = info["counts"].get(name, 0)
+            lines.append(
+                f"  {name:>10}: {secs:9.4f}s  {shares.get(name, 0.0) * 100:5.1f}%"
+                f"  ({n} calls)"
+            )
+        lines.append(f"  {'other':>10}: {'':>10} {shares.get('other', 0.0) * 100:5.1f}%")
+        return "\n".join(lines)

@@ -1,0 +1,379 @@
+"""End-to-end request tracing with zero-perturbation guarantees.
+
+A :class:`Trace` is one request's tree of timed :class:`Span`\\ s, carried
+across the process boundary by the ``X-Repro-Trace`` header: the router
+opens the trace, forwards the id to the shard it picks, and both sides
+append their spans to per-process JSONL files keyed by the shared id.
+
+Design constraints (the "zero-perturbation" rule, see ROADMAP):
+
+* **No RNG coupling** — trace ids come from ``uuid.uuid4`` (OS entropy),
+  never from the seeded NumPy streams that drive search; span ids are a
+  per-trace counter.  Enabling tracing cannot move a single sample.
+* **Deterministic sampling** — the keep/drop decision hashes the trace id
+  (SHA-256), so the router and every shard agree on the same decision for
+  the same id without coordination, and replays are reproducible.
+* **Off the hot path** — the disabled tracer and the unsampled trace both
+  reduce to a shared no-op span singleton, and file I/O never runs on a
+  request thread: completed traces are handed to a single background
+  writer that appends them to the process's JSONL file.  ``flush()``
+  blocks until the queue drains (tests, CLI teardown); ``close()`` drains
+  and joins the writer.  Traces finished after ``close()`` are dropped.
+
+A slow-request threshold (``slow_ms``) force-writes traces whose total
+duration crosses it even when the sampler dropped them — the request you
+most want to see is the one the sampler would have thrown away.
+"""
+
+from __future__ import annotations
+
+import collections
+import contextvars
+import itertools
+import hashlib
+import json
+import os
+import threading
+import time
+import uuid
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "Trace",
+    "Tracer",
+    "activate",
+    "current_trace",
+    "deactivate",
+    "span",
+    "trace_id_should_sample",
+]
+
+TRACE_HEADER = "X-Repro-Trace"
+
+
+def trace_id_should_sample(trace_id: str, sample: float) -> bool:
+    """Deterministic keep/drop for ``trace_id`` at rate ``sample``.
+
+    Hashes the id rather than drawing randomness so every process holding
+    the same id makes the same decision, and so tracing never touches an
+    RNG stream (seeded or otherwise).
+    """
+    if sample >= 1.0:
+        return True
+    if sample <= 0.0:
+        return False
+    digest = hashlib.sha256(trace_id.encode("utf-8")).hexdigest()[:8]
+    return int(digest, 16) / float(0xFFFFFFFF) < sample
+
+
+class _NullSpan:
+    """Shared no-op span: the disabled path is attribute lookups only."""
+
+    __slots__ = ()
+    trace_id = None
+    span_id = None
+
+    def end(self, **attrs) -> None:
+        pass
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed operation inside a trace."""
+
+    __slots__ = ("trace", "name", "span_id", "parent_id", "t0", "dur_ms", "attrs", "_token")
+
+    def __init__(self, trace: "Trace", name: str, span_id: str, parent_id: "str | None", attrs: dict) -> None:
+        self.trace = trace
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.t0 = time.perf_counter()
+        self.dur_ms: "float | None" = None
+        self.attrs = attrs
+        self._token = None
+
+    @property
+    def trace_id(self) -> str:
+        return self.trace.trace_id
+
+    def set(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    def end(self, **attrs) -> None:
+        if self.dur_ms is None:
+            self.dur_ms = (time.perf_counter() - self.t0) * 1e3
+        if attrs:
+            self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self._token = _CURRENT.set((self.trace, self.span_id))
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.end()
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+        return False
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_ms": round((self.t0 - self.trace.t0) * 1e3, 4),
+            "dur_ms": round(self.dur_ms, 4) if self.dur_ms is not None else None,
+        }
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+
+class Trace:
+    """A request's span tree.  Thread-safe: router attempt threads append
+    spans to the same trace concurrently."""
+
+    __slots__ = ("trace_id", "sampled", "service", "t0", "root", "_spans", "_next")
+
+    def __init__(self, trace_id: str, sampled: bool, service: str = "") -> None:
+        self.trace_id = trace_id
+        self.sampled = sampled
+        self.service = service
+        self.t0 = time.perf_counter()
+        self._spans: "list[Span]" = []
+        # No lock on the span path: itertools.count and list.append are
+        # atomic under the GIL, which is all concurrent attempt threads need.
+        self._next = itertools.count()
+        self.root = self.start_span("request")
+
+    def start_span(self, name: str, parent_id: "str | None" = None, **attrs) -> Span:
+        span_id = f"s{next(self._next)}"
+        if parent_id is None and span_id != "s0":
+            parent_id = self.root.span_id
+        sp = Span(self, name, span_id, parent_id, attrs)
+        self._spans.append(sp)
+        return sp
+
+    def spans(self) -> "list[Span]":
+        return list(self._spans)
+
+    def to_dict(self) -> dict:
+        root = self.root
+        return {
+            "trace_id": self.trace_id,
+            "service": self.service,
+            "dur_ms": round(root.dur_ms, 4) if root.dur_ms is not None else None,
+            "spans": [sp.to_dict() for sp in self.spans()],
+        }
+
+
+# (trace, parent_span_id) for the current execution context, or None.
+_CURRENT: "contextvars.ContextVar[tuple | None]" = contextvars.ContextVar(
+    "repro_trace", default=None
+)
+
+
+def current_trace() -> "Trace | None":
+    state = _CURRENT.get()
+    return state[0] if state is not None else None
+
+
+def activate(trace: "Trace | None", parent_id: "str | None" = None):
+    """Bind ``trace`` to the current context; returns a token for deactivate."""
+    if trace is None:
+        return None
+    return _CURRENT.set((trace, parent_id or trace.root.span_id))
+
+
+def deactivate(token) -> None:
+    if token is not None:
+        _CURRENT.reset(token)
+
+
+def span(name: str, **attrs):
+    """Start a child span of the context's current span (no-op when none).
+
+    Usable as a context manager::
+
+        with span("cache.lookup", fingerprint=fp):
+            entry = cache.get(fp)
+    """
+    state = _CURRENT.get()
+    if state is None:
+        return NULL_SPAN
+    trace, parent_id = state
+    return trace.start_span(name, parent_id=parent_id, **attrs)
+
+
+class Tracer:
+    """Creates traces and writes the sampled ones to JSONL.
+
+    One file per process (``trace-<pid>.jsonl`` under ``trace_dir``), one
+    line per completed trace, appended atomically enough for line-oriented
+    readers (single ``write`` of one line).  ``enabled`` is False when no
+    ``trace_dir`` is configured; every entry point short-circuits on it.
+
+    Writes are asynchronous: :meth:`finish` enqueues the completed trace
+    and a lazily started daemon thread does the serialize/append, so the
+    request thread never pays for file I/O (and never contends on the GIL
+    for it between back-to-back requests).  :meth:`flush` waits for the
+    queue to drain; :meth:`close` flushes and stops the writer.
+    """
+
+    def __init__(
+        self,
+        trace_dir: "str | None" = None,
+        sample: float = 1.0,
+        slow_ms: float = 0.0,
+        service: str = "",
+    ) -> None:
+        self.trace_dir = trace_dir
+        self.sample = float(sample)
+        self.slow_ms = float(slow_ms)
+        self.service = service
+        self.enabled = trace_dir is not None
+        self._write_lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._queue: "collections.deque[Trace]" = collections.deque()
+        self._thread: "threading.Thread | None" = None
+        self._writing = False
+        self._closed = False
+        self._fh = None
+        if self.enabled:
+            os.makedirs(trace_dir, exist_ok=True)
+
+    def start(self, trace_id: "str | None" = None, forced: bool = False) -> "Trace | None":
+        """Open a trace (None when tracing is disabled).
+
+        A caller-supplied ``trace_id`` (an incoming ``X-Repro-Trace``
+        header) forces sampling: the client asked to see this request.
+        """
+        if not self.enabled:
+            return None
+        if trace_id:
+            forced = True
+        else:
+            trace_id = uuid.uuid4().hex[:16]
+        sampled = forced or trace_id_should_sample(trace_id, self.sample)
+        return Trace(trace_id, sampled, service=self.service)
+
+    def finish(self, trace: "Trace | None", **attrs) -> bool:
+        """Close the root span and write the trace if it should be kept."""
+        if trace is None:
+            return False
+        trace.root.end(**attrs)
+        keep = trace.sampled or (
+            self.slow_ms > 0.0
+            and trace.root.dur_ms is not None
+            and trace.root.dur_ms >= self.slow_ms
+        )
+        if not keep:
+            return False
+        with self._cond:
+            if self._closed:
+                return False
+            self._queue.append(trace)
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._drain_loop,
+                    name="repro-trace-writer",
+                    daemon=True,
+                )
+                self._thread.start()
+            # Deliberately no notify: waking the writer per trace puts a
+            # GIL handoff on every request.  The writer polls on a short
+            # timeout and drains whole batches; flush()/close() notify when
+            # somebody actually needs the queue empty *now*.
+        return True
+
+    #: Writer poll period: the upper bound on how stale the JSONL file can
+    #: be behind completed traces (flush() short-circuits it).
+    _POLL_S = 0.05
+
+    def _drain_loop(self) -> None:
+        while True:
+            with self._cond:
+                if not self._queue and not self._closed:
+                    self._cond.wait(self._POLL_S)
+                batch = list(self._queue)
+                self._queue.clear()
+                self._writing = bool(batch)
+            for trace in batch:
+                self._write(trace)
+            with self._cond:
+                self._writing = False
+                if batch:
+                    self._cond.notify_all()
+                if self._closed and not self._queue:
+                    return
+
+    def flush(self, timeout: float = 5.0) -> bool:
+        """Block until every enqueued trace is on disk (or ``timeout``)."""
+        if not self.enabled:
+            return True
+        deadline = time.perf_counter() + timeout
+        with self._cond:
+            while self._queue or self._writing:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+        return True
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Drain the queue, stop the writer thread, close the file."""
+        if not self.enabled:
+            return
+        with self._cond:
+            self._closed = True
+            thread = self._thread
+            self._cond.notify_all()
+        if thread is not None:
+            thread.join(timeout)
+        while True:  # whatever a wedged/raced writer left behind
+            with self._cond:
+                if not self._queue:
+                    break
+                trace = self._queue.popleft()
+            self._write(trace)
+        with self._write_lock:
+            if self._fh is not None:
+                try:
+                    self._fh.close()
+                except OSError:
+                    pass
+                self._fh = None
+
+    def _write(self, trace: Trace) -> None:
+        line = json.dumps(trace.to_dict(), separators=(",", ":")) + "\n"
+        try:
+            with self._write_lock:
+                if self._fh is None:
+                    path = os.path.join(
+                        self.trace_dir, f"trace-{os.getpid()}.jsonl"
+                    )
+                    self._fh = open(path, "a", encoding="utf-8")
+                self._fh.write(line)
+                self._fh.flush()
+        except OSError:
+            # Observability must never take down serving: a full disk or a
+            # removed trace dir drops the trace, not the request.
+            pass

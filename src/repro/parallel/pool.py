@@ -51,6 +51,8 @@ from multiprocessing.connection import wait as _connection_wait
 
 import numpy as np
 
+from repro.obs.metrics import Counter, Histogram
+
 _DEFAULT_TIMEOUT = 600.0
 
 #: Exit code an injected ``crash`` fault dies with (distinguishable from a
@@ -302,7 +304,8 @@ class WorkerPool:
         self.task_deadline = task_deadline
         self.max_respawns = int(max_respawns)
         self.fault_plan = fault_plan
-        self.respawns = 0
+        self._respawns = Counter("pool_respawns_total")
+        self._ipc_wait_s = Histogram("pool_ipc_wait_s")
         self._partitioner = partitioner
         self._envs = list(envs)
         self._feats = list(feats)
@@ -391,6 +394,24 @@ class WorkerPool:
         for epoch in [e for e in self._weights if e < floor]:
             del self._weights[epoch]
 
+    @property
+    def respawns(self) -> int:
+        return self._respawns.value
+
+    @property
+    def ipc_wait_s(self) -> float:
+        """Total wall seconds the orchestrator has blocked on worker IPC."""
+        return self._ipc_wait_s.sum
+
+    def stats(self) -> dict:
+        """Typed-counter view of the pool (mirrors the serve stats dicts)."""
+        return {
+            "n_workers": self.n_workers,
+            "respawns": self._respawns.value,
+            "ipc_wait_s": self._ipc_wait_s.sum,
+            "ipc_waits": self._ipc_wait_s.count,
+        }
+
     def submit(self, worker: int, kind: str, task) -> None:
         """Queue a ``"shard"`` or ``"replay"`` task on one worker."""
         directive = None
@@ -429,7 +450,9 @@ class WorkerPool:
                 poll = min(remaining, max(self.task_deadline / 4.0, 0.02), 0.25)
             else:
                 poll = remaining
+            t_wait = time.perf_counter()
             ready = _connection_wait(self._conns, poll)
+            self._ipc_wait_s.observe(time.perf_counter() - t_wait)
             if ready:
                 conn = ready[0]
                 w = self._conns.index(conn)
@@ -467,13 +490,13 @@ class WorkerPool:
         dispatched under — so every reassigned draw runs against exactly
         the weights the original dispatch promised (bit-identity).
         """
-        if self.respawns >= self.max_respawns:
+        if self._respawns.value >= self.max_respawns:
             self.close(force=True)
             raise RuntimeError(
                 f"rollout worker {w} {reason}; respawn budget "
                 f"({self.max_respawns}) exhausted"
             )
-        self.respawns += 1
+        self._respawns.inc()
         proc, conn = self._procs[w], self._conns[w]
         if kill and proc.is_alive():
             proc.terminate()
@@ -542,6 +565,7 @@ class InlineExecutor:
 
     n_workers = 1
     respawns = 0
+    ipc_wait_s = 0.0
 
     def __init__(self, partitioner, envs, feats):
         self._harness = WorkerHarness(partitioner, envs, feats, copy_weights=True)
@@ -549,6 +573,14 @@ class InlineExecutor:
 
     def broadcast_weights(self, state: dict) -> None:
         self._harness.load_weights(state)
+
+    def stats(self) -> dict:
+        return {
+            "n_workers": 1,
+            "respawns": 0,
+            "ipc_wait_s": 0.0,
+            "ipc_waits": 0,
+        }
 
     def submit(self, worker: int, kind: str, task) -> None:
         if kind == "shard":

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.profile import NULL_PHASE
 from repro.core.baselines import SearchResult
 from repro.core.environment import PartitionEnvironment
 from repro.core.partitioner import RLPartitioner, WindowDraw
@@ -153,6 +154,13 @@ def draw_root_seed(partitioner: RLPartitioner, config: ParallelConfig) -> int:
     return int(partitioner.rng.integers(2**63 - 1))
 
 
+def _phase(partitioner, name: str):
+    """The partitioner's profiler phase, or the shared no-op (zero-
+    perturbation: profiling off must not change the orchestration path)."""
+    prof = getattr(partitioner, "profiler", None)
+    return NULL_PHASE if prof is None else prof.phase(name)
+
+
 def run_windows(
     partitioner: RLPartitioner,
     executor,
@@ -202,7 +210,8 @@ def run_windows(
         want = len(plan[c])
         got = pending.setdefault(c, {})
         while len(got) < want:
-            kind, payload = executor.recv_any()
+            with _phase(partitioner, "pool_ipc"):
+                kind, payload = executor.recv_any()
             if kind == "shard":
                 w_idx, s_idx = payload.task_id
                 pending.setdefault(w_idx, {})[s_idx] = payload
@@ -232,7 +241,8 @@ def run_windows(
             # snapshot broadcast so the *next* dispatched window draws it.
             for rollout in rollouts:
                 buffer.add(rollout)
-            partitioner.trainer.update(feats[window.graph_idx], buffer)
+            with _phase(partitioner, "ppo_update"):
+                partitioner.trainer.update(feats[window.graph_idx], buffer)
             buffer.clear()
             executor.broadcast_weights(partitioner.state_dict())
         if not config.pipeline and c + 1 < len(windows):
@@ -294,7 +304,8 @@ def replay_batch(
                 ),
             )
         for _ in range(len(envs)):
-            kind, payload = executor.recv_any()
+            with _phase(partitioner, "pool_ipc"):
+                kind, payload = executor.recv_any()
             if kind != "replay":
                 raise RuntimeError(f"unexpected {kind!r} reply")
             results[payload.task_id[0]] = payload

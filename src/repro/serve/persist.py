@@ -43,6 +43,7 @@ import threading
 
 import numpy as np
 
+from repro.obs.metrics import Counter, Gauge
 from repro.serve.cache import CachedPartition, PartitionCache
 
 _JOURNAL_NAME = "journal.jsonl"
@@ -136,9 +137,12 @@ class PersistentPartitionCache(PartitionCache):
         self.compact_every = int(compact_every)
         self.fault_plan = fault_plan
         self.journal_path = os.path.join(self.directory, _JOURNAL_NAME)
-        self.corrupt_skipped = 0
-        self.persist_errors = 0
-        self.warm_entries = 0
+        # Typed persistence counters (the unified-registry primitives);
+        # exposed through same-named read-only properties so stats()
+        # and existing callers see plain ints.
+        self._corrupt_skipped = Counter("cache_corrupt_skipped_total")
+        self._persist_errors = Counter("cache_persist_errors_total")
+        self._warm_entries = Gauge("cache_warm_entries")
         self._records_since_compact = 0
         self._journal_fh = None
         # Re-entrant: put/get append under the lock, and an append can
@@ -147,6 +151,18 @@ class PersistentPartitionCache(PartitionCache):
         os.makedirs(self.directory, exist_ok=True)
         self._warm_start()
         self._open_journal()
+
+    @property
+    def corrupt_skipped(self) -> int:
+        return self._corrupt_skipped.value
+
+    @property
+    def persist_errors(self) -> int:
+        return self._persist_errors.value
+
+    @property
+    def warm_entries(self) -> int:
+        return int(self._warm_entries.value)
 
     # ------------------------------------------------------------------
     # Restart / recovery
@@ -159,7 +175,7 @@ class PersistentPartitionCache(PartitionCache):
             with open(self.journal_path, "r", encoding="utf-8") as fh:
                 lines = fh.readlines()
         except OSError:
-            self.persist_errors += 1
+            self._persist_errors.inc()
             return
         hits, misses = self.hits, self.misses  # replay must not skew stats
         for line in lines:
@@ -167,21 +183,21 @@ class PersistentPartitionCache(PartitionCache):
                 continue
             record = _unframe(line)
             if record is None:
-                self.corrupt_skipped += 1
+                self._corrupt_skipped.inc()
                 continue
             op = record.get("op")
             if op == "put":
                 try:
                     super().put(record["fp"], _record_to_entry(record))
                 except (KeyError, TypeError, ValueError):
-                    self.corrupt_skipped += 1
+                    self._corrupt_skipped.inc()
             elif op == "touch":
                 super().get(str(record.get("fp", "")))
             else:
-                self.corrupt_skipped += 1
+                self._corrupt_skipped.inc()
         self.hits, self.misses = hits, misses
         self.evictions = 0
-        self.warm_entries = len(self)
+        self._warm_entries.set(len(self))
 
     def _open_journal(self) -> None:
         if self._journal_fh is not None:
@@ -193,7 +209,7 @@ class PersistentPartitionCache(PartitionCache):
             self._journal_fh = open(self.journal_path, "a", encoding="utf-8")
         except OSError:
             self._journal_fh = None
-            self.persist_errors += 1
+            self._persist_errors.inc()
 
     # ------------------------------------------------------------------
     # Journalling
@@ -213,7 +229,7 @@ class PersistentPartitionCache(PartitionCache):
         except OSError:
             # Durability degrades, serving does not: stop journalling and
             # keep answering from memory.
-            self.persist_errors += 1
+            self._persist_errors.inc()
             try:
                 self._journal_fh.close()
             except OSError:
@@ -245,7 +261,7 @@ class PersistentPartitionCache(PartitionCache):
                     self._journal_fh.close()
                 os.replace(tmp_path, self.journal_path)
             except OSError:
-                self.persist_errors += 1
+                self._persist_errors.inc()
                 if os.path.exists(tmp_path):
                     try:
                         os.unlink(tmp_path)

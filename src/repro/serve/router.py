@@ -52,6 +52,7 @@ import sys
 import threading
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from collections import deque
 from dataclasses import dataclass, field
@@ -59,6 +60,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry, prometheus_from_snapshot
+from repro.obs.trace import NULL_SPAN, TRACE_HEADER, Tracer
 from repro.serve.fingerprint import PlatformDescriptor, canonical_form, request_fingerprint
 from repro.serve.server import request_from_payload
 from repro.serve.service import (
@@ -329,6 +332,9 @@ def spawn_shard(
     precision: str = "float64",
     batch_window_ms: float = 0.0,
     batch_max_size: int = 8,
+    trace_dir: "str | None" = None,
+    trace_sample: float = 1.0,
+    trace_slow_ms: float = 0.0,
     extra_args: tuple = (),
     startup_timeout_s: float = 60.0,
 ) -> ShardEndpoint:
@@ -364,6 +370,12 @@ def spawn_shard(
         cmd += ["--cache-dir", str(cache_dir)]
     if max_in_flight:
         cmd += ["--max-in-flight", str(int(max_in_flight))]
+    if trace_dir is not None:
+        cmd += ["--trace-dir", str(trace_dir)]
+        if trace_sample != 1.0:
+            cmd += ["--trace-sample", repr(float(trace_sample))]
+        if trace_slow_ms > 0:
+            cmd += ["--trace-slow-ms", repr(float(trace_slow_ms))]
     cmd += list(extra_args)
     env = dict(os.environ)
     src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
@@ -422,6 +434,14 @@ class RouterConfig:
         Chaos hooks (``shard_kill`` / ``shard_stall`` /
         ``network_partition`` sites), constructor-wired like every other
         layer's.
+    ``trace_dir`` / ``trace_sample`` / ``trace_slow_ms``
+        End-to-end tracing (see :mod:`repro.obs.trace`): the router opens
+        a trace per request, records each forward/failover/hedge attempt
+        as a child span, and — for *sampled* traces — forwards the trace
+        id in ``X-Repro-Trace`` so the shard's spans land in its own JSONL
+        under the same id.  :meth:`ShardRouter.spawn` passes these flags
+        through to every spawned shard.  The keep/drop decision hashes the
+        id deterministically, so router and shards always agree.
     """
 
     replication: int = 2
@@ -437,6 +457,9 @@ class RouterConfig:
     hedge_min_s: float = 0.05
     hedge_max_s: float = 2.0
     fault_plan: "object | None" = None
+    trace_dir: "str | None" = None
+    trace_sample: float = 1.0
+    trace_slow_ms: float = 0.0
 
     def __post_init__(self):
         if self.replication < 1:
@@ -449,6 +472,10 @@ class RouterConfig:
             raise ValueError("timeouts must be positive")
         if self.hedge_min_s < 0 or self.hedge_max_s < self.hedge_min_s:
             raise ValueError("need 0 <= hedge_min_s <= hedge_max_s")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ValueError("trace_sample must be in [0, 1]")
+        if self.trace_slow_ms < 0:
+            raise ValueError("trace_slow_ms must be >= 0 (0 disables slow-force)")
 
 
 class _ShardState:
@@ -528,14 +555,30 @@ class ShardRouter:
         }
         self._spawned: "list[ShardEndpoint]" = []
         self._metrics_lock = threading.Lock()
-        self.requests_total = 0
-        self.failovers = 0
-        self.hedges_fired = 0
-        self.hedge_wins = 0
-        self.degraded_serves = 0
-        self.all_replicas_down = 0
-        self.client_errors = 0
+        # Routing counters live in the typed registry (one source of truth
+        # for the JSON and Prometheus views); the attribute names below are
+        # kept as read-only properties.
+        self.metrics_registry = MetricsRegistry()
+        reg = self.metrics_registry
+        self._requests_total = reg.counter("router_requests_total")
+        self._failovers = reg.counter("router_failovers_total")
+        self._hedges_fired = reg.counter("router_hedges_fired_total")
+        self._hedge_wins = reg.counter("router_hedge_wins_total")
+        self._degraded_serves = reg.counter("router_degraded_serves_total")
+        self._all_replicas_down = reg.counter("router_all_replicas_down_total")
+        self._client_errors = reg.counter("router_client_errors_total")
+        self._latency_ms_hist = reg.histogram("router_request_latency_ms")
+        # The hedge-delay *control signal* stays a bounded window of raw
+        # latencies: hedging tracks the recent p95, not the lifetime one —
+        # a histogram over all history would stop adapting.  This deque is
+        # control state, not observability (the histogram above is).
         self._latency_s: "deque[float]" = deque(maxlen=_HEDGE_WINDOW)
+        self.tracer = Tracer(
+            trace_dir=self.config.trace_dir,
+            sample=self.config.trace_sample,
+            slow_ms=self.config.trace_slow_ms,
+            service="router",
+        )
         self._stop = threading.Event()
         self._monitor: "threading.Thread | None" = None
         if self.config.probe_interval_s > 0:
@@ -544,6 +587,35 @@ class ShardRouter:
                 daemon=True,
             )
             self._monitor.start()
+
+    # Read-only counter views (the names the pre-registry attributes had).
+    @property
+    def requests_total(self) -> int:
+        return self._requests_total.value
+
+    @property
+    def failovers(self) -> int:
+        return self._failovers.value
+
+    @property
+    def hedges_fired(self) -> int:
+        return self._hedges_fired.value
+
+    @property
+    def hedge_wins(self) -> int:
+        return self._hedge_wins.value
+
+    @property
+    def degraded_serves(self) -> int:
+        return self._degraded_serves.value
+
+    @property
+    def all_replicas_down(self) -> int:
+        return self._all_replicas_down.value
+
+    @property
+    def client_errors(self) -> int:
+        return self._client_errors.value
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -584,6 +656,9 @@ class ShardRouter:
                         precision=precision,
                         batch_window_ms=batch_window_ms,
                         batch_max_size=batch_max_size,
+                        trace_dir=config.trace_dir,
+                        trace_sample=config.trace_sample,
+                        trace_slow_ms=config.trace_slow_ms,
                     )
                 )
         except Exception:
@@ -596,6 +671,7 @@ class ShardRouter:
 
     def close(self) -> None:
         """Stop the health monitor and terminate owned shard processes."""
+        self.tracer.close()
         self._stop.set()
         if self._monitor is not None:
             self._monitor.join(timeout=5.0)
@@ -688,12 +764,22 @@ class ShardRouter:
             self.config.hedge_max_s,
         )
 
-    def _attempt(self, state: _ShardState, body: bytes, out: queue.Queue) -> None:
+    def _attempt(
+        self,
+        state: _ShardState,
+        body: bytes,
+        out: queue.Queue,
+        span=NULL_SPAN,
+        trace_id: "str | None" = None,
+    ) -> None:
         """One forward to one shard; classified outcome onto ``out``.
 
         Outcome kinds: ``ok`` (200), ``client_error`` (4xx except 429 —
         an answer, not a shard failure), ``failure`` (429/5xx, connection
-        loss, timeout, injected partition).
+        loss, timeout, injected partition).  ``span`` (a child span of the
+        request's trace, created by the launcher) is ended here with the
+        outcome; ``trace_id`` is forwarded in ``X-Repro-Trace`` so the
+        shard's trace correlates with the router's.
         """
         plan = self.config.fault_plan
         shard_id = state.endpoint.shard_id
@@ -708,19 +794,22 @@ class ShardRouter:
             if stall is not None:
                 time.sleep(stall.delay_s)
             if plan.fire("network_partition", "partition", (shard_id,)) is not None:
+                span.end(outcome="failure", error="network_partition")
                 out.put((shard_id, "failure", 0,
                          {"error": "network partition (injected)"},
                          time.perf_counter() - t0))
                 return
         url = f"http://{state.endpoint.address}/partition"
-        req = urllib.request.Request(
-            url, data=body, headers={"Content-Type": "application/json"}
-        )
+        headers = {"Content-Type": "application/json"}
+        if trace_id is not None:
+            headers[TRACE_HEADER] = trace_id
+        req = urllib.request.Request(url, data=body, headers=headers)
         try:
             with urllib.request.urlopen(
                 req, timeout=self.config.shard_timeout_s
             ) as resp:
                 payload = json.loads(resp.read())
+            span.end(outcome="ok", status=200)
             out.put((shard_id, "ok", 200, payload, time.perf_counter() - t0))
         except urllib.error.HTTPError as exc:
             try:
@@ -732,6 +821,7 @@ class ShardRouter:
                 if 400 <= exc.code < 500 and exc.code != 429
                 else "failure"
             )
+            span.end(outcome=kind, status=exc.code)
             out.put((shard_id, kind, exc.code, payload,
                      time.perf_counter() - t0))
         except (
@@ -743,10 +833,13 @@ class ShardRouter:
             OSError,
             ValueError,
         ) as exc:
+            span.end(outcome="failure", error=type(exc).__name__)
             out.put((shard_id, "failure", 0, {"error": str(exc)},
                      time.perf_counter() - t0))
 
-    def handle_partition(self, payload: dict) -> "tuple[int, dict]":
+    def handle_partition(
+        self, payload: dict, trace=None
+    ) -> "tuple[int, dict]":
         """Serve one request: ``(HTTP status, JSON-safe reply)``.
 
         Routing: hash the request fingerprint onto its replica set; launch
@@ -754,17 +847,34 @@ class ShardRouter:
         delay; fail over to further replicas on any shard failure; first
         ``ok`` (or first client error) wins.  Only when every replica has
         failed or is breaker-open does the router answer degraded itself.
+
+        ``trace`` (from :class:`RouterServer`'s handler, or any caller
+        holding one) gets a ``router.routing`` span plus one
+        ``router.attempt`` child span per forward; sampled traces forward
+        their id to the shard.  Attempt threads receive their span
+        explicitly — context vars do not cross thread starts.
         """
-        with self._metrics_lock:
-            self.requests_total += 1
+        self._requests_total.inc()
+        t_request = time.perf_counter()
+        routing_span = (
+            trace.start_span("router.routing") if trace is not None else NULL_SPAN
+        )
         try:
             request = self.parse_request(payload)
             key = routing_key(request, self.config.default_samples)
         except ServiceError as exc:
-            with self._metrics_lock:
-                self.client_errors += 1
+            self._client_errors.inc()
+            routing_span.end(error="ServiceError")
             return 422, {"error": str(exc)}
         replicas = self.ring.replicas(key, self.config.replication)
+        routing_span.end(replicas=list(replicas))
+        # Forward the trace id only for sampled traces: an unsampled
+        # router trace must not force shard-side writes (the deterministic
+        # id hash means a shard seeing the id would agree anyway, but
+        # forced=True on arrival would override that).
+        trace_id = (
+            trace.trace_id if trace is not None and trace.sampled else None
+        )
         body = json.dumps(payload).encode("utf-8")
         results: "queue.Queue" = queue.Queue()
         reasons: "dict[str, str]" = {}
@@ -784,9 +894,16 @@ class ShardRouter:
                 with self._metrics_lock:
                     state.requests += 1
                 active += 1
+                attempt_span = (
+                    trace.start_span(
+                        "router.attempt", shard=shard_id, reason=reason
+                    )
+                    if trace is not None
+                    else NULL_SPAN
+                )
                 threading.Thread(
                     target=self._attempt,
-                    args=(state, body, results),
+                    args=(state, body, results, attempt_span, trace_id),
                     name=f"repro-route-{shard_id}",
                     daemon=True,
                 ).start()
@@ -808,8 +925,7 @@ class ShardRouter:
                 # Primary slow past the hedge delay: fire the next replica.
                 hedge_spent = True
                 if launch("hedge") is not None:
-                    with self._metrics_lock:
-                        self.hedges_fired += 1
+                    self._hedges_fired.inc()
                 continue
             active -= 1
             state = self._shards[shard_id]
@@ -817,14 +933,16 @@ class ShardRouter:
                 state.breaker.record_success()
                 with self._metrics_lock:
                     self._latency_s.append(latency_s)
-                    if reasons.get(shard_id) == "hedge":
-                        self.hedge_wins += 1
+                if reasons.get(shard_id) == "hedge":
+                    self._hedge_wins.inc()
+                self._latency_ms_hist.observe(
+                    (time.perf_counter() - t_request) * 1e3
+                )
                 return 200, reply
             if kind == "client_error":
                 # A real answer: the request is wrong, not the shard.
                 state.breaker.record_success()
-                with self._metrics_lock:
-                    self.client_errors += 1
+                self._client_errors.inc()
                 return status, reply
             state.breaker.record_failure()
             with self._metrics_lock:
@@ -836,12 +954,15 @@ class ShardRouter:
             # on another replica — whether that replica is launched right
             # now or was already in flight as a hedge.
             if launch("failover") is not None or active:
-                with self._metrics_lock:
-                    self.failovers += 1
-        return self._serve_degraded(request, key, failures)
+                self._failovers.inc()
+        return self._serve_degraded(request, key, failures, trace=trace)
 
     def _serve_degraded(
-        self, request: PartitionRequest, key: str, failures: "list[str]"
+        self,
+        request: PartitionRequest,
+        key: str,
+        failures: "list[str]",
+        trace=None,
     ) -> "tuple[int, dict]":
         """Every replica down: the router's own greedy heuristic answer.
 
@@ -850,11 +971,16 @@ class ShardRouter:
         shards never saw the request).
         """
         t0 = time.perf_counter()
-        with self._metrics_lock:
-            self.all_replicas_down += 1
+        self._all_replicas_down.inc()
+        degraded_span = (
+            trace.start_span("router.degraded_fallback")
+            if trace is not None
+            else NULL_SPAN
+        )
         try:
             assignment, sample = greedy_fallback(request)
         except ServiceError as exc:
+            degraded_span.end(error="ServiceError")
             return 503, {
                 "error": (
                     f"all replicas down ({'; '.join(failures) or 'breakers open'}) "
@@ -862,8 +988,8 @@ class ShardRouter:
                 ),
                 "retry_after_s": self.config.breaker_reset_s,
             }
-        with self._metrics_lock:
-            self.degraded_serves += 1
+        degraded_span.end()
+        self._degraded_serves.inc()
         checkpoint = None
         if request.checkpoint is not None:
             checkpoint = {
@@ -909,18 +1035,28 @@ class ShardRouter:
     def metrics(self) -> dict:
         """JSON-safe router metrics: routing counters, per-shard breaker
         state and health, hedge configuration, armed fault plan."""
-        with self._metrics_lock:
-            snap = {
-                "router": True,
-                "replication": self.config.replication,
-                "requests_total": self.requests_total,
-                "failovers": self.failovers,
-                "hedges_fired": self.hedges_fired,
-                "hedge_wins": self.hedge_wins,
-                "degraded_serves": self.degraded_serves,
-                "all_replicas_down": self.all_replicas_down,
-                "client_errors": self.client_errors,
+        snap = {
+            "router": True,
+            "replication": self.config.replication,
+            "requests_total": self.requests_total,
+            "failovers": self.failovers,
+            "hedges_fired": self.hedges_fired,
+            "hedge_wins": self.hedge_wins,
+            "degraded_serves": self.degraded_serves,
+            "all_replicas_down": self.all_replicas_down,
+            "client_errors": self.client_errors,
+        }
+        hist = self._latency_ms_hist
+        snap["latency_ms"] = (
+            {"count": 0, "p50_ms": None, "p95_ms": None}
+            if hist.count == 0
+            else {
+                "count": hist.count,
+                "p50_ms": hist.percentile(50),
+                "p95_ms": hist.percentile(95),
+                "p99_ms": hist.percentile(99),
             }
+        )
         snap["hedge"] = {
             "enabled": self.config.hedge,
             "delay_s": self._hedge_delay_s(),
@@ -953,6 +1089,14 @@ class ShardRouter:
                 snap["fault_plan"] = describe()
         return snap
 
+    def prometheus(self) -> str:
+        """``GET /metrics?format=prometheus`` for the router tier."""
+        snap = self.metrics()
+        extra = {
+            key: snap[key] for key in ("hedge", "shards") if key in snap
+        }
+        return self.metrics_registry.render() + prometheus_from_snapshot(extra)
+
 
 class _RouterHandler(BaseHTTPRequestHandler):
     """The router's HTTP face — wire-compatible with a shard's, so the
@@ -961,7 +1105,9 @@ class _RouterHandler(BaseHTTPRequestHandler):
 
     server_version = "repro-route/1"
 
-    def _reply(self, code: int, payload: dict) -> None:
+    def _reply(
+        self, code: int, payload: dict, headers: "dict | None" = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
@@ -970,6 +1116,18 @@ class _RouterHandler(BaseHTTPRequestHandler):
             self.send_header(
                 "Retry-After", f"{max(payload['retry_after_s'], 0):g}"
             )
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_text(self, code: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
@@ -978,38 +1136,60 @@ class _RouterHandler(BaseHTTPRequestHandler):
             super().log_message(fmt, *args)
 
     def do_GET(self) -> None:
-        if self.path == "/metrics":
-            self._reply(200, self.server.router.metrics())
-        elif self.path == "/healthz":
+        split = urllib.parse.urlsplit(self.path)
+        if split.path == "/metrics":
+            fmt = urllib.parse.parse_qs(split.query).get("format", [""])[0]
+            if fmt == "prometheus":
+                self._reply_text(200, self.server.router.prometheus())
+            else:
+                self._reply(200, self.server.router.metrics())
+        elif split.path == "/healthz":
             ready, payload = self.server.router.health()
             self._reply(200 if ready else 503, payload)
         else:
             self._reply(404, {"error": f"unknown path {self.path!r}"})
 
     def do_POST(self) -> None:
-        if self.path != "/partition":
+        if urllib.parse.urlsplit(self.path).path != "/partition":
             self._reply(404, {"error": f"unknown path {self.path!r}"})
             return
+        router = self.server.router
+        trace = (
+            router.tracer.start(trace_id=self.headers.get(TRACE_HEADER))
+            if router.tracer.enabled
+            else None
+        )
+        echo = {} if trace is None else {TRACE_HEADER: trace.trace_id}
+        status = 200
         try:
-            length = int(self.headers.get("Content-Length", 0))
-            if length < 0:
-                self._reply(400, {"error": "bad Content-Length"})
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                if length < 0:
+                    status = 400
+                    self._reply(400, {"error": "bad Content-Length"}, headers=echo)
+                    return
+                if length > _MAX_BODY_BYTES:
+                    status = 413
+                    self._reply(
+                        413,
+                        {"error": f"request body over {_MAX_BODY_BYTES} bytes"},
+                        headers=echo,
+                    )
+                    return
+                payload = json.loads(self.rfile.read(length) or b"{}")
+                status, reply = router.handle_partition(payload, trace=trace)
+            except (json.JSONDecodeError, ValueError, TypeError) as exc:
+                status = 400
+                self._reply(400, {"error": f"bad request: {exc}"}, headers=echo)
                 return
-            if length > _MAX_BODY_BYTES:
-                self._reply(
-                    413,
-                    {"error": f"request body over {_MAX_BODY_BYTES} bytes"},
-                )
+            except Exception as exc:  # noqa: BLE001 - surface, don't drop
+                status = 500
+                self._reply(500, {"error": f"internal error: {exc!r}"}, headers=echo)
                 return
-            payload = json.loads(self.rfile.read(length) or b"{}")
-            status, reply = self.server.router.handle_partition(payload)
-        except (json.JSONDecodeError, ValueError, TypeError) as exc:
-            self._reply(400, {"error": f"bad request: {exc}"})
-            return
-        except Exception as exc:  # noqa: BLE001 - surface, don't drop
-            self._reply(500, {"error": f"internal error: {exc!r}"})
-            return
-        self._reply(status, reply)
+            self._reply(status, reply, headers=echo)
+        finally:
+            if trace is not None:
+                router.tracer.finish(trace, status=status)
 
 
 class RouterServer:

@@ -8,12 +8,19 @@ Endpoints
     :func:`repro.graphs.serialization.graph_to_dict` dict.  Reply: the
     partition, its improvement, and cache provenance.
 ``GET /metrics``
-    The service metrics snapshot (hit rate, per-source p50/p95 latency,
-    requests served).
+    The service metrics snapshot (hit rate, per-source p50/p95/p99
+    latency, requests served).  ``?format=prometheus`` renders the same
+    registry as Prometheus text exposition.
 ``GET /healthz``
-    Readiness probe: in-flight load, registry reachability, recent
-    degraded-serve count; 503 when saturated or the configured registry
-    root is unreachable (alive but unable to take work).
+    Readiness probe: shard id, uptime, registry version count, in-flight
+    load, registry reachability, recent degraded-serve count; 503 when
+    saturated or the configured registry root is unreachable (alive but
+    unable to take work).
+
+Tracing: when the service was built with ``trace_dir``, every ``POST
+/partition`` opens a trace (adopting the client's ``X-Repro-Trace`` id
+when the header is present — such requests are always sampled) and echoes
+the trace id back in the same header for correlation with the JSONL sink.
 
 The server is a ``ThreadingHTTPServer``; the service underneath serialises
 submissions with its own lock, so concurrent clients are safe.  Client-side
@@ -37,10 +44,12 @@ import socket
 import threading
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from http.server import BaseHTTPRequestHandler, HTTPServer, ThreadingHTTPServer
 
 from repro.graphs.serialization import graph_from_dict
+from repro.obs.trace import TRACE_HEADER, activate, deactivate
 from repro.hardware.topology import make_topology
 from repro.serve.service import (
     PartitionRequest,
@@ -174,6 +183,16 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _reply_text(self, code: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _drop_fault(self) -> bool:
         """Injected connection drop (chaos tests of the client's retry
         path): close the socket without a reply, like a crashed peer."""
@@ -194,9 +213,14 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:
         if self._drop_fault():
             return
-        if self.path == "/metrics":
-            self._reply(200, self.server.service.metrics())
-        elif self.path == "/healthz":
+        split = urllib.parse.urlsplit(self.path)
+        if split.path == "/metrics":
+            fmt = urllib.parse.parse_qs(split.query).get("format", [""])[0]
+            if fmt == "prometheus":
+                self._reply_text(200, self.server.service.prometheus())
+            else:
+                self._reply(200, self.server.service.metrics())
+        elif split.path == "/healthz":
             # Readiness, not just liveness: 503 when the service is alive
             # but cannot usefully take work (admission gate full, or a
             # configured checkpoint registry has gone unreachable), so
@@ -209,52 +233,84 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:
         if self._drop_fault():
             return
-        if self.path != "/partition":
+        if urllib.parse.urlsplit(self.path).path != "/partition":
             self._reply(404, {"error": f"unknown path {self.path!r}"})
             return
+        # One trace per POST when the service has tracing configured: a
+        # client-supplied X-Repro-Trace id is adopted (and forces
+        # sampling), otherwise a fresh id is minted; either way the id is
+        # echoed back in the same header so the reply correlates with the
+        # JSONL sink.
+        tracer = self.server.service.tracer
+        trace = (
+            tracer.start(trace_id=self.headers.get(TRACE_HEADER))
+            if tracer.enabled
+            else None
+        )
+        echo = {} if trace is None else {TRACE_HEADER: trace.trace_id}
+        # Only pay for span recording when the trace can actually be kept:
+        # an unsampled trace with no slow-force threshold is write-never,
+        # so the service path stays on the shared no-op span.
+        record = trace is not None and (trace.sampled or tracer.slow_ms > 0)
+        token = activate(trace) if record else None
+        status = 200
         try:
-            length = int(self.headers.get("Content-Length", 0))
-            # Never trust the client's framing: a negative length would
-            # turn read() into read-until-EOF (a thread wedged on a held
-            # connection), an absurd one into unbounded buffering.
-            if length < 0:
-                self._reply(400, {"error": "bad Content-Length"})
-                return
-            if length > _MAX_BODY_BYTES:
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                # Never trust the client's framing: a negative length would
+                # turn read() into read-until-EOF (a thread wedged on a held
+                # connection), an absurd one into unbounded buffering.
+                if length < 0:
+                    status = 400
+                    self._reply(400, {"error": "bad Content-Length"}, headers=echo)
+                    return
+                if length > _MAX_BODY_BYTES:
+                    status = 413
+                    self._reply(
+                        413,
+                        {"error": f"request body over {_MAX_BODY_BYTES} bytes"},
+                        headers=echo,
+                    )
+                    return
+                payload = json.loads(self.rfile.read(length) or b"{}")
+                request = request_from_payload(
+                    payload, graph_resolver=self.server.graph_resolver
+                )
+                # Client source id for per-source rate limiting: an explicit
+                # header wins (routers/proxies forward the original client);
+                # otherwise the peer address identifies the source.
+                source = self.headers.get("X-Repro-Source") or self.client_address[0]
+                response = self.server.service.submit(request, source=source)
+            except ServiceOverloadError as exc:
+                # Structured backpressure, not a failure: the client helpers
+                # sleep Retry-After (± backoff) and resubmit.
+                status = 429
                 self._reply(
-                    413,
-                    {"error": f"request body over {_MAX_BODY_BYTES} bytes"},
+                    429,
+                    {"error": str(exc), "retry_after_s": exc.retry_after},
+                    headers={
+                        "Retry-After": f"{max(exc.retry_after, 0):g}", **echo
+                    },
                 )
                 return
-            payload = json.loads(self.rfile.read(length) or b"{}")
-            request = request_from_payload(
-                payload, graph_resolver=self.server.graph_resolver
-            )
-            # Client source id for per-source rate limiting: an explicit
-            # header wins (routers/proxies forward the original client);
-            # otherwise the peer address identifies the source.
-            source = self.headers.get("X-Repro-Source") or self.client_address[0]
-            response = self.server.service.submit(request, source=source)
-        except ServiceOverloadError as exc:
-            # Structured backpressure, not a failure: the client helpers
-            # sleep Retry-After (± backoff) and resubmit.
-            self._reply(
-                429,
-                {"error": str(exc), "retry_after_s": exc.retry_after},
-                headers={"Retry-After": f"{max(exc.retry_after, 0):g}"},
-            )
-            return
-        except ServiceError as exc:
-            self._reply(422, {"error": str(exc)})
-            return
-        except (json.JSONDecodeError, ValueError, TypeError) as exc:
-            self._reply(400, {"error": f"bad request: {exc}"})
-            return
-        except Exception as exc:  # noqa: BLE001 - last-resort: a handler
-            # crash must surface as an HTTP error, not a dropped connection.
-            self._reply(500, {"error": f"internal error: {exc!r}"})
-            return
-        self._reply(200, response_to_payload(response))
+            except ServiceError as exc:
+                status = 422
+                self._reply(422, {"error": str(exc)}, headers=echo)
+                return
+            except (json.JSONDecodeError, ValueError, TypeError) as exc:
+                status = 400
+                self._reply(400, {"error": f"bad request: {exc}"}, headers=echo)
+                return
+            except Exception as exc:  # noqa: BLE001 - last-resort: a handler
+                # crash must surface as an HTTP error, not a dropped connection.
+                status = 500
+                self._reply(500, {"error": f"internal error: {exc!r}"}, headers=echo)
+                return
+            self._reply(200, response_to_payload(response), headers=echo)
+        finally:
+            deactivate(token)
+            if trace is not None:
+                tracer.finish(trace, status=status)
 
 
 class PartitionServer:
@@ -357,6 +413,7 @@ def _http_json(
     timeout: float = DEFAULT_TIMEOUT_S,
     retries: int = DEFAULT_RETRIES,
     source: "str | None" = None,
+    trace_id: "str | None" = None,
 ) -> dict:
     """One JSON round trip with bounded retries.
 
@@ -371,6 +428,8 @@ def _http_json(
         headers = {"Content-Type": "application/json"} if data else {}
         if source is not None:
             headers["X-Repro-Source"] = str(source)
+        if trace_id is not None:
+            headers[TRACE_HEADER] = str(trace_id)
         req = urllib.request.Request(url, data=data, headers=headers)
         retry_after: "float | None" = None
         try:
@@ -412,6 +471,7 @@ def request_partition(
     timeout: float = DEFAULT_TIMEOUT_S,
     retries: int = DEFAULT_RETRIES,
     source: "str | None" = None,
+    trace_id: "str | None" = None,
 ) -> dict:
     """POST one request payload to a running server; returns the reply.
 
@@ -419,13 +479,16 @@ def request_partition(
     429/503/connection loss with jittered exponential backoff —
     resubmission is safe because serving is deterministic and cached.
     ``source`` sets the ``X-Repro-Source`` header, the client identity the
-    server's per-source rate limiter keys on (defaults to peer address)."""
+    server's per-source rate limiter keys on (defaults to peer address);
+    ``trace_id`` sets ``X-Repro-Trace`` so a tracing-enabled server
+    force-samples this request under the given id."""
     return _http_json(
         f"http://{host}:{port}/partition",
         data=json.dumps(payload).encode("utf-8"),
         timeout=timeout,
         retries=retries,
         source=source,
+        trace_id=trace_id,
     )
 
 

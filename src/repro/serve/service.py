@@ -60,6 +60,8 @@ import numpy as np
 
 from repro.core.baselines import greedy_partition
 from repro.core.environment import PartitionEnvironment
+from repro.obs.metrics import Histogram, MetricsRegistry, prometheus_from_snapshot
+from repro.obs.trace import Tracer, span
 from repro.core.partitioner import RLPartitionerConfig, _topology_semantics
 from repro.nn.backend import SERVE_PRECISIONS
 from repro.graphs.graph import CompGraph
@@ -233,6 +235,21 @@ class ServiceConfig:
         Over-limit submissions raise :class:`ServiceOverloadError`
         (HTTP 429 + ``Retry-After``), counted as ``rate_limited`` in
         ``/metrics`` — separate from the ``throttled`` in-flight gate.
+
+    Request tracing (``trace_dir`` enables it; see ROADMAP "Observability
+    invariants"):
+
+    ``trace_dir``
+        Directory receiving per-process ``trace-<pid>.jsonl`` files, one
+        line per completed sampled trace.  ``None`` (default) disables
+        tracing entirely — the hot path then sees only a context-var read.
+    ``trace_sample``
+        Probability a fresh trace is written, decided by a deterministic
+        hash of the trace id (never an RNG).  Requests carrying an
+        ``X-Repro-Trace`` header are always sampled.
+    ``trace_slow_ms``
+        Traces slower than this are written even when the sampler dropped
+        them (``0`` disables the slow-force).
     """
 
     cache_capacity: int = 256
@@ -255,6 +272,9 @@ class ServiceConfig:
     batch_max_size: int = 8
     rate_limit_rps: float = 0.0
     rate_limit_burst: int = 0
+    trace_dir: "str | None" = None
+    trace_sample: float = 1.0
+    trace_slow_ms: float = 0.0
 
     def __post_init__(self):
         if self.precision not in SERVE_PRECISIONS:
@@ -279,42 +299,87 @@ class ServiceConfig:
             raise ValueError("rate_limit_rps must be >= 0 (0 disables the limiter)")
         if self.rate_limit_burst < 0:
             raise ValueError("rate_limit_burst must be >= 0")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ValueError("trace_sample must be in [0, 1]")
+        if self.trace_slow_ms < 0:
+            raise ValueError("trace_slow_ms must be >= 0 (0 disables slow-force)")
+
+
+#: The response-source classes ``/metrics`` breaks requests down by.
+_SOURCES = ("cached", "warm", "cold", "degraded")
 
 
 class ServiceMetrics:
-    """Counters + bounded latency reservoirs behind the ``/metrics`` view.
+    """The ``/metrics`` view, backed by the typed registry primitives.
 
-    Guarded by its own small lock, *not* the service's submission lock: a
-    monitoring scrape must never block behind an in-flight search.
+    Counters and histograms live in a :class:`repro.obs.MetricsRegistry`
+    (so ``?format=prometheus`` renders the *same* objects the JSON view
+    reads); latency percentiles come from bounded-memory log-bucketed
+    histograms instead of raw reservoirs.  The JSON ``snapshot()`` shape is
+    byte-compatible with the pre-registry implementation (pinned by the
+    serve tests), except that non-empty percentile blocks additionally
+    carry ``p99_ms``.
+
+    Never guarded by the service's submission lock: a monitoring scrape
+    must not block behind an in-flight search.
     """
 
-    def __init__(self):
+    def __init__(self, registry: "MetricsRegistry | None" = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
         self.started = time.perf_counter()
         self.started_unix = time.time()
-        self.requests_total = 0
-        self.errors = 0
-        self.throttled = 0
-        self.rate_limited = 0
-        self.by_source = {"cached": 0, "warm": 0, "cold": 0, "degraded": 0}
+        self._requests_total = reg.counter("requests_total")
+        self._errors = reg.counter("errors_total")
+        self._throttled = reg.counter("throttled_total")
+        self._rate_limited = reg.counter("rate_limited_total")
+        self._by_source = {
+            source: reg.counter(f"requests_by_source_{source}")
+            for source in _SOURCES
+        }
         self._latency_ms = {
-            source: deque(maxlen=_LATENCY_WINDOW) for source in self.by_source
+            source: reg.histogram(f"request_latency_ms_{source}")
+            for source in _SOURCES
         }
         self._degraded_at = deque(maxlen=_LATENCY_WINDOW)
-        # Admission-batching observability: flushed-batch sizes (histogram),
+        # Admission-batching observability: flushed-batch sizes (kept as an
+        # exact small-integer histogram — batch sizes are bounded by
+        # ``batch_max_size``, log-bucketing them would only blur the view),
         # per-member window waits, and how many requests actually shared a
         # flush with at least one other (``coalesced_requests``).
-        self.batches_flushed = 0
-        self.coalesced_requests = 0
+        self._batches_flushed = reg.counter("batches_flushed_total")
+        self._coalesced_requests = reg.counter("coalesced_requests_total")
         self._batch_sizes: dict = {}
-        self._batch_wait_ms = deque(maxlen=_LATENCY_WINDOW)
+        self._batch_wait_ms = reg.histogram("batch_wait_ms")
         self._lock = threading.Lock()
 
+    # Read-only views kept for callers that used the plain attributes.
+    @property
+    def requests_total(self) -> int:
+        return self._requests_total.value
+
+    @property
+    def errors(self) -> int:
+        return self._errors.value
+
+    @property
+    def throttled(self) -> int:
+        return self._throttled.value
+
+    @property
+    def rate_limited(self) -> int:
+        return self._rate_limited.value
+
+    @property
+    def by_source(self) -> dict:
+        return {source: c.value for source, c in self._by_source.items()}
+
     def record(self, source: str, latency_ms: float) -> None:
-        with self._lock:
-            self.requests_total += 1
-            self.by_source[source] += 1
-            self._latency_ms[source].append(float(latency_ms))
-            if source == "degraded":
+        self._requests_total.inc()
+        self._by_source[source].inc()
+        self._latency_ms[source].observe(float(latency_ms))
+        if source == "degraded":
+            with self._lock:
                 self._degraded_at.append(time.monotonic())
 
     def degraded_recent(self, window_s: float = 60.0) -> int:
@@ -326,64 +391,63 @@ class ServiceMetrics:
             return sum(1 for t in self._degraded_at if t >= cutoff)
 
     def record_error(self) -> None:
-        with self._lock:
-            self.errors += 1
+        self._errors.inc()
 
     def record_throttled(self) -> None:
-        with self._lock:
-            self.throttled += 1
+        self._throttled.inc()
 
     def record_rate_limited(self) -> None:
-        with self._lock:
-            self.rate_limited += 1
+        self._rate_limited.inc()
 
     def record_batch(self, size: int, waits_ms) -> None:
         """One coalescing flush of ``size`` members with the given
         per-member window waits (milliseconds spent parked before the
         flush started)."""
+        self._batches_flushed.inc()
+        if size >= 2:
+            self._coalesced_requests.inc(int(size))
         with self._lock:
-            self.batches_flushed += 1
             self._batch_sizes[int(size)] = self._batch_sizes.get(int(size), 0) + 1
-            if size >= 2:
-                self.coalesced_requests += int(size)
-            for wait in waits_ms:
-                self._batch_wait_ms.append(float(wait))
+        for wait in waits_ms:
+            self._batch_wait_ms.observe(float(wait))
 
     @staticmethod
-    def _percentiles(values: deque) -> dict:
-        if not values:
+    def _percentiles(hist: Histogram) -> dict:
+        if hist.count == 0:
             return {"count": 0, "p50_ms": None, "p95_ms": None}
-        arr = np.fromiter(values, dtype=np.float64)
         return {
-            "count": int(arr.size),
-            "p50_ms": float(np.percentile(arr, 50)),
-            "p95_ms": float(np.percentile(arr, 95)),
+            "count": hist.count,
+            "p50_ms": hist.percentile(50),
+            "p95_ms": hist.percentile(95),
+            "p99_ms": hist.percentile(99),
         }
 
     def snapshot(self) -> dict:
         uptime = max(time.perf_counter() - self.started, 1e-9)
+        requests_total = self._requests_total.value
         with self._lock:
-            return {
-                "requests_total": self.requests_total,
-                "errors": self.errors,
-                "throttled": self.throttled,
-                "rate_limited": self.rate_limited,
-                "uptime_s": uptime,
-                "requests_per_sec": self.requests_total / uptime,
-                "by_source": dict(self.by_source),
-                "latency_ms": {
-                    source: self._percentiles(values)
-                    for source, values in self._latency_ms.items()
+            batch_sizes = dict(sorted(self._batch_sizes.items()))
+        return {
+            "requests_total": requests_total,
+            "errors": self._errors.value,
+            "throttled": self._throttled.value,
+            "rate_limited": self._rate_limited.value,
+            "uptime_s": uptime,
+            "requests_per_sec": requests_total / uptime,
+            "by_source": self.by_source,
+            "latency_ms": {
+                source: self._percentiles(hist)
+                for source, hist in self._latency_ms.items()
+            },
+            "batching": {
+                "batches_flushed": self._batches_flushed.value,
+                "coalesced_requests": self._coalesced_requests.value,
+                "batch_size_histogram": {
+                    str(k): v for k, v in batch_sizes.items()
                 },
-                "batching": {
-                    "batches_flushed": self.batches_flushed,
-                    "coalesced_requests": self.coalesced_requests,
-                    "batch_size_histogram": {
-                        str(k): v for k, v in sorted(self._batch_sizes.items())
-                    },
-                    "batch_wait_ms": self._percentiles(self._batch_wait_ms),
-                },
-            }
+                "batch_wait_ms": self._percentiles(self._batch_wait_ms),
+            },
+        }
 
 
 class _TokenBucket:
@@ -516,6 +580,16 @@ class PartitionService:
             config=partitioner_config,
         )
         self.metrics_state = ServiceMetrics()
+        self.tracer = Tracer(
+            trace_dir=self.config.trace_dir,
+            sample=self.config.trace_sample,
+            slow_ms=self.config.trace_slow_ms,
+            service=(
+                f"shard:{self.config.shard_id}"
+                if self.config.shard_id is not None
+                else "service"
+            ),
+        )
         self._lock = threading.Lock()
         self._admit_lock = threading.Lock()
         self._in_flight = 0
@@ -543,33 +617,35 @@ class PartitionService:
                 # gate: a source over its budget must not consume capacity
                 # other clients could use.  ``None`` sources (in-process
                 # callers, transports that send no id) share one bucket.
-                key = source if source is not None else ""
-                now = time.monotonic()
-                bucket = self._buckets.get(key)
-                if bucket is None:
-                    burst = max(self.config.rate_limit_burst, 1)
-                    bucket = _TokenBucket(rate, burst, now)
-                    self._buckets[key] = bucket
-                    while len(self._buckets) > _RATE_LIMIT_SOURCES:
-                        self._buckets.popitem(last=False)
-                self._buckets.move_to_end(key)
-                wait = bucket.try_acquire(now)
-                if wait > 0.0:
-                    self.metrics_state.record_rate_limited()
+                with span("admission.rate_limit", source=source or ""):
+                    key = source if source is not None else ""
+                    now = time.monotonic()
+                    bucket = self._buckets.get(key)
+                    if bucket is None:
+                        burst = max(self.config.rate_limit_burst, 1)
+                        bucket = _TokenBucket(rate, burst, now)
+                        self._buckets[key] = bucket
+                        while len(self._buckets) > _RATE_LIMIT_SOURCES:
+                            self._buckets.popitem(last=False)
+                    self._buckets.move_to_end(key)
+                    wait = bucket.try_acquire(now)
+                    if wait > 0.0:
+                        self.metrics_state.record_rate_limited()
+                        raise ServiceOverloadError(
+                            f"source {source or 'anonymous'!r} over its rate "
+                            f"limit ({rate:g} req/s); retry after {wait:.3g}s",
+                            retry_after=wait,
+                        )
+            with span("admission.in_flight", in_flight=self._in_flight):
+                if limit > 0 and self._in_flight >= limit:
+                    self.metrics_state.record_throttled()
                     raise ServiceOverloadError(
-                        f"source {source or 'anonymous'!r} over its rate "
-                        f"limit ({rate:g} req/s); retry after {wait:.3g}s",
-                        retry_after=wait,
+                        f"service over capacity: {self._in_flight} requests "
+                        f"in flight (max_in_flight={limit}); retry after "
+                        f"{self.config.retry_after_s:g}s",
+                        retry_after=self.config.retry_after_s,
                     )
-            if limit > 0 and self._in_flight >= limit:
-                self.metrics_state.record_throttled()
-                raise ServiceOverloadError(
-                    f"service over capacity: {self._in_flight} requests in "
-                    f"flight (max_in_flight={limit}); retry after "
-                    f"{self.config.retry_after_s:g}s",
-                    retry_after=self.config.retry_after_s,
-                )
-            self._in_flight += 1
+                self._in_flight += 1
 
     def _release(self) -> None:
         with self._admit_lock:
@@ -580,6 +656,7 @@ class PartitionService:
         close = getattr(self.cache, "close", None)
         if close is not None:
             close()
+        self.tracer.close()
 
     # ------------------------------------------------------------------
     # Fingerprinting
@@ -733,7 +810,8 @@ class PartitionService:
                         self._open_batch = None
                     batch.full.set()
             if leader:
-                batch.full.wait(timeout=self.config.batch_window_ms / 1e3)
+                with span("admission.batch_wait", role="leader"):
+                    batch.full.wait(timeout=self.config.batch_window_ms / 1e3)
                 with self._coalesce_lock:
                     batch.closed = True
                     if self._open_batch is batch:
@@ -743,7 +821,8 @@ class PartitionService:
                 finally:
                     batch.done.set()
             else:
-                batch.done.wait()
+                with span("admission.batch_wait", role="follower"):
+                    batch.done.wait()
             result = batch.results[index]
             if isinstance(result, BaseException):
                 raise result
@@ -810,7 +889,8 @@ class PartitionService:
         for i, request in enumerate(requests):
             t0 = time.perf_counter()
             try:
-                fp, ckpt, order = self._fingerprint_resolved(request)
+                with span("fingerprint", graph=request.graph.name):
+                    fp, ckpt, order = self._fingerprint_resolved(request)
             except ServiceError as exc:
                 # An invalid member must not abort its siblings (the
                 # batch-isolation contract of submit_many).
@@ -822,7 +902,9 @@ class PartitionService:
                 # cache probe here — the primary's miss is already counted.
                 duplicates.append((i, request, fp, ckpt, order))
                 continue
-            entry = self.cache.get(fp)
+            with span("cache.lookup") as _sp:
+                entry = self.cache.get(fp)
+                _sp.set(hit=entry is not None)
             if entry is not None:
                 latency_ms = (time.perf_counter() - t0) * 1e3
                 self.metrics_state.record("cached", latency_ms)
@@ -928,11 +1010,13 @@ class PartitionService:
             # fingerprinting and here must not shift a version=None
             # request to different weights than its cache key claims (and
             # the pool then skips a redundant registry re-resolve).
-            partitioner, cold = self.pool.get(
-                first.n_chips,
-                topology=first.topology,
-                resolved=first_ckpt,
-            )
+            with span("checkpoint.install") as _sp:
+                partitioner, cold = self.pool.get(
+                    first.n_chips,
+                    topology=first.topology,
+                    resolved=first_ckpt,
+                )
+                _sp.set(cold=cold)
         except RegistryError as exc:
             if not exc.degradable:
                 return [([m[0] for m in members], str(exc))]
@@ -973,21 +1057,22 @@ class PartitionService:
             # rather than errors.
             timeout = min(timeout, max(left, 0.05))
         try:
-            results = replay_batch(
-                partitioner,
-                envs,
-                budgets,
-                seeds,
-                config=ParallelConfig(
-                    n_workers=self.config.n_workers,
-                    seed=0,
-                    timeout=timeout,
-                    task_deadline=self.config.task_deadline,
-                    max_respawns=self.config.max_respawns,
-                    fault_plan=self.config.fault_plan,
-                ),
-                features=feats,
-            )
+            with span("search.replay_batch", n_requests=len(envs)):
+                results = replay_batch(
+                    partitioner,
+                    envs,
+                    budgets,
+                    seeds,
+                    config=ParallelConfig(
+                        n_workers=self.config.n_workers,
+                        seed=0,
+                        timeout=timeout,
+                        task_deadline=self.config.task_deadline,
+                        max_respawns=self.config.max_respawns,
+                        fault_plan=self.config.fault_plan,
+                    ),
+                    features=feats,
+                )
         except TimeoutError:
             failures.extend(
                 self._degrade_group(
@@ -1102,9 +1187,11 @@ class PartitionService:
         cached: bool = True,
         source: str = "cached",
     ) -> PartitionResponse:
+        with span("assignment.remap"):
+            assignment = entry.aligned_assignment(order)
         return PartitionResponse(
             fingerprint=fp,
-            assignment=entry.aligned_assignment(order),
+            assignment=assignment,
             improvement=entry.improvement,
             objective=entry.objective,
             cached=cached,
@@ -1139,21 +1226,34 @@ class PartitionService:
           ready: serving the untrained policy is its normal job.
 
         ``degraded_recent`` (last 60 s) rides along so probes can tell a
-        healthy shard from one that is alive but limping on fallbacks.
+        healthy shard from one that is alive but limping on fallbacks, and
+        ``shard_id`` / ``registry_versions`` / ``uptime_s`` make one probe
+        log line attributable without a second ``/metrics`` scrape.
         """
         limit = self.config.max_in_flight
         in_flight = self._in_flight
         saturated = limit > 0 and in_flight >= limit
         registry_ok = self.registry is None or os.path.isdir(self.registry.root)
         ready = not saturated and registry_ok
+        registry_versions = None
+        if self.registry is not None and registry_ok:
+            try:
+                registry_versions = sum(
+                    len(self.registry.versions(name))
+                    for name in self.registry.names()
+                )
+            except OSError:
+                registry_versions = None
         payload = {
             "ok": ready,
             "shard_id": self.config.shard_id,
+            "uptime_s": time.perf_counter() - self.metrics_state.started,
             "in_flight": in_flight,
             "max_in_flight": limit,
             "saturated": saturated,
             "registry_configured": self.registry is not None,
             "registry_ok": registry_ok,
+            "registry_versions": registry_versions,
             "degraded_recent": self.metrics_state.degraded_recent(60.0),
         }
         return ready, payload
@@ -1199,3 +1299,22 @@ class PartitionService:
             if describe is not None:
                 snap["reliability"]["fault_plan"] = describe()
         return snap
+
+    def prometheus(self) -> str:
+        """``GET /metrics?format=prometheus``: the registry as text exposition.
+
+        The typed metrics (counters + log-bucketed latency histograms with
+        real ``le=`` buckets) render from the same registry the JSON view
+        reads; the derived subsystem gauges (cache, pool, reliability) are
+        flattened from the same snapshot, so the two formats can never
+        drift apart.
+        """
+        snap = self.metrics()
+        extra = {
+            key: snap[key]
+            for key in ("cache", "pool", "reliability")
+            if key in snap
+        }
+        return self.metrics_state.registry.render() + prometheus_from_snapshot(
+            extra
+        )

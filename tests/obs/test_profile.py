@@ -1,0 +1,141 @@
+"""PhaseTimer: accumulation, shares, JSONL log, zero-perturbation."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.profile import NULL_PHASE, PhaseTimer
+
+
+class TestPhaseTimer:
+    def test_add_accumulates_seconds_and_counts(self):
+        timer = PhaseTimer()
+        timer.add("solver", 0.5)
+        timer.add("solver", 0.25)
+        timer.add("rollout", 1.0)
+        assert timer.seconds() == {"solver": 0.75, "rollout": 1.0}
+        assert timer.counts() == {"solver": 2, "rollout": 1}
+
+    def test_phase_context_manager_times_block(self):
+        timer = PhaseTimer()
+        with timer.phase("encoder"):
+            sum(range(1_000))
+        secs = timer.seconds()
+        assert secs["encoder"] > 0.0
+        assert timer.counts()["encoder"] == 1
+
+    def test_shares_include_other_remainder(self):
+        timer = PhaseTimer()
+        timer.add("solver", 0.3)
+        timer.add("rollout", 0.2)
+        shares = timer.shares(elapsed_s=1.0)
+        assert shares["solver"] == pytest.approx(0.3)
+        assert shares["rollout"] == pytest.approx(0.2)
+        assert shares["other"] == pytest.approx(0.5)
+
+    def test_other_clamped_at_zero_when_phases_nest(self):
+        # Nested phases can attribute more than the wall clock; "other"
+        # must clamp instead of going negative.
+        timer = PhaseTimer()
+        timer.add("outer", 0.9)
+        timer.add("inner", 0.9)
+        shares = timer.shares(elapsed_s=1.0)
+        assert shares["other"] == 0.0
+
+    def test_shares_zero_elapsed(self):
+        timer = PhaseTimer()
+        timer.add("solver", 0.1)
+        assert timer.shares(elapsed_s=0.0) == {"solver": 0.0}
+
+    def test_breakdown_shape(self):
+        timer = PhaseTimer()
+        timer.add("ppo_update", 0.125)
+        info = timer.breakdown(elapsed_s=0.5)
+        assert set(info) == {"elapsed_s", "seconds", "counts", "shares"}
+        assert info["elapsed_s"] == 0.5
+        assert info["seconds"] == {"ppo_update": 0.125}
+        assert info["counts"] == {"ppo_update": 1}
+        assert info["shares"]["ppo_update"] == pytest.approx(0.25)
+        json.dumps(info)
+
+    def test_reset_clears_state(self):
+        timer = PhaseTimer()
+        timer.add("solver", 1.0)
+        timer.reset()
+        assert timer.seconds() == {} and timer.counts() == {}
+
+    def test_log_event_appends_jsonl(self, tmp_path):
+        path = tmp_path / "profile.jsonl"
+        timer = PhaseTimer(log_path=str(path))
+        timer.add("solver", 0.1)
+        timer.log_event("window", window=0, **timer.breakdown(elapsed_s=1.0))
+        timer.log_event("window", window=1, **timer.breakdown(elapsed_s=1.0))
+        rows = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(rows) == 2
+        assert rows[0]["event"] == "window" and rows[0]["window"] == 0
+        assert rows[1]["shares"]["solver"] == pytest.approx(0.1)
+
+    def test_log_event_without_path_is_noop(self):
+        PhaseTimer().log_event("window", window=0)  # must not raise
+
+    def test_format_renders_each_phase(self):
+        timer = PhaseTimer()
+        timer.add("solver", 0.2)
+        timer.add("rollout", 0.1)
+        text = timer.format(elapsed_s=1.0)
+        assert "phase breakdown" in text
+        assert "solver" in text and "rollout" in text and "other" in text
+
+    def test_null_phase_is_reusable_noop(self):
+        for _ in range(3):
+            with NULL_PHASE as p:
+                assert p is NULL_PHASE
+
+
+class TestZeroPerturbation:
+    """Attaching a profiler must not move a single sample.
+
+    The hook sites only wrap existing call boundaries and PhaseTimer never
+    touches an RNG, so two searches from the same seed must produce
+    bit-identical assignments and improvements with and without profiling.
+    """
+
+    def _search(self, profiler):
+        from repro.core.environment import PartitionEnvironment
+        from repro.core.partitioner import RLPartitioner, RLPartitionerConfig
+        from repro.graphs.zoo import build_mlp
+        from repro.hardware.analytical import AnalyticalCostModel
+        from repro.hardware.package import MCMPackage
+        from repro.rl.ppo import PPOConfig
+
+        cfg = RLPartitionerConfig(
+            hidden=16,
+            n_sage_layers=2,
+            ppo=PPOConfig(n_rollouts=5, n_minibatches=1, n_epochs=2),
+        )
+        partitioner = RLPartitioner(4, config=cfg, rng=0)
+        if profiler is not None:
+            partitioner.profiler = profiler
+        env = PartitionEnvironment(
+            build_mlp(), AnalyticalCostModel(MCMPackage(n_chips=4)), 4
+        )
+        return partitioner.search(env, 10)
+
+    def test_search_identical_with_profiler_attached(self):
+        base = self._search(None)
+        timer = PhaseTimer()
+        profiled = self._search(timer)
+        np.testing.assert_array_equal(
+            base.best_assignment, profiled.best_assignment
+        )
+        np.testing.assert_array_equal(
+            base.improvements, profiled.improvements
+        )
+        # And the profiler actually saw the loop's phases.
+        counts = timer.counts()
+        assert counts.get("solver", 0) > 0
+        assert counts.get("rollout", 0) > 0
+        assert counts.get("encoder", 0) > 0

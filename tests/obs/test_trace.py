@@ -1,0 +1,315 @@
+"""Tracing: span trees, deterministic sampling, JSONL sink, HTTP propagation."""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import time
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    TRACE_HEADER,
+    Trace,
+    Tracer,
+    activate,
+    current_trace,
+    deactivate,
+    span,
+    trace_id_should_sample,
+)
+
+
+def _read_traces(trace_dir) -> list:
+    rows = []
+    for path in glob.glob(os.path.join(str(trace_dir), "*.jsonl")):
+        with open(path, encoding="utf-8") as fh:
+            rows.extend(json.loads(line) for line in fh)
+    return rows
+
+
+def _wait_for_trace(service, trace_dir, trace_id, timeout=10.0) -> list:
+    """Poll for ``trace_id`` in the JSONL sink.
+
+    The server finishes the trace *after* sending the reply, so the client
+    can observe the response before ``finish()`` has even enqueued — a
+    plain flush-then-read races on slow machines.
+    """
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        service.tracer.flush(timeout=1.0)
+        rows = [r for r in _read_traces(trace_dir) if r["trace_id"] == trace_id]
+        if rows:
+            return rows
+        time.sleep(0.02)
+    return []
+
+
+class TestSampling:
+    def test_deterministic_for_same_id(self):
+        for trace_id in ("abc123", "deadbeef", "x" * 16):
+            first = trace_id_should_sample(trace_id, 0.5)
+            assert all(
+                trace_id_should_sample(trace_id, 0.5) == first for _ in range(5)
+            )
+
+    def test_extremes(self):
+        assert trace_id_should_sample("anything", 1.0)
+        assert not trace_id_should_sample("anything", 0.0)
+
+    def test_rate_roughly_honoured(self):
+        ids = [f"trace-{k}" for k in range(2_000)]
+        kept = sum(trace_id_should_sample(i, 0.25) for i in ids)
+        assert 0.18 < kept / len(ids) < 0.32
+
+    def test_no_rng_module_involved(self):
+        # The decision is a pure hash: seeding NumPy/random differently
+        # must not change it (zero-perturbation rule).
+        import random
+
+        import numpy as np
+
+        decision = trace_id_should_sample("fixed-id", 0.5)
+        random.seed(123)
+        np.random.seed(123)
+        assert trace_id_should_sample("fixed-id", 0.5) == decision
+
+
+class TestTraceSpans:
+    def test_parent_child_linkage(self):
+        trace = Trace("t1", sampled=True, service="svc")
+        child = trace.start_span("outer")
+        with child:
+            inner = span("inner-implicit")
+            inner.end()
+        spans = {s.span_id: s for s in trace.spans()}
+        assert trace.root.span_id == "s0"
+        assert spans[child.span_id].parent_id == "s0"
+        # span() inside `with child` parents to child, not to the root.
+        assert spans[inner.span_id].parent_id == child.span_id
+
+    def test_auto_parent_defaults_to_root(self):
+        trace = Trace("t2", sampled=True)
+        sp = trace.start_span("direct")
+        assert sp.parent_id == "s0"
+
+    def test_end_is_idempotent(self):
+        trace = Trace("t3", sampled=True)
+        sp = trace.start_span("op")
+        sp.end()
+        first = sp.dur_ms
+        time.sleep(0.002)
+        sp.end()
+        assert sp.dur_ms == first
+
+    def test_to_dict_shape(self):
+        trace = Trace("t4", sampled=True, service="router")
+        sp = trace.start_span("op", shard="s1")
+        sp.end(outcome="ok")
+        trace.root.end()
+        d = trace.to_dict()
+        assert d["trace_id"] == "t4" and d["service"] == "router"
+        names = [s["name"] for s in d["spans"]]
+        assert names == ["request", "op"]
+        op = d["spans"][1]
+        assert op["attrs"] == {"shard": "s1", "outcome": "ok"}
+        assert op["dur_ms"] >= 0
+        json.dumps(d)
+
+    def test_exception_recorded_on_span(self):
+        trace = Trace("t5", sampled=True)
+        with pytest.raises(ValueError):
+            with trace.start_span("boom"):
+                raise ValueError("nope")
+        sp = trace.spans()[-1]
+        assert sp.attrs["error"] == "ValueError"
+        assert sp.dur_ms is not None
+
+
+class TestContext:
+    def test_span_without_active_trace_is_null(self):
+        assert current_trace() is None
+        assert span("anything") is NULL_SPAN
+
+    def test_activate_deactivate(self):
+        trace = Trace("t6", sampled=True)
+        token = activate(trace)
+        try:
+            assert current_trace() is trace
+            sp = span("op")
+            assert sp is not NULL_SPAN
+            sp.end()
+        finally:
+            deactivate(token)
+        assert current_trace() is None
+
+    def test_activate_none_is_noop(self):
+        token = activate(None)
+        assert token is None
+        deactivate(token)  # must not raise
+
+
+class TestTracer:
+    def test_disabled_tracer_is_inert(self):
+        tracer = Tracer(trace_dir=None)
+        assert not tracer.enabled
+        assert tracer.start() is None
+        assert tracer.finish(None) is False
+        tracer.flush()
+        tracer.close()
+
+    def test_writes_sampled_trace_as_jsonl(self, tmp_path):
+        tracer = Tracer(trace_dir=str(tmp_path), sample=1.0, service="svc")
+        trace = tracer.start()
+        trace.start_span("op").end()
+        assert tracer.finish(trace, status=200)
+        assert tracer.flush(timeout=5.0)
+        rows = _read_traces(tmp_path)
+        assert len(rows) == 1
+        assert rows[0]["trace_id"] == trace.trace_id
+        assert rows[0]["spans"][0]["attrs"]["status"] == 200
+        tracer.close()
+
+    def test_sample_zero_drops(self, tmp_path):
+        tracer = Tracer(trace_dir=str(tmp_path), sample=0.0)
+        trace = tracer.start()
+        assert not trace.sampled
+        assert not tracer.finish(trace)
+        tracer.close()
+        assert _read_traces(tmp_path) == []
+
+    def test_client_supplied_id_forces_sampling(self, tmp_path):
+        tracer = Tracer(trace_dir=str(tmp_path), sample=0.0)
+        trace = tracer.start(trace_id="client-id-1")
+        assert trace.sampled and trace.trace_id == "client-id-1"
+        assert tracer.finish(trace)
+        tracer.close()
+        assert _read_traces(tmp_path)[0]["trace_id"] == "client-id-1"
+
+    def test_slow_request_force_written(self, tmp_path):
+        tracer = Tracer(trace_dir=str(tmp_path), sample=0.0, slow_ms=0.5)
+        trace = tracer.start()
+        assert not trace.sampled
+        time.sleep(0.003)
+        assert tracer.finish(trace)  # 3ms >= 0.5ms threshold
+        tracer.close()
+        rows = _read_traces(tmp_path)
+        assert len(rows) == 1 and rows[0]["dur_ms"] >= 0.5
+
+    def test_close_drains_queue(self, tmp_path):
+        tracer = Tracer(trace_dir=str(tmp_path), sample=1.0)
+        for _ in range(20):
+            tracer.finish(tracer.start())
+        tracer.close()
+        assert len(_read_traces(tmp_path)) == 20
+
+    def test_finish_after_close_drops(self, tmp_path):
+        tracer = Tracer(trace_dir=str(tmp_path), sample=1.0)
+        tracer.close()
+        assert not tracer.finish(tracer.start())
+
+    def test_sink_failure_never_raises(self, tmp_path):
+        missing = tmp_path / "gone"
+        tracer = Tracer(trace_dir=str(missing), sample=1.0)
+        import shutil
+
+        shutil.rmtree(missing)
+        tracer.finish(tracer.start())
+        tracer.close()  # swallows the OSError, never propagates
+
+
+class TestHTTPPropagation:
+    @pytest.fixture
+    def server(self, tmp_path):
+        from repro.graphs.zoo import build_mlp
+        from repro.serve import (
+            PartitionServer,
+            PartitionService,
+            ServiceConfig,
+        )
+
+        service = PartitionService(
+            ServiceConfig(
+                default_samples=4, seed=0, trace_dir=str(tmp_path / "traces")
+            )
+        )
+        server = PartitionServer(
+            service, graph_resolver=lambda name: build_mlp()
+        ).start()
+        yield server, service, tmp_path / "traces"
+        server.shutdown()
+        service.close()
+
+    def test_header_echoed_and_trace_written(self, server):
+        srv, service, trace_dir = server
+        import urllib.request
+
+        body = json.dumps({"graph": "mlp", "chips": 4}).encode()
+        req = urllib.request.Request(
+            f"http://{srv.host}:{srv.port}/partition",
+            data=body,
+            headers={
+                "Content-Type": "application/json",
+                TRACE_HEADER: "e2e-test-trace-01",
+            },
+        )
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            assert resp.headers[TRACE_HEADER] == "e2e-test-trace-01"
+            json.loads(resp.read())
+        ours = _wait_for_trace(service, trace_dir, "e2e-test-trace-01")
+        assert len(ours) == 1
+        names = {s["name"] for s in ours[0]["spans"]}
+        assert "request" in names
+        assert "cache.lookup" in names
+        assert "search.replay_batch" in names
+        # Every non-root span links to a span in the same trace.
+        ids = {s["span_id"] for s in ours[0]["spans"]}
+        for s in ours[0]["spans"]:
+            if s["span_id"] != "s0":
+                assert s["parent_id"] in ids
+
+    def test_client_helper_sends_trace_id(self, server):
+        srv, service, trace_dir = server
+        from repro.serve import request_partition
+
+        reply = request_partition(
+            {"graph": "mlp", "chips": 4},
+            host=srv.host,
+            port=srv.port,
+            trace_id="helper-trace-02",
+        )
+        assert "assignment" in reply
+        assert _wait_for_trace(service, trace_dir, "helper-trace-02")
+
+    def test_prometheus_endpoint(self, server):
+        srv, service, _ = server
+        from repro.serve import request_partition
+
+        import urllib.request
+
+        request_partition(
+            {"graph": "mlp", "chips": 4}, host=srv.host, port=srv.port
+        )
+        with urllib.request.urlopen(
+            f"http://{srv.host}:{srv.port}/metrics?format=prometheus", timeout=30
+        ) as resp:
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            text = resp.read().decode()
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_requests_total 1" in text
+        assert "repro_cache_hits" in text
+
+    def test_json_metrics_unchanged_by_format_param(self, server):
+        srv, service, _ = server
+        import urllib.request
+
+        with urllib.request.urlopen(
+            f"http://{srv.host}:{srv.port}/metrics", timeout=30
+        ) as resp:
+            snap = json.loads(resp.read())
+        # The default /metrics stays the plain-JSON dict existing consumers
+        # parse; format=prometheus is opt-in and does not change it.
+        assert "requests_total" in snap and "latency_ms" in snap
+        assert set(snap["latency_ms"]) >= {"cached", "warm", "cold"}
